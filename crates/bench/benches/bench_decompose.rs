@@ -1,0 +1,60 @@
+//! B4 — VRNF decomposition (Algorithm 3) scaling: schema-level
+//! normalization with a growing number of independent total FDs, and
+//! the instance-level split of Theorem 11 over growing tables.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlnf_core::decompose::{decompose_instance_by_cfd, vrnf_decompose};
+use sqlnf_datagen::contractor::{contractor, contractor_sigma};
+use sqlnf_model::attrs::AttrSet;
+use sqlnf_model::constraint::{Fd, Sigma};
+use sqlnf_model::prelude::*;
+
+/// k independent total FDs a_{2i} →_w a_{2i} a_{2i+1} over 2k+1 attrs.
+fn independent_sigma(k: usize) -> (AttrSet, Sigma) {
+    let t = AttrSet::first_n(2 * k + 1);
+    let mut sigma = Sigma::new();
+    for i in 0..k {
+        let lhs = AttrSet::from_indices([2 * i]);
+        sigma.add(Fd::certain(lhs, lhs | AttrSet::from_indices([2 * i + 1])));
+    }
+    (t, sigma)
+}
+
+fn bench_schema_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vrnf_decompose");
+    for &k in &[2usize, 4, 6] {
+        let (t, sigma) = independent_sigma(k);
+        group.bench_with_input(BenchmarkId::new("independent_fds", k), &k, |b, _| {
+            b.iter(|| vrnf_decompose(t, t, &sigma).unwrap())
+        });
+    }
+    // The contractor schema (3 interacting FDs over 22 attributes).
+    let table = contractor(1);
+    let sigma = contractor_sigma(table.schema());
+    let (t, nfs) = (table.schema().attrs(), table.schema().nfs());
+    group.bench_function("contractor_schema", |b| {
+        b.iter(|| vrnf_decompose(t, nfs, &sigma).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_instance_decomposition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("instance_split");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        // n rows over (k, g, v): g,v determined by k-groups of ~10.
+        let mut t = Table::new(TableSchema::new("r", ["k", "g", "v"], &["k", "g", "v"]));
+        for i in 0..n {
+            let grp = (i / 10) as i64;
+            t.push(tuple![grp, (grp % 97), ((grp * 31) % 101)]);
+        }
+        let s = t.schema().clone();
+        let fd = Fd::certain(s.set(&["k"]), s.set(&["k", "g", "v"]));
+        group.bench_with_input(BenchmarkId::new("thm11_split", n), &n, |b, _| {
+            b.iter(|| decompose_instance_by_cfd(&t, &fd))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schema_decomposition, bench_instance_decomposition);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! B6 — FD discovery scaling: the level-wise miner under the three
+//! semantics over growing row counts and LHS caps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlnf_datagen::naumann::breast_cancer_like;
+use sqlnf_discovery::check::Semantics;
+use sqlnf_discovery::mine::{mine_fds, MinerConfig};
+use sqlnf_model::prelude::*;
+
+fn truncate(table: &Table, rows: usize) -> Table {
+    Table::from_rows(
+        table.schema().clone(),
+        table.rows().iter().take(rows).cloned().collect::<Vec<_>>(),
+    )
+}
+
+fn bench_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery");
+    group.sample_size(10);
+    let base = breast_cancer_like(5);
+    for &rows in &[100usize, 300, 699] {
+        let t = truncate(&base, rows);
+        for sem in [Semantics::Classical, Semantics::Possible, Semantics::Certain] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{sem:?}"), rows),
+                &rows,
+                |b, _| b.iter(|| mine_fds(&t, MinerConfig::new(sem).with_max_lhs(3))),
+            );
+        }
+    }
+    for &cap in &[2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::new("lhs_cap", cap), &cap, |b, _| {
+            b.iter(|| mine_fds(&base, MinerConfig::new(Semantics::Certain).with_max_lhs(cap)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_discovery);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! B7 — engine bulk-load scaling: the incremental constraint indexes
+//! (amortized O(1) admission per row) versus full revalidation per
+//! insert (O(n), giving O(n²) loads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlnf_model::prelude::*;
+
+fn rows(n: usize) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            let g = (i / 4) as i64;
+            Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Int(g),
+                Value::Int(g * 7 % 101),
+            ])
+        })
+        .collect()
+}
+
+fn schema_and_sigma() -> (TableSchema, Sigma) {
+    let schema = TableSchema::new("t", ["id", "grp", "val"], &["id", "grp", "val"]);
+    let sigma = Sigma::new()
+        .with(Key::certain(schema.set(&["id"])))
+        .with(Fd::certain(schema.set(&["grp"]), schema.set(&["val"])));
+    (schema, sigma)
+}
+
+fn bench_bulk_load(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_bulk_load");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let data = rows(n);
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter(|| {
+                let (schema, sigma) = schema_and_sigma();
+                let mut db = Database::new();
+                db.create_table(schema, sigma).unwrap();
+                for r in &data {
+                    db.insert("t", r.clone()).unwrap();
+                }
+                std::hint::black_box(db);
+            })
+        });
+        if n <= 5_000 {
+            // The quadratic baseline becomes impractical beyond this —
+            // which is the point of the comparison.
+            group.bench_with_input(BenchmarkId::new("full_revalidation", n), &n, |b, _| {
+                b.iter(|| {
+                    let (schema, sigma) = schema_and_sigma();
+                    let mut table = Table::new(schema);
+                    for r in &data {
+                        table.push(r.clone());
+                        assert!(satisfies_all(&table, &sigma));
+                    }
+                    std::hint::black_box(table);
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bulk_load);
+criterion_main!(benches);

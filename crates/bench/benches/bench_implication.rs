@@ -1,0 +1,74 @@
+//! B2 — implication-problem scaling (Theorem 5): FD and key queries
+//! against random constraint sets of growing size, plus the exponential
+//! baseline (the axiom-saturation engine) on small inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlnf_core::axioms::DerivationEngine;
+use sqlnf_core::implication::Reasoner;
+use sqlnf_model::attrs::AttrSet;
+use sqlnf_model::constraint::{Constraint, Fd, Key, Modality, Sigma};
+
+fn random_sigma(rng: &mut StdRng, attrs: usize, constraints: usize) -> Sigma {
+    let mut sigma = Sigma::new();
+    for _ in 0..constraints {
+        let lhs = AttrSet::from_indices((0..attrs).filter(|_| rng.gen_bool(2.5 / attrs as f64)));
+        let rhs = AttrSet::from_indices((0..attrs).filter(|_| rng.gen_bool(2.0 / attrs as f64)));
+        let modality = if rng.gen_bool(0.5) {
+            Modality::Certain
+        } else {
+            Modality::Possible
+        };
+        if rng.gen_bool(0.8) {
+            sigma.add(Fd { lhs, rhs, modality });
+        } else {
+            sigma.add(Key {
+                attrs: lhs | AttrSet::from_indices([rng.gen_range(0..attrs)]),
+                modality,
+            });
+        }
+    }
+    sigma
+}
+
+fn bench_implication(c: &mut Criterion) {
+    let mut group = c.benchmark_group("implication");
+    let mut rng = StdRng::seed_from_u64(7);
+    for &m in &[10usize, 50, 200] {
+        let attrs = 32;
+        let t = AttrSet::first_n(attrs);
+        let nfs = AttrSet::from_indices((0..attrs).filter(|i| i % 2 == 0));
+        let sigma = random_sigma(&mut rng, attrs, m);
+        let query_fd = Constraint::Fd(Fd::certain(
+            AttrSet::from_indices([0, 1, 2]),
+            AttrSet::from_indices([5, 6]),
+        ));
+        let query_key = Constraint::Key(Key::possible(AttrSet::from_indices([0, 1, 2, 3])));
+        group.bench_with_input(BenchmarkId::new("fd_query", m), &m, |b, _| {
+            b.iter(|| {
+                let r = Reasoner::new(t, nfs, &sigma);
+                r.implies(&query_fd)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("key_query", m), &m, |b, _| {
+            b.iter(|| {
+                let r = Reasoner::new(t, nfs, &sigma);
+                r.implies(&query_key)
+            })
+        });
+    }
+    // Exponential baseline: saturation under the axioms on 4 attributes.
+    let t4 = AttrSet::first_n(4);
+    let sigma4 = Sigma::new()
+        .with(Fd::possible(AttrSet::from_indices([0]), AttrSet::from_indices([1])))
+        .with(Fd::certain(AttrSet::from_indices([1]), AttrSet::from_indices([2])))
+        .with(Key::possible(AttrSet::from_indices([0, 3])));
+    group.bench_function("axiom_saturation_4attrs", |b| {
+        b.iter(|| DerivationEngine::saturate(t4, AttrSet::from_indices([1, 3]), &sigma4))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_implication);
+criterion_main!(benches);

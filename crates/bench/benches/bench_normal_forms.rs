@@ -1,0 +1,42 @@
+//! B3 — normal-form checking (Theorems 7, 10, 14): BCNF and SQL-BCNF
+//! verdicts over constraint sets of growing size, demonstrating the
+//! quadratic upper bound in practice.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sqlnf_core::normal_forms::{is_bcnf, is_sql_bcnf};
+use sqlnf_model::attrs::AttrSet;
+use sqlnf_model::constraint::{Fd, Key, Sigma};
+
+/// m total FDs over 64 attributes, half of them backed by keys (so the
+/// checks exercise both verdict branches).
+fn star_sigma(m: usize) -> Sigma {
+    let mut sigma = Sigma::new();
+    for i in 0..m {
+        let hub = AttrSet::from_indices([i % 32, (i + 7) % 32]);
+        let rhs = hub | AttrSet::from_indices([32 + (i % 32)]);
+        sigma.add(Fd::certain(hub, rhs));
+        if i % 2 == 0 {
+            sigma.add(Key::certain(hub));
+        }
+    }
+    sigma
+}
+
+fn bench_normal_forms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("normal_forms");
+    let t = AttrSet::first_n(64);
+    let nfs = AttrSet::first_n(32);
+    for &m in &[8usize, 32, 128] {
+        let sigma = star_sigma(m);
+        group.bench_with_input(BenchmarkId::new("bcnf", m), &m, |b, _| {
+            b.iter(|| is_bcnf(t, nfs, &sigma))
+        });
+        group.bench_with_input(BenchmarkId::new("sql_bcnf", m), &m, |b, _| {
+            b.iter(|| is_sql_bcnf(t, nfs, &sigma).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_normal_forms);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! B5 — constraint satisfaction checking on instances: c-FD, p-FD,
+//! c-key and p-key validation over growing row counts and null rates
+//! (the operation behind the paper's 122 ms / 15 ms comparison).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlnf_model::prelude::*;
+
+fn workload(rows: usize, null_permille: u32, seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Table::new(TableSchema::new("w", ["a", "b", "y", "z"], &[]));
+    for i in 0..rows {
+        let g = (i / 8) as i64;
+        let a = if rng.gen_ratio(null_permille, 1000) {
+            Value::Null
+        } else {
+            Value::Int(g)
+        };
+        t.push(Tuple::new(vec![
+            a,
+            Value::Int(i as i64), // near-unique disambiguator
+            Value::Int(g % 13),
+            Value::Int(rng.gen_range(0..1000)),
+        ]));
+    }
+    t
+}
+
+fn bench_satisfy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("satisfy");
+    for &rows in &[1_000usize, 10_000, 100_000] {
+        for &nulls in &[0u32, 20] {
+            let t = workload(rows, nulls, 99);
+            let s = t.schema().clone();
+            let ab = s.set(&["a", "b"]);
+            let y = s.set(&["y"]);
+            let label = format!("{rows}r_{nulls}pm");
+            group.bench_with_input(
+                BenchmarkId::new("cfd", &label),
+                &rows,
+                |bch, _| bch.iter(|| satisfies_fd(&t, &Fd::certain(ab, y))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("pfd", &label),
+                &rows,
+                |bch, _| bch.iter(|| satisfies_fd(&t, &Fd::possible(ab, y))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("ckey", &label),
+                &rows,
+                |bch, _| bch.iter(|| satisfies_key(&t, &Key::certain(ab))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("pkey", &label),
+                &rows,
+                |bch, _| bch.iter(|| satisfies_key(&t, &Key::possible(ab))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_satisfy);
+criterion_main!(benches);

@@ -1,0 +1,338 @@
+//! p- and c-closures (Definition 2, Algorithms 1 and 2, Theorem 3).
+//!
+//! The *p-closure* `X*p` is the set of attributes `A` with
+//! `Σ ⊨ X →_s A`; the *c-closure* `X*c` the set with `Σ ⊨ X →_w A`.
+//! By Theorem 2 these decide FD implication. Unlike the relational
+//! attribute closure, neither is a closure operator: `X*c` need not
+//! contain `X`, and `(X*p)*p = X*p` can fail; Lemma 1's weaker
+//! monotonicity properties do hold and are property-tested.
+//!
+//! Two implementations are provided for each closure:
+//!
+//! * `*_naive` transcribe the paper's Algorithms 1 and 2 verbatim
+//!   (quadratic in `|Σ|`);
+//! * the default entry points use the counter/watch-list technique of
+//!   Beeri & Bernstein, giving the linear time bound of Theorem 3.
+//!
+//! All functions take Σ as a slice of FDs; callers with keys first apply
+//! the FD-projection of Definition 3 ([`sqlnf_model::constraint::Sigma::fd_projection`]).
+
+use sqlnf_model::attrs::{Attr, AttrSet};
+use sqlnf_model::constraint::{Fd, Modality};
+
+/// Algorithm 1 (p-Closure), verbatim.
+///
+/// ```text
+/// C := X
+/// repeat
+///   for all Y →_w Z ∈ Σ with Y ⊆ C:              C := C ∪ Z
+///   for all Y →_s Z ∈ Σ with Y ⊆ (C ∩ T_S) ∪ X:  C := C ∪ Z
+/// until C unchanged
+/// ```
+pub fn p_closure_naive(fds: &[Fd], nfs: AttrSet, x: AttrSet) -> AttrSet {
+    let mut c = x;
+    loop {
+        let old = c;
+        for fd in fds {
+            let fires = match fd.modality {
+                Modality::Certain => fd.lhs.is_subset(c),
+                Modality::Possible => fd.lhs.is_subset((c & nfs) | x),
+            };
+            if fires {
+                c |= fd.rhs;
+            }
+        }
+        if c == old {
+            return c;
+        }
+    }
+}
+
+/// Algorithm 2 (c-Closure), verbatim.
+///
+/// ```text
+/// C := X ∩ T_S
+/// repeat
+///   for all Y →_w Z ∈ Σ with Y ⊆ C ∪ X:    C := C ∪ Z
+///   for all Y →_s Z ∈ Σ with Y ⊆ C ∩ T_S:  C := C ∪ Z
+/// until C unchanged
+/// ```
+pub fn c_closure_naive(fds: &[Fd], nfs: AttrSet, x: AttrSet) -> AttrSet {
+    let mut c = x & nfs;
+    loop {
+        let old = c;
+        for fd in fds {
+            let fires = match fd.modality {
+                Modality::Certain => fd.lhs.is_subset(c | x),
+                Modality::Possible => fd.lhs.is_subset(c & nfs),
+            };
+            if fires {
+                c |= fd.rhs;
+            }
+        }
+        if c == old {
+            return c;
+        }
+    }
+}
+
+/// Which closure a [`ClosureEngine`] run computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    P,
+    C,
+}
+
+/// Linear-time closure computation via per-FD counters and per-attribute
+/// watch lists (the optimization of Beeri & Bernstein cited by the paper
+/// for Theorem 3).
+///
+/// For each FD we precompute which LHS attributes are satisfied at
+/// initialization, which can become satisfied when an attribute enters
+/// `C`, and which can never be satisfied (making the FD dead):
+///
+/// * Algorithm 1, c-FD `Y →_w Z`: `A ∈ Y` satisfied iff `A ∈ C`.
+/// * Algorithm 1, p-FD `Y →_s Z`: satisfied iff `A ∈ X` or
+///   (`A ∈ C` and `A ∈ T_S`); attributes outside `X ∪ T_S` are dead.
+/// * Algorithm 2, c-FD: satisfied iff `A ∈ X` or `A ∈ C`.
+/// * Algorithm 2, p-FD: satisfied iff `A ∈ C ∩ T_S`; attributes outside
+///   `T_S` are dead.
+fn closure_linear(fds: &[Fd], nfs: AttrSet, x: AttrSet, kind: Kind) -> AttrSet {
+    let mut c = match kind {
+        Kind::P => x,
+        Kind::C => x & nfs,
+    };
+
+    // watchers[a] = indices of FDs waiting on attribute a.
+    let mut watchers: Vec<Vec<u32>> = vec![Vec::new(); 128];
+    let mut counters: Vec<u32> = Vec::with_capacity(fds.len());
+    let mut queue: Vec<Attr> = Vec::new();
+    let mut fired: Vec<bool> = vec![false; fds.len()];
+
+    let fire = |i: usize,
+                    c: &mut AttrSet,
+                    queue: &mut Vec<Attr>,
+                    fired: &mut Vec<bool>| {
+        if fired[i] {
+            return;
+        }
+        fired[i] = true;
+        let new = fds[i].rhs - *c;
+        *c |= fds[i].rhs;
+        for a in new {
+            queue.push(a);
+        }
+    };
+
+    for (i, fd) in fds.iter().enumerate() {
+        // Attributes of the LHS that are *not* satisfiable at all, those
+        // satisfied initially, and those to watch.
+        let (dead, watch) = match (kind, fd.modality) {
+            (Kind::P, Modality::Certain) => (AttrSet::EMPTY, fd.lhs - c),
+            (Kind::P, Modality::Possible) => (fd.lhs - x - nfs, (fd.lhs & nfs) - x - c),
+            (Kind::C, Modality::Certain) => (AttrSet::EMPTY, fd.lhs - x - c),
+            (Kind::C, Modality::Possible) => (fd.lhs - nfs, (fd.lhs & nfs) - c),
+        };
+        if !dead.is_empty() {
+            counters.push(u32::MAX); // never fires
+            continue;
+        }
+        counters.push(watch.len() as u32);
+        for a in watch {
+            watchers[a.index()].push(i as u32);
+        }
+        if watch.is_empty() {
+            fire(i, &mut c, &mut queue, &mut fired);
+        }
+    }
+
+    while let Some(a) = queue.pop() {
+        // `a` was just added to `C`. A watcher counts it only if the
+        // watch condition referred to membership in `C` (it did, by
+        // construction of the watch sets above).
+        let ws = std::mem::take(&mut watchers[a.index()]);
+        for i in ws {
+            let i = i as usize;
+            if counters[i] == u32::MAX || fired[i] {
+                continue;
+            }
+            counters[i] -= 1;
+            if counters[i] == 0 {
+                fire(i, &mut c, &mut queue, &mut fired);
+            }
+        }
+    }
+    c
+}
+
+/// The p-closure `X*p` (linear time).
+pub fn p_closure(fds: &[Fd], nfs: AttrSet, x: AttrSet) -> AttrSet {
+    closure_linear(fds, nfs, x, Kind::P)
+}
+
+/// The c-closure `X*c` (linear time).
+pub fn c_closure(fds: &[Fd], nfs: AttrSet, x: AttrSet) -> AttrSet {
+    closure_linear(fds, nfs, x, Kind::C)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(ix: &[usize]) -> AttrSet {
+        AttrSet::from_indices(ix.iter().copied())
+    }
+
+    /// PURCHASE = oicp (o=0,i=1,c=2,p=3), T_S = ocp,
+    /// Σ = {oi →_s c, ic →_w p} — the worked example of Section 4.1.
+    fn purchase() -> (Vec<Fd>, AttrSet) {
+        let sigma = vec![
+            Fd::possible(s(&[0, 1]), s(&[2])),
+            Fd::certain(s(&[1, 2]), s(&[3])),
+        ];
+        (sigma, s(&[0, 2, 3]))
+    }
+
+    #[test]
+    fn section4_worked_example() {
+        let (sigma, nfs) = purchase();
+        // oi*p = oicp: oi →_s c fires, then ic ⊆ (C∩T_S)∪X … via the
+        // c-FD ic →_w p with ic ⊆ C.
+        assert_eq!(p_closure(&sigma, nfs, s(&[0, 1])), s(&[0, 1, 2, 3]));
+        assert_eq!(p_closure_naive(&sigma, nfs, s(&[0, 1])), s(&[0, 1, 2, 3]));
+        // oi*c = o: C starts at oi ∩ ocp = o and nothing fires.
+        assert_eq!(c_closure(&sigma, nfs, s(&[0, 1])), s(&[0]));
+        assert_eq!(c_closure_naive(&sigma, nfs, s(&[0, 1])), s(&[0]));
+    }
+
+    #[test]
+    fn key_projection_example() {
+        // Σ = {oi →_s c, p⟨oic⟩} gives Σ|FD = {oi →_s c, oic →_s oicp};
+        // oi*p = oicp.
+        let nfs = s(&[0, 2, 3]);
+        let fds = vec![
+            Fd::possible(s(&[0, 1]), s(&[2])),
+            Fd::possible(s(&[0, 1, 2]), s(&[0, 1, 2, 3])),
+        ];
+        assert_eq!(p_closure(&fds, nfs, s(&[0, 1])), s(&[0, 1, 2, 3]));
+        // c-closure: oi∩T_S = o; p-FDs need LHS ⊆ C∩T_S — i ∉ T_S is
+        // dead, so nothing fires.
+        assert_eq!(c_closure(&fds, nfs, s(&[0, 1])), s(&[0]));
+    }
+
+    #[test]
+    fn empty_sigma() {
+        let nfs = s(&[0]);
+        assert_eq!(p_closure(&[], nfs, s(&[0, 1])), s(&[0, 1]));
+        assert_eq!(c_closure(&[], nfs, s(&[0, 1])), s(&[0]));
+        assert_eq!(c_closure(&[], nfs, s(&[1])), AttrSet::EMPTY);
+    }
+
+    #[test]
+    fn c_closure_need_not_contain_x() {
+        // Remark after Definition 2: X*c need not contain X.
+        let nfs = AttrSet::EMPTY;
+        assert_eq!(c_closure(&[], nfs, s(&[0])), AttrSet::EMPTY);
+    }
+
+    #[test]
+    fn cfd_on_nullable_lhs_fires_in_c_closure() {
+        // c-FDs fire from C ∪ X, so a nullable LHS attribute in X works.
+        let nfs = AttrSet::EMPTY;
+        let fds = vec![Fd::certain(s(&[0]), s(&[1]))];
+        assert_eq!(c_closure(&fds, nfs, s(&[0])), s(&[1]));
+        // …and chains through attributes added to C.
+        let fds2 = vec![
+            Fd::certain(s(&[0]), s(&[1])),
+            Fd::certain(s(&[1]), s(&[2])),
+        ];
+        assert_eq!(c_closure(&fds2, nfs, s(&[0])), s(&[1, 2]));
+    }
+
+    #[test]
+    fn pfd_needs_nfs_to_chain_in_p_closure() {
+        // Algorithm 1: p-FDs fire when LHS ⊆ (C∩T_S) ∪ X. Chaining
+        // through a derived attribute requires it to be NOT NULL.
+        let fds = vec![
+            Fd::possible(s(&[0]), s(&[1])),
+            Fd::possible(s(&[1]), s(&[2])),
+        ];
+        // 1 ∉ T_S: the second FD never fires.
+        assert_eq!(p_closure(&fds, AttrSet::EMPTY, s(&[0])), s(&[0, 1]));
+        // 1 ∈ T_S: it chains.
+        assert_eq!(p_closure(&fds, s(&[1]), s(&[0])), s(&[0, 1, 2]));
+    }
+
+    #[test]
+    fn mixed_chain_certain_then_possible() {
+        // c-FD adds an attribute to C; a p-FD can then use it only via
+        // T_S in Algorithm 1.
+        let fds = vec![
+            Fd::certain(s(&[0]), s(&[1])),
+            Fd::possible(s(&[1]), s(&[2])),
+        ];
+        assert_eq!(p_closure(&fds, s(&[1]), s(&[0])), s(&[0, 1, 2]));
+        assert_eq!(p_closure(&fds, AttrSet::EMPTY, s(&[0])), s(&[0, 1]));
+        // Algorithm 2: same Σ; c-FD fires from X, p-FD needs 1 ∈ C∩T_S.
+        assert_eq!(c_closure(&fds, s(&[1]), s(&[0])), s(&[1, 2]));
+        assert_eq!(c_closure(&fds, AttrSet::EMPTY, s(&[0])), s(&[1]));
+    }
+
+    #[test]
+    fn lemma1_properties_hold_on_example() {
+        let (sigma, nfs) = purchase();
+        let t = s(&[0, 1, 2, 3]);
+        for x in t.subsets() {
+            let xp = p_closure(&sigma, nfs, x);
+            let xc = c_closure(&sigma, nfs, x);
+            // (ii) X, X*c ⊆ X*p
+            assert!(x.is_subset(xp));
+            assert!(xc.is_subset(xp));
+            // (iii) (X*c)*c ⊆ X*c and (X*p)*c ⊆ X*p
+            assert!(c_closure(&sigma, nfs, xc).is_subset(xc));
+            assert!(c_closure(&sigma, nfs, xp).is_subset(xp));
+            // (i) monotonicity
+            for y in t.subsets() {
+                if x.is_subset(y) {
+                    assert!(xp.is_subset(p_closure(&sigma, nfs, y)));
+                    assert!(xc.is_subset(c_closure(&sigma, nfs, y)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_matches_naive_exhaustively_small() {
+        // All Σ with two FDs over 3 attributes, all NFS, all X.
+        let t = s(&[0, 1, 2]);
+        let subsets: Vec<AttrSet> = t.subsets().collect();
+        for &l1 in &subsets {
+            for &r1 in &subsets {
+                for &l2 in &subsets {
+                    for &r2 in &subsets {
+                        for m1 in [Modality::Possible, Modality::Certain] {
+                            let fds = vec![
+                                Fd { lhs: l1, rhs: r1, modality: m1 },
+                                Fd { lhs: l2, rhs: r2, modality: Modality::Certain },
+                            ];
+                            for &nfs in &subsets {
+                                for &x in &subsets {
+                                    assert_eq!(
+                                        p_closure(&fds, nfs, x),
+                                        p_closure_naive(&fds, nfs, x),
+                                        "p fds={fds:?} nfs={nfs:?} x={x:?}"
+                                    );
+                                    assert_eq!(
+                                        c_closure(&fds, nfs, x),
+                                        c_closure_naive(&fds, nfs, x),
+                                        "c fds={fds:?} nfs={nfs:?} x={x:?}"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Cover minimization: small, readable, equivalent representations of a
+//! constraint set.
+//!
+//! The normal forms of Section 5 are invariant under equivalent
+//! representations, so any cover works for deciding them; minimized
+//! covers keep the exponential procedures (projection, decomposition)
+//! small and make reported schemas legible.
+
+use crate::implication::Reasoner;
+use sqlnf_model::attrs::AttrSet;
+use sqlnf_model::constraint::{Fd, Key, Modality, Sigma};
+
+/// LHS-minimizes one FD with respect to Σ: greedily drops LHS
+/// attributes while the (unchanged) RHS stays implied.
+pub fn minimize_lhs(t: AttrSet, nfs: AttrSet, sigma: &Sigma, fd: &Fd) -> Fd {
+    let r = Reasoner::new(t, nfs, sigma);
+    let mut lhs = fd.lhs;
+    for a in fd.lhs {
+        let smaller = lhs - AttrSet::single(a);
+        let candidate = Fd {
+            lhs: smaller,
+            rhs: fd.rhs,
+            modality: fd.modality,
+        };
+        if r.implies_fd(&candidate) {
+            lhs = smaller;
+        }
+    }
+    Fd {
+        lhs,
+        rhs: fd.rhs,
+        modality: fd.modality,
+    }
+}
+
+/// Attribute-minimizes a key with respect to Σ.
+pub fn minimize_key(t: AttrSet, nfs: AttrSet, sigma: &Sigma, key: &Key) -> Key {
+    let r = Reasoner::new(t, nfs, sigma);
+    let mut attrs = key.attrs;
+    for a in key.attrs {
+        let smaller = attrs - AttrSet::single(a);
+        let candidate = Key {
+            attrs: smaller,
+            modality: key.modality,
+        };
+        if r.implies_key(&candidate) {
+            attrs = smaller;
+        }
+    }
+    Key {
+        attrs,
+        modality: key.modality,
+    }
+}
+
+/// Produces a minimized cover of Σ over `(T, T_S)`:
+///
+/// 1. drop trivial FDs;
+/// 2. LHS-minimize every FD and attribute-minimize every key;
+/// 3. drop constraints implied by the remaining ones (keys first, so
+///    that FDs subsumed by keys disappear);
+/// 4. deduplicate and order deterministically.
+///
+/// The result is equivalent to Σ (checked by the tests via
+/// [`crate::implication::equivalent`]).
+pub fn minimize_cover(t: AttrSet, nfs: AttrSet, sigma: &Sigma) -> Sigma {
+    // Step 1 + 2.
+    let mut fds: Vec<Fd> = sigma
+        .fds
+        .iter()
+        .filter(|fd| !fd.is_trivial(nfs))
+        .map(|fd| minimize_lhs(t, nfs, sigma, fd))
+        .collect();
+    let mut keys: Vec<Key> = sigma
+        .keys
+        .iter()
+        .map(|k| minimize_key(t, nfs, sigma, k))
+        .collect();
+
+    // Deduplicate early.
+    fds.sort();
+    fds.dedup();
+    keys.sort();
+    keys.dedup();
+
+    // Step 3: greedy redundancy elimination. Keys are kept in front so
+    // that FDs weakened from keys are eliminated in their favour.
+    let mut kept_keys: Vec<Key> = Vec::new();
+    for i in 0..keys.len() {
+        let mut probe = Sigma {
+            fds: fds.clone(),
+            keys: Vec::new(),
+        };
+        probe.keys.extend(kept_keys.iter().copied());
+        probe.keys.extend(keys[i + 1..].iter().copied());
+        let r = Reasoner::new(t, nfs, &probe);
+        if !r.implies_key(&keys[i]) {
+            kept_keys.push(keys[i]);
+        }
+    }
+    let mut kept_fds: Vec<Fd> = Vec::new();
+    for i in 0..fds.len() {
+        let mut probe = Sigma {
+            fds: Vec::new(),
+            keys: kept_keys.clone(),
+        };
+        probe.fds.extend(kept_fds.iter().copied());
+        probe.fds.extend(fds[i + 1..].iter().copied());
+        let r = Reasoner::new(t, nfs, &probe);
+        if !r.implies_fd(&fds[i]) {
+            kept_fds.push(fds[i]);
+        }
+    }
+
+    kept_fds.sort();
+    kept_keys.sort();
+    Sigma {
+        fds: kept_fds,
+        keys: kept_keys,
+    }
+}
+
+/// Restricts a minimized cover's FDs to *certain* constraints, dropping
+/// possible ones — used when handing a schema to SQL-BCNF/VRNF
+/// machinery, which is defined on certain-only sets.
+pub fn certain_fragment(sigma: &Sigma) -> Sigma {
+    Sigma {
+        fds: sigma
+            .fds
+            .iter()
+            .filter(|f| f.modality == Modality::Certain)
+            .copied()
+            .collect(),
+        keys: sigma
+            .keys
+            .iter()
+            .filter(|k| k.modality == Modality::Certain)
+            .copied()
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implication::equivalent;
+
+    fn s(ix: &[usize]) -> AttrSet {
+        AttrSet::from_indices(ix.iter().copied())
+    }
+
+    #[test]
+    fn lhs_minimization() {
+        let t = s(&[0, 1, 2]);
+        let sigma = Sigma::new()
+            .with(Fd::certain(s(&[0]), s(&[1])))
+            .with(Fd::certain(s(&[0, 2]), s(&[1])));
+        // 0,2 →_w 1 minimizes to 0 →_w 1.
+        let m = minimize_lhs(t, t, &sigma, &sigma.fds[1]);
+        assert_eq!(m, Fd::certain(s(&[0]), s(&[1])));
+    }
+
+    #[test]
+    fn key_minimization() {
+        let t = s(&[0, 1, 2]);
+        let sigma = Sigma::new()
+            .with(Key::certain(s(&[0])))
+            .with(Key::certain(s(&[0, 1])));
+        let m = minimize_key(t, t, &sigma, &sigma.keys[1]);
+        assert_eq!(m, Key::certain(s(&[0])));
+    }
+
+    #[test]
+    fn cover_removes_redundancy_and_stays_equivalent() {
+        let t = s(&[0, 1, 2, 3]);
+        let nfs = s(&[0, 2]);
+        let sigma = Sigma::new()
+            .with(Fd::certain(s(&[0]), s(&[1])))
+            .with(Fd::certain(s(&[0, 2]), s(&[1]))) // redundant
+            .with(Fd::certain(s(&[0, 1]), s(&[1]))) // trivial? 1 ∉ nfs → kept? RHS ⊆ lhs∩nfs fails → non-trivial internal
+            .with(Key::certain(s(&[0, 3])))
+            .with(Key::certain(s(&[0, 1, 3]))) // redundant
+            .with(Fd::certain(s(&[0, 3]), t)); // implied by the key
+        let min = minimize_cover(t, nfs, &sigma);
+        assert!(equivalent(t, nfs, &sigma, &min));
+        assert!(min.len() < sigma.len());
+        // The redundant key is gone.
+        assert_eq!(min.keys, vec![Key::certain(s(&[0, 3]))]);
+        // The FD subsumed by the key is gone.
+        assert!(!min.fds.contains(&Fd::certain(s(&[0, 3]), t)));
+    }
+
+    #[test]
+    fn trivial_fds_dropped() {
+        let t = s(&[0, 1]);
+        let sigma = Sigma::new()
+            .with(Fd::possible(s(&[0, 1]), s(&[1])))
+            .with(Fd::certain(s(&[0]), s(&[0])));
+        // First is trivial p-FD; second is trivial only if 0 ∈ T_S.
+        let min_total = minimize_cover(t, t, &sigma);
+        assert!(min_total.is_empty());
+        let min_nullable = minimize_cover(t, AttrSet::EMPTY, &sigma);
+        assert_eq!(min_nullable.fds.len(), 1);
+        assert_eq!(min_nullable.fds[0].modality, Modality::Certain);
+    }
+
+    #[test]
+    fn projection_cover_minimizes_to_paper_form() {
+        // Example 3's oic component: the projected cover minimizes to
+        // (an equivalent of) {oic →_w c}.
+        let t = s(&[0, 1, 2, 3]);
+        let nfs = s(&[0, 1, 3]);
+        let sigma = Sigma::new().with(Fd::certain(s(&[0, 1, 2]), s(&[2, 3])));
+        let oic = s(&[0, 1, 2]);
+        let proj = crate::projection::project_sigma(t, nfs, &sigma, oic);
+        let min = minimize_cover(oic, nfs & oic, &proj);
+        let paper = Sigma::new().with(Fd::certain(s(&[0, 1, 2]), s(&[2])));
+        assert!(equivalent(oic, nfs & oic, &min, &paper), "{min:?}");
+        assert!(min.keys.is_empty());
+        assert_eq!(min.fds.len(), 1);
+    }
+
+    #[test]
+    fn certain_fragment_filters() {
+        let sigma = Sigma::new()
+            .with(Fd::possible(s(&[0]), s(&[1])))
+            .with(Fd::certain(s(&[0]), s(&[1])))
+            .with(Key::possible(s(&[0])))
+            .with(Key::certain(s(&[1])));
+        let c = certain_fragment(&sigma);
+        assert_eq!(c.fds.len(), 1);
+        assert_eq!(c.keys.len(), 1);
+        assert!(c.is_certain_only());
+    }
+}

@@ -1,0 +1,288 @@
+//! High-level API: a named schema design `(T, T_S, Σ)` with
+//! normal-form checks and normalization, in terms of column names.
+//!
+//! This is the entry point a downstream user works with; the worked
+//! examples of the paper read almost verbatim:
+//!
+//! ```
+//! use sqlnf_core::design::SchemaDesign;
+//! use sqlnf_model::prelude::*;
+//!
+//! let purchase = TableSchema::new(
+//!     "purchase",
+//!     ["order_id", "item", "catalog", "price"],
+//!     &["order_id", "item", "price"],
+//! );
+//! let sigma = Sigma::new().with(Fd::certain(
+//!     purchase.set(&["item", "catalog"]),
+//!     purchase.set(&["price"]),
+//! ));
+//! let design = SchemaDesign::new(purchase, sigma);
+//! assert!(!design.is_bcnf());          // redundant prices possible
+//! assert!(!design.is_rfnf());          // … which is what RFNF means
+//! ```
+
+use crate::decompose::{vrnf_decompose, Component, VrnfError};
+use crate::implication::Reasoner;
+use crate::normal_forms::{
+    bcnf_violations, is_bcnf, is_sql_bcnf, sql_bcnf_violations, NotCertainOnly,
+};
+use sqlnf_model::attrs::AttrSet;
+use sqlnf_model::constraint::{Constraint, Fd, Key, Sigma};
+use sqlnf_model::schema::TableSchema;
+use std::fmt;
+
+/// A schema design `(T, T_S, Σ)`: a table schema (with its NOT NULL
+/// columns) plus a constraint set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaDesign {
+    schema: TableSchema,
+    sigma: Sigma,
+}
+
+impl SchemaDesign {
+    /// Bundles a schema and constraint set.
+    ///
+    /// # Panics
+    /// Panics if a constraint mentions an attribute outside the schema.
+    pub fn new(schema: TableSchema, sigma: Sigma) -> Self {
+        let t = schema.attrs();
+        for c in sigma.iter() {
+            let attrs = match c {
+                Constraint::Fd(fd) => fd.attrs(),
+                Constraint::Key(k) => k.attrs,
+            };
+            assert!(
+                attrs.is_subset(t),
+                "constraint {c} mentions attributes outside {}",
+                schema.name()
+            );
+        }
+        SchemaDesign { schema, sigma }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The constraint set Σ.
+    pub fn sigma(&self) -> &Sigma {
+        &self.sigma
+    }
+
+    /// A reasoner over this design.
+    pub fn reasoner(&self) -> Reasoner {
+        Reasoner::new(self.schema.attrs(), self.schema.nfs(), &self.sigma)
+    }
+
+    /// Whether Σ implies the constraint.
+    pub fn implies(&self, phi: impl Into<Constraint>) -> bool {
+        self.reasoner().implies(&phi.into())
+    }
+
+    /// Whether the design is in BCNF (Definition 5).
+    pub fn is_bcnf(&self) -> bool {
+        is_bcnf(self.schema.attrs(), self.schema.nfs(), &self.sigma)
+    }
+
+    /// Whether the design is in Redundancy-free normal form — the same
+    /// condition as BCNF by Theorem 9.
+    pub fn is_rfnf(&self) -> bool {
+        self.is_bcnf()
+    }
+
+    /// The FDs of Σ violating BCNF.
+    pub fn bcnf_violations(&self) -> Vec<Fd> {
+        bcnf_violations(self.schema.attrs(), self.schema.nfs(), &self.sigma)
+    }
+
+    /// Whether the design is in SQL-BCNF (Definition 12); requires Σ to
+    /// be certain-only.
+    pub fn is_sql_bcnf(&self) -> Result<bool, NotCertainOnly> {
+        is_sql_bcnf(self.schema.attrs(), self.schema.nfs(), &self.sigma)
+    }
+
+    /// Whether the design is in VRNF — the same condition as SQL-BCNF
+    /// by Theorem 15.
+    pub fn is_vrnf(&self) -> Result<bool, NotCertainOnly> {
+        self.is_sql_bcnf()
+    }
+
+    /// The FDs of Σ violating SQL-BCNF.
+    pub fn sql_bcnf_violations(&self) -> Result<Vec<Fd>, NotCertainOnly> {
+        sql_bcnf_violations(self.schema.attrs(), self.schema.nfs(), &self.sigma)
+    }
+
+    /// Normalizes the design into a lossless VRNF decomposition
+    /// (Algorithm 3). Σ must consist of certain keys and total FDs.
+    /// Returns the named child designs, each with its re-indexed schema
+    /// and minimized constraint cover, along with the raw
+    /// [`Decomposition`](crate::decompose::Decomposition) for applying
+    /// to instances.
+    pub fn normalize(&self) -> Result<NormalizedDesign, VrnfError> {
+        let d = vrnf_decompose(self.schema.attrs(), self.schema.nfs(), &self.sigma)?;
+        let children = d
+            .components
+            .iter()
+            .enumerate()
+            .map(|(i, comp)| self.child_design(comp, i))
+            .collect();
+        Ok(NormalizedDesign {
+            decomposition: d,
+            children,
+        })
+    }
+
+    fn child_design(&self, comp: &Component, index: usize) -> SchemaDesign {
+        let name = format!("{}_{}", self.schema.name(), index);
+        let (child_schema, _) = self.schema.project(comp.attrs, name);
+        let translate = |s: AttrSet| self.schema.translate_into_projection(comp.attrs, s);
+        let mut sigma = Sigma::new();
+        for fd in &comp.sigma.fds {
+            sigma.add(Fd {
+                lhs: translate(fd.lhs),
+                rhs: translate(fd.rhs),
+                modality: fd.modality,
+            });
+        }
+        for k in &comp.sigma.keys {
+            sigma.add(Key {
+                attrs: translate(k.attrs),
+                modality: k.modality,
+            });
+        }
+        SchemaDesign::new(child_schema, sigma)
+    }
+}
+
+impl fmt::Display for SchemaDesign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} with Σ = {}", self.schema, self.sigma.display(&self.schema))
+    }
+}
+
+/// The result of normalizing a design: the raw decomposition (original
+/// attribute indices; applicable to instances) plus the named child
+/// designs.
+#[derive(Debug, Clone)]
+pub struct NormalizedDesign {
+    /// The attribute-level decomposition, for [`Decomposition::apply`]
+    /// and losslessness checks.
+    ///
+    /// [`Decomposition::apply`]: crate::decompose::Decomposition::apply
+    pub decomposition: crate::decompose::Decomposition,
+    /// One schema design per component, re-indexed and named
+    /// `<parent>_<i>`.
+    pub children: Vec<SchemaDesign>,
+}
+
+impl NormalizedDesign {
+    /// Dependency-preservation report of this decomposition against the
+    /// parent design it was produced from.
+    pub fn preservation(
+        &self,
+        parent: &SchemaDesign,
+    ) -> crate::preservation::PreservationReport {
+        crate::preservation::preservation_report(
+            parent.schema().attrs(),
+            parent.schema().nfs(),
+            parent.sigma(),
+            &self.decomposition,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn purchase_design() -> SchemaDesign {
+        // Example 3's schema: (oicp, oip, {oic →_w oicp}).
+        let schema = TableSchema::new(
+            "purchase",
+            ["order_id", "item", "catalog", "price"],
+            &["order_id", "item", "price"],
+        );
+        let sigma = Sigma::new().with(Fd::certain(
+            schema.set(&["order_id", "item", "catalog"]),
+            schema.attrs(),
+        ));
+        SchemaDesign::new(schema, sigma)
+    }
+
+    #[test]
+    fn normal_form_checks() {
+        let d = purchase_design();
+        assert!(!d.is_bcnf());
+        assert!(!d.is_rfnf());
+        assert_eq!(d.is_sql_bcnf(), Ok(false));
+        assert_eq!(d.is_vrnf(), Ok(false));
+        assert_eq!(d.bcnf_violations().len(), 1);
+        assert_eq!(d.sql_bcnf_violations().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn implication_interface() {
+        let d = purchase_design();
+        let s = d.schema();
+        assert!(d.implies(Fd::certain(
+            s.set(&["order_id", "item", "catalog"]),
+            s.set(&["price"])
+        )));
+        assert!(!d.implies(Key::certain(s.set(&["order_id"]))));
+    }
+
+    #[test]
+    fn normalize_names_children_and_translates_constraints() {
+        let d = purchase_design();
+        let n = d.normalize().unwrap();
+        assert_eq!(n.children.len(), 2);
+        // Every child is in VRNF.
+        for child in &n.children {
+            assert_eq!(child.is_vrnf(), Ok(true), "{child}");
+        }
+        // The set component is oicp with key c<order_id,item,catalog>.
+        let set_child = n
+            .children
+            .iter()
+            .find(|c| c.schema().arity() == 4)
+            .unwrap();
+        let cs = set_child.schema();
+        assert!(set_child.implies(Key::certain(cs.set(&["order_id", "item", "catalog"]))));
+        // The multiset component is oic carrying the internal c-FD.
+        let multi_child = n
+            .children
+            .iter()
+            .find(|c| c.schema().arity() == 3)
+            .unwrap();
+        let ms = multi_child.schema();
+        assert_eq!(
+            ms.column_names(),
+            &["order_id", "item", "catalog"]
+        );
+        assert!(multi_child.implies(Fd::certain(
+            ms.set(&["order_id", "item", "catalog"]),
+            ms.set(&["catalog"])
+        )));
+        // NFS carries over: order_id,item NOT NULL; catalog nullable.
+        assert_eq!(ms.nfs(), ms.set(&["order_id", "item"]));
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = purchase_design();
+        let s = d.to_string();
+        assert!(s.contains("purchase"));
+        assert!(s.contains("->w"));
+        assert!(s.contains("order_id NOT NULL"));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn constraints_outside_schema_rejected() {
+        let schema = TableSchema::new("r", ["a"], &[]);
+        let sigma = Sigma::new().with(Key::certain(AttrSet::from_indices([3])));
+        let _ = SchemaDesign::new(schema, sigma);
+    }
+}

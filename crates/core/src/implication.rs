@@ -1,0 +1,266 @@
+//! The implication problem for the combined class of p-keys, c-keys,
+//! p-FDs, c-FDs and NOT NULL constraints (Section 4, Theorems 2, 4, 5).
+//!
+//! FD implication reduces to closure membership (Theorem 2) after the
+//! *FD-projection* of Definition 3 replaces each key `X` by the FD
+//! `X → T` of the same modality. Key implication reduces to key-only
+//! implication via closures:
+//!
+//! * `Σ ⊨ p⟨X⟩` iff `Σ|key ⊨ c⟨X*p⟩` or `Σ|key ⊨ p⟨X (X*p ∩ T_S)⟩`;
+//! * `Σ ⊨ c⟨X⟩` iff `Σ|key ⊨ c⟨X X*c⟩`;
+//!
+//! where closures are taken with respect to `Σ|FD`, and key-only
+//! implication is decided by the axioms 𝔎 (Table 2): a key follows from
+//! a key on a subset of its attributes, with `p → c` strengthening
+//! available on `T_S`-contained keys and `c → p` weakening always.
+//!
+//! Everything here is linear in the input (Theorem 5); the test modules
+//! verify the procedures *exhaustively* against the model-theoretic
+//! oracle of [`crate::oracle`] on small schemata.
+
+use crate::closure::{c_closure, p_closure};
+use sqlnf_model::attrs::AttrSet;
+use sqlnf_model::constraint::{Constraint, Fd, Key, Modality, Sigma};
+
+/// A reasoning context for one schema `(T, T_S)` and constraint set Σ.
+///
+/// Construction precomputes the FD-projection `Σ|FD`; each query is then
+/// one or two closure computations.
+#[derive(Debug, Clone)]
+pub struct Reasoner {
+    t: AttrSet,
+    nfs: AttrSet,
+    keys: Vec<Key>,
+    fds: Vec<Fd>,
+}
+
+impl Reasoner {
+    /// Creates a reasoner for schema attributes `t`, NFS `nfs ⊆ t` and
+    /// constraint set Σ.
+    pub fn new(t: AttrSet, nfs: AttrSet, sigma: &Sigma) -> Reasoner {
+        assert!(nfs.is_subset(t), "T_S must be a subset of T");
+        Reasoner {
+            t,
+            nfs,
+            keys: sigma.keys.clone(),
+            fds: sigma.fd_projection(t),
+        }
+    }
+
+    /// The schema attribute set `T`.
+    pub fn attrs(&self) -> AttrSet {
+        self.t
+    }
+
+    /// The null-free subschema `T_S`.
+    pub fn nfs(&self) -> AttrSet {
+        self.nfs
+    }
+
+    /// The p-closure `X*p` with respect to `Σ|FD`.
+    pub fn p_closure(&self, x: AttrSet) -> AttrSet {
+        p_closure(&self.fds, self.nfs, x)
+    }
+
+    /// The c-closure `X*c` with respect to `Σ|FD`.
+    pub fn c_closure(&self, x: AttrSet) -> AttrSet {
+        c_closure(&self.fds, self.nfs, x)
+    }
+
+    /// Decides `Σ ⊨ X → Y` by Theorem 2: `Y ⊆ X*p` (possible) or
+    /// `Y ⊆ X*c` (certain).
+    pub fn implies_fd(&self, fd: &Fd) -> bool {
+        match fd.modality {
+            Modality::Possible => fd.rhs.is_subset(self.p_closure(fd.lhs)),
+            Modality::Certain => fd.rhs.is_subset(self.c_closure(fd.lhs)),
+        }
+    }
+
+    /// Decides `Σ|key ⊨ key` using only the keys of Σ (axioms 𝔎).
+    pub fn keys_only_imply(&self, key: &Key) -> bool {
+        match key.modality {
+            // p⟨X⟩ follows from any key on a subset of X (kA, kW).
+            Modality::Possible => self.keys.iter().any(|k| k.attrs.is_subset(key.attrs)),
+            // c⟨X⟩ follows from a c-key on a subset of X, or a p-key on
+            // a subset of X that lies within T_S (kA, kS).
+            Modality::Certain => self.keys.iter().any(|k| {
+                k.attrs.is_subset(key.attrs)
+                    && (k.modality == Modality::Certain || k.attrs.is_subset(self.nfs))
+            }),
+        }
+    }
+
+    /// Decides `Σ ⊨ key` via the reduction of Section 4.2.
+    pub fn implies_key(&self, key: &Key) -> bool {
+        let x = key.attrs;
+        match key.modality {
+            Modality::Possible => {
+                let xp = self.p_closure(x);
+                self.keys_only_imply(&Key::certain(xp))
+                    || self.keys_only_imply(&Key::possible(x | (xp & self.nfs)))
+            }
+            Modality::Certain => {
+                let xc = self.c_closure(x);
+                self.keys_only_imply(&Key::certain(x | xc))
+            }
+        }
+    }
+
+    /// Decides `Σ ⊨ φ` for any constraint of the combined class.
+    pub fn implies(&self, phi: &Constraint) -> bool {
+        match phi {
+            Constraint::Fd(fd) => self.implies_fd(fd),
+            Constraint::Key(k) => self.implies_key(k),
+        }
+    }
+
+    /// Whether Σ implies every constraint of `other`.
+    pub fn implies_all(&self, other: &Sigma) -> bool {
+        other.iter().all(|c| self.implies(&c))
+    }
+}
+
+/// Whether two constraint sets over the same `(T, T_S)` are equivalent,
+/// i.e. have the same instances (equivalently, the same syntactic
+/// closure Σ⁺ — the invariance property used by Definition 5).
+pub fn equivalent(t: AttrSet, nfs: AttrSet, sigma1: &Sigma, sigma2: &Sigma) -> bool {
+    let r1 = Reasoner::new(t, nfs, sigma1);
+    let r2 = Reasoner::new(t, nfs, sigma2);
+    r1.implies_all(sigma2) && r2.implies_all(sigma1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::oracle_implies;
+
+    fn s(ix: &[usize]) -> AttrSet {
+        AttrSet::from_indices(ix.iter().copied())
+    }
+
+    #[test]
+    fn purchase_worked_examples() {
+        // PURCHASE = oicp, T_S = ocp, Σ = {oi →_s c, ic →_w p}.
+        let t = s(&[0, 1, 2, 3]);
+        let nfs = s(&[0, 2, 3]);
+        let sigma = Sigma::new()
+            .with(Fd::possible(s(&[0, 1]), s(&[2])))
+            .with(Fd::certain(s(&[1, 2]), s(&[3])));
+        let r = Reasoner::new(t, nfs, &sigma);
+        assert!(r.implies_fd(&Fd::possible(s(&[0, 1]), s(&[3]))));
+        assert!(!r.implies_fd(&Fd::certain(s(&[0, 1]), s(&[3]))));
+
+        // Σ = {oi →_s c, p⟨oic⟩} implies p⟨oi⟩ (Section 4.2).
+        let sigma2 = Sigma::new()
+            .with(Fd::possible(s(&[0, 1]), s(&[2])))
+            .with(Key::possible(s(&[0, 1, 2])));
+        let r2 = Reasoner::new(t, nfs, &sigma2);
+        assert!(r2.implies_key(&Key::possible(s(&[0, 1]))));
+        assert!(!r2.implies_fd(&Fd::certain(s(&[0, 1]), s(&[3]))));
+        assert!(!r2.implies_key(&Key::certain(s(&[0, 1]))));
+    }
+
+    #[test]
+    fn keys_only_rules() {
+        let t = s(&[0, 1, 2]);
+        let nfs = s(&[0]);
+        let sigma = Sigma::new()
+            .with(Key::possible(s(&[0])))
+            .with(Key::certain(s(&[1])));
+        let r = Reasoner::new(t, nfs, &sigma);
+        // Augmentation.
+        assert!(r.keys_only_imply(&Key::possible(s(&[0, 2]))));
+        assert!(r.keys_only_imply(&Key::certain(s(&[1, 2]))));
+        // Weakening c → p.
+        assert!(r.keys_only_imply(&Key::possible(s(&[1]))));
+        // Strengthening p → c only within T_S.
+        assert!(r.keys_only_imply(&Key::certain(s(&[0]))));
+        let r2 = Reasoner::new(t, AttrSet::EMPTY, &sigma);
+        assert!(!r2.keys_only_imply(&Key::certain(s(&[0]))));
+        // No key on a subset: not implied.
+        assert!(!r.keys_only_imply(&Key::possible(s(&[2]))));
+    }
+
+    /// Exhaustive check of the decision procedure against the 2-tuple
+    /// oracle: all Σ built from a pool of constraints over 3 attributes,
+    /// all NFS, all queries. This is the mechanized counterpart of
+    /// Theorems 2, 4 and 5.
+    #[test]
+    fn matches_oracle_exhaustively() {
+        let t = s(&[0, 1, 2]);
+        let pool: Vec<Constraint> = vec![
+            Constraint::Fd(Fd::possible(s(&[0]), s(&[1]))),
+            Constraint::Fd(Fd::certain(s(&[0]), s(&[1]))),
+            Constraint::Fd(Fd::possible(s(&[1]), s(&[2]))),
+            Constraint::Fd(Fd::certain(s(&[1, 2]), s(&[0, 2]))),
+            Constraint::Key(Key::possible(s(&[0, 1]))),
+            Constraint::Key(Key::certain(s(&[1]))),
+            Constraint::Key(Key::possible(s(&[2]))),
+        ];
+        let subsets: Vec<AttrSet> = t.subsets().collect();
+        // All 2^7 subsets of the pool.
+        for mask in 0..(1usize << pool.len()) {
+            let sigma: Sigma = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, c)| *c)
+                .collect();
+            for &nfs in &subsets {
+                let r = Reasoner::new(t, nfs, &sigma);
+                for &x in &subsets {
+                    for &y in &subsets {
+                        for m in [Modality::Possible, Modality::Certain] {
+                            let fd = Fd { lhs: x, rhs: y, modality: m };
+                            assert_eq!(
+                                r.implies_fd(&fd),
+                                oracle_implies(t, nfs, &sigma, &Constraint::Fd(fd)),
+                                "fd {fd:?} sigma={sigma:?} nfs={nfs:?}"
+                            );
+                        }
+                    }
+                    for m in [Modality::Possible, Modality::Certain] {
+                        let key = Key { attrs: x, modality: m };
+                        assert_eq!(
+                            r.implies_key(&key),
+                            oracle_implies(t, nfs, &sigma, &Constraint::Key(key)),
+                            "key {key:?} sigma={sigma:?} nfs={nfs:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equivalence_of_representations() {
+        // {X →_w Y, X →_w Z} ≡ {X →_w YZ}.
+        let t = s(&[0, 1, 2]);
+        let a = Sigma::new()
+            .with(Fd::certain(s(&[0]), s(&[1])))
+            .with(Fd::certain(s(&[0]), s(&[2])));
+        let b = Sigma::new().with(Fd::certain(s(&[0]), s(&[1, 2])));
+        assert!(equivalent(t, AttrSet::EMPTY, &a, &b));
+        let c = Sigma::new().with(Fd::certain(s(&[0]), s(&[1])));
+        assert!(!equivalent(t, AttrSet::EMPTY, &a, &c));
+        // A c-key is strictly stronger than its p-key outside T_S.
+        let k1 = Sigma::new().with(Key::certain(s(&[0])));
+        let k2 = Sigma::new().with(Key::possible(s(&[0])));
+        assert!(!equivalent(t, AttrSet::EMPTY, &k1, &k2));
+        assert!(equivalent(t, s(&[0]), &k1, &k2));
+    }
+
+    #[test]
+    fn trivial_fd_implication_from_empty_sigma() {
+        let t = s(&[0, 1]);
+        let nfs = s(&[0]);
+        let empty = Sigma::new();
+        let r = Reasoner::new(t, nfs, &empty);
+        // X →_s Y trivial iff Y ⊆ X.
+        assert!(r.implies_fd(&Fd::possible(s(&[0, 1]), s(&[1]))));
+        assert!(!r.implies_fd(&Fd::possible(s(&[0]), s(&[1]))));
+        // X →_w Y trivial iff Y ⊆ X ∩ T_S.
+        assert!(r.implies_fd(&Fd::certain(s(&[0, 1]), s(&[0]))));
+        assert!(!r.implies_fd(&Fd::certain(s(&[0, 1]), s(&[1]))));
+    }
+}

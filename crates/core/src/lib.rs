@@ -1,0 +1,71 @@
+//! # sqlnf-core
+//!
+//! The core of the reproduction of Köhler & Link, *SQL Schema Design:
+//! Foundations, Normal Forms, and Normalization* (SIGMOD 2016):
+//! reasoning about possible/certain FDs and keys under NOT NULL
+//! constraints, the BCNF/SQL-BCNF normal forms with their semantic
+//! justifications (redundancy-freeness), and lossless / VRNF schema
+//! decomposition.
+//!
+//! ## Map from paper to modules
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Tables 1–3, Theorems 1 & 4 (axioms) | [`axioms`] |
+//! | Definition 2, Algorithms 1–2, Theorems 2–3 | [`closure`] |
+//! | Definition 3, Theorems 4–5 (implication) | [`implication`] |
+//! | Lemma 2 (witnesses) | [`witness`] |
+//! | Definitions 4 & 10 (redundancy) | [`redundancy`] |
+//! | Definitions 5 & 12, Theorems 6–10, 14–15 | [`normal_forms`] |
+//! | `Σ[X]`, Theorems 8 & 17 | [`projection`] |
+//! | Theorems 11–12, Algorithm 3, Theorem 16 | [`decompose`] |
+//! | classical baseline & Lien p-FD decomposition | [`relational`] |
+//! | related-work FD semantics (Example 2) | [`related`] |
+//! | cover minimization | [`cover`] |
+//! | model-theoretic test oracle | [`oracle`] |
+//! | high-level named API | [`design`] |
+
+#![warn(missing_docs)]
+
+pub mod anomaly;
+pub mod axioms;
+pub mod closure;
+pub mod cover;
+pub mod decompose;
+pub mod design;
+pub mod implication;
+pub mod lint;
+pub mod normal_forms;
+pub mod oracle;
+pub mod preservation;
+pub mod projection;
+pub mod redundancy;
+pub mod related;
+pub mod relational;
+pub mod totalize;
+pub mod witness;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::closure::{c_closure, c_closure_naive, p_closure, p_closure_naive};
+    pub use crate::cover::{certain_fragment, minimize_cover, minimize_key, minimize_lhs};
+    pub use crate::decompose::{
+        decompose_instance_by_cfd, split_by_fd, vrnf_decompose, Component, Decomposition,
+    };
+    pub use crate::design::{NormalizedDesign, SchemaDesign};
+    pub use crate::implication::{equivalent, Reasoner};
+    pub use crate::lint::{lint, lint_to_string, LintReport};
+    pub use crate::normal_forms::{
+        bcnf_violations, is_bcnf, is_rfnf, is_sql_bcnf, is_vrnf, redundancy_witness,
+        sql_bcnf_violations, value_redundancy_witness,
+    };
+    pub use crate::oracle::{counter_model, oracle_implies};
+    pub use crate::projection::project_sigma;
+    pub use crate::totalize::{totalize, Totalized, Untotalizable};
+    pub use crate::redundancy::{
+        is_redundancy_free, is_value_redundancy_free, redundant_positions,
+        value_redundant_positions, Position,
+    };
+    pub use crate::witness::{violation_witness, Witness};
+    pub use sqlnf_model::prelude::*;
+}

@@ -1,0 +1,305 @@
+//! An exact, model-theoretic implication oracle for small schemata.
+//!
+//! All constraints of the combined class (p/c-FDs, p/c-keys, NOT NULL)
+//! are universally quantified over *pairs* of tuples, so:
+//!
+//! 1. any violation is witnessed by a 2-tuple sub-instance, and every
+//!    sub-multiset of a Σ-satisfying instance satisfies Σ — hence
+//!    `Σ ⊨ φ` holds over all instances iff it holds over all instances
+//!    with at most two tuples;
+//! 2. for constraint evaluation, a 2-tuple instance is fully described
+//!    by its per-attribute [`Agreement`] pattern, of which there are
+//!    four per attribute (two for NOT NULL attributes);
+//! 3. every such pattern is realizable by concrete values.
+//!
+//! Enumerating the `≤ 4^|T|` patterns therefore decides implication
+//! *exactly*. This is exponential and intended purely as a test oracle
+//! for the linear-time decision procedures of Section 4 (Theorems 2–5)
+//! and the axiomatization (Theorems 1 and 4) — it must never be used on
+//! schemata beyond a dozen attributes.
+
+use sqlnf_model::attrs::{Attr, AttrSet};
+use sqlnf_model::constraint::{Constraint, Fd, Key, Modality, Sigma};
+use sqlnf_model::similarity::Agreement;
+
+/// A 2-tuple instance abstracted to its per-attribute agreements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairPattern {
+    agreements: Vec<Agreement>,
+}
+
+impl PairPattern {
+    /// Agreement on attribute `a`.
+    pub fn agreement(&self, a: Attr) -> Agreement {
+        self.agreements[a.index()]
+    }
+
+    /// Whether the pair is weakly similar on every attribute of `x`.
+    pub fn weakly_similar(&self, x: AttrSet) -> bool {
+        x.iter().all(|a| self.agreement(a).weakly_similar())
+    }
+
+    /// Whether the pair is strongly similar on every attribute of `x`.
+    pub fn strongly_similar(&self, x: AttrSet) -> bool {
+        x.iter().all(|a| self.agreement(a).strongly_similar())
+    }
+
+    /// Whether the pair is (syntactically) equal on every attribute of
+    /// `x`.
+    pub fn equal_on(&self, x: AttrSet) -> bool {
+        x.iter().all(|a| self.agreement(a).equal())
+    }
+
+    /// Whether the pair (as a 2-tuple table) satisfies the constraint.
+    pub fn satisfies(&self, c: &Constraint) -> bool {
+        match c {
+            Constraint::Fd(Fd { lhs, rhs, modality }) => {
+                let similar = match modality {
+                    Modality::Possible => self.strongly_similar(*lhs),
+                    Modality::Certain => self.weakly_similar(*lhs),
+                };
+                !similar || self.equal_on(*rhs)
+            }
+            Constraint::Key(Key { attrs, modality }) => match modality {
+                Modality::Possible => !self.strongly_similar(*attrs),
+                Modality::Certain => !self.weakly_similar(*attrs),
+            },
+        }
+    }
+
+    /// Whether the pair satisfies every constraint of Σ.
+    pub fn satisfies_all(&self, sigma: &Sigma) -> bool {
+        sigma.iter().all(|c| self.satisfies(&c))
+    }
+}
+
+/// Iterates every realizable [`PairPattern`] over schema `t` with NFS
+/// `nfs` (NOT NULL attributes admit only the two non-null agreements).
+pub fn all_patterns(t: AttrSet, nfs: AttrSet) -> impl Iterator<Item = PairPattern> {
+    let attrs: Vec<Attr> = t.iter().collect();
+    let choices: Vec<Vec<Agreement>> = attrs
+        .iter()
+        .map(|a| {
+            if nfs.contains(*a) {
+                vec![Agreement::EqNonNull, Agreement::NeqNonNull]
+            } else {
+                vec![
+                    Agreement::EqNonNull,
+                    Agreement::NeqNonNull,
+                    Agreement::OneNull,
+                    Agreement::BothNull,
+                ]
+            }
+        })
+        .collect();
+    let total: usize = choices.iter().map(Vec::len).product();
+    let arity = attrs.iter().map(|a| a.index()).max().map_or(0, |m| m + 1);
+
+    (0..total).map(move |mut code| {
+        // Attributes outside `t` (unused columns) default to EqNonNull,
+        // which never influences any constraint over `t`.
+        let mut ag = vec![Agreement::EqNonNull; arity];
+        for (i, a) in attrs.iter().enumerate() {
+            let n = choices[i].len();
+            ag[a.index()] = choices[i][code % n];
+            code /= n;
+        }
+        PairPattern { agreements: ag }
+    })
+}
+
+/// Decides `Σ ⊨ φ` over schema `(T, T_S)` by exhaustive enumeration of
+/// 2-tuple models. Exact, exponential in `|T|`.
+pub fn oracle_implies(t: AttrSet, nfs: AttrSet, sigma: &Sigma, phi: &Constraint) -> bool {
+    all_patterns(t, nfs).all(|p| !p.satisfies_all(sigma) || p.satisfies(phi))
+}
+
+/// Finds a 2-tuple counter-model (as a pattern) for `Σ ⊨ φ`, if any.
+pub fn counter_model(
+    t: AttrSet,
+    nfs: AttrSet,
+    sigma: &Sigma,
+    phi: &Constraint,
+) -> Option<PairPattern> {
+    all_patterns(t, nfs).find(|p| p.satisfies_all(sigma) && !p.satisfies(phi))
+}
+
+/// Materializes a pattern as two concrete tuples of a table, for tests
+/// that want real instances (column `i` uses values `0`/`1`/`⊥`).
+pub fn realize(pattern: &PairPattern) -> (Vec<sqlnf_model::value::Value>, Vec<sqlnf_model::value::Value>) {
+    use sqlnf_model::value::Value;
+    let mut t0 = Vec::new();
+    let mut t1 = Vec::new();
+    for ag in &pattern.agreements {
+        match ag {
+            Agreement::EqNonNull => {
+                t0.push(Value::Int(0));
+                t1.push(Value::Int(0));
+            }
+            Agreement::NeqNonNull => {
+                t0.push(Value::Int(0));
+                t1.push(Value::Int(1));
+            }
+            Agreement::OneNull => {
+                t0.push(Value::Int(0));
+                t1.push(Value::Null);
+            }
+            Agreement::BothNull => {
+                t0.push(Value::Null);
+                t1.push(Value::Null);
+            }
+        }
+    }
+    (t0, t1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlnf_model::prelude::*;
+
+    fn s(ix: &[usize]) -> AttrSet {
+        AttrSet::from_indices(ix.iter().copied())
+    }
+
+    #[test]
+    fn pattern_count_respects_nfs() {
+        let t = s(&[0, 1, 2]);
+        assert_eq!(all_patterns(t, AttrSet::EMPTY).count(), 64);
+        assert_eq!(all_patterns(t, s(&[0])).count(), 32);
+        assert_eq!(all_patterns(t, t).count(), 8);
+    }
+
+    #[test]
+    fn trivial_implications() {
+        let t = s(&[0, 1]);
+        let empty = Sigma::new();
+        // X →_s X is always implied (axiom R).
+        assert!(oracle_implies(
+            t,
+            AttrSet::EMPTY,
+            &empty,
+            &Constraint::Fd(Fd::possible(s(&[0]), s(&[0])))
+        ));
+        // X →_w X is NOT implied for nullable X (OneNull on 0 is weakly
+        // similar but unequal).
+        assert!(!oracle_implies(
+            t,
+            AttrSet::EMPTY,
+            &empty,
+            &Constraint::Fd(Fd::certain(s(&[0]), s(&[0])))
+        ));
+        // …but IS implied when X ⊆ T_S (rule S applied to R).
+        assert!(oracle_implies(
+            t,
+            s(&[0]),
+            &empty,
+            &Constraint::Fd(Fd::certain(s(&[0]), s(&[0])))
+        ));
+        // No key is implied by the empty set (duplicate tuples).
+        assert!(!oracle_implies(
+            t,
+            t,
+            &empty,
+            &Constraint::Key(Key::possible(t))
+        ));
+    }
+
+    #[test]
+    fn section4_examples_via_oracle() {
+        // PURCHASE = oicp, T_S = ocp, Σ = {oi →_s c, ic →_w p}.
+        let t = s(&[0, 1, 2, 3]);
+        let nfs = s(&[0, 2, 3]);
+        let sigma = Sigma::new()
+            .with(Fd::possible(s(&[0, 1]), s(&[2])))
+            .with(Fd::certain(s(&[1, 2]), s(&[3])));
+        // Σ implies oi →_s p (shown by axioms in Section 4.1).
+        assert!(oracle_implies(
+            t,
+            nfs,
+            &sigma,
+            &Constraint::Fd(Fd::possible(s(&[0, 1]), s(&[3])))
+        ));
+        // Σ does not imply oi →_w p.
+        assert!(!oracle_implies(
+            t,
+            nfs,
+            &sigma,
+            &Constraint::Fd(Fd::certain(s(&[0, 1]), s(&[3])))
+        ));
+    }
+
+    #[test]
+    fn key_interaction_example() {
+        // Σ = {oi →_s c, p⟨oic⟩} implies p⟨oi⟩ via key-Null-transitivity
+        // (c ∈ T_S).
+        let t = s(&[0, 1, 2, 3]);
+        let nfs = s(&[0, 2, 3]);
+        let sigma = Sigma::new()
+            .with(Fd::possible(s(&[0, 1]), s(&[2])))
+            .with(Key::possible(s(&[0, 1, 2])));
+        assert!(oracle_implies(
+            t,
+            nfs,
+            &sigma,
+            &Constraint::Key(Key::possible(s(&[0, 1])))
+        ));
+        // Without c ∈ T_S the rule's side condition fails and the
+        // implication should not hold.
+        let nfs2 = s(&[0, 3]);
+        assert!(!oracle_implies(
+            t,
+            nfs2,
+            &sigma,
+            &Constraint::Key(Key::possible(s(&[0, 1])))
+        ));
+    }
+
+    #[test]
+    fn counter_models_realize_to_real_violations() {
+        let t = s(&[0, 1]);
+        let sigma = Sigma::new();
+        let phi = Constraint::Fd(Fd::certain(s(&[0]), s(&[1])));
+        let cm = counter_model(t, AttrSet::EMPTY, &sigma, &phi).expect("not implied");
+        let (v0, v1) = realize(&cm);
+        let schema = TableSchema::new("w", ["a", "b"], &[]);
+        let table = Table::from_rows(schema, [Tuple::new(v0), Tuple::new(v1)]);
+        assert!(satisfies_all(&table, &sigma));
+        assert!(!satisfies_fd(&table, &Fd::certain(s(&[0]), s(&[1]))));
+    }
+
+    #[test]
+    fn keys_strengthen_on_nfs() {
+        // p⟨X⟩ with X ⊆ T_S implies c⟨X⟩ (rule kS) — and not otherwise.
+        let t = s(&[0, 1]);
+        let sigma = Sigma::new().with(Key::possible(s(&[0])));
+        let phi = Constraint::Key(Key::certain(s(&[0])));
+        assert!(oracle_implies(t, s(&[0]), &sigma, &phi));
+        assert!(!oracle_implies(t, AttrSet::EMPTY, &sigma, &phi));
+        // c⟨X⟩ always implies p⟨X⟩ (rule kW).
+        let sigma2 = Sigma::new().with(Key::certain(s(&[0])));
+        assert!(oracle_implies(
+            t,
+            AttrSet::EMPTY,
+            &sigma2,
+            &Constraint::Key(Key::possible(s(&[0])))
+        ));
+    }
+
+    #[test]
+    fn fds_never_imply_keys_alone() {
+        // Figure 3's lesson: even X →_s T for all X cannot give a key.
+        let t = s(&[0, 1]);
+        let mut sigma = Sigma::new();
+        for x in t.subsets() {
+            sigma.add(Fd::possible(x, t));
+            sigma.add(Fd::certain(x, t));
+        }
+        assert!(!oracle_implies(
+            t,
+            t,
+            &sigma,
+            &Constraint::Key(Key::possible(t))
+        ));
+    }
+}

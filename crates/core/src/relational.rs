@@ -1,0 +1,266 @@
+//! The classical relational baseline (Section 1's "idealized
+//! instances"), implemented independently of the SQL machinery:
+//! Armstrong closure, classical BCNF, and the classical BCNF
+//! decomposition; plus Lien's p-FD decomposition (Section 3), whose
+//! losslessness only covers the `X`-total part of an instance.
+//!
+//! These serve two purposes: (1) baselines the paper compares against,
+//! and (2) reduction tests — the SQL notions collapse to the classical
+//! ones in the idealized special case (`T_S = T`, some key holds, no
+//! duplicates), which the test modules verify against this independent
+//! implementation.
+
+use sqlnf_model::attrs::AttrSet;
+use sqlnf_model::project::{project_set, total_part};
+use sqlnf_model::table::Table;
+
+/// A classical functional dependency `X → Y` over total relations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassicalFd {
+    /// Left-hand side.
+    pub lhs: AttrSet,
+    /// Right-hand side.
+    pub rhs: AttrSet,
+}
+
+impl ClassicalFd {
+    /// Creates `X → Y`.
+    pub fn new(lhs: AttrSet, rhs: AttrSet) -> Self {
+        ClassicalFd { lhs, rhs }
+    }
+
+    /// Trivial iff `Y ⊆ X`.
+    pub fn is_trivial(&self) -> bool {
+        self.rhs.is_subset(self.lhs)
+    }
+}
+
+/// The Armstrong attribute closure `X⁺` under a set of classical FDs.
+pub fn armstrong_closure(fds: &[ClassicalFd], x: AttrSet) -> AttrSet {
+    let mut c = x;
+    loop {
+        let old = c;
+        for fd in fds {
+            if fd.lhs.is_subset(c) {
+                c |= fd.rhs;
+            }
+        }
+        if c == old {
+            return c;
+        }
+    }
+}
+
+/// Classical implication: `Σ ⊨ X → Y` iff `Y ⊆ X⁺`.
+pub fn classical_implies(fds: &[ClassicalFd], fd: &ClassicalFd) -> bool {
+    fd.rhs.is_subset(armstrong_closure(fds, fd.lhs))
+}
+
+/// Whether `X` is a superkey of `T` under the FDs.
+pub fn is_superkey(fds: &[ClassicalFd], t: AttrSet, x: AttrSet) -> bool {
+    t.is_subset(armstrong_closure(fds, x))
+}
+
+/// Whether relation schema `(T, Σ)` is in classical BCNF: every
+/// non-trivial implied FD has a superkey LHS. Checked on the given FDs
+/// (sufficient, as for Theorem 6's classical ancestor).
+pub fn is_classical_bcnf(fds: &[ClassicalFd], t: AttrSet) -> bool {
+    fds.iter()
+        .all(|fd| fd.is_trivial() || is_superkey(fds, t, fd.lhs))
+}
+
+/// Projection of a classical FD set onto `x`: a cover of
+/// `{V → W ∈ Σ⁺ | VW ⊆ x}` via closures of subsets of `x ∩ attrs(Σ)`.
+pub fn project_classical(fds: &[ClassicalFd], x: AttrSet) -> Vec<ClassicalFd> {
+    let mut relevant = AttrSet::EMPTY;
+    for fd in fds {
+        relevant |= fd.lhs;
+    }
+    relevant = relevant & x;
+    let mut out = Vec::new();
+    for v in relevant.subsets() {
+        let rhs = armstrong_closure(fds, v) & x;
+        if !rhs.is_subset(v) {
+            out.push(ClassicalFd::new(v, rhs));
+        }
+    }
+    out
+}
+
+/// One component of a classical BCNF decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassicalComponent {
+    /// The component's attributes.
+    pub attrs: AttrSet,
+    /// A cover of the projected FDs.
+    pub fds: Vec<ClassicalFd>,
+}
+
+/// The textbook lossless BCNF decomposition: while some component has a
+/// non-trivial FD `X → Y` with non-superkey `X`, split it into
+/// `X(T−XY)` and `XY`.
+pub fn classical_bcnf_decompose(fds: &[ClassicalFd], t: AttrSet) -> Vec<ClassicalComponent> {
+    let mut work = vec![ClassicalComponent {
+        attrs: t,
+        fds: fds.to_vec(),
+    }];
+    let mut done = Vec::new();
+    while let Some(comp) = work.pop() {
+        // Find an LHS-minimal violation.
+        let mut relevant = AttrSet::EMPTY;
+        for fd in &comp.fds {
+            relevant |= fd.lhs;
+        }
+        let mut subsets: Vec<AttrSet> = (relevant & comp.attrs).subsets().collect();
+        subsets.sort_by_key(|s| (s.len(), s.0));
+        let violation = subsets.into_iter().find_map(|v| {
+            let clo = armstrong_closure(&comp.fds, v) & comp.attrs;
+            if clo != v && !comp.attrs.is_subset(clo) && !(clo - v).is_empty() {
+                Some(ClassicalFd::new(v, clo))
+            } else {
+                None
+            }
+        });
+        match violation {
+            None => done.push(comp),
+            Some(fd) => {
+                let xy = fd.lhs | fd.rhs;
+                let rest = fd.lhs | (comp.attrs - xy);
+                work.push(ClassicalComponent {
+                    attrs: rest,
+                    fds: project_classical(&comp.fds, rest),
+                });
+                work.push(ClassicalComponent {
+                    attrs: xy & comp.attrs,
+                    fds: project_classical(&comp.fds, xy & comp.attrs),
+                });
+            }
+        }
+    }
+    done.sort_by_key(|c| c.attrs.0);
+    done
+}
+
+/// Lien's decomposition for a p-FD `X →_s Y` (Section 3): the `X`-total
+/// part of `I` is the lossless join of the `X`-total projections on
+/// `XY` and `X(T−XY)`. Returns `(I_X[X(T−XY)], I_X[XY])`.
+pub fn lien_decompose(table: &Table, lhs: AttrSet, rhs: AttrSet) -> (Table, Table) {
+    let t = table.schema().attrs();
+    let xy = lhs | rhs;
+    let rest = lhs | (t - xy);
+    let total = total_part(table, lhs);
+    (
+        project_set(&total, rest, format!("{}_rest", table.schema().name())),
+        project_set(&total, xy, format!("{}_xy", table.schema().name())),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlnf_model::join::{join, reorder_columns};
+    use sqlnf_model::prelude::*;
+
+    fn s(ix: &[usize]) -> AttrSet {
+        AttrSet::from_indices(ix.iter().copied())
+    }
+
+    #[test]
+    fn armstrong_closure_basics() {
+        let fds = vec![
+            ClassicalFd::new(s(&[0]), s(&[1])),
+            ClassicalFd::new(s(&[1]), s(&[2])),
+        ];
+        assert_eq!(armstrong_closure(&fds, s(&[0])), s(&[0, 1, 2]));
+        assert_eq!(armstrong_closure(&fds, s(&[2])), s(&[2]));
+        assert!(classical_implies(&fds, &ClassicalFd::new(s(&[0]), s(&[2]))));
+        assert!(!classical_implies(&fds, &ClassicalFd::new(s(&[1]), s(&[0]))));
+    }
+
+    #[test]
+    fn bcnf_check() {
+        let t = s(&[0, 1, 2]);
+        // item,catalog → price over {i,c,p}: LHS is a superkey → BCNF.
+        let fds = vec![ClassicalFd::new(s(&[0, 1]), s(&[2]))];
+        assert!(is_classical_bcnf(&fds, t));
+        // a → b over {a,b,c}: a is not a superkey → not BCNF.
+        let fds2 = vec![ClassicalFd::new(s(&[0]), s(&[1]))];
+        assert!(!is_classical_bcnf(&fds2, t));
+    }
+
+    #[test]
+    fn purchase_running_example_decomposition() {
+        // PURCHASE = oicp with ic → p: classical decomposition gives
+        // oic and icp.
+        let t = s(&[0, 1, 2, 3]);
+        let fds = vec![ClassicalFd::new(s(&[1, 2]), s(&[3]))];
+        let comps = classical_bcnf_decompose(&fds, t);
+        assert_eq!(comps.len(), 2);
+        let attrs: Vec<AttrSet> = comps.iter().map(|c| c.attrs).collect();
+        assert!(attrs.contains(&s(&[0, 1, 2])));
+        assert!(attrs.contains(&s(&[1, 2, 3])));
+        for c in &comps {
+            assert!(is_classical_bcnf(&c.fds, c.attrs));
+        }
+    }
+
+    #[test]
+    fn decomposition_agrees_with_sql_machinery_in_idealized_case() {
+        // T_S = T, Σ = {c → cd total c-FD, c⟨ac⟩}: Algorithm 3 and the
+        // classical decomposition must produce the same attribute sets.
+        let t = s(&[0, 1, 2, 3]);
+        let fds = vec![ClassicalFd::new(s(&[2]), s(&[3]))];
+        let classical = classical_bcnf_decompose(&fds, t);
+        let sigma = Sigma::new()
+            .with(Fd::certain(s(&[2]), s(&[2, 3])))
+            .with(Key::certain(s(&[0, 2])));
+        let sql = crate::decompose::vrnf_decompose(t, t, &sigma).unwrap();
+        let mut a1: Vec<u128> = classical.iter().map(|c| c.attrs.0).collect();
+        let mut a2: Vec<u128> = sql.components.iter().map(|c| c.attrs.0).collect();
+        a1.sort();
+        a2.sort();
+        assert_eq!(a1, a2);
+    }
+
+    #[test]
+    fn lien_decomposition_covers_only_total_part() {
+        // Figure 4: the p-FD item,catalog →_s price holds, but the rows
+        // have NULL catalogs, so the X-total part is empty and nothing
+        // is preserved — Lien's theorem is vacuous here.
+        let i = TableBuilder::new("p", ["o", "i", "c", "pr"], &[])
+            .row(tuple![5299401i64, "Fitbit Surge", null, 240i64])
+            .row(tuple![7485113i64, "Fitbit Surge", null, 200i64])
+            .build();
+        let schema = i.schema().clone();
+        let ic = schema.set(&["i", "c"]);
+        let pr = schema.set(&["pr"]);
+        assert!(satisfies_fd(&i, &Fd::possible(ic, pr)));
+        let (rest, xy) = lien_decompose(&i, ic, pr);
+        assert_eq!(rest.len(), 0);
+        assert_eq!(xy.len(), 0);
+        // With total rows present, the total part round-trips.
+        let i2 = TableBuilder::new("p", ["o", "i", "c", "pr"], &[])
+            .row(tuple![1i64, "A", "X", 10i64])
+            .row(tuple![2i64, "A", "X", 10i64])
+            .row(tuple![3i64, "B", null, 20i64])
+            .build();
+        let (rest2, xy2) = lien_decompose(&i2, ic, pr);
+        let joined = join(&rest2, &xy2, "j");
+        let reordered = reorder_columns(&joined, schema.column_names());
+        let total = sqlnf_model::project::total_part(&i2, ic);
+        assert!(total.multiset_eq(&reordered));
+    }
+
+    #[test]
+    fn projection_of_classical_fds() {
+        let fds = vec![
+            ClassicalFd::new(s(&[0]), s(&[1])),
+            ClassicalFd::new(s(&[1]), s(&[2])),
+        ];
+        let proj = project_classical(&fds, s(&[0, 2]));
+        // 0 → 2 must survive the projection (transitively).
+        assert!(proj
+            .iter()
+            .any(|fd| fd.lhs == s(&[0]) && fd.rhs.contains(sqlnf_model::attrs::Attr(2))));
+    }
+}

@@ -1,0 +1,179 @@
+//! Converting a general constraint set into Algorithm 3's input class
+//! (certain keys + total FDs), where meaning permits.
+//!
+//! Section 6.1 notes that the decomposition approach subsumes Lien's:
+//! a p-FD `X →_s Y` with `X ⊆ T_S` *is* a certain FD (rule S), and the
+//! discussion after Example 1 observes that one is "hard-pressed to
+//! find an example where a c-FD `X →_w Y` is sensible, but `X →_w XY`
+//! is not". This module mechanizes both observations:
+//!
+//! * p-FDs and p-keys with `T_S`-contained LHS convert **losslessly**
+//!   to their certain counterparts;
+//! * c-FDs `X →_w Y` that are not yet total are **strengthened** to
+//!   `X →_w XY` — a strictly stronger constraint the designer must
+//!   approve, which is why the conversion returns a report listing
+//!   every strengthened FD rather than doing it silently;
+//! * possible constraints with nullable LHS attributes cannot be
+//!   expressed certainly and are rejected.
+
+use sqlnf_model::attrs::AttrSet;
+use sqlnf_model::constraint::{Constraint, Fd, Key, Modality, Sigma};
+
+/// Why a constraint cannot enter the total class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Untotalizable {
+    /// The offending constraint.
+    pub constraint: Constraint,
+    /// The nullable LHS attributes that block the conversion.
+    pub nullable_lhs: AttrSet,
+}
+
+/// Outcome of a totalization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Totalized {
+    /// The converted constraint set: certain keys and total FDs only.
+    pub sigma: Sigma,
+    /// c-FDs that were strengthened from `X →_w Y` to `X →_w XY`
+    /// (semantic change — needs designer approval).
+    pub strengthened: Vec<Fd>,
+    /// p-FDs/p-keys converted losslessly via rule S / kS.
+    pub converted: Vec<Constraint>,
+}
+
+/// Attempts to convert Σ into certain keys + total FDs over `(T, T_S)`.
+pub fn totalize(sigma: &Sigma, nfs: AttrSet) -> Result<Totalized, Untotalizable> {
+    let mut out = Sigma::new();
+    let mut strengthened = Vec::new();
+    let mut converted = Vec::new();
+
+    for fd in &sigma.fds {
+        let fd = match fd.modality {
+            Modality::Certain => *fd,
+            Modality::Possible => {
+                let nullable = fd.lhs - nfs;
+                if !nullable.is_empty() {
+                    return Err(Untotalizable {
+                        constraint: Constraint::Fd(*fd),
+                        nullable_lhs: nullable,
+                    });
+                }
+                let cfd = Fd::certain(fd.lhs, fd.rhs);
+                converted.push(Constraint::Fd(*fd));
+                cfd
+            }
+        };
+        if fd.is_total_form() {
+            out.add(fd);
+        } else {
+            let total = fd.to_total();
+            strengthened.push(fd);
+            out.add(total);
+        }
+    }
+
+    for key in &sigma.keys {
+        match key.modality {
+            Modality::Certain => out.add(*key),
+            Modality::Possible => {
+                let nullable = key.attrs - nfs;
+                if !nullable.is_empty() {
+                    return Err(Untotalizable {
+                        constraint: Constraint::Key(*key),
+                        nullable_lhs: nullable,
+                    });
+                }
+                converted.push(Constraint::Key(*key));
+                out.add(Key::certain(key.attrs));
+            }
+        }
+    }
+
+    debug_assert!(out.is_total_fds_and_ckeys());
+    Ok(Totalized {
+        sigma: out,
+        strengthened,
+        converted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::implication::Reasoner;
+
+    fn s(ix: &[usize]) -> AttrSet {
+        AttrSet::from_indices(ix.iter().copied())
+    }
+
+    #[test]
+    fn pfd_on_not_null_lhs_converts_losslessly() {
+        // oi →_s c with o, i ∈ T_S: exactly rule S; the result is
+        // equivalent… up to totalization of the RHS.
+        let sigma = Sigma::new().with(Fd::possible(s(&[0, 1]), s(&[2])));
+        let nfs = s(&[0, 1]);
+        let tot = totalize(&sigma, nfs).unwrap();
+        assert!(tot.sigma.is_total_fds_and_ckeys());
+        assert_eq!(tot.converted.len(), 1);
+        assert_eq!(tot.strengthened.len(), 1); // RHS extended to XY
+        // The totalized Σ implies the original constraint.
+        let t = s(&[0, 1, 2]);
+        let r = Reasoner::new(t, nfs, &tot.sigma);
+        assert!(r.implies_fd(&Fd::possible(s(&[0, 1]), s(&[2]))));
+    }
+
+    #[test]
+    fn pfd_with_nullable_lhs_rejected() {
+        let sigma = Sigma::new().with(Fd::possible(s(&[0, 1]), s(&[2])));
+        let err = totalize(&sigma, s(&[0])).unwrap_err();
+        assert_eq!(err.nullable_lhs, s(&[1]));
+    }
+
+    #[test]
+    fn cfd_strengthened_with_report() {
+        let fd = Fd::certain(s(&[0, 1]), s(&[2]));
+        let sigma = Sigma::new().with(fd);
+        let tot = totalize(&sigma, AttrSet::EMPTY).unwrap();
+        assert_eq!(tot.strengthened, vec![fd]);
+        assert_eq!(tot.sigma.fds, vec![fd.to_total()]);
+        // The strengthened form implies the original (Decomposition),
+        // not vice versa.
+        let t = s(&[0, 1, 2]);
+        let r = Reasoner::new(t, AttrSet::EMPTY, &tot.sigma);
+        assert!(r.implies_fd(&fd));
+        let r_orig = Reasoner::new(t, AttrSet::EMPTY, &sigma);
+        assert!(!r_orig.implies_fd(&fd.to_total()));
+    }
+
+    #[test]
+    fn already_total_passes_through() {
+        let sigma = Sigma::new()
+            .with(Fd::certain(s(&[0]), s(&[0, 1])))
+            .with(Key::certain(s(&[2])));
+        let tot = totalize(&sigma, AttrSet::EMPTY).unwrap();
+        assert_eq!(tot.sigma, sigma);
+        assert!(tot.strengthened.is_empty());
+        assert!(tot.converted.is_empty());
+    }
+
+    #[test]
+    fn pkey_conversion_follows_nfs() {
+        let sigma = Sigma::new().with(Key::possible(s(&[0, 1])));
+        assert!(totalize(&sigma, s(&[0, 1])).is_ok());
+        let err = totalize(&sigma, s(&[0])).unwrap_err();
+        assert_eq!(err.nullable_lhs, s(&[1]));
+    }
+
+    #[test]
+    fn totalized_sigma_feeds_algorithm3() {
+        // End to end: a mixed Σ becomes decomposable.
+        let t = s(&[0, 1, 2, 3]);
+        let nfs = s(&[0, 1]);
+        let sigma = Sigma::new()
+            .with(Fd::possible(s(&[0]), s(&[2])))
+            .with(Fd::certain(s(&[1]), s(&[3])));
+        assert!(crate::decompose::vrnf_decompose(t, nfs, &sigma).is_err());
+        let tot = totalize(&sigma, nfs).unwrap();
+        let d = crate::decompose::vrnf_decompose(t, nfs, &tot.sigma).unwrap();
+        assert!(d.components.len() >= 2);
+    }
+}

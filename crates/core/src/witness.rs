@@ -1,0 +1,243 @@
+//! Counterexample construction (Lemma 2 and its FD analogues).
+//!
+//! When `Σ ⊭ φ`, these functions build a *concrete two-tuple instance*
+//! over `(T, T_S)` that satisfies Σ and violates φ. Lemma 2 gives the
+//! constructions for keys; the FD constructions follow the same closure
+//! shape:
+//!
+//! * `Σ ⊭ p⟨X⟩` (and `Σ ⊭ X →_s Y`): values agree with `0` on
+//!   `X*p ∩ (X ∪ T_S)`, are `⊥` on the rest of `X*p`, and differ
+//!   (`0`/`1`) outside `X*p`;
+//! * `Σ ⊭ c⟨X⟩`: values agree on `X ∪ X*c` (`0` inside `T_S`, `⊥`
+//!   outside) and differ outside;
+//! * `Σ ⊭ X →_w Y`: as for `c⟨X⟩` but attributes of `X − X*c` (always
+//!   nullable) get the pair `(0, ⊥)` — weakly similar yet unequal, which
+//!   is what defeats equality on `Y` when `Y` meets `X − X*c`.
+//!
+//! The witnesses double as the machinery behind the "only if" direction
+//! of the normal-form justifications (Theorems 9 and 15): a violated
+//! normal-form condition yields an instance with a redundant position.
+
+use crate::implication::Reasoner;
+use sqlnf_model::attrs::{Attr, AttrSet};
+use sqlnf_model::constraint::{Constraint, Fd, Key, Modality};
+use sqlnf_model::schema::TableSchema;
+use sqlnf_model::table::Table;
+use sqlnf_model::tuple::Tuple;
+use sqlnf_model::value::Value;
+
+/// A two-tuple counterexample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Witness {
+    /// First tuple (`t_0`).
+    pub t0: Vec<Value>,
+    /// Second tuple (`t_1`).
+    pub t1: Vec<Value>,
+}
+
+impl Witness {
+    /// Materializes the witness as a table over `schema`.
+    pub fn into_table(self, schema: TableSchema) -> Table {
+        let mut t = Table::new(schema);
+        t.push(Tuple::new(self.t0));
+        t.push(Tuple::new(self.t1));
+        t
+    }
+}
+
+fn arity_of(t: AttrSet) -> usize {
+    t.iter().map(Attr::index).max().map_or(0, |m| m + 1)
+}
+
+/// Lemma 2 (i): a Σ-satisfying instance violating `p⟨X⟩` (also violates
+/// any `X →_s Y` with `Y ⊄ X*p`).
+fn possible_witness(r: &Reasoner, x: AttrSet) -> Witness {
+    let t = r.attrs();
+    let nfs = r.nfs();
+    let xp = r.p_closure(x);
+    let mut t0 = Vec::with_capacity(arity_of(t));
+    let mut t1 = Vec::with_capacity(arity_of(t));
+    for i in 0..arity_of(t) {
+        let a = Attr::from(i);
+        if !t.contains(a) || (xp.contains(a) && (x.contains(a) || nfs.contains(a))) {
+            // Outside T (inert filler) or in X*p ∩ (X ∪ T_S): agree on 0.
+            t0.push(Value::Int(0));
+            t1.push(Value::Int(0));
+        } else if xp.contains(a) {
+            t0.push(Value::Null);
+            t1.push(Value::Null);
+        } else {
+            t0.push(Value::Int(0));
+            t1.push(Value::Int(1));
+        }
+    }
+    Witness { t0, t1 }
+}
+
+/// Lemma 2 (ii): a Σ-satisfying instance violating `c⟨X⟩`.
+fn certain_key_witness(r: &Reasoner, x: AttrSet) -> Witness {
+    let t = r.attrs();
+    let nfs = r.nfs();
+    let m = x | r.c_closure(x);
+    let mut t0 = Vec::with_capacity(arity_of(t));
+    let mut t1 = Vec::with_capacity(arity_of(t));
+    for i in 0..arity_of(t) {
+        let a = Attr::from(i);
+        if !t.contains(a) || (m.contains(a) && nfs.contains(a)) {
+            // Outside T (inert filler) or in XX*c ∩ T_S: agree on 0.
+            t0.push(Value::Int(0));
+            t1.push(Value::Int(0));
+        } else if m.contains(a) {
+            t0.push(Value::Null);
+            t1.push(Value::Null);
+        } else {
+            t0.push(Value::Int(0));
+            t1.push(Value::Int(1));
+        }
+    }
+    Witness { t0, t1 }
+}
+
+/// FD analogue for `Σ ⊭ X →_w Y`: attributes of `X − X*c` get `(0, ⊥)`.
+fn certain_fd_witness(r: &Reasoner, x: AttrSet) -> Witness {
+    let t = r.attrs();
+    let nfs = r.nfs();
+    let xc = r.c_closure(x);
+    let mut t0 = Vec::with_capacity(arity_of(t));
+    let mut t1 = Vec::with_capacity(arity_of(t));
+    for i in 0..arity_of(t) {
+        let a = Attr::from(i);
+        if !t.contains(a) {
+            t0.push(Value::Int(0));
+            t1.push(Value::Int(0));
+        } else if xc.contains(a) {
+            if nfs.contains(a) {
+                t0.push(Value::Int(0));
+                t1.push(Value::Int(0));
+            } else {
+                t0.push(Value::Null);
+                t1.push(Value::Null);
+            }
+        } else if x.contains(a) {
+            // A ∈ X − X*c is necessarily nullable (X ∩ T_S ⊆ X*c).
+            debug_assert!(!nfs.contains(a));
+            t0.push(Value::Int(0));
+            t1.push(Value::Null);
+        } else {
+            t0.push(Value::Int(0));
+            t1.push(Value::Int(1));
+        }
+    }
+    Witness { t0, t1 }
+}
+
+/// Builds a two-tuple Σ-satisfying instance violating `φ`, or `None`
+/// when `Σ ⊨ φ`.
+pub fn violation_witness(r: &Reasoner, phi: &Constraint) -> Option<Witness> {
+    if r.implies(phi) {
+        return None;
+    }
+    Some(match phi {
+        Constraint::Fd(Fd { lhs, modality, .. }) => match modality {
+            Modality::Possible => possible_witness(r, *lhs),
+            Modality::Certain => certain_fd_witness(r, *lhs),
+        },
+        Constraint::Key(Key { attrs, modality }) => match modality {
+            Modality::Possible => possible_witness(r, *attrs),
+            Modality::Certain => certain_key_witness(r, *attrs),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlnf_model::constraint::Sigma;
+    use sqlnf_model::satisfy::{satisfies, satisfies_all};
+
+    fn s(ix: &[usize]) -> AttrSet {
+        AttrSet::from_indices(ix.iter().copied())
+    }
+
+    fn schema_for(t: AttrSet, nfs: AttrSet) -> TableSchema {
+        let n = t.iter().map(Attr::index).max().unwrap() + 1;
+        let cols: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+        let nn: Vec<String> = nfs.iter().map(|a| format!("a{}", a.index())).collect();
+        let nn_refs: Vec<&str> = nn.iter().map(String::as_str).collect();
+        TableSchema::new("w", cols, &nn_refs)
+    }
+
+    #[test]
+    fn lemma2_examples() {
+        // PURCHASE, Σ = {oi →_s c, ic →_w p}, T_S = ocp.
+        let t = s(&[0, 1, 2, 3]);
+        let nfs = s(&[0, 2, 3]);
+        let sigma = Sigma::new()
+            .with(Fd::possible(s(&[0, 1]), s(&[2])))
+            .with(Fd::certain(s(&[1, 2]), s(&[3])));
+        let r = Reasoner::new(t, nfs, &sigma);
+        // oi →_w p is not implied; the witness proves it.
+        let phi = Constraint::Fd(Fd::certain(s(&[0, 1]), s(&[3])));
+        let w = violation_witness(&r, &phi).expect("not implied");
+        let table = w.into_table(schema_for(t, nfs));
+        assert!(satisfies_all(&table, &sigma));
+        assert!(!satisfies(&table, &phi));
+        // oi →_s p IS implied: no witness.
+        assert!(violation_witness(&r, &Constraint::Fd(Fd::possible(s(&[0, 1]), s(&[3])))).is_none());
+    }
+
+    /// Exhaustive soundness of all four constructions: over 3-attribute
+    /// schemata and a pool of Σ's, every produced witness satisfies Σ,
+    /// satisfies the NFS, and violates φ.
+    #[test]
+    fn witnesses_always_work_exhaustively() {
+        let t = s(&[0, 1, 2]);
+        let pool: Vec<Constraint> = vec![
+            Constraint::Fd(Fd::possible(s(&[0]), s(&[1]))),
+            Constraint::Fd(Fd::certain(s(&[0]), s(&[1]))),
+            Constraint::Fd(Fd::certain(s(&[1, 2]), s(&[0]))),
+            Constraint::Key(Key::possible(s(&[0, 1]))),
+            Constraint::Key(Key::certain(s(&[1]))),
+        ];
+        let subsets: Vec<AttrSet> = t.subsets().collect();
+        for mask in 0..(1usize << pool.len()) {
+            let sigma: Sigma = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, c)| *c)
+                .collect();
+            for &nfs in &subsets {
+                let r = Reasoner::new(t, nfs, &sigma);
+                let schema = schema_for(t, nfs);
+                for &x in &subsets {
+                    let mut queries: Vec<Constraint> = vec![
+                        Constraint::Key(Key::possible(x)),
+                        Constraint::Key(Key::certain(x)),
+                    ];
+                    for &y in &subsets {
+                        queries.push(Constraint::Fd(Fd::possible(x, y)));
+                        queries.push(Constraint::Fd(Fd::certain(x, y)));
+                    }
+                    for phi in queries {
+                        if let Some(w) = violation_witness(&r, &phi) {
+                            let table = w.into_table(schema.clone());
+                            assert!(
+                                table.satisfies_nfs(),
+                                "NFS violated: phi={phi} sigma={sigma:?} nfs={nfs:?}"
+                            );
+                            assert!(
+                                satisfies_all(&table, &sigma),
+                                "Σ violated: phi={phi} sigma={sigma:?} nfs={nfs:?}\n{table}"
+                            );
+                            assert!(
+                                !satisfies(&table, &phi),
+                                "φ not violated: phi={phi} sigma={sigma:?} nfs={nfs:?}\n{table}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The `contact_draft_lookup` qualitative experiment (Figures 7–8).
+//!
+//! Two artifacts: the exact 14-row, 5-column snippet of Figure 7, and a
+//! generated full table with the shape the paper reports for the real
+//! LMRP table — 14 columns, 124 rows, satisfying the λ-FD
+//!
+//! ```text
+//! σ: first_name, last_name, city →_w first_name, last_name, city, state_id
+//! ```
+//!
+//! whose set projection on `[first_name, last_name, city, state_id]`
+//! has exactly **105** rows (19 potential inconsistencies eliminated)
+//! and on which the c-key `c⟨first_name, last_name, city⟩` holds.
+//! The real table is behind a CMS download portal; the generated one
+//! reproduces the combinatorics the experiment measures (see
+//! DESIGN.md, "Substitutions").
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use sqlnf_model::prelude::*;
+
+/// The snippet `I` of Figure 7: 5 of the 14 columns, 14 of the 124
+/// rows.
+pub fn fig7_snippet() -> Table {
+    TableBuilder::new(
+        "contact_draft_lookup_snippet",
+        ["contact_id", "first_name", "last_name", "city", "state_id"],
+        &["contact_id", "first_name", "last_name", "state_id"],
+    )
+    .row(tuple![113i64, "Michelle", "Moscato", "Carmel", 20i64])
+    .row(tuple![110i64, "Kathy", "Sheehan", "Columbia", 48i64])
+    .row(tuple![51i64, "Kathy", "Sheehan", "Columbia", 48i64])
+    .row(tuple![64i64, "Margaret", "Cox", "Columbia", 48i64])
+    .row(tuple![120i64, "Margaret", "Cox", "Columbia", 48i64])
+    .row(tuple![60i64, "Stacey", "Brennan, M.D.", "Columbia", 48i64])
+    .row(tuple![6i64, "Robert", "Kamps, M.D.", "Grove City", 42i64])
+    .row(tuple![83i64, "Michelle", "Moscato", "Indianapolis", 20i64])
+    .row(tuple![19i64, "Michelle", "Moscato", "Indianapolis", 20i64])
+    .row(tuple![20i64, "Nancy", "Knudson", "Indianapolis", 20i64])
+    .row(tuple![18i64, "Nancy", "Knudson", "Indianapolis", 20i64])
+    .row(tuple![99i64, "Stacey", "Brennan, M.D.", "Indianapolis", 20i64])
+    .row(tuple![8i64, "Carol", "Richards", null, 36i64])
+    .row(tuple![7i64, "Pam", "Baumker", null, 36i64])
+    .build()
+}
+
+const FIRST: &[&str] = &[
+    "Michelle", "Kathy", "Margaret", "Stacey", "Robert", "Nancy", "Carol", "Pam", "James",
+    "John", "Linda", "Barbara", "Susan", "Jessica", "Sarah", "Karen", "Lisa", "Betty",
+    "Helen", "Sandra", "Donna", "Ruth", "Sharon", "Laura", "Emily",
+];
+
+const LAST: &[&str] = &[
+    "Moscato", "Sheehan", "Cox", "Brennan, M.D.", "Kamps, M.D.", "Knudson", "Richards",
+    "Baumker", "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzales", "Wilson",
+    "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+];
+
+/// Cities with their (fixed) state ids, so `city → state_id` holds on
+/// the city-total part, as in the real data.
+const CITIES: &[(&str, i64)] = &[
+    ("Carmel", 20),
+    ("Columbia", 48),
+    ("Grove City", 42),
+    ("Indianapolis", 20),
+    ("Baltimore", 24),
+    ("Nashville", 47),
+    ("Denver", 8),
+    ("Boise", 16),
+    ("Portland", 41),
+    ("Madison", 55),
+    ("Augusta", 23),
+    ("Topeka", 26),
+    ("Albany", 36),
+    ("Helena", 30),
+    ("Phoenix", 4),
+    ("Salem", 41),
+    ("Austin", 44),
+    ("Dover", 10),
+    ("Fargo", 38),
+    ("Casper", 56),
+];
+
+/// Number of rows of the generated full table.
+pub const CONTACT_ROWS: usize = 124;
+/// Number of distinct rows of its projection on the λ-FD attributes.
+pub const CONTACT_PROJECTED_ROWS: usize = 105;
+
+/// Generates the full 124 × 14 `contact_draft_lookup` table.
+///
+/// Invariants (asserted here, verified again by tests and the
+/// experiment):
+/// * σ holds as a certain FD and is total;
+/// * the set projection on `[first_name, last_name, city, state_id]`
+///   has exactly 105 rows;
+/// * `c⟨first_name, last_name, city⟩` holds on that projection but not
+///   on the full table (19 duplicate profiles);
+/// * profiles with a NULL city have a globally unique name, so weak
+///   similarity stays harmless — as for Carol Richards and Pam Baumker
+///   in Figure 7.
+pub fn contact_full(seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // 105 distinct profiles (first, last, city?, state).
+    let mut profiles: Vec<(String, String, Option<&'static str>, i64)> = Vec::new();
+    let mut used_triples: std::collections::HashSet<(String, String, Option<&'static str>)> =
+        Default::default();
+    let mut null_city_names: std::collections::HashSet<(String, String)> = Default::default();
+
+    // A handful of NULL-city profiles with unique names.
+    while profiles.len() < 6 {
+        let f = (*FIRST.choose(&mut rng).unwrap()).to_owned();
+        let l = (*LAST.choose(&mut rng).unwrap()).to_owned();
+        if null_city_names.insert((f.clone(), l.clone())) {
+            used_triples.insert((f.clone(), l.clone(), None));
+            profiles.push((f, l, None, 36));
+        }
+    }
+    // The rest with a city; names may repeat across cities (movers),
+    // but never collide with a NULL-city name.
+    while profiles.len() < CONTACT_PROJECTED_ROWS {
+        let f = (*FIRST.choose(&mut rng).unwrap()).to_owned();
+        let l = (*LAST.choose(&mut rng).unwrap()).to_owned();
+        if null_city_names.contains(&(f.clone(), l.clone())) {
+            continue;
+        }
+        let (city, state) = *CITIES.choose(&mut rng).unwrap();
+        if used_triples.insert((f.clone(), l.clone(), Some(city))) {
+            profiles.push((f, l, Some(city), state));
+        }
+    }
+
+    // 19 duplicated profiles (with repetition) on top of one occurrence
+    // each.
+    let mut occurrences: Vec<usize> = (0..profiles.len()).collect();
+    for _ in 0..(CONTACT_ROWS - CONTACT_PROJECTED_ROWS) {
+        occurrences.push(rng.gen_range(0..profiles.len()));
+    }
+    occurrences.shuffle(&mut rng);
+
+    let schema = TableSchema::new(
+        "contact_draft_lookup",
+        [
+            "contact_id",
+            "first_name",
+            "last_name",
+            "title",
+            "org_name",
+            "address1",
+            "address2",
+            "city",
+            "state_id",
+            "zip",
+            "phone",
+            "fax",
+            "email",
+            "url",
+        ],
+        &["contact_id", "first_name", "last_name", "state_id"],
+    );
+    let mut table = Table::new(schema);
+    for (row_ix, &p) in occurrences.iter().enumerate() {
+        let (f, l, city, state) = &profiles[p];
+        let title = ["Dr.", "Ms.", "Mr.", "Prof."][rng.gen_range(0..4)];
+        let city_val = match city {
+            Some(c) => Value::str(*c),
+            None => Value::Null,
+        };
+        let address2 = if rng.gen_bool(0.8) {
+            Value::Null
+        } else {
+            Value::str(format!("Suite {}", rng.gen_range(100..999)))
+        };
+        let fax = if rng.gen_bool(0.6) {
+            Value::Null
+        } else {
+            Value::str(format!("555-{:04}", rng.gen_range(0..10000)))
+        };
+        table.push(Tuple::new(vec![
+            Value::Int(row_ix as i64 + 1),
+            Value::str(f.clone()),
+            Value::str(l.clone()),
+            Value::str(title),
+            Value::str(format!("Org {}", rng.gen_range(1..40))),
+            Value::str(format!("{} Main St", rng.gen_range(1..9999))),
+            address2,
+            city_val,
+            Value::Int(*state),
+            Value::str(format!("{:05}", rng.gen_range(10000..99999))),
+            Value::str(format!("555-{:04}", rng.gen_range(0..10000))),
+            fax,
+            Value::str(format!("{}.{}@example.org", f.to_lowercase(), row_ix)),
+            Value::str(format!("https://example.org/{}", rng.gen_range(1..50))),
+        ]));
+    }
+
+    debug_assert!(table.satisfies_nfs());
+    table
+}
+
+/// The λ-FD σ of the experiment over the full table's schema.
+pub fn contact_sigma_fd(schema: &TableSchema) -> Fd {
+    let lhs = schema.set(&["first_name", "last_name", "city"]);
+    let rhs = schema.set(&["first_name", "last_name", "city", "state_id"]);
+    Fd::certain(lhs, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlnf_model::project::project_set;
+
+    #[test]
+    fn snippet_matches_figure7() {
+        let t = fig7_snippet();
+        assert_eq!(t.len(), 14);
+        assert_eq!(t.schema().arity(), 5);
+        let s = t.schema().clone();
+        // σ holds on the snippet.
+        let fd = Fd::certain(
+            s.set(&["first_name", "last_name", "city"]),
+            s.set(&["first_name", "last_name", "city", "state_id"]),
+        );
+        assert!(satisfies_fd(&t, &fd));
+        // The decomposition of Figure 8: 10 distinct projected rows.
+        let proj = project_set(
+            &t,
+            s.set(&["first_name", "last_name", "city", "state_id"]),
+            "p",
+        );
+        assert_eq!(proj.len(), 10);
+        // first_name,last_name → state_id does NOT hold (Stacey
+        // Brennan moved).
+        assert!(!satisfies_fd(
+            &t,
+            &Fd::certain(s.set(&["first_name", "last_name"]), s.set(&["state_id"]))
+        ));
+        assert!(!satisfies_fd(
+            &t,
+            &Fd::possible(s.set(&["first_name", "last_name"]), s.set(&["state_id"]))
+        ));
+        // city →_w state_id fails on the snippet (NULL city rows with
+        // state 36 weakly match cities with other states).
+        assert!(!satisfies_fd(
+            &t,
+            &Fd::certain(s.set(&["city"]), s.set(&["state_id"]))
+        ));
+    }
+
+    #[test]
+    fn full_table_has_paper_shape() {
+        let t = contact_full(42);
+        assert_eq!(t.len(), CONTACT_ROWS);
+        assert_eq!(t.schema().arity(), 14);
+        let s = t.schema().clone();
+        let fd = contact_sigma_fd(&s);
+        assert!(satisfies_fd(&t, &fd), "σ must hold");
+        // Total FD: X →_w X holds too.
+        assert!(satisfies_fd(&t, &Fd::certain(fd.lhs, fd.lhs)));
+        // Projection has exactly 105 rows.
+        let proj = project_set(&t, fd.rhs, "proj");
+        assert_eq!(proj.len(), CONTACT_PROJECTED_ROWS);
+        // c-key holds on the projection, not on the base table.
+        let ps = proj.schema().clone();
+        let key_attrs = ps.set(&["first_name", "last_name", "city"]);
+        assert!(satisfies_key(&proj, &Key::certain(key_attrs)));
+        let base_key = s.set(&["first_name", "last_name", "city"]);
+        assert!(!satisfies_key(&t, &Key::certain(base_key)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = contact_full(7);
+        let b = contact_full(7);
+        assert!(a.multiset_eq(&b));
+        let c = contact_full(8);
+        assert!(!a.multiset_eq(&c));
+    }
+}

@@ -1,0 +1,317 @@
+//! The `contractor` normalization experiment (Section 7).
+//!
+//! The paper decomposes the 173 × 22 LMRP `contractor` table with three
+//! λ-FDs (RHS written without repeating the LHS):
+//!
+//! 1. `city, url →_w dmerc_rgn, status`
+//! 2. `cmd_name, phone, url →_w contractor_version, status_flag`
+//! 3. `address1, contractor_bus_name, contractor_type_id →_w url`
+//!
+//! into four tables of 38 / 67 / 73 / 173 rows (4 / 5 / 4 / 17
+//! attributes), eliminating 448 redundant data values (1 dmerc_rgn,
+//! 135 status, 106 contractor_version, 106 status_flag, 100 url) plus
+//! 134 redundant null markers in `dmerc_rgn`; cells drop from
+//! 173·22 = 3806 to 3720.
+//!
+//! This generator reproduces those combinatorics *by construction*,
+//! via a three-level grouping hierarchy: each row belongs to a business
+//! `g3 ∈ 0..73` (FD 3 groups); `g3` determines a contact group
+//! `g2 = h(g3) ∈ 0..67` (FD 2 groups); `g2` determines a region group
+//! `g1 = u2(g2) ∈ 0..38` (FD 1 groups). The url is a function of `g1`
+//! pulled down the hierarchy, so all three FDs hold with exactly the
+//! reported numbers of groups. `dmerc_rgn` is `⊥` on every multi-row
+//! region group except one two-row group — giving exactly 1 redundant
+//! dmerc value and 134 redundant dmerc nulls.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlnf_model::prelude::*;
+
+/// Rows of the contractor table.
+pub const CONTRACTOR_ROWS: usize = 173;
+/// Columns of the contractor table.
+pub const CONTRACTOR_COLS: usize = 22;
+/// Distinct (city, url) groups — rows of decomposed table 1.
+pub const FD1_GROUPS: usize = 38;
+/// Distinct (cmd_name, phone, url) groups — rows of decomposed table 2.
+pub const FD2_GROUPS: usize = 67;
+/// Distinct (address1, bus_name, type_id) groups — rows of table 3.
+pub const FD3_GROUPS: usize = 73;
+
+/// The special region group that carries a non-null `dmerc_rgn` on a
+/// two-row group (the single redundant dmerc *value* of the paper).
+const SPECIAL_G1: usize = 37;
+
+fn h(g3: usize) -> usize {
+    if g3 < FD2_GROUPS {
+        g3
+    } else {
+        (g3 - FD2_GROUPS) % (FD2_GROUPS - 1)
+    }
+}
+
+fn u2(g2: usize) -> usize {
+    if g2 < FD1_GROUPS {
+        g2
+    } else {
+        (g2 - FD1_GROUPS) % (FD1_GROUPS - 1)
+    }
+}
+
+/// Per-`g3` row counts: every business has at least one row; business
+/// `SPECIAL_G1` (= 37 < 67, so `h(37) = 37`, `u2(37) = 37`) has exactly
+/// two; the remaining surplus is spread deterministically over the
+/// other businesses.
+fn row_counts(rng: &mut StdRng) -> Vec<usize> {
+    let mut n3 = vec![1usize; FD3_GROUPS];
+    n3[SPECIAL_G1] = 2;
+    let mut surplus = CONTRACTOR_ROWS - FD3_GROUPS - 1;
+    while surplus > 0 {
+        let g3 = rng.gen_range(0..FD3_GROUPS);
+        // Keep g3 = 37 at exactly two rows, and keep the region groups
+        // 29..=36 as singletons so some non-null dmerc values exist.
+        if g3 == SPECIAL_G1 || (29..=36).contains(&g3) {
+            continue;
+        }
+        n3[g3] += 1;
+        surplus -= 1;
+    }
+    n3
+}
+
+/// Generates the contractor table. All invariants of the module
+/// documentation are asserted by the test suite and re-verified by the
+/// experiment harness.
+pub fn contractor(seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n3 = row_counts(&mut rng);
+
+    // Region-group (g1) sizes, to place dmerc_rgn.
+    let mut n1 = vec![0usize; FD1_GROUPS];
+    for (g3, &n) in n3.iter().enumerate() {
+        n1[u2(h(g3))] += n;
+    }
+    assert_eq!(n1[SPECIAL_G1], 2);
+
+    let schema = TableSchema::new(
+        "contractor",
+        [
+            "contractor_id",
+            "contractor_bus_name",
+            "contractor_type_id",
+            "cmd_name",
+            "address1",
+            "address2",
+            "city",
+            "state_id",
+            "zip",
+            "phone",
+            "fax",
+            "url",
+            "dmerc_rgn",
+            "status",
+            "contractor_version",
+            "status_flag",
+            "email",
+            "region",
+            "county",
+            "effective_date",
+            "end_date",
+            "notes",
+        ],
+        &[
+            "contractor_id",
+            "contractor_bus_name",
+            "contractor_type_id",
+            "cmd_name",
+            "address1",
+            "city",
+            "state_id",
+            "zip",
+            "phone",
+            "url",
+            "status",
+            "contractor_version",
+            "status_flag",
+            "email",
+            "region",
+            "county",
+            "effective_date",
+        ],
+    );
+    assert_eq!(schema.arity(), CONTRACTOR_COLS);
+
+    let mut table = Table::new(schema);
+    let mut id = 0i64;
+    for (g3, &count) in n3.iter().enumerate() {
+        let g2 = h(g3);
+        let g1 = u2(g2);
+        let url = format!("https://cms.example.gov/contractor/{g1:02}");
+        let city = format!("City{g1:02}");
+        let dmerc: Value = if g1 == SPECIAL_G1 {
+            Value::str("D1")
+        } else if n1[g1] >= 2 {
+            Value::Null
+        } else {
+            Value::str(format!("R{}", g1 % 4))
+        };
+        let status = format!("status-{}", g1 % 5);
+        let cmd_name = format!("CMD Unit {g2:02}");
+        let phone = format!("555-{:04}", 1000 + g2);
+        let version = format!("v{}.{}", 1 + g2 % 4, g2 % 10);
+        let status_flag = if g2.is_multiple_of(2) { "A" } else { "I" };
+        let address1 = format!("{} Federal Plaza", 100 + g3);
+        let bus_name = format!("Contractor Business {g3:02}");
+        let type_id = (g3 % 6) as i64;
+
+        for _ in 0..count {
+            id += 1;
+            let address2 = if rng.gen_bool(0.75) {
+                Value::Null
+            } else {
+                Value::str(format!("Floor {}", rng.gen_range(1..20)))
+            };
+            let fax = if rng.gen_bool(0.5) {
+                Value::Null
+            } else {
+                Value::str(format!("555-{:04}", rng.gen_range(0..10000)))
+            };
+            let end_date = if rng.gen_bool(0.7) {
+                Value::Null
+            } else {
+                Value::str(format!("202{}-0{}-01", rng.gen_range(0..5), rng.gen_range(1..9)))
+            };
+            let notes = if rng.gen_bool(0.85) {
+                Value::Null
+            } else {
+                Value::str("migrated record")
+            };
+            table.push(Tuple::new(vec![
+                Value::Int(id),
+                Value::str(bus_name.clone()),
+                Value::Int(type_id),
+                Value::str(cmd_name.clone()),
+                Value::str(address1.clone()),
+                address2,
+                Value::str(city.clone()),
+                Value::Int((g1 % 50) as i64 + 1),
+                Value::str(format!("{:05}", 10000 + 7 * g1)),
+                Value::str(phone.clone()),
+                fax,
+                Value::str(url.clone()),
+                dmerc.clone(),
+                Value::str(status.clone()),
+                Value::str(version.clone()),
+                Value::str(status_flag),
+                Value::str(format!("contact{id}@cms.example.gov")),
+                Value::str(format!("Region {}", g1 % 10)),
+                Value::str(format!("County {}", g3 % 30)),
+                Value::str(format!("201{}-01-01", g3 % 10)),
+                end_date,
+                notes,
+            ]));
+        }
+    }
+    assert_eq!(table.len(), CONTRACTOR_ROWS);
+    table
+}
+
+/// The three λ-FDs of the experiment, in total form, over the
+/// contractor schema.
+pub fn contractor_sigma(schema: &TableSchema) -> Sigma {
+    let fd1_lhs = schema.set(&["city", "url"]);
+    let fd1_rhs = fd1_lhs | schema.set(&["dmerc_rgn", "status"]);
+    let fd2_lhs = schema.set(&["cmd_name", "phone", "url"]);
+    let fd2_rhs = fd2_lhs | schema.set(&["contractor_version", "status_flag"]);
+    let fd3_lhs = schema.set(&["address1", "contractor_bus_name", "contractor_type_id"]);
+    let fd3_rhs = fd3_lhs | schema.set(&["url"]);
+    Sigma::new()
+        .with(Fd::certain(fd1_lhs, fd1_rhs))
+        .with(Fd::certain(fd2_lhs, fd2_rhs))
+        .with(Fd::certain(fd3_lhs, fd3_rhs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlnf_model::project::project_set;
+
+    #[test]
+    fn shape_matches_paper() {
+        let t = contractor(1);
+        assert_eq!(t.len(), CONTRACTOR_ROWS);
+        assert_eq!(t.schema().arity(), CONTRACTOR_COLS);
+        assert_eq!(t.cell_count(), 3806);
+        assert!(t.satisfies_nfs());
+    }
+
+    #[test]
+    fn all_three_fds_hold_and_are_total() {
+        let t = contractor(1);
+        let sigma = contractor_sigma(t.schema());
+        for fd in &sigma.fds {
+            assert!(satisfies_fd(&t, fd), "{fd}");
+            assert!(fd.is_total_form());
+            // LHS columns are null-free → totality is automatic, but
+            // check the reflexive part anyway.
+            assert!(satisfies_fd(&t, &Fd::certain(fd.lhs, fd.lhs)));
+        }
+    }
+
+    #[test]
+    fn group_counts_match_paper() {
+        let t = contractor(1);
+        let s = t.schema().clone();
+        let p1 = project_set(&t, s.set(&["city", "url"]), "p1");
+        assert_eq!(p1.len(), FD1_GROUPS);
+        let p2 = project_set(&t, s.set(&["cmd_name", "phone", "url"]), "p2");
+        assert_eq!(p2.len(), FD2_GROUPS);
+        let p3 = project_set(
+            &t,
+            s.set(&["address1", "contractor_bus_name", "contractor_type_id"]),
+            "p3",
+        );
+        assert_eq!(p3.len(), FD3_GROUPS);
+    }
+
+    #[test]
+    fn dmerc_redundancy_split() {
+        // Of the 135 eliminated dmerc occurrences, exactly one is a
+        // data value (the special two-row group) and 134 are ⊥.
+        let t = contractor(1);
+        let s = t.schema().clone();
+        let dmerc = s.a("dmerc_rgn");
+        let url = s.a("url");
+        let mut by_group: std::collections::HashMap<&Value, Vec<&Value>> = Default::default();
+        for row in t.rows() {
+            by_group.entry(row.get(url)).or_default().push(row.get(dmerc));
+        }
+        assert_eq!(by_group.len(), FD1_GROUPS);
+        let mut value_elims = 0usize;
+        let mut null_elims = 0usize;
+        for vals in by_group.values() {
+            let extra = vals.len() - 1;
+            if vals[0].is_null() {
+                null_elims += extra;
+            } else {
+                value_elims += extra;
+            }
+        }
+        assert_eq!(value_elims, 1);
+        assert_eq!(null_elims, 134);
+    }
+
+    #[test]
+    fn none_of_the_lhss_are_ckeys() {
+        let t = contractor(1);
+        let sigma = contractor_sigma(t.schema());
+        for fd in &sigma.fds {
+            assert!(!satisfies_key(&t, &Key::certain(fd.lhs)), "{fd}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert!(contractor(3).multiset_eq(&contractor(3)));
+    }
+}

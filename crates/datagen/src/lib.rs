@@ -1,0 +1,15 @@
+//! # sqlnf-datagen
+//!
+//! Embedded paper datasets (Figures 1–5, 7; Examples 1–3) and seeded
+//! synthetic workload generators reproducing the combinatorics of the
+//! Section 7 evaluation data (see DESIGN.md, "Substitutions", for the
+//! paper-data → generator mapping and why it preserves the measured
+//! behaviour).
+
+#![warn(missing_docs)]
+
+pub mod contact;
+pub mod contractor;
+pub mod corpus;
+pub mod naumann;
+pub mod paper;

@@ -1,0 +1,206 @@
+//! Synthetic stand-ins for the three Naumann-repository data sets of
+//! the discovery comparison table (Section 7): `breast-cancer`
+//! (11 × 699), `adult` (14 × 48 842) and `hepatitis` (20 × 155) — with
+//! matching dimensions, realistic column cardinalities and null
+//! placement, so the classical-vs-certain discovery comparison
+//! exercises the same regimes (wide-and-short tables exploding with
+//! accidental FDs, long tables with few).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sqlnf_model::prelude::*;
+
+/// 11 columns × 699 rows, like UCI breast-cancer(-wisconsin): an id
+/// column, nine cytology features with domain 1..=10, and the class.
+/// A few feature cells are missing (the real set has 16).
+pub fn breast_cancer_like(seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = std::iter::once("sample_id".to_string())
+        .chain((1..=9).map(|i| format!("feature_{i}")))
+        .chain(std::iter::once("class".to_string()))
+        .collect();
+    let schema = TableSchema::new("breast_cancer", names, &[]);
+    let mut t = Table::new(schema);
+    let mut missing = 16;
+    for r in 0..699 {
+        let malignant = rng.gen_bool(0.34);
+        let mut row = vec![Value::Int(1_000_000 + r as i64)];
+        for f in 0..9 {
+            let base: i64 = if malignant {
+                rng.gen_range(4..=10)
+            } else {
+                rng.gen_range(1..=5)
+            };
+            if missing > 0 && f == 5 && rng.gen_bool(0.03) {
+                row.push(Value::Null);
+                missing -= 1;
+            } else {
+                row.push(Value::Int(base));
+            }
+        }
+        row.push(Value::Int(if malignant { 4 } else { 2 }));
+        t.push(Tuple::new(row));
+    }
+    t
+}
+
+/// 14 columns × 48 842 rows, like UCI adult: mixed-cardinality census
+/// columns with nulls in `workclass` and `occupation` (the real set
+/// marks them `?`), plus a near-unique `fnlwgt`.
+pub fn adult_like(seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = TableSchema::new(
+        "adult",
+        [
+            "age",
+            "workclass",
+            "fnlwgt",
+            "education",
+            "education_num",
+            "marital_status",
+            "occupation",
+            "relationship",
+            "race",
+            "sex",
+            "capital_gain",
+            "capital_loss",
+            "hours_per_week",
+            "income",
+        ],
+        &[],
+    );
+    let mut t = Table::new(schema);
+    // education ↔ education_num is the planted genuine FD pair.
+    let educations: Vec<(String, i64)> = (1..=16)
+        .map(|i| (format!("edu_{i:02}"), i))
+        .collect();
+    for _ in 0..48_842 {
+        let edu = &educations[rng.gen_range(0..educations.len())];
+        let null_work = rng.gen_bool(0.056); // matches the real ~5.6 % "?"
+        let mut row: Vec<Value> = Vec::with_capacity(14);
+        row.push(Value::Int(rng.gen_range(17..=90)));
+        row.push(if null_work {
+            Value::Null
+        } else {
+            Value::str(format!("workclass_{}", rng.gen_range(0..8)))
+        });
+        row.push(Value::Int(rng.gen_range(10_000..1_500_000)));
+        row.push(Value::str(edu.0.clone()));
+        row.push(Value::Int(edu.1));
+        row.push(Value::str(format!("marital_{}", rng.gen_range(0..7))));
+        row.push(if null_work {
+            Value::Null // occupation is missing whenever workclass is
+        } else {
+            Value::str(format!("occupation_{}", rng.gen_range(0..14)))
+        });
+        row.push(Value::str(format!("rel_{}", rng.gen_range(0..6))));
+        row.push(Value::str(format!("race_{}", rng.gen_range(0..5))));
+        row.push(Value::str(if rng.gen_bool(0.67) { "Male" } else { "Female" }));
+        row.push(Value::Int(if rng.gen_bool(0.92) {
+            0
+        } else {
+            rng.gen_range(100..99_999)
+        }));
+        row.push(Value::Int(if rng.gen_bool(0.95) {
+            0
+        } else {
+            rng.gen_range(100..4_400)
+        }));
+        row.push(Value::Int(rng.gen_range(1..=99)));
+        row.push(Value::str(if rng.gen_bool(0.76) { "<=50K" } else { ">50K" }));
+        t.push(Tuple::new(row));
+    }
+    t
+}
+
+/// 20 columns × 155 rows, like UCI hepatitis: mostly binary clinical
+/// indicators with frequent missing values — the wide-short regime
+/// where accidental minimal FDs explode.
+pub fn hepatitis_like(seed: u64) -> Table {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let names: Vec<String> = std::iter::once("class".to_string())
+        .chain(std::iter::once("age".to_string()))
+        .chain(std::iter::once("sex".to_string()))
+        .chain((1..=15).map(|i| format!("ind_{i:02}")))
+        .chain(["bilirubin".to_string(), "albumin".to_string()])
+        .collect();
+    let schema = TableSchema::new("hepatitis", names, &[]);
+    let mut t = Table::new(schema);
+    for _ in 0..155 {
+        let mut row: Vec<Value> = Vec::with_capacity(20);
+        row.push(Value::Int(if rng.gen_bool(0.21) { 1 } else { 2 }));
+        row.push(Value::Int(rng.gen_range(7..=78)));
+        row.push(Value::Int(if rng.gen_bool(0.9) { 1 } else { 2 }));
+        for i in 0..15 {
+            // Indicators missing with varying frequency, like the real
+            // set (some columns are >40 % missing).
+            let miss = 0.03 + 0.025 * (i as f64);
+            if rng.gen_bool(miss.min(0.45)) {
+                row.push(Value::Null);
+            } else {
+                row.push(Value::Int(if rng.gen_bool(0.5) { 1 } else { 2 }));
+            }
+        }
+        row.push(if rng.gen_bool(0.04) {
+            Value::Null
+        } else {
+            Value::Int(rng.gen_range(3..=80)) // bilirubin ×10
+        });
+        row.push(if rng.gen_bool(0.1) {
+            Value::Null
+        } else {
+            Value::Int(rng.gen_range(21..=65)) // albumin ×10
+        });
+        t.push(Tuple::new(row));
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimensions_match_the_paper() {
+        let bc = breast_cancer_like(1);
+        assert_eq!((bc.schema().arity(), bc.len()), (11, 699));
+        let hep = hepatitis_like(1);
+        assert_eq!((hep.schema().arity(), hep.len()), (20, 155));
+        // adult is big; dimension check only (skipped row count is the
+        // expensive part — still fast enough).
+        let ad = adult_like(1);
+        assert_eq!((ad.schema().arity(), ad.len()), (14, 48_842));
+    }
+
+    #[test]
+    fn planted_education_fd_holds() {
+        let ad = adult_like(2);
+        let s = ad.schema().clone();
+        assert!(satisfies_fd(
+            &ad,
+            &Fd::certain(s.set(&["education"]), s.set(&["education_num"]))
+        ));
+        assert!(satisfies_fd(
+            &ad,
+            &Fd::certain(s.set(&["education_num"]), s.set(&["education"]))
+        ));
+    }
+
+    #[test]
+    fn null_placement() {
+        let ad = adult_like(3);
+        let s = ad.schema().clone();
+        assert!(ad.null_count(s.a("workclass")) > 1000);
+        assert_eq!(ad.null_count(s.a("age")), 0);
+        let hep = hepatitis_like(3);
+        let hs = hep.schema().clone();
+        assert!(hep.null_count(hs.a("ind_15")) > 10);
+        let bc = breast_cancer_like(3);
+        let bs = bc.schema().clone();
+        let nulls: usize = (0..11)
+            .map(|i| bc.null_count(sqlnf_model::attrs::Attr::from(i)))
+            .sum();
+        assert!(nulls <= 16, "{nulls}");
+        let _ = bs;
+    }
+}

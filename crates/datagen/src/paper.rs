@@ -1,0 +1,168 @@
+//! The running-example datasets of the paper, embedded verbatim:
+//! Figures 1–5, the instances of Examples 1–3, Figure 3's
+//! all-FDs-no-keys instance, and the counterexample instance of
+//! Section 4.
+
+use sqlnf_model::prelude::*;
+
+/// The PURCHASE schema of Figure 1 (idealized: total instance; the
+/// schema itself keeps all columns nullable so variants can share it
+/// unless stated otherwise).
+pub fn purchase_schema(not_null: &[&str]) -> TableSchema {
+    TableSchema::new(
+        "purchase",
+        ["order_id", "item", "catalog", "price"],
+        not_null,
+    )
+}
+
+/// Figure 1: the relation `purchase`. Satisfies
+/// `item, catalog → price`; `{item, catalog}` is not a key.
+pub fn purchase_fig1() -> Table {
+    TableBuilder::from_schema(purchase_schema(&["order_id", "item", "catalog", "price"]))
+        .row(tuple![5299401i64, "Fitbit Surge", "Amazon", 240i64])
+        .row(tuple![5299401i64, "Fitbit Surge", "Brookstone", 240i64])
+        .row(tuple![7485113i64, "Fitbit Surge", "Amazon", 240i64])
+        .row(tuple![7485113i64, "Dora Doll", "Kingtoys", 25i64])
+        .build()
+}
+
+/// Figure 3: two duplicate total tuples over {item, catalog, price} —
+/// satisfies every FD and violates every key.
+pub fn fig3_duplicates() -> Table {
+    TableBuilder::new("fig3", ["item", "catalog", "price"], &[])
+        .row(tuple!["Fitbit Surge", "Amazon", 240i64])
+        .row(tuple!["Fitbit Surge", "Amazon", 240i64])
+        .build()
+}
+
+/// Figure 4: both catalogs NULL with different prices. Satisfies the
+/// p-FD `item, catalog →_s price` but its decomposition is lossy.
+pub fn purchase_fig4() -> Table {
+    TableBuilder::from_schema(purchase_schema(&["order_id", "item", "price"]))
+        .row(tuple![5299401i64, "Fitbit Surge", null, 240i64])
+        .row(tuple![7485113i64, "Fitbit Surge", null, 200i64])
+        .build()
+}
+
+/// Figure 5 (top): satisfies the c-FD `item, catalog →_w price`; its
+/// decomposition is lossless and the 240s in `I[icp]` stay redundant.
+pub fn purchase_fig5() -> Table {
+    TableBuilder::from_schema(purchase_schema(&["order_id", "item", "price"]))
+        .row(tuple![5299401i64, "Fitbit Surge", "Amazon", 240i64])
+        .row(tuple![5299401i64, "Fitbit Surge", null, 240i64])
+        .row(tuple![7485113i64, "Fitbit Surge", "Amazon", 240i64])
+        .row(tuple![7485113i64, "Dora Doll", "Kingtoys", 25i64])
+        .build()
+}
+
+/// Example 1: employees with name/appointment NOT NULL; the c-FD
+/// `nd →_w d` is violated by the dob-less John Smith.
+pub fn example1_employees() -> Table {
+    TableBuilder::new(
+        "employee",
+        ["name", "dob", "appointment"],
+        &["name", "appointment"],
+    )
+    .row(tuple!["John Smith", "19/05/1969", "DB Admin"])
+    .row(tuple!["John Smith", "01/04/1971", "Finance Manager"])
+    .row(tuple!["John Smith", null, "Programmer"])
+    .row(tuple!["James Brown", null, "Programmer"])
+    .build()
+}
+
+/// Example 2: the satisfaction-matrix relation (employee, dept,
+/// manager, salary).
+pub fn example2_relation() -> Table {
+    TableBuilder::new("emp", ["employee", "dept", "manager", "salary"], &[])
+        .row(tuple!["Turing", "CS", "von Neumann", null])
+        .row(tuple!["Turing", null, "Goedel", null])
+        .build()
+}
+
+/// The counterexample instance at the end of Section 4.1: satisfies
+/// Σ = {oi →_s c, ic →_w p} with T_S = ocp and violates `oi →_w p`.
+pub fn section4_counterexample() -> Table {
+    TableBuilder::from_schema(purchase_schema(&["order_id", "catalog", "price"]))
+        .row(tuple![5299401i64, "Fitbit Surge", "Amazon", 240i64])
+        .row(tuple![5299401i64, null, "Kingstoy", 25i64])
+        .build()
+}
+
+/// Section 6.2's instance over `[oic]` (duplicated orders with NULL and
+/// Kingtoys catalogs): exactly the ⊥-positions are redundant under
+/// `oic →_w c`.
+pub fn section62_oic_instance() -> Table {
+    TableBuilder::new(
+        "oic",
+        ["order_id", "item", "catalog"],
+        &["order_id", "item"],
+    )
+    .row(tuple![5299401i64, "Fitbit Surge", null])
+    .row(tuple![5299401i64, "Fitbit Surge", null])
+    .row(tuple![7485113i64, "Dora Doll", "Kingtoys"])
+    .row(tuple![7485113i64, "Dora Doll", "Kingtoys"])
+    .build()
+}
+
+/// Σ of the running example in Section 4: the p-FD `oi →_s c` and the
+/// c-FD `ic →_w p` over [`purchase_schema`].
+pub fn section4_sigma(schema: &TableSchema) -> Sigma {
+    Sigma::new()
+        .with(Fd::possible(
+            schema.set(&["order_id", "item"]),
+            schema.set(&["catalog"]),
+        ))
+        .with(Fd::certain(
+            schema.set(&["item", "catalog"]),
+            schema.set(&["price"]),
+        ))
+}
+
+/// Example 3's schema constraint: the total c-FD `oic →_w oicp` over
+/// PURCHASE with `T_S = oip` (stated in the paper as `oic →_w cp`).
+pub fn example3_sigma(schema: &TableSchema) -> Sigma {
+    Sigma::new().with(Fd::certain(
+        schema.set(&["order_id", "item", "catalog"]),
+        schema.attrs(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_embedded_tables_have_expected_shapes() {
+        assert_eq!(purchase_fig1().len(), 4);
+        assert!(purchase_fig1().is_total());
+        assert_eq!(fig3_duplicates().distinct_count(), 1);
+        assert_eq!(purchase_fig4().len(), 2);
+        assert_eq!(purchase_fig5().len(), 4);
+        assert_eq!(example1_employees().len(), 4);
+        assert_eq!(example2_relation().len(), 2);
+        assert_eq!(section4_counterexample().len(), 2);
+        assert_eq!(section62_oic_instance().len(), 4);
+    }
+
+    #[test]
+    fn figure_constraints_hold_as_stated() {
+        let f5 = purchase_fig5();
+        let s = f5.schema().clone();
+        let ic = s.set(&["item", "catalog"]);
+        let p = s.set(&["price"]);
+        assert!(satisfies_fd(&f5, &Fd::certain(ic, p)));
+        let f4 = purchase_fig4();
+        assert!(satisfies_fd(&f4, &Fd::possible(ic, p)));
+        assert!(!satisfies_fd(&f4, &Fd::certain(ic, p)));
+        let e1 = example1_employees();
+        let es = e1.schema().clone();
+        assert!(!satisfies_fd(
+            &e1,
+            &Fd::certain(es.set(&["name", "dob"]), es.set(&["dob"]))
+        ));
+        let c = section4_counterexample();
+        let sigma = section4_sigma(c.schema());
+        assert!(satisfies_all(&c, &sigma));
+    }
+}

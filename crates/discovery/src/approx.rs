@@ -1,0 +1,253 @@
+//! Approximate satisfaction: how far an instance is from satisfying a
+//! constraint, as the minimum fraction of rows to delete (the `g₃`
+//! measure of the FD-discovery literature).
+//!
+//! Section 7's Figure 6 analysis attributes the high projection-ratio
+//! λ-FD population to LHSs that "should really be certain keys, but are
+//! not due to dirty data". The g₃ error makes that observation
+//! quantitative: a near-key LHS has a small key error (few offending
+//! rows), while a genuinely compressing FD has a large one.
+//!
+//! Exactness: for p-FDs and p-keys (and classical FDs) the optimum is
+//! computed exactly — strong similarity is transitive, so each group is
+//! repaired independently (keep the plurality RHS class; keep one row
+//! per group for keys). For *certain* constraints weak similarity forms
+//! an arbitrary conflict graph and the optimum is NP-hard (minimum
+//! vertex deletion); [`cfd_error`]/[`ckey_error`] return the exact
+//! group-wise part plus a greedy bound for the null-involved part, and
+//! are exact whenever no row carries `⊥` in the LHS — the common case —
+//! and always an upper bound on the true g₃.
+
+use crate::check::probe_weak_pairs;
+use crate::partition::{Encoded, NullSemantics, Partition};
+use sqlnf_model::attrs::{Attr, AttrSet};
+use sqlnf_model::table::Table;
+use std::collections::HashMap;
+
+/// Rows to remove so that every strong-similarity group is constant on
+/// `a` (exact: per group keep the plurality value).
+fn group_repair_cost(enc: &Encoded, partition: &Partition, a: Attr) -> usize {
+    let mut cost = 0usize;
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for class in &partition.classes {
+        counts.clear();
+        for &r in class {
+            *counts.entry(enc.code(r as usize, a)).or_insert(0) += 1;
+        }
+        let keep = counts.values().copied().max().unwrap_or(0);
+        cost += class.len() - keep;
+    }
+    cost
+}
+
+/// Exact g₃ error of the p-FD `X →_s A`: the minimum number of rows to
+/// delete, divided by the row count (0.0 on empty instances).
+pub fn pfd_error(enc: &Encoded, x: AttrSet, a: Attr) -> f64 {
+    if enc.rows() == 0 {
+        return 0.0;
+    }
+    let p = Partition::by_set(enc, x, NullSemantics::Strong);
+    group_repair_cost(enc, &p, a) as f64 / enc.rows() as f64
+}
+
+/// Exact g₃ error of the classical FD `X → A` (nulls as values).
+pub fn classical_fd_error(enc: &Encoded, x: AttrSet, a: Attr) -> f64 {
+    if enc.rows() == 0 {
+        return 0.0;
+    }
+    let p = Partition::by_set(enc, x, NullSemantics::NullAsValue);
+    group_repair_cost(enc, &p, a) as f64 / enc.rows() as f64
+}
+
+/// Exact g₃ error of the p-key `p⟨X⟩`: keep one row per strong group.
+pub fn pkey_error(enc: &Encoded, x: AttrSet) -> f64 {
+    if enc.rows() == 0 {
+        return 0.0;
+    }
+    let p = Partition::by_set(enc, x, NullSemantics::Strong);
+    let excess: usize = p.classes.iter().map(|c| c.len() - 1).sum();
+    excess as f64 / enc.rows() as f64
+}
+
+/// Upper bound on the g₃ error of the c-key `c⟨X⟩`: the exact
+/// strong-group excess plus a greedy vertex-deletion bound over the
+/// weak-similarity pairs involving `⊥`-carrying rows. Exact when no
+/// row has `⊥` in `X`.
+pub fn ckey_error(enc: &Encoded, x: AttrSet) -> f64 {
+    if enc.rows() == 0 {
+        return 0.0;
+    }
+    let p = Partition::by_set(enc, x, NullSemantics::Strong);
+    let mut removed: Vec<bool> = vec![false; enc.rows()];
+    // Strong groups: keep one representative, drop the rest.
+    let mut cost = 0usize;
+    for class in &p.classes {
+        for &r in &class[1..] {
+            removed[r as usize] = true;
+            cost += 1;
+        }
+    }
+    // Weak pairs through nulls: greedily delete the null-bearing side
+    // (it conflicts with everything weakly matching it).
+    probe_weak_pairs(enc, x, |r, s| {
+        if !removed[r] && !removed[s] {
+            // Prefer removing the row with ⊥ in X (it is the hub).
+            let victim = if enc.is_total_on(r, x) { s } else { r };
+            removed[victim] = true;
+            cost += 1;
+        }
+        true
+    });
+    cost as f64 / enc.rows() as f64
+}
+
+/// Upper bound on the g₃ error of the c-FD `X →_w A` (exact when no
+/// row carries `⊥` in `X`): group repair plus greedy deletion over
+/// weakly-similar, `A`-disagreeing pairs through nulls.
+pub fn cfd_error(enc: &Encoded, x: AttrSet, a: Attr) -> f64 {
+    if enc.rows() == 0 {
+        return 0.0;
+    }
+    let p = Partition::by_set(enc, x, NullSemantics::Strong);
+    let mut cost = group_repair_cost(enc, &p, a);
+    let mut removed: Vec<bool> = vec![false; enc.rows()];
+    probe_weak_pairs(enc, x, |r, s| {
+        if !removed[r] && !removed[s] && enc.code(r, a) != enc.code(s, a) {
+            let victim = if enc.is_total_on(r, x) { s } else { r };
+            removed[victim] = true;
+            cost += 1;
+        }
+        true
+    });
+    (cost as f64 / enc.rows() as f64).min(1.0)
+}
+
+/// Convenience wrapper for callers holding a [`Table`].
+pub fn key_error_of_table(table: &Table, x: AttrSet, certain: bool) -> f64 {
+    let enc = Encoded::new(table);
+    if certain {
+        ckey_error(&enc, x)
+    } else {
+        pkey_error(&enc, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlnf_model::prelude::*;
+
+    fn enc(t: &Table) -> Encoded {
+        Encoded::new(t)
+    }
+
+    #[test]
+    fn satisfied_constraints_have_zero_error() {
+        let t = TableBuilder::new("r", ["a", "b"], &[])
+            .row(tuple![1i64, 10i64])
+            .row(tuple![1i64, 10i64])
+            .row(tuple![2i64, 20i64])
+            .build();
+        let e = enc(&t);
+        let a = AttrSet::from_indices([0]);
+        assert_eq!(pfd_error(&e, a, Attr(1)), 0.0);
+        assert_eq!(cfd_error(&e, a, Attr(1)), 0.0);
+        assert_eq!(classical_fd_error(&e, a, Attr(1)), 0.0);
+        // The key IS violated (duplicate group) with error 1/3.
+        assert!((pkey_error(&e, a) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fd_error_counts_minority_rows() {
+        // Group a=1 has b ∈ {10, 10, 30}: delete 1 of 3. Group a=2 is
+        // clean. Error = 1/4.
+        let t = TableBuilder::new("r", ["a", "b"], &[])
+            .row(tuple![1i64, 10i64])
+            .row(tuple![1i64, 10i64])
+            .row(tuple![1i64, 30i64])
+            .row(tuple![2i64, 20i64])
+            .build();
+        let e = enc(&t);
+        let err = pfd_error(&e, AttrSet::from_indices([0]), Attr(1));
+        assert!((err - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_key_has_small_error() {
+        // 9 distinct + 1 duplicate: key error 10%. This is the paper's
+        // "dirty almost-key" shape.
+        let mut b = TableBuilder::new("r", ["a"], &[]);
+        for i in 0..9 {
+            b = b.row(Tuple::new(vec![Value::Int(i)]));
+        }
+        let t = b.row(tuple![0i64]).build();
+        let e = enc(&t);
+        assert!((pkey_error(&e, AttrSet::from_indices([0])) - 0.1).abs() < 1e-12);
+        assert!((ckey_error(&e, AttrSet::from_indices([0])) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_errors_account_for_nulls() {
+        // (⊥) weakly matches both values: c-key error removes it (1/3);
+        // p-key sees three singletons (0).
+        let t = TableBuilder::new("r", ["a"], &[])
+            .row(tuple![1i64])
+            .row(tuple![null])
+            .row(tuple![2i64])
+            .build();
+        let e = enc(&t);
+        let a = AttrSet::from_indices([0]);
+        assert_eq!(pkey_error(&e, a), 0.0);
+        assert!((ckey_error(&e, a) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cfd_error_bounds_the_true_optimum() {
+        // After deleting the null row, the c-FD holds: true g₃ = 1/3;
+        // the greedy bound must not undershoot it and here is exact.
+        let t = TableBuilder::new("r", ["a", "b"], &[])
+            .row(tuple![1i64, 10i64])
+            .row(tuple![null, 20i64])
+            .row(tuple![2i64, 30i64])
+            .build();
+        let e = enc(&t);
+        let err = cfd_error(&e, AttrSet::from_indices([0]), Attr(1));
+        assert!((err - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_is_error_free() {
+        let t = Table::new(TableSchema::new("r", ["a"], &[]));
+        let e = enc(&t);
+        assert_eq!(pfd_error(&e, AttrSet::from_indices([0]), Attr(0)), 0.0);
+        assert_eq!(ckey_error(&e, AttrSet::from_indices([0])), 0.0);
+    }
+
+    /// The error is sound: deleting the implied number of rows (greedy
+    /// trace) really leaves a satisfying instance, for the exactly-
+    /// computed p variants.
+    #[test]
+    fn pfd_repair_really_works() {
+        let t = TableBuilder::new("r", ["a", "b"], &[])
+            .row(tuple![1i64, 10i64])
+            .row(tuple![1i64, 11i64])
+            .row(tuple![1i64, 10i64])
+            .row(tuple![2i64, 20i64])
+            .row(tuple![2i64, 21i64])
+            .build();
+        let e = enc(&t);
+        let x = AttrSet::from_indices([0]);
+        let err = pfd_error(&e, x, Attr(1));
+        let to_delete = (err * t.len() as f64).round() as usize;
+        assert_eq!(to_delete, 2);
+        // Keep the plurality per group: rows 0, 2, 3 (or 4).
+        let kept = Table::from_rows(
+            t.schema().clone(),
+            vec![t.rows()[0].clone(), t.rows()[2].clone(), t.rows()[3].clone()],
+        );
+        assert!(satisfies_fd(
+            &kept,
+            &Fd::possible(x, AttrSet::from_indices([1]))
+        ));
+    }
+}

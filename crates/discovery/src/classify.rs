@@ -1,0 +1,263 @@
+//! Classification of mined FDs into the categories of the paper's
+//! quantitative experiment (Section 7): nn-FDs, p-FDs, c-FDs, t-FDs and
+//! λ-FDs, plus the relative projection sizes behind Figure 6.
+//!
+//! Following the paper's convention, FDs are recorded with minimal LHSs
+//! and counted **once per LHS**. The categories are:
+//!
+//! * **nn-FD** — a minimal p-FD whose LHS columns contain no null
+//!   marker anywhere in the instance (there possible, certain and
+//!   classical satisfaction coincide);
+//! * **p-FD** — a minimal possible FD whose LHS has at least one column
+//!   that carries nulls;
+//! * **c-FD** — a minimal certain FD whose LHS has at least one column
+//!   that carries nulls (certain satisfaction implies possible, so
+//!   these are the "harder" dependencies);
+//! * **t-FD** — a c-FD that is *total*: `X →_w X` also holds, i.e.
+//!   `X →_w X·rhs` (Definition 9);
+//! * **λ-FD** — a t-FD usable for VRNF decomposition: its RHS adds
+//!   attributes beyond the LHS, and the LHS is **not** a certain key of
+//!   the instance (else there is nothing to compress).
+//!
+//! For each λ-FD (and each nn-FD with non-c-key LHS) the *relative
+//! projection size* is `|I[X·rhs]| / |I|` — the fraction of rows the
+//! set projection keeps; small values mean much redundancy eliminated.
+
+use crate::check::{certain_reflexive_holds, is_ckey, partition_for, Semantics};
+use crate::mine::{mine_fds_encoded, MinedFd, MinerConfig};
+use crate::partition::Encoded;
+use sqlnf_model::attrs::AttrSet;
+use sqlnf_model::project::project_set;
+use sqlnf_model::table::Table;
+use std::time::Instant;
+
+/// A λ-FD together with its relative projection size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LambdaFd {
+    /// Minimal LHS.
+    pub lhs: AttrSet,
+    /// Determined attributes outside the LHS.
+    pub rhs: AttrSet,
+    /// `|I[lhs ∪ rhs]| / |I|` in `(0, 1]`.
+    pub relative_projection_size: f64,
+}
+
+/// Full classification of one table's mined dependencies.
+#[derive(Debug, Clone, Default)]
+pub struct Classification {
+    /// Minimal p-FDs with null-free LHS columns.
+    pub nn_fds: Vec<MinedFd>,
+    /// Minimal p-FDs with a null-carrying LHS column.
+    pub p_fds: Vec<MinedFd>,
+    /// Minimal c-FDs with a null-carrying LHS column.
+    pub c_fds: Vec<MinedFd>,
+    /// The total ones among `c_fds`.
+    pub t_fds: Vec<MinedFd>,
+    /// The decomposition-usable ones among `t_fds`, with projection
+    /// ratios.
+    pub lambda_fds: Vec<LambdaFd>,
+    /// Relative projection sizes of nn-FDs whose LHS is not a c-key
+    /// (the second series of Figure 6).
+    pub nn_nonkey_ratios: Vec<f64>,
+}
+
+/// Aggregate counts over many tables (the Section 7 count table).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// nn-FD count (one per LHS).
+    pub nn: usize,
+    /// p-FD count.
+    pub p: usize,
+    /// c-FD count.
+    pub c: usize,
+    /// t-FD count.
+    pub t: usize,
+    /// λ-FD count.
+    pub lambda: usize,
+}
+
+impl Counts {
+    /// Adds another classification's counts.
+    pub fn add(&mut self, c: &Classification) {
+        self.nn += c.nn_fds.len();
+        self.p += c.p_fds.len();
+        self.c += c.c_fds.len();
+        self.t += c.t_fds.len();
+        self.lambda += c.lambda_fds.len();
+    }
+}
+
+/// Mines and classifies one table. `max_lhs` bounds the mined LHS size.
+pub fn classify_table(table: &Table, max_lhs: usize) -> Classification {
+    let enc = Encoded::new(table);
+    let arity = table.schema().arity();
+    let null_free = enc.null_free_columns();
+
+    let possible = mine_fds_encoded(
+        &enc,
+        arity,
+        MinerConfig::new(Semantics::Possible).with_max_lhs(max_lhs),
+        Instant::now(),
+    );
+    let certain = mine_fds_encoded(
+        &enc,
+        arity,
+        MinerConfig::new(Semantics::Certain).with_max_lhs(max_lhs),
+        Instant::now(),
+    );
+
+    let mut out = Classification::default();
+
+    for fd in possible.fds {
+        if fd.lhs.is_subset(null_free) {
+            // Figure 6's nn series additionally requires a non-key LHS.
+            let strong = partition_for(&enc, fd.lhs, Semantics::Possible);
+            if !is_ckey(&enc, fd.lhs, &strong) {
+                out.nn_nonkey_ratios
+                    .push(projection_ratio(table, fd.lhs | fd.rhs));
+            }
+            out.nn_fds.push(fd);
+        } else {
+            out.p_fds.push(fd);
+        }
+    }
+
+    for fd in certain.fds {
+        if fd.lhs.is_subset(null_free) {
+            continue; // coincides with an nn-FD; counted there
+        }
+        let total = certain_reflexive_holds(&enc, fd.lhs);
+        if total {
+            out.t_fds.push(fd.clone());
+            let strong = partition_for(&enc, fd.lhs, Semantics::Certain);
+            let usable = !fd.rhs.is_empty() && !is_ckey(&enc, fd.lhs, &strong);
+            if usable {
+                out.lambda_fds.push(LambdaFd {
+                    lhs: fd.lhs,
+                    rhs: fd.rhs,
+                    relative_projection_size: projection_ratio(table, fd.lhs | fd.rhs),
+                });
+            }
+        }
+        out.c_fds.push(fd);
+    }
+    out
+}
+
+fn projection_ratio(table: &Table, attrs: AttrSet) -> f64 {
+    if table.is_empty() {
+        return 1.0;
+    }
+    let proj = project_set(table, attrs, "proj");
+    proj.len() as f64 / table.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlnf_model::prelude::*;
+
+    /// The snippet `I` of Figure 7 (contact_draft_lookup, 5 columns,
+    /// 14 rows). Names repeat across cities — Michelle Moscato in
+    /// Carmel and Indianapolis, Stacey Brennan in Columbia and
+    /// Indianapolis — so state needs the (nullable) city in the LHS,
+    /// which is exactly what makes the certain FDs of the paper λ-FDs.
+    fn fig7_snippet() -> Table {
+        TableBuilder::new("c", ["id", "f", "l", "ci", "st"], &[])
+            .row(tuple![113i64, "Michelle", "Moscato", "Carmel", 20i64])
+            .row(tuple![110i64, "Kathy", "Sheehan", "Columbia", 48i64])
+            .row(tuple![51i64, "Kathy", "Sheehan", "Columbia", 48i64])
+            .row(tuple![64i64, "Margaret", "Cox", "Columbia", 48i64])
+            .row(tuple![120i64, "Margaret", "Cox", "Columbia", 48i64])
+            .row(tuple![60i64, "Stacey", "Brennan, M.D.", "Columbia", 48i64])
+            .row(tuple![6i64, "Robert", "Kamps, M.D.", "Grove City", 42i64])
+            .row(tuple![83i64, "Michelle", "Moscato", "Indianapolis", 20i64])
+            .row(tuple![19i64, "Michelle", "Moscato", "Indianapolis", 20i64])
+            .row(tuple![20i64, "Nancy", "Knudson", "Indianapolis", 20i64])
+            .row(tuple![18i64, "Nancy", "Knudson", "Indianapolis", 20i64])
+            .row(tuple![99i64, "Stacey", "Brennan, M.D.", "Indianapolis", 20i64])
+            .row(tuple![8i64, "Carol", "Richards", null, 36i64])
+            .row(tuple![7i64, "Pam", "Baumker", null, 36i64])
+            .build()
+    }
+
+    #[test]
+    fn lambda_detection() {
+        // The paper reports the λ-FDs (f,ci) →_w … and (l,ci) →_w … on
+        // the snippet (accidentally minimal below (f,l,ci)).
+        let t = fig7_snippet();
+        let s = t.schema().clone();
+        let cls = classify_table(&t, 3);
+        let flc = s.set(&["f", "l", "ci"]);
+        let lam = cls
+            .lambda_fds
+            .iter()
+            .find(|l| l.lhs.is_subset(flc) && l.lhs.contains(s.a("ci")) && l.rhs.contains(s.a("st")));
+        assert!(lam.is_some(), "{cls:?}");
+        let lam = lam.unwrap();
+        // 14 rows project to at most 10 distinct (Fig. 8 left: 10 rows).
+        assert!(lam.relative_projection_size <= 10.0 / 14.0 + 1e-9);
+    }
+
+    #[test]
+    fn chain_c_supseteq_t_supseteq_lambda() {
+        let t = fig7_snippet();
+        let cls = classify_table(&t, 3);
+        assert!(cls.c_fds.len() >= cls.t_fds.len());
+        assert!(cls.t_fds.len() >= cls.lambda_fds.len());
+    }
+
+    #[test]
+    fn nn_vs_p_split_by_null_columns() {
+        // id is null-free and a key: every FD with LHS {id} is an
+        // nn-FD; FDs whose minimal LHS includes the nullable city are
+        // p-FDs (or c-FDs).
+        let t = fig7_snippet();
+        let s = t.schema().clone();
+        let cls = classify_table(&t, 3);
+        assert!(cls
+            .nn_fds
+            .iter()
+            .any(|f| f.lhs == AttrSet::single(s.a("id"))));
+        for fd in &cls.p_fds {
+            assert!(fd.lhs.contains(s.a("ci")), "{fd:?}");
+        }
+        for fd in &cls.c_fds {
+            assert!(fd.lhs.contains(s.a("ci")), "{fd:?}");
+        }
+    }
+
+    #[test]
+    fn ckey_lhs_disqualifies_lambda() {
+        // Unique rows everywhere: (a) is a c-key ⇒ no λ-FDs despite
+        // total c-FDs existing.
+        let t = TableBuilder::new("r", ["a", "b"], &[])
+            .row(tuple![1i64, 10i64])
+            .row(tuple![2i64, 10i64])
+            .build();
+        let cls = classify_table(&t, 2);
+        assert!(cls.lambda_fds.is_empty());
+    }
+
+    #[test]
+    fn counts_aggregate() {
+        let t = fig7_snippet();
+        let cls = classify_table(&t, 3);
+        let mut counts = Counts::default();
+        counts.add(&cls);
+        counts.add(&cls);
+        assert_eq!(counts.nn, 2 * cls.nn_fds.len());
+        assert_eq!(counts.lambda, 2 * cls.lambda_fds.len());
+    }
+
+    #[test]
+    fn projection_ratio_bounds() {
+        let t = fig7_snippet();
+        let all = t.schema().attrs();
+        let r = projection_ratio(&t, all);
+        assert!(r > 0.0 && r <= 1.0);
+        // Projecting on a constant-ish set compresses.
+        let st = t.schema().set(&["st"]);
+        assert!(projection_ratio(&t, st) < r);
+    }
+}

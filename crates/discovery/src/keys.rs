@@ -1,0 +1,157 @@
+//! Discovery of minimal possible and certain keys from data.
+//!
+//! The paper's quantitative analysis leans on key status throughout —
+//! λ-FDs require a non-key LHS, and the Figure 6 discussion attributes
+//! the high-ratio population to LHSs that "should really be certain
+//! keys" but are not, due to dirty data. This module mines the minimal
+//! p-keys and c-keys of an instance level-wise, with subset pruning
+//! (any superset of a key is a key, by key-Augmentation).
+
+use crate::check::{is_ckey, is_pkey, partition_for, Semantics};
+use crate::partition::Encoded;
+use sqlnf_model::attrs::{Attr, AttrSet};
+use sqlnf_model::table::Table;
+
+/// Minimal keys of an instance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MinedKeys {
+    /// Subset-minimal possible keys.
+    pub pkeys: Vec<AttrSet>,
+    /// Subset-minimal certain keys (every c-key is also a p-key, but a
+    /// *minimal* c-key need not be a minimal p-key).
+    pub ckeys: Vec<AttrSet>,
+}
+
+fn k_subsets(attrs: &[Attr], k: usize) -> Vec<AttrSet> {
+    let n = attrs.len();
+    let mut out = Vec::new();
+    if k > n {
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.iter().map(|&i| attrs[i]).collect());
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Mines the subset-minimal p-keys and c-keys with attribute sets of at
+/// most `max_size` attributes.
+pub fn mine_keys(table: &Table, max_size: usize) -> MinedKeys {
+    let enc = Encoded::new(table);
+    let arity = table.schema().arity();
+    let attrs: Vec<Attr> = (0..arity).map(Attr::from).collect();
+    let mut out = MinedKeys::default();
+
+    for k in 0..=max_size.min(arity) {
+        for x in k_subsets(&attrs, k) {
+            let p_covered = out.pkeys.iter().any(|y| y.is_subset(x));
+            let c_covered = out.ckeys.iter().any(|y| y.is_subset(x));
+            if p_covered && c_covered {
+                continue;
+            }
+            let strong = partition_for(&enc, x, Semantics::Possible);
+            if !p_covered && is_pkey(&strong) {
+                out.pkeys.push(x);
+            }
+            if !c_covered && is_ckey(&enc, x, &strong) {
+                out.ckeys.push(x);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlnf_model::prelude::*;
+
+    fn sample() -> Table {
+        // id unique; (name) has a NULL so it is a p-key but not c-key;
+        // (a, b) jointly unique and total.
+        TableBuilder::new("r", ["id", "name", "a", "b"], &[])
+            .row(tuple![1i64, "x", 1i64, 1i64])
+            .row(tuple![2i64, null, 1i64, 2i64])
+            .row(tuple![3i64, "y", 2i64, 1i64])
+            .build()
+    }
+
+    #[test]
+    fn finds_minimal_keys_of_both_kinds() {
+        let t = sample();
+        let s = t.schema().clone();
+        let keys = mine_keys(&t, 4);
+        assert!(keys.pkeys.contains(&s.set(&["id"])));
+        assert!(keys.ckeys.contains(&s.set(&["id"])));
+        // name: p-key (the NULL is strongly similar to nothing) but not
+        // a c-key (⊥ weakly matches x and y).
+        assert!(keys.pkeys.contains(&s.set(&["name"])));
+        assert!(!keys.ckeys.contains(&s.set(&["name"])));
+        // (a,b) total and unique: both kinds.
+        assert!(keys.pkeys.contains(&s.set(&["a", "b"])));
+        assert!(keys.ckeys.contains(&s.set(&["a", "b"])));
+    }
+
+    #[test]
+    fn minimality_no_key_contains_another() {
+        let t = sample();
+        let keys = mine_keys(&t, 4);
+        for list in [&keys.pkeys, &keys.ckeys] {
+            for (i, x) in list.iter().enumerate() {
+                for (j, y) in list.iter().enumerate() {
+                    if i != j {
+                        assert!(!x.is_subset(*y), "{x:?} ⊆ {y:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mined_keys_satisfy_the_instance() {
+        let t = sample();
+        let keys = mine_keys(&t, 4);
+        for &x in &keys.pkeys {
+            assert!(satisfies_key(&t, &Key::possible(x)));
+        }
+        for &x in &keys.ckeys {
+            assert!(satisfies_key(&t, &Key::certain(x)));
+        }
+    }
+
+    #[test]
+    fn duplicates_kill_all_keys() {
+        let t = TableBuilder::new("r", ["a"], &[])
+            .row(tuple![1i64])
+            .row(tuple![1i64])
+            .build();
+        let keys = mine_keys(&t, 1);
+        assert!(keys.pkeys.is_empty());
+        assert!(keys.ckeys.is_empty());
+    }
+
+    #[test]
+    fn empty_set_is_key_of_singleton() {
+        let t = TableBuilder::new("r", ["a"], &[]).row(tuple![1i64]).build();
+        let keys = mine_keys(&t, 1);
+        assert_eq!(keys.pkeys, vec![AttrSet::EMPTY]);
+        assert_eq!(keys.ckeys, vec![AttrSet::EMPTY]);
+    }
+}

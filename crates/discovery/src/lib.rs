@@ -1,0 +1,32 @@
+//! # sqlnf-discovery
+//!
+//! Discovery (data profiling) of functional dependencies from SQL data,
+//! as used in Section 7 of Köhler & Link (SIGMOD 2016): a TANE-style
+//! level-wise miner over dictionary-encoded columns and stripped
+//! partitions, instantiated for three semantics — classical (nulls as
+//! values; the convention of the FD-discovery literature), possible
+//! (strong similarity) and certain (weak similarity) — plus the
+//! classification of mined FDs into nn/p/c/t/λ categories and the
+//! relative projection sizes behind Figure 6.
+
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod check;
+pub mod classify;
+pub mod keys;
+pub mod mine;
+pub mod partition;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::approx::{cfd_error, ckey_error, classical_fd_error, key_error_of_table, pfd_error, pkey_error};
+    pub use crate::check::{
+        certain_reflexive_holds, fd_holds, fd_targets_holding, is_ckey, is_pkey, partition_for,
+        Semantics,
+    };
+    pub use crate::classify::{classify_table, Classification, Counts, LambdaFd};
+    pub use crate::keys::{mine_keys, MinedKeys};
+    pub use crate::mine::{mine_fds, MinedFd, MinerConfig, MiningResult};
+    pub use crate::partition::{Encoded, NullSemantics, Partition};
+}

@@ -1,0 +1,344 @@
+//! Level-wise discovery of minimal non-trivial FDs, in the style of
+//! TANE, under any of the three [`Semantics`].
+//!
+//! The miner records, per minimal LHS `X`, the set of all RHS
+//! attributes `A ∉ X` such that `X → A` holds and no `Y ⊊ X` already
+//! gives `Y → A` — matching the paper's counting convention ("all
+//! non-trivial FDs with minimal LHSs, and only once per LHS").
+
+use crate::check::{fd_targets_holding, partition_for, Semantics};
+use crate::partition::Encoded;
+use sqlnf_model::attrs::{Attr, AttrSet};
+use sqlnf_model::table::Table;
+use std::time::Instant;
+
+/// One discovered dependency: a minimal LHS and every RHS attribute it
+/// minimally determines under the mining semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MinedFd {
+    /// The (minimal) left-hand side.
+    pub lhs: AttrSet,
+    /// All attributes outside `lhs` minimally determined by it.
+    pub rhs: AttrSet,
+}
+
+/// Miner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct MinerConfig {
+    /// Semantics of the mined FDs.
+    pub semantics: Semantics,
+    /// Maximum LHS size explored (the lattice is exponential; the
+    /// interesting minimal FDs of the evaluation live at small sizes).
+    pub max_lhs: usize,
+    /// Worker threads for candidate checking. Within one lattice level
+    /// candidates are independent (minimality only consults strictly
+    /// smaller LHSs), so per-level parallelism is exact. `1` = serial.
+    pub threads: usize,
+}
+
+impl MinerConfig {
+    /// Default configuration for the given semantics (LHS ≤ 4, serial —
+    /// matching the experiment harness, whose timings are per-core).
+    pub fn new(semantics: Semantics) -> Self {
+        MinerConfig {
+            semantics,
+            max_lhs: 4,
+            threads: 1,
+        }
+    }
+
+    /// Overrides the LHS cap.
+    pub fn with_max_lhs(mut self, max_lhs: usize) -> Self {
+        self.max_lhs = max_lhs;
+        self
+    }
+
+    /// Overrides the worker-thread count (0 means all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        };
+        self
+    }
+}
+
+/// Outcome of a mining run.
+#[derive(Debug, Clone)]
+pub struct MiningResult {
+    /// Minimal FDs, one entry per minimal LHS.
+    pub fds: Vec<MinedFd>,
+    /// Wall-clock time of the run.
+    pub elapsed: std::time::Duration,
+    /// Number of candidate LHSs whose partition was evaluated.
+    pub candidates_checked: usize,
+}
+
+impl MiningResult {
+    /// Total number of (LHS, attribute) pairs, i.e. FDs counted
+    /// attribute-wise.
+    pub fn fd_count_attrwise(&self) -> usize {
+        self.fds.iter().map(|f| f.rhs.len()).sum()
+    }
+}
+
+/// Generates all `k`-subsets of `attrs`.
+fn k_subsets(attrs: &[Attr], k: usize) -> Vec<AttrSet> {
+    let mut out = Vec::new();
+    let n = attrs.len();
+    if k > n {
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.iter().map(|&i| attrs[i]).collect());
+        // Next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Mines minimal non-trivial FDs from an instance.
+pub fn mine_fds(table: &Table, config: MinerConfig) -> MiningResult {
+    let started = Instant::now();
+    let enc = Encoded::new(table);
+    mine_fds_encoded(&enc, table.schema().arity(), config, started)
+}
+
+/// Mines from a pre-encoded instance (lets callers share the encoding
+/// across several mining runs, as the discovery experiment does).
+pub fn mine_fds_encoded(
+    enc: &Encoded,
+    arity: usize,
+    config: MinerConfig,
+    started: Instant,
+) -> MiningResult {
+    let attrs: Vec<Attr> = (0..arity).map(Attr::from).collect();
+    let all: AttrSet = attrs.iter().copied().collect();
+
+    // minimal_lhs_for[a] = the minimal LHSs recorded for attribute a.
+    let mut minimal_for: Vec<Vec<AttrSet>> = vec![Vec::new(); arity];
+    let mut found: Vec<MinedFd> = Vec::new();
+    let mut checked = 0usize;
+
+    for k in 0..=config.max_lhs.min(arity.saturating_sub(1)) {
+        // Candidates of this level, with their uncovered targets.
+        let candidates: Vec<(AttrSet, AttrSet)> = k_subsets(&attrs, k)
+            .into_iter()
+            .filter_map(|x| {
+                let mut targets = AttrSet::EMPTY;
+                for a in all - x {
+                    if !minimal_for[a.index()].iter().any(|y| y.is_subset(x)) {
+                        targets.insert(a);
+                    }
+                }
+                (!targets.is_empty()).then_some((x, targets))
+            })
+            .collect();
+        checked += candidates.len();
+
+        let check = |&(x, targets): &(AttrSet, AttrSet)| -> Option<MinedFd> {
+            let partition = partition_for(enc, x, config.semantics);
+            let holding = fd_targets_holding(enc, x, &partition, targets, config.semantics);
+            (!holding.is_empty()).then_some(MinedFd { lhs: x, rhs: holding })
+        };
+
+        let level_found: Vec<MinedFd> = if config.threads <= 1 || candidates.len() < 32 {
+            candidates.iter().filter_map(check).collect()
+        } else {
+            // Within a level, candidates are independent: minimality
+            // consults only strictly smaller LHSs, fixed before the
+            // level starts. Chunked fan-out over scoped threads.
+            let chunk = candidates.len().div_ceil(config.threads);
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = candidates
+                    .chunks(chunk)
+                    .map(|part| scope.spawn(move |_| part.iter().filter_map(check).collect::<Vec<_>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("miner worker panicked"))
+                    .collect()
+            })
+            .expect("crossbeam scope")
+        };
+
+        for fd in level_found {
+            for a in fd.rhs {
+                minimal_for[a.index()].push(fd.lhs);
+            }
+            found.push(fd);
+        }
+    }
+
+    MiningResult {
+        fds: found,
+        elapsed: started.elapsed(),
+        candidates_checked: checked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::fd_holds;
+    use sqlnf_model::prelude::*;
+
+    #[test]
+    fn k_subsets_counts() {
+        let attrs: Vec<Attr> = (0..5).map(Attr::from).collect();
+        assert_eq!(k_subsets(&attrs, 0), vec![AttrSet::EMPTY]);
+        assert_eq!(k_subsets(&attrs, 1).len(), 5);
+        assert_eq!(k_subsets(&attrs, 2).len(), 10);
+        assert_eq!(k_subsets(&attrs, 3).len(), 10);
+        assert_eq!(k_subsets(&attrs, 5).len(), 1);
+        assert_eq!(k_subsets(&attrs, 6).len(), 0);
+        // All distinct and of the right size.
+        let threes = k_subsets(&attrs, 3);
+        assert!(threes.iter().all(|s| s.len() == 3));
+    }
+
+    fn sample() -> Table {
+        // b is a function of a; c is a function of (a,d) but not of a or
+        // d alone; e is constant.
+        TableBuilder::new("r", ["a", "b", "c", "d", "e"], &[])
+            .row(tuple![1i64, 10i64, 100i64, 1i64, 7i64])
+            .row(tuple![1i64, 10i64, 200i64, 2i64, 7i64])
+            .row(tuple![2i64, 20i64, 100i64, 2i64, 7i64])
+            .row(tuple![2i64, 20i64, 200i64, 1i64, 7i64])
+            .build()
+    }
+
+    #[test]
+    fn mines_planted_structure() {
+        let t = sample();
+        let res = mine_fds(&t, MinerConfig::new(Semantics::Classical));
+        let s = t.schema().clone();
+        let find = |lhs: AttrSet| res.fds.iter().find(|f| f.lhs == lhs);
+        // ∅ → e (constant column).
+        let empty = find(AttrSet::EMPTY).expect("constant column");
+        assert!(empty.rhs.contains(s.a("e")));
+        // a → b minimal.
+        let a = find(AttrSet::single(s.a("a"))).expect("a → b");
+        assert!(a.rhs.contains(s.a("b")));
+        assert!(!a.rhs.contains(s.a("c")));
+        // (a,d) → c minimal (with b ↔ a, (b,d) → c also minimal).
+        let ad = find(s.set(&["a", "d"])).expect("ad → c");
+        assert!(ad.rhs.contains(s.a("c")));
+    }
+
+    #[test]
+    fn minimality_is_respected() {
+        let t = sample();
+        let res = mine_fds(&t, MinerConfig::new(Semantics::Classical));
+        let e = Encoded::new(&t);
+        for fd in &res.fds {
+            for a in fd.rhs {
+                // Holds at the recorded LHS…
+                assert!(fd_holds(&e, fd.lhs, a, Semantics::Classical));
+                // …and at no immediate subset.
+                for b in fd.lhs {
+                    let smaller = fd.lhs - AttrSet::single(b);
+                    assert!(
+                        !fd_holds(&e, smaller, a, Semantics::Classical),
+                        "lhs={:?} a={a:?} not minimal",
+                        fd.lhs
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn semantics_differ_on_nulls() {
+        // a has a null: p-FD a →_s b holds (null row is similar to
+        // nothing) but the c-FD fails (⊥ weakly matches both groups);
+        // classically (⊥ a value) it also holds.
+        let t = TableBuilder::new("r", ["a", "b"], &[])
+            .row(tuple![1i64, 10i64])
+            .row(tuple![null, 20i64])
+            .row(tuple![2i64, 30i64])
+            .build();
+        let possible = mine_fds(&t, MinerConfig::new(Semantics::Possible));
+        let certain = mine_fds(&t, MinerConfig::new(Semantics::Certain));
+        let classical = mine_fds(&t, MinerConfig::new(Semantics::Classical));
+        let a = AttrSet::from_indices([0]);
+        let b = sqlnf_model::attrs::Attr(1);
+        let has = |r: &MiningResult| r.fds.iter().any(|f| f.lhs == a && f.rhs.contains(b));
+        assert!(has(&possible));
+        assert!(has(&classical));
+        assert!(!has(&certain));
+    }
+
+    #[test]
+    fn max_lhs_cap_is_respected() {
+        let t = sample();
+        let res = mine_fds(&t, MinerConfig::new(Semantics::Classical).with_max_lhs(1));
+        assert!(res.fds.iter().all(|f| f.lhs.len() <= 1));
+        assert!(res.candidates_checked > 0);
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        // Determinism across thread counts, all semantics, on a table
+        // large enough to trigger the parallel path.
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let schema = TableSchema::new(
+            "r",
+            (0..8).map(|i| format!("c{i}")).collect::<Vec<_>>(),
+            &[],
+        );
+        let mut t = Table::new(schema);
+        for _ in 0..150 {
+            t.push(Tuple::new(
+                (0..8)
+                    .map(|c| {
+                        if rng.gen_bool(0.1) {
+                            Value::Null
+                        } else {
+                            Value::Int(rng.gen_range(0..4 + c as i64))
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            ));
+        }
+        for sem in [Semantics::Classical, Semantics::Possible, Semantics::Certain] {
+            let serial = mine_fds(&t, MinerConfig::new(sem).with_max_lhs(3));
+            let parallel = mine_fds(&t, MinerConfig::new(sem).with_max_lhs(3).with_threads(4));
+            let norm = |mut fds: Vec<MinedFd>| {
+                fds.sort_by_key(|f| (f.lhs.0, f.rhs.0));
+                fds
+            };
+            assert_eq!(norm(serial.fds), norm(parallel.fds), "{sem:?}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_row_tables() {
+        let schema = TableSchema::new("r", ["a", "b"], &[]);
+        let empty = Table::new(schema.clone());
+        let res = mine_fds(&empty, MinerConfig::new(Semantics::Certain));
+        // Everything holds vacuously: ∅ → a, b.
+        assert_eq!(res.fds.len(), 1);
+        assert_eq!(res.fds[0].lhs, AttrSet::EMPTY);
+        assert_eq!(res.fds[0].rhs.len(), 2);
+    }
+}

@@ -1,0 +1,293 @@
+//! Stripped partitions à la TANE, adapted to the paper's similarity
+//! semantics.
+//!
+//! A *partition* of the rows by an attribute set `X` groups rows with
+//! identical `X`-values; *stripped* means singleton classes are dropped
+//! (they can never participate in a violation). Two flavours matter:
+//!
+//! * [`NullSemantics::Strong`]: strong similarity — a row with `⊥` in
+//!   `X` is similar to nothing, so null-bearing rows become singletons
+//!   and vanish. This is the grouping for p-FD/p-key checking.
+//! * [`NullSemantics::NullAsValue`]: the classical discovery convention
+//!   of the FD-mining literature (nulls compared like ordinary values),
+//!   used by the classical baseline and for RHS equality (`⊥ = ⊥`).
+//!
+//! Weak similarity is **not** an equivalence relation and has no
+//! partition; c-FD checking handles null-bearing rows by probing (see
+//! [`crate::check`]).
+
+use sqlnf_model::attrs::{Attr, AttrSet};
+use sqlnf_model::table::Table;
+use sqlnf_model::value::Value;
+use std::collections::HashMap;
+
+/// How null markers participate in the grouping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NullSemantics {
+    /// `⊥` equals nothing, not even `⊥` — strong similarity.
+    Strong,
+    /// `⊥` is grouped like an ordinary (single) value — classical
+    /// discovery and syntactic RHS equality.
+    NullAsValue,
+}
+
+/// Dictionary-encoded columns: each cell as a small integer, with `0`
+/// reserved for `⊥`.
+#[derive(Debug, Clone)]
+pub struct Encoded {
+    /// `codes[a][row]` is the code of row `row` in column `a`; `0` = ⊥.
+    codes: Vec<Vec<u32>>,
+    rows: usize,
+}
+
+impl Encoded {
+    /// Encodes a table.
+    pub fn new(table: &Table) -> Encoded {
+        let arity = table.schema().arity();
+        let mut codes = vec![Vec::with_capacity(table.len()); arity];
+        for (ci, col) in codes.iter_mut().enumerate() {
+            let a = Attr::from(ci);
+            let mut dict: HashMap<&Value, u32> = HashMap::new();
+            for t in table.rows() {
+                let v = t.get(a);
+                let code = if v.is_null() {
+                    0
+                } else {
+                    let next = dict.len() as u32 + 1;
+                    *dict.entry(v).or_insert(next)
+                };
+                col.push(code);
+            }
+        }
+        Encoded {
+            codes,
+            rows: table.len(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The code of `(row, a)`; `0` means `⊥`.
+    #[inline]
+    pub fn code(&self, row: usize, a: Attr) -> u32 {
+        self.codes[a.index()][row]
+    }
+
+    /// Whether the row is `X`-total.
+    pub fn is_total_on(&self, row: usize, x: AttrSet) -> bool {
+        x.iter().all(|a| self.code(row, a) != 0)
+    }
+
+    /// Whether two rows are weakly similar on `X`.
+    pub fn weakly_similar(&self, r: usize, s: usize, x: AttrSet) -> bool {
+        x.iter().all(|a| {
+            let (cr, cs) = (self.code(r, a), self.code(s, a));
+            cr == 0 || cs == 0 || cr == cs
+        })
+    }
+
+    /// Whether two rows are syntactically equal on `X` (`⊥ = ⊥`).
+    pub fn equal_on(&self, r: usize, s: usize, x: AttrSet) -> bool {
+        x.iter().all(|a| self.code(r, a) == self.code(s, a))
+    }
+
+    /// The columns that contain no `⊥` at all.
+    pub fn null_free_columns(&self) -> AttrSet {
+        (0..self.codes.len())
+            .filter(|&ci| self.codes[ci].iter().all(|&c| c != 0))
+            .map(Attr::from)
+            .collect()
+    }
+
+    /// The rows carrying `⊥` somewhere in `X`.
+    pub fn null_rows_on(&self, x: AttrSet) -> Vec<usize> {
+        (0..self.rows)
+            .filter(|&r| !self.is_total_on(r, x))
+            .collect()
+    }
+}
+
+/// A stripped partition: classes of size ≥ 2, each a sorted row list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Equivalence classes with at least two rows.
+    pub classes: Vec<Vec<u32>>,
+}
+
+impl Partition {
+    /// Partition by a single attribute.
+    pub fn by_attr(enc: &Encoded, a: Attr, sem: NullSemantics) -> Partition {
+        let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
+        for r in 0..enc.rows() {
+            let c = enc.code(r, a);
+            if c == 0 && sem == NullSemantics::Strong {
+                continue; // null row: strongly similar to nothing
+            }
+            groups.entry(c).or_default().push(r as u32);
+        }
+        let mut classes: Vec<Vec<u32>> = groups
+            .into_values()
+            .filter(|g| g.len() >= 2)
+            .collect();
+        classes.sort();
+        Partition { classes }
+    }
+
+    /// The trivial partition over the empty attribute set: one class of
+    /// all rows.
+    pub fn universal(rows: usize) -> Partition {
+        if rows < 2 {
+            return Partition { classes: vec![] };
+        }
+        Partition {
+            classes: vec![(0..rows as u32).collect()],
+        }
+    }
+
+    /// Partition by an attribute set (product of attribute partitions).
+    pub fn by_set(enc: &Encoded, x: AttrSet, sem: NullSemantics) -> Partition {
+        let mut attrs = x.iter();
+        let first = match attrs.next() {
+            None => return Partition::universal(enc.rows()),
+            Some(a) => a,
+        };
+        let mut p = Partition::by_attr(enc, first, sem);
+        for a in attrs {
+            p = p.refine_by(enc, a, sem);
+        }
+        p
+    }
+
+    /// Refines the partition by one more attribute.
+    pub fn refine_by(&self, enc: &Encoded, a: Attr, sem: NullSemantics) -> Partition {
+        let mut classes = Vec::new();
+        let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
+        for class in &self.classes {
+            groups.clear();
+            for &r in class {
+                let c = enc.code(r as usize, a);
+                if c == 0 && sem == NullSemantics::Strong {
+                    continue;
+                }
+                groups.entry(c).or_default().push(r);
+            }
+            for g in groups.drain().map(|(_, g)| g) {
+                if g.len() >= 2 {
+                    classes.push(g);
+                }
+            }
+        }
+        classes.sort();
+        Partition { classes }
+    }
+
+    /// `Σ (|class| − 1)`: the TANE error measure. Zero iff the grouping
+    /// is (a candidate for) a key under the chosen semantics.
+    pub fn error(&self) -> usize {
+        self.classes.iter().map(|c| c.len() - 1).sum()
+    }
+
+    /// Number of (non-singleton) classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether there are no classes of size ≥ 2.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlnf_model::prelude::*;
+
+    fn sample() -> Table {
+        TableBuilder::new("r", ["a", "b"], &[])
+            .row(tuple!["x", 1i64])
+            .row(tuple!["x", 1i64])
+            .row(tuple![null, 1i64])
+            .row(tuple![null, 2i64])
+            .row(tuple!["y", 2i64])
+            .build()
+    }
+
+    #[test]
+    fn encoding_nulls_are_zero() {
+        let t = sample();
+        let e = Encoded::new(&t);
+        assert_eq!(e.rows(), 5);
+        assert_eq!(e.code(2, Attr(0)), 0);
+        assert_ne!(e.code(0, Attr(0)), 0);
+        assert_eq!(e.code(0, Attr(0)), e.code(1, Attr(0)));
+        assert_ne!(e.code(0, Attr(0)), e.code(4, Attr(0)));
+        assert_eq!(e.null_free_columns(), AttrSet::from_indices([1]));
+        assert_eq!(e.null_rows_on(AttrSet::from_indices([0])), vec![2, 3]);
+    }
+
+    #[test]
+    fn strong_partition_drops_null_rows() {
+        let t = sample();
+        let e = Encoded::new(&t);
+        let p = Partition::by_attr(&e, Attr(0), NullSemantics::Strong);
+        // Only {0,1} (the two "x" rows) form a class; nulls vanish and
+        // "y" is a singleton.
+        assert_eq!(p.classes, vec![vec![0, 1]]);
+        assert_eq!(p.error(), 1);
+    }
+
+    #[test]
+    fn null_as_value_groups_nulls_together() {
+        let t = sample();
+        let e = Encoded::new(&t);
+        let p = Partition::by_attr(&e, Attr(0), NullSemantics::NullAsValue);
+        let mut classes = p.classes.clone();
+        classes.sort();
+        assert_eq!(classes, vec![vec![0, 1], vec![2, 3]]);
+    }
+
+    #[test]
+    fn set_partition_refines() {
+        let t = sample();
+        let e = Encoded::new(&t);
+        let ab = AttrSet::from_indices([0, 1]);
+        let p_strong = Partition::by_set(&e, ab, NullSemantics::Strong);
+        assert_eq!(p_strong.classes, vec![vec![0, 1]]);
+        let p_nav = Partition::by_set(&e, ab, NullSemantics::NullAsValue);
+        // (x,1) twice; (⊥,1) and (⊥,2) split.
+        assert_eq!(p_nav.classes, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn universal_partition() {
+        let p = Partition::universal(4);
+        assert_eq!(p.classes, vec![vec![0, 1, 2, 3]]);
+        assert_eq!(p.error(), 3);
+        assert!(Partition::universal(1).is_empty());
+    }
+
+    #[test]
+    fn empty_attr_set_is_universal() {
+        let t = sample();
+        let e = Encoded::new(&t);
+        let p = Partition::by_set(&e, AttrSet::EMPTY, NullSemantics::Strong);
+        assert_eq!(p.classes.len(), 1);
+        assert_eq!(p.classes[0].len(), 5);
+    }
+
+    #[test]
+    fn weak_similarity_probe() {
+        let t = sample();
+        let e = Encoded::new(&t);
+        let a = AttrSet::from_indices([0]);
+        assert!(e.weakly_similar(2, 0, a)); // ⊥ vs x
+        assert!(e.weakly_similar(2, 3, a)); // ⊥ vs ⊥
+        assert!(!e.weakly_similar(0, 4, a)); // x vs y
+        assert!(e.equal_on(2, 3, a)); // ⊥ = ⊥
+        assert!(!e.equal_on(2, 0, a));
+    }
+}

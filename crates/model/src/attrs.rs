@@ -1,0 +1,401 @@
+//! Attributes and attribute sets.
+//!
+//! The paper works with a countably infinite universe of attributes; any
+//! concrete table schema `T` is a finite subset of it. We index the
+//! attributes of one schema by position and represent subsets of `T` as
+//! 128-bit bitsets, which caps schemata at 128 attributes — far above the
+//! 22 columns of the largest table in the paper's evaluation — and makes
+//! the closure algorithms of Section 4 word-level operations.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Maximum number of attributes a single [`crate::schema::TableSchema`]
+/// may have.
+pub const MAX_ATTRS: usize = 128;
+
+/// An attribute of a table schema, identified by its column index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Attr(pub u8);
+
+impl Attr {
+    /// Column index of this attribute.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for Attr {
+    #[inline]
+    fn from(i: usize) -> Self {
+        assert!(i < MAX_ATTRS, "attribute index {i} exceeds MAX_ATTRS");
+        Attr(i as u8)
+    }
+}
+
+impl fmt::Display for Attr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// A set of attributes of one table schema, as a 128-bit bitset.
+///
+/// Supports the set algebra the paper's algorithms are written in:
+/// union (`|`), intersection (`&`), difference (`-`), subset tests, and
+/// iteration in ascending column order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct AttrSet(pub u128);
+
+impl AttrSet {
+    /// The empty attribute set.
+    pub const EMPTY: AttrSet = AttrSet(0);
+
+    /// Set containing the single attribute `a`.
+    #[inline]
+    pub fn single(a: Attr) -> Self {
+        AttrSet(1u128 << a.0)
+    }
+
+    /// Set containing the attributes with indices `0..n`.
+    #[inline]
+    pub fn first_n(n: usize) -> Self {
+        assert!(n <= MAX_ATTRS);
+        if n == MAX_ATTRS {
+            AttrSet(u128::MAX)
+        } else {
+            AttrSet((1u128 << n) - 1)
+        }
+    }
+
+    /// Builds a set from attribute indices.
+    pub fn from_indices<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut s = AttrSet::EMPTY;
+        for i in iter {
+            s.insert(Attr::from(i));
+        }
+        s
+    }
+
+    /// Number of attributes in the set.
+    #[inline]
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Whether `a` is a member.
+    #[inline]
+    pub fn contains(self, a: Attr) -> bool {
+        self.0 & (1u128 << a.0) != 0
+    }
+
+    /// Whether `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(self, other: AttrSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// Whether `self ⊊ other`.
+    #[inline]
+    pub fn is_proper_subset(self, other: AttrSet) -> bool {
+        self != other && self.is_subset(other)
+    }
+
+    /// Whether the two sets share no attribute.
+    #[inline]
+    pub fn is_disjoint(self, other: AttrSet) -> bool {
+        self.0 & other.0 == 0
+    }
+
+    /// Inserts an attribute, returning whether it was newly added.
+    #[inline]
+    pub fn insert(&mut self, a: Attr) -> bool {
+        let bit = 1u128 << a.0;
+        let added = self.0 & bit == 0;
+        self.0 |= bit;
+        added
+    }
+
+    /// Removes an attribute, returning whether it was present.
+    #[inline]
+    pub fn remove(&mut self, a: Attr) -> bool {
+        let bit = 1u128 << a.0;
+        let present = self.0 & bit != 0;
+        self.0 &= !bit;
+        present
+    }
+
+    /// Union, as a pure function (the paper's `XY`).
+    #[inline]
+    pub fn union(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 | other.0)
+    }
+
+    /// Intersection.
+    #[inline]
+    pub fn intersect(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & other.0)
+    }
+
+    /// Set difference `self − other`.
+    #[inline]
+    pub fn difference(self, other: AttrSet) -> AttrSet {
+        AttrSet(self.0 & !other.0)
+    }
+
+    /// Iterates members in ascending column order.
+    #[inline]
+    pub fn iter(self) -> AttrIter {
+        AttrIter(self.0)
+    }
+
+    /// The lowest-indexed member, if any.
+    #[inline]
+    pub fn first(self) -> Option<Attr> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(Attr(self.0.trailing_zeros() as u8))
+        }
+    }
+
+    /// Enumerates all subsets of `self`, the empty set first and `self`
+    /// last. Exponential — intended for the sub-schema procedures the
+    /// paper proves co-NP complete (Theorems 8 and 17), where `self` is
+    /// small.
+    pub fn subsets(self) -> SubsetIter {
+        SubsetIter {
+            mask: self.0,
+            current: 0,
+            done: false,
+        }
+    }
+}
+
+impl std::ops::BitOr for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn bitor(self, rhs: AttrSet) -> AttrSet {
+        self.union(rhs)
+    }
+}
+
+impl std::ops::BitAnd for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn bitand(self, rhs: AttrSet) -> AttrSet {
+        self.intersect(rhs)
+    }
+}
+
+impl std::ops::Sub for AttrSet {
+    type Output = AttrSet;
+    #[inline]
+    fn sub(self, rhs: AttrSet) -> AttrSet {
+        self.difference(rhs)
+    }
+}
+
+impl std::ops::BitOrAssign for AttrSet {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: AttrSet) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl FromIterator<Attr> for AttrSet {
+    fn from_iter<I: IntoIterator<Item = Attr>>(iter: I) -> Self {
+        let mut s = AttrSet::EMPTY;
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+}
+
+impl IntoIterator for AttrSet {
+    type Item = Attr;
+    type IntoIter = AttrIter;
+    fn into_iter(self) -> AttrIter {
+        self.iter()
+    }
+}
+
+impl fmt::Debug for AttrSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, a) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{}", a.0)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Iterator over the members of an [`AttrSet`].
+pub struct AttrIter(u128);
+
+impl Iterator for AttrIter {
+    type Item = Attr;
+
+    #[inline]
+    fn next(&mut self) -> Option<Attr> {
+        if self.0 == 0 {
+            None
+        } else {
+            let i = self.0.trailing_zeros();
+            self.0 &= self.0 - 1;
+            Some(Attr(i as u8))
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for AttrIter {}
+
+/// Iterator over all subsets of an [`AttrSet`].
+pub struct SubsetIter {
+    mask: u128,
+    current: u128,
+    done: bool,
+}
+
+impl Iterator for SubsetIter {
+    type Item = AttrSet;
+
+    fn next(&mut self) -> Option<AttrSet> {
+        if self.done {
+            return None;
+        }
+        let out = AttrSet(self.current);
+        if self.current == self.mask {
+            self.done = true;
+        } else {
+            // Standard subset-enumeration trick: step to the next subset
+            // of `mask` in lexicographic (binary) order.
+            self.current = (self.current.wrapping_sub(self.mask)) & self.mask;
+        }
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ix: &[usize]) -> AttrSet {
+        AttrSet::from_indices(ix.iter().copied())
+    }
+
+    #[test]
+    fn empty_set_basics() {
+        let e = AttrSet::EMPTY;
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert!(e.is_subset(e));
+        assert!(!e.is_proper_subset(e));
+        assert_eq!(e.first(), None);
+        assert_eq!(e.iter().count(), 0);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = AttrSet::EMPTY;
+        assert!(s.insert(Attr(3)));
+        assert!(!s.insert(Attr(3)));
+        assert!(s.contains(Attr(3)));
+        assert!(!s.contains(Attr(4)));
+        assert!(s.remove(Attr(3)));
+        assert!(!s.remove(Attr(3)));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = set(&[0, 1, 2]);
+        let b = set(&[2, 3]);
+        assert_eq!(a | b, set(&[0, 1, 2, 3]));
+        assert_eq!(a & b, set(&[2]));
+        assert_eq!(a - b, set(&[0, 1]));
+        assert_eq!(b - a, set(&[3]));
+        assert!(set(&[0, 1]).is_subset(a));
+        assert!(set(&[0, 1]).is_proper_subset(a));
+        assert!(!a.is_proper_subset(a));
+        assert!(a.is_disjoint(set(&[5, 6])));
+        assert!(!a.is_disjoint(b));
+    }
+
+    #[test]
+    fn first_n_covers_prefix() {
+        assert_eq!(AttrSet::first_n(0), AttrSet::EMPTY);
+        assert_eq!(AttrSet::first_n(3), set(&[0, 1, 2]));
+        assert_eq!(AttrSet::first_n(128).len(), 128);
+    }
+
+    #[test]
+    fn iteration_is_ascending() {
+        let s = set(&[7, 1, 100, 42]);
+        let got: Vec<usize> = s.iter().map(Attr::index).collect();
+        assert_eq!(got, vec![1, 7, 42, 100]);
+        assert_eq!(s.first(), Some(Attr(1)));
+    }
+
+    #[test]
+    fn high_bit_attributes() {
+        let mut s = AttrSet::EMPTY;
+        s.insert(Attr(127));
+        assert!(s.contains(Attr(127)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.iter().next(), Some(Attr(127)));
+    }
+
+    #[test]
+    fn subset_enumeration_is_complete_and_unique() {
+        let s = set(&[0, 2, 5]);
+        let subs: Vec<AttrSet> = s.subsets().collect();
+        assert_eq!(subs.len(), 8);
+        assert_eq!(subs[0], AttrSet::EMPTY);
+        assert_eq!(*subs.last().unwrap(), s);
+        let unique: std::collections::HashSet<u128> = subs.iter().map(|x| x.0).collect();
+        assert_eq!(unique.len(), 8);
+        for sub in subs {
+            assert!(sub.is_subset(s));
+        }
+    }
+
+    #[test]
+    fn subsets_of_empty() {
+        let subs: Vec<AttrSet> = AttrSet::EMPTY.subsets().collect();
+        assert_eq!(subs, vec![AttrSet::EMPTY]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: AttrSet = [Attr(1), Attr(4)].into_iter().collect();
+        assert_eq!(s, set(&[1, 4]));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds MAX_ATTRS")]
+    fn attr_index_overflow_panics() {
+        let _ = Attr::from(128usize);
+    }
+
+    #[test]
+    fn debug_format() {
+        assert_eq!(format!("{:?}", set(&[0, 3])), "{0,3}");
+    }
+}

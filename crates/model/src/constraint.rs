@@ -1,0 +1,422 @@
+//! The constraint language of the paper: possible and certain functional
+//! dependencies (Definition 1), possible and certain keys (from
+//! Köhler/Link/Zhou, recalled in Section 2), and NOT NULL constraints
+//! (represented by the schema's NFS).
+
+use crate::attrs::AttrSet;
+use crate::schema::TableSchema;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether a dependency is *possible* (strong similarity on the LHS,
+/// subscript `s`) or *certain* (weak similarity, subscript `w`).
+///
+/// A possible FD holds if *some* replacement of LHS nulls satisfies the
+/// FD classically; a certain FD holds if *every* replacement does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Modality {
+    /// `X →_s Y` / `p⟨X⟩`: LHS matched by strong similarity.
+    Possible,
+    /// `X →_w Y` / `c⟨X⟩`: LHS matched by weak similarity.
+    Certain,
+}
+
+impl Modality {
+    /// The subscript the paper uses (`s` for possible, `w` for certain).
+    pub fn subscript(self) -> char {
+        match self {
+            Modality::Possible => 's',
+            Modality::Certain => 'w',
+        }
+    }
+}
+
+/// A possible or certain functional dependency `X →_{s|w} Y`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Fd {
+    /// Left-hand side `X`.
+    pub lhs: AttrSet,
+    /// Right-hand side `Y`.
+    pub rhs: AttrSet,
+    /// Possible (`→_s`) or certain (`→_w`).
+    pub modality: Modality,
+}
+
+impl Fd {
+    /// A possible FD `X →_s Y`.
+    pub fn possible(lhs: AttrSet, rhs: AttrSet) -> Fd {
+        Fd {
+            lhs,
+            rhs,
+            modality: Modality::Possible,
+        }
+    }
+
+    /// A certain FD `X →_w Y`.
+    pub fn certain(lhs: AttrSet, rhs: AttrSet) -> Fd {
+        Fd {
+            lhs,
+            rhs,
+            modality: Modality::Certain,
+        }
+    }
+
+    /// Whether the FD is *internal*: `Y ⊆ X` (Definition 11).
+    pub fn is_internal(&self) -> bool {
+        self.rhs.is_subset(self.lhs)
+    }
+
+    /// Whether the FD is *external*: `Y ⊄ X` (Definition 11).
+    pub fn is_external(&self) -> bool {
+        !self.is_internal()
+    }
+
+    /// Whether the FD is syntactically *total*: a certain FD of the form
+    /// `X →_w XY`, i.e. whose RHS contains its LHS (Definition 9).
+    pub fn is_total_form(&self) -> bool {
+        self.modality == Modality::Certain && self.lhs.is_subset(self.rhs)
+    }
+
+    /// The total companion `X →_w X(Y∪X)` of a certain FD.
+    pub fn to_total(&self) -> Fd {
+        Fd::certain(self.lhs, self.rhs | self.lhs)
+    }
+
+    /// Whether the FD is trivial, i.e. implied by the empty constraint
+    /// set over a schema with NFS `nfs`:
+    ///
+    /// * a p-FD `X →_s Y` is trivial iff `Y ⊆ X`;
+    /// * a c-FD `X →_w Y` is trivial iff `Y ⊆ X ∩ T_S` (an internal
+    ///   c-FD on nullable attributes is *not* trivial — Section 6.2).
+    pub fn is_trivial(&self, nfs: AttrSet) -> bool {
+        match self.modality {
+            Modality::Possible => self.rhs.is_subset(self.lhs),
+            Modality::Certain => self.rhs.is_subset(self.lhs & nfs),
+        }
+    }
+
+    /// All attributes mentioned by the FD.
+    pub fn attrs(&self) -> AttrSet {
+        self.lhs | self.rhs
+    }
+
+    /// Renders the FD with column names, e.g. `item,catalog ->w price`.
+    pub fn display(&self, schema: &TableSchema) -> String {
+        format!(
+            "{} ->{} {}",
+            schema.display_set(self.lhs),
+            self.modality.subscript(),
+            schema.display_set(self.rhs)
+        )
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} ->{} {:?}", self.lhs, self.modality.subscript(), self.rhs)
+    }
+}
+
+/// A possible or certain key `p⟨X⟩` / `c⟨X⟩`.
+///
+/// A p-key (c-key) holds if no two tuples with distinct tuple identities
+/// are strongly (weakly) similar on `X`. Because tables are multisets,
+/// keys are *not* expressible as FDs (Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Key {
+    /// The key attributes `X`.
+    pub attrs: AttrSet,
+    /// Possible (`p⟨X⟩`) or certain (`c⟨X⟩`).
+    pub modality: Modality,
+}
+
+impl Key {
+    /// A possible key `p⟨X⟩`.
+    pub fn possible(attrs: AttrSet) -> Key {
+        Key {
+            attrs,
+            modality: Modality::Possible,
+        }
+    }
+
+    /// A certain key `c⟨X⟩`.
+    pub fn certain(attrs: AttrSet) -> Key {
+        Key {
+            attrs,
+            modality: Modality::Certain,
+        }
+    }
+
+    /// Renders the key with column names, e.g. `c<item,catalog>`.
+    pub fn display(&self, schema: &TableSchema) -> String {
+        let tag = match self.modality {
+            Modality::Possible => 'p',
+            Modality::Certain => 'c',
+        };
+        format!("{tag}<{}>", &schema.display_set(self.attrs)[1..schema.display_set(self.attrs).len() - 1])
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.modality {
+            Modality::Possible => 'p',
+            Modality::Certain => 'c',
+        };
+        write!(f, "{tag}<{:?}>", self.attrs)
+    }
+}
+
+/// Any constraint of the combined class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Constraint {
+    /// A possible or certain FD.
+    Fd(Fd),
+    /// A possible or certain key.
+    Key(Key),
+}
+
+impl Constraint {
+    /// Renders the constraint with column names.
+    pub fn display(&self, schema: &TableSchema) -> String {
+        match self {
+            Constraint::Fd(fd) => fd.display(schema),
+            Constraint::Key(k) => k.display(schema),
+        }
+    }
+}
+
+impl From<Fd> for Constraint {
+    fn from(fd: Fd) -> Constraint {
+        Constraint::Fd(fd)
+    }
+}
+
+impl From<Key> for Constraint {
+    fn from(k: Key) -> Constraint {
+        Constraint::Key(k)
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::Fd(fd) => write!(f, "{fd}"),
+            Constraint::Key(k) => write!(f, "{k}"),
+        }
+    }
+}
+
+/// A constraint set Σ over one schema: p/c-FDs and p/c-keys. The NOT
+/// NULL constraints live in the schema's NFS, completing the combined
+/// class the paper reasons about.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sigma {
+    /// The FDs of Σ.
+    pub fds: Vec<Fd>,
+    /// The keys of Σ.
+    pub keys: Vec<Key>,
+}
+
+impl Sigma {
+    /// The empty constraint set.
+    pub fn new() -> Sigma {
+        Sigma::default()
+    }
+
+    /// Builds Σ from any mix of constraints.
+    pub fn from_constraints(cs: impl IntoIterator<Item = Constraint>) -> Sigma {
+        let mut s = Sigma::new();
+        for c in cs {
+            s.add(c);
+        }
+        s
+    }
+
+    /// Adds one constraint.
+    pub fn add(&mut self, c: impl Into<Constraint>) {
+        match c.into() {
+            Constraint::Fd(fd) => self.fds.push(fd),
+            Constraint::Key(k) => self.keys.push(k),
+        }
+    }
+
+    /// Fluent insertion.
+    pub fn with(mut self, c: impl Into<Constraint>) -> Sigma {
+        self.add(c);
+        self
+    }
+
+    /// Number of constraints.
+    pub fn len(&self) -> usize {
+        self.fds.len() + self.keys.len()
+    }
+
+    /// Whether Σ is empty.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty() && self.keys.is_empty()
+    }
+
+    /// Iterates all constraints (FDs first).
+    pub fn iter(&self) -> impl Iterator<Item = Constraint> + '_ {
+        self.fds
+            .iter()
+            .copied()
+            .map(Constraint::Fd)
+            .chain(self.keys.iter().copied().map(Constraint::Key))
+    }
+
+    /// All attributes mentioned by some constraint of Σ.
+    pub fn attrs(&self) -> AttrSet {
+        let mut s = AttrSet::EMPTY;
+        for fd in &self.fds {
+            s |= fd.attrs();
+        }
+        for k in &self.keys {
+            s |= k.attrs;
+        }
+        s
+    }
+
+    /// The *FD-projection* `Σ|FD` of Definition 3: every key `X` is
+    /// replaced by the FD `X → T` of the same modality.
+    pub fn fd_projection(&self, t: AttrSet) -> Vec<Fd> {
+        let mut out = self.fds.clone();
+        for k in &self.keys {
+            out.push(Fd {
+                lhs: k.attrs,
+                rhs: t,
+                modality: k.modality,
+            });
+        }
+        out
+    }
+
+    /// The *key-projection* `Σ|key` of Definition 3: the keys of Σ.
+    pub fn key_projection(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Whether Σ consists of certain keys and certain FDs only (the
+    /// class SQL-BCNF is defined for, Definition 12).
+    pub fn is_certain_only(&self) -> bool {
+        self.fds.iter().all(|f| f.modality == Modality::Certain)
+            && self.keys.iter().all(|k| k.modality == Modality::Certain)
+    }
+
+    /// Whether Σ consists of certain keys and *total* FDs only (the
+    /// input class of the VRNF decomposition, Algorithm 3).
+    pub fn is_total_fds_and_ckeys(&self) -> bool {
+        self.fds.iter().all(Fd::is_total_form)
+            && self.keys.iter().all(|k| k.modality == Modality::Certain)
+    }
+
+    /// Renders Σ with column names.
+    pub fn display(&self, schema: &TableSchema) -> String {
+        let items: Vec<String> = self.iter().map(|c| c.display(schema)).collect();
+        format!("{{{}}}", items.join(", "))
+    }
+}
+
+impl FromIterator<Constraint> for Sigma {
+    fn from_iter<I: IntoIterator<Item = Constraint>>(iter: I) -> Sigma {
+        Sigma::from_constraints(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttrSet;
+
+    fn s(ix: &[usize]) -> AttrSet {
+        AttrSet::from_indices(ix.iter().copied())
+    }
+
+    #[test]
+    fn fd_shape_predicates() {
+        let internal = Fd::certain(s(&[0, 1]), s(&[1]));
+        assert!(internal.is_internal());
+        assert!(!internal.is_external());
+        let external = Fd::certain(s(&[0]), s(&[0, 1]));
+        assert!(external.is_external());
+        assert!(external.is_total_form());
+        let not_total = Fd::certain(s(&[0]), s(&[1]));
+        assert!(!not_total.is_total_form());
+        assert_eq!(not_total.to_total(), Fd::certain(s(&[0]), s(&[0, 1])));
+        // p-FDs are never total (totality is a c-FD notion).
+        assert!(!Fd::possible(s(&[0]), s(&[0, 1])).is_total_form());
+    }
+
+    #[test]
+    fn triviality_depends_on_modality_and_nfs() {
+        let nfs = s(&[0]);
+        // p-FD X →_s Y trivial iff Y ⊆ X.
+        assert!(Fd::possible(s(&[0, 1]), s(&[1])).is_trivial(nfs));
+        assert!(!Fd::possible(s(&[0]), s(&[1])).is_trivial(nfs));
+        // c-FD X →_w Y trivial iff Y ⊆ X ∩ T_S.
+        assert!(Fd::certain(s(&[0, 1]), s(&[0])).is_trivial(nfs));
+        // Internal but on a nullable attribute: non-trivial
+        // (the oic →_w c example of Section 6.2).
+        assert!(!Fd::certain(s(&[0, 1]), s(&[1])).is_trivial(nfs));
+    }
+
+    #[test]
+    fn sigma_collections() {
+        let sigma = Sigma::new()
+            .with(Fd::possible(s(&[0, 1]), s(&[2])))
+            .with(Fd::certain(s(&[1, 2]), s(&[3])))
+            .with(Key::possible(s(&[0, 1, 2])));
+        assert_eq!(sigma.len(), 3);
+        assert_eq!(sigma.fds.len(), 2);
+        assert_eq!(sigma.keys.len(), 1);
+        assert_eq!(sigma.attrs(), s(&[0, 1, 2, 3]));
+        assert!(!sigma.is_certain_only());
+        assert!(!sigma.is_empty());
+        assert_eq!(sigma.iter().count(), 3);
+    }
+
+    #[test]
+    fn fd_projection_replaces_keys() {
+        // The paper's example: Σ = {oi →_s c, p⟨oic⟩} over oicp gives
+        // Σ|FD = {oi →_s c, oic →_s oicp}.
+        let t = s(&[0, 1, 2, 3]);
+        let sigma = Sigma::new()
+            .with(Fd::possible(s(&[0, 1]), s(&[2])))
+            .with(Key::possible(s(&[0, 1, 2])));
+        let fds = sigma.fd_projection(t);
+        assert_eq!(fds.len(), 2);
+        assert_eq!(fds[1], Fd::possible(s(&[0, 1, 2]), t));
+        assert_eq!(sigma.key_projection().len(), 1);
+    }
+
+    #[test]
+    fn class_tests() {
+        let total_only = Sigma::new()
+            .with(Fd::certain(s(&[0]), s(&[0, 1])))
+            .with(Key::certain(s(&[0, 1])));
+        assert!(total_only.is_certain_only());
+        assert!(total_only.is_total_fds_and_ckeys());
+        let not_total = Sigma::new().with(Fd::certain(s(&[0]), s(&[1])));
+        assert!(not_total.is_certain_only());
+        assert!(!not_total.is_total_fds_and_ckeys());
+    }
+
+    #[test]
+    fn display_with_names() {
+        let schema = crate::schema::TableSchema::new(
+            "purchase",
+            ["order_id", "item", "catalog", "price"],
+            &[],
+        );
+        let fd = Fd::certain(schema.set(&["item", "catalog"]), schema.set(&["price"]));
+        assert_eq!(fd.display(&schema), "{item,catalog} ->w {price}");
+        let k = Key::certain(schema.set(&["item", "catalog"]));
+        assert_eq!(k.display(&schema), "c<item,catalog>");
+        let sigma = Sigma::new().with(fd).with(k);
+        assert_eq!(
+            sigma.display(&schema),
+            "{{item,catalog} ->w {price}, c<item,catalog>}"
+        );
+    }
+}

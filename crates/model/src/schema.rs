@@ -1,0 +1,289 @@
+//! Table schemata `(T, T_S)`: a finite attribute set together with a
+//! null-free subschema (the SQL `NOT NULL` columns).
+
+use crate::attrs::{Attr, AttrSet, MAX_ATTRS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// A table schema `(T, T_S)`.
+///
+/// `T` is the full attribute set (all columns, indices `0..arity`), and
+/// `T_S ⊆ T` is the *null-free subschema* (NFS): the set of attributes
+/// declared `NOT NULL`. A table over `(T, T_S)` must be `T_S`-total.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<String>,
+    nfs: AttrSet,
+}
+
+impl TableSchema {
+    /// Creates a schema from a table name, column names, and the names of
+    /// the `NOT NULL` columns.
+    ///
+    /// # Panics
+    /// Panics on more than [`MAX_ATTRS`] columns, duplicate column names,
+    /// an empty column list, or an NFS column that is not a column.
+    pub fn new<S: Into<String>>(
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = S>,
+        not_null: &[&str],
+    ) -> Self {
+        let columns: Vec<String> = columns.into_iter().map(Into::into).collect();
+        assert!(!columns.is_empty(), "a table schema must be non-empty");
+        assert!(
+            columns.len() <= MAX_ATTRS,
+            "at most {MAX_ATTRS} columns are supported"
+        );
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].contains(c),
+                "duplicate column name {c:?}"
+            );
+        }
+        let mut nfs = AttrSet::EMPTY;
+        for nn in not_null {
+            let idx = columns
+                .iter()
+                .position(|c| c == nn)
+                .unwrap_or_else(|| panic!("NOT NULL column {nn:?} is not a column"));
+            nfs.insert(Attr::from(idx));
+        }
+        TableSchema {
+            name: name.into(),
+            columns,
+            nfs,
+        }
+    }
+
+    /// Creates a schema in which every column is `NOT NULL` — the
+    /// idealized relational special case of Section 1.
+    pub fn total<S: Into<String>>(
+        name: impl Into<String>,
+        columns: impl IntoIterator<Item = S>,
+    ) -> Self {
+        let mut s = TableSchema::new(name, columns, &[]);
+        s.nfs = s.attrs();
+        s
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The full attribute set `T`.
+    pub fn attrs(&self) -> AttrSet {
+        AttrSet::first_n(self.columns.len())
+    }
+
+    /// The null-free subschema `T_S`.
+    pub fn nfs(&self) -> AttrSet {
+        self.nfs
+    }
+
+    /// Replaces the NFS (used by generators and the decomposition code).
+    pub fn with_nfs(mut self, nfs: AttrSet) -> Self {
+        assert!(nfs.is_subset(self.attrs()), "NFS must be a subset of T");
+        self.nfs = nfs;
+        self
+    }
+
+    /// Renames the table.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Whether attribute `a` is declared `NOT NULL`.
+    pub fn is_not_null(&self, a: Attr) -> bool {
+        self.nfs.contains(a)
+    }
+
+    /// Column name of attribute `a`.
+    pub fn column_name(&self, a: Attr) -> &str {
+        &self.columns[a.index()]
+    }
+
+    /// All column names in order.
+    pub fn column_names(&self) -> &[String] {
+        &self.columns
+    }
+
+    /// Resolves a column name to its attribute, if present.
+    pub fn attr(&self, column: &str) -> Option<Attr> {
+        self.columns
+            .iter()
+            .position(|c| c == column)
+            .map(Attr::from)
+    }
+
+    /// Resolves a column name, panicking with a helpful message when the
+    /// column does not exist. Intended for tests and examples.
+    pub fn a(&self, column: &str) -> Attr {
+        self.attr(column)
+            .unwrap_or_else(|| panic!("no column {column:?} in table {:?}", self.name))
+    }
+
+    /// Resolves several column names into an [`AttrSet`].
+    pub fn set(&self, columns: &[&str]) -> AttrSet {
+        columns.iter().map(|c| self.a(c)).collect()
+    }
+
+    /// Formats an attribute set using column names, e.g. `{item,catalog}`.
+    pub fn display_set(&self, x: AttrSet) -> String {
+        let mut out = String::from("{");
+        for (i, a) in x.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(self.column_name(a));
+        }
+        out.push('}');
+        out
+    }
+
+    /// The projected schema over the attribute set `x`: keeps the columns
+    /// of `x` (in ascending original order) and intersects the NFS, as in
+    /// the paper's sub-schema construction `(X, X ∩ T_S, Σ[X])`.
+    ///
+    /// Returns the projected schema together with the map from new
+    /// attribute indices to old ones.
+    pub fn project(&self, x: AttrSet, name: impl Into<String>) -> (TableSchema, Vec<Attr>) {
+        assert!(x.is_subset(self.attrs()), "projection outside schema");
+        assert!(!x.is_empty(), "a table schema must be non-empty");
+        let old: Vec<Attr> = x.iter().collect();
+        let columns: Vec<String> = old.iter().map(|&a| self.columns[a.index()].clone()).collect();
+        let mut nfs = AttrSet::EMPTY;
+        for (new_ix, &a) in old.iter().enumerate() {
+            if self.nfs.contains(a) {
+                nfs.insert(Attr::from(new_ix));
+            }
+        }
+        (
+            TableSchema {
+                name: name.into(),
+                columns,
+                nfs,
+            },
+            old,
+        )
+    }
+
+    /// Translates an attribute set of this schema into the projected
+    /// schema produced by [`TableSchema::project`] for `x`. Attributes
+    /// outside `x` are dropped.
+    pub fn translate_into_projection(&self, x: AttrSet, s: AttrSet) -> AttrSet {
+        let mut out = AttrSet::EMPTY;
+        for (new_ix, a) in x.iter().enumerate() {
+            if s.contains(a) {
+                out.insert(Attr::from(new_ix));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for TableSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+            if self.nfs.contains(Attr::from(i)) {
+                write!(f, " NOT NULL")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+/// Shared schema handle used by tables; cloning is cheap.
+pub type SchemaRef = Arc<TableSchema>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn purchase() -> TableSchema {
+        // The running example: PURCHASE = {order_id, item, catalog, price}
+        // with T_S = {order_id, catalog, price}.
+        TableSchema::new(
+            "purchase",
+            ["order_id", "item", "catalog", "price"],
+            &["order_id", "catalog", "price"],
+        )
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = purchase();
+        assert_eq!(s.name(), "purchase");
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.attrs().len(), 4);
+        assert_eq!(s.nfs(), s.set(&["order_id", "catalog", "price"]));
+        assert!(s.is_not_null(s.a("price")));
+        assert!(!s.is_not_null(s.a("item")));
+        assert_eq!(s.column_name(Attr(1)), "item");
+        assert_eq!(s.attr("nope"), None);
+    }
+
+    #[test]
+    fn total_schema_has_full_nfs() {
+        let s = TableSchema::total("r", ["a", "b"]);
+        assert_eq!(s.nfs(), s.attrs());
+    }
+
+    #[test]
+    fn display_set_uses_names() {
+        let s = purchase();
+        assert_eq!(s.display_set(s.set(&["item", "catalog"])), "{item,catalog}");
+        assert_eq!(s.display_set(AttrSet::EMPTY), "{}");
+    }
+
+    #[test]
+    fn projection_remaps_attrs_and_nfs() {
+        let s = purchase();
+        let icp = s.set(&["item", "catalog", "price"]);
+        let (p, old) = s.project(icp, "purchase_icp");
+        assert_eq!(p.column_names(), &["item", "catalog", "price"]);
+        assert_eq!(old, vec![Attr(1), Attr(2), Attr(3)]);
+        // item was nullable, catalog and price NOT NULL.
+        assert_eq!(p.nfs(), p.set(&["catalog", "price"]));
+        // Translation: {catalog} in the old schema maps to index 1 here.
+        let t = s.translate_into_projection(icp, s.set(&["catalog", "order_id"]));
+        assert_eq!(t, p.set(&["catalog"]));
+    }
+
+    #[test]
+    fn schema_display() {
+        let s = TableSchema::new("r", ["a", "b"], &["a"]);
+        assert_eq!(s.to_string(), "r(a NOT NULL, b)");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_columns_rejected() {
+        let _ = TableSchema::new("r", ["a", "a"], &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a column")]
+    fn unknown_not_null_rejected() {
+        let _ = TableSchema::new("r", ["a"], &["b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_schema_rejected() {
+        let _ = TableSchema::new("r", Vec::<String>::new(), &[]);
+    }
+}

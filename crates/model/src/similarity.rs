@@ -1,0 +1,190 @@
+//! Weak and strong similarity (Section 2 of the paper).
+//!
+//! For tuples `t, t'` over `T` and `X ⊆ T`:
+//!
+//! * `t[X] ∼_w t'[X]` (*weak similarity*) iff for every `A ∈ X`,
+//!   `t[A] = t'[A]` or `t[A] = ⊥` or `t'[A] = ⊥`;
+//! * `t[X] ∼_s t'[X]` (*strong similarity*) iff for every `A ∈ X`,
+//!   `t[A] = t'[A] ≠ ⊥`.
+//!
+//! On `X`-total tuples the two coincide with classical agreement. Note
+//! that weak similarity is reflexive and symmetric but **not**
+//! transitive, which is the combinatorial root of most of the paper's
+//! departures from relational theory.
+
+use crate::attrs::{Attr, AttrSet};
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Per-attribute agreement classification of a pair of cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Agreement {
+    /// Both non-null and equal: contributes to strong and weak similarity
+    /// and to equality.
+    EqNonNull,
+    /// Both non-null and distinct: breaks everything.
+    NeqNonNull,
+    /// Exactly one side is `⊥`: weakly similar, not equal.
+    OneNull,
+    /// Both sides are `⊥`: weakly similar and (syntactically) equal, but
+    /// not strongly similar.
+    BothNull,
+}
+
+impl Agreement {
+    /// Classifies a pair of cell values.
+    #[inline]
+    pub fn of(a: &Value, b: &Value) -> Agreement {
+        match (a.is_null(), b.is_null()) {
+            (true, true) => Agreement::BothNull,
+            (true, false) | (false, true) => Agreement::OneNull,
+            (false, false) => {
+                if a == b {
+                    Agreement::EqNonNull
+                } else {
+                    Agreement::NeqNonNull
+                }
+            }
+        }
+    }
+
+    /// Whether this agreement admits weak similarity on the attribute.
+    #[inline]
+    pub fn weakly_similar(self) -> bool {
+        self != Agreement::NeqNonNull
+    }
+
+    /// Whether this agreement admits strong similarity on the attribute.
+    #[inline]
+    pub fn strongly_similar(self) -> bool {
+        self == Agreement::EqNonNull
+    }
+
+    /// Whether this agreement is syntactic equality (`⊥ = ⊥`).
+    #[inline]
+    pub fn equal(self) -> bool {
+        matches!(self, Agreement::EqNonNull | Agreement::BothNull)
+    }
+}
+
+/// `t[X] ∼_w t'[X]`.
+pub fn weakly_similar(t: &Tuple, u: &Tuple, x: AttrSet) -> bool {
+    x.iter().all(|a| Agreement::of(t.get(a), u.get(a)).weakly_similar())
+}
+
+/// `t[X] ∼_s t'[X]`.
+pub fn strongly_similar(t: &Tuple, u: &Tuple, x: AttrSet) -> bool {
+    x.iter().all(|a| Agreement::of(t.get(a), u.get(a)).strongly_similar())
+}
+
+/// Syntactic equality `t[X] = t'[X]` (with `⊥ = ⊥`); same as
+/// [`Tuple::eq_on`], provided here for symmetry.
+pub fn equal_on(t: &Tuple, u: &Tuple, x: AttrSet) -> bool {
+    t.eq_on(u, x)
+}
+
+/// The full agreement profile of a pair: for each attribute of the
+/// schema, its [`Agreement`]. This is the finite abstraction on which
+/// the 2-tuple implication oracle of `sqlnf-core` is built.
+pub fn agreement_profile(t: &Tuple, u: &Tuple) -> Vec<Agreement> {
+    assert_eq!(t.arity(), u.arity());
+    (0..t.arity())
+        .map(|i| {
+            let a = Attr::from(i);
+            Agreement::of(t.get(a), u.get(a))
+        })
+        .collect()
+}
+
+/// The set of attributes on which the pair is weakly similar.
+pub fn weak_agree_set(t: &Tuple, u: &Tuple) -> AttrSet {
+    (0..t.arity())
+        .map(Attr::from)
+        .filter(|&a| Agreement::of(t.get(a), u.get(a)).weakly_similar())
+        .collect()
+}
+
+/// The set of attributes on which the pair is strongly similar.
+pub fn strong_agree_set(t: &Tuple, u: &Tuple) -> AttrSet {
+    (0..t.arity())
+        .map(Attr::from)
+        .filter(|&a| Agreement::of(t.get(a), u.get(a)).strongly_similar())
+        .collect()
+}
+
+/// The set of attributes on which the pair is syntactically equal.
+pub fn equal_set(t: &Tuple, u: &Tuple) -> AttrSet {
+    (0..t.arity())
+        .map(Attr::from)
+        .filter(|&a| Agreement::of(t.get(a), u.get(a)).equal())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn agreement_classification() {
+        use Agreement::*;
+        assert_eq!(Agreement::of(&Value::Int(1), &Value::Int(1)), EqNonNull);
+        assert_eq!(Agreement::of(&Value::Int(1), &Value::Int(2)), NeqNonNull);
+        assert_eq!(Agreement::of(&Value::Null, &Value::Int(1)), OneNull);
+        assert_eq!(Agreement::of(&Value::Int(1), &Value::Null), OneNull);
+        assert_eq!(Agreement::of(&Value::Null, &Value::Null), BothNull);
+    }
+
+    #[test]
+    fn agreement_predicates() {
+        use Agreement::*;
+        assert!(EqNonNull.weakly_similar() && EqNonNull.strongly_similar() && EqNonNull.equal());
+        assert!(!NeqNonNull.weakly_similar() && !NeqNonNull.strongly_similar() && !NeqNonNull.equal());
+        assert!(OneNull.weakly_similar() && !OneNull.strongly_similar() && !OneNull.equal());
+        assert!(BothNull.weakly_similar() && !BothNull.strongly_similar() && BothNull.equal());
+    }
+
+    #[test]
+    fn similarity_on_sets() {
+        // Figure 5's first two tuples: weakly similar on {item,catalog},
+        // not strongly.
+        let t1 = tuple![5299401i64, "Fitbit Surge", "Amazon", 240i64];
+        let t2 = tuple![5299401i64, "Fitbit Surge", null, 240i64];
+        let ic = AttrSet::from_indices([1, 2]);
+        assert!(weakly_similar(&t1, &t2, ic));
+        assert!(!strongly_similar(&t1, &t2, ic));
+        assert!(strongly_similar(&t1, &t2, AttrSet::from_indices([1])));
+        // On the empty set everything is similar.
+        assert!(weakly_similar(&t1, &t2, AttrSet::EMPTY));
+        assert!(strongly_similar(&t1, &t2, AttrSet::EMPTY));
+    }
+
+    #[test]
+    fn weak_similarity_is_not_transitive() {
+        let a = tuple!["x"];
+        let b = tuple![null];
+        let c = tuple!["y"];
+        let all = AttrSet::from_indices([0]);
+        assert!(weakly_similar(&a, &b, all));
+        assert!(weakly_similar(&b, &c, all));
+        assert!(!weakly_similar(&a, &c, all));
+    }
+
+    #[test]
+    fn agree_sets() {
+        let t = tuple![1i64, null, "a", null];
+        let u = tuple![1i64, 2i64, "b", null];
+        assert_eq!(weak_agree_set(&t, &u), AttrSet::from_indices([0, 1, 3]));
+        assert_eq!(strong_agree_set(&t, &u), AttrSet::from_indices([0]));
+        assert_eq!(equal_set(&t, &u), AttrSet::from_indices([0, 3]));
+        assert_eq!(
+            agreement_profile(&t, &u),
+            vec![
+                Agreement::EqNonNull,
+                Agreement::OneNull,
+                Agreement::NeqNonNull,
+                Agreement::BothNull
+            ]
+        );
+    }
+}

@@ -1,0 +1,660 @@
+//! A small SQL front-end for schema design: `CREATE TABLE` with
+//! possible/certain key and FD constraints, and `INSERT INTO … VALUES`.
+//!
+//! The dialect extends SQL DDL with the paper's constraint language:
+//!
+//! ```sql
+//! CREATE TABLE purchase (
+//!     order_id INT NOT NULL,
+//!     item     TEXT NOT NULL,
+//!     catalog  TEXT,
+//!     price    INT NOT NULL,
+//!     CONSTRAINT line CERTAIN FD (order_id, item, catalog)
+//!                               -> (order_id, item, catalog, price),
+//!     CONSTRAINT uniq POSSIBLE KEY (order_id, item, catalog)
+//! );
+//!
+//! INSERT INTO purchase VALUES
+//!     (5299401, 'Fitbit Surge', NULL, 240),
+//!     (7485113, 'Dora Doll', 'Kingtoys', 25);
+//! ```
+//!
+//! `render_create_table` emits the same dialect, so normalized designs
+//! round-trip back into DDL.
+
+use crate::attrs::AttrSet;
+use crate::constraint::{Fd, Key, Modality, Sigma};
+use crate::schema::TableSchema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (columns…, constraints…)`.
+    CreateTable {
+        /// The declared schema (columns + NOT NULL set).
+        schema: TableSchema,
+        /// The declared constraint set.
+        sigma: Sigma,
+    },
+    /// `INSERT INTO name VALUES (…), (…)`.
+    Insert {
+        /// Target table name.
+        table: String,
+        /// The tuples to insert.
+        rows: Vec<Tuple>,
+    },
+}
+
+/// Parse errors with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset in the input where the error was noticed.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    Punct(char),
+    Arrow,
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    pos: usize,
+    toks: Vec<(Tok, usize)>,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
+    let mut l = Lexer {
+        src,
+        pos: 0,
+        toks: Vec::new(),
+    };
+    let bytes = src.as_bytes();
+    while l.pos < bytes.len() {
+        let c = bytes[l.pos] as char;
+        let start = l.pos;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                l.pos += 1;
+            }
+            '-' => {
+                if bytes.get(l.pos + 1) == Some(&b'-') {
+                    // -- line comment
+                    while l.pos < bytes.len() && bytes[l.pos] != b'\n' {
+                        l.pos += 1;
+                    }
+                } else if bytes.get(l.pos + 1) == Some(&b'>') {
+                    l.toks.push((Tok::Arrow, start));
+                    l.pos += 2;
+                } else {
+                    // negative number literal
+                    l.pos += 1;
+                    let ds = l.pos;
+                    while l.pos < bytes.len() && bytes[l.pos].is_ascii_digit() {
+                        l.pos += 1;
+                    }
+                    if ds == l.pos {
+                        return Err(ParseError {
+                            message: "expected digits after '-'".into(),
+                            offset: start,
+                        });
+                    }
+                    let n: i64 = l.src[ds..l.pos].parse().map_err(|_| ParseError {
+                        message: "integer out of range".into(),
+                        offset: start,
+                    })?;
+                    l.toks.push((Tok::Int(-n), start));
+                }
+            }
+            '(' | ')' | ',' | ';' => {
+                l.toks.push((Tok::Punct(c), start));
+                l.pos += 1;
+            }
+            '\'' => {
+                l.pos += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(l.pos) {
+                        None => {
+                            return Err(ParseError {
+                                message: "unterminated string literal".into(),
+                                offset: start,
+                            })
+                        }
+                        Some(b'\'') => {
+                            if bytes.get(l.pos + 1) == Some(&b'\'') {
+                                s.push('\'');
+                                l.pos += 2;
+                            } else {
+                                l.pos += 1;
+                                break;
+                            }
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            l.pos += 1;
+                        }
+                    }
+                }
+                l.toks.push((Tok::Str(s), start));
+            }
+            '0'..='9' => {
+                while l.pos < bytes.len() && bytes[l.pos].is_ascii_digit() {
+                    l.pos += 1;
+                }
+                let n: i64 = l.src[start..l.pos].parse().map_err(|_| ParseError {
+                    message: "integer out of range".into(),
+                    offset: start,
+                })?;
+                l.toks.push((Tok::Int(n), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '"' => {
+                if c == '"' {
+                    // quoted identifier
+                    l.pos += 1;
+                    let ids = l.pos;
+                    while l.pos < bytes.len() && bytes[l.pos] != b'"' {
+                        l.pos += 1;
+                    }
+                    if l.pos == bytes.len() {
+                        return Err(ParseError {
+                            message: "unterminated quoted identifier".into(),
+                            offset: start,
+                        });
+                    }
+                    l.toks.push((Tok::Ident(l.src[ids..l.pos].to_owned()), start));
+                    l.pos += 1;
+                } else {
+                    while l.pos < bytes.len()
+                        && ((bytes[l.pos] as char).is_ascii_alphanumeric() || bytes[l.pos] == b'_')
+                    {
+                        l.pos += 1;
+                    }
+                    l.toks.push((Tok::Ident(l.src[start..l.pos].to_owned()), start));
+                }
+            }
+            other => {
+                return Err(ParseError {
+                    message: format!("unexpected character {other:?}"),
+                    offset: start,
+                })
+            }
+        }
+    }
+    Ok(l.toks)
+}
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    at: usize,
+    end: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.at).map(|(t, _)| t)
+    }
+
+    fn offset(&self) -> usize {
+        self.toks.get(self.at).map_or(self.end, |(_, o)| *o)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.offset(),
+        }
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.at).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), ParseError> {
+        match self.next() {
+            Some(Tok::Punct(p)) if p == c => Ok(()),
+            _ => {
+                self.at = self.at.saturating_sub(1);
+                Err(self.err(format!("expected {c:?}")))
+            }
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Tok::Ident(s)) = self.peek() {
+            if s.eq_ignore_ascii_case(kw) {
+                self.at += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            _ => {
+                self.at = self.at.saturating_sub(1);
+                Err(self.err("expected identifier"))
+            }
+        }
+    }
+
+    fn column_list(&mut self, columns: &[String]) -> Result<AttrSet, ParseError> {
+        self.expect_punct('(')?;
+        let mut set = AttrSet::EMPTY;
+        // Empty lists are legal: `FD () -> (a)` declares a constant
+        // column, and `KEY ()` forbids a second row outright.
+        if let Some(Tok::Punct(')')) = self.peek() {
+            self.at += 1;
+            return Ok(set);
+        }
+        loop {
+            let name = self.ident()?;
+            let ix = columns
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(&name))
+                .ok_or_else(|| self.err(format!("unknown column {name:?} in constraint")))?;
+            set.insert(ix.into());
+            match self.next() {
+                Some(Tok::Punct(',')) => continue,
+                Some(Tok::Punct(')')) => return Ok(set),
+                _ => {
+                    self.at = self.at.saturating_sub(1);
+                    return Err(self.err("expected ',' or ')' in column list"));
+                }
+            }
+        }
+    }
+
+    fn modality(&mut self) -> Result<Modality, ParseError> {
+        if self.eat_keyword("POSSIBLE") {
+            Ok(Modality::Possible)
+        } else if self.eat_keyword("CERTAIN") {
+            Ok(Modality::Certain)
+        } else {
+            Err(self.err("expected POSSIBLE or CERTAIN"))
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("TABLE")?;
+        let name = self.ident()?;
+        self.expect_punct('(')?;
+
+        let mut columns: Vec<String> = Vec::new();
+        let mut not_null: Vec<String> = Vec::new();
+        // Constraints are collected as raw pieces first; column indices
+        // resolve once all columns are known (we require constraints to
+        // follow all column declarations, as standard SQL does).
+        let mut sigma = Sigma::new();
+        loop {
+            if self.eat_keyword("CONSTRAINT") {
+                let _cname = self.ident()?;
+                let modality = self.modality()?;
+                if self.eat_keyword("KEY") {
+                    let attrs = self.column_list(&columns)?;
+                    sigma.add(Key { attrs, modality });
+                } else if self.eat_keyword("FD") {
+                    let lhs = self.column_list(&columns)?;
+                    match self.next() {
+                        Some(Tok::Arrow) => {}
+                        _ => {
+                            self.at = self.at.saturating_sub(1);
+                            return Err(self.err("expected '->' in FD constraint"));
+                        }
+                    }
+                    let rhs = self.column_list(&columns)?;
+                    sigma.add(Fd { lhs, rhs, modality });
+                } else {
+                    return Err(self.err("expected KEY or FD after modality"));
+                }
+            } else {
+                // Column declaration: name TYPE [NOT NULL]
+                let col = self.ident()?;
+                let ty = self.ident()?;
+                let known = ["INT", "INTEGER", "BIGINT", "TEXT", "VARCHAR", "BOOL", "BOOLEAN"];
+                if !known.iter().any(|k| k.eq_ignore_ascii_case(&ty)) {
+                    return Err(self.err(format!("unknown type {ty:?}")));
+                }
+                if self.eat_keyword("NOT") {
+                    self.expect_keyword("NULL")?;
+                    not_null.push(col.clone());
+                }
+                if columns.iter().any(|c| c == &col) {
+                    return Err(self.err(format!("duplicate column {col:?}")));
+                }
+                if columns.len() >= crate::attrs::MAX_ATTRS {
+                    return Err(self.err("at most 128 columns are supported"));
+                }
+                columns.push(col);
+            }
+            match self.next() {
+                Some(Tok::Punct(',')) => continue,
+                Some(Tok::Punct(')')) => break,
+                _ => {
+                    self.at = self.at.saturating_sub(1);
+                    return Err(self.err("expected ',' or ')' in CREATE TABLE"));
+                }
+            }
+        }
+        if columns.is_empty() {
+            return Err(self.err("CREATE TABLE needs at least one column"));
+        }
+        let nn: Vec<&str> = not_null.iter().map(String::as_str).collect();
+        let schema = TableSchema::new(name, columns, &nn);
+        Ok(Statement::CreateTable { schema, sigma })
+    }
+
+    fn insert(&mut self) -> Result<Statement, ParseError> {
+        self.expect_keyword("INTO")?;
+        let table = self.ident()?;
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_punct('(')?;
+            let mut vals: Vec<Value> = Vec::new();
+            loop {
+                let v = match self.next() {
+                    Some(Tok::Int(i)) => Value::Int(i),
+                    Some(Tok::Str(s)) => Value::Str(s),
+                    Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("NULL") => Value::Null,
+                    Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("TRUE") => Value::Bool(true),
+                    Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("FALSE") => Value::Bool(false),
+                    _ => {
+                        self.at = self.at.saturating_sub(1);
+                        return Err(self.err("expected literal in VALUES"));
+                    }
+                };
+                vals.push(v);
+                match self.next() {
+                    Some(Tok::Punct(',')) => continue,
+                    Some(Tok::Punct(')')) => break,
+                    _ => {
+                        self.at = self.at.saturating_sub(1);
+                        return Err(self.err("expected ',' or ')' in VALUES tuple"));
+                    }
+                }
+            }
+            rows.push(Tuple::new(vals));
+            if let Some(Tok::Punct(',')) = self.peek() {
+                self.at += 1;
+                continue;
+            }
+            break;
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn statement(&mut self) -> Result<Statement, ParseError> {
+        if self.eat_keyword("CREATE") {
+            self.create_table()
+        } else if self.eat_keyword("INSERT") {
+            self.insert()
+        } else {
+            Err(self.err("expected CREATE or INSERT"))
+        }
+    }
+}
+
+/// Parses a script of `;`-separated statements.
+pub fn parse_script(src: &str) -> Result<Vec<Statement>, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser {
+        toks,
+        at: 0,
+        end: src.len(),
+    };
+    let mut out = Vec::new();
+    loop {
+        // Skip stray semicolons.
+        while let Some(Tok::Punct(';')) = p.peek() {
+            p.at += 1;
+        }
+        if p.peek().is_none() {
+            return Ok(out);
+        }
+        out.push(p.statement()?);
+        if p.peek().is_some() {
+            p.expect_punct(';')?;
+        }
+    }
+}
+
+/// Parses a single statement.
+pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
+    let stmts = parse_script(src)?;
+    match <[Statement; 1]>::try_from(stmts) {
+        Ok([s]) => Ok(s),
+        Err(v) => Err(ParseError {
+            message: format!("expected exactly one statement, found {}", v.len()),
+            offset: 0,
+        }),
+    }
+}
+
+fn quote_ident(name: &str) -> String {
+    if !name.is_empty()
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+    {
+        name.to_owned()
+    } else {
+        format!("\"{name}\"")
+    }
+}
+
+fn column_list_sql(schema: &TableSchema, set: AttrSet) -> String {
+    let cols: Vec<String> = set
+        .iter()
+        .map(|a| quote_ident(schema.column_name(a)))
+        .collect();
+    format!("({})", cols.join(", "))
+}
+
+/// Renders a schema + constraint set back into the DDL dialect parsed
+/// by [`parse_script`] (round-trip tested).
+pub fn render_create_table(schema: &TableSchema, sigma: &Sigma) -> String {
+    let mut lines: Vec<String> = Vec::new();
+    for (i, col) in schema.column_names().iter().enumerate() {
+        let nn = if schema.nfs().contains(i.into()) {
+            " NOT NULL"
+        } else {
+            ""
+        };
+        lines.push(format!("    {} TEXT{nn}", quote_ident(col)));
+    }
+    for (i, fd) in sigma.fds.iter().enumerate() {
+        let m = match fd.modality {
+            Modality::Possible => "POSSIBLE",
+            Modality::Certain => "CERTAIN",
+        };
+        lines.push(format!(
+            "    CONSTRAINT fd{i} {m} FD {} -> {}",
+            column_list_sql(schema, fd.lhs),
+            column_list_sql(schema, fd.rhs)
+        ));
+    }
+    for (i, key) in sigma.keys.iter().enumerate() {
+        let m = match key.modality {
+            Modality::Possible => "POSSIBLE",
+            Modality::Certain => "CERTAIN",
+        };
+        lines.push(format!(
+            "    CONSTRAINT key{i} {m} KEY {}",
+            column_list_sql(schema, key.attrs)
+        ));
+    }
+    format!(
+        "CREATE TABLE {} (\n{}\n);",
+        quote_ident(schema.name()),
+        lines.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    const PURCHASE_DDL: &str = "
+        CREATE TABLE purchase (
+            order_id INT NOT NULL,
+            item     TEXT NOT NULL,
+            catalog  TEXT,
+            price    INT NOT NULL,
+            -- the paper's Example 3 rule:
+            CONSTRAINT line CERTAIN FD (order_id, item, catalog)
+                                      -> (order_id, item, catalog, price),
+            CONSTRAINT uniq POSSIBLE KEY (order_id, item, catalog)
+        );
+    ";
+
+    #[test]
+    fn parses_create_table_with_constraints() {
+        let stmt = parse_statement(PURCHASE_DDL).unwrap();
+        let Statement::CreateTable { schema, sigma } = stmt else {
+            panic!("expected CREATE TABLE");
+        };
+        assert_eq!(schema.name(), "purchase");
+        assert_eq!(schema.arity(), 4);
+        assert_eq!(schema.nfs(), schema.set(&["order_id", "item", "price"]));
+        assert_eq!(sigma.fds.len(), 1);
+        assert_eq!(sigma.keys.len(), 1);
+        let fd = sigma.fds[0];
+        assert_eq!(fd.modality, Modality::Certain);
+        assert_eq!(fd.lhs, schema.set(&["order_id", "item", "catalog"]));
+        assert!(fd.is_total_form());
+        assert_eq!(sigma.keys[0].modality, Modality::Possible);
+    }
+
+    #[test]
+    fn parses_insert_with_nulls_and_escapes() {
+        let stmt = parse_statement(
+            "INSERT INTO purchase VALUES \
+             (5299401, 'Fitbit Surge', NULL, 240), \
+             (-7, 'O''Brien', 'Kingtoys', 25);",
+        )
+        .unwrap();
+        let Statement::Insert { table, rows } = stmt else {
+            panic!("expected INSERT");
+        };
+        assert_eq!(table, "purchase");
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0], tuple![5299401i64, "Fitbit Surge", null, 240i64]);
+        assert_eq!(rows[1], tuple![(-7i64), "O'Brien", "Kingtoys", 25i64]);
+    }
+
+    #[test]
+    fn parses_scripts_and_booleans() {
+        let script = "
+            CREATE TABLE t (a BOOL, b INTEGER NOT NULL);
+            INSERT INTO t VALUES (TRUE, 1), (FALSE, 2);
+        ";
+        let stmts = parse_script(script).unwrap();
+        assert_eq!(stmts.len(), 2);
+        let Statement::Insert { rows, .. } = &stmts[1] else {
+            panic!()
+        };
+        assert_eq!(rows[0], tuple![true, 1i64]);
+    }
+
+    #[test]
+    fn quoted_identifiers() {
+        let stmt = parse_statement(
+            "CREATE TABLE \"contact draft\" (\"first name\" TEXT, x INT, \
+             CONSTRAINT c CERTAIN KEY (\"first name\"));",
+        )
+        .unwrap();
+        let Statement::CreateTable { schema, sigma } = stmt else {
+            panic!()
+        };
+        assert_eq!(schema.name(), "contact draft");
+        assert_eq!(schema.column_name(0.into()), "first name");
+        assert_eq!(sigma.keys[0].attrs, AttrSet::from_indices([0]));
+    }
+
+    #[test]
+    fn error_reporting() {
+        let cases: Vec<(&str, &str)> = vec![
+            ("CREATE TABLE t ()", "expected identifier"),
+            ("CREATE TABLE t (a FLOAT)", "unknown type"),
+            ("CREATE TABLE t (a INT, CONSTRAINT c CERTAIN FD (b) -> (a))", "unknown column"),
+            ("CREATE TABLE t (a INT, CONSTRAINT c MAYBE KEY (a))", "POSSIBLE or CERTAIN"),
+            ("INSERT INTO t VALUES (1", "expected ',' or ')'"),
+            ("DROP TABLE t", "expected CREATE or INSERT"),
+            ("INSERT INTO t VALUES ('oops)", "unterminated string"),
+        ];
+        for (src, needle) in cases {
+            let err = parse_script(src).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{src:?} gave {err:?}, wanted {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let Statement::CreateTable { schema, sigma } = parse_statement(PURCHASE_DDL).unwrap()
+        else {
+            panic!()
+        };
+        let rendered = render_create_table(&schema, &sigma);
+        let Statement::CreateTable {
+            schema: schema2,
+            sigma: sigma2,
+        } = parse_statement(&rendered).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(schema.column_names(), schema2.column_names());
+        assert_eq!(schema.nfs(), schema2.nfs());
+        assert_eq!(sigma, sigma2);
+    }
+
+    #[test]
+    fn render_quotes_weird_names() {
+        let schema = TableSchema::new("weird table", ["first name", "ok_col"], &["ok_col"]);
+        let sigma = Sigma::new().with(Key::certain(AttrSet::from_indices([0])));
+        let ddl = render_create_table(&schema, &sigma);
+        assert!(ddl.contains("\"weird table\""));
+        assert!(ddl.contains("\"first name\""));
+        let reparsed = parse_statement(&ddl).unwrap();
+        let Statement::CreateTable { schema: s2, .. } = reparsed else {
+            panic!()
+        };
+        assert_eq!(s2.name(), "weird table");
+    }
+}

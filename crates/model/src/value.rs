@@ -1,0 +1,145 @@
+//! Domain values and the null marker.
+//!
+//! Following the paper's "no information" interpretation (Section 2), the
+//! null marker `⊥` is *not* a domain value; it is carried as a
+//! distinguished variant for syntactic convenience, exactly as the paper
+//! includes it in each attribute domain as a distinguished element.
+//!
+//! Equality `t[Y] = t'[Y]` throughout the paper is syntactic identity in
+//! which `⊥ = ⊥` holds (Example 2 relies on this: the p-FD `e → s` is
+//! satisfied with both salaries `⊥`). `Value` therefore derives `Eq` with
+//! `Null == Null`, and the similarity relations of Section 2 live in
+//! [`crate::similarity`].
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A cell value: a domain value or the null marker `⊥`.
+///
+/// Domains are infinite in the paper; we provide integers, strings and
+/// booleans, which is enough for every dataset in the evaluation. Floats
+/// are deliberately absent: constraint semantics need a total `Eq`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// The SQL null marker, interpreted as "no information".
+    Null,
+    /// A boolean domain value.
+    Bool(bool),
+    /// An integer domain value.
+    Int(i64),
+    /// A string domain value.
+    Str(String),
+}
+
+impl Value {
+    /// Whether this cell holds the null marker.
+    #[inline]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Whether this cell holds an actual domain value.
+    #[inline]
+    pub fn is_total(&self) -> bool {
+        !self.is_null()
+    }
+
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Parses a CSV field: empty or `NULL` become the null marker,
+    /// integers become [`Value::Int`], everything else a string.
+    pub fn parse_field(field: &str) -> Value {
+        if field.is_empty() || field.eq_ignore_ascii_case("null") {
+            Value::Null
+        } else if let Ok(i) = field.parse::<i64>() {
+            Value::Int(i)
+        } else {
+            Value::Str(field.to_owned())
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Value {
+        Value::Str(s)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_equals_null_syntactically() {
+        // Example 2 of the paper: equality on the RHS treats ⊥ = ⊥.
+        assert_eq!(Value::Null, Value::Null);
+        assert_ne!(Value::Null, Value::Int(0));
+        assert_ne!(Value::Int(0), Value::Null);
+    }
+
+    #[test]
+    fn is_null_and_total() {
+        assert!(Value::Null.is_null());
+        assert!(!Value::Null.is_total());
+        assert!(Value::Int(5).is_total());
+        assert!(Value::str("x").is_total());
+    }
+
+    #[test]
+    fn parse_field_variants() {
+        assert_eq!(Value::parse_field(""), Value::Null);
+        assert_eq!(Value::parse_field("NULL"), Value::Null);
+        assert_eq!(Value::parse_field("null"), Value::Null);
+        assert_eq!(Value::parse_field("42"), Value::Int(42));
+        assert_eq!(Value::parse_field("-7"), Value::Int(-7));
+        assert_eq!(Value::parse_field("Fitbit Surge"), Value::str("Fitbit Surge"));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(240).to_string(), "240");
+        assert_eq!(Value::str("Amazon").to_string(), "Amazon");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from("a"), Value::str("a"));
+        assert_eq!(Value::from(String::from("b")), Value::str("b"));
+        assert_eq!(Value::from(false), Value::Bool(false));
+    }
+}

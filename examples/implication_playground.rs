@@ -1,0 +1,78 @@
+//! Reasoning about constraints: closures, implication, axiomatic
+//! proofs, and counterexample witnesses — Section 4 of the paper as an
+//! interactive-style tour.
+//!
+//! Run with `cargo run --example implication_playground`.
+
+use sqlnf::core::axioms::DerivationEngine;
+use sqlnf::core::witness::violation_witness;
+use sqlnf::prelude::*;
+
+fn main() {
+    // PURCHASE = oicp with T_S = ocp and Σ = {oi →_s c, ic →_w p}.
+    let schema = TableSchema::new(
+        "purchase",
+        ["order_id", "item", "catalog", "price"],
+        &["order_id", "catalog", "price"],
+    );
+    let oi = schema.set(&["order_id", "item"]);
+    let sigma = Sigma::new()
+        .with(Fd::possible(oi, schema.set(&["catalog"])))
+        .with(Fd::certain(
+            schema.set(&["item", "catalog"]),
+            schema.set(&["price"]),
+        ));
+    println!("Σ = {}\n", sigma.display(&schema));
+
+    // Closures decide implication (Theorem 2).
+    let r = Reasoner::new(schema.attrs(), schema.nfs(), &sigma);
+    println!("p-closure of {{order_id,item}}: {}", schema.display_set(r.p_closure(oi)));
+    println!("c-closure of {{order_id,item}}: {}", schema.display_set(r.c_closure(oi)));
+
+    let implied = Fd::possible(oi, schema.set(&["price"]));
+    let not_implied = Fd::certain(oi, schema.set(&["price"]));
+    println!("\nΣ ⊨ {} ?  {}", implied.display(&schema), r.implies_fd(&implied));
+    println!("Σ ⊨ {} ?  {}", not_implied.display(&schema), r.implies_fd(&not_implied));
+
+    // A machine-checked proof for the implied FD (Theorem 1's axioms).
+    let engine = DerivationEngine::saturate(schema.attrs(), schema.nfs(), &sigma);
+    println!("\nproof of {}:", implied.display(&schema));
+    print!(
+        "{}",
+        engine
+            .render_proof(&Constraint::Fd(implied), &schema)
+            .expect("implied, so derivable")
+    );
+
+    // A two-tuple counterexample for the non-implied one (Lemma 2).
+    let witness = violation_witness(&r, &Constraint::Fd(not_implied))
+        .expect("not implied, so a witness exists");
+    let table = witness.into_table(schema.clone());
+    println!("\ncounterexample for {}:\n{table}", not_implied.display(&schema));
+    assert!(satisfies_all(&table, &sigma));
+    assert!(!satisfies_fd(&table, &not_implied));
+
+    // Keys interact with FDs (Section 4.2): p⟨oic⟩ + oi →_s c ⊢ p⟨oi⟩.
+    let sigma2 = Sigma::new()
+        .with(Fd::possible(oi, schema.set(&["catalog"])))
+        .with(Key::possible(schema.set(&["order_id", "item", "catalog"])));
+    let r2 = Reasoner::new(schema.attrs(), schema.nfs(), &sigma2);
+    let pkey = Key::possible(oi);
+    println!(
+        "\n{} ∪ {{p<order_id,item,catalog>}} ⊨ {} ?  {}",
+        Fd::possible(oi, schema.set(&["catalog"])).display(&schema),
+        pkey.display(&schema),
+        r2.implies_key(&pkey)
+    );
+    // …because catalog is NOT NULL (key-Null-transitivity). Without it:
+    let relaxed = TableSchema::new(
+        "purchase",
+        ["order_id", "item", "catalog", "price"],
+        &["order_id", "price"],
+    );
+    let r3 = Reasoner::new(relaxed.attrs(), relaxed.nfs(), &sigma2);
+    println!(
+        "same question with catalog nullable:  {}",
+        r3.implies_key(&pkey)
+    );
+}

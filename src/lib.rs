@@ -1,0 +1,58 @@
+//! # sqlnf
+//!
+//! A production-quality Rust implementation of **SQL schema design**
+//! after Köhler & Link, *SQL Schema Design: Foundations, Normal Forms,
+//! and Normalization* (SIGMOD 2016): possible/certain functional
+//! dependencies and keys over SQL tables (multisets with null markers),
+//! linear-time implication, Boyce-Codd and SQL-BCNF normal forms with
+//! their redundancy-freeness justifications, lossless VRNF
+//! normalization, and FD discovery from data.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`model`] — the data model substrate (attribute sets, schemata,
+//!   tables, similarity, satisfaction, projection/join);
+//! * [`core`] — reasoning, normal forms, redundancy, decomposition;
+//! * [`discovery`] — TANE-style mining of classical/possible/certain
+//!   FDs and the nn/p/c/t/λ classification;
+//! * [`datagen`] — embedded paper datasets and workload generators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sqlnf::prelude::*;
+//!
+//! // PURCHASE(order_id, item, catalog, price) with nullable catalog.
+//! let schema = TableSchema::new(
+//!     "purchase",
+//!     ["order_id", "item", "catalog", "price"],
+//!     &["order_id", "item", "price"],
+//! );
+//! // The business rule of Example 3, as a total certain FD.
+//! let sigma = Sigma::new().with(Fd::certain(
+//!     schema.set(&["order_id", "item", "catalog"]),
+//!     schema.attrs(),
+//! ));
+//! let design = SchemaDesign::new(schema, sigma);
+//!
+//! // The schema admits redundant values…
+//! assert_eq!(design.is_vrnf(), Ok(false));
+//! // …so normalize it (Algorithm 3): a lossless VRNF decomposition.
+//! let normalized = design.normalize().unwrap();
+//! assert!(normalized.children.iter().all(|c| c.is_vrnf() == Ok(true)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use sqlnf_core as core;
+pub use sqlnf_datagen as datagen;
+pub use sqlnf_discovery as discovery;
+pub use sqlnf_model as model;
+
+/// One-stop re-exports for applications and examples.
+pub mod prelude {
+    pub use sqlnf_core::prelude::*;
+    pub use sqlnf_discovery::prelude::*;
+}

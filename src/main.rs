@@ -1,0 +1,15 @@
+//! The `sqlnf` CLI entry point; all logic lives in [`sqlnf::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match sqlnf::cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(match e {
+                sqlnf::cli::CliError::Usage(_) => 2,
+                _ => 1,
+            });
+        }
+    }
+}

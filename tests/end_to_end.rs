@@ -1,0 +1,116 @@
+//! End-to-end pipelines across all crates: CSV in, mining,
+//! normalization, instance decomposition, joins back, redundancy
+//! accounting — on the evaluation datasets.
+
+use sqlnf::datagen::{contact, contractor, paper};
+use sqlnf::prelude::*;
+
+#[test]
+fn csv_roundtrip_through_the_pipeline() {
+    // Serialize Figure 5's instance to CSV, load it back, re-check the
+    // constraints and decompose.
+    let original = paper::purchase_fig5();
+    let csv = table_to_csv(&original);
+    let loaded = table_from_csv("purchase", &csv).expect("valid CSV");
+    assert!(original.multiset_eq(&loaded));
+
+    let s = loaded.schema().clone();
+    let fd = Fd::certain(s.set(&["item", "catalog"]), s.set(&["price"]));
+    assert!(satisfies_fd(&loaded, &fd));
+    let (rest, xy) = decompose_instance_by_cfd(&loaded, &fd);
+    let rejoined = reorder_columns(&join(&rest, &xy, "j"), s.column_names());
+    assert!(loaded.multiset_eq(&rejoined));
+}
+
+#[test]
+fn contact_pipeline_mine_then_normalize() {
+    let table = contact::contact_full(77);
+    let schema = table.schema().clone();
+
+    // Mining finds the planted λ-FD (or a sub-LHS of it).
+    let cls = classify_table(&table, 3);
+    let sigma_fd = contact::contact_sigma_fd(&schema);
+    let found = cls
+        .lambda_fds
+        .iter()
+        .any(|l| l.lhs.is_subset(sigma_fd.lhs) && !(l.rhs & sigma_fd.rhs).is_empty());
+    assert!(found, "λ-FD not discovered: {cls:?}");
+
+    // Normalizing by σ is lossless and keys the projection.
+    let design = SchemaDesign::new(
+        schema.clone(),
+        Sigma::new().with(sigma_fd),
+    );
+    let normalized = design.normalize().unwrap();
+    assert!(normalized.decomposition.is_lossless_on(&table));
+    for child in &normalized.children {
+        assert_eq!(child.is_vrnf(), Ok(true));
+    }
+    let parts = normalized.decomposition.apply(&table);
+    let set_part = parts.iter().find(|p| p.len() == 105).expect("105-row projection");
+    let ss = set_part.schema().clone();
+    assert!(satisfies_key(
+        set_part,
+        &Key::certain(ss.set(&["first_name", "last_name", "city"]))
+    ));
+}
+
+#[test]
+fn contractor_pipeline_full_normalization() {
+    let table = contractor::contractor(5);
+    let sigma = contractor::contractor_sigma(table.schema());
+    assert!(satisfies_all(&table, &sigma));
+
+    let design = SchemaDesign::new(table.schema().clone(), sigma);
+    assert_eq!(design.is_vrnf(), Ok(false));
+    let normalized = design.normalize().unwrap();
+    assert_eq!(normalized.children.len(), 4);
+    assert!(normalized.decomposition.is_lossless_on(&table));
+
+    // After normalization the total cell count matches the paper.
+    let parts = normalized.decomposition.apply(&table);
+    let cells: usize = parts.iter().map(Table::cell_count).sum();
+    assert_eq!(table.cell_count(), 3806);
+    assert_eq!(cells, 3720);
+
+    // Every child validates its own constraints on its own part.
+    for (child, part) in normalized.children.iter().zip(&parts) {
+        assert!(
+            satisfies_all(part, child.sigma()),
+            "{} violates its schema constraints",
+            child.schema().name()
+        );
+    }
+}
+
+#[test]
+fn normalized_children_reject_bad_updates() {
+    // The point of normalization: the projection's c-key now *rejects*
+    // the update anomaly that redundancy used to permit.
+    let table = paper::purchase_fig5();
+    let s = table.schema().clone();
+    let fd = Fd::certain(s.set(&["item", "catalog"]), s.set(&["price"]));
+    let (_, mut xy) = decompose_instance_by_cfd(&table, &fd);
+    let xys = xy.schema().clone();
+
+    // In the projection, inserting a second (Fitbit Surge, Amazon) row
+    // with a different price violates p<item,catalog> — the anomaly is
+    // caught locally, without scanning all orders.
+    xy.push(tuple!["Fitbit Surge", "Amazon", 999i64]);
+    assert!(!satisfies_key(
+        &xy,
+        &Key::possible(xys.set(&["item", "catalog"]))
+    ));
+}
+
+#[test]
+fn design_report_is_stable() {
+    // The printable form of a normalized design (used by the examples)
+    // stays sensible: names, NOT NULL markers, constraint text.
+    let schema = paper::purchase_schema(&["order_id", "item", "price"]);
+    let design = SchemaDesign::new(schema.clone(), paper::example3_sigma(&schema));
+    let n = design.normalize().unwrap();
+    let rendered: Vec<String> = n.children.iter().map(|c| c.to_string()).collect();
+    assert!(rendered.iter().any(|r| r.contains("c<order_id,item,catalog>")));
+    assert!(rendered.iter().all(|r| r.contains("purchase_")));
+}

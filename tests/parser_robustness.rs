@@ -1,0 +1,98 @@
+//! Robustness of the text front-ends: the SQL and CSV parsers must
+//! never panic, whatever bytes they are fed, and must be deterministic.
+
+use proptest::prelude::*;
+use sqlnf::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings never panic the SQL parser.
+    #[test]
+    fn sql_parser_never_panics(src in ".*") {
+        let _ = parse_script(&src);
+    }
+
+    /// Arbitrary SQL-ish token soup never panics either (denser in
+    /// tokens the grammar actually contains, to exercise deeper paths).
+    #[test]
+    fn sql_token_soup_never_panics(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("CREATE".to_owned()),
+                Just("TABLE".to_owned()),
+                Just("INSERT".to_owned()),
+                Just("INTO".to_owned()),
+                Just("VALUES".to_owned()),
+                Just("CONSTRAINT".to_owned()),
+                Just("CERTAIN".to_owned()),
+                Just("POSSIBLE".to_owned()),
+                Just("KEY".to_owned()),
+                Just("FD".to_owned()),
+                Just("NOT".to_owned()),
+                Just("NULL".to_owned()),
+                Just("INT".to_owned()),
+                Just("TEXT".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just(",".to_owned()),
+                Just(";".to_owned()),
+                Just("->".to_owned()),
+                Just("'x'".to_owned()),
+                Just("42".to_owned()),
+                Just("tbl".to_owned()),
+                Just("col".to_owned()),
+            ],
+            0..40
+        )
+    ) {
+        let src = words.join(" ");
+        let _ = parse_script(&src);
+    }
+
+    /// The CSV parser never panics and is total on arbitrary input.
+    #[test]
+    fn csv_parser_never_panics(src in ".*") {
+        let _ = table_from_csv("t", &src);
+    }
+
+    /// Parsing is deterministic.
+    #[test]
+    fn parsers_are_deterministic(src in ".*") {
+        let a = parse_script(&src);
+        let b = parse_script(&src);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = table_from_csv("t", &src).is_ok();
+        let d = table_from_csv("t", &src).is_ok();
+        prop_assert_eq!(c, d);
+    }
+
+    /// Every successfully parsed script round-trips through the engine
+    /// without panicking (constraint violations are fine — rejections
+    /// are errors, not crashes).
+    #[test]
+    fn parsed_scripts_execute_without_panics(
+        words in proptest::collection::vec(
+            prop_oneof![
+                Just("CREATE TABLE t (a INT, b TEXT)".to_owned()),
+                Just("CREATE TABLE u (x INT NOT NULL, CONSTRAINT k CERTAIN KEY (x))".to_owned()),
+                Just("INSERT INTO t VALUES (1, 'y')".to_owned()),
+                Just("INSERT INTO t VALUES (NULL, NULL)".to_owned()),
+                Just("INSERT INTO u VALUES (1)".to_owned()),
+                Just("INSERT INTO u VALUES (1)".to_owned()),
+                Just("INSERT INTO missing VALUES (1)".to_owned()),
+            ],
+            0..8
+        )
+    ) {
+        let src = words.join(";\n");
+        let mut db = Database::new();
+        let _ = db.run_script(&src);
+        // Whatever happened, every stored table still satisfies its
+        // declared constraints.
+        for name in db.table_names() {
+            let st = db.table(name).unwrap();
+            prop_assert!(satisfies_all(st.data(), st.sigma()));
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Deeper (4-attribute) randomized validation of the reasoning stack —
+//! complements the exhaustive 3-attribute suites in the unit tests.
+//! The oracle enumerates 4⁴ = 256 patterns per query here, so the
+//! budget stays modest while covering a strictly larger lattice.
+
+mod common;
+
+use common::*;
+use proptest::prelude::*;
+use sqlnf::prelude::*;
+
+const COLS: usize = 4;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Theorems 2/4/5 at 4 attributes: decision procedures vs oracle on
+    /// randomly sampled queries (full query sweep would be 4⁴·2·17
+    /// checks per Σ; we sample LHS/RHS instead).
+    #[test]
+    fn implication_matches_oracle_4attrs(
+        sigma in sigma(COLS, 6),
+        nfs in attr_subset(COLS),
+        x in attr_subset(COLS),
+        y in attr_subset(COLS),
+    ) {
+        let t = AttrSet::first_n(COLS);
+        let r = Reasoner::new(t, nfs, &sigma);
+        for m in [Modality::Possible, Modality::Certain] {
+            let fd = Constraint::Fd(Fd { lhs: x, rhs: y, modality: m });
+            prop_assert_eq!(r.implies(&fd), oracle_implies(t, nfs, &sigma, &fd), "{}", fd);
+            let key = Constraint::Key(Key { attrs: x, modality: m });
+            prop_assert_eq!(r.implies(&key), oracle_implies(t, nfs, &sigma, &key), "{}", key);
+        }
+    }
+
+    /// FD-projection is sound and complete for FD queries
+    /// (Definition 3): Σ ⊨ φ iff Σ|FD ⊨ φ for FDs φ.
+    #[test]
+    fn fd_projection_reduction(
+        sigma in sigma(COLS, 5),
+        nfs in attr_subset(COLS),
+        x in attr_subset(COLS),
+        y in attr_subset(COLS),
+    ) {
+        let t = AttrSet::first_n(COLS);
+        let keyless = Sigma {
+            fds: sigma.fd_projection(t),
+            keys: vec![],
+        };
+        let r_full = Reasoner::new(t, nfs, &sigma);
+        let r_proj = Reasoner::new(t, nfs, &keyless);
+        for m in [Modality::Possible, Modality::Certain] {
+            let fd = Fd { lhs: x, rhs: y, modality: m };
+            prop_assert_eq!(r_full.implies_fd(&fd), r_proj.implies_fd(&fd));
+        }
+    }
+
+    /// Satisfaction is monotone under sub-multisets: removing rows never
+    /// breaks an FD or key (the ∀-pair structure everything rests on).
+    #[test]
+    fn satisfaction_is_antimonotone_in_rows(
+        table in small_table(COLS, 6),
+        x in attr_subset(COLS),
+        y in attr_subset(COLS),
+        drop in 0usize..6,
+    ) {
+        prop_assume!(!table.is_empty());
+        let drop = drop % table.len();
+        let mut rows = table.rows().to_vec();
+        rows.remove(drop);
+        let sub = Table::from_rows(table.schema().clone(), rows);
+        for m in [Modality::Possible, Modality::Certain] {
+            let fd = Fd { lhs: x, rhs: y, modality: m };
+            if satisfies_fd(&table, &fd) {
+                prop_assert!(satisfies_fd(&sub, &fd));
+            }
+            let key = Key { attrs: x, modality: m };
+            if satisfies_key(&table, &key) {
+                prop_assert!(satisfies_key(&sub, &key));
+            }
+        }
+    }
+
+    /// Satisfied constraints are implied-closed on instances: if I
+    /// satisfies Σ and Σ ⊨ φ then I satisfies φ (soundness of the whole
+    /// implication machinery against real instances).
+    #[test]
+    fn implication_sound_on_instances(
+        table in small_table(COLS, 6),
+        sigma in sigma(COLS, 4),
+        nfs in attr_subset(COLS),
+        x in attr_subset(COLS),
+        y in attr_subset(COLS),
+    ) {
+        // Re-type the table over (T, T_S).
+        let names: Vec<String> = (0..COLS).map(|i| format!("a{i}")).collect();
+        let nn: Vec<String> = nfs.iter().map(|a| format!("a{}", a.index())).collect();
+        let nn_refs: Vec<&str> = nn.iter().map(String::as_str).collect();
+        let schema = TableSchema::new("t", names, &nn_refs);
+        let retyped = Table::from_rows(schema, table.rows().to_vec());
+        prop_assume!(retyped.satisfies_nfs());
+        prop_assume!(satisfies_all(&retyped, &sigma));
+        let r = Reasoner::new(AttrSet::first_n(COLS), nfs, &sigma);
+        for m in [Modality::Possible, Modality::Certain] {
+            let fd = Fd { lhs: x, rhs: y, modality: m };
+            if r.implies_fd(&fd) {
+                prop_assert!(satisfies_fd(&retyped, &fd), "{} on\n{}", fd, retyped);
+            }
+            let key = Key { attrs: x, modality: m };
+            if r.implies_key(&key) {
+                prop_assert!(satisfies_key(&retyped, &key), "{} on\n{}", key, retyped);
+            }
+        }
+    }
+
+    /// Cover minimization preserves equivalence at 4 attributes.
+    #[test]
+    fn minimize_cover_is_equivalent(
+        sigma in sigma(COLS, 6),
+        nfs in attr_subset(COLS),
+    ) {
+        let t = AttrSet::first_n(COLS);
+        let min = minimize_cover(t, nfs, &sigma);
+        prop_assert!(equivalent(t, nfs, &sigma, &min));
+        prop_assert!(min.len() <= sigma.len());
+    }
+
+    /// Totalization: the converted Σ implies the original.
+    #[test]
+    fn totalize_strengthens_only(
+        sigma in sigma(COLS, 4),
+        nfs in attr_subset(COLS),
+    ) {
+        let t = AttrSet::first_n(COLS);
+        if let Ok(tot) = totalize(&sigma, nfs) {
+            prop_assert!(tot.sigma.is_total_fds_and_ckeys());
+            let r = Reasoner::new(t, nfs, &tot.sigma);
+            prop_assert!(r.implies_all(&sigma), "totalized Σ must imply the original");
+            // And it is decomposable.
+            prop_assert!(vrnf_decompose(t, nfs, &tot.sigma).is_ok());
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Property-based verification of the paper's theorems across crate
+//! boundaries: randomized schemata, constraint sets and instances.
+
+mod common;
+
+use common::*;
+use proptest::prelude::*;
+use sqlnf::core::axioms::DerivationEngine;
+use sqlnf::core::closure::{c_closure_naive, p_closure_naive};
+use sqlnf::core::normal_forms::{redundancy_witness, value_redundancy_witness};
+use sqlnf::core::redundancy::{is_redundant, redundant_positions};
+use sqlnf::core::witness::violation_witness;
+use sqlnf::prelude::*;
+
+const COLS: usize = 3;
+
+fn schema_over(cols: usize, nfs: AttrSet) -> TableSchema {
+    let names: Vec<String> = (0..cols).map(|i| format!("a{i}")).collect();
+    let nn: Vec<String> = nfs.iter().map(|a| format!("a{}", a.index())).collect();
+    let nn_refs: Vec<&str> = nn.iter().map(String::as_str).collect();
+    TableSchema::new("t", names, &nn_refs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Theorems 2, 4, 5: the linear-time decision procedures agree with
+    /// the exact 2-tuple oracle on every FD and key query.
+    #[test]
+    fn implication_matches_oracle(
+        sigma in sigma(COLS, 5),
+        nfs in attr_subset(COLS),
+    ) {
+        let t = AttrSet::first_n(COLS);
+        let r = Reasoner::new(t, nfs, &sigma);
+        for x in t.subsets() {
+            for m in [Modality::Possible, Modality::Certain] {
+                for y in t.subsets() {
+                    let phi = Constraint::Fd(Fd { lhs: x, rhs: y, modality: m });
+                    prop_assert_eq!(r.implies(&phi), oracle_implies(t, nfs, &sigma, &phi));
+                }
+                let phi = Constraint::Key(Key { attrs: x, modality: m });
+                prop_assert_eq!(r.implies(&phi), oracle_implies(t, nfs, &sigma, &phi));
+            }
+        }
+    }
+
+    /// Theorems 1 and 4: the axiom system derives exactly the implied
+    /// constraints (soundness + completeness) on random inputs.
+    #[test]
+    fn axioms_sound_and_complete(
+        sigma in sigma(COLS, 4),
+        nfs in attr_subset(COLS),
+    ) {
+        let t = AttrSet::first_n(COLS);
+        let engine = DerivationEngine::saturate(t, nfs, &sigma);
+        let r = Reasoner::new(t, nfs, &sigma);
+        for x in t.subsets() {
+            for m in [Modality::Possible, Modality::Certain] {
+                for y in t.subsets() {
+                    let phi = Constraint::Fd(Fd { lhs: x, rhs: y, modality: m });
+                    prop_assert_eq!(engine.derives(&phi), r.implies(&phi), "{}", phi);
+                }
+                let phi = Constraint::Key(Key { attrs: x, modality: m });
+                prop_assert_eq!(engine.derives(&phi), r.implies(&phi), "{}", phi);
+            }
+        }
+    }
+
+    /// Theorem 3: the linear closures equal the paper's Algorithms 1–2.
+    #[test]
+    fn closures_agree_with_naive(
+        sigma in sigma(4, 6),
+        nfs in attr_subset(4),
+        x in attr_subset(4),
+    ) {
+        let fds = sigma.fd_projection(AttrSet::first_n(4));
+        prop_assert_eq!(
+            sqlnf::core::closure::p_closure(&fds, nfs, x),
+            p_closure_naive(&fds, nfs, x)
+        );
+        prop_assert_eq!(
+            sqlnf::core::closure::c_closure(&fds, nfs, x),
+            c_closure_naive(&fds, nfs, x)
+        );
+    }
+
+    /// Lemma 1 on random inputs.
+    #[test]
+    fn lemma1_closure_properties(
+        sigma in sigma(4, 6),
+        nfs in attr_subset(4),
+        x in attr_subset(4),
+        y in attr_subset(4),
+    ) {
+        let t = AttrSet::first_n(4);
+        let r = Reasoner::new(t, nfs, &sigma);
+        let (xp, xc) = (r.p_closure(x), r.c_closure(x));
+        prop_assert!(x.is_subset(xp));
+        prop_assert!(xc.is_subset(xp));
+        prop_assert!(r.c_closure(xc).is_subset(xc));
+        prop_assert!(r.c_closure(xp).is_subset(xp));
+        if x.is_subset(y) {
+            prop_assert!(xp.is_subset(r.p_closure(y)));
+            prop_assert!(xc.is_subset(r.c_closure(y)));
+        }
+    }
+
+    /// Lemma 2 and its FD analogues: every produced witness satisfies
+    /// (T, T_S, Σ) and violates φ.
+    #[test]
+    fn witnesses_are_genuine(
+        sigma in sigma(COLS, 4),
+        nfs in attr_subset(COLS),
+        x in attr_subset(COLS),
+        y in attr_subset(COLS),
+    ) {
+        let t = AttrSet::first_n(COLS);
+        let r = Reasoner::new(t, nfs, &sigma);
+        let schema = schema_over(COLS, nfs);
+        let queries = [
+            Constraint::Fd(Fd::possible(x, y)),
+            Constraint::Fd(Fd::certain(x, y)),
+            Constraint::Key(Key::possible(x)),
+            Constraint::Key(Key::certain(x)),
+        ];
+        for phi in queries {
+            if let Some(w) = violation_witness(&r, &phi) {
+                let table = w.into_table(schema.clone());
+                prop_assert!(table.satisfies_nfs());
+                prop_assert!(satisfies_all(&table, &sigma), "phi={} table=\n{}", phi, table);
+                prop_assert!(!satisfies(&table, &phi), "phi={} table=\n{}", phi, table);
+            }
+        }
+    }
+
+    /// Theorem 9, constructive direction: a schema not in BCNF admits
+    /// an instance with a redundant position.
+    #[test]
+    fn non_bcnf_schemas_admit_redundancy(
+        sigma in sigma(COLS, 4),
+        nfs in attr_subset(COLS),
+    ) {
+        let t = AttrSet::first_n(COLS);
+        if let Some((table, pos)) = redundancy_witness(t, nfs, &sigma) {
+            prop_assert!(!is_bcnf(t, nfs, &sigma));
+            prop_assert!(table.satisfies_nfs());
+            prop_assert!(satisfies_all(&table, &sigma));
+            prop_assert!(is_redundant(&table, &sigma, pos));
+        } else {
+            prop_assert!(is_bcnf(t, nfs, &sigma));
+        }
+    }
+
+    /// Theorem 9, semantic direction: schemata in BCNF admit no
+    /// redundant position in any Σ-satisfying instance (sampled).
+    #[test]
+    fn bcnf_instances_are_redundancy_free(
+        sigma in sigma(COLS, 3),
+        nfs in attr_subset(COLS),
+        table in small_table(COLS, 4),
+    ) {
+        let t = AttrSet::first_n(COLS);
+        prop_assume!(is_bcnf(t, nfs, &sigma));
+        // Re-declare the table over (T, T_S) and keep only valid ones.
+        let retyped = Table::from_rows(schema_over(COLS, nfs), table.rows().to_vec());
+        prop_assume!(retyped.satisfies_nfs() && satisfies_all(&retyped, &sigma));
+        prop_assert!(
+            redundant_positions(&retyped, &sigma).is_empty(),
+            "BCNF schema with redundant instance:\n{}",
+            retyped
+        );
+    }
+
+    /// Theorem 15, both directions (sampled): SQL-BCNF ⇒ no value
+    /// redundancy in satisfying instances; ¬SQL-BCNF ⇒ the constructed
+    /// witness carries a value-redundant non-null position.
+    #[test]
+    fn vrnf_is_sql_bcnf(
+        sigma in total_sigma(COLS, 3),
+        nfs in attr_subset(COLS),
+        table in small_table(COLS, 4),
+    ) {
+        let t = AttrSet::first_n(COLS);
+        match value_redundancy_witness(t, nfs, &sigma).unwrap() {
+            Some((w, pos)) => {
+                prop_assert_eq!(is_sql_bcnf(t, nfs, &sigma), Ok(false));
+                prop_assert!(satisfies_all(&w, &sigma));
+                prop_assert!(w.rows()[pos.row].get(pos.col).is_total());
+                prop_assert!(is_redundant(&w, &sigma, pos));
+            }
+            None => {
+                prop_assert_eq!(is_sql_bcnf(t, nfs, &sigma), Ok(true));
+                let retyped = Table::from_rows(schema_over(COLS, nfs), table.rows().to_vec());
+                if retyped.satisfies_nfs() && satisfies_all(&retyped, &sigma) {
+                    prop_assert!(
+                        sqlnf::core::redundancy::value_redundant_positions(&retyped, &sigma)
+                            .is_empty(),
+                        "VRNF schema with value-redundant instance:\n{}",
+                        retyped
+                    );
+                }
+            }
+        }
+    }
+
+    /// Theorem 11: decomposing an instance by a *satisfied* certain FD
+    /// is lossless under the equality join.
+    #[test]
+    fn theorem11_lossless(
+        table in small_table(4, 6),
+        lhs in attr_subset(4),
+        rhs in attr_subset(4),
+    ) {
+        let fd = Fd::certain(lhs, rhs);
+        prop_assume!(satisfies_fd(&table, &fd));
+        // Both components must be non-empty attribute sets.
+        let t4 = AttrSet::first_n(4);
+        prop_assume!(!(lhs | rhs).is_empty());
+        prop_assume!(!(lhs | (t4 - (lhs | rhs))).is_empty());
+        let (rest, xy) = decompose_instance_by_cfd(&table, &fd);
+        let joined = join(&rest, &xy, "j");
+        let reordered = reorder_columns(&joined, table.schema().column_names());
+        prop_assert!(table.multiset_eq(&reordered), "lossy:\n{}", table);
+    }
+
+    /// Theorem 12: if the total companion X →_w XY also holds, the
+    /// c-key c⟨X⟩ holds on the set projection I[XY].
+    #[test]
+    fn theorem12_ckey_on_projection(
+        table in small_table(4, 6),
+        lhs in nonempty_subset(4),
+        extra in attr_subset(4),
+    ) {
+        let rhs = lhs | extra;
+        let fd = Fd::certain(lhs, rhs);
+        prop_assume!(satisfies_fd(&table, &fd));
+        let proj = project_set(&table, rhs, "xy");
+        let translated = table.schema().translate_into_projection(rhs, lhs);
+        prop_assert!(
+            satisfies_key(&proj, &Key::certain(translated)),
+            "c-key fails on projection of\n{}",
+            table
+        );
+    }
+
+    /// Algorithm 3 (Theorem 16): the decomposition is well-formed — it
+    /// covers T, every component is in SQL-BCNF (VRNF), and it is
+    /// lossless on satisfying instances.
+    #[test]
+    fn algorithm3_correct(
+        sigma in total_sigma(COLS, 3),
+        nfs in attr_subset(COLS),
+        table in small_table(COLS, 5),
+    ) {
+        let t = AttrSet::first_n(COLS);
+        let d = vrnf_decompose(t, nfs, &sigma).unwrap();
+        let mut covered = AttrSet::EMPTY;
+        for comp in &d.components {
+            covered |= comp.attrs;
+            prop_assert_eq!(
+                is_sql_bcnf(comp.attrs, nfs & comp.attrs, &comp.sigma),
+                Ok(true),
+                "component not in VRNF: {:?}",
+                comp
+            );
+        }
+        prop_assert_eq!(covered, t);
+        let retyped = Table::from_rows(schema_over(COLS, nfs), table.rows().to_vec());
+        if retyped.satisfies_nfs() && satisfies_all(&retyped, &sigma) {
+            prop_assert!(d.is_lossless_on(&retyped), "lossy on:\n{}", retyped);
+        }
+    }
+}

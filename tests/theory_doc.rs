@@ -1,0 +1,56 @@
+//! Keeps docs/THEORY.md honest: its code snippets, verbatim.
+
+use sqlnf::prelude::*;
+
+#[test]
+fn section1_snippet() {
+    let fig3 = sqlnf::datagen::paper::fig3_duplicates();
+    let ic = fig3.schema().set(&["item", "catalog"]);
+    assert!(satisfies_fd(
+        &fig3,
+        &Fd::certain(ic, fig3.schema().set(&["price"]))
+    ));
+    assert!(!satisfies_key(&fig3, &Key::possible(ic)));
+}
+
+#[test]
+fn section3_snippet() {
+    let schema = TableSchema::new(
+        "purchase",
+        ["order_id", "item", "catalog", "price"],
+        &["order_id", "catalog", "price"],
+    );
+    let sigma = Sigma::new()
+        .with(Fd::possible(
+            schema.set(&["order_id", "item"]),
+            schema.set(&["catalog"]),
+        ))
+        .with(Fd::certain(
+            schema.set(&["item", "catalog"]),
+            schema.set(&["price"]),
+        ));
+    let r = Reasoner::new(schema.attrs(), schema.nfs(), &sigma);
+    assert!(r.implies_fd(&Fd::possible(
+        schema.set(&["order_id", "item"]),
+        schema.set(&["price"])
+    )));
+    assert!(!r.implies_fd(&Fd::certain(
+        schema.set(&["order_id", "item"]),
+        schema.set(&["price"])
+    )));
+}
+
+#[test]
+fn section5_snippet() {
+    let schema = TableSchema::new(
+        "purchase",
+        ["order_id", "item", "catalog", "price"],
+        &["order_id", "item", "price"],
+    );
+    let sigma = Sigma::new().with(Fd::certain(
+        schema.set(&["order_id", "item", "catalog"]),
+        schema.attrs(),
+    ));
+    let normalized = SchemaDesign::new(schema, sigma).normalize().unwrap();
+    assert!(normalized.children.iter().all(|c| c.is_vrnf() == Ok(true)));
+}
