@@ -56,5 +56,9 @@ fn bench_instance_decomposition(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schema_decomposition, bench_instance_decomposition);
+criterion_group!(
+    benches,
+    bench_schema_decomposition,
+    bench_instance_decomposition
+);
 criterion_main!(benches);

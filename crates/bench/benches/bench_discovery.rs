@@ -20,17 +20,24 @@ fn bench_discovery(c: &mut Criterion) {
     let base = breast_cancer_like(5);
     for &rows in &[100usize, 300, 699] {
         let t = truncate(&base, rows);
-        for sem in [Semantics::Classical, Semantics::Possible, Semantics::Certain] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{sem:?}"), rows),
-                &rows,
-                |b, _| b.iter(|| mine_fds(&t, MinerConfig::new(sem).with_max_lhs(3))),
-            );
+        for sem in [
+            Semantics::Classical,
+            Semantics::Possible,
+            Semantics::Certain,
+        ] {
+            group.bench_with_input(BenchmarkId::new(format!("{sem:?}"), rows), &rows, |b, _| {
+                b.iter(|| mine_fds(&t, MinerConfig::new(sem).with_max_lhs(3)))
+            });
         }
     }
     for &cap in &[2usize, 3, 4] {
         group.bench_with_input(BenchmarkId::new("lhs_cap", cap), &cap, |b, _| {
-            b.iter(|| mine_fds(&base, MinerConfig::new(Semantics::Certain).with_max_lhs(cap)))
+            b.iter(|| {
+                mine_fds(
+                    &base,
+                    MinerConfig::new(Semantics::Certain).with_max_lhs(cap),
+                )
+            })
         });
     }
     group.finish();

@@ -61,8 +61,14 @@ fn bench_implication(c: &mut Criterion) {
     // Exponential baseline: saturation under the axioms on 4 attributes.
     let t4 = AttrSet::first_n(4);
     let sigma4 = Sigma::new()
-        .with(Fd::possible(AttrSet::from_indices([0]), AttrSet::from_indices([1])))
-        .with(Fd::certain(AttrSet::from_indices([1]), AttrSet::from_indices([2])))
+        .with(Fd::possible(
+            AttrSet::from_indices([0]),
+            AttrSet::from_indices([1]),
+        ))
+        .with(Fd::certain(
+            AttrSet::from_indices([1]),
+            AttrSet::from_indices([2]),
+        ))
         .with(Key::possible(AttrSet::from_indices([0, 3])));
     group.bench_function("axiom_saturation_4attrs", |b| {
         b.iter(|| DerivationEngine::saturate(t4, AttrSet::from_indices([1, 3]), &sigma4))

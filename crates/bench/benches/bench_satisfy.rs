@@ -36,26 +36,18 @@ fn bench_satisfy(c: &mut Criterion) {
             let ab = s.set(&["a", "b"]);
             let y = s.set(&["y"]);
             let label = format!("{rows}r_{nulls}pm");
-            group.bench_with_input(
-                BenchmarkId::new("cfd", &label),
-                &rows,
-                |bch, _| bch.iter(|| satisfies_fd(&t, &Fd::certain(ab, y))),
-            );
-            group.bench_with_input(
-                BenchmarkId::new("pfd", &label),
-                &rows,
-                |bch, _| bch.iter(|| satisfies_fd(&t, &Fd::possible(ab, y))),
-            );
-            group.bench_with_input(
-                BenchmarkId::new("ckey", &label),
-                &rows,
-                |bch, _| bch.iter(|| satisfies_key(&t, &Key::certain(ab))),
-            );
-            group.bench_with_input(
-                BenchmarkId::new("pkey", &label),
-                &rows,
-                |bch, _| bch.iter(|| satisfies_key(&t, &Key::possible(ab))),
-            );
+            group.bench_with_input(BenchmarkId::new("cfd", &label), &rows, |bch, _| {
+                bch.iter(|| satisfies_fd(&t, &Fd::certain(ab, y)))
+            });
+            group.bench_with_input(BenchmarkId::new("pfd", &label), &rows, |bch, _| {
+                bch.iter(|| satisfies_fd(&t, &Fd::possible(ab, y)))
+            });
+            group.bench_with_input(BenchmarkId::new("ckey", &label), &rows, |bch, _| {
+                bch.iter(|| satisfies_key(&t, &Key::certain(ab)))
+            });
+            group.bench_with_input(BenchmarkId::new("pkey", &label), &rows, |bch, _| {
+                bch.iter(|| satisfies_key(&t, &Key::possible(ab)))
+            });
         }
     }
     group.finish();

@@ -77,8 +77,16 @@ fn main() {
         render_table(
             &["probe", "verdict", "time"],
             &[
-                vec!["pattern index (shipped)".into(), indexed_result.to_string(), fmt_duration(t_indexed)],
-                vec!["naive full scan".into(), naive_result.to_string(), fmt_duration(t_naive)],
+                vec![
+                    "pattern index (shipped)".into(),
+                    indexed_result.to_string(),
+                    fmt_duration(t_indexed)
+                ],
+                vec![
+                    "naive full scan".into(),
+                    naive_result.to_string(),
+                    fmt_duration(t_naive)
+                ],
             ]
         )
     );
@@ -106,7 +114,10 @@ fn main() {
     // FD2's LHS lost `url`; its surviving consequence has the FD3 LHS
     // substituted in, which is what a naive order must decompose by.
     let inflated_lhs = (sigma.fds[1].lhs - xy_attrs) | fd3.lhs;
-    let inflated = Fd::certain(inflated_lhs, inflated_lhs | (sigma.fds[1].rhs - sigma.fds[1].lhs));
+    let inflated = Fd::certain(
+        inflated_lhs,
+        inflated_lhs | (sigma.fds[1].rhs - sigma.fds[1].lhs),
+    );
     let rest_sigma = rest_sigma.with(inflated);
     let d_rest = vrnf_decompose(rest_attrs, nfs & rest_attrs, &rest_sigma).unwrap();
     // d_rest's components carry original attribute ids, so they apply
@@ -120,7 +131,10 @@ fn main() {
         render_table(
             &["pick order", "total cells"],
             &[
-                vec!["defer attribute-consuming FDs (shipped)".into(), cells.to_string()],
+                vec![
+                    "defer attribute-consuming FDs (shipped)".into(),
+                    cells.to_string()
+                ],
                 vec!["naive first-found".into(), naive_cells.to_string()],
             ]
         )
@@ -162,6 +176,9 @@ fn main() {
         )
     );
     assert_eq!(after, 0, "VRNF output must be anomaly-free");
-    assert!(before >= 448, "anomalies cover at least the redundant values");
+    assert!(
+        before >= 448,
+        "anomalies cover at least the redundant values"
+    );
     println!("\nablations confirm the shipped choices ✓");
 }

@@ -29,15 +29,15 @@ fn main() {
     let sigma_fd = Fd::certain(flc, full_rhs);
     assert!(satisfies_fd(&snip, &sigma_fd));
     println!("σ: first,last,city ->w first,last,city,state   holds ✓");
-    for lhs in [s.set(&["first_name", "city"]), s.set(&["last_name", "city"])] {
+    for lhs in [
+        s.set(&["first_name", "city"]),
+        s.set(&["last_name", "city"]),
+    ] {
         let fd = Fd::certain(lhs, full_rhs);
         assert!(satisfies_fd(&snip, &fd));
     }
     println!("accidental variants (first,city) / (last,city)  hold ✓ (as the paper notes)");
-    let move_fd = Fd::possible(
-        s.set(&["first_name", "last_name"]),
-        s.set(&["state_id"]),
-    );
+    let move_fd = Fd::possible(s.set(&["first_name", "last_name"]), s.set(&["state_id"]));
     assert!(!satisfies_fd(&snip, &move_fd));
     println!("first,last -> state                             fails ✓ (Stacey Brennan moved)");
     assert!(!satisfies_fd(
@@ -49,7 +49,10 @@ fn main() {
     // --- Figure 8: the decomposition of the snippet ---
     let (rest, proj) = sqlnf_core::decompose::decompose_instance_by_cfd(&snip, &sigma_fd);
     println!("\nVRNF decomposition of the snippet (Figure 8):");
-    println!("set projection [f,l,city,state] ({} rows):\n{proj}", proj.len());
+    println!(
+        "set projection [f,l,city,state] ({} rows):\n{proj}",
+        proj.len()
+    );
     println!("multiset remainder [[id,f,l,city]] ({} rows)", rest.len());
     assert_eq!(proj.len(), 10);
     assert_eq!(rest.len(), 14);

@@ -21,7 +21,12 @@ fn main() {
     let table = contractor(20_160_626);
     let schema = table.schema().clone();
     let sigma = contractor_sigma(&schema);
-    println!("input: {} rows × {} columns = {} cells", table.len(), schema.arity(), table.cell_count());
+    println!(
+        "input: {} rows × {} columns = {} cells",
+        table.len(),
+        schema.arity(),
+        table.cell_count()
+    );
     println!("Σ = {}", sigma.display(&schema));
     assert!(satisfies_all(&table, &sigma));
 
@@ -56,7 +61,11 @@ fn main() {
 
     // Cells.
     let cells: usize = parts.iter().map(Table::cell_count).sum();
-    println!("\ncells: {} → {} (paper: 3806 → 3720)", table.cell_count(), cells);
+    println!(
+        "\ncells: {} → {} (paper: 3806 → 3720)",
+        table.cell_count(),
+        cells
+    );
     assert_eq!(table.cell_count(), 3806);
     assert_eq!(cells, 3720);
 
@@ -88,7 +97,13 @@ fn main() {
     }
     let mut elim_rows: Vec<Vec<String>> = Vec::new();
     let mut total_values = 0usize;
-    for col in ["dmerc_rgn", "status", "contractor_version", "status_flag", "url"] {
+    for col in [
+        "dmerc_rgn",
+        "status",
+        "contractor_version",
+        "status_flag",
+        "url",
+    ] {
         let v = value_elims.get(col).copied().unwrap_or(0);
         let n = null_elims.get(col).copied().unwrap_or(0);
         total_values += v;
@@ -97,7 +112,14 @@ fn main() {
     println!();
     print!(
         "{}",
-        render_table(&["column", "redundant values removed", "redundant nulls removed"], &elim_rows)
+        render_table(
+            &[
+                "column",
+                "redundant values removed",
+                "redundant nulls removed"
+            ],
+            &elim_rows
+        )
     );
     println!("\ntotal redundant data values eliminated: {total_values} (paper: 448)");
     assert_eq!(total_values, 448);

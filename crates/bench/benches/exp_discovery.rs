@@ -25,10 +25,16 @@ use sqlnf_model::table::Table;
 
 fn run(name: &str, table: &Table, max_lhs: usize) -> Vec<String> {
     let (classical, t_classical): (MiningResult, _) = timed(|| {
-        mine_fds(table, MinerConfig::new(Semantics::Classical).with_max_lhs(max_lhs))
+        mine_fds(
+            table,
+            MinerConfig::new(Semantics::Classical).with_max_lhs(max_lhs),
+        )
     });
     let (certain, t_certain): (MiningResult, _) = timed(|| {
-        mine_fds(table, MinerConfig::new(Semantics::Certain).with_max_lhs(max_lhs))
+        mine_fds(
+            table,
+            MinerConfig::new(Semantics::Certain).with_max_lhs(max_lhs),
+        )
     });
     vec![
         name.to_string(),

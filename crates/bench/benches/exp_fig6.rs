@@ -31,11 +31,17 @@ fn main() {
         (lambda, nn)
     });
     let lambda_ratios: Vec<f64> = lambda_points.iter().map(|(r, _)| *r).collect();
-    println!("classified corpus in {}", sqlnf_bench::fmt_duration(elapsed));
+    println!(
+        "classified corpus in {}",
+        sqlnf_bench::fmt_duration(elapsed)
+    );
 
     println!("\nλ-FDs ({} total; paper: 83):", lambda_ratios.len());
     print!("{}", histogram01(&lambda_ratios, 10));
-    println!("\nnn-FDs with non-key LHS ({} total; paper: 620):", nn_ratios.len());
+    println!(
+        "\nnn-FDs with non-key LHS ({} total; paper: 620):",
+        nn_ratios.len()
+    );
     print!("{}", histogram01(&nn_ratios, 10));
 
     // The paper's observed gap: no λ ratio in (52 %, 78 %).

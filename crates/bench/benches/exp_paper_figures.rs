@@ -6,9 +6,9 @@
 use sqlnf_bench::banner;
 use sqlnf_core::axioms::DerivationEngine;
 use sqlnf_core::decompose::decompose_instance_by_cfd;
+use sqlnf_core::implication::Reasoner;
 use sqlnf_core::normal_forms::{is_bcnf, is_sql_bcnf};
 use sqlnf_core::redundancy::{redundant_positions, value_redundant_positions};
-use sqlnf_core::implication::Reasoner;
 use sqlnf_datagen::paper;
 use sqlnf_model::prelude::*;
 
@@ -35,7 +35,9 @@ fn main() {
         &xy,
         &Key::certain(xy.schema().set(&["item", "catalog"]))
     ));
-    println!("Fig 2: lossless decomposition into purchase[oic] (4 rows) and purchase[icp] (3 rows) ✓");
+    println!(
+        "Fig 2: lossless decomposition into purchase[oic] (4 rows) and purchase[icp] (3 rows) ✓"
+    );
 
     // --- Figure 3 ---
     let fig3 = paper::fig3_duplicates();
@@ -75,8 +77,14 @@ fn main() {
     ));
     let resid = redundant_positions(&xy5, &sigma5);
     assert_eq!(resid.len(), 2, "both 240s in I[icp] stay redundant");
-    assert!(satisfies_key(&xy5, &Key::possible(xy5.schema().set(&["item", "catalog"]))));
-    assert!(!satisfies_key(&xy5, &Key::certain(xy5.schema().set(&["item", "catalog"]))));
+    assert!(satisfies_key(
+        &xy5,
+        &Key::possible(xy5.schema().set(&["item", "catalog"]))
+    ));
+    assert!(!satisfies_key(
+        &xy5,
+        &Key::certain(xy5.schema().set(&["item", "catalog"]))
+    ));
     println!("Fig 5: c-FD decomposition lossless; I[icp] keeps 2 redundant 240s; p-key holds, c-key fails ✓");
 
     // --- Example 1 ---
@@ -91,8 +99,14 @@ fn main() {
     // --- Example 2 (spot checks; the full matrix is a unit test) ---
     let e2 = paper::example2_relation();
     let e2s = e2.schema().clone();
-    assert!(satisfies_fd(&e2, &Fd::possible(e2s.set(&["dept"]), e2s.set(&["dept"]))));
-    assert!(!satisfies_fd(&e2, &Fd::certain(e2s.set(&["dept"]), e2s.set(&["dept"]))));
+    assert!(satisfies_fd(
+        &e2,
+        &Fd::possible(e2s.set(&["dept"]), e2s.set(&["dept"]))
+    ));
+    assert!(!satisfies_fd(
+        &e2,
+        &Fd::certain(e2s.set(&["dept"]), e2s.set(&["dept"]))
+    ));
     println!("Ex 2: d ->s d holds while d ->w d fails (⊥ vs CS) ✓");
 
     // --- Section 4: derivations and closures ---

@@ -15,7 +15,7 @@
 //! Absolute numbers differ from the paper's 2014-era hardware and
 //! engine; the claims under test are the ratios.
 
-use sqlnf_bench::{banner, fmt_duration, median_time, render_table};
+use sqlnf_bench::{banner, fmt_duration, measure, render_table, write_bench_json};
 use sqlnf_core::decompose::vrnf_decompose;
 use sqlnf_datagen::contractor::{contractor, contractor_sigma};
 use sqlnf_model::prelude::*;
@@ -58,9 +58,10 @@ fn main() {
         ss.set(&["new", "city", "url"]),
         ss.set(&["dmerc_rgn", "status"]),
     );
-    let t_cfd = median_time(5, || {
+    let r_cfd = measure("validate_cfd_nonnormalized", 5, || {
         assert!(satisfies_fd(&scaled, &cfd));
     });
+    let t_cfd = r_cfd.median;
 
     // The normalized component carrying (city, url, dmerc_rgn, status).
     let table1 = scaled_parts
@@ -69,24 +70,32 @@ fn main() {
         .expect("FD1 component (plus the new column)");
     let t1s = table1.schema().clone();
     let ckey = Key::certain(t1s.set(&["new", "city", "url"]));
-    let t_key = median_time(5, || {
+    let r_key = measure("validate_ckey_normalized", 5, || {
         assert!(satisfies_key(table1, &ckey));
     });
+    let t_key = r_key.median;
 
     // --- Query: select all vs join of components ---
     // "Select all" materializes a result set (as the paper's DBMS
     // does); the normalized variant materializes the same result via
     // the equality join of all four components.
-    let t_select = median_time(5, || {
+    let r_select = measure("select_all_nonnormalized", 5, || {
         let result = Table::from_rows(scaled.schema().clone(), scaled.rows().to_vec());
         assert_eq!(result.len(), scaled.len());
         std::hint::black_box(&result);
     });
-    let t_join = median_time(5, || {
+    let t_select = r_select.median;
+    let r_join = measure("select_all_join_normalized", 5, || {
         let joined = join_all(scaled_parts.iter(), "joined");
         assert_eq!(joined.len(), scaled.len());
         std::hint::black_box(&joined);
     });
+    let t_join = r_join.median;
+
+    match write_bench_json("performance", &[r_cfd, r_key, r_select, r_join]) {
+        Ok(path) => println!("bench report: {}", path.display()),
+        Err(e) => println!("bench report not written: {e}"),
+    }
 
     println!();
     print!(

@@ -8,6 +8,9 @@
 
 #![warn(missing_docs)]
 
+use sqlnf_obs::json::JsonValue;
+use sqlnf_obs::ObsReport;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Renders an aligned text table with a header row.
@@ -81,6 +84,93 @@ pub fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// One measurement annotated with the observability counters that
+/// accumulated while it ran. With the `obs` feature of `sqlnf-obs`
+/// compiled out (the default for standalone bench runs), the report is
+/// empty and only the timing is recorded.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Measurement identifier, e.g. `validate_cfd_nonnormalized`.
+    pub id: String,
+    /// Median wall-clock time over the measured runs.
+    pub median: Duration,
+    /// Counter/timer snapshot of the *last* measured run sequence
+    /// (reset before measuring, captured after).
+    pub obs: ObsReport,
+}
+
+impl BenchRecord {
+    /// The median in nanoseconds, saturating.
+    pub fn median_ns(&self) -> u64 {
+        self.median.as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// Measures `f` (median over `n` runs) and snapshots the observability
+/// counters the runs produced, for [`write_bench_json`].
+pub fn measure(id: &str, n: usize, f: impl FnMut()) -> BenchRecord {
+    sqlnf_obs::reset();
+    let median = median_time(n, f);
+    BenchRecord {
+        id: id.to_owned(),
+        median,
+        obs: sqlnf_obs::report(),
+    }
+}
+
+/// Where [`write_bench_json`] puts its files: `$SQLNF_BENCH_DIR`, or
+/// `target/bench-reports` relative to the working directory.
+pub fn bench_report_dir() -> PathBuf {
+    std::env::var_os("SQLNF_BENCH_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| Path::new("target").join("bench-reports"))
+}
+
+/// Writes records as `BENCH_<name>.json` inside `dir` and returns the
+/// file path. Each entry carries its timing plus the counters/timers
+/// snapshot taken by [`measure`].
+pub fn write_bench_json_in(
+    dir: &Path,
+    name: &str,
+    records: &[BenchRecord],
+) -> std::io::Result<PathBuf> {
+    let entries = JsonValue::Array(
+        records
+            .iter()
+            .map(|r| {
+                let mut fields = vec![
+                    ("id".to_string(), JsonValue::Str(r.id.clone())),
+                    (
+                        "median_ns".to_string(),
+                        JsonValue::Int(r.median_ns() as i128),
+                    ),
+                ];
+                if let JsonValue::Object(obs_fields) = r.obs.to_json_value() {
+                    fields.extend(obs_fields);
+                }
+                JsonValue::Object(fields)
+            })
+            .collect(),
+    );
+    let doc = JsonValue::Object(vec![
+        ("bench".to_string(), JsonValue::Str(name.to_owned())),
+        (
+            "obs_enabled".to_string(),
+            JsonValue::Bool(sqlnf_obs::ENABLED),
+        ),
+        ("entries".to_string(), entries),
+    ]);
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, doc.to_json())?;
+    Ok(path)
+}
+
+/// [`write_bench_json_in`] into the default [`bench_report_dir`].
+pub fn write_bench_json(name: &str, records: &[BenchRecord]) -> std::io::Result<PathBuf> {
+    write_bench_json_in(&bench_report_dir(), name, records)
+}
+
 /// Prints a banner separating experiment sections.
 pub fn banner(title: &str) {
     println!();
@@ -146,6 +236,44 @@ mod tests {
         assert_eq!(fmt_duration(Duration::from_micros(500)), "500µs");
         assert_eq!(fmt_duration(Duration::from_millis(12)), "12.0ms");
         assert_eq!(fmt_duration(Duration::from_secs(3)), "3.00s");
+    }
+
+    #[test]
+    fn measure_and_write_bench_json() {
+        let rec = measure("toy", 3, || {
+            sqlnf_obs::count!("bench.test.toy_work");
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert_eq!(rec.id, "toy");
+        assert!(rec.median_ns() > 0);
+
+        let dir = std::env::temp_dir().join("sqlnf_bench_json_test");
+        let path = write_bench_json_in(&dir, "unit", &[rec]).unwrap();
+        assert!(path.ends_with("BENCH_unit.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = sqlnf_obs::json::parse(&text).expect("valid JSON");
+        assert_eq!(doc.get("bench").and_then(|v| v.as_str()), Some("unit"));
+        let entries = doc.get("entries").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(
+            entries[0]
+                .get("median_ns")
+                .and_then(|v| v.as_u64())
+                .unwrap()
+                > 0
+        );
+        // When instrumentation is compiled in, the entry is annotated
+        // with the counters the run produced.
+        if sqlnf_obs::ENABLED {
+            assert!(
+                entries[0]
+                    .get("counters")
+                    .and_then(|c| c.get("bench.test.toy_work"))
+                    .and_then(|v| v.as_u64())
+                    .unwrap_or(0)
+                    >= 3
+            );
+        }
     }
 
     #[test]

@@ -178,8 +178,7 @@ mod tests {
         assert!(anomaly_score(&t, &sigma) > 0);
         let (_, xy) = crate::decompose::decompose_instance_by_cfd(&t, &fd);
         let xys = xy.schema().clone();
-        let child_sigma =
-            Sigma::new().with(Key::certain(xys.set(&["i", "c"])));
+        let child_sigma = Sigma::new().with(Key::certain(xys.set(&["i", "c"])));
         assert_eq!(anomaly_score(&xy, &child_sigma), 0);
     }
 

@@ -477,7 +477,11 @@ impl DerivationEngine {
     }
 
     /// Renders a proof with column names.
-    pub fn render_proof(&self, phi: &Constraint, schema: &sqlnf_model::schema::TableSchema) -> Option<String> {
+    pub fn render_proof(
+        &self,
+        phi: &Constraint,
+        schema: &sqlnf_model::schema::TableSchema,
+    ) -> Option<String> {
         let steps = self.proof(phi)?;
         let mut out = String::new();
         for (i, s) in steps.iter().enumerate() {
@@ -676,8 +680,7 @@ mod tests {
             let full = DerivationEngine::saturate(t, nfs, &sigma);
             assert!(full.derives(&phi), "{rule:?}: not derivable with all rules");
             // …but not without this one.
-            let crippled =
-                DerivationEngine::saturate_with(t, nfs, &sigma, RuleSet::without(rule));
+            let crippled = DerivationEngine::saturate_with(t, nfs, &sigma, RuleSet::without(rule));
             assert!(
                 !crippled.derives(&phi),
                 "{rule:?} is redundant: {phi} derivable without it"
@@ -743,13 +746,20 @@ mod tests {
                 for &x in &subsets {
                     for m in [Modality::Possible, Modality::Certain] {
                         for &y in &subsets {
-                            let phi = Constraint::Fd(Fd { lhs: x, rhs: y, modality: m });
+                            let phi = Constraint::Fd(Fd {
+                                lhs: x,
+                                rhs: y,
+                                modality: m,
+                            });
                             let derived = eng.derives(&phi);
                             let truth = oracle_implies(t, nfs, sigma, &phi);
                             assert_eq!(derived, truth, "fd {phi} sigma={sigma:?} nfs={nfs:?}");
                             assert_eq!(r.implies(&phi), truth);
                         }
-                        let phi = Constraint::Key(Key { attrs: x, modality: m });
+                        let phi = Constraint::Key(Key {
+                            attrs: x,
+                            modality: m,
+                        });
                         let derived = eng.derives(&phi);
                         let truth = oracle_implies(t, nfs, sigma, &phi);
                         assert_eq!(derived, truth, "key {phi} sigma={sigma:?} nfs={nfs:?}");

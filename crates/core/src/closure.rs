@@ -32,6 +32,7 @@ use sqlnf_model::constraint::{Fd, Modality};
 pub fn p_closure_naive(fds: &[Fd], nfs: AttrSet, x: AttrSet) -> AttrSet {
     let mut c = x;
     loop {
+        sqlnf_obs::count!("core.closure.naive_iterations");
         let old = c;
         for fd in fds {
             let fires = match fd.modality {
@@ -45,6 +46,7 @@ pub fn p_closure_naive(fds: &[Fd], nfs: AttrSet, x: AttrSet) -> AttrSet {
         if c == old {
             return c;
         }
+        sqlnf_obs::count!("core.closure.expansions", (c - old).len());
     }
 }
 
@@ -60,6 +62,7 @@ pub fn p_closure_naive(fds: &[Fd], nfs: AttrSet, x: AttrSet) -> AttrSet {
 pub fn c_closure_naive(fds: &[Fd], nfs: AttrSet, x: AttrSet) -> AttrSet {
     let mut c = x & nfs;
     loop {
+        sqlnf_obs::count!("core.closure.naive_iterations");
         let old = c;
         for fd in fds {
             let fires = match fd.modality {
@@ -73,6 +76,7 @@ pub fn c_closure_naive(fds: &[Fd], nfs: AttrSet, x: AttrSet) -> AttrSet {
         if c == old {
             return c;
         }
+        sqlnf_obs::count!("core.closure.expansions", (c - old).len());
     }
 }
 
@@ -109,15 +113,14 @@ fn closure_linear(fds: &[Fd], nfs: AttrSet, x: AttrSet, kind: Kind) -> AttrSet {
     let mut queue: Vec<Attr> = Vec::new();
     let mut fired: Vec<bool> = vec![false; fds.len()];
 
-    let fire = |i: usize,
-                    c: &mut AttrSet,
-                    queue: &mut Vec<Attr>,
-                    fired: &mut Vec<bool>| {
+    let fire = |i: usize, c: &mut AttrSet, queue: &mut Vec<Attr>, fired: &mut Vec<bool>| {
         if fired[i] {
             return;
         }
         fired[i] = true;
+        sqlnf_obs::count!("core.closure.fds_fired");
         let new = fds[i].rhs - *c;
+        sqlnf_obs::count!("core.closure.expansions", new.len());
         *c |= fds[i].rhs;
         for a in new {
             queue.push(a);
@@ -165,14 +168,37 @@ fn closure_linear(fds: &[Fd], nfs: AttrSet, x: AttrSet, kind: Kind) -> AttrSet {
     c
 }
 
-/// The p-closure `X*p` (linear time).
+/// Below this many FDs the verbatim algorithms beat the watch-list
+/// machinery: a couple of quadratic passes over a handful of FDs is
+/// cheaper than allocating watch lists and counters.
+const NAIVE_CUTOFF: usize = 8;
+
+/// The p-closure `X*p`.
+///
+/// Adaptive: tiny Σ goes through Algorithm 1 verbatim, larger Σ through
+/// the linear-time counter/watch-list variant (Theorem 3). The choice
+/// is observable via the `core.closure.variant.*` counters.
 pub fn p_closure(fds: &[Fd], nfs: AttrSet, x: AttrSet) -> AttrSet {
-    closure_linear(fds, nfs, x, Kind::P)
+    sqlnf_obs::count!("core.closure.p_calls");
+    if fds.len() <= NAIVE_CUTOFF {
+        sqlnf_obs::count!("core.closure.variant.naive");
+        p_closure_naive(fds, nfs, x)
+    } else {
+        sqlnf_obs::count!("core.closure.variant.linear");
+        closure_linear(fds, nfs, x, Kind::P)
+    }
 }
 
-/// The c-closure `X*c` (linear time).
+/// The c-closure `X*c`; adaptive exactly like [`p_closure`].
 pub fn c_closure(fds: &[Fd], nfs: AttrSet, x: AttrSet) -> AttrSet {
-    closure_linear(fds, nfs, x, Kind::C)
+    sqlnf_obs::count!("core.closure.c_calls");
+    if fds.len() <= NAIVE_CUTOFF {
+        sqlnf_obs::count!("core.closure.variant.naive");
+        c_closure_naive(fds, nfs, x)
+    } else {
+        sqlnf_obs::count!("core.closure.variant.linear");
+        closure_linear(fds, nfs, x, Kind::C)
+    }
 }
 
 #[cfg(test)]
@@ -242,10 +268,7 @@ mod tests {
         let fds = vec![Fd::certain(s(&[0]), s(&[1]))];
         assert_eq!(c_closure(&fds, nfs, s(&[0])), s(&[1]));
         // …and chains through attributes added to C.
-        let fds2 = vec![
-            Fd::certain(s(&[0]), s(&[1])),
-            Fd::certain(s(&[1]), s(&[2])),
-        ];
+        let fds2 = vec![Fd::certain(s(&[0]), s(&[1])), Fd::certain(s(&[1]), s(&[2]))];
         assert_eq!(c_closure(&fds2, nfs, s(&[0])), s(&[1, 2]));
     }
 
@@ -312,18 +335,29 @@ mod tests {
                     for &r2 in &subsets {
                         for m1 in [Modality::Possible, Modality::Certain] {
                             let fds = vec![
-                                Fd { lhs: l1, rhs: r1, modality: m1 },
-                                Fd { lhs: l2, rhs: r2, modality: Modality::Certain },
+                                Fd {
+                                    lhs: l1,
+                                    rhs: r1,
+                                    modality: m1,
+                                },
+                                Fd {
+                                    lhs: l2,
+                                    rhs: r2,
+                                    modality: Modality::Certain,
+                                },
                             ];
                             for &nfs in &subsets {
                                 for &x in &subsets {
+                                    // Call the watch-list variant directly:
+                                    // the adaptive entry points would route
+                                    // a 2-FD Σ to the naive algorithms.
                                     assert_eq!(
-                                        p_closure(&fds, nfs, x),
+                                        closure_linear(&fds, nfs, x, Kind::P),
                                         p_closure_naive(&fds, nfs, x),
                                         "p fds={fds:?} nfs={nfs:?} x={x:?}"
                                     );
                                     assert_eq!(
-                                        c_closure(&fds, nfs, x),
+                                        closure_linear(&fds, nfs, x, Kind::C),
                                         c_closure_naive(&fds, nfs, x),
                                         "c fds={fds:?} nfs={nfs:?} x={x:?}"
                                     );

@@ -16,6 +16,7 @@ pub fn minimize_lhs(t: AttrSet, nfs: AttrSet, sigma: &Sigma, fd: &Fd) -> Fd {
     let r = Reasoner::new(t, nfs, sigma);
     let mut lhs = fd.lhs;
     for a in fd.lhs {
+        sqlnf_obs::count!("core.cover.lhs_candidates");
         let smaller = lhs - AttrSet::single(a);
         let candidate = Fd {
             lhs: smaller,
@@ -38,6 +39,7 @@ pub fn minimize_key(t: AttrSet, nfs: AttrSet, sigma: &Sigma, key: &Key) -> Key {
     let r = Reasoner::new(t, nfs, sigma);
     let mut attrs = key.attrs;
     for a in key.attrs {
+        sqlnf_obs::count!("core.cover.key_candidates");
         let smaller = attrs - AttrSet::single(a);
         let candidate = Key {
             attrs: smaller,
@@ -64,6 +66,7 @@ pub fn minimize_key(t: AttrSet, nfs: AttrSet, sigma: &Sigma, key: &Key) -> Key {
 /// The result is equivalent to Σ (checked by the tests via
 /// [`crate::implication::equivalent`]).
 pub fn minimize_cover(t: AttrSet, nfs: AttrSet, sigma: &Sigma) -> Sigma {
+    let _span = sqlnf_obs::span!("minimize_cover");
     // Step 1 + 2.
     let mut fds: Vec<Fd> = sigma
         .fds

@@ -128,6 +128,7 @@ fn minimal_violations(comp: &Component, nfs: AttrSet) -> Vec<Fd> {
     subsets.sort_by_key(|s| (s.len(), s.0));
     let mut found: Vec<Fd> = Vec::new();
     for v in subsets {
+        sqlnf_obs::count!("core.decompose.violation_candidates");
         if found.iter().any(|f| f.lhs.is_subset(v)) {
             continue; // a smaller violating LHS already covers this
         }
@@ -199,6 +200,7 @@ pub fn vrnf_decompose(t: AttrSet, nfs: AttrSet, sigma: &Sigma) -> Result<Decompo
     if !sigma.is_total_fds_and_ckeys() {
         return Err(VrnfError::InputNotTotalFdsAndCkeys);
     }
+    let _span = sqlnf_obs::span!("vrnf_decompose");
     let mut work: Vec<Component> = vec![Component {
         attrs: t,
         multiset: true,
@@ -207,9 +209,14 @@ pub fn vrnf_decompose(t: AttrSet, nfs: AttrSet, sigma: &Sigma) -> Result<Decompo
     let mut done: Vec<Component> = Vec::new();
 
     while let Some(comp) = work.pop() {
+        // The work list *is* the recursion of Algorithm 3; its high
+        // water mark is the recursion depth of the split tree.
+        sqlnf_obs::count_max!("core.decompose.work_list_depth", work.len() + 1);
         match find_violation(&comp, nfs) {
             None => done.push(comp),
             Some(fd) => {
+                sqlnf_obs::count!("core.decompose.splits");
+                sqlnf_obs::trace!("split {:?} by {:?} ->w {:?}", comp.attrs, fd.lhs, fd.rhs);
                 let (rest, xy) = split_by_fd(comp.attrs, &fd);
                 let local_nfs = nfs & comp.attrs;
                 // Project the component's constraints onto each child.
@@ -267,7 +274,10 @@ mod tests {
         let fd = Fd::certain(schema.set(&["item", "catalog"]), schema.set(&["price"]));
         assert!(satisfies_fd(&i, &fd));
         let (rest, xy) = decompose_instance_by_cfd(&i, &fd);
-        assert_eq!(rest.schema().column_names(), &["order_id", "item", "catalog"]);
+        assert_eq!(
+            rest.schema().column_names(),
+            &["order_id", "item", "catalog"]
+        );
         assert_eq!(xy.schema().column_names(), &["item", "catalog", "price"]);
         assert_eq!(rest.len(), 4);
         assert_eq!(xy.len(), 3);
@@ -319,7 +329,11 @@ mod tests {
         assert!(r.implies_fd(&Fd::certain(s(&[0, 1, 2]), s(&[2]))));
         // Both components are in SQL-BCNF (VRNF).
         for c in &d.components {
-            assert_eq!(is_sql_bcnf(c.attrs, nfs & c.attrs, &c.sigma), Ok(true), "{c:?}");
+            assert_eq!(
+                is_sql_bcnf(c.attrs, nfs & c.attrs, &c.sigma),
+                Ok(true),
+                "{c:?}"
+            );
         }
     }
 
@@ -375,7 +389,11 @@ mod tests {
         let cd = d.components.iter().find(|c| c.attrs == s(&[2, 3])).unwrap();
         assert!(!cd.multiset);
         assert_eq!(cd.sigma.keys, vec![Key::certain(s(&[2]))]);
-        let abc = d.components.iter().find(|c| c.attrs == s(&[0, 1, 2])).unwrap();
+        let abc = d
+            .components
+            .iter()
+            .find(|c| c.attrs == s(&[0, 1, 2]))
+            .unwrap();
         assert!(abc.multiset);
         let r = Reasoner::new(abc.attrs, abc.attrs, &abc.sigma);
         assert!(r.implies_key(&Key::certain(s(&[0, 2]))));

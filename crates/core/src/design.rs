@@ -158,7 +158,12 @@ impl SchemaDesign {
 
 impl fmt::Display for SchemaDesign {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} with Σ = {}", self.schema, self.sigma.display(&self.schema))
+        write!(
+            f,
+            "{} with Σ = {}",
+            self.schema,
+            self.sigma.display(&self.schema)
+        )
     }
 }
 
@@ -180,10 +185,7 @@ pub struct NormalizedDesign {
 impl NormalizedDesign {
     /// Dependency-preservation report of this decomposition against the
     /// parent design it was produced from.
-    pub fn preservation(
-        &self,
-        parent: &SchemaDesign,
-    ) -> crate::preservation::PreservationReport {
+    pub fn preservation(&self, parent: &SchemaDesign) -> crate::preservation::PreservationReport {
         crate::preservation::preservation_report(
             parent.schema().attrs(),
             parent.schema().nfs(),
@@ -243,24 +245,13 @@ mod tests {
             assert_eq!(child.is_vrnf(), Ok(true), "{child}");
         }
         // The set component is oicp with key c<order_id,item,catalog>.
-        let set_child = n
-            .children
-            .iter()
-            .find(|c| c.schema().arity() == 4)
-            .unwrap();
+        let set_child = n.children.iter().find(|c| c.schema().arity() == 4).unwrap();
         let cs = set_child.schema();
         assert!(set_child.implies(Key::certain(cs.set(&["order_id", "item", "catalog"]))));
         // The multiset component is oic carrying the internal c-FD.
-        let multi_child = n
-            .children
-            .iter()
-            .find(|c| c.schema().arity() == 3)
-            .unwrap();
+        let multi_child = n.children.iter().find(|c| c.schema().arity() == 3).unwrap();
         let ms = multi_child.schema();
-        assert_eq!(
-            ms.column_names(),
-            &["order_id", "item", "catalog"]
-        );
+        assert_eq!(ms.column_names(), &["order_id", "item", "catalog"]);
         assert!(multi_child.implies(Fd::certain(
             ms.set(&["order_id", "item", "catalog"]),
             ms.set(&["catalog"])

@@ -21,17 +21,40 @@
 use crate::closure::{c_closure, p_closure};
 use sqlnf_model::attrs::AttrSet;
 use sqlnf_model::constraint::{Constraint, Fd, Key, Modality, Sigma};
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 /// A reasoning context for one schema `(T, T_S)` and constraint set Σ.
 ///
 /// Construction precomputes the FD-projection `Σ|FD`; each query is then
-/// one or two closure computations.
-#[derive(Debug, Clone)]
+/// one or two closure computations. Closures are memoized per LHS —
+/// normal-form checks and decomposition probe the same LHSs over and
+/// over (cache effectiveness is visible via the
+/// `core.reasoner.cache_{hits,misses}` counters).
+#[derive(Debug)]
 pub struct Reasoner {
     t: AttrSet,
     nfs: AttrSet,
     keys: Vec<Key>,
     fds: Vec<Fd>,
+    // Σ, T_S and T are frozen at construction, so a memoized closure
+    // never goes stale. A Mutex (not RefCell) keeps the reasoner Sync
+    // for the parallel miners.
+    p_cache: Mutex<HashMap<AttrSet, AttrSet>>,
+    c_cache: Mutex<HashMap<AttrSet, AttrSet>>,
+}
+
+impl Clone for Reasoner {
+    fn clone(&self) -> Reasoner {
+        Reasoner {
+            t: self.t,
+            nfs: self.nfs,
+            keys: self.keys.clone(),
+            fds: self.fds.clone(),
+            p_cache: Mutex::new(self.p_cache.lock().expect("reasoner cache").clone()),
+            c_cache: Mutex::new(self.c_cache.lock().expect("reasoner cache").clone()),
+        }
+    }
 }
 
 impl Reasoner {
@@ -44,6 +67,8 @@ impl Reasoner {
             nfs,
             keys: sigma.keys.clone(),
             fds: sigma.fd_projection(t),
+            p_cache: Mutex::new(HashMap::new()),
+            c_cache: Mutex::new(HashMap::new()),
         }
     }
 
@@ -57,23 +82,53 @@ impl Reasoner {
         self.nfs
     }
 
-    /// The p-closure `X*p` with respect to `Σ|FD`.
+    /// The p-closure `X*p` with respect to `Σ|FD` (memoized per `X`).
     pub fn p_closure(&self, x: AttrSet) -> AttrSet {
-        p_closure(&self.fds, self.nfs, x)
+        if let Some(&cached) = self.p_cache.lock().expect("reasoner cache").get(&x) {
+            sqlnf_obs::count!("core.reasoner.cache_hits");
+            return cached;
+        }
+        sqlnf_obs::count!("core.reasoner.cache_misses");
+        let closure = p_closure(&self.fds, self.nfs, x);
+        sqlnf_obs::trace!("p_closure({x:?}) = {closure:?}");
+        self.p_cache
+            .lock()
+            .expect("reasoner cache")
+            .insert(x, closure);
+        closure
     }
 
-    /// The c-closure `X*c` with respect to `Σ|FD`.
+    /// The c-closure `X*c` with respect to `Σ|FD` (memoized per `X`).
     pub fn c_closure(&self, x: AttrSet) -> AttrSet {
-        c_closure(&self.fds, self.nfs, x)
+        if let Some(&cached) = self.c_cache.lock().expect("reasoner cache").get(&x) {
+            sqlnf_obs::count!("core.reasoner.cache_hits");
+            return cached;
+        }
+        sqlnf_obs::count!("core.reasoner.cache_misses");
+        let closure = c_closure(&self.fds, self.nfs, x);
+        sqlnf_obs::trace!("c_closure({x:?}) = {closure:?}");
+        self.c_cache
+            .lock()
+            .expect("reasoner cache")
+            .insert(x, closure);
+        closure
     }
 
     /// Decides `Σ ⊨ X → Y` by Theorem 2: `Y ⊆ X*p` (possible) or
     /// `Y ⊆ X*c` (certain).
     pub fn implies_fd(&self, fd: &Fd) -> bool {
-        match fd.modality {
-            Modality::Possible => fd.rhs.is_subset(self.p_closure(fd.lhs)),
-            Modality::Certain => fd.rhs.is_subset(self.c_closure(fd.lhs)),
-        }
+        let implied = match fd.modality {
+            Modality::Possible => {
+                sqlnf_obs::count!("core.reasoner.fd_queries.possible");
+                fd.rhs.is_subset(self.p_closure(fd.lhs))
+            }
+            Modality::Certain => {
+                sqlnf_obs::count!("core.reasoner.fd_queries.certain");
+                fd.rhs.is_subset(self.c_closure(fd.lhs))
+            }
+        };
+        sqlnf_obs::trace!("implies_fd({fd:?}) = {implied}");
+        implied
     }
 
     /// Decides `Σ|key ⊨ key` using only the keys of Σ (axioms 𝔎).
@@ -93,17 +148,21 @@ impl Reasoner {
     /// Decides `Σ ⊨ key` via the reduction of Section 4.2.
     pub fn implies_key(&self, key: &Key) -> bool {
         let x = key.attrs;
-        match key.modality {
+        let implied = match key.modality {
             Modality::Possible => {
+                sqlnf_obs::count!("core.reasoner.key_queries.possible");
                 let xp = self.p_closure(x);
                 self.keys_only_imply(&Key::certain(xp))
                     || self.keys_only_imply(&Key::possible(x | (xp & self.nfs)))
             }
             Modality::Certain => {
+                sqlnf_obs::count!("core.reasoner.key_queries.certain");
                 let xc = self.c_closure(x);
                 self.keys_only_imply(&Key::certain(x | xc))
             }
-        }
+        };
+        sqlnf_obs::trace!("implies_key({key:?}) = {implied}");
+        implied
     }
 
     /// Decides `Σ ⊨ φ` for any constraint of the combined class.
@@ -211,7 +270,11 @@ mod tests {
                 for &x in &subsets {
                     for &y in &subsets {
                         for m in [Modality::Possible, Modality::Certain] {
-                            let fd = Fd { lhs: x, rhs: y, modality: m };
+                            let fd = Fd {
+                                lhs: x,
+                                rhs: y,
+                                modality: m,
+                            };
                             assert_eq!(
                                 r.implies_fd(&fd),
                                 oracle_implies(t, nfs, &sigma, &Constraint::Fd(fd)),
@@ -220,7 +283,10 @@ mod tests {
                         }
                     }
                     for m in [Modality::Possible, Modality::Certain] {
-                        let key = Key { attrs: x, modality: m };
+                        let key = Key {
+                            attrs: x,
+                            modality: m,
+                        };
                         assert_eq!(
                             r.implies_key(&key),
                             oracle_implies(t, nfs, &sigma, &Constraint::Key(key)),
@@ -248,6 +314,48 @@ mod tests {
         let k2 = Sigma::new().with(Key::possible(s(&[0])));
         assert!(!equivalent(t, AttrSet::EMPTY, &k1, &k2));
         assert!(equivalent(t, s(&[0]), &k1, &k2));
+    }
+
+    #[test]
+    fn closure_cache_hits_on_repeated_lhs() {
+        // Counters are process-wide and tests run in parallel, so the
+        // assertions are on deltas, which only other *hits* could
+        // inflate — a hit recorded here is a real hit.
+        let t = s(&[0, 1, 2, 3]);
+        let nfs = s(&[0, 2]);
+        let sigma = Sigma::new()
+            .with(Fd::possible(s(&[0, 1]), s(&[2])))
+            .with(Fd::certain(s(&[1, 2]), s(&[3])))
+            .with(Key::possible(s(&[0, 1, 2])));
+        let r = Reasoner::new(t, nfs, &sigma);
+        let before = sqlnf_obs::report()
+            .counter("core.reasoner.cache_hits")
+            .unwrap_or(0);
+        // Same LHS probed repeatedly, as normal-form checks do.
+        let first = r.p_closure(s(&[0, 1]));
+        for _ in 0..4 {
+            assert_eq!(r.p_closure(s(&[0, 1])), first);
+        }
+        let c_first = r.c_closure(s(&[1]));
+        assert_eq!(r.c_closure(s(&[1])), c_first);
+        let after = sqlnf_obs::report()
+            .counter("core.reasoner.cache_hits")
+            .unwrap_or(0);
+        let hits = after - before;
+        assert!(
+            hits >= 5,
+            "expected a positive cache hit rate, got {hits} hits"
+        );
+        // A clone carries the warm cache along.
+        let cloned = r.clone();
+        let before_clone = sqlnf_obs::report()
+            .counter("core.reasoner.cache_hits")
+            .unwrap_or(0);
+        assert_eq!(cloned.p_closure(s(&[0, 1])), first);
+        let after_clone = sqlnf_obs::report()
+            .counter("core.reasoner.cache_hits")
+            .unwrap_or(0);
+        assert!(after_clone > before_clone, "clone should inherit the cache");
     }
 
     #[test]

@@ -61,11 +61,11 @@ pub mod prelude {
     };
     pub use crate::oracle::{counter_model, oracle_implies};
     pub use crate::projection::project_sigma;
-    pub use crate::totalize::{totalize, Totalized, Untotalizable};
     pub use crate::redundancy::{
         is_redundancy_free, is_value_redundancy_free, redundant_positions,
         value_redundant_positions, Position,
     };
+    pub use crate::totalize::{totalize, Totalized, Untotalizable};
     pub use crate::witness::{violation_witness, Witness};
     pub use sqlnf_model::prelude::*;
 }

@@ -52,9 +52,7 @@ pub struct LintReport {
 impl LintReport {
     /// Whether the design is free of redundancy findings.
     pub fn is_clean(&self) -> bool {
-        self.findings
-            .iter()
-            .all(|f| f.severity == Severity::Info)
+        self.findings.iter().all(|f| f.severity == Severity::Info)
     }
 }
 
@@ -159,8 +157,7 @@ pub fn lint(design: &SchemaDesign) -> LintReport {
         .flatten()
         .or_else(|| redundancy_witness(t, nfs, sigma))
         .map(|(table, pos)| {
-            let renamed =
-                Table::from_rows(schema.clone(), table.rows().to_vec());
+            let renamed = Table::from_rows(schema.clone(), table.rows().to_vec());
             (renamed, pos)
         });
 

@@ -49,11 +49,13 @@ pub fn bcnf_violations(t: AttrSet, nfs: AttrSet, sigma: &Sigma) -> Vec<Fd> {
         .fds
         .iter()
         .filter(|fd| {
-            !fd.is_trivial(nfs)
-                && !r.implies_key(&Key {
+            !fd.is_trivial(nfs) && {
+                sqlnf_obs::count!("core.normal_forms.candidate_keys_examined");
+                !r.implies_key(&Key {
                     attrs: fd.lhs,
                     modality: fd.modality,
                 })
+            }
         })
         .copied()
         .collect()
@@ -88,7 +90,12 @@ pub fn sql_bcnf_violations(
     Ok(sigma
         .fds
         .iter()
-        .filter(|fd| fd.is_external() && !r.implies_key(&Key::certain(fd.lhs)))
+        .filter(|fd| {
+            fd.is_external() && {
+                sqlnf_obs::count!("core.normal_forms.candidate_keys_examined");
+                !r.implies_key(&Key::certain(fd.lhs))
+            }
+        })
         .copied()
         .collect())
 }
@@ -119,11 +126,7 @@ fn schema_over(t: AttrSet, nfs: AttrSet) -> TableSchema {
 /// The instance is the Lemma 2 witness for the violated key of a
 /// violating FD `X → Y`: two tuples similar on `X`; every substitution
 /// at a `Y − X` position re-violates the FD.
-pub fn redundancy_witness(
-    t: AttrSet,
-    nfs: AttrSet,
-    sigma: &Sigma,
-) -> Option<(Table, Position)> {
+pub fn redundancy_witness(t: AttrSet, nfs: AttrSet, sigma: &Sigma) -> Option<(Table, Position)> {
     let fd = bcnf_violations(t, nfs, sigma).into_iter().next()?;
     let r = Reasoner::new(t, nfs, sigma);
     let key = Key {
@@ -184,7 +187,13 @@ pub fn value_redundancy_witness(
     let mut table = Table::new(schema_over(t, nfs));
     table.push(Tuple::new(t0));
     table.push(Tuple::new(t1));
-    Ok(Some((table, Position { row: 0, col: a_star })))
+    Ok(Some((
+        table,
+        Position {
+            row: 0,
+            col: a_star,
+        },
+    )))
 }
 
 #[cfg(test)]
@@ -276,7 +285,10 @@ mod tests {
             .with(Key::possible(s(&[0])))
             .with(Key::certain(s(&[1])));
         assert!(is_bcnf(t, AttrSet::EMPTY, &sigma));
-        assert_eq!(is_sql_bcnf(t, AttrSet::EMPTY, &Sigma::new().with(Key::certain(s(&[1])))), Ok(true));
+        assert_eq!(
+            is_sql_bcnf(t, AttrSet::EMPTY, &Sigma::new().with(Key::certain(s(&[1])))),
+            Ok(true)
+        );
     }
 
     #[test]

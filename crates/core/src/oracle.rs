@@ -126,7 +126,12 @@ pub fn counter_model(
 
 /// Materializes a pattern as two concrete tuples of a table, for tests
 /// that want real instances (column `i` uses values `0`/`1`/`⊥`).
-pub fn realize(pattern: &PairPattern) -> (Vec<sqlnf_model::value::Value>, Vec<sqlnf_model::value::Value>) {
+pub fn realize(
+    pattern: &PairPattern,
+) -> (
+    Vec<sqlnf_model::value::Value>,
+    Vec<sqlnf_model::value::Value>,
+) {
     use sqlnf_model::value::Value;
     let mut t0 = Vec::new();
     let mut t1 = Vec::new();

@@ -168,7 +168,10 @@ mod tests {
         };
         let report = preservation_report(t, t, &sigma, &manual);
         assert!(!report.is_preserving());
-        assert_eq!(report.lost, vec![Constraint::Fd(Fd::certain(s(&[1]), s(&[1, 2])))]);
+        assert_eq!(
+            report.lost,
+            vec![Constraint::Fd(Fd::certain(s(&[1]), s(&[1, 2])))]
+        );
         // Algorithm 3 on the same schema splits off (b,c) first —
         // preserving both FDs.
         let d = vrnf_decompose(t, t, &sigma).unwrap();

@@ -139,8 +139,7 @@ mod tests {
             .row(tuple![7485113i64, "Dora Doll", "Kingtoys", 25i64])
             .build();
         let s = t.schema().clone();
-        let sigma =
-            Sigma::new().with(Fd::certain(s.set(&["item", "catalog"]), s.set(&["price"])));
+        let sigma = Sigma::new().with(Fd::certain(s.set(&["item", "catalog"]), s.set(&["price"])));
         let price = s.a("price");
         let red = redundant_positions(&t, &sigma);
         // Rows 0 and 2 (Fitbit/Amazon) have redundant prices; rows 1 and
@@ -166,8 +165,7 @@ mod tests {
             .row(tuple!["Dora Doll", "Kingtoys", 25i64])
             .build();
         let s = t.schema().clone();
-        let sigma =
-            Sigma::new().with(Fd::certain(s.set(&["item", "catalog"]), s.set(&["price"])));
+        let sigma = Sigma::new().with(Fd::certain(s.set(&["item", "catalog"]), s.set(&["price"])));
         let price = s.a("price");
         let red = redundant_positions(&t, &sigma);
         assert!(red.contains(&Position { row: 0, col: price }));
@@ -185,12 +183,16 @@ mod tests {
     /// redundancy-free.
     #[test]
     fn section62_null_redundancy() {
-        let t = TableBuilder::new("oic", ["order_id", "item", "catalog"], &["order_id", "item"])
-            .row(tuple![5299401i64, "Fitbit Surge", null])
-            .row(tuple![5299401i64, "Fitbit Surge", null])
-            .row(tuple![7485113i64, "Dora Doll", "Kingtoys"])
-            .row(tuple![7485113i64, "Dora Doll", "Kingtoys"])
-            .build();
+        let t = TableBuilder::new(
+            "oic",
+            ["order_id", "item", "catalog"],
+            &["order_id", "item"],
+        )
+        .row(tuple![5299401i64, "Fitbit Surge", null])
+        .row(tuple![5299401i64, "Fitbit Surge", null])
+        .row(tuple![7485113i64, "Dora Doll", "Kingtoys"])
+        .row(tuple![7485113i64, "Dora Doll", "Kingtoys"])
+        .build();
         let s = t.schema().clone();
         let sigma = Sigma::new().with(Fd::certain(
             s.set(&["order_id", "item", "catalog"]),
@@ -206,8 +208,14 @@ mod tests {
         // Kingtoys to Amazon breaks weak similarity on oic itself, so
         // the FD still holds.)
         assert_eq!(red.len(), 2);
-        assert!(red.contains(&Position { row: 0, col: catalog }));
-        assert!(red.contains(&Position { row: 1, col: catalog }));
+        assert!(red.contains(&Position {
+            row: 0,
+            col: catalog
+        }));
+        assert!(red.contains(&Position {
+            row: 1,
+            col: catalog
+        }));
         assert!(!is_redundancy_free(&t, &sigma));
         assert!(is_value_redundancy_free(&t, &sigma));
     }
@@ -297,15 +305,29 @@ mod tests {
             .row(tuple![2i64])
             .row(tuple![null])
             .build();
-        let cands = substitution_candidates(&t, Position { row: 0, col: Attr(0) });
+        let cands = substitution_candidates(
+            &t,
+            Position {
+                row: 0,
+                col: Attr(0),
+            },
+        );
         // 2 (domain), fresh, NULL.
         assert_eq!(cands.len(), 3);
         assert!(cands.contains(&Value::Int(2)));
         assert!(cands.contains(&Value::Null));
         assert!(cands.iter().any(|v| matches!(v, Value::Str(_))));
         // NOT NULL column: no NULL candidate.
-        let t2 = TableBuilder::new("r", ["a"], &["a"]).row(tuple![1i64]).build();
-        let c2 = substitution_candidates(&t2, Position { row: 0, col: Attr(0) });
+        let t2 = TableBuilder::new("r", ["a"], &["a"])
+            .row(tuple![1i64])
+            .build();
+        let c2 = substitution_candidates(
+            &t2,
+            Position {
+                row: 0,
+                col: Attr(0),
+            },
+        );
         assert!(!c2.contains(&Value::Null));
     }
 }

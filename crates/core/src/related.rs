@@ -23,8 +23,8 @@
 //! live in `sqlnf_model::satisfy` and are linear-time per pair.
 
 use sqlnf_model::attrs::{Attr, AttrSet};
-use sqlnf_model::satisfy::satisfies_fd;
 use sqlnf_model::constraint::Fd;
+use sqlnf_model::satisfy::satisfies_fd;
 use sqlnf_model::table::Table;
 use sqlnf_model::value::Value;
 
@@ -136,7 +136,10 @@ pub fn strong_fd_holds(table: &Table, lhs: AttrSet, rhs: AttrSet) -> bool {
 
 /// The three-valued verdict of \[39\].
 pub fn three_valued(table: &Table, lhs: AttrSet, rhs: AttrSet) -> ThreeValued {
-    match (weak_fd_holds(table, lhs, rhs), strong_fd_holds(table, lhs, rhs)) {
+    match (
+        weak_fd_holds(table, lhs, rhs),
+        strong_fd_holds(table, lhs, rhs),
+    ) {
         (true, true) => ThreeValued::True,
         (true, false) => ThreeValued::Unknown,
         (false, _) => ThreeValued::False,

@@ -174,7 +174,10 @@ mod tests {
         assert_eq!(armstrong_closure(&fds, s(&[0])), s(&[0, 1, 2]));
         assert_eq!(armstrong_closure(&fds, s(&[2])), s(&[2]));
         assert!(classical_implies(&fds, &ClassicalFd::new(s(&[0]), s(&[2]))));
-        assert!(!classical_implies(&fds, &ClassicalFd::new(s(&[1]), s(&[0]))));
+        assert!(!classical_implies(
+            &fds,
+            &ClassicalFd::new(s(&[1]), s(&[0]))
+        ));
     }
 
     #[test]

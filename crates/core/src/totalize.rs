@@ -115,7 +115,7 @@ mod tests {
         assert!(tot.sigma.is_total_fds_and_ckeys());
         assert_eq!(tot.converted.len(), 1);
         assert_eq!(tot.strengthened.len(), 1); // RHS extended to XY
-        // The totalized Σ implies the original constraint.
+                                               // The totalized Σ implies the original constraint.
         let t = s(&[0, 1, 2]);
         let r = Reasoner::new(t, nfs, &tot.sigma);
         assert!(r.implies_fd(&Fd::possible(s(&[0, 1]), s(&[2]))));

@@ -183,7 +183,9 @@ mod tests {
         assert!(satisfies_all(&table, &sigma));
         assert!(!satisfies(&table, &phi));
         // oi →_s p IS implied: no witness.
-        assert!(violation_witness(&r, &Constraint::Fd(Fd::possible(s(&[0, 1]), s(&[3])))).is_none());
+        assert!(
+            violation_witness(&r, &Constraint::Fd(Fd::possible(s(&[0, 1]), s(&[3])))).is_none()
+        );
     }
 
     /// Exhaustive soundness of all four constructions: over 3-attribute

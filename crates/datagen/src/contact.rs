@@ -39,23 +39,53 @@ pub fn fig7_snippet() -> Table {
     .row(tuple![19i64, "Michelle", "Moscato", "Indianapolis", 20i64])
     .row(tuple![20i64, "Nancy", "Knudson", "Indianapolis", 20i64])
     .row(tuple![18i64, "Nancy", "Knudson", "Indianapolis", 20i64])
-    .row(tuple![99i64, "Stacey", "Brennan, M.D.", "Indianapolis", 20i64])
+    .row(tuple![
+        99i64,
+        "Stacey",
+        "Brennan, M.D.",
+        "Indianapolis",
+        20i64
+    ])
     .row(tuple![8i64, "Carol", "Richards", null, 36i64])
     .row(tuple![7i64, "Pam", "Baumker", null, 36i64])
     .build()
 }
 
 const FIRST: &[&str] = &[
-    "Michelle", "Kathy", "Margaret", "Stacey", "Robert", "Nancy", "Carol", "Pam", "James",
-    "John", "Linda", "Barbara", "Susan", "Jessica", "Sarah", "Karen", "Lisa", "Betty",
-    "Helen", "Sandra", "Donna", "Ruth", "Sharon", "Laura", "Emily",
+    "Michelle", "Kathy", "Margaret", "Stacey", "Robert", "Nancy", "Carol", "Pam", "James", "John",
+    "Linda", "Barbara", "Susan", "Jessica", "Sarah", "Karen", "Lisa", "Betty", "Helen", "Sandra",
+    "Donna", "Ruth", "Sharon", "Laura", "Emily",
 ];
 
 const LAST: &[&str] = &[
-    "Moscato", "Sheehan", "Cox", "Brennan, M.D.", "Kamps, M.D.", "Knudson", "Richards",
-    "Baumker", "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
-    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzales", "Wilson",
-    "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Moscato",
+    "Sheehan",
+    "Cox",
+    "Brennan, M.D.",
+    "Kamps, M.D.",
+    "Knudson",
+    "Richards",
+    "Baumker",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzales",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
 ];
 
 /// Cities with their (fixed) state ids, so `city → state_id` holds on

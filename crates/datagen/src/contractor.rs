@@ -179,7 +179,11 @@ pub fn contractor(seed: u64) -> Table {
             let end_date = if rng.gen_bool(0.7) {
                 Value::Null
             } else {
-                Value::str(format!("202{}-0{}-01", rng.gen_range(0..5), rng.gen_range(1..9)))
+                Value::str(format!(
+                    "202{}-0{}-01",
+                    rng.gen_range(0..5),
+                    rng.gen_range(1..9)
+                ))
             };
             let notes = if rng.gen_bool(0.85) {
                 Value::Null
@@ -284,7 +288,10 @@ mod tests {
         let url = s.a("url");
         let mut by_group: std::collections::HashMap<&Value, Vec<&Value>> = Default::default();
         for row in t.rows() {
-            by_group.entry(row.get(url)).or_default().push(row.get(dmerc));
+            by_group
+                .entry(row.get(url))
+                .or_default()
+                .push(row.get(dmerc));
         }
         assert_eq!(by_group.len(), FD1_GROUPS);
         let mut value_elims = 0usize;

@@ -71,9 +71,7 @@ pub fn adult_like(seed: u64) -> Table {
     );
     let mut t = Table::new(schema);
     // education ↔ education_num is the planted genuine FD pair.
-    let educations: Vec<(String, i64)> = (1..=16)
-        .map(|i| (format!("edu_{i:02}"), i))
-        .collect();
+    let educations: Vec<(String, i64)> = (1..=16).map(|i| (format!("edu_{i:02}"), i)).collect();
     for _ in 0..48_842 {
         let edu = &educations[rng.gen_range(0..educations.len())];
         let null_work = rng.gen_bool(0.056); // matches the real ~5.6 % "?"
@@ -95,7 +93,11 @@ pub fn adult_like(seed: u64) -> Table {
         });
         row.push(Value::str(format!("rel_{}", rng.gen_range(0..6))));
         row.push(Value::str(format!("race_{}", rng.gen_range(0..5))));
-        row.push(Value::str(if rng.gen_bool(0.67) { "Male" } else { "Female" }));
+        row.push(Value::str(if rng.gen_bool(0.67) {
+            "Male"
+        } else {
+            "Female"
+        }));
         row.push(Value::Int(if rng.gen_bool(0.92) {
             0
         } else {
@@ -107,7 +109,11 @@ pub fn adult_like(seed: u64) -> Table {
             rng.gen_range(100..4_400)
         }));
         row.push(Value::Int(rng.gen_range(1..=99)));
-        row.push(Value::str(if rng.gen_bool(0.76) { "<=50K" } else { ">50K" }));
+        row.push(Value::str(if rng.gen_bool(0.76) {
+            "<=50K"
+        } else {
+            ">50K"
+        }));
         t.push(Tuple::new(row));
     }
     t

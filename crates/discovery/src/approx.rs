@@ -243,7 +243,11 @@ mod tests {
         // Keep the plurality per group: rows 0, 2, 3 (or 4).
         let kept = Table::from_rows(
             t.schema().clone(),
-            vec![t.rows()[0].clone(), t.rows()[2].clone(), t.rows()[3].clone()],
+            vec![
+                t.rows()[0].clone(),
+                t.rows()[2].clone(),
+                t.rows()[3].clone(),
+            ],
         );
         assert!(satisfies_fd(
             &kept,

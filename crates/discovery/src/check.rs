@@ -295,7 +295,11 @@ mod tests {
             .build();
         let e = enc(&t);
         let x = AttrSet::from_indices([0]);
-        for sem in [Semantics::Classical, Semantics::Possible, Semantics::Certain] {
+        for sem in [
+            Semantics::Classical,
+            Semantics::Possible,
+            Semantics::Certain,
+        ] {
             let p = partition_for(&e, x, sem);
             let targets = AttrSet::from_indices([1, 2, 3]);
             let batch = fd_targets_holding(&e, x, &p, targets, sem);

@@ -175,7 +175,13 @@ mod tests {
             .row(tuple![19i64, "Michelle", "Moscato", "Indianapolis", 20i64])
             .row(tuple![20i64, "Nancy", "Knudson", "Indianapolis", 20i64])
             .row(tuple![18i64, "Nancy", "Knudson", "Indianapolis", 20i64])
-            .row(tuple![99i64, "Stacey", "Brennan, M.D.", "Indianapolis", 20i64])
+            .row(tuple![
+                99i64,
+                "Stacey",
+                "Brennan, M.D.",
+                "Indianapolis",
+                20i64
+            ])
             .row(tuple![8i64, "Carol", "Richards", null, 36i64])
             .row(tuple![7i64, "Pam", "Baumker", null, 36i64])
             .build()
@@ -189,10 +195,9 @@ mod tests {
         let s = t.schema().clone();
         let cls = classify_table(&t, 3);
         let flc = s.set(&["f", "l", "ci"]);
-        let lam = cls
-            .lambda_fds
-            .iter()
-            .find(|l| l.lhs.is_subset(flc) && l.lhs.contains(s.a("ci")) && l.rhs.contains(s.a("st")));
+        let lam = cls.lambda_fds.iter().find(|l| {
+            l.lhs.is_subset(flc) && l.lhs.contains(s.a("ci")) && l.rhs.contains(s.a("st"))
+        });
         assert!(lam.is_some(), "{cls:?}");
         let lam = lam.unwrap();
         // 14 rows project to at most 10 distinct (Fig. 8 left: 10 rows).

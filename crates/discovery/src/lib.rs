@@ -20,7 +20,9 @@ pub mod partition;
 
 /// Convenience re-exports.
 pub mod prelude {
-    pub use crate::approx::{cfd_error, ckey_error, classical_fd_error, key_error_of_table, pfd_error, pkey_error};
+    pub use crate::approx::{
+        cfd_error, ckey_error, classical_fd_error, key_error_of_table, pfd_error, pkey_error,
+    };
     pub use crate::check::{
         certain_reflexive_holds, fd_holds, fd_targets_holding, is_ckey, is_pkey, partition_for,
         Semantics,

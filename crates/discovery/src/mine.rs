@@ -129,6 +129,7 @@ pub fn mine_fds_encoded(
     config: MinerConfig,
     started: Instant,
 ) -> MiningResult {
+    let _span = sqlnf_obs::span!("mine_fds");
     let attrs: Vec<Attr> = (0..arity).map(Attr::from).collect();
     let all: AttrSet = attrs.iter().copied().collect();
 
@@ -138,8 +139,11 @@ pub fn mine_fds_encoded(
     let mut checked = 0usize;
 
     for k in 0..=config.max_lhs.min(arity.saturating_sub(1)) {
+        sqlnf_obs::count!("discovery.mine.lattice_levels");
         // Candidates of this level, with their uncovered targets.
-        let candidates: Vec<(AttrSet, AttrSet)> = k_subsets(&attrs, k)
+        let generated = k_subsets(&attrs, k);
+        let generated_count = generated.len();
+        let candidates: Vec<(AttrSet, AttrSet)> = generated
             .into_iter()
             .filter_map(|x| {
                 let mut targets = AttrSet::EMPTY;
@@ -152,11 +156,24 @@ pub fn mine_fds_encoded(
             })
             .collect();
         checked += candidates.len();
+        sqlnf_obs::count!("discovery.mine.candidates_checked", candidates.len());
+        sqlnf_obs::count!(
+            "discovery.mine.candidates_pruned",
+            generated_count - candidates.len()
+        );
+        sqlnf_obs::trace!(
+            "mine level {k}: {} candidates ({} pruned)",
+            candidates.len(),
+            generated_count - candidates.len()
+        );
 
         let check = |&(x, targets): &(AttrSet, AttrSet)| -> Option<MinedFd> {
             let partition = partition_for(enc, x, config.semantics);
             let holding = fd_targets_holding(enc, x, &partition, targets, config.semantics);
-            (!holding.is_empty()).then_some(MinedFd { lhs: x, rhs: holding })
+            (!holding.is_empty()).then_some(MinedFd {
+                lhs: x,
+                rhs: holding,
+            })
         };
 
         let level_found: Vec<MinedFd> = if config.threads <= 1 || candidates.len() < 32 {
@@ -166,17 +183,22 @@ pub fn mine_fds_encoded(
             // consults only strictly smaller LHSs, fixed before the
             // level starts. Chunked fan-out over scoped threads.
             let chunk = candidates.len().div_ceil(config.threads);
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 let handles: Vec<_> = candidates
                     .chunks(chunk)
-                    .map(|part| scope.spawn(move |_| part.iter().filter_map(check).collect::<Vec<_>>()))
+                    .map(|part| {
+                        scope.spawn(move || {
+                            sqlnf_obs::count!("discovery.mine.worker_spawns");
+                            sqlnf_obs::count!("discovery.mine.worker_candidates", part.len());
+                            part.iter().filter_map(check).collect::<Vec<_>>()
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
                     .flat_map(|h| h.join().expect("miner worker panicked"))
                     .collect()
             })
-            .expect("crossbeam scope")
         };
 
         for fd in level_found {
@@ -320,7 +342,11 @@ mod tests {
                     .collect::<Vec<_>>(),
             ));
         }
-        for sem in [Semantics::Classical, Semantics::Possible, Semantics::Certain] {
+        for sem in [
+            Semantics::Classical,
+            Semantics::Possible,
+            Semantics::Certain,
+        ] {
             let serial = mine_fds(&t, MinerConfig::new(sem).with_max_lhs(3));
             let parallel = mine_fds(&t, MinerConfig::new(sem).with_max_lhs(3).with_threads(4));
             let norm = |mut fds: Vec<MinedFd>| {

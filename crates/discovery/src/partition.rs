@@ -120,6 +120,7 @@ pub struct Partition {
 impl Partition {
     /// Partition by a single attribute.
     pub fn by_attr(enc: &Encoded, a: Attr, sem: NullSemantics) -> Partition {
+        sqlnf_obs::count!("discovery.partition.builds");
         let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
         for r in 0..enc.rows() {
             let c = enc.code(r, a);
@@ -128,10 +129,7 @@ impl Partition {
             }
             groups.entry(c).or_default().push(r as u32);
         }
-        let mut classes: Vec<Vec<u32>> = groups
-            .into_values()
-            .filter(|g| g.len() >= 2)
-            .collect();
+        let mut classes: Vec<Vec<u32>> = groups.into_values().filter(|g| g.len() >= 2).collect();
         classes.sort();
         Partition { classes }
     }
@@ -163,6 +161,11 @@ impl Partition {
 
     /// Refines the partition by one more attribute.
     pub fn refine_by(&self, enc: &Encoded, a: Attr, sem: NullSemantics) -> Partition {
+        sqlnf_obs::count!("discovery.partition.intersections");
+        sqlnf_obs::count!(
+            "discovery.partition.rows_scanned",
+            self.classes.iter().map(|c| c.len()).sum::<usize>()
+        );
         let mut classes = Vec::new();
         let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
         for class in &self.classes {

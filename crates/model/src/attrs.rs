@@ -7,7 +7,6 @@
 //! 22 columns of the largest table in the paper's evaluation — and makes
 //! the closure algorithms of Section 4 word-level operations.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Maximum number of attributes a single [`crate::schema::TableSchema`]
@@ -15,7 +14,7 @@ use std::fmt;
 pub const MAX_ATTRS: usize = 128;
 
 /// An attribute of a table schema, identified by its column index.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Attr(pub u8);
 
 impl Attr {
@@ -45,7 +44,7 @@ impl fmt::Display for Attr {
 /// Supports the set algebra the paper's algorithms are written in:
 /// union (`|`), intersection (`&`), difference (`-`), subset tests, and
 /// iteration in ascending column order.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct AttrSet(pub u128);
 
 impl AttrSet {

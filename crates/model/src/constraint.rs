@@ -5,7 +5,6 @@
 
 use crate::attrs::AttrSet;
 use crate::schema::TableSchema;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Whether a dependency is *possible* (strong similarity on the LHS,
@@ -13,7 +12,7 @@ use std::fmt;
 ///
 /// A possible FD holds if *some* replacement of LHS nulls satisfies the
 /// FD classically; a certain FD holds if *every* replacement does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Modality {
     /// `X →_s Y` / `p⟨X⟩`: LHS matched by strong similarity.
     Possible,
@@ -32,7 +31,7 @@ impl Modality {
 }
 
 /// A possible or certain functional dependency `X →_{s|w} Y`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Fd {
     /// Left-hand side `X`.
     pub lhs: AttrSet,
@@ -113,7 +112,13 @@ impl Fd {
 
 impl fmt::Display for Fd {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:?} ->{} {:?}", self.lhs, self.modality.subscript(), self.rhs)
+        write!(
+            f,
+            "{:?} ->{} {:?}",
+            self.lhs,
+            self.modality.subscript(),
+            self.rhs
+        )
     }
 }
 
@@ -122,7 +127,7 @@ impl fmt::Display for Fd {
 /// A p-key (c-key) holds if no two tuples with distinct tuple identities
 /// are strongly (weakly) similar on `X`. Because tables are multisets,
 /// keys are *not* expressible as FDs (Figure 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Key {
     /// The key attributes `X`.
     pub attrs: AttrSet,
@@ -153,7 +158,10 @@ impl Key {
             Modality::Possible => 'p',
             Modality::Certain => 'c',
         };
-        format!("{tag}<{}>", &schema.display_set(self.attrs)[1..schema.display_set(self.attrs).len() - 1])
+        format!(
+            "{tag}<{}>",
+            &schema.display_set(self.attrs)[1..schema.display_set(self.attrs).len() - 1]
+        )
     }
 }
 
@@ -168,7 +176,7 @@ impl fmt::Display for Key {
 }
 
 /// Any constraint of the combined class.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Constraint {
     /// A possible or certain FD.
     Fd(Fd),
@@ -210,7 +218,7 @@ impl fmt::Display for Constraint {
 /// A constraint set Σ over one schema: p/c-FDs and p/c-keys. The NOT
 /// NULL constraints live in the schema's NFS, completing the combined
 /// class the paper reasons about.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Sigma {
     /// The FDs of Σ.
     pub fds: Vec<Fd>,

@@ -39,7 +39,11 @@ impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CsvError::MissingHeader => write!(f, "CSV input has no header line"),
-            CsvError::RaggedRow { line, got, expected } => write!(
+            CsvError::RaggedRow {
+                line,
+                got,
+                expected,
+            } => write!(
                 f,
                 "CSV row at line {line} has {got} fields, expected {expected}"
             ),
@@ -143,7 +147,9 @@ pub fn table_from_csv(name: &str, input: &str) -> Result<Table, CsvError> {
             });
         }
         table.push(Tuple::new(
-            rec.iter().map(|f| Value::parse_field(f)).collect::<Vec<_>>(),
+            rec.iter()
+                .map(|f| Value::parse_field(f))
+                .collect::<Vec<_>>(),
         ));
     }
     Ok(table)
@@ -234,7 +240,11 @@ mod tests {
         assert_eq!(table_from_csv("t", ""), Err(CsvError::MissingHeader));
         assert!(matches!(
             table_from_csv("t", "a,b\n1\n"),
-            Err(CsvError::RaggedRow { line: 2, got: 1, expected: 2 })
+            Err(CsvError::RaggedRow {
+                line: 2,
+                got: 1,
+                expected: 2
+            })
         ));
         assert!(matches!(
             table_from_csv("t", "a\n\"oops\n"),

@@ -66,13 +66,24 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::NoSuchTable(t) => write!(f, "no such table {t:?}"),
             EngineError::DuplicateTable(t) => write!(f, "table {t:?} already exists"),
-            EngineError::ArityMismatch { table, got, expected } => {
-                write!(f, "table {table:?} has {expected} columns, got {got} values")
+            EngineError::ArityMismatch {
+                table,
+                got,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "table {table:?} has {expected} columns, got {got} values"
+                )
             }
             EngineError::NotNullViolation { table, column } => {
                 write!(f, "column {column:?} of {table:?} is NOT NULL")
             }
-            EngineError::ConstraintViolation { table, constraint, rows } => write!(
+            EngineError::ConstraintViolation {
+                table,
+                constraint,
+                rows,
+            } => write!(
                 f,
                 "constraint {constraint} of {table:?} violated by rows {} and {}",
                 rows.0, rows.1
@@ -389,7 +400,10 @@ mod tests {
         let schema = TableSchema::new("t", ["a", "b"], &[]);
         let sigma = Sigma::new()
             .with(Key::certain(AttrSet::from_indices([0])))
-            .with(Fd::certain(AttrSet::from_indices([0]), AttrSet::from_indices([1])));
+            .with(Fd::certain(
+                AttrSet::from_indices([0]),
+                AttrSet::from_indices([1]),
+            ));
         db.create_table(schema, sigma).unwrap();
         db.insert("t", tuple![1i64, 10i64]).unwrap();
         // The c-key rejects even an identical duplicate.
@@ -405,7 +419,10 @@ mod tests {
     fn delete_returns_row() {
         let mut db = purchase_db();
         let removed = db.delete("purchase", 0).unwrap();
-        assert_eq!(removed, tuple![5299401i64, "Fitbit Surge", "Amazon", 240i64]);
+        assert_eq!(
+            removed,
+            tuple![5299401i64, "Fitbit Surge", "Amazon", 240i64]
+        );
         assert_eq!(db.table("purchase").unwrap().data().len(), 1);
         assert!(matches!(
             db.delete("purchase", 5),

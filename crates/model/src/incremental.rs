@@ -103,9 +103,7 @@ impl ConstraintIndex {
                 if fd.modality == Modality::Certain {
                     // The candidate against existing null rows…
                     for &r in null_rows {
-                        if weakly_similar(row, &rows[r], fd.lhs)
-                            && !row.eq_on(&rows[r], fd.rhs)
-                        {
+                        if weakly_similar(row, &rows[r], fd.lhs) && !row.eq_on(&rows[r], fd.rhs) {
                             return Err(Conflict { with_row: r });
                         }
                     }
@@ -114,8 +112,7 @@ impl ConstraintIndex {
                     // find: scan.
                     if !total {
                         for (r, existing) in rows.iter().enumerate() {
-                            if weakly_similar(row, existing, fd.lhs)
-                                && !row.eq_on(existing, fd.rhs)
+                            if weakly_similar(row, existing, fd.lhs) && !row.eq_on(existing, fd.rhs)
                             {
                                 return Err(Conflict { with_row: r });
                             }
@@ -177,7 +174,9 @@ impl ConstraintIndex {
                 null_rows,
             } => {
                 if row.is_total_on(key.attrs) {
-                    groups.entry(project_values(row, key.attrs)).or_insert(row_id);
+                    groups
+                        .entry(project_values(row, key.attrs))
+                        .or_insert(row_id);
                 } else {
                     null_rows.push(row_id);
                 }
@@ -296,10 +295,10 @@ mod tests {
         let candidates = vec![
             tuple![1i64, 1i64, 0i64],
             tuple![1i64, 2i64, 0i64],
-            tuple![1i64, 1i64, 9i64],  // duplicate key: conflict
-            tuple![null, 3i64, 0i64],  // ⊥ weakly matches nothing on b=3: ok
-            tuple![null, 1i64, 0i64],  // weakly matches (1,1): conflict
-            tuple![2i64, 3i64, 0i64],  // weakly matches (⊥,3): conflict
+            tuple![1i64, 1i64, 9i64], // duplicate key: conflict
+            tuple![null, 3i64, 0i64], // ⊥ weakly matches nothing on b=3: ok
+            tuple![null, 1i64, 0i64], // weakly matches (1,1): conflict
+            tuple![2i64, 3i64, 0i64], // weakly matches (⊥,3): conflict
         ];
         for cand in candidates {
             let expected = naive_admissible(&table, &sigma, &cand);
@@ -336,10 +335,14 @@ mod tests {
         let mut table = Table::new(schema());
         table.push(tuple![1i64, 0i64, 0i64]);
         let mut bank = IndexBank::build(&sigma, &table);
-        assert!(bank.can_insert(table.rows(), &tuple![1i64, 0i64, 0i64]).is_err());
+        assert!(bank
+            .can_insert(table.rows(), &tuple![1i64, 0i64, 0i64])
+            .is_err());
         // Delete the row; after rebuild the key is free again.
         let empty = Table::new(schema());
         bank.rebuild(&empty);
-        assert!(bank.can_insert(empty.rows(), &tuple![1i64, 0i64, 0i64]).is_ok());
+        assert!(bank
+            .can_insert(empty.rows(), &tuple![1i64, 0i64, 0i64])
+            .is_ok());
     }
 }

@@ -6,9 +6,9 @@
 //! decomposition is lossless while Figure 4's (based on a p-FD) is not.
 
 use crate::attrs::Attr;
+use crate::schema::TableSchema;
 use crate::table::Table;
 use crate::tuple::Tuple;
-use crate::schema::TableSchema;
 use crate::value::Value;
 use std::collections::HashMap;
 
@@ -156,14 +156,10 @@ mod tests {
         // Figure 4: both tuples have NULL catalog and different prices;
         // the p-FD item,catalog →_s price holds but the decomposition
         // loses information (the join mixes the two prices).
-        let i = TableBuilder::new(
-            "purchase",
-            ["order_id", "item", "catalog", "price"],
-            &[],
-        )
-        .row(tuple![5299401i64, "Fitbit Surge", null, 240i64])
-        .row(tuple![7485113i64, "Fitbit Surge", null, 200i64])
-        .build();
+        let i = TableBuilder::new("purchase", ["order_id", "item", "catalog", "price"], &[])
+            .row(tuple![5299401i64, "Fitbit Surge", null, 240i64])
+            .row(tuple![7485113i64, "Fitbit Surge", null, 200i64])
+            .build();
         let s = i.schema();
         let oic = s.set(&["order_id", "item", "catalog"]);
         let icp = s.set(&["item", "catalog", "price"]);
@@ -227,9 +223,15 @@ mod tests {
 
     #[test]
     fn join_all_three_way() {
-        let a = TableBuilder::new("a", ["k", "x"], &[]).row(tuple![1i64, "x"]).build();
-        let b = TableBuilder::new("b", ["k", "y"], &[]).row(tuple![1i64, "y"]).build();
-        let c = TableBuilder::new("c", ["y", "z"], &[]).row(tuple!["y", "z"]).build();
+        let a = TableBuilder::new("a", ["k", "x"], &[])
+            .row(tuple![1i64, "x"])
+            .build();
+        let b = TableBuilder::new("b", ["k", "y"], &[])
+            .row(tuple![1i64, "y"])
+            .build();
+        let c = TableBuilder::new("c", ["y", "z"], &[])
+            .row(tuple!["y", "z"])
+            .build();
         let j = join_all([&a, &b, &c], "j");
         assert_eq!(j.schema().column_names(), &["k", "x", "y", "z"]);
         assert_eq!(j.len(), 1);

@@ -21,9 +21,9 @@ pub mod join;
 pub mod project;
 pub mod satisfy;
 pub mod schema;
+pub mod similarity;
 pub mod sql;
 pub mod stats;
-pub mod similarity;
 pub mod table;
 pub mod tuple;
 pub mod value;
@@ -34,7 +34,6 @@ pub mod prelude {
     pub use crate::constraint::{Constraint, Fd, Key, Modality, Sigma};
     pub use crate::csv::{table_from_csv, table_to_csv};
     pub use crate::engine::{Database, EngineError, StoredTable};
-    pub use crate::sql::{parse_script, parse_statement, render_create_table, Statement};
     pub use crate::join::{join, join_all, reorder_columns};
     pub use crate::project::{project_multiset, project_set, total_part};
     pub use crate::satisfy::{
@@ -43,9 +42,10 @@ pub mod prelude {
     };
     pub use crate::schema::TableSchema;
     pub use crate::similarity::{strongly_similar, weakly_similar, Agreement};
-    pub use crate::table::{Table, TableBuilder};
+    pub use crate::sql::{parse_script, parse_statement, render_create_table, Statement};
     pub use crate::stats::{profile, render_profile, TableProfile};
+    pub use crate::table::{Table, TableBuilder};
+    pub use crate::tuple;
     pub use crate::tuple::Tuple;
     pub use crate::value::Value;
-    pub use crate::tuple;
 }

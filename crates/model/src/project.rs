@@ -60,16 +60,12 @@ mod tests {
 
     /// The purchase relation of Figure 1.
     fn purchase_fig1() -> Table {
-        TableBuilder::new(
-            "purchase",
-            ["order_id", "item", "catalog", "price"],
-            &[],
-        )
-        .row(tuple![5299401i64, "Fitbit Surge", "Amazon", 240i64])
-        .row(tuple![5299401i64, "Fitbit Surge", "Brookstone", 240i64])
-        .row(tuple![7485113i64, "Fitbit Surge", "Amazon", 240i64])
-        .row(tuple![7485113i64, "Dora Doll", "Kingtoys", 25i64])
-        .build()
+        TableBuilder::new("purchase", ["order_id", "item", "catalog", "price"], &[])
+            .row(tuple![5299401i64, "Fitbit Surge", "Amazon", 240i64])
+            .row(tuple![5299401i64, "Fitbit Surge", "Brookstone", 240i64])
+            .row(tuple![7485113i64, "Fitbit Surge", "Amazon", 240i64])
+            .row(tuple![7485113i64, "Dora Doll", "Kingtoys", 25i64])
+            .build()
     }
 
     #[test]

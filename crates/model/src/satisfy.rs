@@ -52,6 +52,7 @@ fn split_on(table: &Table, x: AttrSet) -> (HashMap<Vec<Value>, Vec<usize>>, Vec<
 /// `Y`; `X →_w Y` by a pair weakly similar on `X` with unequal `Y`.
 pub fn fd_violation(table: &Table, fd: &Fd) -> Option<ViolatingPair> {
     let (groups, nulls) = split_on(table, fd.lhs);
+    sqlnf_obs::count!("model.satisfy.fastpath_rows", table.len() - nulls.len());
 
     // Pairs within an X-total group are strongly (hence weakly) similar
     // on X: all group members must agree on Y.
@@ -61,6 +62,7 @@ pub fn fd_violation(table: &Table, fd: &Fd) -> Option<ViolatingPair> {
         }
         let first = rows[0];
         for &r in &rows[1..] {
+            sqlnf_obs::count!("model.satisfy.pair_comparisons");
             if !table.rows()[first].eq_on(&table.rows()[r], fd.rhs) {
                 return Some(ViolatingPair {
                     row_a: first,
@@ -78,6 +80,7 @@ pub fn fd_violation(table: &Table, fd: &Fd) -> Option<ViolatingPair> {
                 if i == j {
                     continue;
                 }
+                sqlnf_obs::count!("model.satisfy.pair_comparisons");
                 let (t, u) = (&table.rows()[i], &table.rows()[j]);
                 if weakly_similar(t, u, fd.lhs) && !t.eq_on(u, fd.rhs) {
                     return Some(ViolatingPair { row_a: i, row_b: j });
@@ -102,6 +105,7 @@ pub fn satisfies_fd(table: &Table, fd: &Fd) -> bool {
 /// duplicate tuples violate both.
 pub fn key_violation(table: &Table, key: &Key) -> Option<ViolatingPair> {
     let (groups, nulls) = split_on(table, key.attrs);
+    sqlnf_obs::count!("model.satisfy.fastpath_rows", table.len() - nulls.len());
 
     for rows in groups.values() {
         if rows.len() >= 2 {
@@ -118,6 +122,7 @@ pub fn key_violation(table: &Table, key: &Key) -> Option<ViolatingPair> {
                 if i == j {
                     continue;
                 }
+                sqlnf_obs::count!("model.satisfy.pair_comparisons");
                 if weakly_similar(&table.rows()[i], &table.rows()[j], key.attrs) {
                     return Some(ViolatingPair { row_a: i, row_b: j });
                 }
@@ -323,7 +328,10 @@ mod tests {
         .build();
         let s = t.schema().clone();
         let sigma = Sigma::new()
-            .with(Fd::possible(s.set(&["order_id", "item"]), s.set(&["catalog"])))
+            .with(Fd::possible(
+                s.set(&["order_id", "item"]),
+                s.set(&["catalog"]),
+            ))
             .with(Fd::certain(s.set(&["item", "catalog"]), s.set(&["price"])));
         assert!(satisfies_all(&t, &sigma));
         assert!(!satisfies_fd(

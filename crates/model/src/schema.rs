@@ -2,7 +2,6 @@
 //! null-free subschema (the SQL `NOT NULL` columns).
 
 use crate::attrs::{Attr, AttrSet, MAX_ATTRS};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
@@ -11,7 +10,7 @@ use std::sync::Arc;
 /// `T` is the full attribute set (all columns, indices `0..arity`), and
 /// `T_S ⊆ T` is the *null-free subschema* (NFS): the set of attributes
 /// declared `NOT NULL`. A table over `(T, T_S)` must be `T_S`-total.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableSchema {
     name: String,
     columns: Vec<String>,
@@ -37,10 +36,7 @@ impl TableSchema {
             "at most {MAX_ATTRS} columns are supported"
         );
         for (i, c) in columns.iter().enumerate() {
-            assert!(
-                !columns[..i].contains(c),
-                "duplicate column name {c:?}"
-            );
+            assert!(!columns[..i].contains(c), "duplicate column name {c:?}");
         }
         let mut nfs = AttrSet::EMPTY;
         for nn in not_null {
@@ -159,7 +155,10 @@ impl TableSchema {
         assert!(x.is_subset(self.attrs()), "projection outside schema");
         assert!(!x.is_empty(), "a table schema must be non-empty");
         let old: Vec<Attr> = x.iter().collect();
-        let columns: Vec<String> = old.iter().map(|&a| self.columns[a.index()].clone()).collect();
+        let columns: Vec<String> = old
+            .iter()
+            .map(|&a| self.columns[a.index()].clone())
+            .collect();
         let mut nfs = AttrSet::EMPTY;
         for (new_ix, &a) in old.iter().enumerate() {
             if self.nfs.contains(a) {

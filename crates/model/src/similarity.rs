@@ -69,12 +69,14 @@ impl Agreement {
 
 /// `t[X] ∼_w t'[X]`.
 pub fn weakly_similar(t: &Tuple, u: &Tuple, x: AttrSet) -> bool {
-    x.iter().all(|a| Agreement::of(t.get(a), u.get(a)).weakly_similar())
+    x.iter()
+        .all(|a| Agreement::of(t.get(a), u.get(a)).weakly_similar())
 }
 
 /// `t[X] ∼_s t'[X]`.
 pub fn strongly_similar(t: &Tuple, u: &Tuple, x: AttrSet) -> bool {
-    x.iter().all(|a| Agreement::of(t.get(a), u.get(a)).strongly_similar())
+    x.iter()
+        .all(|a| Agreement::of(t.get(a), u.get(a)).strongly_similar())
 }
 
 /// Syntactic equality `t[X] = t'[X]` (with `⊥ = ⊥`); same as
@@ -139,7 +141,9 @@ mod tests {
     fn agreement_predicates() {
         use Agreement::*;
         assert!(EqNonNull.weakly_similar() && EqNonNull.strongly_similar() && EqNonNull.equal());
-        assert!(!NeqNonNull.weakly_similar() && !NeqNonNull.strongly_similar() && !NeqNonNull.equal());
+        assert!(
+            !NeqNonNull.weakly_similar() && !NeqNonNull.strongly_similar() && !NeqNonNull.equal()
+        );
         assert!(OneNull.weakly_similar() && !OneNull.strongly_similar() && !OneNull.equal());
         assert!(BothNull.weakly_similar() && !BothNull.strongly_similar() && BothNull.equal());
     }

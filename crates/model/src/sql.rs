@@ -59,7 +59,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "SQL parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "SQL parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -179,7 +183,8 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                             offset: start,
                         });
                     }
-                    l.toks.push((Tok::Ident(l.src[ids..l.pos].to_owned()), start));
+                    l.toks
+                        .push((Tok::Ident(l.src[ids..l.pos].to_owned()), start));
                     l.pos += 1;
                 } else {
                     while l.pos < bytes.len()
@@ -187,7 +192,8 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                     {
                         l.pos += 1;
                     }
-                    l.toks.push((Tok::Ident(l.src[start..l.pos].to_owned()), start));
+                    l.toks
+                        .push((Tok::Ident(l.src[start..l.pos].to_owned()), start));
                 }
             }
             other => {
@@ -342,7 +348,9 @@ impl Parser {
                 // Column declaration: name TYPE [NOT NULL]
                 let col = self.ident()?;
                 let ty = self.ident()?;
-                let known = ["INT", "INTEGER", "BIGINT", "TEXT", "VARCHAR", "BOOL", "BOOLEAN"];
+                let known = [
+                    "INT", "INTEGER", "BIGINT", "TEXT", "VARCHAR", "BOOL", "BOOLEAN",
+                ];
                 if !known.iter().any(|k| k.eq_ignore_ascii_case(&ty)) {
                     return Err(self.err(format!("unknown type {ty:?}")));
                 }
@@ -464,10 +472,11 @@ pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
 
 fn quote_ident(name: &str) -> String {
     if !name.is_empty()
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
         && name
             .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_')
-        && name.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
     {
         name.to_owned()
     } else {
@@ -610,8 +619,14 @@ mod tests {
         let cases: Vec<(&str, &str)> = vec![
             ("CREATE TABLE t ()", "expected identifier"),
             ("CREATE TABLE t (a FLOAT)", "unknown type"),
-            ("CREATE TABLE t (a INT, CONSTRAINT c CERTAIN FD (b) -> (a))", "unknown column"),
-            ("CREATE TABLE t (a INT, CONSTRAINT c MAYBE KEY (a))", "POSSIBLE or CERTAIN"),
+            (
+                "CREATE TABLE t (a INT, CONSTRAINT c CERTAIN FD (b) -> (a))",
+                "unknown column",
+            ),
+            (
+                "CREATE TABLE t (a INT, CONSTRAINT c MAYBE KEY (a))",
+                "POSSIBLE or CERTAIN",
+            ),
             ("INSERT INTO t VALUES (1", "expected ',' or ')'"),
             ("DROP TABLE t", "expected CREATE or INSERT"),
             ("INSERT INTO t VALUES ('oops)", "unterminated string"),

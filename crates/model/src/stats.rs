@@ -5,11 +5,11 @@
 
 use crate::attrs::Attr;
 use crate::table::Table;
-use serde::Serialize;
+use sqlnf_obs::json::JsonValue;
 use std::collections::HashSet;
 
 /// Statistics of one column.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ColumnProfile {
     /// Column name.
     pub name: String,
@@ -25,7 +25,7 @@ pub struct ColumnProfile {
 }
 
 /// Statistics of a whole instance.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableProfile {
     /// Table name.
     pub name: String,
@@ -53,6 +53,7 @@ impl TableProfile {
 
 /// Profiles an instance.
 pub fn profile(table: &Table) -> TableProfile {
+    let _span = sqlnf_obs::span!("profile");
     let rows = table.len();
     let mut column_profiles = Vec::with_capacity(table.schema().arity());
     let mut total_nulls = 0usize;
@@ -70,7 +71,11 @@ pub fn profile(table: &Table) -> TableProfile {
         column_profiles.push(ColumnProfile {
             name: table.schema().column_name(a).to_owned(),
             nulls,
-            null_rate: if rows == 0 { 0.0 } else { nulls as f64 / rows as f64 },
+            null_rate: if rows == 0 {
+                0.0
+            } else {
+                nulls as f64 / rows as f64
+            },
             distinct: distinct.len(),
             unique_non_null: distinct.len() + nulls == rows,
         });
@@ -85,6 +90,46 @@ pub fn profile(table: &Table) -> TableProfile {
         total_nulls,
         column_profiles,
     }
+}
+
+/// The profile as a JSON document — the machine-readable counterpart of
+/// [`render_profile`], embedded by the CLI under `--stats-json`.
+pub fn profile_to_json(p: &TableProfile) -> JsonValue {
+    let columns = JsonValue::Array(
+        p.column_profiles
+            .iter()
+            .map(|c| {
+                JsonValue::Object(vec![
+                    ("name".to_string(), JsonValue::Str(c.name.clone())),
+                    ("nulls".to_string(), JsonValue::Int(c.nulls as i128)),
+                    ("null_rate".to_string(), JsonValue::Float(c.null_rate)),
+                    ("distinct".to_string(), JsonValue::Int(c.distinct as i128)),
+                    (
+                        "unique_non_null".to_string(),
+                        JsonValue::Bool(c.unique_non_null),
+                    ),
+                ])
+            })
+            .collect(),
+    );
+    JsonValue::Object(vec![
+        ("name".to_string(), JsonValue::Str(p.name.clone())),
+        ("rows".to_string(), JsonValue::Int(p.rows as i128)),
+        ("columns".to_string(), JsonValue::Int(p.columns as i128)),
+        (
+            "distinct_rows".to_string(),
+            JsonValue::Int(p.distinct_rows as i128),
+        ),
+        (
+            "duplicate_rows".to_string(),
+            JsonValue::Int(p.duplicate_rows as i128),
+        ),
+        (
+            "total_nulls".to_string(),
+            JsonValue::Int(p.total_nulls as i128),
+        ),
+        ("column_profiles".to_string(), columns),
+    ])
 }
 
 /// Renders a profile as an aligned text block.
@@ -160,6 +205,22 @@ mod tests {
         assert_eq!(p.rows, 0);
         assert_eq!(p.column_profiles[0].null_rate, 0.0);
         assert!(p.column_profiles[0].unique_non_null);
+    }
+
+    #[test]
+    fn profile_json_parses_back() {
+        let p = profile(&sample());
+        let text = profile_to_json(&p).to_json();
+        let doc = sqlnf_obs::json::parse(&text).unwrap();
+        assert_eq!(doc.get("rows").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(doc.get("total_nulls").and_then(|v| v.as_u64()), Some(5));
+        let cols = doc
+            .get("column_profiles")
+            .and_then(|v| v.as_array())
+            .unwrap();
+        assert_eq!(cols.len(), 3);
+        assert_eq!(cols[1].get("name").and_then(|v| v.as_str()), Some("city"));
+        assert_eq!(cols[1].get("nulls").and_then(|v| v.as_u64()), Some(2));
     }
 
     #[test]

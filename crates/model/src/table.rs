@@ -9,7 +9,6 @@ use crate::attrs::{Attr, AttrSet};
 use crate::schema::{SchemaRef, TableSchema};
 use crate::tuple::Tuple;
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
@@ -21,7 +20,7 @@ use std::sync::Arc;
 /// the paper's definitions distinguish "table over `T`" from "table over
 /// `(T, T_S)`" and several constructions (e.g. witnesses for violated
 /// constraints) need the former.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     schema: SchemaRef,
     rows: Vec<Tuple>,
@@ -353,10 +352,7 @@ mod tests {
         t.push(tuple![1i64]);
         t.push(tuple![3i64]);
         t.push(tuple![null]);
-        assert_eq!(
-            t.active_domain(Attr(0)),
-            vec![Value::Int(1), Value::Int(3)]
-        );
+        assert_eq!(t.active_domain(Attr(0)), vec![Value::Int(1), Value::Int(3)]);
     }
 
     #[test]

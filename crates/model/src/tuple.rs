@@ -2,14 +2,13 @@
 
 use crate::attrs::{Attr, AttrSet};
 use crate::value::Value;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A tuple over a table schema: one [`Value`] per column.
 ///
 /// Tuples do not carry their schema; a [`crate::table::Table`] pairs a
 /// schema with a multiset of tuples and validates arity on insertion.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Tuple(Box<[Value]>);
 
 impl Tuple {

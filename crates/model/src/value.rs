@@ -11,7 +11,6 @@
 //! `Null == Null`, and the similarity relations of Section 2 live in
 //! [`crate::similarity`].
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A cell value: a domain value or the null marker `⊥`.
@@ -19,7 +18,7 @@ use std::fmt;
 /// Domains are infinite in the paper; we provide integers, strings and
 /// booleans, which is enough for every dataset in the evaluation. Floats
 /// are deliberately absent: constraint semantics need a total `Eq`.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Value {
     /// The SQL null marker, interpreted as "no information".
     Null,
@@ -124,7 +123,10 @@ mod tests {
         assert_eq!(Value::parse_field("null"), Value::Null);
         assert_eq!(Value::parse_field("42"), Value::Int(42));
         assert_eq!(Value::parse_field("-7"), Value::Int(-7));
-        assert_eq!(Value::parse_field("Fitbit Surge"), Value::str("Fitbit Surge"));
+        assert_eq!(
+            Value::parse_field("Fitbit Surge"),
+            Value::str("Fitbit Surge")
+        );
     }
 
     #[test]

@@ -1,0 +1,265 @@
+//! Snapshot types: what [`report`](crate::report) returns, plus JSON
+//! and human-readable renderings. These types are compiled regardless
+//! of the `obs` feature so downstream code has one API surface.
+
+use crate::json::{parse, JsonError, JsonValue};
+use std::fmt::Write as _;
+
+/// One counter at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Dotted counter name, e.g. `core.closure.iterations`.
+    pub name: String,
+    /// Accumulated value since process start or the last reset.
+    pub value: u64,
+}
+
+/// One histogram timer at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimerSnapshot {
+    /// Span name, e.g. `p_closure`.
+    pub name: String,
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Total wall time across spans, in nanoseconds.
+    pub total_ns: u64,
+    /// Longest single span, in nanoseconds.
+    pub max_ns: u64,
+    /// Log2 histogram: `buckets[b]` counts spans with
+    /// `2^(b-1) <= ns < 2^b` (bucket 0 is sub-nanosecond readings).
+    pub buckets: Vec<u64>,
+}
+
+impl TimerSnapshot {
+    /// Mean span duration in nanoseconds (0 when no spans recorded).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A point-in-time export of every registered counter and timer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsReport {
+    /// Counters, sorted by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// Timers, sorted by name.
+    pub timers: Vec<TimerSnapshot>,
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+impl ObsReport {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.timers.is_empty()
+    }
+
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find_map(|c| (c.name == name).then_some(c.value))
+    }
+
+    /// Looks up a timer snapshot by name.
+    pub fn timer(&self, name: &str) -> Option<&TimerSnapshot> {
+        self.timers.iter().find(|t| t.name == name)
+    }
+
+    /// Human-readable rendering for `--stats` output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== observability report ==\n");
+        if self.is_empty() {
+            out.push_str("(nothing recorded)\n");
+            return out;
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self
+                .counters
+                .iter()
+                .map(|c| c.name.len())
+                .max()
+                .unwrap_or(0);
+            for c in &self.counters {
+                let _ = writeln!(out, "  {:<width$}  {}", c.name, c.value);
+            }
+        }
+        if !self.timers.is_empty() {
+            out.push_str("timers:\n");
+            let width = self.timers.iter().map(|t| t.name.len()).max().unwrap_or(0);
+            for t in &self.timers {
+                let _ = writeln!(
+                    out,
+                    "  {:<width$}  count={} total={} mean={} max={}",
+                    t.name,
+                    t.count,
+                    fmt_ns(t.total_ns),
+                    fmt_ns(t.mean_ns()),
+                    fmt_ns(t.max_ns),
+                );
+            }
+        }
+        out
+    }
+
+    /// Compact JSON export, parseable by [`ObsReport::from_json`].
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// The report as a [`JsonValue`], for callers that compose it into a
+    /// larger document (the CLI's `--stats-json` output does).
+    pub fn to_json_value(&self) -> JsonValue {
+        let counters = JsonValue::Object(
+            self.counters
+                .iter()
+                .map(|c| (c.name.clone(), JsonValue::Int(c.value as i128)))
+                .collect(),
+        );
+        let timers = JsonValue::Array(
+            self.timers
+                .iter()
+                .map(|t| {
+                    JsonValue::Object(vec![
+                        ("name".to_string(), JsonValue::Str(t.name.clone())),
+                        ("count".to_string(), JsonValue::Int(t.count as i128)),
+                        ("total_ns".to_string(), JsonValue::Int(t.total_ns as i128)),
+                        ("max_ns".to_string(), JsonValue::Int(t.max_ns as i128)),
+                        (
+                            "buckets".to_string(),
+                            JsonValue::Array(
+                                t.buckets
+                                    .iter()
+                                    .map(|&b| JsonValue::Int(b as i128))
+                                    .collect(),
+                            ),
+                        ),
+                    ])
+                })
+                .collect(),
+        );
+        JsonValue::Object(vec![
+            ("counters".to_string(), counters),
+            ("timers".to_string(), timers),
+        ])
+    }
+
+    /// Parses a report previously produced by [`ObsReport::to_json`].
+    pub fn from_json(text: &str) -> Result<ObsReport, JsonError> {
+        let invalid = |message: &str| JsonError {
+            offset: 0,
+            message: message.to_string(),
+        };
+        let doc = parse(text)?;
+        let counters = doc
+            .get("counters")
+            .and_then(JsonValue::as_object)
+            .ok_or_else(|| invalid("missing \"counters\" object"))?
+            .iter()
+            .map(|(name, v)| {
+                Ok(CounterSnapshot {
+                    name: name.clone(),
+                    value: v.as_u64().ok_or_else(|| invalid("counter not a u64"))?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        let timers = doc
+            .get("timers")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| invalid("missing \"timers\" array"))?
+            .iter()
+            .map(|t| {
+                let field = |key: &str| {
+                    t.get(key)
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| invalid("timer field not a u64"))
+                };
+                Ok(TimerSnapshot {
+                    name: t
+                        .get("name")
+                        .and_then(JsonValue::as_str)
+                        .ok_or_else(|| invalid("timer missing \"name\""))?
+                        .to_string(),
+                    count: field("count")?,
+                    total_ns: field("total_ns")?,
+                    max_ns: field("max_ns")?,
+                    buckets: t
+                        .get("buckets")
+                        .and_then(JsonValue::as_array)
+                        .ok_or_else(|| invalid("timer missing \"buckets\""))?
+                        .iter()
+                        .map(|b| b.as_u64().ok_or_else(|| invalid("bucket not a u64")))
+                        .collect::<Result<Vec<_>, JsonError>>()?,
+                })
+            })
+            .collect::<Result<Vec<_>, JsonError>>()?;
+        Ok(ObsReport { counters, timers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ObsReport {
+        ObsReport {
+            counters: vec![
+                CounterSnapshot {
+                    name: "core.closure.iterations".to_string(),
+                    value: 42,
+                },
+                CounterSnapshot {
+                    name: "discovery.mine.levels".to_string(),
+                    value: 3,
+                },
+            ],
+            timers: vec![TimerSnapshot {
+                name: "p_closure".to_string(),
+                count: 7,
+                total_ns: 14_000,
+                max_ns: 9_000,
+                buckets: vec![0, 0, 3, 4],
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let report = sample();
+        let json = report.to_json();
+        assert_eq!(ObsReport::from_json(&json).unwrap(), report);
+        // And stable under a second pass.
+        assert_eq!(ObsReport::from_json(&json).unwrap().to_json(), json);
+    }
+
+    #[test]
+    fn lookup_and_render() {
+        let report = sample();
+        assert_eq!(report.counter("discovery.mine.levels"), Some(3));
+        assert_eq!(report.counter("nope"), None);
+        assert_eq!(report.timer("p_closure").unwrap().mean_ns(), 2_000);
+        let text = report.render();
+        assert!(text.contains("core.closure.iterations"));
+        assert!(text.contains("count=7"));
+        assert!(ObsReport::default().render().contains("nothing recorded"));
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_shapes() {
+        assert!(ObsReport::from_json("[]").is_err());
+        assert!(ObsReport::from_json(r#"{"counters":{}}"#).is_err());
+        assert!(ObsReport::from_json(r#"{"counters":{"x":-1},"timers":[]}"#).is_err());
+    }
+}

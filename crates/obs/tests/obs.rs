@@ -1,0 +1,115 @@
+//! Behavioural tests for the instrumentation layer. Counters are
+//! process-wide, so the tests that reset or assert absolute values
+//! serialize on a lock.
+
+#[cfg(feature = "obs")]
+mod with_obs {
+    use sqlnf_obs::ObsReport;
+    use std::sync::Mutex;
+
+    /// Serializes tests that touch the global registry.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let _guard = locked();
+        sqlnf_obs::reset();
+        sqlnf_obs::count!("test.obs.plain");
+        sqlnf_obs::count!("test.obs.step", 41);
+        sqlnf_obs::count!("test.obs.plain");
+        let report = sqlnf_obs::report();
+        assert_eq!(report.counter("test.obs.plain"), Some(2));
+        assert_eq!(report.counter("test.obs.step"), Some(41));
+
+        sqlnf_obs::reset();
+        let report = sqlnf_obs::report();
+        assert_eq!(report.counter("test.obs.plain"), Some(0));
+        assert_eq!(report.counter("test.obs.step"), Some(0));
+    }
+
+    #[test]
+    fn count_max_keeps_the_high_water_mark() {
+        let _guard = locked();
+        sqlnf_obs::reset();
+        for depth in [3u64, 9, 5] {
+            sqlnf_obs::count_max!("test.obs.depth", depth);
+        }
+        assert_eq!(sqlnf_obs::report().counter("test.obs.depth"), Some(9));
+    }
+
+    #[test]
+    fn spans_nest_and_record() {
+        let _guard = locked();
+        sqlnf_obs::reset();
+        assert_eq!(sqlnf_obs::span_depth(), 0);
+        {
+            let _outer = sqlnf_obs::span!("test.obs.outer");
+            assert_eq!(sqlnf_obs::span_depth(), 1);
+            {
+                let _inner = sqlnf_obs::span!("test.obs.inner");
+                assert_eq!(sqlnf_obs::span_depth(), 2);
+                std::hint::black_box(());
+            }
+            assert_eq!(sqlnf_obs::span_depth(), 1);
+        }
+        assert_eq!(sqlnf_obs::span_depth(), 0);
+
+        let report = sqlnf_obs::report();
+        let outer = report.timer("test.obs.outer").expect("outer registered");
+        let inner = report.timer("test.obs.inner").expect("inner registered");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.total_ns >= inner.total_ns, "outer encloses inner");
+        assert_eq!(outer.buckets.iter().sum::<u64>(), 1);
+        assert_eq!(outer.buckets.len(), sqlnf_obs::TIMER_BUCKETS);
+    }
+
+    #[test]
+    fn report_json_round_trips_through_the_real_registry() {
+        let _guard = locked();
+        sqlnf_obs::reset();
+        sqlnf_obs::count!("test.obs.roundtrip", 7);
+        {
+            let _span = sqlnf_obs::span!("test.obs.roundtrip_span");
+        }
+        let report = sqlnf_obs::report();
+        let parsed = ObsReport::from_json(&report.to_json()).expect("valid JSON");
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.counter("test.obs.roundtrip"), Some(7));
+        assert!(parsed.timer("test.obs.roundtrip_span").is_some());
+    }
+
+    #[test]
+    fn trace_toggle_is_visible() {
+        let _guard = locked();
+        assert!(!sqlnf_obs::trace_enabled());
+        sqlnf_obs::set_trace(true);
+        assert!(sqlnf_obs::trace_enabled());
+        sqlnf_obs::trace!("tracing {} from the test", "hello");
+        sqlnf_obs::set_trace(false);
+        assert!(!sqlnf_obs::trace_enabled());
+    }
+}
+
+/// With the feature disabled the macros still expand (this module
+/// compiling at all is the test) and the API returns inert values.
+#[cfg(not(feature = "obs"))]
+mod without_obs {
+    #[test]
+    fn macros_are_noops_and_report_is_empty() {
+        sqlnf_obs::count!("test.noop.counter");
+        sqlnf_obs::count!("test.noop.step", 5u64);
+        sqlnf_obs::count_max!("test.noop.max", 9u64);
+        let _span = sqlnf_obs::span!("test.noop.span");
+        sqlnf_obs::trace!("never formatted {}", 1);
+        sqlnf_obs::set_trace(true);
+        assert!(!sqlnf_obs::trace_enabled());
+        assert_eq!(sqlnf_obs::span_depth(), 0);
+        sqlnf_obs::reset();
+        assert!(sqlnf_obs::report().is_empty());
+    }
+}

@@ -26,13 +26,27 @@ fn main() {
 
     // Closures decide implication (Theorem 2).
     let r = Reasoner::new(schema.attrs(), schema.nfs(), &sigma);
-    println!("p-closure of {{order_id,item}}: {}", schema.display_set(r.p_closure(oi)));
-    println!("c-closure of {{order_id,item}}: {}", schema.display_set(r.c_closure(oi)));
+    println!(
+        "p-closure of {{order_id,item}}: {}",
+        schema.display_set(r.p_closure(oi))
+    );
+    println!(
+        "c-closure of {{order_id,item}}: {}",
+        schema.display_set(r.c_closure(oi))
+    );
 
     let implied = Fd::possible(oi, schema.set(&["price"]));
     let not_implied = Fd::certain(oi, schema.set(&["price"]));
-    println!("\nΣ ⊨ {} ?  {}", implied.display(&schema), r.implies_fd(&implied));
-    println!("Σ ⊨ {} ?  {}", not_implied.display(&schema), r.implies_fd(&not_implied));
+    println!(
+        "\nΣ ⊨ {} ?  {}",
+        implied.display(&schema),
+        r.implies_fd(&implied)
+    );
+    println!(
+        "Σ ⊨ {} ?  {}",
+        not_implied.display(&schema),
+        r.implies_fd(&not_implied)
+    );
 
     // A machine-checked proof for the implied FD (Theorem 1's axioms).
     let engine = DerivationEngine::saturate(schema.attrs(), schema.nfs(), &sigma);
@@ -48,7 +62,10 @@ fn main() {
     let witness = violation_witness(&r, &Constraint::Fd(not_implied))
         .expect("not implied, so a witness exists");
     let table = witness.into_table(schema.clone());
-    println!("\ncounterexample for {}:\n{table}", not_implied.display(&schema));
+    println!(
+        "\ncounterexample for {}:\n{table}",
+        not_implied.display(&schema)
+    );
     assert!(satisfies_all(&table, &sigma));
     assert!(!satisfies_fd(&table, &not_implied));
 

@@ -37,7 +37,10 @@ fn main() {
     // weakly similar order line is rejected.
     let mut db2 = db.clone();
     let err = db2
-        .insert("purchase", tuple![5299401i64, "Fitbit Surge", "Amazon", 999i64])
+        .insert(
+            "purchase",
+            tuple![5299401i64, "Fitbit Surge", "Amazon", 999i64],
+        )
         .unwrap_err();
     println!("engine rejects the anomaly: {err}\n");
 

@@ -14,7 +14,8 @@
 
 use crate::prelude::*;
 use sqlnf_core::lint::lint;
-use sqlnf_model::stats::{profile, render_profile};
+use sqlnf_model::stats::{profile, profile_to_json, render_profile};
+use sqlnf_obs::json::JsonValue;
 use std::fmt::Write as _;
 
 /// Errors surfaced to the user.
@@ -75,6 +76,12 @@ USAGE:
     sqlnf mine <file.csv> [max_lhs]    discover & classify FDs (default LHS cap 3)
     sqlnf dataset <name> [seed]        emit an evaluation dataset as CSV
                                        (contact | contractor | fig7 | purchase)
+
+FLAGS (any subcommand):
+    --stats                            print an observability report to stderr
+    --stats-json <path>                write the report as JSON (profile adds
+                                       the table statistics to the document)
+    --trace                            echo the reasoner/miner trace to stderr
 ";
 
 /// Collects the CREATE TABLE designs of a script.
@@ -252,9 +259,50 @@ pub fn cmd_dataset(name: &str, seed: u64) -> Result<String, CliError> {
     Ok(table_to_csv(&table))
 }
 
-/// Dispatches a full argv (excluding the program name). Returns the
-/// text to print on success.
-pub fn run(args: &[String]) -> Result<String, CliError> {
+/// Observability flags accepted by every subcommand.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsOptions {
+    /// `--stats`: print the report to stderr after the command.
+    pub stats: bool,
+    /// `--stats-json <path>`: write the report (plus any command
+    /// payload, e.g. the table profile) as a JSON document.
+    pub stats_json: Option<String>,
+    /// `--trace`: echo the reasoner/miner trace to stderr as it runs.
+    pub trace: bool,
+}
+
+impl ObsOptions {
+    /// Whether a report must be captured after the command runs.
+    pub fn wants_report(&self) -> bool {
+        self.stats || self.stats_json.is_some()
+    }
+}
+
+/// Strips the observability flags out of an argv, in any position.
+pub fn split_obs_args(args: &[String]) -> Result<(Vec<String>, ObsOptions), CliError> {
+    let mut rest = Vec::new();
+    let mut opts = ObsOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--stats" => opts.stats = true,
+            "--trace" => opts.trace = true,
+            "--stats-json" => {
+                let path = it.next().ok_or_else(|| {
+                    CliError::Usage(format!("--stats-json needs a path\n\n{USAGE}"))
+                })?;
+                opts.stats_json = Some(path.clone());
+            }
+            _ => rest.push(a.clone()),
+        }
+    }
+    Ok((rest, opts))
+}
+
+/// Dispatches the flag-free argv. The second component is an optional
+/// command payload merged into the `--stats-json` document (the profile
+/// subcommand exports its statistics there).
+fn dispatch(args: &[String]) -> Result<(String, Option<JsonValue>), CliError> {
     let read = |path: &str| -> Result<String, CliError> { Ok(std::fs::read_to_string(path)?) };
     let base_name = |path: &str| -> String {
         std::path::Path::new(path)
@@ -263,26 +311,70 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             .unwrap_or_else(|| "table".to_owned())
     };
     match args {
-        [cmd, file] if cmd == "lint" => cmd_lint(&read(file)?),
-        [cmd, file] if cmd == "normalize" => cmd_normalize(&read(file)?),
-        [cmd, file] if cmd == "check" => cmd_check(&read(file)?),
-        [cmd, file] if cmd == "profile" => cmd_profile(&read(file)?, &base_name(file)),
-        [cmd, file] if cmd == "mine" => cmd_mine(&read(file)?, &base_name(file), 3),
+        [cmd, file] if cmd == "lint" => Ok((cmd_lint(&read(file)?)?, None)),
+        [cmd, file] if cmd == "normalize" => Ok((cmd_normalize(&read(file)?)?, None)),
+        [cmd, file] if cmd == "check" => Ok((cmd_check(&read(file)?)?, None)),
+        [cmd, file] if cmd == "profile" => {
+            let table = table_from_csv(&base_name(file), &read(file)?)?;
+            let p = profile(&table);
+            Ok((render_profile(&p), Some(profile_to_json(&p))))
+        }
+        [cmd, file] if cmd == "mine" => Ok((cmd_mine(&read(file)?, &base_name(file), 3)?, None)),
         [cmd, file, cap] if cmd == "mine" => {
             let cap: usize = cap
                 .parse()
                 .map_err(|_| CliError::Usage(format!("bad max_lhs {cap:?}\n\n{USAGE}")))?;
-            cmd_mine(&read(file)?, &base_name(file), cap)
+            Ok((cmd_mine(&read(file)?, &base_name(file), cap)?, None))
         }
-        [cmd, name] if cmd == "dataset" => cmd_dataset(name, 20_160_626),
+        [cmd, name] if cmd == "dataset" => Ok((cmd_dataset(name, 20_160_626)?, None)),
         [cmd, name, seed] if cmd == "dataset" => {
             let seed: u64 = seed
                 .parse()
                 .map_err(|_| CliError::Usage(format!("bad seed {seed:?}\n\n{USAGE}")))?;
-            cmd_dataset(name, seed)
+            Ok((cmd_dataset(name, seed)?, None))
         }
         _ => Err(CliError::Usage(USAGE.to_owned())),
     }
+}
+
+/// Dispatches a full argv (excluding the program name). Returns the
+/// text to print on success; the observability flags report via stderr
+/// and `--stats-json` side files.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (rest, obs) = split_obs_args(args)?;
+    if obs.wants_report() {
+        // Scope the report to this command (run() may be called several
+        // times in one process, e.g. from tests).
+        sqlnf_obs::reset();
+    }
+    sqlnf_obs::set_trace(obs.trace);
+    let outcome = dispatch(&rest);
+    sqlnf_obs::set_trace(false);
+    let (text, payload) = outcome?;
+    if obs.wants_report() {
+        let report = sqlnf_obs::report();
+        if obs.stats {
+            if sqlnf_obs::ENABLED {
+                eprint!("{}", report.render());
+            } else {
+                eprintln!("(observability disabled at compile time; enable the `obs` feature)");
+            }
+        }
+        if let Some(path) = &obs.stats_json {
+            let mut doc = vec![(
+                "command".to_string(),
+                JsonValue::Str(rest.first().cloned().unwrap_or_default()),
+            )];
+            if let JsonValue::Object(fields) = report.to_json_value() {
+                doc.extend(fields);
+            }
+            if let Some(payload) = payload {
+                doc.push(("profile".to_string(), payload));
+            }
+            std::fs::write(path, JsonValue::Object(doc).to_json())?;
+        }
+    }
+    Ok(text)
 }
 
 #[cfg(test)]
@@ -354,12 +446,42 @@ mod tests {
         let err = run(&["bogus".to_owned()]).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
         assert!(err.to_string().contains("USAGE"));
-        let err2 = run(&[
-            "mine".to_owned(),
-            "/nonexistent.csv".to_owned(),
-        ])
-        .unwrap_err();
+        let err2 = run(&["mine".to_owned(), "/nonexistent.csv".to_owned()]).unwrap_err();
         assert!(matches!(err2, CliError::Io(_)));
+    }
+
+    #[test]
+    fn obs_flags_are_stripped_anywhere() {
+        let argv: Vec<String> = [
+            "--trace",
+            "mine",
+            "x.csv",
+            "--stats-json",
+            "out.json",
+            "2",
+            "--stats",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let (rest, obs) = split_obs_args(&argv).unwrap();
+        assert_eq!(rest, vec!["mine", "x.csv", "2"]);
+        assert_eq!(
+            obs,
+            ObsOptions {
+                stats: true,
+                stats_json: Some("out.json".to_owned()),
+                trace: true,
+            }
+        );
+        assert!(obs.wants_report());
+        assert!(!ObsOptions::default().wants_report());
+        // A dangling --stats-json is a usage error.
+        let bad: Vec<String> = ["mine", "x.csv", "--stats-json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(split_obs_args(&bad), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -371,10 +493,7 @@ mod tests {
         // Full pipeline: the emitted dataset mines like the original.
         let out = cmd_mine(&csv, "contractor", 2).unwrap();
         assert!(out.contains("minimal FDs"));
-        assert!(matches!(
-            cmd_dataset("bogus", 1),
-            Err(CliError::Usage(_))
-        ));
+        assert!(matches!(cmd_dataset("bogus", 1), Err(CliError::Usage(_))));
     }
 
     #[test]

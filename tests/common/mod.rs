@@ -49,8 +49,7 @@ pub fn constraint(cols: usize) -> impl Strategy<Value = Constraint> {
 
 /// Strategy: a constraint set of up to `max` constraints.
 pub fn sigma(cols: usize, max: usize) -> impl Strategy<Value = Sigma> {
-    proptest::collection::vec(constraint(cols), 0..=max)
-        .prop_map(Sigma::from_constraints)
+    proptest::collection::vec(constraint(cols), 0..=max).prop_map(Sigma::from_constraints)
 }
 
 /// Strategy: a constraint set of certain keys and total FDs only (the

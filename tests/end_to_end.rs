@@ -37,17 +37,17 @@ fn contact_pipeline_mine_then_normalize() {
     assert!(found, "λ-FD not discovered: {cls:?}");
 
     // Normalizing by σ is lossless and keys the projection.
-    let design = SchemaDesign::new(
-        schema.clone(),
-        Sigma::new().with(sigma_fd),
-    );
+    let design = SchemaDesign::new(schema.clone(), Sigma::new().with(sigma_fd));
     let normalized = design.normalize().unwrap();
     assert!(normalized.decomposition.is_lossless_on(&table));
     for child in &normalized.children {
         assert_eq!(child.is_vrnf(), Ok(true));
     }
     let parts = normalized.decomposition.apply(&table);
-    let set_part = parts.iter().find(|p| p.len() == 105).expect("105-row projection");
+    let set_part = parts
+        .iter()
+        .find(|p| p.len() == 105)
+        .expect("105-row projection");
     let ss = set_part.schema().clone();
     assert!(satisfies_key(
         set_part,
@@ -111,6 +111,8 @@ fn design_report_is_stable() {
     let design = SchemaDesign::new(schema.clone(), paper::example3_sigma(&schema));
     let n = design.normalize().unwrap();
     let rendered: Vec<String> = n.children.iter().map(|c| c.to_string()).collect();
-    assert!(rendered.iter().any(|r| r.contains("c<order_id,item,catalog>")));
+    assert!(rendered
+        .iter()
+        .any(|r| r.contains("c<order_id,item,catalog>")));
     assert!(rendered.iter().all(|r| r.contains("purchase_")));
 }

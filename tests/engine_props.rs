@@ -17,8 +17,14 @@ const COLS: usize = 3;
 #[derive(Debug, Clone)]
 enum Op {
     Insert(Vec<Value>),
-    Update { row: usize, col: usize, value: Value },
-    Delete { row: usize },
+    Update {
+        row: usize,
+        col: usize,
+        value: Value,
+    },
+    Delete {
+        row: usize,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {

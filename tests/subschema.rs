@@ -115,7 +115,6 @@ fn projection_can_gain_and_lose_bcnf() {
     let ac = AttrSet::from_indices([0, 2]);
     let proj_ac = project_sigma(t, t, &sigma, ac);
     assert!(is_bcnf(ac, ac, &proj_ac));
-
 }
 
 proptest! {

@@ -1,0 +1,222 @@
+//! Vendored stand-in for the subset of the `criterion` 0.5 API used by
+//! this workspace: [`Criterion`], [`BenchmarkId`], `benchmark_group`
+//! with `sample_size`/`bench_function`/`bench_with_input`/`finish`,
+//! `Bencher::iter`, and the [`criterion_group!`]/[`criterion_main!`]
+//! macros.
+//!
+//! The build environment has no access to crates.io. This shim keeps
+//! `cargo bench` runnable: each benchmark is timed with
+//! `std::time::Instant` over `sample_size` samples after a short
+//! auto-calibrated warm-up, and median/min/max per-iteration times are
+//! printed in a criterion-like one-line format. No statistical
+//! analysis, plotting, or baseline comparison is performed.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group, as in
+/// `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Times closures, as in `criterion::Bencher`.
+pub struct Bencher {
+    /// Measured per-sample wall times, one entry per sample.
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-sample times.
+    ///
+    /// Warm-up doubles the iteration count until one batch takes at
+    /// least ~5 ms (capped), then `sample_size` batches of that size
+    /// are timed.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut iters_per_sample: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(5) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+        }
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample as u32);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// A named group of related benchmarks, as returned by
+/// [`Criterion::benchmark_group`].
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn run<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut sorted = bencher.samples.clone();
+        sorted.sort();
+        let (lo, mid, hi) = match sorted.len() {
+            0 => (Duration::ZERO, Duration::ZERO, Duration::ZERO),
+            n => (sorted[0], sorted[n / 2], sorted[n - 1]),
+        };
+        println!(
+            "{}/{:<40} time: [{} {} {}]",
+            self.name,
+            id,
+            fmt_duration(lo),
+            fmt_duration(mid),
+            fmt_duration(hi),
+        );
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) {
+        self.run(&id.to_string(), f);
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(&id.name.clone(), |b| f(b, input));
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver, as in `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Additional builder knobs are accepted and ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($fn:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($fn(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, as in criterion. Harness arguments
+/// (`--bench`, filters) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export for code written against `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_and_prints() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut runs = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u32, |b, &k| {
+            b.iter(|| k * 2)
+        });
+        group.finish();
+        assert!(runs > 5, "routine should run warm-up plus samples");
+    }
+
+    #[test]
+    fn id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("p_linear", 64).to_string(), "p_linear/64");
+    }
+}

@@ -1,0 +1,510 @@
+//! Vendored stand-in for the subset of the `proptest` 1.x API used by
+//! this workspace: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, [`prop_oneof!`], [`Just`], integer-range and string
+//! strategies, [`collection::vec`], and the `prop_assert*`/
+//! [`prop_assume!`] macros.
+//!
+//! The build environment has no access to crates.io. This shim keeps
+//! the workspace's property suites runnable: cases are generated from a
+//! deterministic per-test RNG, failures panic with the standard assert
+//! message (no shrinking), and `prop_assume!` discards the case. The
+//! `*.proptest-regressions` files of the real library are ignored.
+
+#![warn(missing_docs)]
+
+use std::rc::Rc;
+
+/// Deterministic test RNG (xoshiro256++, seeded from the test name so
+/// every test explores a stable but distinct stream).
+pub mod test_runner {
+    /// Case generator state.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    impl TestRng {
+        /// Creates a generator seeded from an arbitrary string (the
+        /// test's name), giving a stable stream per test.
+        pub fn deterministic(name: &str) -> TestRng {
+            let mut seed = 0xcbf2_9ce4_8422_2325u64; // FNV offset basis
+            for b in name.bytes() {
+                seed ^= b as u64;
+                seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *slot = z ^ (z >> 31);
+            }
+            TestRng { s }
+        }
+
+        /// The next 64 uniformly random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        /// Uniform value below `bound` (> 0).
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            let zone = u64::MAX - (u64::MAX % bound);
+            loop {
+                let v = self.next_u64();
+                if v < zone {
+                    return v % bound;
+                }
+            }
+        }
+    }
+
+    /// Outcome of one generated case.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum CaseResult {
+        /// The case ran to completion.
+        Pass,
+        /// `prop_assume!` rejected the inputs; draw a fresh case.
+        Discard,
+    }
+}
+
+use test_runner::TestRng;
+
+/// Runner configuration, as in `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Smaller than upstream's 256: these suites run in CI on every
+        // push and each case is itself often exhaustive over subsets.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`, as in proptest's `prop_map`.
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// `&str` patterns act as string strategies. The real library compiles
+/// the pattern as a regex; this shim only distinguishes "arbitrary
+/// string" patterns (used by the parser-robustness fuzz suites) and
+/// generates byte soup with a bias toward ASCII punctuation, digits,
+/// letters, quotes and the odd multi-byte character.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        const POOL: &[char] = &[
+            'a', 'b', 'z', 'A', 'Z', '0', '1', '9', ' ', '\t', '\n', '\r', '(', ')', ',', ';',
+            '\'', '"', '-', '>', '_', '.', '*', '\\', '/', '=', '<', 'é', 'λ', '⊥', '😀', '\0',
+        ];
+        let len = rng.below(64) as usize;
+        (0..len)
+            .map(|_| {
+                if rng.below(4) == 0 {
+                    // Any scalar value from the low planes.
+                    char::from_u32(rng.below(0xD800) as u32).unwrap_or('ő')
+                } else {
+                    POOL[rng.below(POOL.len() as u64) as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+}
+
+/// A type-erased, cheaply clonable strategy (the representation behind
+/// [`prop_oneof!`]).
+pub struct BoxedGen<T> {
+    gen: Rc<dyn Fn(&mut TestRng) -> T>,
+}
+
+impl<T> Clone for BoxedGen<T> {
+    fn clone(&self) -> Self {
+        BoxedGen {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for BoxedGen<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedGen")
+    }
+}
+
+impl<T> Strategy for BoxedGen<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Erases a strategy into a [`BoxedGen`].
+pub fn into_gen<S>(strategy: S) -> BoxedGen<S::Value>
+where
+    S: Strategy + 'static,
+{
+    BoxedGen {
+        gen: Rc::new(move |rng| strategy.generate(rng)),
+    }
+}
+
+/// Weighted union of strategies, as produced by [`prop_oneof!`].
+#[derive(Debug, Clone)]
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedGen<T>)>,
+    total: u64,
+}
+
+impl<T> OneOf<T> {
+    /// Builds a union; weights must sum to a positive value.
+    pub fn new(arms: Vec<(u32, BoxedGen<T>)>) -> OneOf<T> {
+        let total: u64 = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        OneOf { arms, total }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weights covered above")
+    }
+}
+
+/// Collection strategies, as in `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Admissible size arguments for [`vec`]: an exact length, or a
+    /// (half-open or inclusive) length range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec`s of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                self.size.lo + rng.below((self.size.hi - self.size.lo + 1) as u64) as usize
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The common imports, as in `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Defines property tests. See the crate docs: cases are generated
+/// deterministically, assertion failures panic without shrinking.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        // Call sites carry `#[test]` themselves (upstream convention),
+        // so the expansion only forwards the attributes.
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let mut passed: u32 = 0;
+            let mut discarded: u32 = 0;
+            while passed < config.cases {
+                assert!(
+                    discarded < config.cases.saturating_mul(64).max(1024),
+                    "too many prop_assume! discards ({discarded}) in {}",
+                    stringify!($name),
+                );
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let outcome = (|| -> $crate::test_runner::CaseResult {
+                    $body
+                    #[allow(unreachable_code)]
+                    $crate::test_runner::CaseResult::Pass
+                })();
+                match outcome {
+                    $crate::test_runner::CaseResult::Pass => passed += 1,
+                    $crate::test_runner::CaseResult::Discard => discarded += 1,
+                }
+            }
+        }
+    )*};
+}
+
+/// Weighted (or unweighted) union of strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $(($weight as u32, $crate::into_gen($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![
+            $((1u32, $crate::into_gen($strategy))),+
+        ])
+    };
+}
+
+/// Asserts inside a property test (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Discards the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($rest:tt)*)?) => {
+        if !($cond) {
+            return $crate::test_runner::CaseResult::Discard;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn oneof_respects_weights_roughly() {
+        let s = prop_oneof![9 => 0..1i32, 1 => 1..2i32];
+        let mut rng = crate::test_runner::TestRng::deterministic("weights");
+        let ones = (0..10_000)
+            .filter(|_| crate::Strategy::generate(&s, &mut rng) == 1)
+            .count();
+        assert!((500..1_500).contains(&ones), "{ones}");
+    }
+
+    #[test]
+    fn vec_sizes() {
+        let s = crate::collection::vec(0..10u8, 3);
+        let mut rng = crate::test_runner::TestRng::deterministic("sizes");
+        assert_eq!(crate::Strategy::generate(&s, &mut rng).len(), 3);
+        let r = crate::collection::vec(0..10u8, 1..5);
+        for _ in 0..100 {
+            let v = crate::Strategy::generate(&r, &mut rng);
+            assert!((1..5).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro generates, assumes and asserts.
+        #[test]
+        fn macro_end_to_end(x in 0..100i64, v in crate::collection::vec(0..3u8, 0..=4)) {
+            prop_assume!(x != 13);
+            prop_assert!((0..100).contains(&x));
+            prop_assert_eq!(v.len(), v.iter().filter(|&&b| b < 3).count());
+            prop_assert_ne!(x, 13);
+        }
+
+        /// Tuple + map + Just compose.
+        #[test]
+        fn combinators(pair in (0..5u32, Just(7u32)).prop_map(|(a, b)| a + b)) {
+            prop_assert!((7..12).contains(&pair));
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Vendored stand-in for the subset of the `rand` 0.8 API used by this
+//! workspace: [`rngs::StdRng`], [`SeedableRng`], [`Rng`] (`gen_range`,
+//! `gen_bool`, `gen_ratio`) and [`seq::SliceRandom`] (`choose`,
+//! `shuffle`).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the few dozen lines of PRNG machinery it actually needs.
+//! The generator is xoshiro256++ seeded via SplitMix64 — a different
+//! stream than upstream `StdRng` (ChaCha12), but all workspace datasets
+//! and property tests depend only on uniformity and determinism per
+//! seed, never on the exact upstream stream.
+
+#![warn(missing_docs)]
+
+/// A seedable RNG, as in `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step, used for seeding.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Ranges that can be sampled uniformly, as in
+/// `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// The raw 64-bit generator interface.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Uniform integer in `[0, bound)` by Lemire-style rejection (modulo
+/// with a retry zone small enough not to matter for our workloads).
+fn below(rng: &mut dyn RngCore, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    // Rejection sampling on the top bits to avoid modulo bias.
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+/// Integer types uniform ranges can be sampled over. A single generic
+/// [`SampleRange`] impl per range shape keeps type inference working
+/// the way it does upstream (the literal in `gen_range(0..n)` unifies
+/// with the use site instead of defaulting to `i32`).
+pub trait UniformInt: Copy + PartialOrd {
+    /// Widens losslessly for span arithmetic.
+    fn to_i128(self) -> i128;
+    /// Narrows a value known to be in range.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            #[inline]
+            fn from_i128(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: UniformInt> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        assert!(self.start < self.end, "empty range in gen_range");
+        let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+        T::from_i128(lo + below(rng, (hi - lo) as u64) as i128)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut dyn RngCore) -> T {
+        let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+        assert!(lo <= hi, "empty range in gen_range");
+        let span = (hi - lo) as u64;
+        if span == u64::MAX {
+            return T::from_i128(rng.next_u64() as i128);
+        }
+        T::from_i128(lo + below(rng, span + 1) as i128)
+    }
+}
+
+/// The user-facing RNG trait, as in `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform value from the given range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        // 53 uniform mantissa bits.
+        let v = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        v < p
+    }
+
+    /// `true` with probability `numerator / denominator`.
+    fn gen_ratio(&mut self, numerator: u32, denominator: u32) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(denominator > 0 && numerator <= denominator);
+        below(self, denominator as u64) < numerator as u64
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // Avoid the all-zero state (splitmix64 cannot produce four
+            // zeros from one stream, but keep the guard explicit).
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers, as in `rand::seq`.
+pub mod seq {
+    use super::{below, Rng};
+
+    /// Random selection and shuffling on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+        /// A uniformly random element, or `None` on an empty slice.
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&Self::Item>;
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[below(rng, self.len() as u64) as usize])
+            }
+        }
+
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = below(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000i64), b.gen_range(0..1_000_000i64));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let same = (0..100).all(|_| a.gen_range(0..100u32) == c.gen_range(0..100u32));
+        assert!(!same, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn bool_and_ratio_are_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+        let hits = (0..10_000).filter(|_| rng.gen_ratio(1, 10)).count();
+        assert!((700..1_300).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn slice_helpers() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = [1, 2, 3, 4, 5];
+        for _ in 0..100 {
+            assert!(xs.contains(xs.choose(&mut rng).unwrap()));
+        }
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let mut ys = [1, 2, 3, 4, 5, 6, 7, 8];
+        ys.shuffle(&mut rng);
+        let mut sorted = ys;
+        sorted.sort();
+        assert_eq!(sorted, [1, 2, 3, 4, 5, 6, 7, 8]);
+    }
+}
