@@ -16,35 +16,48 @@
 //! moderate; c-FD discovery stays within the same order of magnitude
 //! of runtime as classical discovery. Absolute counts and times differ
 //! (synthetic data, different hardware, LHS size capped at 4).
+//!
+//! Every measurement goes through `measure()`/`write_bench_json`, so a
+//! run leaves a counter-annotated `BENCH_discovery.json` behind (build
+//! with `--features obs` for the counters; see `bench-baselines/` for
+//! the committed before/after pair of the partition-cache work).
 
-use sqlnf_bench::{banner, fmt_duration, render_table, timed};
+use sqlnf_bench::{banner, fmt_duration, measure, render_table, write_bench_json, BenchRecord};
 use sqlnf_datagen::naumann::{adult_like, breast_cancer_like, hepatitis_like};
 use sqlnf_discovery::check::Semantics;
 use sqlnf_discovery::mine::{mine_fds, MinerConfig, MiningResult};
 use sqlnf_model::table::Table;
 
-fn run(name: &str, table: &Table, max_lhs: usize) -> Vec<String> {
-    let (classical, t_classical): (MiningResult, _) = timed(|| {
-        mine_fds(
+fn run(name: &str, table: &Table, max_lhs: usize, records: &mut Vec<BenchRecord>) -> Vec<String> {
+    // One timing pass for the big table, a median of three for the
+    // small ones (same policy for baseline and optimized runs).
+    let runs = if table.len() > 10_000 { 1 } else { 3 };
+    let mut classical: Option<MiningResult> = None;
+    let r_classical = measure(&format!("classical_{name}"), runs, || {
+        classical = Some(mine_fds(
             table,
             MinerConfig::new(Semantics::Classical).with_max_lhs(max_lhs),
-        )
+        ));
     });
-    let (certain, t_certain): (MiningResult, _) = timed(|| {
-        mine_fds(
+    let mut certain: Option<MiningResult> = None;
+    let r_certain = measure(&format!("certain_{name}"), runs, || {
+        certain = Some(mine_fds(
             table,
             MinerConfig::new(Semantics::Certain).with_max_lhs(max_lhs),
-        )
+        ));
     });
-    vec![
+    let row = vec![
         name.to_string(),
         table.schema().arity().to_string(),
         table.len().to_string(),
-        classical.fd_count_attrwise().to_string(),
-        fmt_duration(t_classical),
-        certain.fd_count_attrwise().to_string(),
-        fmt_duration(t_certain),
-    ]
+        classical.expect("measured").fd_count_attrwise().to_string(),
+        fmt_duration(r_classical.median),
+        certain.expect("measured").fd_count_attrwise().to_string(),
+        fmt_duration(r_certain.median),
+    ];
+    records.push(r_classical);
+    records.push(r_certain);
+    row
 }
 
 fn main() {
@@ -55,10 +68,11 @@ fn main() {
     let hep = hepatitis_like(20_160_626);
     let adult = adult_like(20_160_626);
 
+    let mut records: Vec<BenchRecord> = Vec::new();
     let rows = vec![
-        run("breast-cancer", &bc, 4),
-        run("adult", &adult, 4),
-        run("hepatitis", &hep, 4),
+        run("breast-cancer", &bc, 4, &mut records),
+        run("adult", &adult, 4, &mut records),
+        run("hepatitis", &hep, 4, &mut records),
     ];
 
     print!(
@@ -81,20 +95,27 @@ fn main() {
     // level-parallel miner is exact regardless (see
     // `mine::tests::parallel_equals_serial`).
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-    let (par, t_par) = timed(|| {
-        mine_fds(
+    let mut par: Option<MiningResult> = None;
+    let r_par = measure("certain_adult_parallel", 1, || {
+        par = Some(mine_fds(
             &adult,
             MinerConfig::new(Semantics::Certain)
                 .with_max_lhs(4)
                 .with_threads(0),
-        )
+        ));
     });
     println!(
         "\nc-FDs on adult with {cores} core(s): {} FDs in {} (serial above: {})",
-        par.fd_count_attrwise(),
-        fmt_duration(t_par),
+        par.expect("measured").fd_count_attrwise(),
+        fmt_duration(r_par.median),
         rows[1][6]
     );
+    records.push(r_par);
+
+    match write_bench_json("discovery", &records) {
+        Ok(path) => println!("bench json: {}", path.display()),
+        Err(e) => eprintln!("bench json not written: {e}"),
+    }
 
     // Shape assertions.
     let fd_counts: Vec<usize> = rows.iter().map(|r| r[3].parse().unwrap()).collect();

@@ -18,6 +18,7 @@
 //! are exact whenever no row carries `⊥` in the LHS — the common case —
 //! and always an upper bound on the true g₃.
 
+use crate::cache::PartitionCtx;
 use crate::check::probe_weak_pairs;
 use crate::partition::{Encoded, NullSemantics, Partition};
 use sqlnf_model::attrs::{Attr, AttrSet};
@@ -40,33 +41,58 @@ fn group_repair_cost(enc: &Encoded, partition: &Partition, a: Attr) -> usize {
     cost
 }
 
-/// Exact g₃ error of the p-FD `X →_s A`: the minimum number of rows to
-/// delete, divided by the row count (0.0 on empty instances).
-pub fn pfd_error(enc: &Encoded, x: AttrSet, a: Attr) -> f64 {
+/// [`pfd_error`] against a caller-held strong-semantics
+/// [`PartitionCtx`] — amortizes partition construction across many
+/// error queries on the same instance, as the Figure 6 analysis does.
+pub fn pfd_error_ctx(ctx: &mut PartitionCtx, x: AttrSet, a: Attr) -> f64 {
+    let enc = ctx.encoded();
     if enc.rows() == 0 {
         return 0.0;
     }
-    let p = Partition::by_set(enc, x, NullSemantics::Strong);
+    let p = ctx.partition(x);
+    group_repair_cost(enc, &p, a) as f64 / enc.rows() as f64
+}
+
+/// Exact g₃ error of the p-FD `X →_s A`: the minimum number of rows to
+/// delete, divided by the row count (0.0 on empty instances).
+pub fn pfd_error(enc: &Encoded, x: AttrSet, a: Attr) -> f64 {
+    pfd_error_ctx(&mut PartitionCtx::new(enc, NullSemantics::Strong), x, a)
+}
+
+/// [`classical_fd_error`] against a caller-held null-as-value
+/// [`PartitionCtx`].
+pub fn classical_fd_error_ctx(ctx: &mut PartitionCtx, x: AttrSet, a: Attr) -> f64 {
+    let enc = ctx.encoded();
+    if enc.rows() == 0 {
+        return 0.0;
+    }
+    let p = ctx.partition(x);
     group_repair_cost(enc, &p, a) as f64 / enc.rows() as f64
 }
 
 /// Exact g₃ error of the classical FD `X → A` (nulls as values).
 pub fn classical_fd_error(enc: &Encoded, x: AttrSet, a: Attr) -> f64 {
+    classical_fd_error_ctx(
+        &mut PartitionCtx::new(enc, NullSemantics::NullAsValue),
+        x,
+        a,
+    )
+}
+
+/// [`pkey_error`] against a caller-held strong-semantics
+/// [`PartitionCtx`].
+pub fn pkey_error_ctx(ctx: &mut PartitionCtx, x: AttrSet) -> f64 {
+    let enc = ctx.encoded();
     if enc.rows() == 0 {
         return 0.0;
     }
-    let p = Partition::by_set(enc, x, NullSemantics::NullAsValue);
-    group_repair_cost(enc, &p, a) as f64 / enc.rows() as f64
+    let excess = ctx.partition(x).error();
+    excess as f64 / enc.rows() as f64
 }
 
 /// Exact g₃ error of the p-key `p⟨X⟩`: keep one row per strong group.
 pub fn pkey_error(enc: &Encoded, x: AttrSet) -> f64 {
-    if enc.rows() == 0 {
-        return 0.0;
-    }
-    let p = Partition::by_set(enc, x, NullSemantics::Strong);
-    let excess: usize = p.classes.iter().map(|c| c.len() - 1).sum();
-    excess as f64 / enc.rows() as f64
+    pkey_error_ctx(&mut PartitionCtx::new(enc, NullSemantics::Strong), x)
 }
 
 /// Upper bound on the g₃ error of the c-key `c⟨X⟩`: the exact
@@ -74,10 +100,17 @@ pub fn pkey_error(enc: &Encoded, x: AttrSet) -> f64 {
 /// weak-similarity pairs involving `⊥`-carrying rows. Exact when no
 /// row has `⊥` in `X`.
 pub fn ckey_error(enc: &Encoded, x: AttrSet) -> f64 {
+    ckey_error_ctx(&mut PartitionCtx::new(enc, NullSemantics::Strong), x)
+}
+
+/// [`ckey_error`] against a caller-held strong-semantics
+/// [`PartitionCtx`].
+pub fn ckey_error_ctx(ctx: &mut PartitionCtx, x: AttrSet) -> f64 {
+    let enc = ctx.encoded();
     if enc.rows() == 0 {
         return 0.0;
     }
-    let p = Partition::by_set(enc, x, NullSemantics::Strong);
+    let p = ctx.partition(x);
     let mut removed: Vec<bool> = vec![false; enc.rows()];
     // Strong groups: keep one representative, drop the rest.
     let mut cost = 0usize;
@@ -105,10 +138,17 @@ pub fn ckey_error(enc: &Encoded, x: AttrSet) -> f64 {
 /// row carries `⊥` in `X`): group repair plus greedy deletion over
 /// weakly-similar, `A`-disagreeing pairs through nulls.
 pub fn cfd_error(enc: &Encoded, x: AttrSet, a: Attr) -> f64 {
+    cfd_error_ctx(&mut PartitionCtx::new(enc, NullSemantics::Strong), x, a)
+}
+
+/// [`cfd_error`] against a caller-held strong-semantics
+/// [`PartitionCtx`].
+pub fn cfd_error_ctx(ctx: &mut PartitionCtx, x: AttrSet, a: Attr) -> f64 {
+    let enc = ctx.encoded();
     if enc.rows() == 0 {
         return 0.0;
     }
-    let p = Partition::by_set(enc, x, NullSemantics::Strong);
+    let p = ctx.partition(x);
     let mut cost = group_repair_cost(enc, &p, a);
     let mut removed: Vec<bool> = vec![false; enc.rows()];
     probe_weak_pairs(enc, x, |r, s| {

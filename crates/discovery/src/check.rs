@@ -3,69 +3,145 @@
 //! exact — they are property-tested against the naive pairwise
 //! definitions of `sqlnf_model::satisfy`.
 
-use crate::partition::{Encoded, NullSemantics, Partition};
+use crate::partition::{Encoded, NullSemantics, Partition, ProductScratch};
 use sqlnf_model::attrs::{Attr, AttrSet};
 use std::collections::HashMap;
 
-/// Visits every unordered pair of rows that is weakly similar on `x`
-/// and involves at least one row carrying `⊥` in `x` (the pairs the
-/// strong partition cannot see). Calls `f(r, s)`; stops early — and
-/// returns `false` — when `f` returns `false`.
+/// A memoized probe structure for weak-similarity checks on a fixed
+/// attribute set `X`: the `X`-null rows, and per distinct null
+/// *pattern* a hash index of the `X`-total rows keyed by their
+/// projection onto the pattern's non-null part.
 ///
-/// Null–null pairs are compared directly (there are few null rows in
-/// practice); null–total pairs are found through a hash index per
-/// distinct null *pattern*: a row `r` with nulls on `N ⊆ x` is weakly
-/// similar to an `x`-total row `s` iff `s` matches `r` exactly on
-/// `x − N`. This turns the former full-table scan per null row into a
-/// constant number of index probes, which is what keeps c-FD discovery
-/// on the 48 842-row `adult` workload within the same order of
-/// magnitude as classical discovery (as in the paper's comparison).
-pub fn probe_weak_pairs(
-    enc: &Encoded,
+/// Building it costs one pass to merge the per-column null lists, one
+/// complement pass for the total-row list, and one key-extraction pass
+/// per distinct pattern — the total-row list itself is computed **once**
+/// and shared by every pattern (the old code re-scanned all rows with
+/// an `is_total_on` test per pattern, which was quadratic in practice
+/// on null-heavy candidates). Callers that probe the same `X` several
+/// times (c-key + reflexivity during classification, key mining) build
+/// the index once and reuse it.
+pub struct ProbeIndex {
     x: AttrSet,
-    mut f: impl FnMut(usize, usize) -> bool,
-) -> bool {
-    let null_rows = enc.null_rows_on(x);
-    if null_rows.is_empty() {
-        return true;
-    }
+    null_rows: Vec<usize>,
+    /// Sorted by reduced pattern so probing order is deterministic.
+    patterns: Vec<Pattern>,
+}
 
-    // 1) null–null pairs.
-    for (i, &r) in null_rows.iter().enumerate() {
-        for &s in &null_rows[i + 1..] {
-            if enc.weakly_similar(r, s, x) && !f(r, s) {
-                return false;
+/// One distinct null pattern of `X`: `(reduced, null rows with this
+/// pattern, total rows keyed by their projection onto reduced)`.
+type Pattern = (AttrSet, Vec<usize>, HashMap<Vec<u32>, Vec<usize>>);
+
+impl ProbeIndex {
+    /// Builds the probe index of `x`. Cheap (`O(|X|)`, no allocation)
+    /// when no column of `x` carries a `⊥`.
+    pub fn new(enc: &Encoded, x: AttrSet) -> ProbeIndex {
+        if !enc.has_nulls_on(x) {
+            return ProbeIndex {
+                x,
+                null_rows: Vec::new(),
+                patterns: Vec::new(),
+            };
+        }
+        sqlnf_obs::count!("discovery.check.probe_index_builds");
+        let null_rows = enc.null_rows_on(x);
+
+        // The x-total rows, computed once: the ascending complement of
+        // the (ascending) null-row list.
+        let mut total: Vec<usize> = Vec::with_capacity(enc.rows() - null_rows.len());
+        let mut nulls_it = null_rows.iter().copied().peekable();
+        for r in 0..enc.rows() {
+            if nulls_it.peek() == Some(&r) {
+                nulls_it.next();
+            } else {
+                total.push(r);
             }
+        }
+
+        // Group the null rows by their reduced (non-null) pattern.
+        let mut by_pattern: HashMap<AttrSet, Vec<usize>> = HashMap::new();
+        for &r in &null_rows {
+            let nulls: AttrSet = x.iter().filter(|&a| enc.code(r, a) == 0).collect();
+            by_pattern.entry(x - nulls).or_default().push(r);
+        }
+        let mut patterns: Vec<Pattern> = by_pattern
+            .into_iter()
+            .map(|(reduced, rows)| {
+                let mut index: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+                for &s in &total {
+                    let key: Vec<u32> = reduced.iter().map(|a| enc.code(s, a)).collect();
+                    index.entry(key).or_default().push(s);
+                }
+                (reduced, rows, index)
+            })
+            .collect();
+        patterns.sort_by_key(|&(reduced, _, _)| reduced);
+        ProbeIndex {
+            x,
+            null_rows,
+            patterns,
         }
     }
 
-    // 2) null–total pairs, by null pattern.
-    let mut by_pattern: HashMap<AttrSet, Vec<usize>> = HashMap::new();
-    for &r in &null_rows {
-        let nulls: AttrSet = x.iter().filter(|&a| enc.code(r, a) == 0).collect();
-        by_pattern.entry(x - nulls).or_default().push(r);
+    /// The attribute set this index probes.
+    pub fn x(&self) -> AttrSet {
+        self.x
     }
-    for (reduced, rows) in by_pattern {
-        // Index the x-total rows by their `reduced` projection.
-        let mut index: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
-        for s in 0..enc.rows() {
-            if enc.is_total_on(s, x) {
-                let key: Vec<u32> = reduced.iter().map(|a| enc.code(s, a)).collect();
-                index.entry(key).or_default().push(s);
+
+    /// Whether any row carries `⊥` in `X` (if not, every probe is a
+    /// trivial success).
+    pub fn has_null_rows(&self) -> bool {
+        !self.null_rows.is_empty()
+    }
+
+    /// Visits every unordered pair of rows that is weakly similar on
+    /// `X` and involves at least one row carrying `⊥` in `X` (the pairs
+    /// the strong partition cannot see). Calls `f(r, s)`; stops early —
+    /// and returns `false` — when `f` returns `false`.
+    ///
+    /// Null–null pairs are compared directly (there are few null rows
+    /// in practice); null–total pairs come from the per-pattern hash
+    /// indexes: a row `r` with nulls on `N ⊆ X` is weakly similar to an
+    /// `X`-total row `s` iff `s` matches `r` exactly on `X − N`. This
+    /// is what keeps c-FD discovery on the 48 842-row `adult` workload
+    /// within the same order of magnitude as classical discovery (as in
+    /// the paper's comparison).
+    pub fn for_each_weak_pair(
+        &self,
+        enc: &Encoded,
+        mut f: impl FnMut(usize, usize) -> bool,
+    ) -> bool {
+        // 1) null–null pairs.
+        for (i, &r) in self.null_rows.iter().enumerate() {
+            for &s in &self.null_rows[i + 1..] {
+                if enc.weakly_similar(r, s, self.x) && !f(r, s) {
+                    return false;
+                }
             }
         }
-        for r in rows {
-            let key: Vec<u32> = reduced.iter().map(|a| enc.code(r, a)).collect();
-            if let Some(matches) = index.get(&key) {
-                for &s in matches {
-                    if !f(r, s) {
-                        return false;
+        // 2) null–total pairs, by null pattern.
+        for (reduced, rows, index) in &self.patterns {
+            for &r in rows {
+                let key: Vec<u32> = reduced.iter().map(|a| enc.code(r, a)).collect();
+                if let Some(matches) = index.get(&key) {
+                    for &s in matches {
+                        if !f(r, s) {
+                            return false;
+                        }
                     }
                 }
             }
         }
+        true
     }
-    true
+}
+
+/// One-shot form of [`ProbeIndex::for_each_weak_pair`]: builds the
+/// index for `x`, probes, and drops it. Free when `x` is null-free.
+pub fn probe_weak_pairs(enc: &Encoded, x: AttrSet, f: impl FnMut(usize, usize) -> bool) -> bool {
+    if !enc.has_nulls_on(x) {
+        return true;
+    }
+    ProbeIndex::new(enc, x).for_each_weak_pair(enc, f)
 }
 
 /// Semantics under which a mined FD `X → A` is evaluated.
@@ -81,6 +157,56 @@ pub enum Semantics {
     /// Certain FD `X →_w A`: weak similarity on `X`, syntactic equality
     /// on `A`.
     Certain,
+}
+
+/// [`fd_targets_holding`] fused with the partition product: checks
+/// `X → A` for all `A` in `targets` where `X = attrs(prefix) ∪ {by}`,
+/// sweeping the refinement of `prefix` by `by` directly instead of
+/// materializing `π_X` first. Stops scanning the moment every target
+/// is refuted — on the last lattice level (where the partition would
+/// be thrown away anyway) a violated candidate usually dies within a
+/// handful of rows. Returns exactly what
+/// `fd_targets_holding(enc, x, &π_X, targets, sem)` would.
+#[allow(clippy::too_many_arguments)]
+pub fn fd_targets_on_refinement(
+    enc: &Encoded,
+    x: AttrSet,
+    prefix: &Partition,
+    by: Attr,
+    ns: NullSemantics,
+    targets: AttrSet,
+    sem: Semantics,
+    scratch: &mut ProductScratch,
+) -> AttrSet {
+    sqlnf_obs::count!("discovery.check.fused_checks");
+    let mut holding = targets;
+    prefix.for_each_refined_pair(enc, by, ns, scratch, |head, r| {
+        let (head, r) = (head as usize, r as usize);
+        let mut still = AttrSet::EMPTY;
+        for a in holding {
+            if enc.code(r, a) == enc.code(head, a) {
+                still.insert(a);
+            }
+        }
+        holding = still;
+        !holding.is_empty()
+    });
+
+    // Certain FDs additionally constrain rows with ⊥ in X, exactly as
+    // in the materialized check.
+    if sem == Semantics::Certain && !holding.is_empty() {
+        probe_weak_pairs(enc, x, |r, s| {
+            let mut still = AttrSet::EMPTY;
+            for a in holding {
+                if enc.code(r, a) == enc.code(s, a) {
+                    still.insert(a);
+                }
+            }
+            holding = still;
+            !holding.is_empty()
+        });
+    }
+    holding
 }
 
 /// Checks `X → A` for all `A` in `targets` at once, returning the
@@ -147,6 +273,15 @@ pub fn is_ckey(enc: &Encoded, x: AttrSet, strong_partition: &Partition) -> bool 
     probe_weak_pairs(enc, x, |_, _| false)
 }
 
+/// [`is_ckey`] against a prebuilt [`ProbeIndex`] — for callers that
+/// also run the reflexivity check on the same `X`.
+pub fn is_ckey_with(enc: &Encoded, idx: &ProbeIndex, strong_partition: &Partition) -> bool {
+    if !strong_partition.is_empty() {
+        return false;
+    }
+    idx.for_each_weak_pair(enc, |_, _| false)
+}
+
 /// Whether `X` is a p-key: no two rows strongly similar on `X`
 /// (equivalently, the strong partition is empty).
 pub fn is_pkey(strong_partition: &Partition) -> bool {
@@ -161,13 +296,26 @@ pub fn certain_reflexive_holds(enc: &Encoded, x: AttrSet) -> bool {
     probe_weak_pairs(enc, x, |r, s| enc.equal_on(r, s, x))
 }
 
-/// Builds the grouping of `X` appropriate for `sem`.
-pub fn partition_for(enc: &Encoded, x: AttrSet, sem: Semantics) -> Partition {
-    let ns = match sem {
+/// [`certain_reflexive_holds`] against a prebuilt [`ProbeIndex`].
+pub fn certain_reflexive_holds_with(enc: &Encoded, idx: &ProbeIndex) -> bool {
+    idx.for_each_weak_pair(enc, |r, s| enc.equal_on(r, s, idx.x()))
+}
+
+/// The [`NullSemantics`] under which partitions for `sem` are built:
+/// null-as-value for the classical convention, strong similarity for
+/// possible/certain FDs.
+pub fn null_semantics(sem: Semantics) -> NullSemantics {
+    match sem {
         Semantics::Classical => NullSemantics::NullAsValue,
         Semantics::Possible | Semantics::Certain => NullSemantics::Strong,
-    };
-    Partition::by_set(enc, x, ns)
+    }
+}
+
+/// Builds the grouping of `X` appropriate for `sem` from scratch — the
+/// reference path; hot loops go through [`crate::cache::PartitionCtx`]
+/// instead.
+pub fn partition_for(enc: &Encoded, x: AttrSet, sem: Semantics) -> Partition {
+    Partition::by_set(enc, x, null_semantics(sem))
 }
 
 /// Convenience: whether `X → A` holds under `sem` (one-off check; the

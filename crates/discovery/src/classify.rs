@@ -23,9 +23,10 @@
 //! projection size* is `|I[X·rhs]| / |I|` — the fraction of rows the
 //! set projection keeps; small values mean much redundancy eliminated.
 
-use crate::check::{certain_reflexive_holds, is_ckey, partition_for, Semantics};
+use crate::cache::{PartitionCtx, DEFAULT_CACHE_BUDGET};
+use crate::check::{certain_reflexive_holds_with, is_ckey, is_ckey_with, ProbeIndex, Semantics};
 use crate::mine::{mine_fds_encoded, MinedFd, MinerConfig};
-use crate::partition::Encoded;
+use crate::partition::{Encoded, NullSemantics};
 use sqlnf_model::attrs::AttrSet;
 use sqlnf_model::project::project_set;
 use sqlnf_model::table::Table;
@@ -89,6 +90,18 @@ impl Counts {
 
 /// Mines and classifies one table. `max_lhs` bounds the mined LHS size.
 pub fn classify_table(table: &Table, max_lhs: usize) -> Classification {
+    classify_table_budgeted(table, max_lhs, DEFAULT_CACHE_BUDGET)
+}
+
+/// [`classify_table`] with an explicit partition-cache byte budget,
+/// passed to both mining runs and to the post-mining key/reflexivity
+/// checks (one [`PartitionCtx`] serves both — possible and certain FDs
+/// share the strong grouping). Results are identical for any budget.
+pub fn classify_table_budgeted(
+    table: &Table,
+    max_lhs: usize,
+    cache_budget: usize,
+) -> Classification {
     let enc = Encoded::new(table);
     let arity = table.schema().arity();
     let null_free = enc.null_free_columns();
@@ -96,22 +109,27 @@ pub fn classify_table(table: &Table, max_lhs: usize) -> Classification {
     let possible = mine_fds_encoded(
         &enc,
         arity,
-        MinerConfig::new(Semantics::Possible).with_max_lhs(max_lhs),
+        MinerConfig::new(Semantics::Possible)
+            .with_max_lhs(max_lhs)
+            .with_cache_budget(cache_budget),
         Instant::now(),
     );
     let certain = mine_fds_encoded(
         &enc,
         arity,
-        MinerConfig::new(Semantics::Certain).with_max_lhs(max_lhs),
+        MinerConfig::new(Semantics::Certain)
+            .with_max_lhs(max_lhs)
+            .with_cache_budget(cache_budget),
         Instant::now(),
     );
 
     let mut out = Classification::default();
+    let mut ctx = PartitionCtx::with_budget(&enc, NullSemantics::Strong, cache_budget);
 
     for fd in possible.fds {
         if fd.lhs.is_subset(null_free) {
             // Figure 6's nn series additionally requires a non-key LHS.
-            let strong = partition_for(&enc, fd.lhs, Semantics::Possible);
+            let strong = ctx.partition(fd.lhs);
             if !is_ckey(&enc, fd.lhs, &strong) {
                 out.nn_nonkey_ratios
                     .push(projection_ratio(table, fd.lhs | fd.rhs));
@@ -126,11 +144,14 @@ pub fn classify_table(table: &Table, max_lhs: usize) -> Classification {
         if fd.lhs.is_subset(null_free) {
             continue; // coincides with an nn-FD; counted there
         }
-        let total = certain_reflexive_holds(&enc, fd.lhs);
+        // One probe index per LHS serves both the totality and the
+        // c-key check.
+        let idx = ProbeIndex::new(&enc, fd.lhs);
+        let total = certain_reflexive_holds_with(&enc, &idx);
         if total {
             out.t_fds.push(fd.clone());
-            let strong = partition_for(&enc, fd.lhs, Semantics::Certain);
-            let usable = !fd.rhs.is_empty() && !is_ckey(&enc, fd.lhs, &strong);
+            let strong = ctx.partition(fd.lhs);
+            let usable = !fd.rhs.is_empty() && !is_ckey_with(&enc, &idx, &strong);
             if usable {
                 out.lambda_fds.push(LambdaFd {
                     lhs: fd.lhs,

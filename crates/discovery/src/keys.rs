@@ -7,8 +7,9 @@
 //! p-keys and c-keys of an instance level-wise, with subset pruning
 //! (any superset of a key is a key, by key-Augmentation).
 
-use crate::check::{is_ckey, is_pkey, partition_for, Semantics};
-use crate::partition::Encoded;
+use crate::cache::{PartitionCtx, DEFAULT_CACHE_BUDGET};
+use crate::check::{is_ckey, is_pkey};
+use crate::partition::{Encoded, NullSemantics};
 use sqlnf_model::attrs::{Attr, AttrSet};
 use sqlnf_model::table::Table;
 
@@ -52,21 +53,35 @@ fn k_subsets(attrs: &[Attr], k: usize) -> Vec<AttrSet> {
 }
 
 /// Mines the subset-minimal p-keys and c-keys with attribute sets of at
-/// most `max_size` attributes.
+/// most `max_size` attributes, with the default partition-cache budget.
 pub fn mine_keys(table: &Table, max_size: usize) -> MinedKeys {
+    mine_keys_budgeted(table, max_size, DEFAULT_CACHE_BUDGET)
+}
+
+/// [`mine_keys`] with an explicit partition-cache byte budget. The
+/// strong partitions of the candidates come out of one level-cached
+/// [`PartitionCtx`] (a product per candidate instead of a fresh
+/// grouping); results are identical for any budget.
+pub fn mine_keys_budgeted(table: &Table, max_size: usize, cache_budget: usize) -> MinedKeys {
     let enc = Encoded::new(table);
     let arity = table.schema().arity();
     let attrs: Vec<Attr> = (0..arity).map(Attr::from).collect();
+    let mut ctx = PartitionCtx::with_budget(&enc, NullSemantics::Strong, cache_budget);
     let mut out = MinedKeys::default();
 
     for k in 0..=max_size.min(arity) {
+        // Partitions of level k come from level k−1; anything older is
+        // dead weight.
+        if k >= 2 {
+            ctx.evict_below(k - 1);
+        }
         for x in k_subsets(&attrs, k) {
             let p_covered = out.pkeys.iter().any(|y| y.is_subset(x));
             let c_covered = out.ckeys.iter().any(|y| y.is_subset(x));
             if p_covered && c_covered {
                 continue;
             }
-            let strong = partition_for(&enc, x, Semantics::Possible);
+            let strong = ctx.partition(x);
             if !p_covered && is_pkey(&strong) {
                 out.pkeys.push(x);
             }

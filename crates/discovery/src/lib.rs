@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod approx;
+pub mod cache;
 pub mod check;
 pub mod classify;
 pub mod keys;
@@ -23,12 +24,15 @@ pub mod prelude {
     pub use crate::approx::{
         cfd_error, ckey_error, classical_fd_error, key_error_of_table, pfd_error, pkey_error,
     };
+    pub use crate::cache::{PartitionCtx, DEFAULT_CACHE_BUDGET};
     pub use crate::check::{
-        certain_reflexive_holds, fd_holds, fd_targets_holding, is_ckey, is_pkey, partition_for,
-        Semantics,
+        certain_reflexive_holds, certain_reflexive_holds_with, fd_holds, fd_targets_holding,
+        is_ckey, is_ckey_with, is_pkey, null_semantics, partition_for, ProbeIndex, Semantics,
     };
-    pub use crate::classify::{classify_table, Classification, Counts, LambdaFd};
-    pub use crate::keys::{mine_keys, MinedKeys};
+    pub use crate::classify::{
+        classify_table, classify_table_budgeted, Classification, Counts, LambdaFd,
+    };
+    pub use crate::keys::{mine_keys, mine_keys_budgeted, MinedKeys};
     pub use crate::mine::{mine_fds, MinedFd, MinerConfig, MiningResult};
-    pub use crate::partition::{Encoded, NullSemantics, Partition};
+    pub use crate::partition::{Encoded, NullSemantics, Partition, ProductScratch};
 }

@@ -5,11 +5,45 @@
 //! attributes `A ∉ X` such that `X → A` holds and no `Y ⊊ X` already
 //! gives `Y → A` — matching the paper's counting convention ("all
 //! non-trivial FDs with minimal LHSs, and only once per LHS").
+//!
+//! ## Level-cached partition products
+//!
+//! A level-`k` candidate's stripped partition is never rebuilt from
+//! the rows: it is the TANE product `π_{X∖{a}} · π_{a}` of a cached
+//! level-`(k−1)` partition refined by one more attribute's dictionary
+//! codes, computed in one sweep of the prefix partition with a reusable
+//! probe-table scratch (see [`Partition::product_attr`] — the cost is
+//! proportional to the *prefix*, which shrinks as levels advance, not
+//! to the table). Every immediate prefix of a candidate is
+//! itself a candidate of the previous level (uncovered targets are
+//! inherited downwards), so the prefix lookup misses only when the
+//! byte budget ([`MinerConfig::cache_budget`]) evicted it — in which
+//! case the partition is folded from the always-resident singles.
+//! Levels retire as the frontier advances: only level `k−1` is kept
+//! while level `k` runs. On levels whose partitions are never stored
+//! (the last one) the product is fused with the FD check
+//! ([`fd_targets_on_refinement`]) and aborts at the first refuting
+//! row, so refuted candidates — the vast majority at depth — cost a
+//! handful of row visits instead of a full sweep.
+//!
+//! With `threads > 1` the per-level chunk fan-out runs on a
+//! *persistent* worker pool spawned once inside one `thread::scope`:
+//! each worker owns its scratch for the whole mining run, receives a
+//! contiguous candidate chunk per level over a channel together with a
+//! shared [`Arc`] of the previous level's partitions, and sends back
+//! its FDs plus its shard of the freshly built level. The main thread
+//! merges shards in worker order within the budget, so results — and
+//! the cache contents — are identical across thread counts
+//! (`parallel_equals_serial`).
 
-use crate::check::{fd_targets_holding, partition_for, Semantics};
-use crate::partition::Encoded;
+use crate::cache::DEFAULT_CACHE_BUDGET;
+use crate::check::{fd_targets_holding, fd_targets_on_refinement, null_semantics, Semantics};
+use crate::partition::{Encoded, NullSemantics, Partition, ProductScratch};
 use sqlnf_model::attrs::{Attr, AttrSet};
 use sqlnf_model::table::Table;
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One discovered dependency: a minimal LHS and every RHS attribute it
@@ -34,6 +68,12 @@ pub struct MinerConfig {
     /// candidates are independent (minimality only consults strictly
     /// smaller LHSs), so per-level parallelism is exact. `1` = serial.
     pub threads: usize,
+    /// Byte budget for the previous level's cached partitions. Within
+    /// budget, every candidate partition is one product with a cached
+    /// prefix; past it, evicted prefixes are folded from the
+    /// single-attribute partitions. `0` disables caching; results are
+    /// identical for any value (only throughput changes).
+    pub cache_budget: usize,
 }
 
 impl MinerConfig {
@@ -44,6 +84,7 @@ impl MinerConfig {
             semantics,
             max_lhs: 4,
             threads: 1,
+            cache_budget: DEFAULT_CACHE_BUDGET,
         }
     }
 
@@ -60,6 +101,12 @@ impl MinerConfig {
         } else {
             threads
         };
+        self
+    }
+
+    /// Overrides the partition-cache byte budget.
+    pub fn with_cache_budget(mut self, bytes: usize) -> Self {
+        self.cache_budget = bytes;
         self
     }
 }
@@ -121,6 +168,221 @@ pub fn mine_fds(table: &Table, config: MinerConfig) -> MiningResult {
     mine_fds_encoded(&enc, table.schema().arity(), config, started)
 }
 
+/// A candidate partition: borrowed from the singles at level 1, owned
+/// (freshly producted) everywhere else.
+enum Part<'a> {
+    Ref(&'a Partition),
+    Own(Partition),
+}
+
+impl Part<'_> {
+    fn get(&self) -> &Partition {
+        match self {
+            Part::Ref(p) => p,
+            Part::Own(p) => p,
+        }
+    }
+}
+
+/// Builds `π_x` for a level-`k` candidate from the previous level's
+/// cached partitions and the always-resident singles. Every immediate
+/// prefix of a live candidate was itself a live candidate one level
+/// down, so the prefix lookup fails only on budget eviction — then the
+/// partition is folded from the singles by repeated products.
+fn candidate_partition<'a>(
+    enc: &Encoded,
+    ns: NullSemantics,
+    x: AttrSet,
+    k: usize,
+    singles: &'a [Partition],
+    prev: &HashMap<AttrSet, Partition>,
+    scratch: &mut ProductScratch,
+) -> Part<'a> {
+    match k {
+        0 => Part::Own(Partition::universal(enc.rows())),
+        1 => Part::Ref(&singles[x.first().expect("level-1 candidate").index()]),
+        2 => {
+            let mut it = x.iter();
+            let a = it.next().expect("level-2 candidate");
+            let b = it.next().expect("level-2 candidate");
+            // Sweep the smaller of the two singles (ties keep attribute
+            // order — deterministic, and the result is canonical either
+            // way).
+            let (base, by) =
+                if singles[a.index()].stripped_rows() <= singles[b.index()].stripped_rows() {
+                    (a, b)
+                } else {
+                    (b, a)
+                };
+            Part::Own(singles[base.index()].product_attr(enc, by, ns, scratch))
+        }
+        _ => {
+            // Among the cached immediate prefixes, refine the cheapest
+            // one: a candidate containing a selective attribute has a
+            // tiny prefix partition, and the product cost is exactly
+            // the prefix's stripped rows.
+            let mut best: Option<(Attr, &Partition, usize)> = None;
+            for a in x {
+                if let Some(p) = prev.get(&(x - AttrSet::single(a))) {
+                    let cost = p.stripped_rows();
+                    if best.is_none_or(|(_, _, c)| cost < c) {
+                        best = Some((a, p, cost));
+                    }
+                }
+            }
+            if let Some((a, p, _)) = best {
+                sqlnf_obs::count!("discovery.partition.cache.hits");
+                return Part::Own(p.product_attr(enc, a, ns, scratch));
+            }
+            sqlnf_obs::count!("discovery.partition.cache.misses");
+            // Every prefix was evicted: fold from the singles, smallest
+            // first, so the sweeps stay as cheap as possible.
+            let mut attrs: Vec<Attr> = x.iter().collect();
+            attrs.sort_by_key(|a| singles[a.index()].stripped_rows());
+            let mut it = attrs.into_iter();
+            let a = it.next().expect("non-empty");
+            let mut p = None;
+            for b in it {
+                let next = p
+                    .as_ref()
+                    .unwrap_or(&singles[a.index()])
+                    .product_attr(enc, b, ns, scratch);
+                p = Some(next);
+            }
+            Part::Own(p.expect("level ≥ 3"))
+        }
+    }
+}
+
+/// One level's worth of work for a persistent pool worker.
+struct LevelJob {
+    k: usize,
+    chunk: Vec<(AttrSet, AttrSet)>,
+    prev: Arc<HashMap<AttrSet, Partition>>,
+    store: bool,
+}
+
+/// What a worker sends back per level: its FDs (candidate order) and
+/// its shard of the freshly built partition level.
+struct LevelOut {
+    fds: Vec<MinedFd>,
+    shard: Vec<(AttrSet, Partition)>,
+}
+
+/// Check-only fast path for levels whose partitions are never stored:
+/// sweep the refinement of the cheapest available prefix fused with
+/// the constancy check ([`fd_targets_on_refinement`]), never
+/// materializing `π_x`. Falls back to folding a prefix from the
+/// singles when the budget evicted every cached one.
+#[allow(clippy::too_many_arguments)]
+fn check_candidate_fused(
+    enc: &Encoded,
+    sem: Semantics,
+    ns: NullSemantics,
+    x: AttrSet,
+    k: usize,
+    targets: AttrSet,
+    singles: &[Partition],
+    prev: &HashMap<AttrSet, Partition>,
+    scratch: &mut ProductScratch,
+) -> AttrSet {
+    if k == 2 {
+        let mut it = x.iter();
+        let a = it.next().expect("level-2 candidate");
+        let b = it.next().expect("level-2 candidate");
+        let (base, by) = if singles[a.index()].stripped_rows() <= singles[b.index()].stripped_rows()
+        {
+            (a, b)
+        } else {
+            (b, a)
+        };
+        return fd_targets_on_refinement(
+            enc,
+            x,
+            &singles[base.index()],
+            by,
+            ns,
+            targets,
+            sem,
+            scratch,
+        );
+    }
+    let mut best: Option<(Attr, &Partition, usize)> = None;
+    for a in x {
+        if let Some(p) = prev.get(&(x - AttrSet::single(a))) {
+            let cost = p.stripped_rows();
+            if best.is_none_or(|(_, _, c)| cost < c) {
+                best = Some((a, p, cost));
+            }
+        }
+    }
+    if let Some((a, p, _)) = best {
+        sqlnf_obs::count!("discovery.partition.cache.hits");
+        return fd_targets_on_refinement(enc, x, p, a, ns, targets, sem, scratch);
+    }
+    sqlnf_obs::count!("discovery.partition.cache.misses");
+    let mut attrs: Vec<Attr> = x.iter().collect();
+    attrs.sort_by_key(|a| singles[a.index()].stripped_rows());
+    let by = attrs.pop().expect("non-empty");
+    let mut it = attrs.into_iter();
+    let a = it.next().expect("level ≥ 3");
+    let mut p = None;
+    for b in it {
+        let next = p
+            .as_ref()
+            .unwrap_or(&singles[a.index()])
+            .product_attr(enc, b, ns, scratch);
+        p = Some(next);
+    }
+    let prefix = p.expect("level ≥ 3 folds at least one product");
+    fd_targets_on_refinement(enc, x, &prefix, by, ns, targets, sem, scratch)
+}
+
+/// Processes one chunk of candidates: check FDs, and when `store` is
+/// set collect the owned partitions for the next level's cache.
+#[allow(clippy::too_many_arguments)]
+fn run_chunk(
+    enc: &Encoded,
+    sem: Semantics,
+    ns: NullSemantics,
+    k: usize,
+    chunk: &[(AttrSet, AttrSet)],
+    singles: &[Partition],
+    prev: &HashMap<AttrSet, Partition>,
+    store: bool,
+    scratch: &mut ProductScratch,
+) -> LevelOut {
+    let mut fds = Vec::new();
+    let mut shard = Vec::new();
+    for &(x, targets) in chunk {
+        if !store && k >= 2 {
+            let holding =
+                check_candidate_fused(enc, sem, ns, x, k, targets, singles, prev, scratch);
+            if !holding.is_empty() {
+                fds.push(MinedFd {
+                    lhs: x,
+                    rhs: holding,
+                });
+            }
+            continue;
+        }
+        let p = candidate_partition(enc, ns, x, k, singles, prev, scratch);
+        let holding = fd_targets_holding(enc, x, p.get(), targets, sem);
+        if !holding.is_empty() {
+            fds.push(MinedFd {
+                lhs: x,
+                rhs: holding,
+            });
+        }
+        if store {
+            if let Part::Own(p) = p {
+                shard.push((x, p));
+            }
+        }
+    }
+    LevelOut { fds, shard }
+}
+
 /// Mines from a pre-encoded instance (lets callers share the encoding
 /// across several mining runs, as the discovery experiment does).
 pub fn mine_fds_encoded(
@@ -132,82 +394,163 @@ pub fn mine_fds_encoded(
     let _span = sqlnf_obs::span!("mine_fds");
     let attrs: Vec<Attr> = (0..arity).map(Attr::from).collect();
     let all: AttrSet = attrs.iter().copied().collect();
+    let last_level = config.max_lhs.min(arity.saturating_sub(1));
+    let sem = config.semantics;
+
+    // The single-attribute partitions: always resident, the floor every
+    // product chain bottoms out on.
+    let ns = null_semantics(sem);
+    let singles: Vec<Partition> = attrs
+        .iter()
+        .map(|&a| Partition::by_attr(enc, a, ns))
+        .collect();
+    let singles = &singles;
 
     // minimal_lhs_for[a] = the minimal LHSs recorded for attribute a.
     let mut minimal_for: Vec<Vec<AttrSet>> = vec![Vec::new(); arity];
     let mut found: Vec<MinedFd> = Vec::new();
     let mut checked = 0usize;
 
-    for k in 0..=config.max_lhs.min(arity.saturating_sub(1)) {
-        sqlnf_obs::count!("discovery.mine.lattice_levels");
-        // Candidates of this level, with their uncovered targets.
-        let generated = k_subsets(&attrs, k);
-        let generated_count = generated.len();
-        let candidates: Vec<(AttrSet, AttrSet)> = generated
-            .into_iter()
-            .filter_map(|x| {
-                let mut targets = AttrSet::EMPTY;
-                for a in all - x {
-                    if !minimal_for[a.index()].iter().any(|y| y.is_subset(x)) {
-                        targets.insert(a);
+    // One scope for the whole run: workers (spawned lazily at the first
+    // level big enough to parallelise) persist across levels, each
+    // owning its product scratch. Dropping the pool at scope end closes
+    // the job channels and lets the workers drain out.
+    std::thread::scope(|scope| {
+        let mut pool: Vec<(Sender<LevelJob>, Receiver<LevelOut>)> = Vec::new();
+        let mut prev: Arc<HashMap<AttrSet, Partition>> = Arc::new(HashMap::new());
+        let mut scratch = ProductScratch::with_rows(enc.rows());
+
+        for k in 0..=last_level {
+            sqlnf_obs::count!("discovery.mine.lattice_levels");
+            // Candidates of this level, with their uncovered targets.
+            let generated = k_subsets(&attrs, k);
+            let generated_count = generated.len();
+            let candidates: Vec<(AttrSet, AttrSet)> = generated
+                .into_iter()
+                .filter_map(|x| {
+                    let mut targets = AttrSet::EMPTY;
+                    for a in all - x {
+                        if !minimal_for[a.index()].iter().any(|y| y.is_subset(x)) {
+                            targets.insert(a);
+                        }
                     }
-                }
-                (!targets.is_empty()).then_some((x, targets))
-            })
-            .collect();
-        checked += candidates.len();
-        sqlnf_obs::count!("discovery.mine.candidates_checked", candidates.len());
-        sqlnf_obs::count!(
-            "discovery.mine.candidates_pruned",
-            generated_count - candidates.len()
-        );
-        sqlnf_obs::trace!(
-            "mine level {k}: {} candidates ({} pruned)",
-            candidates.len(),
-            generated_count - candidates.len()
-        );
+                    (!targets.is_empty()).then_some((x, targets))
+                })
+                .collect();
+            checked += candidates.len();
+            sqlnf_obs::count!("discovery.mine.candidates_checked", candidates.len());
+            sqlnf_obs::count!(
+                "discovery.mine.candidates_pruned",
+                generated_count - candidates.len()
+            );
+            sqlnf_obs::trace!(
+                "mine level {k}: {} candidates ({} pruned)",
+                candidates.len(),
+                generated_count - candidates.len()
+            );
 
-        let check = |&(x, targets): &(AttrSet, AttrSet)| -> Option<MinedFd> {
-            let partition = partition_for(enc, x, config.semantics);
-            let holding = fd_targets_holding(enc, x, &partition, targets, config.semantics);
-            (!holding.is_empty()).then_some(MinedFd {
-                lhs: x,
-                rhs: holding,
-            })
-        };
+            // Keep this level's partitions only if the next level will
+            // consult them (level-2 candidates product the singles
+            // directly, so level-1 partitions are never stored).
+            let store = k >= 2 && k < last_level;
 
-        let level_found: Vec<MinedFd> = if config.threads <= 1 || candidates.len() < 32 {
-            candidates.iter().filter_map(check).collect()
-        } else {
-            // Within a level, candidates are independent: minimality
-            // consults only strictly smaller LHSs, fixed before the
-            // level starts. Chunked fan-out over scoped threads.
-            let chunk = candidates.len().div_ceil(config.threads);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = candidates
-                    .chunks(chunk)
-                    .map(|part| {
+            let outs: Vec<LevelOut> = if config.threads > 1 && candidates.len() >= 32 {
+                if pool.is_empty() {
+                    for _ in 0..config.threads {
+                        let (job_tx, job_rx) = channel::<LevelJob>();
+                        let (out_tx, out_rx) = channel::<LevelOut>();
                         scope.spawn(move || {
                             sqlnf_obs::count!("discovery.mine.worker_spawns");
-                            sqlnf_obs::count!("discovery.mine.worker_candidates", part.len());
-                            part.iter().filter_map(check).collect::<Vec<_>>()
+                            let mut scratch = ProductScratch::with_rows(enc.rows());
+                            for job in job_rx {
+                                sqlnf_obs::count!(
+                                    "discovery.mine.worker_candidates",
+                                    job.chunk.len()
+                                );
+                                let out = run_chunk(
+                                    enc,
+                                    sem,
+                                    ns,
+                                    job.k,
+                                    &job.chunk,
+                                    singles,
+                                    &job.prev,
+                                    job.store,
+                                    &mut scratch,
+                                );
+                                if out_tx.send(out).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                        pool.push((job_tx, out_rx));
+                    }
+                }
+                // Contiguous chunk per worker: worker i always takes the
+                // i-th slice, so reassembly in worker order restores
+                // candidate order exactly.
+                let chunk_size = candidates.len().div_ceil(pool.len());
+                let chunks: Vec<Vec<(AttrSet, AttrSet)>> =
+                    candidates.chunks(chunk_size).map(|c| c.to_vec()).collect();
+                let active = chunks.len();
+                for ((job_tx, _), chunk) in pool.iter().zip(chunks) {
+                    job_tx
+                        .send(LevelJob {
+                            k,
+                            chunk,
+                            prev: Arc::clone(&prev),
+                            store,
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("miner worker panicked"))
+                        .expect("miner worker hung up");
+                }
+                pool.iter()
+                    .take(active)
+                    .map(|(_, out_rx)| out_rx.recv().expect("miner worker panicked"))
                     .collect()
-            })
-        };
+            } else {
+                vec![run_chunk(
+                    enc,
+                    sem,
+                    ns,
+                    k,
+                    &candidates,
+                    singles,
+                    &prev,
+                    store,
+                    &mut scratch,
+                )]
+            };
 
-        for fd in level_found {
-            for a in fd.rhs {
-                minimal_for[a.index()].push(fd.lhs);
+            // Retire the previous level and merge this level's shards —
+            // in worker order, within the byte budget.
+            if !prev.is_empty() {
+                sqlnf_obs::count!("discovery.partition.cache.evictions", prev.len());
             }
-            found.push(fd);
+            let mut next: HashMap<AttrSet, Partition> = HashMap::new();
+            let mut bytes = 0usize;
+            for out in outs {
+                for (x, p) in out.shard {
+                    let sz = p.approx_bytes() + std::mem::size_of::<AttrSet>();
+                    if bytes.saturating_add(sz) <= config.cache_budget {
+                        bytes += sz;
+                        next.insert(x, p);
+                    } else {
+                        sqlnf_obs::count!("discovery.partition.cache.evictions");
+                    }
+                }
+                for fd in out.fds {
+                    for a in fd.rhs {
+                        minimal_for[a.index()].push(fd.lhs);
+                    }
+                    found.push(fd);
+                }
+            }
+            if bytes > 0 {
+                sqlnf_obs::count_max!("discovery.partition.cache.bytes", bytes);
+            }
+            prev = Arc::new(next);
         }
-    }
+    });
 
     MiningResult {
         fds: found,

@@ -37,6 +37,10 @@ pub enum NullSemantics {
 pub struct Encoded {
     /// `codes[a][row]` is the code of row `row` in column `a`; `0` = ⊥.
     codes: Vec<Vec<u32>>,
+    /// `null_rows[a]` is the ascending list of rows with `⊥` in column
+    /// `a` — lets null-aware checks skip full-table scans when a
+    /// candidate's columns are (mostly) total.
+    null_rows: Vec<Vec<u32>>,
     rows: usize,
 }
 
@@ -45,12 +49,14 @@ impl Encoded {
     pub fn new(table: &Table) -> Encoded {
         let arity = table.schema().arity();
         let mut codes = vec![Vec::with_capacity(table.len()); arity];
+        let mut null_rows = vec![Vec::new(); arity];
         for (ci, col) in codes.iter_mut().enumerate() {
             let a = Attr::from(ci);
             let mut dict: HashMap<&Value, u32> = HashMap::new();
-            for t in table.rows() {
+            for (r, t) in table.rows().iter().enumerate() {
                 let v = t.get(a);
                 let code = if v.is_null() {
+                    null_rows[ci].push(r as u32);
                     0
                 } else {
                     let next = dict.len() as u32 + 1;
@@ -61,6 +67,7 @@ impl Encoded {
         }
         Encoded {
             codes,
+            null_rows,
             rows: table.len(),
         }
     }
@@ -97,16 +104,58 @@ impl Encoded {
     /// The columns that contain no `⊥` at all.
     pub fn null_free_columns(&self) -> AttrSet {
         (0..self.codes.len())
-            .filter(|&ci| self.codes[ci].iter().all(|&c| c != 0))
+            .filter(|&ci| self.null_rows[ci].is_empty())
             .map(Attr::from)
             .collect()
     }
 
-    /// The rows carrying `⊥` somewhere in `X`.
+    /// Whether any column of `X` carries a `⊥`. `O(|X|)` — the cheap
+    /// guard that lets weak-similarity probing skip total candidates
+    /// without touching the rows.
+    pub fn has_nulls_on(&self, x: AttrSet) -> bool {
+        x.iter().any(|a| !self.null_rows[a.index()].is_empty())
+    }
+
+    /// The rows carrying `⊥` somewhere in `X`, ascending. Merges the
+    /// per-column null lists instead of scanning the table, so the cost
+    /// is proportional to the nulls present, not to `rows × |X|`.
     pub fn null_rows_on(&self, x: AttrSet) -> Vec<usize> {
-        (0..self.rows)
-            .filter(|&r| !self.is_total_on(r, x))
-            .collect()
+        let mut out: Vec<usize> = Vec::new();
+        for a in x {
+            let col = &self.null_rows[a.index()];
+            if col.is_empty() {
+                continue;
+            }
+            if out.is_empty() {
+                out.extend(col.iter().map(|&r| r as usize));
+            } else {
+                // Sorted union.
+                let mut merged = Vec::with_capacity(out.len() + col.len());
+                let (mut i, mut j) = (0, 0);
+                while i < out.len() && j < col.len() {
+                    let (x_, y) = (out[i], col[j] as usize);
+                    match x_.cmp(&y) {
+                        std::cmp::Ordering::Less => {
+                            merged.push(x_);
+                            i += 1;
+                        }
+                        std::cmp::Ordering::Greater => {
+                            merged.push(y);
+                            j += 1;
+                        }
+                        std::cmp::Ordering::Equal => {
+                            merged.push(x_);
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                merged.extend_from_slice(&out[i..]);
+                merged.extend(col[j..].iter().map(|&r| r as usize));
+                out = merged;
+            }
+        }
+        out
     }
 }
 
@@ -117,10 +166,78 @@ pub struct Partition {
     pub classes: Vec<Vec<u32>>,
 }
 
+/// Reusable scratch for [`Partition::product`] and
+/// [`Partition::product_attr`]: one `u32` probe table (keyed by row id
+/// for the binary product, by dictionary code for the attribute
+/// product) plus per-group slot buffers, owned by a thread (a miner
+/// worker, a [`crate::cache::PartitionCtx`]) and reused across every
+/// intersection it performs — the per-candidate `HashMap` allocations
+/// of the old refinement path are gone entirely.
+#[derive(Debug, Default)]
+pub struct ProductScratch {
+    /// `probe[row]` = 1-based class id of `row` in the left partition
+    /// of the running product; `0` = row absent. Only the labels set by
+    /// a product are cleared afterwards, so reuse costs no wipe.
+    probe: Vec<u32>,
+    /// Slot buffers per left class; capacity retained across products.
+    slots: Vec<Vec<u32>>,
+    /// Left-class ids touched while sweeping one right class.
+    touched: Vec<u32>,
+    /// `heads[id − 1]` = first row of subclass `id` during a fused
+    /// [`Partition::for_each_refined_pair`] sweep. Overwritten on
+    /// relabel, so it needs no clearing — and the fused sweep never
+    /// dirties `slots`, which [`Partition::product_attr`] relies on
+    /// being empty.
+    heads: Vec<u32>,
+}
+
+impl ProductScratch {
+    /// Fresh scratch; the probe table grows on demand.
+    pub fn new() -> ProductScratch {
+        ProductScratch::default()
+    }
+
+    /// Fresh scratch pre-sized for `rows` rows.
+    pub fn with_rows(rows: usize) -> ProductScratch {
+        ProductScratch {
+            probe: vec![0; rows],
+            slots: Vec::new(),
+            touched: Vec::new(),
+            heads: Vec::new(),
+        }
+    }
+
+    fn ensure(&mut self, classes: usize) {
+        if self.slots.len() < classes {
+            self.slots.resize_with(classes, Vec::new);
+        }
+    }
+
+    #[inline]
+    fn label(&mut self, row: u32, id: u32) {
+        let r = row as usize;
+        if r >= self.probe.len() {
+            self.probe.resize(r + 1, 0);
+        }
+        self.probe[r] = id;
+    }
+
+    #[inline]
+    fn probe_label(&self, row: u32) -> u32 {
+        self.probe.get(row as usize).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    fn clear_label(&mut self, row: u32) {
+        self.probe[row as usize] = 0;
+    }
+}
+
 impl Partition {
     /// Partition by a single attribute.
     pub fn by_attr(enc: &Encoded, a: Attr, sem: NullSemantics) -> Partition {
         sqlnf_obs::count!("discovery.partition.builds");
+        sqlnf_obs::count!("discovery.partition.rows_scanned", enc.rows());
         let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
         for r in 0..enc.rows() {
             let c = enc.code(r, a);
@@ -187,6 +304,189 @@ impl Partition {
         Partition { classes }
     }
 
+    /// TANE-style product `π_self · π_other` in one linear sweep over
+    /// the two stripped partitions, using a reusable probe table —
+    /// no per-class hashing, no allocation beyond the emitted classes.
+    ///
+    /// Correctness: two rows share a class of the product iff they
+    /// share a class in *both* inputs. Under either [`NullSemantics`]
+    /// this is exactly the stripped partition of the attribute-set
+    /// union (strong similarity drops null-bearing rows from both
+    /// sides; null-as-value keeps `⊥` as the code `0`), so
+    /// `π_X.product(π_Y) == Partition::by_set(enc, X ∪ Y)` — the
+    /// equality the `product_matches_by_set` property test pins down.
+    /// The result is canonical (sorted classes of sorted rows), so
+    /// `PartialEq` agreement with [`Partition::by_set`] is structural.
+    pub fn product(&self, other: &Partition, scratch: &mut ProductScratch) -> Partition {
+        sqlnf_obs::count!("discovery.partition.products");
+        scratch.ensure(self.classes.len());
+        let mut scanned = 0usize;
+        // Label every row of `self` with its class id (1-based; 0 =
+        // absent, i.e. stripped singleton or dropped null row).
+        for (i, class) in self.classes.iter().enumerate() {
+            scanned += class.len();
+            for &r in class {
+                scratch.label(r, i as u32 + 1);
+            }
+        }
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for class in &other.classes {
+            scanned += class.len();
+            for &r in class {
+                let id = scratch.probe_label(r);
+                if id != 0 {
+                    let slot = &mut scratch.slots[id as usize - 1];
+                    if slot.is_empty() {
+                        scratch.touched.push(id - 1);
+                    }
+                    slot.push(r);
+                }
+            }
+            for &i in &scratch.touched {
+                let slot = &mut scratch.slots[i as usize];
+                if slot.len() >= 2 {
+                    classes.push(std::mem::take(slot));
+                } else {
+                    slot.clear();
+                }
+            }
+            scratch.touched.clear();
+        }
+        // Reset only the labels we set, keeping the probe table clean
+        // for the next product without an O(rows) wipe.
+        for class in &self.classes {
+            for &r in class {
+                scratch.clear_label(r);
+            }
+        }
+        sqlnf_obs::count!("discovery.partition.rows_scanned", scanned);
+        classes.sort();
+        Partition { classes }
+    }
+
+    /// The product `π_self · π_{a}` in one sweep over `self`'s stripped
+    /// classes, reading the dictionary codes of `a` directly instead of
+    /// materializing (or even touching) the single-attribute partition.
+    /// This is the miner's refinement step: its cost is proportional to
+    /// the rows inside `self`'s classes — which shrink rapidly as the
+    /// lattice level grows — not to the table. Same canonical result as
+    /// `product(&Partition::by_attr(enc, a, sem))` and as
+    /// [`Partition::refine_by`], without the per-class `HashMap`.
+    pub fn product_attr(
+        &self,
+        enc: &Encoded,
+        a: Attr,
+        sem: NullSemantics,
+        scratch: &mut ProductScratch,
+    ) -> Partition {
+        sqlnf_obs::count!("discovery.partition.products");
+        sqlnf_obs::count!(
+            "discovery.partition.rows_scanned",
+            self.classes.iter().map(|c| c.len()).sum::<usize>()
+        );
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for class in &self.classes {
+            // Group the class by code, using the probe table as a
+            // code → slot map scoped to this class.
+            let mut used = 0u32;
+            for &r in class {
+                let c = enc.code(r as usize, a);
+                if c == 0 && sem == NullSemantics::Strong {
+                    continue;
+                }
+                let mut id = scratch.probe_label(c);
+                if id == 0 {
+                    used += 1;
+                    id = used;
+                    scratch.touched.push(c);
+                    scratch.ensure(used as usize);
+                    scratch.label(c, id);
+                }
+                scratch.slots[id as usize - 1].push(r);
+            }
+            for slot in scratch.slots[..used as usize].iter_mut() {
+                if slot.len() >= 2 {
+                    classes.push(std::mem::take(slot));
+                } else {
+                    slot.clear();
+                }
+            }
+            while let Some(c) = scratch.touched.pop() {
+                scratch.clear_label(c);
+            }
+        }
+        classes.sort();
+        Partition { classes }
+    }
+
+    /// Sweeps the refinement `π_self · π_{a}` *without materializing
+    /// it*: for every row `r` that lands in an already-headed subclass,
+    /// calls `f(head, r)` where `head` is the subclass's first row.
+    /// Stops — and returns `false` — as soon as `f` does, skipping the
+    /// rest of the sweep entirely.
+    ///
+    /// This is the check-only fast path for lattice levels whose
+    /// partitions are never stored (the last level): a violated FD is
+    /// usually refuted within a few rows, so fusing the product with
+    /// the constancy check avoids paying the full prefix sweep per
+    /// candidate. Only the rows actually visited count towards
+    /// `discovery.partition.rows_scanned`.
+    pub fn for_each_refined_pair(
+        &self,
+        enc: &Encoded,
+        a: Attr,
+        sem: NullSemantics,
+        scratch: &mut ProductScratch,
+        mut f: impl FnMut(u32, u32) -> bool,
+    ) -> bool {
+        sqlnf_obs::count!("discovery.partition.products");
+        let mut scanned = 0usize;
+        let mut live = true;
+        'classes: for class in &self.classes {
+            let mut used = 0u32;
+            for &r in class {
+                scanned += 1;
+                let c = enc.code(r as usize, a);
+                if c == 0 && sem == NullSemantics::Strong {
+                    continue;
+                }
+                let id = scratch.probe_label(c);
+                if id == 0 {
+                    used += 1;
+                    scratch.touched.push(c);
+                    scratch.label(c, used);
+                    if scratch.heads.len() < used as usize {
+                        scratch.heads.resize(used as usize, 0);
+                    }
+                    scratch.heads[used as usize - 1] = r;
+                } else if !f(scratch.heads[id as usize - 1], r) {
+                    live = false;
+                    while let Some(c) = scratch.touched.pop() {
+                        scratch.clear_label(c);
+                    }
+                    break 'classes;
+                }
+            }
+            while let Some(c) = scratch.touched.pop() {
+                scratch.clear_label(c);
+            }
+        }
+        sqlnf_obs::count!("discovery.partition.rows_scanned", scanned);
+        live
+    }
+
+    /// Approximate heap footprint in bytes — the accounting unit of the
+    /// level-wise partition cache budget.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Partition>()
+            + self.classes.len() * std::mem::size_of::<Vec<u32>>()
+            + self
+                .classes
+                .iter()
+                .map(|c| c.capacity() * std::mem::size_of::<u32>())
+                .sum::<usize>()
+    }
+
     /// `Σ (|class| − 1)`: the TANE error measure. Zero iff the grouping
     /// is (a candidate for) a key under the chosen semantics.
     pub fn error(&self) -> usize {
@@ -196,6 +496,15 @@ impl Partition {
     /// Number of (non-singleton) classes.
     pub fn len(&self) -> usize {
         self.classes.len()
+    }
+
+    /// Total rows inside the stripped classes — the cost of sweeping
+    /// this partition in [`Partition::product_attr`]. Product callers
+    /// use it to pick the *cheapest* available prefix (TANE: refine
+    /// from the smallest representation; a candidate containing a
+    /// near-unique attribute has an almost-empty stripped partition).
+    pub fn stripped_rows(&self) -> usize {
+        self.classes.iter().map(Vec::len).sum()
     }
 
     /// Whether there are no classes of size ≥ 2.
@@ -280,6 +589,80 @@ mod tests {
         let p = Partition::by_set(&e, AttrSet::EMPTY, NullSemantics::Strong);
         assert_eq!(p.classes.len(), 1);
         assert_eq!(p.classes[0].len(), 5);
+    }
+
+    #[test]
+    fn product_matches_by_set() {
+        let t = sample();
+        let e = Encoded::new(&t);
+        let mut scratch = ProductScratch::new();
+        let ab = AttrSet::from_indices([0, 1]);
+        for sem in [NullSemantics::Strong, NullSemantics::NullAsValue] {
+            let pa = Partition::by_attr(&e, Attr(0), sem);
+            let pb = Partition::by_attr(&e, Attr(1), sem);
+            assert_eq!(
+                pa.product(&pb, &mut scratch),
+                Partition::by_set(&e, ab, sem),
+                "{sem:?}"
+            );
+            // The universal partition is the product identity on
+            // stripped partitions.
+            let u = Partition::universal(e.rows());
+            assert_eq!(pa.product(&u, &mut scratch), pa, "{sem:?} right-id");
+            assert_eq!(u.product(&pa, &mut scratch), pa, "{sem:?} left-id");
+        }
+    }
+
+    #[test]
+    fn product_attr_matches_refine_by() {
+        let t = sample();
+        let e = Encoded::new(&t);
+        let mut scratch = ProductScratch::new();
+        for sem in [NullSemantics::Strong, NullSemantics::NullAsValue] {
+            let pa = Partition::by_attr(&e, Attr(0), sem);
+            assert_eq!(
+                pa.product_attr(&e, Attr(1), sem, &mut scratch),
+                pa.refine_by(&e, Attr(1), sem),
+                "{sem:?}"
+            );
+            let u = Partition::universal(e.rows());
+            assert_eq!(
+                u.product_attr(&e, Attr(0), sem, &mut scratch),
+                Partition::by_attr(&e, Attr(0), sem),
+                "{sem:?} from universal"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_sweep_leaves_scratch_clean_for_products() {
+        // Regression: the fused pair sweep must not dirty the slot
+        // buffers a later product on the SAME scratch relies on being
+        // empty (it once stored subclass heads there, corrupting the
+        // next product's classes).
+        let t = sample();
+        let e = Encoded::new(&t);
+        let mut scratch = ProductScratch::new();
+        for sem in [NullSemantics::Strong, NullSemantics::NullAsValue] {
+            let pa = Partition::by_attr(&e, Attr(0), sem);
+            let mut pairs = 0usize;
+            pa.for_each_refined_pair(&e, Attr(1), sem, &mut scratch, |head, r| {
+                assert!(head < r, "heads precede members in sorted classes");
+                pairs += 1;
+                true
+            });
+            // A full (non-early-exited) sweep visits |class| − 1 pairs
+            // per refined class.
+            let refined = pa.refine_by(&e, Attr(1), sem);
+            let expect: usize = refined.classes.iter().map(|c| c.len() - 1).sum();
+            assert_eq!(pairs, expect, "{sem:?}");
+            // The same scratch must still produce correct products.
+            assert_eq!(
+                pa.product_attr(&e, Attr(1), sem, &mut scratch),
+                refined,
+                "{sem:?} product after fused sweep"
+            );
+        }
     }
 
     #[test]

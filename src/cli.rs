@@ -82,6 +82,9 @@ FLAGS (any subcommand):
     --stats-json <path>                write the report as JSON (profile adds
                                        the table statistics to the document)
     --trace                            echo the reasoner/miner trace to stderr
+    --cache-budget <bytes>             partition-cache byte budget for mining
+                                       (suffixes k/m/g accepted; default 64m;
+                                       0 disables caching — results identical)
 ";
 
 /// Collects the CREATE TABLE designs of a script.
@@ -197,11 +200,18 @@ pub fn cmd_profile(csv_src: &str, name: &str) -> Result<String, CliError> {
 }
 
 /// `sqlnf mine`: discover and classify FDs of a CSV table.
-pub fn cmd_mine(csv_src: &str, name: &str, max_lhs: usize) -> Result<String, CliError> {
+/// `cache_budget` bounds the bytes the level-wise partition cache may
+/// hold (see `--cache-budget`); results are identical for any value.
+pub fn cmd_mine(
+    csv_src: &str,
+    name: &str,
+    max_lhs: usize,
+    cache_budget: usize,
+) -> Result<String, CliError> {
     let table = table_from_csv(name, csv_src)?;
     let schema = table.schema().clone();
-    let cls = classify_table(&table, max_lhs);
-    let keys = mine_keys(&table, max_lhs);
+    let cls = classify_table_budgeted(&table, max_lhs, cache_budget);
+    let keys = mine_keys_budgeted(&table, max_lhs, cache_budget);
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -278,6 +288,60 @@ impl ObsOptions {
     }
 }
 
+/// Mining knobs accepted in any position (used by `mine`; ignored by
+/// other subcommands).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MineOptions {
+    /// `--cache-budget <bytes>`: byte budget of the miner's level-wise
+    /// partition cache. Results are identical for any value.
+    pub cache_budget: usize,
+}
+
+impl Default for MineOptions {
+    fn default() -> Self {
+        MineOptions {
+            cache_budget: DEFAULT_CACHE_BUDGET,
+        }
+    }
+}
+
+/// Parses a byte count with optional binary `k`/`m`/`g` suffix.
+fn parse_budget(s: &str) -> Option<usize> {
+    let t = s.trim().to_ascii_lowercase();
+    let (digits, mult) = if let Some(d) = t.strip_suffix('k') {
+        (d, 1usize << 10)
+    } else if let Some(d) = t.strip_suffix('m') {
+        (d, 1 << 20)
+    } else if let Some(d) = t.strip_suffix('g') {
+        (d, 1 << 30)
+    } else {
+        (t.as_str(), 1)
+    };
+    digits
+        .parse::<usize>()
+        .ok()
+        .and_then(|n| n.checked_mul(mult))
+}
+
+/// Strips the mining flags out of an argv, in any position.
+pub fn split_mine_args(args: &[String]) -> Result<(Vec<String>, MineOptions), CliError> {
+    let mut rest = Vec::new();
+    let mut opts = MineOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--cache-budget" {
+            let v = it.next().ok_or_else(|| {
+                CliError::Usage(format!("--cache-budget needs a byte count\n\n{USAGE}"))
+            })?;
+            opts.cache_budget = parse_budget(v)
+                .ok_or_else(|| CliError::Usage(format!("bad --cache-budget {v:?}\n\n{USAGE}")))?;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, opts))
+}
+
 /// Strips the observability flags out of an argv, in any position.
 pub fn split_obs_args(args: &[String]) -> Result<(Vec<String>, ObsOptions), CliError> {
     let mut rest = Vec::new();
@@ -302,7 +366,7 @@ pub fn split_obs_args(args: &[String]) -> Result<(Vec<String>, ObsOptions), CliE
 /// Dispatches the flag-free argv. The second component is an optional
 /// command payload merged into the `--stats-json` document (the profile
 /// subcommand exports its statistics there).
-fn dispatch(args: &[String]) -> Result<(String, Option<JsonValue>), CliError> {
+fn dispatch(args: &[String], mine: &MineOptions) -> Result<(String, Option<JsonValue>), CliError> {
     let read = |path: &str| -> Result<String, CliError> { Ok(std::fs::read_to_string(path)?) };
     let base_name = |path: &str| -> String {
         std::path::Path::new(path)
@@ -319,12 +383,18 @@ fn dispatch(args: &[String]) -> Result<(String, Option<JsonValue>), CliError> {
             let p = profile(&table);
             Ok((render_profile(&p), Some(profile_to_json(&p))))
         }
-        [cmd, file] if cmd == "mine" => Ok((cmd_mine(&read(file)?, &base_name(file), 3)?, None)),
+        [cmd, file] if cmd == "mine" => Ok((
+            cmd_mine(&read(file)?, &base_name(file), 3, mine.cache_budget)?,
+            None,
+        )),
         [cmd, file, cap] if cmd == "mine" => {
             let cap: usize = cap
                 .parse()
                 .map_err(|_| CliError::Usage(format!("bad max_lhs {cap:?}\n\n{USAGE}")))?;
-            Ok((cmd_mine(&read(file)?, &base_name(file), cap)?, None))
+            Ok((
+                cmd_mine(&read(file)?, &base_name(file), cap, mine.cache_budget)?,
+                None,
+            ))
         }
         [cmd, name] if cmd == "dataset" => Ok((cmd_dataset(name, 20_160_626)?, None)),
         [cmd, name, seed] if cmd == "dataset" => {
@@ -342,13 +412,14 @@ fn dispatch(args: &[String]) -> Result<(String, Option<JsonValue>), CliError> {
 /// and `--stats-json` side files.
 pub fn run(args: &[String]) -> Result<String, CliError> {
     let (rest, obs) = split_obs_args(args)?;
+    let (rest, mine) = split_mine_args(&rest)?;
     if obs.wants_report() {
         // Scope the report to this command (run() may be called several
         // times in one process, e.g. from tests).
         sqlnf_obs::reset();
     }
     sqlnf_obs::set_trace(obs.trace);
-    let outcome = dispatch(&rest);
+    let outcome = dispatch(&rest, &mine);
     sqlnf_obs::set_trace(false);
     let (text, payload) = outcome?;
     if obs.wants_report() {
@@ -436,9 +507,38 @@ mod tests {
         let prof = cmd_profile(csv, "contacts").unwrap();
         assert!(prof.contains("contacts"));
         assert!(prof.contains("city"));
-        let mined = cmd_mine(csv, "contacts", 2).unwrap();
+        let mined = cmd_mine(csv, "contacts", 2, DEFAULT_CACHE_BUDGET).unwrap();
         assert!(mined.contains("nn-FD"));
         assert!(mined.contains("{city}"));
+        // A zero cache budget changes nothing but throughput.
+        assert_eq!(mined, cmd_mine(csv, "contacts", 2, 0).unwrap());
+    }
+
+    #[test]
+    fn cache_budget_flag_is_parsed_and_stripped() {
+        let argv: Vec<String> = ["mine", "x.csv", "--cache-budget", "8m", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (rest, opts) = split_mine_args(&argv).unwrap();
+        assert_eq!(rest, vec!["mine", "x.csv", "2"]);
+        assert_eq!(opts.cache_budget, 8 << 20);
+        assert_eq!(parse_budget("0"), Some(0));
+        assert_eq!(parse_budget("512k"), Some(512 << 10));
+        assert_eq!(parse_budget("1g"), Some(1 << 30));
+        assert_eq!(parse_budget("64"), Some(64));
+        assert_eq!(parse_budget("x"), None);
+        // Dangling or malformed values are usage errors.
+        let bad: Vec<String> = ["mine", "--cache-budget"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(split_mine_args(&bad), Err(CliError::Usage(_))));
+        let bad2: Vec<String> = ["mine", "--cache-budget", "lots"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(split_mine_args(&bad2), Err(CliError::Usage(_))));
     }
 
     #[test]
@@ -491,7 +591,7 @@ mod tests {
         assert_eq!(table.len(), 173);
         assert_eq!(table.schema().arity(), 22);
         // Full pipeline: the emitted dataset mines like the original.
-        let out = cmd_mine(&csv, "contractor", 2).unwrap();
+        let out = cmd_mine(&csv, "contractor", 2, DEFAULT_CACHE_BUDGET).unwrap();
         assert!(out.contains("minimal FDs"));
         assert!(matches!(cmd_dataset("bogus", 1), Err(CliError::Usage(_))));
     }
@@ -510,6 +610,8 @@ mod tests {
             "mine".to_owned(),
             csv_path.display().to_string(),
             "2".to_owned(),
+            "--cache-budget".to_owned(),
+            "1m".to_owned(),
         ])
         .unwrap();
         assert!(out2.contains("minimal FDs"));

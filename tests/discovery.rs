@@ -94,6 +94,55 @@ proptest! {
         }
     }
 
+    /// Cached partition products agree with the direct row grouping of
+    /// [`Partition::by_set`], for every semantics, on a level-ordered
+    /// sweep of the whole lattice (so the memo is exercised both cold
+    /// and warm).
+    #[test]
+    fn ctx_partitions_match_by_set(table in small_table(4, 8)) {
+        use sqlnf::discovery::cache::PartitionCtx;
+        use sqlnf::discovery::check::null_semantics;
+        use sqlnf::discovery::partition::{Encoded, Partition};
+        let enc = Encoded::new(&table);
+        let mut subsets: Vec<AttrSet> = AttrSet::first_n(4).subsets().collect();
+        subsets.sort_by_key(|s| (s.len(), s.0));
+        for sem in [Semantics::Classical, Semantics::Possible, Semantics::Certain] {
+            let ns = null_semantics(sem);
+            let mut ctx = PartitionCtx::new(&enc, ns);
+            for &x in &subsets {
+                let want = Partition::by_set(&enc, x, ns);
+                prop_assert_eq!(&*ctx.partition(x), &want, "{:?} {:?} on\n{}", sem, x, table);
+            }
+        }
+    }
+
+    /// The mined FDs are invariant under the cache budget (none, tiny,
+    /// unbounded) and the thread count — caching and the worker pool
+    /// change throughput only, never results.
+    #[test]
+    fn miner_invariant_under_budget_and_threads(table in small_table(8, 12)) {
+        let norm = |mut fds: Vec<sqlnf::discovery::mine::MinedFd>| {
+            fds.sort_by_key(|f| (f.lhs.0, f.rhs.0));
+            fds
+        };
+        for sem in [Semantics::Classical, Semantics::Possible, Semantics::Certain] {
+            let reference = norm(mine_fds(&table, MinerConfig::new(sem).with_max_lhs(3)).fds);
+            for budget in [0usize, 4096, usize::MAX] {
+                for threads in [1usize, 4] {
+                    let config = MinerConfig::new(sem)
+                        .with_max_lhs(3)
+                        .with_threads(threads)
+                        .with_cache_budget(budget);
+                    let got = norm(mine_fds(&table, config).fds);
+                    prop_assert_eq!(
+                        &got, &reference,
+                        "{:?} budget={} threads={} on\n{}", sem, budget, threads, table
+                    );
+                }
+            }
+        }
+    }
+
     /// Every mined λ-FD of the classifier is a satisfied total c-FD
     /// whose LHS is not a certain key, and its projection ratio is the
     /// true one.

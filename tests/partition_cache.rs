@@ -1,0 +1,70 @@
+//! Evidence for the level-cached partition products: building every
+//! lattice partition up to level 4 through a [`PartitionCtx`] must
+//! scan at least 3× fewer rows than building each one fresh with
+//! [`Partition::by_set`].
+//!
+//! Kept as its own integration binary: it reads the process-global
+//! counter registry, which must not race with other tests.
+
+use sqlnf_discovery::prelude::*;
+use sqlnf_model::attrs::AttrSet;
+
+/// All subsets of the first `n` attributes with `1 ≤ |X| ≤ max_len`,
+/// in level order (so the cached sweep always finds its prefix).
+fn level_ordered_subsets(n: usize, max_len: usize) -> Vec<AttrSet> {
+    let mut subsets: Vec<AttrSet> = AttrSet::first_n(n)
+        .subsets()
+        .filter(|x| (1..=max_len).contains(&x.len()))
+        .collect();
+    subsets.sort_by_key(|x| (x.len(), x.0));
+    subsets
+}
+
+#[test]
+fn cached_products_scan_at_least_3x_fewer_rows() {
+    if !sqlnf_obs::ENABLED {
+        return; // counters compiled out: nothing to measure
+    }
+    let table = sqlnf_datagen::naumann::breast_cancer_like(20_160_626);
+    let enc = Encoded::new(&table);
+    let subsets = level_ordered_subsets(table.schema().arity(), 4);
+
+    // Fresh build: every candidate grouped from the rows, TANE-free.
+    sqlnf_obs::reset();
+    for &x in &subsets {
+        std::hint::black_box(Partition::by_set(&enc, x, NullSemantics::Strong));
+    }
+    let fresh = sqlnf_obs::report()
+        .counter("discovery.partition.rows_scanned")
+        .unwrap_or(0);
+
+    // Cached build: one product with a memoized prefix per candidate.
+    sqlnf_obs::reset();
+    let mut ctx = PartitionCtx::new(&enc, NullSemantics::Strong);
+    for &x in &subsets {
+        std::hint::black_box(ctx.partition(x));
+    }
+    let report = sqlnf_obs::report();
+    let cached = report
+        .counter("discovery.partition.rows_scanned")
+        .unwrap_or(0);
+
+    assert!(fresh > 0 && cached > 0, "fresh={fresh} cached={cached}");
+    assert!(
+        fresh >= 3 * cached,
+        "expected ≥3× fewer rows scanned through the cache: \
+         fresh={fresh} cached={cached}"
+    );
+    // Each multi-attribute subset is built exactly once (one miss, no
+    // rebuild), and every size-≥3 build finds its prefix in the memo.
+    let hits = report
+        .counter("discovery.partition.cache.hits")
+        .unwrap_or(0);
+    let misses = report
+        .counter("discovery.partition.cache.misses")
+        .unwrap_or(0);
+    let multi = subsets.iter().filter(|x| x.len() >= 2).count() as u64;
+    let deep = subsets.iter().filter(|x| x.len() >= 3).count() as u64;
+    assert_eq!(misses, multi, "hits={hits}");
+    assert_eq!(hits, deep, "misses={misses}");
+}
