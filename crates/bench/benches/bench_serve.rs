@@ -1,0 +1,101 @@
+//! B8 — server throughput: concurrent sessions streaming `INSERT`s
+//! through the wire protocol into one constraint-guarded table, with
+//! and without WAL durability. Emits `BENCH_serve.json` with the
+//! sustained statements/sec of each configuration (plus the `serve.*`
+//! obs counters when built with `--features obs`).
+
+use sqlnf_bench::{banner, fmt_duration, measure, render_table, write_bench_json};
+use sqlnf_obs::json::JsonValue;
+use sqlnf_serve::{Client, ServeConfig, Server};
+use std::path::PathBuf;
+
+const DDL: &str = "CREATE TABLE load (
+    id  INT NOT NULL,
+    grp INT NOT NULL,
+    val INT NOT NULL,
+    CONSTRAINT pk CERTAIN KEY (id),
+    CONSTRAINT fd CERTAIN FD (grp) -> (val)
+);";
+
+fn wal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sqlnf_bench_serve_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Runs `clients` concurrent sessions, each inserting
+/// `stmts_per_client` unique rows; returns when all sessions are done
+/// and the server has shut down.
+fn run_load(clients: usize, stmts_per_client: usize, wal: Option<&PathBuf>) {
+    let config = ServeConfig {
+        workers: clients.min(8),
+        wal_dir: wal.cloned(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(config).expect("bind");
+    let addr = server.local_addr();
+    {
+        let mut c = Client::connect(addr).expect("connect");
+        c.expect_ok(DDL).expect("ddl");
+        c.quit().expect("quit");
+    }
+    let handles: Vec<_> = (0..clients)
+        .map(|k| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).expect("connect");
+                for i in 0..stmts_per_client {
+                    let id = (k * stmts_per_client + i) as i64;
+                    let g = id / 4;
+                    let stmt = format!("INSERT INTO load VALUES ({id}, {g}, {});", g * 7 % 101);
+                    c.expect_ok(&stmt).expect("insert admitted");
+                }
+                c.quit().expect("quit");
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    server.shutdown().expect("shutdown");
+}
+
+fn main() {
+    banner("B8 — serve throughput (wire protocol, concurrent sessions)");
+    let configs: &[(usize, usize, bool)] = &[(1, 500, false), (4, 500, false), (4, 500, true)];
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+    for &(clients, per_client, durable) in configs {
+        let id = format!(
+            "serve_{clients}x{per_client}{}",
+            if durable { "_wal" } else { "" }
+        );
+        let dir = wal_dir(&id);
+        let wal = durable.then(|| dir.clone());
+        let mut record = measure(&id, 3, || {
+            if let Some(d) = &wal {
+                let _ = std::fs::remove_dir_all(d);
+            }
+            run_load(clients, per_client, wal.as_ref());
+        });
+        let total = (clients * per_client) as f64;
+        let per_sec = total / record.median.as_secs_f64();
+        record
+            .extra
+            .push(("stmts_per_sec".to_owned(), JsonValue::Float(per_sec)));
+        rows.push(vec![
+            id.clone(),
+            fmt_duration(record.median),
+            format!("{per_sec:.0}"),
+        ]);
+        records.push(record);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!(
+        "{}",
+        render_table(&["config", "median", "stmts/sec"], &rows)
+    );
+    match write_bench_json("serve", &records) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write BENCH_serve.json: {e}"),
+    }
+}

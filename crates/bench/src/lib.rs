@@ -97,6 +97,9 @@ pub struct BenchRecord {
     /// Counter/timer snapshot of the *last* measured run sequence
     /// (reset before measuring, captured after).
     pub obs: ObsReport,
+    /// Extra bench-specific fields serialized into the JSON entry
+    /// (e.g. a throughput figure).
+    pub extra: Vec<(String, JsonValue)>,
 }
 
 impl BenchRecord {
@@ -115,6 +118,7 @@ pub fn measure(id: &str, n: usize, f: impl FnMut()) -> BenchRecord {
         id: id.to_owned(),
         median,
         obs: sqlnf_obs::report(),
+        extra: Vec::new(),
     }
 }
 
@@ -145,6 +149,7 @@ pub fn write_bench_json_in(
                         JsonValue::Int(r.median_ns() as i128),
                     ),
                 ];
+                fields.extend(r.extra.iter().cloned());
                 if let JsonValue::Object(obs_fields) = r.obs.to_json_value() {
                     fields.extend(obs_fields);
                 }

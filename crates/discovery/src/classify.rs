@@ -165,6 +165,56 @@ pub fn classify_table_budgeted(
     out
 }
 
+/// Mines and classifies a table and renders the human-readable report
+/// shared by `sqlnf mine` and the server's `MINE` verb: row/column
+/// header, category counts, then the certain keys, λ-FDs (with
+/// projection sizes) and nn-FDs.
+pub fn mine_report(name: &str, table: &Table, max_lhs: usize, cache_budget: usize) -> String {
+    use std::fmt::Write as _;
+    let schema = table.schema();
+    let cls = classify_table_budgeted(table, max_lhs, cache_budget);
+    let keys = crate::keys::mine_keys_budgeted(table, max_lhs, cache_budget);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{name}: {} rows × {} columns (LHS cap {max_lhs})",
+        table.len(),
+        schema.arity()
+    );
+    let _ = writeln!(
+        out,
+        "minimal FDs: {} nn, {} p, {} c ({} total, {} λ); minimal keys: {} possible, {} certain",
+        cls.nn_fds.len(),
+        cls.p_fds.len(),
+        cls.c_fds.len(),
+        cls.t_fds.len(),
+        cls.lambda_fds.len(),
+        keys.pkeys.len(),
+        keys.ckeys.len()
+    );
+    for k in &keys.ckeys {
+        let _ = writeln!(out, "  c-key  {}", schema.display_set(*k));
+    }
+    for lam in &cls.lambda_fds {
+        let _ = writeln!(
+            out,
+            "  λ-FD   {} ->w {}   (projection keeps {:.0}% of rows)",
+            schema.display_set(lam.lhs),
+            schema.display_set(lam.lhs | lam.rhs),
+            lam.relative_projection_size * 100.0
+        );
+    }
+    for fd in &cls.nn_fds {
+        let _ = writeln!(
+            out,
+            "  nn-FD  {} -> {}",
+            schema.display_set(fd.lhs),
+            schema.display_set(fd.rhs)
+        );
+    }
+    out
+}
+
 fn projection_ratio(table: &Table, attrs: AttrSet) -> f64 {
     if table.is_empty() {
         return 1.0;

@@ -30,7 +30,7 @@ pub mod prelude {
         is_ckey, is_ckey_with, is_pkey, null_semantics, partition_for, ProbeIndex, Semantics,
     };
     pub use crate::classify::{
-        classify_table, classify_table_budgeted, Classification, Counts, LambdaFd,
+        classify_table, classify_table_budgeted, mine_report, Classification, Counts, LambdaFd,
     };
     pub use crate::keys::{mine_keys, mine_keys_budgeted, MinedKeys};
     pub use crate::mine::{mine_fds, MinedFd, MinerConfig, MiningResult};

@@ -7,9 +7,8 @@
 //! anomalies locally (a key check on one table) instead of scanning for
 //! all redundant occurrences of a value.
 
-use crate::constraint::{Constraint, Sigma};
+use crate::constraint::Sigma;
 use crate::incremental::IndexBank;
-use crate::satisfy::{fd_violation, key_violation, ViolatingPair};
 use crate::schema::TableSchema;
 use crate::sql::{self, Statement};
 use crate::table::Table;
@@ -106,7 +105,11 @@ impl From<sql::ParseError> for EngineError {
 
 /// A stored table: schema, declared constraints, data, and the
 /// incremental constraint indexes that make inserts O(1) amortized per
-/// constraint (see [`crate::incremental`]).
+/// constraint (see [`crate::incremental`]). All three mutations —
+/// insert, update, delete — maintain the indexes incrementally, so a
+/// `StoredTable` is self-contained: services that want per-table
+/// locking (rather than one lock around a whole [`Database`]) can wrap
+/// each `StoredTable` in its own lock and call these methods directly.
 #[derive(Debug, Clone)]
 pub struct StoredTable {
     sigma: Sigma,
@@ -115,6 +118,13 @@ pub struct StoredTable {
 }
 
 impl StoredTable {
+    /// An empty stored table enforcing `sigma`.
+    pub fn new(schema: TableSchema, sigma: Sigma) -> StoredTable {
+        let data = Table::new(schema);
+        let bank = IndexBank::build(&sigma, &data);
+        StoredTable { sigma, data, bank }
+    }
+
     /// The declared constraints.
     pub fn sigma(&self) -> &Sigma {
         &self.sigma
@@ -125,19 +135,120 @@ impl StoredTable {
         &self.data
     }
 
-    /// Finds the constraint (if any) violated by the current data, as a
-    /// rendered string with a witnessing row pair.
-    fn first_violation(&self) -> Option<(String, ViolatingPair)> {
-        for c in self.sigma.iter() {
-            let v = match &c {
-                Constraint::Fd(fd) => fd_violation(&self.data, fd),
-                Constraint::Key(k) => key_violation(&self.data, k),
-            };
-            if let Some(pair) = v {
-                return Some((c.display(self.data.schema()), pair));
+    /// The incremental constraint indexes mirroring the instance
+    /// (read-only; exposed for admission probes and tests).
+    pub fn bank(&self) -> &IndexBank {
+        &self.bank
+    }
+
+    fn name(&self) -> &str {
+        self.data.schema().name()
+    }
+
+    fn violation_error(&self, ci: usize, rows: (usize, usize)) -> EngineError {
+        let constraint = self
+            .sigma
+            .iter()
+            .nth(ci)
+            .expect("index bank mirrors sigma")
+            .display(self.data.schema());
+        EngineError::ConstraintViolation {
+            table: self.name().to_owned(),
+            constraint,
+            rows,
+        }
+    }
+
+    fn check_row_shape(&self, row: &Tuple) -> Result<(), EngineError> {
+        let schema = self.data.schema();
+        if row.arity() != schema.arity() {
+            return Err(EngineError::ArityMismatch {
+                table: self.name().to_owned(),
+                got: row.arity(),
+                expected: schema.arity(),
+            });
+        }
+        for a in schema.nfs() {
+            if row.get(a).is_null() {
+                return Err(EngineError::NotNullViolation {
+                    table: self.name().to_owned(),
+                    column: schema.column_name(a).to_owned(),
+                });
             }
         }
-        None
+        Ok(())
+    }
+
+    /// Inserts a row, enforcing the NFS and every declared constraint
+    /// via the incremental indexes; on rejection the table is
+    /// unchanged. Amortized O(1) per FD/key plus O(#null rows) for
+    /// certain constraints.
+    pub fn insert(&mut self, row: Tuple) -> Result<(), EngineError> {
+        self.check_row_shape(&row)?;
+        if let Err((ci, conflict)) = self.bank.can_insert(self.data.rows(), &row) {
+            return Err(self.violation_error(ci, (conflict.with_row, self.data.len())));
+        }
+        self.bank.insert(&row, self.data.len());
+        self.data.push(row);
+        Ok(())
+    }
+
+    /// Updates one cell, enforcing constraints incrementally: the old
+    /// row leaves the indexes, the replacement is validated against the
+    /// rest of the instance, and on rejection the old row is restored —
+    /// no full rescan, no index rebuild.
+    pub fn update(&mut self, row: usize, column: &str, value: Value) -> Result<(), EngineError> {
+        if row >= self.data.len() {
+            return Err(EngineError::NoSuchRow {
+                table: self.name().to_owned(),
+                row,
+            });
+        }
+        let schema = self.data.schema();
+        let a = schema
+            .attr(column)
+            .ok_or_else(|| EngineError::NoSuchTable(format!("{}.{column}", self.name())))?;
+        if value.is_null() && schema.nfs().contains(a) {
+            return Err(EngineError::NotNullViolation {
+                table: self.name().to_owned(),
+                column: column.to_owned(),
+            });
+        }
+        let old = self.data.rows()[row].clone();
+        let mut new = old.clone();
+        *new.get_mut(a) = value;
+        self.bank.remove(&old, row);
+        match self
+            .bank
+            .can_insert_excluding(self.data.rows(), &new, Some(row))
+        {
+            Err((ci, conflict)) => {
+                self.bank.insert(&old, row);
+                Err(self.violation_error(ci, (conflict.with_row, row)))
+            }
+            Ok(()) => {
+                self.bank.insert(&new, row);
+                *self.data.row_mut(row) = new;
+                Ok(())
+            }
+        }
+    }
+
+    /// Deletes a row (deletions can never introduce a violation of this
+    /// constraint class); the indexes compact their row ids in place.
+    pub fn delete(&mut self, row: usize) -> Result<Tuple, EngineError> {
+        if row >= self.data.len() {
+            return Err(EngineError::NoSuchRow {
+                table: self.name().to_owned(),
+                row,
+            });
+        }
+        let mut rows = self.data.rows().to_vec();
+        let removed = rows.remove(row);
+        self.bank.remove(&removed, row);
+        self.bank.shift_down(row);
+        self.data = Table::from_rows(self.data.schema().clone(), rows);
+        Ok(removed)
     }
 }
 
@@ -159,9 +270,7 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(EngineError::DuplicateTable(name));
         }
-        let data = Table::new(schema);
-        let bank = IndexBank::build(&sigma, &data);
-        self.tables.insert(name, StoredTable { sigma, data, bank });
+        self.tables.insert(name, StoredTable::new(schema, sigma));
         Ok(())
     }
 
@@ -183,52 +292,12 @@ impl Database {
             .ok_or_else(|| EngineError::NoSuchTable(name.to_owned()))
     }
 
-    fn check_row_shape(st: &StoredTable, name: &str, row: &Tuple) -> Result<(), EngineError> {
-        let schema = st.data.schema();
-        if row.arity() != schema.arity() {
-            return Err(EngineError::ArityMismatch {
-                table: name.to_owned(),
-                got: row.arity(),
-                expected: schema.arity(),
-            });
-        }
-        for a in schema.nfs() {
-            if row.get(a).is_null() {
-                return Err(EngineError::NotNullViolation {
-                    table: name.to_owned(),
-                    column: schema.column_name(a).to_owned(),
-                });
-            }
-        }
-        Ok(())
-    }
-
-    /// Inserts a row, enforcing the NFS and every declared constraint
-    /// via the incremental indexes; on rejection the table is
-    /// unchanged. Amortized O(1) per FD/key plus O(#null rows) for
-    /// certain constraints.
+    /// Inserts a row into a named table (see [`StoredTable::insert`]).
     pub fn insert(&mut self, name: &str, row: Tuple) -> Result<(), EngineError> {
-        let st = self.table_mut(name)?;
-        Self::check_row_shape(st, name, &row)?;
-        if let Err((ci, conflict)) = st.bank.can_insert(st.data.rows(), &row) {
-            let constraint = st
-                .sigma
-                .iter()
-                .nth(ci)
-                .expect("index bank mirrors sigma")
-                .display(st.data.schema());
-            return Err(EngineError::ConstraintViolation {
-                table: name.to_owned(),
-                constraint,
-                rows: (conflict.with_row, st.data.len()),
-            });
-        }
-        st.bank.insert(&row, st.data.len());
-        st.data.push(row);
-        Ok(())
+        self.table_mut(name)?.insert(row)
     }
 
-    /// Updates one cell, enforcing constraints; rolls back on rejection.
+    /// Updates one cell of a named table (see [`StoredTable::update`]).
     pub fn update(
         &mut self,
         name: &str,
@@ -236,52 +305,12 @@ impl Database {
         column: &str,
         value: Value,
     ) -> Result<(), EngineError> {
-        let st = self.table_mut(name)?;
-        if row >= st.data.len() {
-            return Err(EngineError::NoSuchRow {
-                table: name.to_owned(),
-                row,
-            });
-        }
-        let schema = st.data.schema().clone();
-        let a = schema
-            .attr(column)
-            .ok_or_else(|| EngineError::NoSuchTable(format!("{name}.{column}")))?;
-        if value.is_null() && schema.nfs().contains(a) {
-            return Err(EngineError::NotNullViolation {
-                table: name.to_owned(),
-                column: column.to_owned(),
-            });
-        }
-        let old = std::mem::replace(st.data.row_mut(row).get_mut(a), value);
-        if let Some((constraint, pair)) = st.first_violation() {
-            *st.data.row_mut(row).get_mut(a) = old;
-            return Err(EngineError::ConstraintViolation {
-                table: name.to_owned(),
-                constraint,
-                rows: (pair.row_a, pair.row_b),
-            });
-        }
-        // Point updates invalidate the incremental indexes.
-        st.bank.rebuild(&st.data);
-        Ok(())
+        self.table_mut(name)?.update(row, column, value)
     }
 
-    /// Deletes a row (deletions can never introduce a violation of this
-    /// constraint class).
+    /// Deletes a row of a named table (see [`StoredTable::delete`]).
     pub fn delete(&mut self, name: &str, row: usize) -> Result<Tuple, EngineError> {
-        let st = self.table_mut(name)?;
-        if row >= st.data.len() {
-            return Err(EngineError::NoSuchRow {
-                table: name.to_owned(),
-                row,
-            });
-        }
-        let mut rows = st.data.rows().to_vec();
-        let removed = rows.remove(row);
-        st.data = Table::from_rows(st.data.schema().clone(), rows);
-        st.bank.rebuild(&st.data);
-        Ok(removed)
+        self.table_mut(name)?.delete(row)
     }
 
     /// Executes a parsed statement.

@@ -14,8 +14,13 @@
 //!   common case — the check is O(1) + O(#null rows).
 //!
 //! The index answers *admission* queries (`can_insert`) and is updated
-//! by `insert`. This is what gives `sqlnf_model::engine` linear bulk
-//! loads; the equivalence with full revalidation is property-tested.
+//! by `insert`, `remove` and `shift_down`, so point updates and deletes
+//! maintain it incrementally instead of rebuilding from scratch: a
+//! removal is one hash lookup plus a scan of the affected group, and a
+//! delete's id compaction touches every stored row id once but never
+//! rehashes or reallocates the projections. This is what gives
+//! `sqlnf_model::engine` linear bulk loads; the equivalence with full
+//! revalidation is property-tested.
 
 use crate::attrs::AttrSet;
 use crate::constraint::{Constraint, Fd, Key, Modality};
@@ -37,21 +42,29 @@ fn project_values(row: &Tuple, x: AttrSet) -> Vec<Value> {
     x.iter().map(|a| row.get(a).clone()).collect()
 }
 
+/// One X-total FD group: the shared RHS image plus every member row.
+/// All members agree on the RHS projection (enforced at admission), so
+/// any member serves as the conflict witness.
+#[derive(Debug, Clone)]
+struct FdGroup {
+    rhs: Vec<Value>,
+    rows: Vec<usize>,
+}
+
 /// Incremental state for one constraint.
 #[derive(Debug, Clone)]
 enum IndexKind {
     Fd {
         fd: Fd,
-        /// X-total groups: X-projection → (RHS image, a representative
-        /// row id).
-        groups: HashMap<Vec<Value>, (Vec<Value>, usize)>,
+        /// X-total groups: X-projection → (RHS image, member row ids).
+        groups: HashMap<Vec<Value>, FdGroup>,
         /// Rows with ⊥ somewhere in X (certain FDs only need these).
         null_rows: Vec<usize>,
     },
     Key {
         key: Key,
-        /// X-total groups: X-projection → representative row id.
-        groups: HashMap<Vec<Value>, usize>,
+        /// X-total groups: X-projection → member row ids.
+        groups: HashMap<Vec<Value>, Vec<usize>>,
         null_rows: Vec<usize>,
     },
 }
@@ -85,6 +98,20 @@ impl ConstraintIndex {
     /// satisfied. `rows` is only consulted for weak-similarity checks
     /// against null-bearing rows.
     pub fn can_insert(&self, rows: &[Tuple], row: &Tuple) -> Result<(), Conflict> {
+        self.can_insert_excluding(rows, row, None)
+    }
+
+    /// [`can_insert`](Self::can_insert), but any comparison against the
+    /// row at index `exclude` is skipped. Used by point updates, where
+    /// the candidate replaces an existing row: the old row is first
+    /// [`remove`](Self::remove)d from the index, but still occupies its
+    /// slot in `rows` while the replacement is validated.
+    pub fn can_insert_excluding(
+        &self,
+        rows: &[Tuple],
+        row: &Tuple,
+        exclude: Option<usize>,
+    ) -> Result<(), Conflict> {
         match &self.kind {
             IndexKind::Fd {
                 fd,
@@ -93,9 +120,11 @@ impl ConstraintIndex {
             } => {
                 let total = row.is_total_on(fd.lhs);
                 if total {
-                    if let Some((rhs, rep)) = groups.get(&project_values(row, fd.lhs)) {
-                        if &project_values(row, fd.rhs) != rhs {
-                            return Err(Conflict { with_row: *rep });
+                    if let Some(g) = groups.get(&project_values(row, fd.lhs)) {
+                        if project_values(row, fd.rhs) != g.rhs {
+                            return Err(Conflict {
+                                with_row: g.rows[0],
+                            });
                         }
                     }
                 }
@@ -112,6 +141,9 @@ impl ConstraintIndex {
                     // find: scan.
                     if !total {
                         for (r, existing) in rows.iter().enumerate() {
+                            if Some(r) == exclude {
+                                continue;
+                            }
                             if weakly_similar(row, existing, fd.lhs) && !row.eq_on(existing, fd.rhs)
                             {
                                 return Err(Conflict { with_row: r });
@@ -128,8 +160,10 @@ impl ConstraintIndex {
             } => {
                 let total = row.is_total_on(key.attrs);
                 if total {
-                    if let Some(&rep) = groups.get(&project_values(row, key.attrs)) {
-                        return Err(Conflict { with_row: rep });
+                    if let Some(members) = groups.get(&project_values(row, key.attrs)) {
+                        return Err(Conflict {
+                            with_row: members[0],
+                        });
                     }
                 }
                 if key.modality == Modality::Certain {
@@ -140,6 +174,9 @@ impl ConstraintIndex {
                     }
                     if !total {
                         for (r, existing) in rows.iter().enumerate() {
+                            if Some(r) == exclude {
+                                continue;
+                            }
                             if weakly_similar(row, existing, key.attrs) {
                                 return Err(Conflict { with_row: r });
                             }
@@ -163,7 +200,12 @@ impl ConstraintIndex {
                 if row.is_total_on(fd.lhs) {
                     groups
                         .entry(project_values(row, fd.lhs))
-                        .or_insert_with(|| (project_values(row, fd.rhs), row_id));
+                        .or_insert_with(|| FdGroup {
+                            rhs: project_values(row, fd.rhs),
+                            rows: Vec::new(),
+                        })
+                        .rows
+                        .push(row_id);
                 } else {
                     null_rows.push(row_id);
                 }
@@ -176,10 +218,94 @@ impl ConstraintIndex {
                 if row.is_total_on(key.attrs) {
                     groups
                         .entry(project_values(row, key.attrs))
-                        .or_insert(row_id);
+                        .or_default()
+                        .push(row_id);
                 } else {
                     null_rows.push(row_id);
                 }
+            }
+        }
+    }
+
+    /// Forgets the membership of `row` (id `row_id`): one hash lookup
+    /// plus a scan of the affected group. The caller passes the exact
+    /// tuple the id was inserted with; ids of other rows are untouched
+    /// (use [`shift_down`](Self::shift_down) after a positional
+    /// delete).
+    pub fn remove(&mut self, row: &Tuple, row_id: usize) {
+        fn drop_id(ids: &mut Vec<usize>, row_id: usize) {
+            if let Some(at) = ids.iter().position(|&r| r == row_id) {
+                ids.swap_remove(at);
+            }
+        }
+        match &mut self.kind {
+            IndexKind::Fd {
+                fd,
+                groups,
+                null_rows,
+            } => {
+                if row.is_total_on(fd.lhs) {
+                    let proj = project_values(row, fd.lhs);
+                    if let Some(g) = groups.get_mut(&proj) {
+                        drop_id(&mut g.rows, row_id);
+                        if g.rows.is_empty() {
+                            groups.remove(&proj);
+                        }
+                    }
+                } else {
+                    drop_id(null_rows, row_id);
+                }
+            }
+            IndexKind::Key {
+                key,
+                groups,
+                null_rows,
+            } => {
+                if row.is_total_on(key.attrs) {
+                    let proj = project_values(row, key.attrs);
+                    if let Some(members) = groups.get_mut(&proj) {
+                        drop_id(members, row_id);
+                        if members.is_empty() {
+                            groups.remove(&proj);
+                        }
+                    }
+                } else {
+                    drop_id(null_rows, row_id);
+                }
+            }
+        }
+    }
+
+    /// Compacts row ids after the row at `removed` was deleted from the
+    /// instance: every stored id greater than `removed` decrements by
+    /// one. The id `removed` itself must already have been
+    /// [`remove`](Self::remove)d. Touches each stored id once — no
+    /// rehashing, no reallocation.
+    pub fn shift_down(&mut self, removed: usize) {
+        fn shift(ids: &mut [usize], removed: usize) {
+            for r in ids {
+                debug_assert_ne!(*r, removed, "removed id still indexed");
+                if *r > removed {
+                    *r -= 1;
+                }
+            }
+        }
+        match &mut self.kind {
+            IndexKind::Fd {
+                groups, null_rows, ..
+            } => {
+                for g in groups.values_mut() {
+                    shift(&mut g.rows, removed);
+                }
+                shift(null_rows, removed);
+            }
+            IndexKind::Key {
+                groups, null_rows, ..
+            } => {
+                for members in groups.values_mut() {
+                    shift(members, removed);
+                }
+                shift(null_rows, removed);
             }
         }
     }
@@ -220,8 +346,21 @@ impl IndexBank {
     /// Checks every constraint; returns the first conflict with the
     /// index of the violated constraint.
     pub fn can_insert(&self, rows: &[Tuple], row: &Tuple) -> Result<(), (usize, Conflict)> {
+        self.can_insert_excluding(rows, row, None)
+    }
+
+    /// [`can_insert`](Self::can_insert) skipping comparisons against
+    /// the row at `exclude` (see
+    /// [`ConstraintIndex::can_insert_excluding`]).
+    pub fn can_insert_excluding(
+        &self,
+        rows: &[Tuple],
+        row: &Tuple,
+        exclude: Option<usize>,
+    ) -> Result<(), (usize, Conflict)> {
         for (ci, idx) in self.indexes.iter().enumerate() {
-            idx.can_insert(rows, row).map_err(|c| (ci, c))?;
+            idx.can_insert_excluding(rows, row, exclude)
+                .map_err(|c| (ci, c))?;
         }
         Ok(())
     }
@@ -233,7 +372,25 @@ impl IndexBank {
         }
     }
 
-    /// Rebuilds every index (after update/delete).
+    /// Forgets `row` (id `row_id`) in every index (see
+    /// [`ConstraintIndex::remove`]).
+    pub fn remove(&mut self, row: &Tuple, row_id: usize) {
+        for idx in &mut self.indexes {
+            idx.remove(row, row_id);
+        }
+    }
+
+    /// Compacts ids after a positional delete in every index (see
+    /// [`ConstraintIndex::shift_down`]).
+    pub fn shift_down(&mut self, removed: usize) {
+        for idx in &mut self.indexes {
+            idx.shift_down(removed);
+        }
+    }
+
+    /// Rebuilds every index from scratch (only needed when the whole
+    /// instance is replaced; mutations maintain the bank
+    /// incrementally).
     pub fn rebuild(&mut self, table: &Table) {
         for idx in &mut self.indexes {
             idx.rebuild(table);
@@ -327,6 +484,71 @@ mod tests {
             .unwrap_err();
         assert_eq!(ci, 0);
         assert_eq!(conflict.with_row, 0);
+    }
+
+    #[test]
+    fn remove_and_shift_track_deletes() {
+        let sigma = Sigma::new()
+            .with(Key::certain(AttrSet::from_indices([0])))
+            .with(Fd::certain(
+                AttrSet::from_indices([1]),
+                AttrSet::from_indices([2]),
+            ));
+        let mut table = Table::new(schema());
+        let mut bank = IndexBank::build(&sigma, &table);
+        let rows = vec![
+            tuple![1i64, 5i64, 50i64],
+            tuple![2i64, null, 50i64],
+            tuple![3i64, 5i64, 50i64],
+        ];
+        for r in &rows {
+            bank.can_insert(table.rows(), r).unwrap();
+            bank.insert(r, table.len());
+            table.push(r.clone());
+        }
+        // Delete the middle (null-bearing) row: remove + shift.
+        let removed = table.rows()[1].clone();
+        bank.remove(&removed, 1);
+        bank.shift_down(1);
+        let remaining = Table::from_rows(
+            table.schema().clone(),
+            vec![table.rows()[0].clone(), table.rows()[2].clone()],
+        );
+        // Key 1 is free again, key 3 (now id 1) still taken, and the
+        // FD group {5}→{50} still rejects a divergent RHS.
+        assert!(bank
+            .can_insert(remaining.rows(), &tuple![2i64, 9i64, 0i64])
+            .is_ok());
+        let (_, c) = bank
+            .can_insert(remaining.rows(), &tuple![3i64, 8i64, 0i64])
+            .unwrap_err();
+        assert_eq!(c.with_row, 1);
+        assert!(bank
+            .can_insert(remaining.rows(), &tuple![4i64, 5i64, 99i64])
+            .is_err());
+        // Updating row 0's key: remove old, validate replacement
+        // excluding the slot, insert new.
+        let old = remaining.rows()[0].clone();
+        bank.remove(&old, 0);
+        let new = tuple![3i64, 5i64, 50i64];
+        // Key 3 is taken by row 1: conflict even mid-update.
+        assert!(bank
+            .can_insert_excluding(remaining.rows(), &new, Some(0))
+            .is_err());
+        let new_ok = tuple![7i64, 5i64, 50i64];
+        bank.can_insert_excluding(remaining.rows(), &new_ok, Some(0))
+            .unwrap();
+        bank.insert(&new_ok, 0);
+        let after = Table::from_rows(
+            remaining.schema().clone(),
+            vec![new_ok, remaining.rows()[1].clone()],
+        );
+        assert!(bank
+            .can_insert(after.rows(), &tuple![7i64, 0i64, 0i64])
+            .is_err());
+        assert!(bank
+            .can_insert(after.rows(), &tuple![1i64, 0i64, 0i64])
+            .is_ok());
     }
 
     #[test]

@@ -42,7 +42,9 @@ pub mod prelude {
     };
     pub use crate::schema::TableSchema;
     pub use crate::similarity::{strongly_similar, weakly_similar, Agreement};
-    pub use crate::sql::{parse_script, parse_statement, render_create_table, Statement};
+    pub use crate::sql::{
+        parse_script, parse_statement, render_create_table, render_insert, ParseError, Statement,
+    };
     pub use crate::stats::{profile, render_profile, TableProfile};
     pub use crate::table::{Table, TableBuilder};
     pub use crate::tuple;

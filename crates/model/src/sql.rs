@@ -48,22 +48,73 @@ pub enum Statement {
     },
 }
 
-/// Parse errors with position information.
+/// Parse errors with position information: the byte offset, the
+/// 1-based line and (byte) column derived from it, and the offending
+/// token when one was in hand — enough for a caller (CLI message,
+/// server error reply) to point at the exact spot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     /// Human-readable description.
     pub message: String,
     /// Byte offset in the input where the error was noticed.
     pub offset: usize,
+    /// 1-based line of the offset (0 until located against a source).
+    pub line: usize,
+    /// 1-based byte column of the offset within its line.
+    pub col: usize,
+    /// The token at the error position, rendered, if any remained.
+    pub token: Option<String>,
+}
+
+impl ParseError {
+    fn at(message: impl Into<String>, offset: usize) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset,
+            line: 0,
+            col: 0,
+            token: None,
+        }
+    }
+
+    fn with_token(mut self, token: impl Into<String>) -> ParseError {
+        self.token = Some(token.into());
+        self
+    }
+
+    /// Fills `line`/`col` from the source the error's offset refers to.
+    fn locate(mut self, src: &str) -> ParseError {
+        let at = self.offset.min(src.len());
+        let before = &src.as_bytes()[..at];
+        self.line = 1 + before.iter().filter(|&&b| b == b'\n').count();
+        let line_start = before
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(0, |i| i + 1);
+        self.col = at - line_start + 1;
+        self
+    }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "SQL parse error at byte {}: {}",
-            self.offset, self.message
-        )
+        if self.line > 0 {
+            write!(
+                f,
+                "SQL parse error at line {}, column {}: {}",
+                self.line, self.col, self.message
+            )?;
+        } else {
+            write!(
+                f,
+                "SQL parse error at byte {}: {}",
+                self.offset, self.message
+            )?;
+        }
+        match &self.token {
+            Some(tok) => write!(f, " (near {tok:?})"),
+            None => Ok(()),
+        }
     }
 }
 
@@ -71,11 +122,26 @@ impl std::error::Error for ParseError {}
 
 #[derive(Debug, Clone, PartialEq)]
 enum Tok {
-    Ident(String),
+    /// An identifier; the flag records whether it was `"quoted"`.
+    /// Quoted identifiers never match keywords — `"constraint"` is a
+    /// legal column name, `CONSTRAINT` starts a constraint clause.
+    Ident(String, bool),
     Int(i64),
     Str(String),
     Punct(char),
     Arrow,
+}
+
+/// Renders a token the way it appeared in the input, for error messages.
+fn render_tok(tok: &Tok) -> String {
+    match tok {
+        Tok::Ident(s, false) => s.clone(),
+        Tok::Ident(s, true) => format!("\"{s}\""),
+        Tok::Int(i) => i.to_string(),
+        Tok::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Tok::Punct(c) => c.to_string(),
+        Tok::Arrow => "->".to_owned(),
+    }
 }
 
 struct Lexer<'a> {
@@ -115,14 +181,13 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                         l.pos += 1;
                     }
                     if ds == l.pos {
-                        return Err(ParseError {
-                            message: "expected digits after '-'".into(),
-                            offset: start,
-                        });
+                        return Err(
+                            ParseError::at("expected digits after '-'", start).with_token("-")
+                        );
                     }
-                    let n: i64 = l.src[ds..l.pos].parse().map_err(|_| ParseError {
-                        message: "integer out of range".into(),
-                        offset: start,
+                    let n: i64 = l.src[ds..l.pos].parse().map_err(|_| {
+                        ParseError::at("integer out of range", start)
+                            .with_token(&l.src[start..l.pos])
                     })?;
                     l.toks.push((Tok::Int(-n), start));
                 }
@@ -136,12 +201,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 let mut s = String::new();
                 loop {
                     match bytes.get(l.pos) {
-                        None => {
-                            return Err(ParseError {
-                                message: "unterminated string literal".into(),
-                                offset: start,
-                            })
-                        }
+                        None => return Err(ParseError::at("unterminated string literal", start)),
                         Some(b'\'') => {
                             if bytes.get(l.pos + 1) == Some(&b'\'') {
                                 s.push('\'');
@@ -163,9 +223,8 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                 while l.pos < bytes.len() && bytes[l.pos].is_ascii_digit() {
                     l.pos += 1;
                 }
-                let n: i64 = l.src[start..l.pos].parse().map_err(|_| ParseError {
-                    message: "integer out of range".into(),
-                    offset: start,
+                let n: i64 = l.src[start..l.pos].parse().map_err(|_| {
+                    ParseError::at("integer out of range", start).with_token(&l.src[start..l.pos])
                 })?;
                 l.toks.push((Tok::Int(n), start));
             }
@@ -178,13 +237,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                         l.pos += 1;
                     }
                     if l.pos == bytes.len() {
-                        return Err(ParseError {
-                            message: "unterminated quoted identifier".into(),
-                            offset: start,
-                        });
+                        return Err(ParseError::at("unterminated quoted identifier", start));
                     }
                     l.toks
-                        .push((Tok::Ident(l.src[ids..l.pos].to_owned()), start));
+                        .push((Tok::Ident(l.src[ids..l.pos].to_owned(), true), start));
                     l.pos += 1;
                 } else {
                     while l.pos < bytes.len()
@@ -193,14 +249,14 @@ fn lex(src: &str) -> Result<Vec<(Tok, usize)>, ParseError> {
                         l.pos += 1;
                     }
                     l.toks
-                        .push((Tok::Ident(l.src[start..l.pos].to_owned()), start));
+                        .push((Tok::Ident(l.src[start..l.pos].to_owned(), false), start));
                 }
             }
             other => {
-                return Err(ParseError {
-                    message: format!("unexpected character {other:?}"),
-                    offset: start,
-                })
+                return Err(
+                    ParseError::at(format!("unexpected character {other:?}"), start)
+                        .with_token(other),
+                )
             }
         }
     }
@@ -223,9 +279,23 @@ impl Parser {
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
-        ParseError {
-            message: message.into(),
-            offset: self.offset(),
+        let e = ParseError::at(message, self.offset());
+        match self.peek() {
+            Some(tok) => e.with_token(render_tok(tok)),
+            None => e,
+        }
+    }
+
+    /// Like [`err`](Self::err), but blames the token just consumed —
+    /// for checks that only fail after reading the offender (unknown
+    /// type, unknown column).
+    fn err_prev(&self, message: impl Into<String>) -> ParseError {
+        let at = self.at.saturating_sub(1);
+        let offset = self.toks.get(at).map_or(self.end, |(_, o)| *o);
+        let e = ParseError::at(message, offset);
+        match self.toks.get(at) {
+            Some((tok, _)) => e.with_token(render_tok(tok)),
+            None => e,
         }
     }
 
@@ -256,7 +326,7 @@ impl Parser {
     }
 
     fn eat_keyword(&mut self, kw: &str) -> bool {
-        if let Some(Tok::Ident(s)) = self.peek() {
+        if let Some(Tok::Ident(s, false)) = self.peek() {
             if s.eq_ignore_ascii_case(kw) {
                 self.at += 1;
                 return true;
@@ -267,7 +337,7 @@ impl Parser {
 
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
-            Some(Tok::Ident(s)) => Ok(s),
+            Some(Tok::Ident(s, _)) => Ok(s),
             _ => {
                 self.at = self.at.saturating_sub(1);
                 Err(self.err("expected identifier"))
@@ -289,7 +359,7 @@ impl Parser {
             let ix = columns
                 .iter()
                 .position(|c| c.eq_ignore_ascii_case(&name))
-                .ok_or_else(|| self.err(format!("unknown column {name:?} in constraint")))?;
+                .ok_or_else(|| self.err_prev(format!("unknown column {name:?} in constraint")))?;
             set.insert(ix.into());
             match self.next() {
                 Some(Tok::Punct(',')) => continue,
@@ -352,7 +422,7 @@ impl Parser {
                     "INT", "INTEGER", "BIGINT", "TEXT", "VARCHAR", "BOOL", "BOOLEAN",
                 ];
                 if !known.iter().any(|k| k.eq_ignore_ascii_case(&ty)) {
-                    return Err(self.err(format!("unknown type {ty:?}")));
+                    return Err(self.err_prev(format!("unknown type {ty:?}")));
                 }
                 if self.eat_keyword("NOT") {
                     self.expect_keyword("NULL")?;
@@ -395,9 +465,13 @@ impl Parser {
                 let v = match self.next() {
                     Some(Tok::Int(i)) => Value::Int(i),
                     Some(Tok::Str(s)) => Value::Str(s),
-                    Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("NULL") => Value::Null,
-                    Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("TRUE") => Value::Bool(true),
-                    Some(Tok::Ident(id)) if id.eq_ignore_ascii_case("FALSE") => Value::Bool(false),
+                    Some(Tok::Ident(id, false)) if id.eq_ignore_ascii_case("NULL") => Value::Null,
+                    Some(Tok::Ident(id, false)) if id.eq_ignore_ascii_case("TRUE") => {
+                        Value::Bool(true)
+                    }
+                    Some(Tok::Ident(id, false)) if id.eq_ignore_ascii_case("FALSE") => {
+                        Value::Bool(false)
+                    }
                     _ => {
                         self.at = self.at.saturating_sub(1);
                         return Err(self.err("expected literal in VALUES"));
@@ -436,6 +510,10 @@ impl Parser {
 
 /// Parses a script of `;`-separated statements.
 pub fn parse_script(src: &str) -> Result<Vec<Statement>, ParseError> {
+    parse_script_inner(src).map_err(|e| e.locate(src))
+}
+
+fn parse_script_inner(src: &str) -> Result<Vec<Statement>, ParseError> {
     let toks = lex(src)?;
     let mut p = Parser {
         toks,
@@ -463,12 +541,39 @@ pub fn parse_statement(src: &str) -> Result<Statement, ParseError> {
     let stmts = parse_script(src)?;
     match <[Statement; 1]>::try_from(stmts) {
         Ok([s]) => Ok(s),
-        Err(v) => Err(ParseError {
-            message: format!("expected exactly one statement, found {}", v.len()),
-            offset: 0,
-        }),
+        Err(v) => Err(ParseError::at(
+            format!("expected exactly one statement, found {}", v.len()),
+            0,
+        )
+        .locate(src)),
     }
 }
+
+/// Words the parser treats as keywords in some position; rendered
+/// identifiers that collide must be quoted or they won't re-parse.
+const RESERVED: &[&str] = &[
+    "CREATE",
+    "TABLE",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "CONSTRAINT",
+    "POSSIBLE",
+    "CERTAIN",
+    "KEY",
+    "FD",
+    "NOT",
+    "NULL",
+    "INT",
+    "INTEGER",
+    "BIGINT",
+    "TEXT",
+    "VARCHAR",
+    "BOOL",
+    "BOOLEAN",
+    "TRUE",
+    "FALSE",
+];
 
 fn quote_ident(name: &str) -> String {
     if !name.is_empty()
@@ -477,11 +582,40 @@ fn quote_ident(name: &str) -> String {
             .chars()
             .next()
             .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && !RESERVED.iter().any(|k| k.eq_ignore_ascii_case(name))
     {
         name.to_owned()
     } else {
         format!("\"{name}\"")
     }
+}
+
+fn sql_literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_owned(),
+        Value::Int(i) => i.to_string(),
+        Value::Bool(true) => "TRUE".to_owned(),
+        Value::Bool(false) => "FALSE".to_owned(),
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+    }
+}
+
+/// Renders rows as an `INSERT INTO … VALUES …;` statement in the
+/// dialect parsed by [`parse_script`] — the WAL and snapshot format
+/// of the server is exactly this round-trip.
+pub fn render_insert(table: &str, rows: &[Tuple]) -> String {
+    let tuples: Vec<String> = rows
+        .iter()
+        .map(|row| {
+            let vals: Vec<String> = row.values().iter().map(sql_literal).collect();
+            format!("({})", vals.join(", "))
+        })
+        .collect();
+    format!(
+        "INSERT INTO {} VALUES {};",
+        quote_ident(table),
+        tuples.join(", ")
+    )
 }
 
 fn column_list_sql(schema: &TableSchema, set: AttrSet) -> String {
@@ -637,7 +771,79 @@ mod tests {
                 err.message.contains(needle),
                 "{src:?} gave {err:?}, wanted {needle:?}"
             );
+            // Every error from parse_script is located against the source.
+            assert!(err.line >= 1, "{src:?} gave unlocated {err:?}");
+            assert!(err.col >= 1, "{src:?} gave unlocated {err:?}");
         }
+    }
+
+    #[test]
+    fn errors_carry_line_column_and_token() {
+        let src = "CREATE TABLE t (\n    a INT,\n    b FLOAT\n);";
+        let err = parse_script(src).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.col, 7);
+        assert_eq!(err.token.as_deref(), Some("FLOAT"));
+        let shown = err.to_string();
+        assert!(shown.contains("line 3, column 7"), "{shown}");
+        assert!(shown.contains("FLOAT"), "{shown}");
+
+        // Offending token also surfaces for stray punctuation.
+        let err = parse_script("DROP TABLE t").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("DROP"));
+        assert_eq!((err.line, err.col), (1, 1));
+
+        // Lexer errors locate too.
+        let err = parse_script("INSERT INTO t VALUES\n(1, ?)").unwrap_err();
+        assert_eq!((err.line, err.col), (2, 5));
+        assert_eq!(err.token.as_deref(), Some("?"));
+    }
+
+    #[test]
+    fn quoted_identifiers_are_never_keywords() {
+        // A column may be named after any keyword as long as it is
+        // quoted; the parser must not mistake it for the start of a
+        // constraint clause (or a NULL/TRUE/FALSE literal).
+        let ddl = "CREATE TABLE \"table\" (
+            \"constraint\" TEXT,
+            \"certain\" TEXT NOT NULL,
+            \"null\" INT,
+            CONSTRAINT c CERTAIN FD (\"constraint\") -> (\"certain\")
+        );";
+        let Statement::CreateTable { schema, sigma } = parse_statement(ddl).unwrap() else {
+            panic!("expected CREATE TABLE");
+        };
+        assert_eq!(schema.name(), "table");
+        assert_eq!(schema.column_names(), ["constraint", "certain", "null"]);
+        assert_eq!(sigma.fds.len(), 1);
+        // And the round trip re-quotes them.
+        let back = render_create_table(&schema, &sigma);
+        let reparsed = parse_statement(&back).unwrap();
+        let Statement::CreateTable { schema: s2, .. } = reparsed else {
+            panic!("expected CREATE TABLE");
+        };
+        assert_eq!(schema.column_names(), s2.column_names());
+
+        // In a VALUES list a quoted "NULL" is an identifier, not the
+        // null marker: rejected, with the quoting visible in the error.
+        let err =
+            parse_script("CREATE TABLE t (a INT);\nINSERT INTO t VALUES (\"NULL\");").unwrap_err();
+        assert_eq!(err.token.as_deref(), Some("\"NULL\""));
+    }
+
+    #[test]
+    fn render_insert_round_trips() {
+        let rows = vec![
+            tuple![5299401i64, "Fitbit ''Surge'", null, true],
+            tuple![(-7i64), "O'Brien", "King\ntoys", false],
+        ];
+        let sql = render_insert("values", &rows);
+        assert!(sql.starts_with("INSERT INTO \"values\" VALUES"), "{sql}");
+        let Statement::Insert { table, rows: back } = parse_statement(&sql).unwrap() else {
+            panic!("expected INSERT");
+        };
+        assert_eq!(table, "values");
+        assert_eq!(back, rows);
     }
 
     #[test]

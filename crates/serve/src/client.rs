@@ -1,0 +1,82 @@
+//! A small blocking client for the wire protocol — the test harness
+//! and `sqlnf client` both speak through this.
+
+use crate::protocol::{read_reply, Reply};
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connected session.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request (a verb line or a complete SQL statement,
+    /// possibly spanning lines) and reads its reply.
+    pub fn request(&mut self, text: &str) -> io::Result<Reply> {
+        self.writer.write_all(text.as_bytes())?;
+        if !text.ends_with('\n') {
+            self.writer.write_all(b"\n")?;
+        }
+        self.writer.flush()?;
+        read_reply(&mut self.reader)
+    }
+
+    /// Sends a request and maps an `ERR` reply to an `io::Error`.
+    pub fn expect_ok(&mut self, text: &str) -> io::Result<Reply> {
+        let reply = self.request(text)?;
+        if reply.ok {
+            Ok(reply)
+        } else {
+            Err(io::Error::other(format!(
+                "server refused: {}",
+                reply.message
+            )))
+        }
+    }
+
+    /// Runs a multi-statement SQL script, one reply per statement
+    /// batch; returns the replies.
+    pub fn run_script(&mut self, script: &str) -> io::Result<Vec<Reply>> {
+        // Split on statement boundaries client-side so each statement
+        // earns its own reply (the server replies once per completed
+        // accumulator unit).
+        let mut replies = Vec::new();
+        let mut buf = String::new();
+        for line in script.lines() {
+            buf.push_str(line);
+            buf.push('\n');
+            if crate::protocol::statement_complete(&buf) {
+                replies.push(self.request(&buf)?);
+                buf.clear();
+            }
+        }
+        if !buf.trim().is_empty() {
+            // An unterminated statement would never earn a reply.
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "script ends with an unterminated statement",
+            ));
+        }
+        Ok(replies)
+    }
+
+    /// Ends the session politely.
+    pub fn quit(mut self) -> io::Result<()> {
+        let _ = self.request("QUIT")?;
+        Ok(())
+    }
+}

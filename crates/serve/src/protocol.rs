@@ -1,0 +1,343 @@
+//! The line-oriented wire protocol.
+//!
+//! Clients send UTF-8 lines. A line whose first word is a service verb
+//! (case-insensitive, only recognised when no SQL statement is being
+//! accumulated) is a complete request on its own:
+//!
+//! ```text
+//! PING                         liveness probe
+//! TABLES                       list stored tables
+//! DUMP <table>                 table contents as CSV
+//! MINE <table> [max_lhs]       discover & classify FDs of the instance
+//! CLOSURE <table> <col>...     p- and c-closure of the column set
+//! NORMALIZE <table>            DDL of the VRNF decomposition
+//! STATS                        server counters
+//! QUIT                         close this session
+//! SHUTDOWN                     stop the whole server (final snapshot)
+//! ```
+//!
+//! Any other line feeds the SQL accumulator; a statement is complete
+//! when its single quotes balance and it ends with `;`, at which point
+//! the accumulated text is parsed and executed as a script. Every
+//! request earns exactly one reply:
+//!
+//! ```text
+//! OK <n> <message>\n     then n payload lines
+//! ERR <n> <message>\n    then n payload lines
+//! ```
+
+use std::fmt;
+
+/// One parsed service request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// List stored tables.
+    Tables,
+    /// Dump a table as CSV.
+    Dump(String),
+    /// Mine and classify the FDs of a stored instance.
+    Mine {
+        /// Target table.
+        table: String,
+        /// LHS size cap.
+        max_lhs: usize,
+    },
+    /// Closure of a set of columns under a table's declared FDs.
+    Closure {
+        /// Target table.
+        table: String,
+        /// Column names whose closure to compute.
+        columns: Vec<String>,
+    },
+    /// VRNF decomposition of a stored table's design.
+    Normalize(String),
+    /// Server counters.
+    Stats,
+    /// End this session.
+    Quit,
+    /// Stop the server.
+    Shutdown,
+    /// A complete SQL script (CREATE TABLE / INSERT statements).
+    Sql(String),
+}
+
+/// A reply: a status line plus payload lines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// `true` for `OK`, `false` for `ERR`.
+    pub ok: bool,
+    /// One-line human-readable summary.
+    pub message: String,
+    /// Payload lines (the count is announced in the status line).
+    pub lines: Vec<String>,
+}
+
+impl Reply {
+    /// An `OK` reply without payload.
+    pub fn ok(message: impl Into<String>) -> Reply {
+        Reply {
+            ok: true,
+            message: sanitize(message.into()),
+            lines: Vec::new(),
+        }
+    }
+
+    /// An `OK` reply with payload lines.
+    pub fn ok_with(message: impl Into<String>, lines: Vec<String>) -> Reply {
+        Reply {
+            ok: true,
+            message: sanitize(message.into()),
+            lines,
+        }
+    }
+
+    /// An `ERR` reply.
+    pub fn err(message: impl Into<String>) -> Reply {
+        Reply {
+            ok: false,
+            message: sanitize(message.into()),
+            lines: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Display for Reply {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} {} {}",
+            if self.ok { "OK" } else { "ERR" },
+            self.lines.len(),
+            self.message
+        )?;
+        for line in &self.lines {
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Status lines are single lines: embedded newlines become spaces.
+fn sanitize(s: String) -> String {
+    if s.contains('\n') {
+        s.replace('\n', " ")
+    } else {
+        s
+    }
+}
+
+/// Parses a reply off a reader (the client side of the protocol).
+pub fn read_reply(reader: &mut impl std::io::BufRead) -> std::io::Result<Reply> {
+    use std::io::{Error, ErrorKind};
+    let mut status = String::new();
+    if reader.read_line(&mut status)? == 0 {
+        return Err(Error::new(ErrorKind::UnexpectedEof, "server closed"));
+    }
+    let status = status.trim_end_matches(['\r', '\n']);
+    let bad = || {
+        Error::new(
+            ErrorKind::InvalidData,
+            format!("bad status line {status:?}"),
+        )
+    };
+    let mut parts = status.splitn(3, ' ');
+    let ok = match parts.next() {
+        Some("OK") => true,
+        Some("ERR") => false,
+        _ => return Err(bad()),
+    };
+    let n: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
+    let message = parts.next().unwrap_or("").to_owned();
+    let mut lines = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(Error::new(ErrorKind::UnexpectedEof, "truncated payload"));
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        lines.push(line);
+    }
+    Ok(Reply { ok, message, lines })
+}
+
+/// Accumulates request lines into complete [`Request`]s. SQL
+/// statements may span lines (and contain `;` inside string literals);
+/// verbs are single lines recognised only between statements.
+#[derive(Debug, Default)]
+pub struct Accumulator {
+    buf: String,
+}
+
+impl Accumulator {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Accumulator {
+        Accumulator::default()
+    }
+
+    /// Whether a partial SQL statement is pending.
+    pub fn is_pending(&self) -> bool {
+        !self.buf.trim().is_empty()
+    }
+
+    /// Feeds one input line (without its terminator); returns a
+    /// complete request if this line finished one.
+    pub fn push_line(&mut self, line: &str) -> Option<Request> {
+        if !self.is_pending() {
+            if line.trim().is_empty() {
+                self.buf.clear();
+                return None;
+            }
+            if let Some(req) = parse_verb(line) {
+                self.buf.clear();
+                return Some(req);
+            }
+        }
+        self.buf.push_str(line);
+        self.buf.push('\n');
+        if sql_complete(&self.buf) {
+            let sql = std::mem::take(&mut self.buf);
+            return Some(Request::Sql(sql));
+        }
+        None
+    }
+}
+
+/// Whether a line parses as a service verb (clients use this to mirror
+/// the server's framing when scripting a session).
+pub fn is_verb_line(line: &str) -> bool {
+    parse_verb(line).is_some()
+}
+
+/// A statement is complete when its single quotes balance (`''` is an
+/// escaped quote, i.e. two quotes, so plain parity works) and the text
+/// ends with `;` outside a string.
+pub fn statement_complete(buf: &str) -> bool {
+    sql_complete(buf)
+}
+
+fn sql_complete(buf: &str) -> bool {
+    let quotes = buf.bytes().filter(|&b| b == b'\'').count();
+    quotes % 2 == 0 && buf.trim_end().ends_with(';')
+}
+
+/// Tries to read a line as a service verb.
+fn parse_verb(line: &str) -> Option<Request> {
+    let mut words = line.split_whitespace();
+    let verb = words.next()?.to_ascii_uppercase();
+    let rest: Vec<&str> = words.collect();
+    let one_table = |rest: &[&str]| -> Option<String> {
+        match rest {
+            [t] => Some((*t).to_owned()),
+            _ => None,
+        }
+    };
+    match (verb.as_str(), rest.as_slice()) {
+        ("PING", []) => Some(Request::Ping),
+        ("TABLES", []) => Some(Request::Tables),
+        ("STATS", []) => Some(Request::Stats),
+        ("QUIT", []) => Some(Request::Quit),
+        ("SHUTDOWN", []) => Some(Request::Shutdown),
+        ("DUMP", rest) => one_table(rest).map(Request::Dump),
+        ("NORMALIZE", rest) => one_table(rest).map(Request::Normalize),
+        ("MINE", [table]) => Some(Request::Mine {
+            table: (*table).to_owned(),
+            max_lhs: crate::store::DEFAULT_MINE_LHS,
+        }),
+        ("MINE", [table, cap]) => cap.parse().ok().map(|max_lhs| Request::Mine {
+            table: (*table).to_owned(),
+            max_lhs,
+        }),
+        // Columns may be parenthesized and/or comma-separated:
+        // `CLOSURE t (a, b)` and `CLOSURE t a b` both work.
+        ("CLOSURE", [table, cols @ ..]) => {
+            let columns: Vec<String> = cols
+                .iter()
+                .flat_map(|c| c.split([',', '(', ')']))
+                .filter(|c| !c.is_empty())
+                .map(str::to_owned)
+                .collect();
+            if columns.is_empty() {
+                None
+            } else {
+                Some(Request::Closure {
+                    table: (*table).to_owned(),
+                    columns,
+                })
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verbs_parse_case_insensitively() {
+        let mut acc = Accumulator::new();
+        assert_eq!(acc.push_line("ping"), Some(Request::Ping));
+        assert_eq!(acc.push_line("QUIT"), Some(Request::Quit));
+        assert_eq!(
+            acc.push_line("mine purchase 4"),
+            Some(Request::Mine {
+                table: "purchase".into(),
+                max_lhs: 4
+            })
+        );
+        assert_eq!(
+            acc.push_line("CLOSURE t a b"),
+            Some(Request::Closure {
+                table: "t".into(),
+                columns: vec!["a".into(), "b".into()]
+            })
+        );
+        // The documented parenthesized form, with or without spaces.
+        for line in ["CLOSURE t (a, b)", "CLOSURE t (a,b)", "closure t ( a , b )"] {
+            assert_eq!(
+                acc.push_line(line),
+                Some(Request::Closure {
+                    table: "t".into(),
+                    columns: vec!["a".into(), "b".into()]
+                }),
+                "{line}"
+            );
+        }
+    }
+
+    #[test]
+    fn sql_accumulates_across_lines_and_quotes() {
+        let mut acc = Accumulator::new();
+        assert_eq!(acc.push_line("CREATE TABLE t ("), None);
+        assert_eq!(acc.push_line("  a INT NOT NULL"), None);
+        let Some(Request::Sql(sql)) = acc.push_line(");") else {
+            panic!("expected completed SQL");
+        };
+        assert!(sql.contains("CREATE TABLE t"));
+        assert!(!acc.is_pending());
+
+        // A ';' inside a string literal does not complete the statement,
+        // and a verb word inside a pending statement is not a verb.
+        assert_eq!(acc.push_line("INSERT INTO t VALUES ('semi;"), None);
+        assert_eq!(acc.push_line("QUIT"), None);
+        let Some(Request::Sql(sql)) = acc.push_line("colon');") else {
+            panic!("expected completed SQL");
+        };
+        assert!(sql.contains("semi;\nQUIT\ncolon"));
+    }
+
+    #[test]
+    fn reply_round_trips_through_display_and_read() {
+        let reply = Reply::ok_with("2 rows", vec!["a,b".into(), "1,2".into()]);
+        let text = reply.to_string();
+        let mut cursor = std::io::Cursor::new(text.into_bytes());
+        let back = read_reply(&mut cursor).unwrap();
+        assert_eq!(back, reply);
+        let err = Reply::err("bad\nthing");
+        assert_eq!(err.message, "bad thing");
+    }
+}

@@ -1,0 +1,458 @@
+//! The TCP server: an acceptor thread feeding a fixed-size pool of
+//! session workers over an mpsc queue, all sharing one [`Store`].
+//!
+//! Shutdown comes in two flavours:
+//!
+//! * [`Server::shutdown`] — graceful: stop accepting, let every
+//!   session finish its current request and drain, fsync the WAL and
+//!   write a final snapshot;
+//! * [`Server::kill`] — simulated crash for durability tests: threads
+//!   stop without a final snapshot or fsync, leaving recovery entirely
+//!   to the WAL.
+
+use crate::protocol::{Accumulator, Reply, Request};
+use crate::store::{ServeError, Store};
+use sqlnf_core::prelude::*;
+use sqlnf_discovery::prelude::*;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked threads re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// WAL directory; `None` runs without durability.
+    pub wal_dir: Option<PathBuf>,
+    /// Session worker threads.
+    pub workers: usize,
+    /// Admitted statements between automatic snapshots (0 = only on
+    /// graceful shutdown).
+    pub snapshot_every: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            wal_dir: None,
+            workers: 4,
+            snapshot_every: 0,
+        }
+    }
+}
+
+/// A running server; dropping it without calling [`shutdown`]
+/// (`Server::shutdown`) aborts like [`kill`](Server::kill).
+#[derive(Debug)]
+pub struct Server {
+    store: Arc<Store>,
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    kill: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, recovers the store from the WAL directory (if any), and
+    /// starts the acceptor and worker threads.
+    pub fn start(config: ServeConfig) -> Result<Server, ServeError> {
+        let store = Arc::new(match &config.wal_dir {
+            Some(dir) => Store::open(dir, config.snapshot_every)?,
+            None => Store::ephemeral(),
+        });
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let kill = Arc::new(AtomicBool::new(false));
+
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..config.workers.max(1))
+            .map(|_| {
+                let rx = Arc::clone(&rx);
+                let store = Arc::clone(&store);
+                let shutdown = Arc::clone(&shutdown);
+                let kill = Arc::clone(&kill);
+                std::thread::spawn(move || worker_loop(&rx, &store, &shutdown, &kill))
+            })
+            .collect();
+
+        let acceptor = {
+            let store = Arc::clone(&store);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    store
+                        .stats
+                        .sessions
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    sqlnf_obs::count!("serve.sessions");
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // tx drops here: workers drain the queue and exit.
+            })
+        };
+
+        Ok(Server {
+            store,
+            local_addr,
+            shutdown,
+            kill,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (use this when the config asked for port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared store (for in-process inspection by tests).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Blocks until the shutdown flag flips (a client sent `SHUTDOWN`).
+    pub fn wait_shutdown(&self) {
+        while !self.shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(POLL);
+        }
+    }
+
+    fn stop_threads(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // The acceptor blocks in accept(); poke it awake.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain sessions, fsync the
+    /// WAL and write a final snapshot.
+    pub fn shutdown(mut self) -> Result<(), ServeError> {
+        self.stop_threads();
+        self.store.sync()?;
+        self.store.snapshot()?;
+        Ok(())
+    }
+
+    /// Simulated crash: threads stop mid-flight, no final snapshot and
+    /// no fsync — recovery must come from the WAL alone.
+    pub fn kill(mut self) {
+        self.kill.store(true, Ordering::SeqCst);
+        self.stop_threads();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.workers.is_empty() {
+            self.kill.store(true, Ordering::SeqCst);
+            self.stop_threads();
+        }
+    }
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<TcpStream>>,
+    store: &Arc<Store>,
+    shutdown: &AtomicBool,
+    kill: &AtomicBool,
+) {
+    loop {
+        // Don't hold the mutex while blocked: contended recv would
+        // serialize the pool.
+        let next = { rx.lock().unwrap().recv_timeout(POLL) };
+        match next {
+            Ok(stream) => {
+                if kill.load(Ordering::SeqCst) {
+                    continue; // crash simulation: drop without replying
+                }
+                let _ = handle_session(store, stream, shutdown, kill);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    // Graceful drain keeps going until the acceptor has
+                    // exited and the queue is empty; the sender dropping
+                    // turns the next recv into Disconnected.
+                    continue;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Runs one session to completion: reads lines, accumulates requests,
+/// writes one reply per request.
+fn handle_session(
+    store: &Arc<Store>,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    kill: &AtomicBool,
+) -> io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut acc = Accumulator::new();
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {
+                if !line.ends_with('\n') {
+                    // Timeout can split a line; keep reading it.
+                    continue;
+                }
+                let complete = std::mem::take(&mut line);
+                let Some(req) = acc.push_line(complete.trim_end_matches(['\r', '\n'])) else {
+                    continue;
+                };
+                sqlnf_obs::count!("serve.requests");
+                match req {
+                    Request::Quit => {
+                        write_reply(&mut writer, &Reply::ok("bye"))?;
+                        return Ok(());
+                    }
+                    Request::Shutdown => {
+                        write_reply(&mut writer, &Reply::ok("shutting down"))?;
+                        shutdown.store(true, Ordering::SeqCst);
+                        return Ok(());
+                    }
+                    req => {
+                        let reply = dispatch(store, req);
+                        write_reply(&mut writer, &reply)?;
+                        if kill.load(Ordering::SeqCst) {
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shutdown.load(Ordering::SeqCst) || kill.load(Ordering::SeqCst) {
+                    return Ok(()); // drain: drop idle sessions
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn write_reply(writer: &mut TcpStream, reply: &Reply) -> io::Result<()> {
+    writer.write_all(reply.to_string().as_bytes())?;
+    writer.flush()
+}
+
+/// Executes one request against the store.
+pub fn dispatch(store: &Store, req: Request) -> Reply {
+    let _span = sqlnf_obs::span!("serve.dispatch");
+    match run_request(store, req) {
+        Ok(reply) => reply,
+        Err(e) => Reply::err(e.to_string()),
+    }
+}
+
+fn run_request(store: &Store, req: Request) -> Result<Reply, ServeError> {
+    match req {
+        Request::Ping => Ok(Reply::ok("pong")),
+        Request::Quit => Ok(Reply::ok("bye")),
+        Request::Shutdown => Ok(Reply::ok("shutting down")),
+        Request::Tables => {
+            let names = store.table_names();
+            Ok(Reply::ok_with(format!("{} tables", names.len()), names))
+        }
+        Request::Stats => {
+            let (wal_bytes, wal_records) = store.wal_size();
+            let lines = store
+                .stats
+                .lines(store.table_names().len(), wal_bytes, wal_records);
+            Ok(Reply::ok_with("server counters", lines))
+        }
+        Request::Sql(src) => {
+            let applied = store.execute_sql(&src)?;
+            Ok(Reply::ok(format!(
+                "applied {applied} statement{}",
+                if applied == 1 { "" } else { "s" }
+            )))
+        }
+        Request::Dump(table) => store.with_table(&table, |st| {
+            let csv = table_to_csv(st.data());
+            let lines: Vec<String> = csv.lines().map(str::to_owned).collect();
+            Reply::ok_with(format!("{} rows", st.data().len()), lines)
+        }),
+        Request::Mine { table, max_lhs } => store.with_table(&table, |st| {
+            let max_lhs = max_lhs.clamp(1, st.data().schema().arity().max(1));
+            let report = mine_report(&table, st.data(), max_lhs, DEFAULT_CACHE_BUDGET);
+            let lines: Vec<String> = report.lines().map(str::to_owned).collect();
+            Reply::ok_with("mined", lines)
+        }),
+        Request::Closure { table, columns } => {
+            store.with_table(&table, |st| closure_reply(st, &columns))?
+        }
+        Request::Normalize(table) => store.with_table(&table, |st| {
+            let design = SchemaDesign::new(st.data().schema().clone(), st.sigma().clone());
+            normalize_reply(&design)
+        })?,
+    }
+}
+
+fn closure_reply(st: &StoredTable, columns: &[String]) -> Result<Reply, ServeError> {
+    let schema = st.data().schema();
+    let mut x = AttrSet::EMPTY;
+    for col in columns {
+        let a = schema
+            .attr(col)
+            .ok_or_else(|| ServeError::Bad(format!("unknown column {col:?}")))?;
+        x.insert(a);
+    }
+    let fds = &st.sigma().fds;
+    let p = p_closure(fds, schema.nfs(), x);
+    let c = c_closure(fds, schema.nfs(), x);
+    Ok(Reply::ok_with(
+        format!("closure of {}", schema.display_set(x)),
+        vec![
+            format!("p-closure {}", schema.display_set(p)),
+            format!("c-closure {}", schema.display_set(c)),
+        ],
+    ))
+}
+
+fn normalize_reply(design: &SchemaDesign) -> Result<Reply, ServeError> {
+    if design.is_vrnf() == Ok(true) {
+        let ddl = render_create_table(design.schema(), design.sigma());
+        return Ok(Reply::ok_with(
+            "already in VRNF",
+            ddl.lines().map(str::to_owned).collect(),
+        ));
+    }
+    match design.normalize() {
+        Ok(normalized) => {
+            let mut lines = Vec::new();
+            for child in &normalized.children {
+                for l in render_create_table(child.schema(), child.sigma()).lines() {
+                    lines.push(l.to_owned());
+                }
+            }
+            Ok(Reply::ok_with(
+                format!("{} tables", normalized.children.len()),
+                lines,
+            ))
+        }
+        Err(e) => Err(ServeError::Bad(format!("cannot normalize: {e}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DDL: &str = "CREATE TABLE purchase (
+        order_id INT NOT NULL,
+        item     TEXT NOT NULL,
+        catalog  TEXT,
+        price    INT NOT NULL,
+        CONSTRAINT line CERTAIN FD (order_id, item, catalog)
+                                  -> (order_id, item, catalog, price)
+    );";
+
+    fn seeded_store() -> Store {
+        let store = Store::ephemeral();
+        store.execute_sql(DDL).unwrap();
+        store
+            .execute_sql(
+                "INSERT INTO purchase VALUES (1, 'Fitbit', NULL, 240), (2, 'Doll', 'K', 25);",
+            )
+            .unwrap();
+        store
+    }
+
+    #[test]
+    fn dispatch_covers_every_verb() {
+        let store = seeded_store();
+        assert!(dispatch(&store, Request::Ping).ok);
+        let tables = dispatch(&store, Request::Tables);
+        assert_eq!(tables.lines, vec!["purchase".to_owned()]);
+        let dump = dispatch(&store, Request::Dump("purchase".into()));
+        assert!(dump.ok);
+        assert_eq!(dump.lines.len(), 3); // header + 2 rows
+        let mine = dispatch(
+            &store,
+            Request::Mine {
+                table: "purchase".into(),
+                max_lhs: 2,
+            },
+        );
+        assert!(mine.ok, "{}", mine.message);
+        assert!(mine.lines.iter().any(|l| l.contains("minimal FDs")));
+        let closure = dispatch(
+            &store,
+            Request::Closure {
+                table: "purchase".into(),
+                columns: vec!["order_id".into(), "item".into(), "catalog".into()],
+            },
+        );
+        assert!(closure.ok);
+        assert!(closure.lines[0].starts_with("p-closure"));
+        assert!(closure.lines[0].contains("price"));
+        let norm = dispatch(&store, Request::Normalize("purchase".into()));
+        assert!(norm.ok, "{}", norm.message);
+        assert!(norm.lines.iter().any(|l| l.contains("CREATE TABLE")));
+        let stats = dispatch(&store, Request::Stats);
+        assert!(stats.lines.iter().any(|l| l.starts_with("stmt.admitted 2")));
+        let err = dispatch(&store, Request::Dump("nope".into()));
+        assert!(!err.ok);
+        assert!(err.message.contains("no such table"));
+    }
+
+    #[test]
+    fn server_round_trip_over_tcp() {
+        let server = Server::start(ServeConfig::default()).unwrap();
+        let addr = server.local_addr();
+        let mut client = crate::client::Client::connect(addr).unwrap();
+        let r = client.request("PING").unwrap();
+        assert!(r.ok);
+        assert_eq!(r.message, "pong");
+        let r = client.request(DDL).unwrap();
+        assert!(r.ok, "{}", r.message);
+        let r = client
+            .request("INSERT INTO purchase VALUES (1, 'Fitbit', NULL, 240);")
+            .unwrap();
+        assert!(r.ok, "{}", r.message);
+        let r = client
+            .request("INSERT INTO purchase VALUES (1, 'Fitbit', NULL, 999);")
+            .unwrap();
+        assert!(!r.ok, "constraint violation must be refused");
+        let r = client.request("DUMP purchase").unwrap();
+        assert_eq!(r.lines.len(), 2);
+        client.quit().unwrap();
+        server.shutdown().unwrap();
+    }
+}

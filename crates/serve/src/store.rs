@@ -1,0 +1,479 @@
+//! The shared store behind all sessions: named [`StoredTable`]s, each
+//! behind its own `RwLock`, plus the WAL.
+//!
+//! ## Locking discipline
+//!
+//! Three lock tiers, always acquired in this order (and released
+//! before acquiring an earlier tier again):
+//!
+//! 1. the **registry** `RwLock` over the table map — writers only for
+//!    `CREATE TABLE`; every other path takes it briefly as a reader to
+//!    clone the table's `Arc` and drops it before touching the table;
+//! 2. **table** `RwLock`s — sessions hold at most one; the snapshotter
+//!    holds all of them as a reader, acquired in name order;
+//! 3. the **WAL** mutex — always innermost.
+//!
+//! A writer appends to the WAL *while still holding the table's write
+//! lock*, so per-table WAL order equals application order; the
+//! snapshotter truncates the WAL while holding every table read lock,
+//! so no admitted statement can fall between snapshot and log.
+
+use crate::wal::{self, Wal, SNAPSHOT_FILE};
+use sqlnf_core::prelude::*;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// Default LHS cap of the `MINE` verb.
+pub const DEFAULT_MINE_LHS: usize = 3;
+
+/// Why a request failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Rejected by the engine (parse error, constraint violation, …).
+    Engine(EngineError),
+    /// Malformed request or unknown verb target.
+    Bad(String),
+    /// Durability layer failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "{e}"),
+            ServeError::Bad(m) => write!(f, "{m}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Monotone counters of the store's lifetime (mirrored into
+/// `sqlnf-obs` under `serve.*` when the `obs` feature is compiled in).
+#[derive(Debug, Default)]
+pub struct StoreStats {
+    /// Sessions accepted.
+    pub sessions: AtomicU64,
+    /// Statements admitted (and logged).
+    pub admitted: AtomicU64,
+    /// Statements rejected.
+    pub rejected: AtomicU64,
+    /// Snapshots written.
+    pub snapshots: AtomicU64,
+}
+
+impl StoreStats {
+    /// Renders the counters as `name value` payload lines.
+    pub fn lines(&self, tables: usize, wal_bytes: u64, wal_records: u64) -> Vec<String> {
+        vec![
+            format!("tables {tables}"),
+            format!("sessions {}", self.sessions.load(Ordering::Relaxed)),
+            format!("stmt.admitted {}", self.admitted.load(Ordering::Relaxed)),
+            format!("stmt.rejected {}", self.rejected.load(Ordering::Relaxed)),
+            format!("snapshots {}", self.snapshots.load(Ordering::Relaxed)),
+            format!("wal.bytes {wal_bytes}"),
+            format!("wal.records {wal_records}"),
+        ]
+    }
+}
+
+type Registry = BTreeMap<String, Arc<RwLock<StoredTable>>>;
+
+/// The shared store: the table registry plus the durability layer.
+#[derive(Debug)]
+pub struct Store {
+    tables: RwLock<Registry>,
+    wal: Mutex<Option<Wal>>,
+    dir: Option<PathBuf>,
+    /// Admitted statements between automatic snapshots (0 = only on
+    /// shutdown).
+    snapshot_every: u64,
+    since_snapshot: AtomicU64,
+    /// Lifetime counters.
+    pub stats: StoreStats,
+}
+
+impl Store {
+    /// An in-memory store without durability.
+    pub fn ephemeral() -> Store {
+        Store {
+            tables: RwLock::new(BTreeMap::new()),
+            wal: Mutex::new(None),
+            dir: None,
+            snapshot_every: 0,
+            since_snapshot: AtomicU64::new(0),
+            stats: StoreStats::default(),
+        }
+    }
+
+    /// Opens a durable store in `dir`, recovering state by applying the
+    /// snapshot (if any) and then replaying the WAL; `snapshot_every`
+    /// admitted statements trigger an automatic snapshot (0 disables).
+    pub fn open(dir: &Path, snapshot_every: u64) -> Result<Store, ServeError> {
+        let store = Store {
+            tables: RwLock::new(BTreeMap::new()),
+            wal: Mutex::new(None),
+            dir: Some(dir.to_path_buf()),
+            snapshot_every,
+            since_snapshot: AtomicU64::new(0),
+            stats: StoreStats::default(),
+        };
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        match std::fs::read_to_string(&snap_path) {
+            Ok(snapshot) => store.apply_script_unlogged(&snapshot)?,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e.into()),
+        }
+        // Wal::open truncates any torn tail, so replay-then-append
+        // agree on the log's frames.
+        let wal = Wal::open(dir)?;
+        for stmt in wal::replay(wal.path())? {
+            store.apply_script_unlogged(&stmt)?;
+        }
+        *store.wal.lock().unwrap() = Some(wal);
+        Ok(store)
+    }
+
+    /// Applies a recovery script directly to the registry, bypassing
+    /// the WAL.
+    fn apply_script_unlogged(&self, src: &str) -> Result<(), ServeError> {
+        for stmt in parse_script(src).map_err(EngineError::from)? {
+            match stmt {
+                Statement::CreateTable { schema, sigma } => {
+                    let name = schema.name().to_owned();
+                    let mut reg = self.tables.write().unwrap();
+                    if reg.contains_key(&name) {
+                        return Err(EngineError::DuplicateTable(name).into());
+                    }
+                    reg.insert(name, Arc::new(RwLock::new(StoredTable::new(schema, sigma))));
+                }
+                Statement::Insert { table, rows } => {
+                    let arc = self.table_arc(&table)?;
+                    let mut st = arc.write().unwrap();
+                    for row in rows {
+                        st.insert(row).map_err(ServeError::Engine)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn table_arc(&self, name: &str) -> Result<Arc<RwLock<StoredTable>>, ServeError> {
+        self.tables
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| EngineError::NoSuchTable(name.to_owned()).into())
+    }
+
+    /// Table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.read().unwrap().keys().cloned().collect()
+    }
+
+    /// Runs `f` on a read-locked table.
+    pub fn with_table<T>(
+        &self,
+        name: &str,
+        f: impl FnOnce(&StoredTable) -> T,
+    ) -> Result<T, ServeError> {
+        let arc = self.table_arc(name)?;
+        let st = arc.read().unwrap();
+        Ok(f(&st))
+    }
+
+    /// Parses and executes a SQL script, logging each admitted
+    /// statement to the WAL in its canonical rendering. Statements
+    /// apply in order; the first rejection stops the script (earlier
+    /// statements stay applied — the wire protocol's unit of atomicity
+    /// is the statement, not the script). Returns the number of
+    /// statements applied.
+    pub fn execute_sql(&self, src: &str) -> Result<usize, ServeError> {
+        let stmts = parse_script(src).map_err(|e| {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            sqlnf_obs::count!("serve.stmt.rejected");
+            EngineError::from(e)
+        })?;
+        let mut applied = 0;
+        for stmt in stmts {
+            match self.apply_logged(stmt) {
+                Ok(()) => {
+                    applied += 1;
+                    self.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                    sqlnf_obs::count!("serve.stmt.admitted");
+                }
+                Err(e) => {
+                    self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                    sqlnf_obs::count!("serve.stmt.rejected");
+                    return Err(e);
+                }
+            }
+        }
+        self.maybe_snapshot(applied as u64)?;
+        Ok(applied)
+    }
+
+    /// Applies one statement under the locking discipline, appending
+    /// its canonical rendering to the WAL on admission.
+    fn apply_logged(&self, stmt: Statement) -> Result<(), ServeError> {
+        match stmt {
+            Statement::CreateTable { schema, sigma } => {
+                let rendered = render_create_table(&schema, &sigma);
+                let name = schema.name().to_owned();
+                let mut reg = self.tables.write().unwrap();
+                if reg.contains_key(&name) {
+                    return Err(EngineError::DuplicateTable(name).into());
+                }
+                // Log before publishing: if the WAL is sick, the
+                // statement is refused and the registry is unchanged.
+                self.append_wal(&rendered)?;
+                reg.insert(name, Arc::new(RwLock::new(StoredTable::new(schema, sigma))));
+                Ok(())
+            }
+            Statement::Insert { table, rows } => {
+                let arc = self.table_arc(&table)?;
+                let mut st = arc.write().unwrap();
+                // Multi-row INSERTs are atomic: roll back this
+                // statement's rows if a later one is rejected.
+                let base = st.data().len();
+                for (i, row) in rows.iter().enumerate() {
+                    if let Err(e) = st.insert(row.clone()) {
+                        for r in (base..base + i).rev() {
+                            st.delete(r).expect("rolling back admitted rows");
+                        }
+                        return Err(e.into());
+                    }
+                }
+                let rendered = render_insert(&table, &rows);
+                if let Err(e) = self.append_wal(&rendered) {
+                    for r in (base..base + rows.len()).rev() {
+                        st.delete(r).expect("rolling back admitted rows");
+                    }
+                    return Err(e);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Appends to the WAL if one is attached (no-op when ephemeral).
+    fn append_wal(&self, payload: &str) -> Result<(), ServeError> {
+        let mut guard = self.wal.lock().unwrap();
+        if let Some(wal) = guard.as_mut() {
+            wal.append(payload)?;
+        }
+        Ok(())
+    }
+
+    /// `(bytes, records)` currently in the WAL.
+    pub fn wal_size(&self) -> (u64, u64) {
+        let guard = self.wal.lock().unwrap();
+        guard.as_ref().map_or((0, 0), |w| (w.bytes(), w.records()))
+    }
+
+    /// Counts `applied` statements toward the auto-snapshot threshold.
+    fn maybe_snapshot(&self, applied: u64) -> Result<(), ServeError> {
+        if self.snapshot_every == 0 || self.dir.is_none() || applied == 0 {
+            return Ok(());
+        }
+        let total = self.since_snapshot.fetch_add(applied, Ordering::Relaxed) + applied;
+        if total >= self.snapshot_every {
+            self.since_snapshot.store(0, Ordering::Relaxed);
+            self.snapshot()?;
+        }
+        Ok(())
+    }
+
+    /// Renders the whole store as a SQL script that recreates it (the
+    /// snapshot format — DDL in registry order, then each table's
+    /// rows). Callers must not hold any table lock.
+    pub fn export_script(&self) -> String {
+        let arcs: Vec<(String, Arc<RwLock<StoredTable>>)> = {
+            let reg = self.tables.read().unwrap();
+            reg.iter().map(|(n, a)| (n.clone(), a.clone())).collect()
+        };
+        let mut out = String::new();
+        for (name, arc) in &arcs {
+            let st = arc.read().unwrap();
+            out.push_str(&render_create_table(st.data().schema(), st.sigma()));
+            out.push('\n');
+            if !st.data().is_empty() {
+                out.push_str(&render_insert(name, st.data().rows()));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// Writes a snapshot and truncates the WAL. The snapshot is
+    /// written to a temp file, fsynced and renamed into place before
+    /// the WAL shrinks, and all table read locks are held throughout —
+    /// an admitted statement is always in the snapshot or the WAL.
+    pub fn snapshot(&self) -> Result<(), ServeError> {
+        let Some(dir) = self.dir.as_ref() else {
+            return Ok(());
+        };
+        let _span = sqlnf_obs::span!("serve.snapshot");
+        let reg = self.tables.read().unwrap();
+        let guards: Vec<(&String, std::sync::RwLockReadGuard<'_, StoredTable>)> = reg
+            .iter()
+            .map(|(name, arc)| (name, arc.read().unwrap()))
+            .collect();
+        let mut script = String::new();
+        for (name, st) in &guards {
+            script.push_str(&render_create_table(st.data().schema(), st.sigma()));
+            script.push('\n');
+            if !st.data().is_empty() {
+                script.push_str(&render_insert(name, st.data().rows()));
+                script.push('\n');
+            }
+        }
+        let tmp = dir.join("snapshot.tmp");
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(script.as_bytes())?;
+            f.sync_data()?;
+        }
+        std::fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
+        let mut guard = self.wal.lock().unwrap();
+        if let Some(wal) = guard.as_mut() {
+            wal.truncate()?;
+        }
+        self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
+        sqlnf_obs::count!("serve.snapshots");
+        Ok(())
+    }
+
+    /// Fsyncs the WAL (graceful shutdown path).
+    pub fn sync(&self) -> Result<(), ServeError> {
+        let mut guard = self.wal.lock().unwrap();
+        if let Some(wal) = guard.as_mut() {
+            wal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Full revalidation: every stored instance satisfies its declared
+    /// constraint set (used by tests to audit concurrent admission).
+    pub fn satisfies_all_constraints(&self) -> bool {
+        let names = self.table_names();
+        names.iter().all(|name| {
+            self.with_table(name, |st| satisfies_all(st.data(), st.sigma()))
+                .unwrap_or(false)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DDL: &str = "CREATE TABLE purchase (
+        order_id INT NOT NULL,
+        item     TEXT NOT NULL,
+        catalog  TEXT,
+        price    INT NOT NULL,
+        CONSTRAINT line CERTAIN FD (item, catalog) -> (price)
+    );";
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sqlnf_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn execute_admits_and_rejects() {
+        let store = Store::ephemeral();
+        store.execute_sql(DDL).unwrap();
+        store
+            .execute_sql("INSERT INTO purchase VALUES (1, 'Fitbit', 'Amazon', 240);")
+            .unwrap();
+        let err = store
+            .execute_sql("INSERT INTO purchase VALUES (2, 'Fitbit', 'Amazon', 999);")
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            ServeError::Engine(EngineError::ConstraintViolation { .. })
+        ));
+        assert_eq!(store.stats.admitted.load(Ordering::Relaxed), 2);
+        assert_eq!(store.stats.rejected.load(Ordering::Relaxed), 1);
+        assert!(store.satisfies_all_constraints());
+    }
+
+    #[test]
+    fn multi_row_insert_is_atomic() {
+        let store = Store::ephemeral();
+        store.execute_sql(DDL).unwrap();
+        // Second row violates the c-FD against the first: both roll back.
+        let err = store
+            .execute_sql("INSERT INTO purchase VALUES (1, 'X', 'A', 10), (2, 'X', 'A', 20);")
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Engine(_)));
+        store
+            .with_table("purchase", |st| assert_eq!(st.data().len(), 0))
+            .unwrap();
+    }
+
+    #[test]
+    fn recovery_replays_wal_and_snapshot() {
+        let dir = tmp_dir("recover");
+        {
+            let store = Store::open(&dir, 0).unwrap();
+            store.execute_sql(DDL).unwrap();
+            store
+                .execute_sql("INSERT INTO purchase VALUES (1, 'Fitbit', NULL, 240);")
+                .unwrap();
+            // No snapshot, no graceful close: state lives in the WAL only.
+        }
+        let reborn = Store::open(&dir, 0).unwrap();
+        reborn
+            .with_table("purchase", |st| assert_eq!(st.data().len(), 1))
+            .unwrap();
+        // Snapshot, append more, recover again: both sources compose.
+        reborn.snapshot().unwrap();
+        assert_eq!(reborn.wal_size().1, 0);
+        reborn
+            .execute_sql("INSERT INTO purchase VALUES (2, 'Doll', 'Kingtoys', 25);")
+            .unwrap();
+        let script = reborn.export_script();
+        drop(reborn);
+        let third = Store::open(&dir, 0).unwrap();
+        assert_eq!(third.export_script(), script);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_snapshot_truncates_wal() {
+        let dir = tmp_dir("auto");
+        let store = Store::open(&dir, 2).unwrap();
+        store.execute_sql(DDL).unwrap();
+        store
+            .execute_sql("INSERT INTO purchase VALUES (1, 'A', NULL, 1);")
+            .unwrap();
+        // Threshold reached: snapshot happened, WAL empty.
+        assert_eq!(store.wal_size().1, 0);
+        assert_eq!(store.stats.snapshots.load(Ordering::Relaxed), 1);
+        assert!(dir.join(SNAPSHOT_FILE).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -31,6 +31,8 @@ pub enum CliError {
     Csv(sqlnf_model::csv::CsvError),
     /// Engine rejection while loading a script.
     Engine(EngineError),
+    /// Server-side failure (serve/client subcommands).
+    Serve(sqlnf_serve::ServeError),
 }
 
 impl std::fmt::Display for CliError {
@@ -41,6 +43,7 @@ impl std::fmt::Display for CliError {
             CliError::Sql(e) => write!(f, "{e}"),
             CliError::Csv(e) => write!(f, "{e}"),
             CliError::Engine(e) => write!(f, "{e}"),
+            CliError::Serve(e) => write!(f, "server error: {e}"),
         }
     }
 }
@@ -65,6 +68,11 @@ impl From<EngineError> for CliError {
         CliError::Engine(e)
     }
 }
+impl From<sqlnf_serve::ServeError> for CliError {
+    fn from(e: sqlnf_serve::ServeError) -> Self {
+        CliError::Serve(e)
+    }
+}
 
 const USAGE: &str = "sqlnf — SQL schema design (Köhler & Link, SIGMOD 2016)
 
@@ -76,6 +84,13 @@ USAGE:
     sqlnf mine <file.csv> [max_lhs]    discover & classify FDs (default LHS cap 3)
     sqlnf dataset <name> [seed]        emit an evaluation dataset as CSV
                                        (contact | contractor | fig7 | purchase)
+    sqlnf serve [--port N] [--wal-dir DIR] [--workers N] [--snapshot-every N]
+                                       run the constraint-enforcing TCP server
+                                       (line protocol; see DESIGN.md §8)
+    sqlnf client <host:port> [file.sql]
+                                       run a scripted session against a server
+                                       (reads stdin when no file is given;
+                                       lines may mix SQL and service verbs)
 
 FLAGS (any subcommand):
     --stats                            print an observability report to stderr
@@ -209,46 +224,123 @@ pub fn cmd_mine(
     cache_budget: usize,
 ) -> Result<String, CliError> {
     let table = table_from_csv(name, csv_src)?;
-    let schema = table.schema().clone();
-    let cls = classify_table_budgeted(&table, max_lhs, cache_budget);
-    let keys = mine_keys_budgeted(&table, max_lhs, cache_budget);
+    Ok(mine_report(name, &table, max_lhs, cache_budget))
+}
+
+/// Parses the `serve` subcommand's flags.
+fn parse_serve_config(args: &[String]) -> Result<sqlnf_serve::ServeConfig, CliError> {
+    let mut config = sqlnf_serve::ServeConfig::default();
+    let mut it = args.iter();
+    let need = |flag: &str, v: Option<&String>| -> Result<String, CliError> {
+        v.cloned()
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value\n\n{USAGE}")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--port" => {
+                let v = need("--port", it.next())?;
+                let port: u16 = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --port {v:?}\n\n{USAGE}")))?;
+                config.addr = format!("127.0.0.1:{port}");
+            }
+            "--wal-dir" => {
+                config.wal_dir = Some(std::path::PathBuf::from(need("--wal-dir", it.next())?));
+            }
+            "--workers" => {
+                let v = need("--workers", it.next())?;
+                config.workers = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --workers {v:?}\n\n{USAGE}")))?;
+            }
+            "--snapshot-every" => {
+                let v = need("--snapshot-every", it.next())?;
+                config.snapshot_every = v.parse().map_err(|_| {
+                    CliError::Usage(format!("bad --snapshot-every {v:?}\n\n{USAGE}"))
+                })?;
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown serve flag {other:?}\n\n{USAGE}"
+                )))
+            }
+        }
+    }
+    Ok(config)
+}
+
+/// `sqlnf serve`: run the TCP server until a client sends `SHUTDOWN`.
+/// Prints (and flushes) a `listening on <addr>` line immediately so
+/// scripts can wait for readiness.
+pub fn cmd_serve(args: &[String]) -> Result<String, CliError> {
+    let config = parse_serve_config(args)?;
+    let server = sqlnf_serve::Server::start(config)?;
+    {
+        use std::io::Write as _;
+        let mut out = std::io::stdout();
+        let _ = writeln!(out, "listening on {}", server.local_addr());
+        let _ = out.flush();
+    }
+    server.wait_shutdown();
+    let store = server.store();
+    let admitted = store
+        .stats
+        .admitted
+        .load(std::sync::atomic::Ordering::Relaxed);
+    let sessions = store
+        .stats
+        .sessions
+        .load(std::sync::atomic::Ordering::Relaxed);
+    server.shutdown()?;
+    Ok(format!(
+        "server stopped ({sessions} sessions, {admitted} statements admitted)"
+    ))
+}
+
+/// `sqlnf client`: run a scripted session. Lines may mix SQL
+/// statements (accumulated to their terminating `;`) and service
+/// verbs; each request's reply is echoed.
+pub fn cmd_client(addr: &str, script: &str) -> Result<String, CliError> {
+    use sqlnf_serve::protocol::{is_verb_line, statement_complete};
+    let mut client = sqlnf_serve::Client::connect(addr)?;
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{name}: {} rows × {} columns (LHS cap {max_lhs})",
-        table.len(),
-        schema.arity()
-    );
-    let _ = writeln!(
-        out,
-        "minimal FDs: {} nn, {} p, {} c ({} total, {} λ); minimal keys: {} possible, {} certain",
-        cls.nn_fds.len(),
-        cls.p_fds.len(),
-        cls.c_fds.len(),
-        cls.t_fds.len(),
-        cls.lambda_fds.len(),
-        keys.pkeys.len(),
-        keys.ckeys.len()
-    );
-    for k in &keys.ckeys {
-        let _ = writeln!(out, "  c-key  {}", schema.display_set(*k));
-    }
-    for lam in &cls.lambda_fds {
+    let mut echo = |reply: sqlnf_serve::Reply| {
         let _ = writeln!(
             out,
-            "  λ-FD   {} ->w {}   (projection keeps {:.0}% of rows)",
-            schema.display_set(lam.lhs),
-            schema.display_set(lam.lhs | lam.rhs),
-            lam.relative_projection_size * 100.0
+            "{} {}",
+            if reply.ok { "OK" } else { "ERR" },
+            reply.message
         );
+        for line in &reply.lines {
+            let _ = writeln!(out, "{line}");
+        }
+    };
+    let mut buf = String::new();
+    let mut closed = false;
+    for line in script.lines() {
+        if buf.trim().is_empty() && is_verb_line(line) {
+            let upper = line.trim().to_ascii_uppercase();
+            echo(client.request(line)?);
+            if upper == "QUIT" || upper == "SHUTDOWN" {
+                closed = true;
+                break;
+            }
+            continue;
+        }
+        buf.push_str(line);
+        buf.push('\n');
+        if statement_complete(&buf) {
+            echo(client.request(&buf)?);
+            buf.clear();
+        }
     }
-    for fd in &cls.nn_fds {
-        let _ = writeln!(
-            out,
-            "  nn-FD  {} -> {}",
-            schema.display_set(fd.lhs),
-            schema.display_set(fd.rhs)
-        );
+    if !buf.trim().is_empty() {
+        return Err(CliError::Usage(
+            "script ends with an unterminated statement".into(),
+        ));
+    }
+    if !closed {
+        client.quit()?;
     }
     Ok(out)
 }
@@ -396,6 +488,13 @@ fn dispatch(args: &[String], mine: &MineOptions) -> Result<(String, Option<JsonV
                 None,
             ))
         }
+        [cmd, rest @ ..] if cmd == "serve" => Ok((cmd_serve(rest)?, None)),
+        [cmd, addr] if cmd == "client" => {
+            let mut script = String::new();
+            std::io::Read::read_to_string(&mut std::io::stdin(), &mut script)?;
+            Ok((cmd_client(addr, &script)?, None))
+        }
+        [cmd, addr, file] if cmd == "client" => Ok((cmd_client(addr, &read(file)?)?, None)),
         [cmd, name] if cmd == "dataset" => Ok((cmd_dataset(name, 20_160_626)?, None)),
         [cmd, name, seed] if cmd == "dataset" => {
             let seed: u64 = seed
@@ -582,6 +681,41 @@ mod tests {
             .map(|s| s.to_string())
             .collect();
         assert!(matches!(split_obs_args(&bad), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn serve_flags_are_validated() {
+        let bad: Vec<String> = ["--port", "notaport"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(cmd_serve(&bad), Err(CliError::Usage(_))));
+        let unknown: Vec<String> = ["--bogus"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(cmd_serve(&unknown), Err(CliError::Usage(_))));
+        let dangling: Vec<String> = ["--wal-dir"].iter().map(|s| s.to_string()).collect();
+        assert!(matches!(cmd_serve(&dangling), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn client_runs_a_scripted_session() {
+        let server = sqlnf_serve::Server::start(sqlnf_serve::ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let script = "\
+CREATE TABLE t (
+    a INT NOT NULL,
+    CONSTRAINT k CERTAIN KEY (a)
+);
+INSERT INTO t VALUES (1);
+INSERT INTO t VALUES (1);
+STATS
+QUIT
+";
+        let out = cmd_client(&addr, script).unwrap();
+        assert!(out.contains("OK applied 1 statement"), "{out}");
+        assert!(out.contains("ERR"), "{out}");
+        assert!(out.contains("stmt.admitted 2"), "{out}");
+        assert!(out.contains("stmt.rejected 1"), "{out}");
+        server.shutdown().unwrap();
     }
 
     #[test]

@@ -10,6 +10,7 @@ mod common;
 
 use common::*;
 use proptest::prelude::*;
+use sqlnf::model::incremental::IndexBank;
 use sqlnf::prelude::*;
 
 const COLS: usize = 3;
@@ -114,6 +115,53 @@ proptest! {
             // Invariant 1 at every step.
             prop_assert!(after.satisfies_nfs());
             prop_assert!(satisfies_all(&after, &sigma));
+        }
+    }
+
+    /// The incrementally-maintained index bank is behaviorally
+    /// equivalent to a bank rebuilt from scratch after every operation:
+    /// for any probe row, both agree on admissibility and on the first
+    /// violated constraint. (The conflicting *row id* may legitimately
+    /// differ — deletion compacts groups with `swap_remove` — so only
+    /// the decision and the constraint index are compared.)
+    #[test]
+    fn incremental_bank_matches_rebuild(
+        sigma in sigma(COLS, 3),
+        nfs in attr_subset(COLS),
+        ops in proptest::collection::vec(op_strategy(), 1..20),
+        probes in proptest::collection::vec(
+            proptest::collection::vec(small_value(), COLS), 1..5),
+    ) {
+        let schema = schema_with_nfs(nfs);
+        let mut db = Database::new();
+        db.create_table(schema, sigma.clone()).unwrap();
+
+        for op in &ops {
+            let _ = match op {
+                Op::Insert(values) => db.insert("t", Tuple::new(values.clone())),
+                Op::Update { row, col, value } => {
+                    db.update("t", *row, &format!("a{col}"), value.clone())
+                }
+                Op::Delete { row } => db.delete("t", *row).map(|_| ()),
+            };
+            let stored = db.table("t").unwrap();
+            let rebuilt = IndexBank::build(&sigma, stored.data());
+            for p in &probes {
+                let probe = Tuple::new(p.clone());
+                let incremental = stored.bank().can_insert(stored.data().rows(), &probe);
+                let reference = rebuilt.can_insert(stored.data().rows(), &probe);
+                match (incremental, reference) {
+                    (Ok(()), Ok(())) => {}
+                    (Err((ci, _)), Err((cj, _))) => prop_assert_eq!(
+                        ci, cj,
+                        "banks blame different constraints after {op:?}"
+                    ),
+                    (a, b) => prop_assert!(
+                        false,
+                        "bank divergence after {op:?}: incremental {a:?} vs rebuilt {b:?}"
+                    ),
+                }
+            }
         }
     }
 }
