@@ -17,9 +17,10 @@
 //! ```
 //!
 //! Any other line feeds the SQL accumulator; a statement is complete
-//! when its single quotes balance and it ends with `;`, at which point
-//! the accumulated text is parsed and executed as a script. Every
-//! request earns exactly one reply:
+//! when every `'…'` string literal (`''` escapes a quote) and every
+//! `"…"` quoted identifier is closed and the last character outside
+//! them is `;`, at which point the accumulated text is parsed and
+//! executed as a script. Every request earns exactly one reply:
 //!
 //! ```text
 //! OK <n> <message>\n     then n payload lines
@@ -212,16 +213,48 @@ pub fn is_verb_line(line: &str) -> bool {
     parse_verb(line).is_some()
 }
 
-/// A statement is complete when its single quotes balance (`''` is an
-/// escaped quote, i.e. two quotes, so plain parity works) and the text
-/// ends with `;` outside a string.
+/// A statement is complete when every quoted region is closed and the
+/// last character outside quotes is `;`. Mirrors the lexer's rules:
+/// `'…'` strings escape a quote as `''`; `"…"` identifiers run to the
+/// next `"` with no escape.
 pub fn statement_complete(buf: &str) -> bool {
     sql_complete(buf)
 }
 
 fn sql_complete(buf: &str) -> bool {
-    let quotes = buf.bytes().filter(|&b| b == b'\'').count();
-    quotes % 2 == 0 && buf.trim_end().ends_with(';')
+    let bytes = buf.as_bytes();
+    let mut last = 0u8;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            q @ (b'\'' | b'"') => {
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        // Unclosed region: keep accumulating.
+                        None => return false,
+                        Some(&b) if b == q => {
+                            if q == b'\'' && bytes.get(i + 1) == Some(&q) {
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => i += 1,
+                    }
+                }
+                last = q;
+            }
+            b => {
+                if !b.is_ascii_whitespace() {
+                    last = b;
+                }
+                i += 1;
+            }
+        }
+    }
+    last == b';'
 }
 
 /// Tries to read a line as a service verb.
@@ -328,6 +361,32 @@ mod tests {
             panic!("expected completed SQL");
         };
         assert!(sql.contains("semi;\nQUIT\ncolon"));
+    }
+
+    #[test]
+    fn double_quoted_identifiers_frame_correctly() {
+        let mut acc = Accumulator::new();
+        // An apostrophe inside a quoted identifier must not be read as
+        // opening a string — the statement completes on this line.
+        let Some(Request::Sql(sql)) = acc.push_line("CREATE TABLE \"a'b\" (x INT);") else {
+            panic!("expected completed SQL");
+        };
+        assert!(sql.contains("\"a'b\""));
+        assert!(!acc.is_pending());
+        // A ';' inside a quoted identifier does not end the statement.
+        assert_eq!(acc.push_line("INSERT INTO \"semi;"), None);
+        assert!(matches!(
+            acc.push_line("colon\" VALUES (1);"),
+            Some(Request::Sql(_))
+        ));
+        // A trailing '' is an escaped quote, not a closed string: the
+        // statement stays pending until the literal really closes.
+        assert_eq!(acc.push_line("INSERT INTO t VALUES ('x'');"), None);
+        assert!(matches!(acc.push_line("');"), Some(Request::Sql(_))));
+        // A ';' at the very end of a closed string does not terminate.
+        assert!(!statement_complete("INSERT INTO t VALUES ('x;'"));
+        assert!(!statement_complete("INSERT INTO t VALUES ('x;')"));
+        assert!(statement_complete("INSERT INTO t VALUES ('x;');"));
     }
 
     #[test]

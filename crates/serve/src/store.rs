@@ -3,20 +3,23 @@
 //!
 //! ## Locking discipline
 //!
-//! Three lock tiers, always acquired in this order (and released
+//! Four lock tiers, always acquired in this order (and released
 //! before acquiring an earlier tier again):
 //!
-//! 1. the **registry** `RwLock` over the table map — writers only for
+//! 1. the **snapshot** mutex — taken only by `snapshot()`, so at most
+//!    one snapshot runs at a time; it owns the WAL generation number;
+//! 2. the **registry** `RwLock` over the table map — writers only for
 //!    `CREATE TABLE`; every other path takes it briefly as a reader to
 //!    clone the table's `Arc` and drops it before touching the table;
-//! 2. **table** `RwLock`s — sessions hold at most one; the snapshotter
+//! 3. **table** `RwLock`s — sessions hold at most one; the snapshotter
 //!    holds all of them as a reader, acquired in name order;
-//! 3. the **WAL** mutex — always innermost.
+//! 4. the **WAL** mutex — always innermost.
 //!
 //! A writer appends to the WAL *while still holding the table's write
 //! lock*, so per-table WAL order equals application order; the
-//! snapshotter truncates the WAL while holding every table read lock,
-//! so no admitted statement can fall between snapshot and log.
+//! snapshotter switches to the next WAL generation while holding every
+//! table read lock, so no admitted statement can fall between snapshot
+//! and log.
 
 use crate::wal::{self, Wal, SNAPSHOT_FILE};
 use sqlnf_core::prelude::*;
@@ -101,6 +104,9 @@ pub struct Store {
     tables: RwLock<Registry>,
     wal: Mutex<Option<Wal>>,
     dir: Option<PathBuf>,
+    /// Serializes snapshots; the guarded value is the generation of
+    /// the live WAL (tier 1 of the locking discipline).
+    generation: Mutex<u64>,
     /// Admitted statements between automatic snapshots (0 = only on
     /// shutdown).
     snapshot_every: u64,
@@ -116,6 +122,7 @@ impl Store {
             tables: RwLock::new(BTreeMap::new()),
             wal: Mutex::new(None),
             dir: None,
+            generation: Mutex::new(0),
             snapshot_every: 0,
             since_snapshot: AtomicU64::new(0),
             stats: StoreStats::default(),
@@ -123,30 +130,42 @@ impl Store {
     }
 
     /// Opens a durable store in `dir`, recovering state by applying the
-    /// snapshot (if any) and then replaying the WAL; `snapshot_every`
-    /// admitted statements trigger an automatic snapshot (0 disables).
+    /// snapshot (if any) and then replaying the snapshot generation's
+    /// WAL; `snapshot_every` admitted statements trigger an automatic
+    /// snapshot (0 disables). Logs of any other generation are debris
+    /// of a crash mid-snapshot — older ones are fully contained in the
+    /// snapshot, newer ones were never written to — and are deleted,
+    /// not replayed, so recovery never applies a statement twice.
     pub fn open(dir: &Path, snapshot_every: u64) -> Result<Store, ServeError> {
+        std::fs::create_dir_all(dir)?;
         let store = Store {
             tables: RwLock::new(BTreeMap::new()),
             wal: Mutex::new(None),
             dir: Some(dir.to_path_buf()),
+            generation: Mutex::new(0),
             snapshot_every,
             since_snapshot: AtomicU64::new(0),
             stats: StoreStats::default(),
         };
         let snap_path = dir.join(SNAPSHOT_FILE);
-        match std::fs::read_to_string(&snap_path) {
-            Ok(snapshot) => store.apply_script_unlogged(&snapshot)?,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+        let generation = match std::fs::read_to_string(&snap_path) {
+            Ok(image) => {
+                let (generation, script) = wal::parse_snapshot(&image);
+                store.apply_script_unlogged(script)?;
+                generation
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
             Err(e) => return Err(e.into()),
-        }
+        };
+        wal::cleanup_stale(dir, generation)?;
         // Wal::open truncates any torn tail, so replay-then-append
         // agree on the log's frames.
-        let wal = Wal::open(dir)?;
+        let wal = Wal::open(dir, generation)?;
         for stmt in wal::replay(wal.path())? {
             store.apply_script_unlogged(&stmt)?;
         }
         *store.wal.lock().unwrap() = Some(wal);
+        *store.generation.lock().unwrap() = generation;
         Ok(store)
     }
 
@@ -290,13 +309,20 @@ impl Store {
     }
 
     /// Counts `applied` statements toward the auto-snapshot threshold.
+    /// The compare-exchange elects exactly one thread per crossing: a
+    /// loser's statements stay counted and re-arm the next trigger, so
+    /// concurrent workers never pile into `snapshot()` together.
     fn maybe_snapshot(&self, applied: u64) -> Result<(), ServeError> {
         if self.snapshot_every == 0 || self.dir.is_none() || applied == 0 {
             return Ok(());
         }
         let total = self.since_snapshot.fetch_add(applied, Ordering::Relaxed) + applied;
-        if total >= self.snapshot_every {
-            self.since_snapshot.store(0, Ordering::Relaxed);
+        if total >= self.snapshot_every
+            && self
+                .since_snapshot
+                .compare_exchange(total, 0, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
             self.snapshot()?;
         }
         Ok(())
@@ -323,21 +349,30 @@ impl Store {
         out
     }
 
-    /// Writes a snapshot and truncates the WAL. The snapshot is
-    /// written to a temp file, fsynced and renamed into place before
-    /// the WAL shrinks, and all table read locks are held throughout —
-    /// an admitted statement is always in the snapshot or the WAL.
+    /// Writes a snapshot and retires the current WAL by switching to
+    /// the next generation. All table read locks are held throughout,
+    /// so an admitted statement is always in the snapshot or the live
+    /// WAL, and the on-disk order makes every crash point recoverable:
+    /// the generation-`g+1` snapshot and its empty log are written and
+    /// made durable (file fsync, rename, directory fsync) *before* the
+    /// generation-`g` log is deleted — a leftover old-generation log
+    /// is therefore always fully contained in the snapshot, and
+    /// `open()` discards it instead of replaying it twice.
     pub fn snapshot(&self) -> Result<(), ServeError> {
         let Some(dir) = self.dir.as_ref() else {
             return Ok(());
         };
         let _span = sqlnf_obs::span!("serve.snapshot");
+        // Tier 1: one snapshot at a time; the guard owns the live
+        // WAL's generation.
+        let mut generation = self.generation.lock().unwrap();
+        let next = *generation + 1;
         let reg = self.tables.read().unwrap();
         let guards: Vec<(&String, std::sync::RwLockReadGuard<'_, StoredTable>)> = reg
             .iter()
             .map(|(name, arc)| (name, arc.read().unwrap()))
             .collect();
-        let mut script = String::new();
+        let mut script = wal::snapshot_header(next);
         for (name, st) in &guards {
             script.push_str(&render_create_table(st.data().schema(), st.sigma()));
             script.push('\n');
@@ -346,18 +381,29 @@ impl Store {
                 script.push('\n');
             }
         }
-        let tmp = dir.join("snapshot.tmp");
+        let tmp = wal::snapshot_tmp_path(dir, next);
         {
             use std::io::Write as _;
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(script.as_bytes())?;
             f.sync_data()?;
         }
+        // The next generation's log must exist before the snapshot
+        // naming it is published, and both must be durable before any
+        // statement is appended to the new log — otherwise a crash
+        // could recover the old snapshot yet discard the new log.
+        let fresh = Wal::open(dir, next)?;
         std::fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
-        let mut guard = self.wal.lock().unwrap();
-        if let Some(wal) = guard.as_mut() {
-            wal.truncate()?;
+        wal::sync_dir(dir)?;
+        let retired = self.wal.lock().unwrap().replace(fresh);
+        if let Some(old) = retired {
+            // Already captured by the snapshot; removal is cleanup,
+            // not correctness — open() deletes leftovers.
+            let _ = std::fs::remove_file(old.path());
+            let _ = wal::sync_dir(dir);
         }
+        self.since_snapshot.store(0, Ordering::Relaxed);
+        *generation = next;
         self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
         sqlnf_obs::count!("serve.snapshots");
         Ok(())
@@ -459,6 +505,81 @@ mod tests {
         drop(reborn);
         let third = Store::open(&dir, 0).unwrap();
         assert_eq!(third.export_script(), script);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The crash window the generation scheme closes: the snapshot is
+    /// renamed into place but the previous generation's log survives
+    /// (power loss before the retired log was deleted). Replaying that
+    /// log on top of the snapshot would double every statement — or
+    /// refuse to start on `DuplicateTable` — so recovery must discard
+    /// it instead.
+    #[test]
+    fn leftover_old_generation_wal_is_not_replayed() {
+        let dir = tmp_dir("stale");
+        let store = Store::open(&dir, 0).unwrap();
+        store.execute_sql(DDL).unwrap();
+        store
+            .execute_sql("INSERT INTO purchase VALUES (1, 'Fitbit', NULL, 240);")
+            .unwrap();
+        let old_log = std::fs::read(wal::wal_path(&dir, 0)).unwrap();
+        store.snapshot().unwrap();
+        store
+            .execute_sql("INSERT INTO purchase VALUES (2, 'Doll', 'Kingtoys', 25);")
+            .unwrap();
+        let expected = store.export_script();
+        drop(store);
+        // Resurrect the generation-0 log next to the generation-1
+        // snapshot + log, as if the final delete never hit the disk.
+        std::fs::write(wal::wal_path(&dir, 0), &old_log).unwrap();
+        let reborn = Store::open(&dir, 0).unwrap();
+        assert_eq!(reborn.export_script(), expected);
+        assert!(reborn.satisfies_all_constraints());
+        assert!(!wal::wal_path(&dir, 0).exists(), "stale log cleaned up");
+        drop(reborn);
+        // Crash *before* the rename instead: an empty next-generation
+        // log and a temp snapshot are debris, not state.
+        std::fs::write(wal::wal_path(&dir, 9), b"").unwrap();
+        std::fs::write(wal::snapshot_tmp_path(&dir, 9), b"junk").unwrap();
+        let again = Store::open(&dir, 0).unwrap();
+        assert_eq!(again.export_script(), expected);
+        assert!(!wal::wal_path(&dir, 9).exists());
+        assert!(!wal::snapshot_tmp_path(&dir, 9).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Hammer the auto-snapshot trigger from several writers at once:
+    /// snapshots must serialize (no interleaved writers corrupting one
+    /// file) and recovery must reproduce the exact store.
+    #[test]
+    fn concurrent_snapshot_triggers_stay_consistent() {
+        let dir = tmp_dir("conc");
+        let store = Arc::new(Store::open(&dir, 1).unwrap());
+        store.execute_sql(DDL).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..10 {
+                        let id = k * 100 + i;
+                        store
+                            .execute_sql(&format!(
+                                "INSERT INTO purchase VALUES ({id}, 'i{id}', NULL, {id});"
+                            ))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(store.stats.snapshots.load(Ordering::Relaxed) >= 1);
+        let expected = store.export_script();
+        drop(store);
+        let reborn = Store::open(&dir, 0).unwrap();
+        assert_eq!(reborn.export_script(), expected);
+        assert!(reborn.satisfies_all_constraints());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

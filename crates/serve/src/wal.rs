@@ -12,15 +12,93 @@
 //! log replays through the ordinary parser. Recovery tolerates a torn
 //! tail: the first malformed or incomplete frame ends the replay, and
 //! the next append truncates the file back to the last good frame.
+//!
+//! ## Generations
+//!
+//! Logs are named `wal.<generation>.log` and a snapshot records (in
+//! its header line) the generation of the log that accompanies it.
+//! Taking a snapshot never truncates a log in place: it writes the
+//! snapshot for generation `g+1`, creates the empty `wal.<g+1>.log`,
+//! renames the snapshot into place, fsyncs the directory, and only
+//! then retires `wal.<g>.log`. A crash at any point leaves the
+//! directory recoverable: logs whose generation differs from the
+//! snapshot's are either fully captured by the snapshot (older) or
+//! empty leftovers of an unfinished snapshot (newer), so
+//! [`cleanup_stale`] deletes them before replay instead of replaying
+//! them twice.
 
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-/// File name of the log inside a WAL directory.
-pub const WAL_FILE: &str = "wal.log";
 /// File name of the snapshot inside a WAL directory.
 pub const SNAPSHOT_FILE: &str = "snapshot.sql";
+
+/// First line of every snapshot file; the generation follows.
+const SNAPSHOT_HEADER: &str = "-- sqlnf snapshot generation=";
+
+/// Path of the log for `generation` inside `dir`.
+pub fn wal_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("wal.{generation}.log"))
+}
+
+/// Path of the snapshot temp file for `generation` inside `dir` (a
+/// unique name per generation, so an interrupted writer can never be
+/// interleaved with a later one).
+pub fn snapshot_tmp_path(dir: &Path, generation: u64) -> PathBuf {
+    dir.join(format!("snapshot.{generation}.tmp"))
+}
+
+/// The header line a snapshot of `generation` starts with (stripped
+/// before the body is parsed as SQL).
+pub fn snapshot_header(generation: u64) -> String {
+    format!("{SNAPSHOT_HEADER}{generation}\n")
+}
+
+/// Splits a snapshot image into its generation and its SQL body. A
+/// missing or malformed header reads as generation 0 with the whole
+/// image as body.
+pub fn parse_snapshot(image: &str) -> (u64, &str) {
+    if let Some(rest) = image.strip_prefix(SNAPSHOT_HEADER) {
+        if let Some((gen, body)) = rest.split_once('\n') {
+            if let Ok(generation) = gen.trim().parse() {
+                return (generation, body);
+            }
+        }
+    }
+    (0, image)
+}
+
+/// Deletes logs of any generation other than `keep` plus leftover
+/// snapshot temp files — the debris of a crash mid-snapshot, all of it
+/// already applied (older logs) or never written to (newer logs).
+pub fn cleanup_stale(dir: &Path, keep: u64) -> io::Result<()> {
+    let mut removed = false;
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale_log = name
+            .strip_prefix("wal.")
+            .and_then(|r| r.strip_suffix(".log"))
+            .and_then(|g| g.parse::<u64>().ok())
+            .is_some_and(|g| g != keep);
+        let stale_tmp = name.starts_with("snapshot.") && name.ends_with(".tmp");
+        if stale_log || stale_tmp {
+            std::fs::remove_file(entry.path())?;
+            removed = true;
+        }
+    }
+    if removed {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Fsyncs a directory so renames/creates/removes inside it are durable.
+pub fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
 
 /// An open write-ahead log.
 #[derive(Debug)]
@@ -32,13 +110,13 @@ pub struct Wal {
 }
 
 impl Wal {
-    /// Opens (creating if needed) the log inside `dir`, positioned
-    /// after the last complete frame — a torn tail from a crash is
-    /// discarded here, so recovery and the append path agree on the
-    /// log's contents.
-    pub fn open(dir: &Path) -> io::Result<Wal> {
+    /// Opens (creating if needed) the log of `generation` inside
+    /// `dir`, positioned after the last complete frame — a torn tail
+    /// from a crash is discarded here, so recovery and the append path
+    /// agree on the log's contents.
+    pub fn open(dir: &Path, generation: u64) -> io::Result<Wal> {
         std::fs::create_dir_all(dir)?;
-        let path = dir.join(WAL_FILE);
+        let path = wal_path(dir, generation);
         let mut file = OpenOptions::new()
             .read(true)
             .write(true)
@@ -77,16 +155,6 @@ impl Wal {
     /// Forces the log to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
         self.file.sync_data()
-    }
-
-    /// Empties the log (after a snapshot has captured its effects).
-    pub fn truncate(&mut self) -> io::Result<()> {
-        self.file.set_len(0)?;
-        self.file.seek(SeekFrom::Start(0))?;
-        self.file.sync_data()?;
-        self.bytes = 0;
-        self.records = 0;
-        Ok(())
     }
 
     /// Bytes currently in the log.
@@ -169,11 +237,11 @@ mod tests {
     #[test]
     fn append_replay_round_trip() {
         let dir = tmp_dir("rt");
-        let mut wal = Wal::open(&dir).unwrap();
+        let mut wal = Wal::open(&dir, 0).unwrap();
         wal.append("CREATE TABLE t (a TEXT);").unwrap();
         wal.append("INSERT INTO t VALUES ('x;\ny');").unwrap();
         assert_eq!(wal.records(), 2);
-        let back = replay(&dir.join(WAL_FILE)).unwrap();
+        let back = replay(&wal_path(&dir, 0)).unwrap();
         assert_eq!(
             back,
             vec![
@@ -187,12 +255,12 @@ mod tests {
     #[test]
     fn torn_tail_is_tolerated_and_truncated() {
         let dir = tmp_dir("torn");
-        let mut wal = Wal::open(&dir).unwrap();
+        let mut wal = Wal::open(&dir, 0).unwrap();
         wal.append("INSERT INTO t VALUES (1);").unwrap();
         let good_bytes = wal.bytes();
         drop(wal);
         // Simulate a crash mid-append: a frame with a short payload.
-        let path = dir.join(WAL_FILE);
+        let path = wal_path(&dir, 0);
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(b"#999\nINSERT INTO").unwrap();
         drop(f);
@@ -202,7 +270,7 @@ mod tests {
         );
         // Re-opening truncates back to the last good frame and appends
         // continue from there.
-        let mut wal = Wal::open(&dir).unwrap();
+        let mut wal = Wal::open(&dir, 0).unwrap();
         assert_eq!(wal.bytes(), good_bytes);
         assert_eq!(wal.records(), 1);
         wal.append("INSERT INTO t VALUES (2);").unwrap();
@@ -211,13 +279,30 @@ mod tests {
     }
 
     #[test]
-    fn truncate_empties_the_log() {
-        let dir = tmp_dir("trunc");
-        let mut wal = Wal::open(&dir).unwrap();
-        wal.append("INSERT INTO t VALUES (1);").unwrap();
-        wal.truncate().unwrap();
-        assert_eq!(wal.bytes(), 0);
-        assert!(replay(&dir.join(WAL_FILE)).unwrap().is_empty());
+    fn snapshot_header_round_trips() {
+        let image = format!("{}CREATE TABLE t (a INT);\n", snapshot_header(7));
+        assert_eq!(parse_snapshot(&image), (7, "CREATE TABLE t (a INT);\n"));
+        // Headerless (or mangled) snapshots read as generation 0.
+        assert_eq!(
+            parse_snapshot("CREATE TABLE t (a INT);"),
+            (0, "CREATE TABLE t (a INT);")
+        );
+    }
+
+    #[test]
+    fn cleanup_removes_other_generations_and_tmps() {
+        let dir = tmp_dir("clean");
+        std::fs::write(wal_path(&dir, 3), b"").unwrap();
+        std::fs::write(wal_path(&dir, 4), b"").unwrap();
+        std::fs::write(wal_path(&dir, 5), b"").unwrap();
+        std::fs::write(snapshot_tmp_path(&dir, 4), b"junk").unwrap();
+        std::fs::write(dir.join(SNAPSHOT_FILE), b"").unwrap();
+        cleanup_stale(&dir, 4).unwrap();
+        assert!(!wal_path(&dir, 3).exists());
+        assert!(wal_path(&dir, 4).exists());
+        assert!(!wal_path(&dir, 5).exists());
+        assert!(!snapshot_tmp_path(&dir, 4).exists());
+        assert!(dir.join(SNAPSHOT_FILE).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
