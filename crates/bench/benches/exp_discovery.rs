@@ -112,6 +112,24 @@ fn main() {
     );
     records.push(r_par);
 
+    // Thread sweep: c-FD mining on adult at fixed thread counts, one
+    // timing pass each (`certain_adult_t1` … `t8`). The cost-balanced
+    // work queue makes the extra threads count wherever the hardware
+    // has the cores; the sweep records what this box actually does.
+    banner("thread sweep: certain_adult at 1/2/4/8 threads");
+    for threads in [1usize, 2, 4, 8] {
+        let r = measure(&format!("certain_adult_t{threads}"), 1, || {
+            std::hint::black_box(mine_fds(
+                &adult,
+                MinerConfig::new(Semantics::Certain)
+                    .with_max_lhs(4)
+                    .with_threads(threads),
+            ));
+        });
+        println!("  {} threads: {}", threads, fmt_duration(r.median));
+        records.push(r);
+    }
+
     match write_bench_json("discovery", &records) {
         Ok(path) => println!("bench json: {}", path.display()),
         Err(e) => eprintln!("bench json not written: {e}"),

@@ -19,7 +19,7 @@
 //! and always an upper bound on the true g₃.
 
 use crate::cache::PartitionCtx;
-use crate::check::probe_weak_pairs;
+use crate::check::{probe_weak_pairs, ProbeCache};
 use crate::partition::{Encoded, NullSemantics, Partition};
 use sqlnf_model::attrs::{Attr, AttrSet};
 use sqlnf_model::table::Table;
@@ -134,6 +134,38 @@ pub fn ckey_error_ctx(ctx: &mut PartitionCtx, x: AttrSet) -> f64 {
     cost as f64 / enc.rows() as f64
 }
 
+/// [`ckey_error_ctx`] probing weak pairs through a shared
+/// [`ProbeCache`] — for many-query callers. The greedy bound depends
+/// on pair *visit order*, and the cache's direct-scan path enumerates
+/// in a different (still deterministic) order than a fresh index, so
+/// the result may differ from [`ckey_error_ctx`]'s — both remain valid
+/// upper bounds on the true g₃, and they coincide whenever no row
+/// carries `⊥` in `X`.
+pub fn ckey_error_probed(ctx: &mut PartitionCtx, probes: &ProbeCache, x: AttrSet) -> f64 {
+    let enc = ctx.encoded();
+    if enc.rows() == 0 {
+        return 0.0;
+    }
+    let p = ctx.partition(x);
+    let mut removed: Vec<bool> = vec![false; enc.rows()];
+    let mut cost = 0usize;
+    for class in &p.classes {
+        for &r in &class[1..] {
+            removed[r as usize] = true;
+            cost += 1;
+        }
+    }
+    probes.weak_pairs(enc, x, |r, s| {
+        if !removed[r] && !removed[s] {
+            let victim = if enc.is_total_on(r, x) { s } else { r };
+            removed[victim] = true;
+            cost += 1;
+        }
+        true
+    });
+    cost as f64 / enc.rows() as f64
+}
+
 /// Upper bound on the g₃ error of the c-FD `X →_w A` (exact when no
 /// row carries `⊥` in `X`): group repair plus greedy deletion over
 /// weakly-similar, `A`-disagreeing pairs through nulls.
@@ -152,6 +184,29 @@ pub fn cfd_error_ctx(ctx: &mut PartitionCtx, x: AttrSet, a: Attr) -> f64 {
     let mut cost = group_repair_cost(enc, &p, a);
     let mut removed: Vec<bool> = vec![false; enc.rows()];
     probe_weak_pairs(enc, x, |r, s| {
+        if !removed[r] && !removed[s] && enc.code(r, a) != enc.code(s, a) {
+            let victim = if enc.is_total_on(r, x) { s } else { r };
+            removed[victim] = true;
+            cost += 1;
+        }
+        true
+    });
+    (cost as f64 / enc.rows() as f64).min(1.0)
+}
+
+/// [`cfd_error_ctx`] probing weak pairs through a shared
+/// [`ProbeCache`]. Same visit-order caveat as [`ckey_error_probed`]:
+/// the greedy bound may differ from the fresh-index one but is always
+/// a valid upper bound, exact when `X` carries no `⊥`.
+pub fn cfd_error_probed(ctx: &mut PartitionCtx, probes: &ProbeCache, x: AttrSet, a: Attr) -> f64 {
+    let enc = ctx.encoded();
+    if enc.rows() == 0 {
+        return 0.0;
+    }
+    let p = ctx.partition(x);
+    let mut cost = group_repair_cost(enc, &p, a);
+    let mut removed: Vec<bool> = vec![false; enc.rows()];
+    probes.weak_pairs(enc, x, |r, s| {
         if !removed[r] && !removed[s] && enc.code(r, a) != enc.code(s, a) {
             let victim = if enc.is_total_on(r, x) { s } else { r };
             removed[victim] = true;

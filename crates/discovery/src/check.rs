@@ -6,6 +6,7 @@
 use crate::partition::{Encoded, NullSemantics, Partition, ProductScratch};
 use sqlnf_model::attrs::{Attr, AttrSet};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// A memoized probe structure for weak-similarity checks on a fixed
 /// attribute set `X`: the `X`-null rows, and per distinct null
@@ -105,15 +106,29 @@ impl ProbeIndex {
     /// is what keeps c-FD discovery on the 48 842-row `adult` workload
     /// within the same order of magnitude as classical discovery (as in
     /// the paper's comparison).
-    pub fn for_each_weak_pair(
+    pub fn for_each_weak_pair(&self, enc: &Encoded, f: impl FnMut(usize, usize) -> bool) -> bool {
+        self.for_each_weak_pair_filtered(enc, AttrSet::EMPTY, f)
+    }
+
+    /// [`ProbeIndex::for_each_weak_pair`] for the *larger* attribute
+    /// set `self.x ∪ extra`, where every column of `extra` is null-free
+    /// in the instance. This is what makes an index reusable across
+    /// LHSs sharing a nullable footprint (see [`ProbeCache`]): rows
+    /// carry `⊥` in `X` exactly where they carry `⊥` in
+    /// `X ∩ nullable`, and on the null-free remainder weak similarity
+    /// degenerates to code equality — so the weak pairs of `X` are the
+    /// weak pairs of the footprint filtered by equality on `extra`.
+    pub fn for_each_weak_pair_filtered(
         &self,
         enc: &Encoded,
+        extra: AttrSet,
         mut f: impl FnMut(usize, usize) -> bool,
     ) -> bool {
+        let x_full = self.x | extra;
         // 1) null–null pairs.
         for (i, &r) in self.null_rows.iter().enumerate() {
             for &s in &self.null_rows[i + 1..] {
-                if enc.weakly_similar(r, s, self.x) && !f(r, s) {
+                if enc.weakly_similar(r, s, x_full) && !f(r, s) {
                     return false;
                 }
             }
@@ -124,7 +139,7 @@ impl ProbeIndex {
                 let key: Vec<u32> = reduced.iter().map(|a| enc.code(r, a)).collect();
                 if let Some(matches) = index.get(&key) {
                     for &s in matches {
-                        if !f(r, s) {
+                        if enc.equal_on(r, s, extra) && !f(r, s) {
                             return false;
                         }
                     }
@@ -133,15 +148,323 @@ impl ProbeIndex {
         }
         true
     }
+
+    /// Which of `targets` survive every weak pair of `X = self.x ∪
+    /// extra` (`extra` null-free, as in
+    /// [`ProbeIndex::for_each_weak_pair_filtered`]): exactly the set a
+    /// pairwise fold with the code-agreement filter would leave, but
+    /// computed in one linear grouping pass per null pattern instead of
+    /// enumerating pairs.
+    ///
+    /// The collapse is sound because code equality is transitive:
+    /// within one pattern, a null row and the rows weakly similar to
+    /// it share their codes on `reduced ∪ extra`, so the pair
+    /// constraints over such a group — every null–null and null–total
+    /// pair must agree on each target — are equivalent to "the whole
+    /// group is constant on each target". On `adult`-sized instances
+    /// this turns the millions of pairs a *holding* candidate would
+    /// enumerate into one sweep of the matching buckets.
+    pub fn certain_targets_surviving(
+        &self,
+        enc: &Encoded,
+        extra: AttrSet,
+        targets: AttrSet,
+    ) -> AttrSet {
+        let mut holding = targets;
+        if self.null_rows.is_empty() || holding.is_empty() {
+            return holding;
+        }
+        const UNSET: u32 = u32::MAX; // dictionary codes are ≤ rows ≪ MAX
+
+        // Per pattern: group the pattern's null rows and the total
+        // rows matching them by their codes on `reduced ∪ extra`, and
+        // require every group containing a null row to be constant on
+        // each surviving target. Buckets are keyed by the reduced
+        // codes, so each bucket is swept once per distinct reduced key
+        // among the nulls — never per null row.
+        for (reduced, rows, index) in &self.patterns {
+            if holding.is_empty() {
+                return holding;
+            }
+            let tvec: Vec<Attr> = holding.iter().collect();
+            let mut dead = vec![false; tvec.len()];
+            let mut by_rkey: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+            for &r in rows {
+                let rkey: Vec<u32> = reduced.iter().map(|a| enc.code(r, a)).collect();
+                by_rkey.entry(rkey).or_default().push(r);
+            }
+            // (has_null, per-target first code, per-target conflict)
+            type Group = (bool, Vec<u32>, Vec<bool>);
+            let mut groups: HashMap<Vec<u32>, Group> = HashMap::new();
+            for (rkey, nulls) in &by_rkey {
+                groups.clear();
+                let visit = |row: usize, is_null: bool, groups: &mut HashMap<Vec<u32>, Group>| {
+                    let ekey: Vec<u32> = extra.iter().map(|a| enc.code(row, a)).collect();
+                    let (has_null, codes, conflict) = groups.entry(ekey).or_insert_with(|| {
+                        (false, vec![UNSET; tvec.len()], vec![false; tvec.len()])
+                    });
+                    *has_null |= is_null;
+                    for (i, &a) in tvec.iter().enumerate() {
+                        let c = enc.code(row, a);
+                        if codes[i] == UNSET {
+                            codes[i] = c;
+                        } else if codes[i] != c {
+                            conflict[i] = true;
+                        }
+                    }
+                };
+                for &r in nulls {
+                    visit(r, true, &mut groups);
+                }
+                if let Some(bucket) = index.get(rkey) {
+                    for &s in bucket {
+                        visit(s, false, &mut groups);
+                    }
+                }
+                for (has_null, _, conflict) in groups.values() {
+                    if *has_null {
+                        for (i, &c) in conflict.iter().enumerate() {
+                            dead[i] |= c;
+                        }
+                    }
+                }
+            }
+            for (i, &a) in tvec.iter().enumerate() {
+                if dead[i] {
+                    holding.remove(a);
+                }
+            }
+        }
+
+        // Null–null pairs across patterns: a row non-null on `red_i`
+        // and one non-null on `red_j` are weakly similar on `X` iff
+        // they agree on `(red_i ∩ red_j) ∪ extra` — pairwise, but
+        // patterns are few and only null rows participate.
+        for i in 0..self.patterns.len() {
+            for j in i + 1..self.patterns.len() {
+                if holding.is_empty() {
+                    return holding;
+                }
+                let (red_i, rows_i, _) = &self.patterns[i];
+                let (red_j, rows_j, _) = &self.patterns[j];
+                let common = (*red_i & *red_j) | extra;
+                for &r in rows_i {
+                    for &s in rows_j {
+                        if enc.equal_on(r, s, common) {
+                            let mut still = AttrSet::EMPTY;
+                            for a in holding {
+                                if enc.code(r, a) == enc.code(s, a) {
+                                    still.insert(a);
+                                }
+                            }
+                            holding = still;
+                            if holding.is_empty() {
+                                return holding;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        holding
+    }
 }
 
 /// One-shot form of [`ProbeIndex::for_each_weak_pair`]: builds the
 /// index for `x`, probes, and drops it. Free when `x` is null-free.
+/// Hot loops share indexes through a [`ProbeCache`] instead.
 pub fn probe_weak_pairs(enc: &Encoded, x: AttrSet, f: impl FnMut(usize, usize) -> bool) -> bool {
     if !enc.has_nulls_on(x) {
         return true;
     }
     ProbeIndex::new(enc, x).for_each_weak_pair(enc, f)
+}
+
+/// Weak pairs of `x` without any index: each `X`-null row scanned
+/// against the table. Beats building a [`ProbeIndex`] while
+/// `nulls × rows` stays small (wide-short instances like `hepatitis`,
+/// where most probed footprints are never seen twice).
+fn direct_weak_pairs(enc: &Encoded, x: AttrSet, mut f: impl FnMut(usize, usize) -> bool) -> bool {
+    let null_rows = enc.null_rows_on(x);
+    // null–null pairs, each unordered pair once.
+    for (i, &r) in null_rows.iter().enumerate() {
+        for &s in &null_rows[i + 1..] {
+            if enc.weakly_similar(r, s, x) && !f(r, s) {
+                return false;
+            }
+        }
+    }
+    // null–total pairs: skip the (ascending) null list while scanning.
+    for &r in &null_rows {
+        let mut nulls_it = null_rows.iter().copied().peekable();
+        for s in 0..enc.rows() {
+            if nulls_it.peek() == Some(&s) {
+                nulls_it.next();
+                continue;
+            }
+            if enc.weakly_similar(r, s, x) && !f(r, s) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Direct scanning stays cheaper than an index build while the
+/// `nulls × rows` pair bound is below this.
+const DIRECT_SCAN_LIMIT: usize = 1 << 16;
+
+/// A small-footprint job earns its cached index once it has been
+/// probed this many times: one build costs roughly this many direct
+/// scans, so building earlier would lose on footprints never probed
+/// again (on wide tables most all-nullable LHSs are their own
+/// footprint and show up exactly once).
+const ADMIT_AFTER: u32 = 5;
+
+/// How one probe through the [`ProbeCache`] runs.
+enum ProbeStrategy {
+    /// Scan null rows against the table; no index exists or is worth
+    /// building yet.
+    Direct,
+    /// Probe through a (possibly shared) footprint index.
+    Index(Arc<ProbeIndex>),
+}
+
+/// A run-scoped, thread-shared cache of [`ProbeIndex`]es keyed on the
+/// *nullable footprint* `X ∩ nullable_columns`.
+///
+/// ## Why the footprint is a sound key
+///
+/// Rows carry `⊥` in `X` exactly where they carry `⊥` in the
+/// footprint `S = X ∩ nullable` — the remaining columns `X ∖ S` are
+/// globally null-free. On those columns weak similarity degenerates
+/// to code equality, so:
+///
+/// > `(r, s)` weakly similar on `X`  ⟺  `(r, s)` weakly similar on
+/// > `S`  ∧  `r =_{X∖S} s`.
+///
+/// An index built for `S` therefore serves **every** LHS with that
+/// footprint, with the null-free remainder applied as an equality
+/// filter at probe time ([`ProbeIndex::for_each_weak_pair_filtered`],
+/// [`ProbeIndex::certain_targets_surviving`]). Keying on `S` alone
+/// *without* the filter would be unsound — it admits pairs that
+/// disagree on `X ∖ S`.
+///
+/// ## Build policy
+///
+/// Footprints whose pair bound is large are indexed on first probe
+/// (`adult`: three footprints serve all 58 probed candidates). Small
+/// jobs are scanned directly and only earn an index after
+/// [`ADMIT_AFTER`] probes, so one-shot footprints — the common case on
+/// wide tables where most candidate LHSs are entirely nullable — never
+/// pay a build. Counted under `discovery.check.probe_index.{hits,
+/// builds,direct}`; the indexes themselves still count the legacy
+/// `discovery.check.probe_index_builds`.
+///
+/// Interior mutability is a [`Mutex`] held only for the policy lookup
+/// (indexes are built outside it), so miner workers share one cache.
+pub struct ProbeCache {
+    nullable: AttrSet,
+    rows: usize,
+    state: Mutex<HashMap<AttrSet, ProbeSlot>>,
+}
+
+struct ProbeSlot {
+    probes: u32,
+    idx: Option<Arc<ProbeIndex>>,
+}
+
+impl ProbeCache {
+    /// An empty cache for one instance.
+    pub fn new(enc: &Encoded) -> ProbeCache {
+        ProbeCache {
+            nullable: enc.nullable_columns(),
+            rows: enc.rows(),
+            state: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Picks the probe strategy for footprint `s` (non-empty), bumping
+    /// the reuse counters and building/memoizing the index when the
+    /// policy says so.
+    fn strategy(&self, enc: &Encoded, s: AttrSet) -> ProbeStrategy {
+        let mut state = self.state.lock().expect("probe cache poisoned");
+        let slot = state.entry(s).or_insert(ProbeSlot {
+            probes: 0,
+            idx: None,
+        });
+        slot.probes += 1;
+        if let Some(idx) = &slot.idx {
+            sqlnf_obs::count!("discovery.check.probe_index.hits");
+            return ProbeStrategy::Index(Arc::clone(idx));
+        }
+        let pair_bound = enc.null_count_bound(s).saturating_mul(self.rows);
+        if pair_bound <= DIRECT_SCAN_LIMIT && slot.probes < ADMIT_AFTER {
+            sqlnf_obs::count!("discovery.check.probe_index.direct");
+            return ProbeStrategy::Direct;
+        }
+        drop(state);
+        // Build outside the lock so workers keep probing other
+        // footprints meanwhile; a racing double build is harmless (the
+        // index is deterministic) and the last insert wins.
+        sqlnf_obs::count!("discovery.check.probe_index.builds");
+        let idx = Arc::new(ProbeIndex::new(enc, s));
+        let mut state = self.state.lock().expect("probe cache poisoned");
+        if let Some(slot) = state.get_mut(&s) {
+            slot.idx = Some(Arc::clone(&idx));
+        }
+        ProbeStrategy::Index(idx)
+    }
+
+    /// Visits every weak pair of `x` (exactly as [`probe_weak_pairs`])
+    /// through the footprint cache. Enumeration *order* may differ
+    /// between the direct and indexed paths; the pair set never does.
+    pub fn weak_pairs(
+        &self,
+        enc: &Encoded,
+        x: AttrSet,
+        f: impl FnMut(usize, usize) -> bool,
+    ) -> bool {
+        let s = x & self.nullable;
+        if s.is_empty() {
+            return true;
+        }
+        match self.strategy(enc, s) {
+            ProbeStrategy::Index(idx) => idx.for_each_weak_pair_filtered(enc, x - s, f),
+            ProbeStrategy::Direct => direct_weak_pairs(enc, x, f),
+        }
+    }
+
+    /// The subset of `targets` on which `X →_w A` survives the weak
+    /// pairs of `x` — the certain-semantics tail of the FD check,
+    /// served from the footprint cache (and, on the indexed path, by
+    /// the linear group-constancy sweep instead of pair enumeration).
+    pub fn fd_targets(&self, enc: &Encoded, x: AttrSet, targets: AttrSet) -> AttrSet {
+        if targets.is_empty() {
+            return targets;
+        }
+        let s = x & self.nullable;
+        if s.is_empty() {
+            return targets;
+        }
+        match self.strategy(enc, s) {
+            ProbeStrategy::Index(idx) => idx.certain_targets_surviving(enc, x - s, targets),
+            ProbeStrategy::Direct => {
+                let mut holding = targets;
+                direct_weak_pairs(enc, x, |r, t| {
+                    let mut still = AttrSet::EMPTY;
+                    for a in holding {
+                        if enc.code(r, a) == enc.code(t, a) {
+                            still.insert(a);
+                        }
+                    }
+                    holding = still;
+                    !holding.is_empty()
+                });
+                holding
+            }
+        }
+    }
 }
 
 /// Semantics under which a mined FD `X → A` is evaluated.
@@ -177,6 +500,7 @@ pub fn fd_targets_on_refinement(
     targets: AttrSet,
     sem: Semantics,
     scratch: &mut ProductScratch,
+    probes: &ProbeCache,
 ) -> AttrSet {
     sqlnf_obs::count!("discovery.check.fused_checks");
     let mut holding = targets;
@@ -195,16 +519,7 @@ pub fn fd_targets_on_refinement(
     // Certain FDs additionally constrain rows with ⊥ in X, exactly as
     // in the materialized check.
     if sem == Semantics::Certain && !holding.is_empty() {
-        probe_weak_pairs(enc, x, |r, s| {
-            let mut still = AttrSet::EMPTY;
-            for a in holding {
-                if enc.code(r, a) == enc.code(s, a) {
-                    still.insert(a);
-                }
-            }
-            holding = still;
-            !holding.is_empty()
-        });
+        holding = probes.fd_targets(enc, x, holding);
     }
     holding
 }
@@ -263,6 +578,42 @@ pub fn fd_targets_holding(
     holding
 }
 
+/// [`fd_targets_holding`] probing weak pairs through a [`ProbeCache`]
+/// instead of a fresh per-candidate [`ProbeIndex`].
+pub fn fd_targets_holding_cached(
+    enc: &Encoded,
+    x: AttrSet,
+    partition: &Partition,
+    targets: AttrSet,
+    sem: Semantics,
+    probes: &ProbeCache,
+) -> AttrSet {
+    let mut holding = targets;
+    for class in &partition.classes {
+        if holding.is_empty() {
+            break;
+        }
+        let first = class[0] as usize;
+        for &r in &class[1..] {
+            let r = r as usize;
+            let mut still = AttrSet::EMPTY;
+            for a in holding {
+                if enc.code(r, a) == enc.code(first, a) {
+                    still.insert(a);
+                }
+            }
+            holding = still;
+            if holding.is_empty() {
+                break;
+            }
+        }
+    }
+    if sem == Semantics::Certain && !holding.is_empty() {
+        holding = probes.fd_targets(enc, x, holding);
+    }
+    holding
+}
+
 /// Whether `X` is a c-key of the encoded instance: no two rows weakly
 /// similar on `X`.
 pub fn is_ckey(enc: &Encoded, x: AttrSet, strong_partition: &Partition) -> bool {
@@ -271,6 +622,19 @@ pub fn is_ckey(enc: &Encoded, x: AttrSet, strong_partition: &Partition) -> bool 
         return false;
     }
     probe_weak_pairs(enc, x, |_, _| false)
+}
+
+/// [`is_ckey`] probing through a shared [`ProbeCache`].
+pub fn is_ckey_cached(
+    enc: &Encoded,
+    probes: &ProbeCache,
+    x: AttrSet,
+    strong_partition: &Partition,
+) -> bool {
+    if !strong_partition.is_empty() {
+        return false;
+    }
+    probes.weak_pairs(enc, x, |_, _| false)
 }
 
 /// [`is_ckey`] against a prebuilt [`ProbeIndex`] — for callers that
@@ -299,6 +663,12 @@ pub fn certain_reflexive_holds(enc: &Encoded, x: AttrSet) -> bool {
 /// [`certain_reflexive_holds`] against a prebuilt [`ProbeIndex`].
 pub fn certain_reflexive_holds_with(enc: &Encoded, idx: &ProbeIndex) -> bool {
     idx.for_each_weak_pair(enc, |r, s| enc.equal_on(r, s, idx.x()))
+}
+
+/// [`certain_reflexive_holds`] probing through a shared
+/// [`ProbeCache`].
+pub fn certain_reflexive_holds_cached(enc: &Encoded, probes: &ProbeCache, x: AttrSet) -> bool {
+    probes.weak_pairs(enc, x, |r, s| enc.equal_on(r, s, x))
 }
 
 /// The [`NullSemantics`] under which partitions for `sem` are built:

@@ -24,7 +24,7 @@
 //! set projection keeps; small values mean much redundancy eliminated.
 
 use crate::cache::{PartitionCtx, DEFAULT_CACHE_BUDGET};
-use crate::check::{certain_reflexive_holds_with, is_ckey, is_ckey_with, ProbeIndex, Semantics};
+use crate::check::{certain_reflexive_holds_cached, is_ckey_cached, ProbeCache, Semantics};
 use crate::mine::{mine_fds_encoded, MinedFd, MinerConfig};
 use crate::partition::{Encoded, NullSemantics};
 use sqlnf_model::attrs::AttrSet;
@@ -125,12 +125,15 @@ pub fn classify_table_budgeted(
 
     let mut out = Classification::default();
     let mut ctx = PartitionCtx::with_budget(&enc, NullSemantics::Strong, cache_budget);
+    // One probe cache serves every post-mining key/reflexivity check:
+    // LHSs sharing a nullable footprint reuse one index.
+    let probes = ProbeCache::new(&enc);
 
     for fd in possible.fds {
         if fd.lhs.is_subset(null_free) {
             // Figure 6's nn series additionally requires a non-key LHS.
             let strong = ctx.partition(fd.lhs);
-            if !is_ckey(&enc, fd.lhs, &strong) {
+            if !is_ckey_cached(&enc, &probes, fd.lhs, &strong) {
                 out.nn_nonkey_ratios
                     .push(projection_ratio(table, fd.lhs | fd.rhs));
             }
@@ -144,14 +147,11 @@ pub fn classify_table_budgeted(
         if fd.lhs.is_subset(null_free) {
             continue; // coincides with an nn-FD; counted there
         }
-        // One probe index per LHS serves both the totality and the
-        // c-key check.
-        let idx = ProbeIndex::new(&enc, fd.lhs);
-        let total = certain_reflexive_holds_with(&enc, &idx);
+        let total = certain_reflexive_holds_cached(&enc, &probes, fd.lhs);
         if total {
             out.t_fds.push(fd.clone());
             let strong = ctx.partition(fd.lhs);
-            let usable = !fd.rhs.is_empty() && !is_ckey_with(&enc, &idx, &strong);
+            let usable = !fd.rhs.is_empty() && !is_ckey_cached(&enc, &probes, fd.lhs, &strong);
             if usable {
                 out.lambda_fds.push(LambdaFd {
                     lhs: fd.lhs,

@@ -8,7 +8,7 @@
 //! (any superset of a key is a key, by key-Augmentation).
 
 use crate::cache::{PartitionCtx, DEFAULT_CACHE_BUDGET};
-use crate::check::{is_ckey, is_pkey};
+use crate::check::{is_ckey_cached, is_pkey, ProbeCache};
 use crate::partition::{Encoded, NullSemantics};
 use sqlnf_model::attrs::{Attr, AttrSet};
 use sqlnf_model::table::Table;
@@ -67,6 +67,8 @@ pub fn mine_keys_budgeted(table: &Table, max_size: usize, cache_budget: usize) -
     let arity = table.schema().arity();
     let attrs: Vec<Attr> = (0..arity).map(Attr::from).collect();
     let mut ctx = PartitionCtx::with_budget(&enc, NullSemantics::Strong, cache_budget);
+    // Candidates sharing a nullable footprint share one probe index.
+    let probes = ProbeCache::new(&enc);
     let mut out = MinedKeys::default();
 
     for k in 0..=max_size.min(arity) {
@@ -85,7 +87,7 @@ pub fn mine_keys_budgeted(table: &Table, max_size: usize, cache_budget: usize) -
             if !p_covered && is_pkey(&strong) {
                 out.pkeys.push(x);
             }
-            if !c_covered && is_ckey(&enc, x, &strong) {
+            if !c_covered && is_ckey_cached(&enc, &probes, x, &strong) {
                 out.ckeys.push(x);
             }
         }

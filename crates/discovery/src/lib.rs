@@ -22,12 +22,15 @@ pub mod partition;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::approx::{
-        cfd_error, ckey_error, classical_fd_error, key_error_of_table, pfd_error, pkey_error,
+        cfd_error, cfd_error_probed, ckey_error, ckey_error_probed, classical_fd_error,
+        key_error_of_table, pfd_error, pkey_error,
     };
     pub use crate::cache::{PartitionCtx, DEFAULT_CACHE_BUDGET};
     pub use crate::check::{
-        certain_reflexive_holds, certain_reflexive_holds_with, fd_holds, fd_targets_holding,
-        is_ckey, is_ckey_with, is_pkey, null_semantics, partition_for, ProbeIndex, Semantics,
+        certain_reflexive_holds, certain_reflexive_holds_cached, certain_reflexive_holds_with,
+        fd_holds, fd_targets_holding, fd_targets_holding_cached, is_ckey, is_ckey_cached,
+        is_ckey_with, is_pkey, null_semantics, partition_for, probe_weak_pairs, ProbeCache,
+        ProbeIndex, Semantics,
     };
     pub use crate::classify::{
         classify_table, classify_table_budgeted, mine_report, Classification, Counts, LambdaFd,

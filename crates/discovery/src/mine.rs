@@ -26,25 +26,41 @@
 //! row, so refuted candidates — the vast majority at depth — cost a
 //! handful of row visits instead of a full sweep.
 //!
-//! With `threads > 1` the per-level chunk fan-out runs on a
-//! *persistent* worker pool spawned once inside one `thread::scope`:
-//! each worker owns its scratch for the whole mining run, receives a
-//! contiguous candidate chunk per level over a channel together with a
-//! shared [`Arc`] of the previous level's partitions, and sends back
-//! its FDs plus its shard of the freshly built level. The main thread
-//! merges shards in worker order within the budget, so results — and
-//! the cache contents — are identical across thread counts
-//! (`parallel_equals_serial`).
+//! With `threads > 1` the per-level fan-out runs on a *persistent*
+//! worker pool spawned once inside one `thread::scope`: each worker
+//! owns its scratch for the whole mining run and receives, per level,
+//! a shared [`Arc`] of the candidate slice plus an atomic cursor into
+//! a *cost-descending* visit order (LPT scheduling: per-candidate cost
+//! is the chosen prefix's `stripped_rows()`). Workers pull one
+//! candidate at a time, so an expensive straggler never pins a whole
+//! contiguous chunk to one thread the way equal-size chunking did.
+//! Every emitted FD and partition shard is tagged with its candidate
+//! index; the main thread sorts by index before merging, so results —
+//! and the cache contents under any byte budget — are byte-identical
+//! across thread counts (`parallel_equals_serial`). Certain-semantics
+//! workers share one [`ProbeCache`], so LHSs with the same nullable
+//! footprint reuse one probe index instead of rebuilding per
+//! candidate. Worker saturation is visible as the
+//! `discovery.mine.worker_busy_ns` timer.
 
 use crate::cache::DEFAULT_CACHE_BUDGET;
-use crate::check::{fd_targets_holding, fd_targets_on_refinement, null_semantics, Semantics};
+use crate::check::{
+    fd_targets_holding_cached, fd_targets_on_refinement, null_semantics, ProbeCache, Semantics,
+};
 use crate::partition::{Encoded, NullSemantics, Partition, ProductScratch};
 use sqlnf_model::attrs::{Attr, AttrSet};
 use sqlnf_model::table::Table;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// A level parallelises once it has at least `max(PAR_MIN, threads)`
+/// candidates: below that the queue/channel round-trip costs more than
+/// the work. Wide-short tables (hepatitis: 15+ levels) have many short
+/// levels, so this is deliberately low.
+const PAR_MIN: usize = 8;
 
 /// One discovered dependency: a minimal LHS and every RHS attribute it
 /// minimally determines under the mining semantics.
@@ -77,13 +93,23 @@ pub struct MinerConfig {
 }
 
 impl MinerConfig {
-    /// Default configuration for the given semantics (LHS ≤ 4, serial —
-    /// matching the experiment harness, whose timings are per-core).
+    /// Default configuration for the given semantics: LHS ≤ 4, and the
+    /// thread count taken from `SQLNF_MINE_THREADS` when set (`0` =
+    /// all available cores), else serial — matching the experiment
+    /// harness, whose recorded timings are per-core.
     pub fn new(semantics: Semantics) -> Self {
+        let threads = match std::env::var("SQLNF_MINE_THREADS") {
+            Ok(v) => match v.trim().parse::<usize>() {
+                Ok(0) => std::thread::available_parallelism().map_or(1, |n| n.get()),
+                Ok(n) => n,
+                Err(_) => 1,
+            },
+            Err(_) => 1,
+        };
         MinerConfig {
             semantics,
             max_lhs: 4,
-            threads: 1,
+            threads,
             cache_budget: DEFAULT_CACHE_BUDGET,
         }
     }
@@ -231,10 +257,10 @@ fn candidate_partition<'a>(
                 }
             }
             if let Some((a, p, _)) = best {
-                sqlnf_obs::count!("discovery.partition.cache.hits");
+                sqlnf_obs::count!("discovery.mine.prev_level.hits");
                 return Part::Own(p.product_attr(enc, a, ns, scratch));
             }
-            sqlnf_obs::count!("discovery.partition.cache.misses");
+            sqlnf_obs::count!("discovery.mine.prev_level.misses");
             // Every prefix was evicted: fold from the singles, smallest
             // first, so the sweeps stay as cheap as possible.
             let mut attrs: Vec<Attr> = x.iter().collect();
@@ -254,19 +280,26 @@ fn candidate_partition<'a>(
     }
 }
 
-/// One level's worth of work for a persistent pool worker.
+/// One level's worth of work for a persistent pool worker: the shared
+/// candidate slice, the cost-descending visit order, and the atomic
+/// cursor every worker pulls from.
 struct LevelJob {
     k: usize,
-    chunk: Vec<(AttrSet, AttrSet)>,
+    candidates: Arc<Vec<(AttrSet, AttrSet)>>,
+    order: Arc<Vec<u32>>,
+    cursor: Arc<AtomicUsize>,
     prev: Arc<HashMap<AttrSet, Partition>>,
     store: bool,
 }
 
-/// What a worker sends back per level: its FDs (candidate order) and
-/// its shard of the freshly built partition level.
+/// What a worker sends back per level: FDs and partition shards, each
+/// tagged with the candidate index so the main thread can restore
+/// candidate order exactly regardless of which worker pulled what.
+/// Shard entries carry their precomputed cache size so the merge loop
+/// stays trivial.
 struct LevelOut {
-    fds: Vec<MinedFd>,
-    shard: Vec<(AttrSet, Partition)>,
+    fds: Vec<(u32, MinedFd)>,
+    shard: Vec<(u32, AttrSet, Partition, usize)>,
 }
 
 /// Check-only fast path for levels whose partitions are never stored:
@@ -285,6 +318,7 @@ fn check_candidate_fused(
     singles: &[Partition],
     prev: &HashMap<AttrSet, Partition>,
     scratch: &mut ProductScratch,
+    probes: &ProbeCache,
 ) -> AttrSet {
     if k == 2 {
         let mut it = x.iter();
@@ -305,6 +339,7 @@ fn check_candidate_fused(
             targets,
             sem,
             scratch,
+            probes,
         );
     }
     let mut best: Option<(Attr, &Partition, usize)> = None;
@@ -317,10 +352,10 @@ fn check_candidate_fused(
         }
     }
     if let Some((a, p, _)) = best {
-        sqlnf_obs::count!("discovery.partition.cache.hits");
-        return fd_targets_on_refinement(enc, x, p, a, ns, targets, sem, scratch);
+        sqlnf_obs::count!("discovery.mine.prev_level.hits");
+        return fd_targets_on_refinement(enc, x, p, a, ns, targets, sem, scratch, probes);
     }
-    sqlnf_obs::count!("discovery.partition.cache.misses");
+    sqlnf_obs::count!("discovery.mine.prev_level.misses");
     let mut attrs: Vec<Attr> = x.iter().collect();
     attrs.sort_by_key(|a| singles[a.index()].stripped_rows());
     let by = attrs.pop().expect("non-empty");
@@ -335,51 +370,114 @@ fn check_candidate_fused(
         p = Some(next);
     }
     let prefix = p.expect("level ≥ 3 folds at least one product");
-    fd_targets_on_refinement(enc, x, &prefix, by, ns, targets, sem, scratch)
+    fd_targets_on_refinement(enc, x, &prefix, by, ns, targets, sem, scratch, probes)
 }
 
-/// Processes one chunk of candidates: check FDs, and when `store` is
-/// set collect the owned partitions for the next level's cache.
+/// The deterministic visit order for one level: candidate indexes
+/// sorted by estimated check cost, most expensive first (LPT — longest
+/// processing time — scheduling), ties broken by candidate index. The
+/// estimate is what the check actually sweeps: the stripped rows of
+/// the prefix partition the candidate will refine, or a
+/// whole-table-sized pessimistic constant when every prefix was
+/// evicted and the partition must be folded from the singles.
+fn cost_order(
+    candidates: &[(AttrSet, AttrSet)],
+    k: usize,
+    rows: usize,
+    singles: &[Partition],
+    prev: &HashMap<AttrSet, Partition>,
+) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..candidates.len() as u32).collect();
+    if k < 2 {
+        return order;
+    }
+    let costs: Vec<usize> = candidates
+        .iter()
+        .map(|&(x, _)| {
+            if k == 2 {
+                x.iter()
+                    .map(|a| singles[a.index()].stripped_rows())
+                    .min()
+                    .unwrap_or(0)
+            } else {
+                x.iter()
+                    .filter_map(|a| prev.get(&(x - AttrSet::single(a))))
+                    .map(|p| p.stripped_rows())
+                    .min()
+                    .unwrap_or_else(|| rows.saturating_mul(2))
+            }
+        })
+        .collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(costs[i as usize]), i));
+    order
+}
+
+/// Drains the level's work queue from one thread: pulls candidate
+/// positions off the shared cursor until the order is exhausted,
+/// checking FDs and (when `store` is set) collecting owned partitions
+/// for the next level's cache. Both output streams are tagged with the
+/// candidate index. Also used by the serial path (with a trivial
+/// identity order), so serial and parallel runs share one code path.
 #[allow(clippy::too_many_arguments)]
-fn run_chunk(
+fn run_queue(
     enc: &Encoded,
     sem: Semantics,
     ns: NullSemantics,
     k: usize,
-    chunk: &[(AttrSet, AttrSet)],
+    candidates: &[(AttrSet, AttrSet)],
+    order: &[u32],
+    cursor: &AtomicUsize,
     singles: &[Partition],
     prev: &HashMap<AttrSet, Partition>,
     store: bool,
     scratch: &mut ProductScratch,
+    probes: &ProbeCache,
 ) -> LevelOut {
+    let _busy = sqlnf_obs::span!("discovery.mine.worker_busy_ns");
     let mut fds = Vec::new();
     let mut shard = Vec::new();
-    for &(x, targets) in chunk {
+    let mut processed = 0usize;
+    loop {
+        let pos = cursor.fetch_add(1, Ordering::Relaxed);
+        if pos >= order.len() {
+            break;
+        }
+        let i = order[pos];
+        let (x, targets) = candidates[i as usize];
+        processed += 1;
         if !store && k >= 2 {
             let holding =
-                check_candidate_fused(enc, sem, ns, x, k, targets, singles, prev, scratch);
+                check_candidate_fused(enc, sem, ns, x, k, targets, singles, prev, scratch, probes);
             if !holding.is_empty() {
-                fds.push(MinedFd {
-                    lhs: x,
-                    rhs: holding,
-                });
+                fds.push((
+                    i,
+                    MinedFd {
+                        lhs: x,
+                        rhs: holding,
+                    },
+                ));
             }
             continue;
         }
         let p = candidate_partition(enc, ns, x, k, singles, prev, scratch);
-        let holding = fd_targets_holding(enc, x, p.get(), targets, sem);
+        let holding = fd_targets_holding_cached(enc, x, p.get(), targets, sem, probes);
         if !holding.is_empty() {
-            fds.push(MinedFd {
-                lhs: x,
-                rhs: holding,
-            });
+            fds.push((
+                i,
+                MinedFd {
+                    lhs: x,
+                    rhs: holding,
+                },
+            ));
         }
         if store {
             if let Part::Own(p) = p {
-                shard.push((x, p));
+                let sz = p.approx_bytes() + std::mem::size_of::<AttrSet>();
+                shard.push((i, x, p, sz));
             }
         }
     }
+    sqlnf_obs::count!("discovery.mine.worker_candidates", processed);
     LevelOut { fds, shard }
 }
 
@@ -398,13 +496,54 @@ pub fn mine_fds_encoded(
     let sem = config.semantics;
 
     // The single-attribute partitions: always resident, the floor every
-    // product chain bottoms out on.
+    // product chain bottoms out on. Each is an independent table sweep,
+    // so with threads they are built off a shared atomic cursor — on
+    // wide tables (hepatitis: 20 columns) this is the one serial stage
+    // whose cost rivals a whole lattice level.
     let ns = null_semantics(sem);
-    let singles: Vec<Partition> = attrs
-        .iter()
-        .map(|&a| Partition::by_attr(enc, a, ns))
-        .collect();
+    let singles: Vec<Partition> = if config.threads > 1 && arity > 1 {
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Partition>> = Vec::new();
+        slots.resize_with(arity, || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.threads.min(arity))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut built = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= arity {
+                                break;
+                            }
+                            built.push((i, Partition::by_attr(enc, Attr::from(i), ns)));
+                        }
+                        built
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, p) in h.join().expect("singles worker panicked") {
+                    slots[i] = Some(p);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|p| p.expect("every single built exactly once"))
+            .collect()
+    } else {
+        attrs
+            .iter()
+            .map(|&a| Partition::by_attr(enc, a, ns))
+            .collect()
+    };
     let singles = &singles;
+
+    // One probe cache for the whole run, shared by every worker:
+    // certain-semantics candidates with the same nullable footprint
+    // reuse one index (see `check::ProbeCache`).
+    let probes = ProbeCache::new(enc);
+    let probes = &probes;
 
     // minimal_lhs_for[a] = the minimal LHSs recorded for attribute a.
     let mut minimal_for: Vec<Vec<AttrSet>> = vec![Vec::new(); arity];
@@ -454,99 +593,111 @@ pub fn mine_fds_encoded(
             // directly, so level-1 partitions are never stored).
             let store = k >= 2 && k < last_level;
 
-            let outs: Vec<LevelOut> = if config.threads > 1 && candidates.len() >= 32 {
-                if pool.is_empty() {
-                    for _ in 0..config.threads {
-                        let (job_tx, job_rx) = channel::<LevelJob>();
-                        let (out_tx, out_rx) = channel::<LevelOut>();
-                        scope.spawn(move || {
-                            sqlnf_obs::count!("discovery.mine.worker_spawns");
-                            let mut scratch = ProductScratch::with_rows(enc.rows());
-                            for job in job_rx {
-                                sqlnf_obs::count!(
-                                    "discovery.mine.worker_candidates",
-                                    job.chunk.len()
-                                );
-                                let out = run_chunk(
-                                    enc,
-                                    sem,
-                                    ns,
-                                    job.k,
-                                    &job.chunk,
-                                    singles,
-                                    &job.prev,
-                                    job.store,
-                                    &mut scratch,
-                                );
-                                if out_tx.send(out).is_err() {
-                                    break;
+            let outs: Vec<LevelOut> =
+                if config.threads > 1 && candidates.len() >= PAR_MIN.max(config.threads) {
+                    if pool.is_empty() {
+                        for _ in 0..config.threads {
+                            let (job_tx, job_rx) = channel::<LevelJob>();
+                            let (out_tx, out_rx) = channel::<LevelOut>();
+                            scope.spawn(move || {
+                                sqlnf_obs::count!("discovery.mine.worker_spawns");
+                                let mut scratch = ProductScratch::with_rows(enc.rows());
+                                for job in job_rx {
+                                    let out = run_queue(
+                                        enc,
+                                        sem,
+                                        ns,
+                                        job.k,
+                                        &job.candidates,
+                                        &job.order,
+                                        &job.cursor,
+                                        singles,
+                                        &job.prev,
+                                        job.store,
+                                        &mut scratch,
+                                        probes,
+                                    );
+                                    if out_tx.send(out).is_err() {
+                                        break;
+                                    }
                                 }
-                            }
-                        });
-                        pool.push((job_tx, out_rx));
+                            });
+                            pool.push((job_tx, out_rx));
+                        }
                     }
-                }
-                // Contiguous chunk per worker: worker i always takes the
-                // i-th slice, so reassembly in worker order restores
-                // candidate order exactly.
-                let chunk_size = candidates.len().div_ceil(pool.len());
-                let chunks: Vec<Vec<(AttrSet, AttrSet)>> =
-                    candidates.chunks(chunk_size).map(|c| c.to_vec()).collect();
-                let active = chunks.len();
-                for ((job_tx, _), chunk) in pool.iter().zip(chunks) {
-                    job_tx
-                        .send(LevelJob {
-                            k,
-                            chunk,
-                            prev: Arc::clone(&prev),
-                            store,
-                        })
-                        .expect("miner worker hung up");
-                }
-                pool.iter()
-                    .take(active)
-                    .map(|(_, out_rx)| out_rx.recv().expect("miner worker panicked"))
-                    .collect()
-            } else {
-                vec![run_chunk(
-                    enc,
-                    sem,
-                    ns,
-                    k,
-                    &candidates,
-                    singles,
-                    &prev,
-                    store,
-                    &mut scratch,
-                )]
-            };
+                    // One shared queue: every worker pulls candidates
+                    // (most expensive first) off the same cursor, so no
+                    // thread idles while another drains a heavy chunk.
+                    let order = Arc::new(cost_order(&candidates, k, enc.rows(), singles, &prev));
+                    let candidates = Arc::new(candidates);
+                    let cursor = Arc::new(AtomicUsize::new(0));
+                    for (job_tx, _) in &pool {
+                        job_tx
+                            .send(LevelJob {
+                                k,
+                                candidates: Arc::clone(&candidates),
+                                order: Arc::clone(&order),
+                                cursor: Arc::clone(&cursor),
+                                prev: Arc::clone(&prev),
+                                store,
+                            })
+                            .expect("miner worker hung up");
+                    }
+                    pool.iter()
+                        .map(|(_, out_rx)| out_rx.recv().expect("miner worker panicked"))
+                        .collect()
+                } else {
+                    let order: Vec<u32> = (0..candidates.len() as u32).collect();
+                    let cursor = AtomicUsize::new(0);
+                    vec![run_queue(
+                        enc,
+                        sem,
+                        ns,
+                        k,
+                        &candidates,
+                        &order,
+                        &cursor,
+                        singles,
+                        &prev,
+                        store,
+                        &mut scratch,
+                        probes,
+                    )]
+                };
 
-            // Retire the previous level and merge this level's shards —
-            // in worker order, within the byte budget.
+            // Retire the previous level, then merge this level — FDs
+            // and shards sorted back into candidate order first, so the
+            // result and the cache contents (budget admission included)
+            // never depend on which worker processed what.
             if !prev.is_empty() {
-                sqlnf_obs::count!("discovery.partition.cache.evictions", prev.len());
+                sqlnf_obs::count!("discovery.mine.prev_level.evictions", prev.len());
             }
+            let mut fds: Vec<(u32, MinedFd)> = Vec::new();
+            let mut shard: Vec<(u32, AttrSet, Partition, usize)> = Vec::new();
+            for out in outs {
+                fds.extend(out.fds);
+                shard.extend(out.shard);
+            }
+            fds.sort_by_key(|&(i, _)| i);
+            shard.sort_by_key(|s| s.0);
             let mut next: HashMap<AttrSet, Partition> = HashMap::new();
             let mut bytes = 0usize;
-            for out in outs {
-                for (x, p) in out.shard {
-                    let sz = p.approx_bytes() + std::mem::size_of::<AttrSet>();
-                    if bytes.saturating_add(sz) <= config.cache_budget {
-                        bytes += sz;
-                        next.insert(x, p);
-                    } else {
-                        sqlnf_obs::count!("discovery.partition.cache.evictions");
-                    }
-                }
-                for fd in out.fds {
-                    for a in fd.rhs {
-                        minimal_for[a.index()].push(fd.lhs);
-                    }
-                    found.push(fd);
+            for (_, x, p, sz) in shard {
+                if bytes.saturating_add(sz) <= config.cache_budget {
+                    bytes += sz;
+                    next.insert(x, p);
+                } else {
+                    sqlnf_obs::count!("discovery.mine.prev_level.evictions");
                 }
             }
+            for (_, fd) in fds {
+                for a in fd.rhs {
+                    minimal_for[a.index()].push(fd.lhs);
+                }
+                found.push(fd);
+            }
             if bytes > 0 {
-                sqlnf_obs::count_max!("discovery.partition.cache.bytes", bytes);
+                sqlnf_obs::count_max!("discovery.mine.prev_level.bytes", bytes);
             }
             prev = Arc::new(next);
         }
@@ -690,13 +841,24 @@ mod tests {
             Semantics::Possible,
             Semantics::Certain,
         ] {
-            let serial = mine_fds(&t, MinerConfig::new(sem).with_max_lhs(3));
-            let parallel = mine_fds(&t, MinerConfig::new(sem).with_max_lhs(3).with_threads(4));
-            let norm = |mut fds: Vec<MinedFd>| {
-                fds.sort_by_key(|f| (f.lhs.0, f.rhs.0));
-                fds
-            };
-            assert_eq!(norm(serial.fds), norm(parallel.fds), "{sem:?}");
+            for budget in [0, 4096, DEFAULT_CACHE_BUDGET] {
+                let config = |threads| {
+                    MinerConfig::new(sem)
+                        .with_max_lhs(3)
+                        .with_cache_budget(budget)
+                        .with_threads(threads)
+                };
+                let serial = mine_fds(&t, config(1));
+                for threads in [2, 4, 8] {
+                    let parallel = mine_fds(&t, config(threads));
+                    // Byte-identical, order included: the index-tagged
+                    // merge restores exact candidate order.
+                    assert_eq!(
+                        serial.fds, parallel.fds,
+                        "{sem:?} budget={budget} threads={threads}"
+                    );
+                }
+            }
         }
     }
 

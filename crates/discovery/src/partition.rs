@@ -109,6 +109,24 @@ impl Encoded {
             .collect()
     }
 
+    /// The columns that carry at least one `⊥` — the complement of
+    /// [`Encoded::null_free_columns`]. A weak-similarity probe of `X`
+    /// only ever depends on `X ∩ nullable_columns` plus an equality
+    /// filter on the rest (see [`crate::check::ProbeCache`]).
+    pub fn nullable_columns(&self) -> AttrSet {
+        (0..self.codes.len())
+            .filter(|&ci| !self.null_rows[ci].is_empty())
+            .map(Attr::from)
+            .collect()
+    }
+
+    /// Upper bound on `|null_rows_on(x)|` without merging: the sum of
+    /// the per-column null counts. Used to price a direct pair scan
+    /// against building a [`crate::check::ProbeIndex`].
+    pub fn null_count_bound(&self, x: AttrSet) -> usize {
+        x.iter().map(|a| self.null_rows[a.index()].len()).sum()
+    }
+
     /// Whether any column of `X` carries a `⊥`. `O(|X|)` — the cheap
     /// guard that lets weak-similarity probing skip total candidates
     /// without touching the rows.

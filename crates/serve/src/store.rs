@@ -215,7 +215,11 @@ impl Store {
         f: impl FnOnce(&StoredTable) -> T,
     ) -> Result<T, ServeError> {
         let arc = self.table_arc(name)?;
-        let st = arc.read().unwrap();
+        let st = {
+            // Wait time only: the span must not cover `f` itself.
+            let _wait = sqlnf_obs::span!("serve.table_lock_wait");
+            arc.read().unwrap()
+        };
         Ok(f(&st))
     }
 
@@ -269,7 +273,13 @@ impl Store {
             }
             Statement::Insert { table, rows } => {
                 let arc = self.table_arc(&table)?;
-                let mut st = arc.write().unwrap();
+                // How long concurrent writers queue on one table — the
+                // suspected cause of serve_4x500 throughput trailing
+                // serve_1x500. The span ends at acquisition.
+                let mut st = {
+                    let _wait = sqlnf_obs::span!("serve.table_lock_wait");
+                    arc.write().unwrap()
+                };
                 // Multi-row INSERTs are atomic: roll back this
                 // statement's rows if a later one is rejected.
                 let base = st.data().len();

@@ -128,7 +128,7 @@ proptest! {
         for sem in [Semantics::Classical, Semantics::Possible, Semantics::Certain] {
             let reference = norm(mine_fds(&table, MinerConfig::new(sem).with_max_lhs(3)).fds);
             for budget in [0usize, 4096, usize::MAX] {
-                for threads in [1usize, 4] {
+                for threads in [1usize, 2, 4, 8] {
                     let config = MinerConfig::new(sem)
                         .with_max_lhs(3)
                         .with_threads(threads)
@@ -139,6 +139,57 @@ proptest! {
                         "{:?} budget={} threads={} on\n{}", sem, budget, threads, table
                     );
                 }
+            }
+        }
+    }
+
+    /// The footprint-keyed [`ProbeCache`] is transparent: for every
+    /// LHS it visits exactly the weak-pair set of a fresh
+    /// per-candidate [`ProbeIndex`] build, and its batch target check
+    /// equals the pairwise code-agreement fold over those pairs.
+    /// Each LHS is probed three times so footprints cross the policy
+    /// transitions (direct scan → index build → cache hit).
+    #[test]
+    fn probe_cache_matches_fresh_index(table in small_table(4, 10)) {
+        use sqlnf::discovery::check::{probe_weak_pairs, ProbeCache};
+        use sqlnf::discovery::partition::Encoded;
+        use std::collections::BTreeSet;
+        let enc = Encoded::new(&table);
+        let all = AttrSet::first_n(4);
+        let probes = ProbeCache::new(&enc);
+        for x in all.subsets() {
+            // Reference: a fresh index per probe, as the seed code did.
+            let mut want = BTreeSet::new();
+            probe_weak_pairs(&enc, x, |r, s| {
+                want.insert((r.min(s), r.max(s)));
+                true
+            });
+            let targets = all - x;
+            let mut want_targets = targets;
+            for &(r, s) in &want {
+                let mut still = AttrSet::EMPTY;
+                for a in want_targets {
+                    if enc.code(r, a) == enc.code(s, a) {
+                        still.insert(a);
+                    }
+                }
+                want_targets = still;
+            }
+            for round in 0..3 {
+                let mut got = BTreeSet::new();
+                probes.weak_pairs(&enc, x, |r, s| {
+                    got.insert((r.min(s), r.max(s)));
+                    true
+                });
+                prop_assert_eq!(
+                    &got, &want,
+                    "round {} x={:?} on\n{}", round, x, table
+                );
+                let got_targets = probes.fd_targets(&enc, x, targets);
+                prop_assert_eq!(
+                    got_targets, want_targets,
+                    "round {} x={:?} on\n{}", round, x, table
+                );
             }
         }
     }
