@@ -13,3 +13,4 @@ pub mod contractor;
 pub mod corpus;
 pub mod naumann;
 pub mod paper;
+pub mod random;

@@ -1,0 +1,101 @@
+//! The differential check: the recovered store must render exactly
+//! like a single-threaded reference [`Database`] that replayed a
+//! prefix of the admitted-statement history.
+//!
+//! The oplog (recorded by the serve hook under the WAL mutex) is the
+//! serial ground truth: per-table WAL order equals application order
+//! (appends happen under the table's write lock) and tables are
+//! independent, so replaying the oplog front-to-back through the
+//! ordinary engine is a legal serialization of whatever the concurrent
+//! clients did. Recovery after a crash plus tail corruption may only
+//! lose a *suffix* of the live WAL, so the recovered store must equal
+//! the replay of some prefix — and of the *whole* log when nothing was
+//! corrupted.
+
+use sqlnf_model::prelude::*;
+
+/// The outcome of a prefix search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiffOutcome {
+    /// The recovered store equals the reference replay of exactly the
+    /// first `n` admitted statements.
+    MatchedPrefix(usize),
+    /// A statement that the concurrent store admitted was rejected on
+    /// serial replay — a serializability violation.
+    ReplayRejected {
+        /// Oplog index of the statement the reference engine refused.
+        index: usize,
+        /// The engine's refusal.
+        error: String,
+    },
+    /// No prefix of the oplog reproduces the recovered store.
+    NoPrefixMatches,
+}
+
+/// Finds the unique oplog prefix whose reference replay renders
+/// byte-identically to `recovered_export` (a `Store::export_script`
+/// image). Uniqueness holds because every admitted statement strictly
+/// grows the export — CREATE adds DDL, INSERT adds rows — so exports
+/// of distinct prefixes differ.
+pub fn match_prefix(oplog: &[String], recovered_export: &str) -> DiffOutcome {
+    let mut reference = Database::new();
+    if reference.export_script() == recovered_export {
+        return DiffOutcome::MatchedPrefix(0);
+    }
+    for (i, stmt) in oplog.iter().enumerate() {
+        if let Err(e) = reference.run_script(stmt) {
+            return DiffOutcome::ReplayRejected {
+                index: i,
+                error: e.to_string(),
+            };
+        }
+        if reference.export_script() == recovered_export {
+            return DiffOutcome::MatchedPrefix(i + 1);
+        }
+    }
+    DiffOutcome::NoPrefixMatches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OPLOG: [&str; 3] = [
+        "CREATE TABLE t (a INT NOT NULL, CONSTRAINT k CERTAIN KEY (a));",
+        "INSERT INTO t VALUES (1);",
+        "INSERT INTO t VALUES (2);",
+    ];
+
+    fn replayed(n: usize) -> String {
+        let mut db = Database::new();
+        for s in &OPLOG[..n] {
+            db.run_script(s).unwrap();
+        }
+        db.export_script()
+    }
+
+    #[test]
+    fn finds_each_prefix_and_rejects_non_prefixes() {
+        let oplog: Vec<String> = OPLOG.iter().map(|s| s.to_string()).collect();
+        for n in 0..=oplog.len() {
+            assert_eq!(
+                match_prefix(&oplog, &replayed(n)),
+                DiffOutcome::MatchedPrefix(n)
+            );
+        }
+        // A store that lost a *middle* statement matches no prefix.
+        let mut holey = Database::new();
+        holey.run_script(OPLOG[0]).unwrap();
+        holey.run_script(OPLOG[2]).unwrap();
+        assert_eq!(
+            match_prefix(&oplog, &holey.export_script()),
+            DiffOutcome::NoPrefixMatches
+        );
+        // An oplog that cannot replay serially is a verdict of its own.
+        let bad: Vec<String> = vec![OPLOG[1].to_owned()];
+        assert!(matches!(
+            match_prefix(&bad, "x"),
+            DiffOutcome::ReplayRejected { index: 0, .. }
+        ));
+    }
+}

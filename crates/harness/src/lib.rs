@@ -1,0 +1,447 @@
+//! # sqlnf-harness
+//!
+//! A seeded, fully deterministic fault-injection and
+//! differential-testing harness over the `sqlnf-serve` stack and the
+//! discovery pipeline. The statement stream, the fault plan, and the
+//! differential verdict are pure functions of a `u64` seed (the thread
+//! interleaving is not, so every fault and invariant is counted in
+//! statements, never wall clock):
+//!
+//! 1. [`workload::generate`] derives a randomized DDL/DML statement
+//!    stream (the same stream for any client count — statements are
+//!    dealt round-robin to the concurrent sessions);
+//! 2. [`faults::plan`] derives the fault plan from an independent RNG
+//!    stream of the same seed: the auto-snapshot cadence, a
+//!    deterministic crash point (counted in successful WAL appends, so
+//!    it is independent of thread interleaving), and a WAL tail
+//!    corruption;
+//! 3. [`run_one`] drives a real TCP [`Server`] with N concurrent
+//!    [`Client`]s, fires the plan, then reopens the WAL directory and
+//!    differentially compares the recovered store byte-for-byte
+//!    against a single-threaded reference [`Database`]
+//!    (`sqlnf_model::engine::Database`) replay of the admitted-
+//!    statement history ([`diff::match_prefix`]);
+//! 4. on the recovered tables, [`minecheck::check_table`] cross-checks
+//!    the miner against the satisfaction layer and the exact 2-tuple
+//!    oracle of `sqlnf-core`.
+//!
+//! A failure carries a replayable `(seed, ops)` pair, and
+//! [`run_minimized`] shrinks the op count by prefix (the generated
+//! stream is prefix-stable per seed) before reporting it.
+//!
+//! [`Database`]: sqlnf_model::prelude::Database
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod faults;
+pub mod minecheck;
+pub mod workload;
+
+pub use diff::{match_prefix, DiffOutcome};
+pub use faults::{corrupt_wal_dir, plan, Corruption, FaultPlan};
+pub use minecheck::{check_table, MineCheckReport, MAX_ORACLE_ATTRS};
+pub use workload::{generate, Workload};
+
+use sqlnf_serve::{Client, ClientError, ServeConfig, Server, Store};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Read timeout of the harness's clients: long enough for any real
+/// reply, short enough that a killed server unblocks the run quickly.
+const CLIENT_READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How often the kill watcher polls for the armed WAL fault.
+const KILL_POLL: Duration = Duration::from_millis(5);
+
+/// One harness run's knobs. `seed` determines everything except thread
+/// interleavings, which the differential check is insensitive to by
+/// construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessConfig {
+    /// Seed of both the workload and the fault plan.
+    pub seed: u64,
+    /// Statements in the generated stream.
+    pub ops: usize,
+    /// Concurrent client sessions.
+    pub clients: usize,
+    /// Probability that the plan arms the kill fault.
+    pub kill_prob: f64,
+    /// Probability that the plan arms a WAL tail corruption.
+    pub corrupt_prob: f64,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        HarnessConfig {
+            seed: 1,
+            ops: 500,
+            clients: 4,
+            kill_prob: 0.5,
+            corrupt_prob: 0.5,
+        }
+    }
+}
+
+/// What one passing run did — the shape facts seed-regression tests
+/// pin down.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The seed that was run.
+    pub seed: u64,
+    /// Statements generated.
+    pub ops: usize,
+    /// The seed's fault plan.
+    pub plan: FaultPlan,
+    /// Whether the server was crash-killed (vs shut down gracefully).
+    pub killed: bool,
+    /// Whether the armed WAL-append fault actually fired.
+    pub fault_fired: bool,
+    /// Whether a planned corruption was applied to the WAL directory.
+    pub corrupted: bool,
+    /// Statements the concurrent server admitted (durable appends).
+    pub admitted: usize,
+    /// Statements the server refused with an `ERR` reply, as counted
+    /// by the clients (DDL re-issues, constraint violations, and —
+    /// after an injected WAL fault — every further statement).
+    pub rejected: usize,
+    /// Length of the admitted-history prefix the recovered store
+    /// matched byte-for-byte.
+    pub recovered: usize,
+    /// Snapshots the store took while the clients ran.
+    pub snapshots: u64,
+    /// Tables created by the workload's DDL prefix.
+    pub tables: usize,
+    /// CREATE TABLEs issued mid-stream (the concurrent-DDL path).
+    pub mid_stream_ddl: usize,
+    /// What the miner/oracle cross-check covered on the recovered
+    /// tables.
+    pub minecheck: MineCheckReport,
+}
+
+impl RunReport {
+    /// One-line summary for the CLI.
+    pub fn line(&self) -> String {
+        let fate = match (self.killed, self.corrupted) {
+            (true, true) => "killed+corrupted",
+            (true, false) => "killed",
+            (false, true) => "corrupted",
+            (false, false) => "graceful",
+        };
+        format!(
+            "seed {:>4}  ops {:>5}  {}  admitted {:>5}  recovered {:>5}  \
+             snapshots {:>3}  tables {}  fds✓ {}  keys✓ {}  oracle✓ {}",
+            self.seed,
+            self.ops,
+            fate,
+            self.admitted,
+            self.recovered,
+            self.snapshots,
+            self.minecheck.tables,
+            self.minecheck.fds_checked,
+            self.minecheck.keys_checked,
+            self.minecheck.oracle_queries,
+        )
+    }
+}
+
+/// A failing run, with everything needed to replay it.
+#[derive(Debug, Clone)]
+pub struct HarnessFailure {
+    /// Seed of the failing run.
+    pub seed: u64,
+    /// Op count of the failing run (minimized when it came from
+    /// [`run_minimized`]).
+    pub ops: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for HarnessFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "harness failure at seed {} ops {}: {}\n  replay: sqlnf harness --seed {} --ops {}",
+            self.seed, self.ops, self.message, self.seed, self.ops
+        )
+    }
+}
+
+impl std::error::Error for HarnessFailure {}
+
+/// Uniquifies WAL directories across concurrent runs in one process.
+static RUN_NONCE: AtomicU64 = AtomicU64::new(0);
+
+fn run_dir(seed: u64, ops: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "sqlnf_harness_{}_{seed}_{ops}_{}",
+        std::process::id(),
+        RUN_NONCE.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Outcome of one client session thread. The authoritative admitted
+/// count is the store's oplog; the client side only tallies `ERR`
+/// replies.
+enum ClientOutcome {
+    /// Every dealt statement earned a reply; this many were refused.
+    Finished(usize),
+    /// The server went away mid-session (only legal under a kill).
+    Died(ClientError),
+}
+
+fn drive_client(addr: std::net::SocketAddr, stmts: Vec<String>) -> ClientOutcome {
+    let mut client = match Client::connect_with_timeout(addr, Some(CLIENT_READ_TIMEOUT)) {
+        Ok(c) => c,
+        Err(e) => return ClientOutcome::Died(e),
+    };
+    let mut rejected = 0usize;
+    for stmt in &stmts {
+        match client.request(stmt) {
+            Ok(reply) if reply.ok => {}
+            Ok(_) => rejected += 1,
+            Err(e) => return ClientOutcome::Died(e),
+        }
+    }
+    let _ = client.quit();
+    ClientOutcome::Finished(rejected)
+}
+
+/// Runs one seed end-to-end. A passing run returns its [`RunReport`];
+/// any divergence — recovery panic, a store that matches no prefix of
+/// the admitted history, a miner/oracle disagreement — is a
+/// [`HarnessFailure`] replayable from its `(seed, ops)`.
+pub fn run_one(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
+    sqlnf_obs::count!("harness.runs");
+    let _span = sqlnf_obs::span!("harness.run");
+    let fail = |message: String| {
+        sqlnf_obs::count!("harness.failures");
+        HarnessFailure {
+            seed: config.seed,
+            ops: config.ops,
+            message,
+        }
+    };
+
+    let plan = faults::plan(
+        config.seed,
+        config.ops,
+        config.kill_prob,
+        config.corrupt_prob,
+    );
+    let workload = workload::generate(config.seed, config.ops);
+    let dir = run_dir(config.seed, config.ops);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        wal_dir: Some(dir.clone()),
+        workers: config.clients.max(1),
+        snapshot_every: plan.snapshot_every,
+    })
+    .map_err(|e| fail(format!("server failed to start: {e}")))?;
+    let store = Arc::clone(server.store());
+    store.enable_oplog();
+    if let Some(k) = plan.kill_after {
+        store.inject_wal_fault_after(k);
+    }
+    let addr = server.local_addr();
+
+    let clients = config.clients.max(1);
+    let handles: Vec<_> = (0..clients)
+        .map(|i| {
+            let stmts: Vec<String> = workload
+                .ops
+                .iter()
+                .skip(i)
+                .step_by(clients)
+                .cloned()
+                .collect();
+            std::thread::spawn(move || drive_client(addr, stmts))
+        })
+        .collect();
+
+    // The crash: once the armed append fault fires, the statement
+    // count that became durable is fixed (regardless of interleaving),
+    // so killing the server any time after is deterministic in effect.
+    let mut server = Some(server);
+    let mut killed = false;
+    if plan.kill_after.is_some() {
+        while !store.wal_fault_fired() && handles.iter().any(|h| !h.is_finished()) {
+            std::thread::sleep(KILL_POLL);
+        }
+        sqlnf_obs::count!("harness.kills");
+        server.take().expect("server not yet consumed").kill();
+        killed = true;
+    }
+
+    let mut rejected = 0usize;
+    for h in handles {
+        match h.join() {
+            Ok(ClientOutcome::Finished(r)) => rejected += r,
+            Ok(ClientOutcome::Died(e)) => {
+                if !killed {
+                    return Err(fail(format!("client died without an injected kill: {e}")));
+                }
+            }
+            Err(_) => return Err(fail("client thread panicked".into())),
+        }
+    }
+
+    if let Some(s) = server.take() {
+        s.shutdown()
+            .map_err(|e| fail(format!("graceful shutdown failed: {e}")))?;
+    }
+
+    let oplog = store.oplog();
+    let fault_fired = store.wal_fault_fired();
+    let snapshots = store.stats.snapshots.load(Ordering::Relaxed);
+    drop(store);
+
+    let corrupted = if let Some(c) = plan.corruption {
+        faults::corrupt_wal_dir(&dir, c)
+            .map_err(|e| fail(format!("could not apply {}: {e}", c.label())))?;
+        true
+    } else {
+        false
+    };
+
+    // Recovery + the differential check. `catch_unwind` turns a
+    // recovery panic — the bug class the torn-tail tests hunt — into a
+    // replayable failure instead of tearing the harness down.
+    let recovered_store = std::panic::catch_unwind(|| Store::open(&dir, 0))
+        .map_err(|_| fail("recovery panicked".into()))?
+        .map_err(|e| fail(format!("recovery failed: {e}")))?;
+    let export = recovered_store.export_script();
+    let recovered = match diff::match_prefix(&oplog, &export) {
+        DiffOutcome::MatchedPrefix(n) => n,
+        other => return Err(fail(format!("differential check failed: {other:?}"))),
+    };
+    if !killed && !corrupted && recovered != oplog.len() {
+        return Err(fail(format!(
+            "graceful shutdown lost statements: recovered {recovered} of {}",
+            oplog.len()
+        )));
+    }
+    if killed && !corrupted && recovered != oplog.len() {
+        return Err(fail(format!(
+            "crash without corruption must recover every flushed append: {recovered} of {}",
+            oplog.len()
+        )));
+    }
+    if !recovered_store.satisfies_all_constraints() {
+        return Err(fail("recovered store violates its own constraints".into()));
+    }
+
+    // Miner ↔ oracle cross-check on what the run left behind.
+    let mut minecheck = MineCheckReport::default();
+    for name in recovered_store.table_names() {
+        let table = recovered_store
+            .with_table(&name, |st| st.data().clone())
+            .expect("listed table exists");
+        let report = check_table(&table, config.seed).map_err(&fail)?;
+        minecheck.absorb(&report);
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(RunReport {
+        seed: config.seed,
+        ops: config.ops,
+        plan,
+        killed,
+        fault_fired,
+        corrupted,
+        admitted: oplog.len(),
+        rejected,
+        recovered,
+        snapshots,
+        tables: workload.tables,
+        mid_stream_ddl: workload.mid_stream_ddl,
+        minecheck,
+    })
+}
+
+/// Shrinks a failing run by op-count prefix: the generated stream of a
+/// seed is prefix-stable, so replaying the same seed with fewer ops
+/// reproduces an exact prefix of the workload (and of the fault
+/// stream's decisions). Returns the smallest failure the binary search
+/// could still reproduce — best-effort when the failure needs a racy
+/// interleaving, exact for deterministic ones.
+pub fn minimize(config: &HarnessConfig, first: HarnessFailure) -> HarnessFailure {
+    let mut best = first;
+    let (mut lo, mut hi) = (1usize, best.ops);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let mut shrunk = config.clone();
+        shrunk.ops = mid;
+        match run_one(&shrunk) {
+            Err(f) => {
+                sqlnf_obs::count!("harness.shrinks");
+                best = f;
+                hi = mid;
+            }
+            Ok(_) => lo = mid + 1,
+        }
+    }
+    best
+}
+
+/// [`run_one`], with failures minimized before they are reported.
+pub fn run_minimized(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
+    match run_one(config) {
+        Ok(report) => Ok(report),
+        Err(first) => Err(minimize(config, first)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_recovers_everything() {
+        let config = HarnessConfig {
+            seed: 11,
+            ops: 80,
+            clients: 2,
+            kill_prob: 0.0,
+            corrupt_prob: 0.0,
+        };
+        let report = run_one(&config).expect("clean run passes");
+        assert!(!report.killed && !report.corrupted);
+        assert_eq!(report.recovered, report.admitted);
+        assert!(report.admitted > 0);
+        assert!(report.minecheck.tables > 0);
+    }
+
+    #[test]
+    fn faulted_runs_pass_and_recover_a_prefix() {
+        let config = HarnessConfig {
+            seed: 3,
+            ops: 120,
+            clients: 4,
+            kill_prob: 1.0,
+            corrupt_prob: 1.0,
+        };
+        let report = run_one(&config).expect("faulted run passes");
+        assert!(report.killed);
+        assert!(report.corrupted);
+        assert!(report.recovered <= report.admitted);
+    }
+
+    #[test]
+    fn plan_and_workload_are_bit_reproducible() {
+        let config = HarnessConfig::default();
+        assert_eq!(
+            faults::plan(config.seed, config.ops, 1.0, 1.0),
+            faults::plan(config.seed, config.ops, 1.0, 1.0),
+        );
+        assert_eq!(
+            workload::generate(config.seed, config.ops).ops,
+            workload::generate(config.seed, config.ops).ops,
+        );
+    }
+}

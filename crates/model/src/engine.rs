@@ -333,6 +333,24 @@ impl Database {
         }
         Ok(())
     }
+
+    /// Renders the whole database as a SQL script that recreates it —
+    /// DDL in table-name order, then each table's rows in insertion
+    /// order. Byte-compatible with the serve layer's store export, so
+    /// a single-threaded `Database` can act as the differential
+    /// reference for concurrent recovery tests.
+    pub fn export_script(&self) -> String {
+        let mut out = String::new();
+        for (name, st) in &self.tables {
+            out.push_str(&sql::render_create_table(st.data().schema(), st.sigma()));
+            out.push('\n');
+            if !st.data().is_empty() {
+                out.push_str(&sql::render_insert(name, st.data().rows()));
+                out.push('\n');
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -457,6 +475,16 @@ mod tests {
             db.delete("purchase", 5),
             Err(EngineError::NoSuchRow { .. })
         ));
+    }
+
+    #[test]
+    fn export_script_round_trips() {
+        let db = purchase_db();
+        let script = db.export_script();
+        let mut back = Database::new();
+        back.run_script(&script).unwrap();
+        assert_eq!(back.export_script(), script);
+        assert_eq!(back.table("purchase").unwrap().data().len(), 2);
     }
 
     #[test]

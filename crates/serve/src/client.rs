@@ -1,9 +1,70 @@
 //! A small blocking client for the wire protocol — the test harness
 //! and `sqlnf client` both speak through this.
+//!
+//! Reads carry a timeout (default [`DEFAULT_READ_TIMEOUT`]): a server
+//! that dies mid-response — or never picks the session up because its
+//! workers were killed — surfaces as a typed [`ClientError`] instead
+//! of blocking the caller forever. After a [`ClientError::Timeout`]
+//! the connection state is indeterminate (a late reply may still be in
+//! flight); callers should drop the client rather than reuse it.
 
 use crate::protocol::{read_reply, Reply};
+use std::fmt;
 use std::io::{self, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Default read timeout of a [`Client`]; generous enough for the slow
+/// verbs (`MINE`, `NORMALIZE`) on any realistic interactive table.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Why a client request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed outright (connect, write, or a read error
+    /// other than timeout/EOF).
+    Io(io::Error),
+    /// No reply arrived within the read timeout — the server is wedged
+    /// or was killed mid-response.
+    Timeout,
+    /// The server closed the connection before completing the reply.
+    ServerClosed,
+    /// The reply bytes did not parse as the wire protocol.
+    Protocol(String),
+    /// [`Client::expect_ok`] received an `ERR` reply; the message is
+    /// the server's refusal.
+    Refused(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Timeout => write!(f, "no reply within the read timeout"),
+            ClientError::ServerClosed => write!(f, "server closed the connection"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Refused(m) => write!(f, "server refused: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        match e.kind() {
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::Timeout,
+            // EOF is the polite close; reset/abort/broken-pipe is how a
+            // killed server looks from the other end of the socket.
+            io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::BrokenPipe => ClientError::ServerClosed,
+            io::ErrorKind::InvalidData => ClientError::Protocol(e.to_string()),
+            _ => ClientError::Io(e),
+        }
+    }
+}
 
 /// A connected session.
 #[derive(Debug)]
@@ -13,11 +74,21 @@ pub struct Client {
 }
 
 impl Client {
-    /// Connects to a running server.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
-        let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
-        let writer = stream.try_clone()?;
+    /// Connects to a running server with the default read timeout.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        Client::connect_with_timeout(addr, Some(DEFAULT_READ_TIMEOUT))
+    }
+
+    /// Connects with an explicit read timeout (`None` = block forever,
+    /// the pre-harness behaviour).
+    pub fn connect_with_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Option<Duration>,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr).map_err(ClientError::Io)?;
+        stream.set_nodelay(true).map_err(ClientError::Io)?;
+        stream.set_read_timeout(timeout).map_err(ClientError::Io)?;
+        let writer = stream.try_clone().map_err(ClientError::Io)?;
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
@@ -26,31 +97,31 @@ impl Client {
 
     /// Sends one request (a verb line or a complete SQL statement,
     /// possibly spanning lines) and reads its reply.
-    pub fn request(&mut self, text: &str) -> io::Result<Reply> {
-        self.writer.write_all(text.as_bytes())?;
+    pub fn request(&mut self, text: &str) -> Result<Reply, ClientError> {
+        self.writer
+            .write_all(text.as_bytes())
+            .map_err(ClientError::from)?;
         if !text.ends_with('\n') {
-            self.writer.write_all(b"\n")?;
+            self.writer.write_all(b"\n").map_err(ClientError::from)?;
         }
-        self.writer.flush()?;
-        read_reply(&mut self.reader)
+        self.writer.flush().map_err(ClientError::from)?;
+        read_reply(&mut self.reader).map_err(ClientError::from)
     }
 
-    /// Sends a request and maps an `ERR` reply to an `io::Error`.
-    pub fn expect_ok(&mut self, text: &str) -> io::Result<Reply> {
+    /// Sends a request and maps an `ERR` reply to
+    /// [`ClientError::Refused`].
+    pub fn expect_ok(&mut self, text: &str) -> Result<Reply, ClientError> {
         let reply = self.request(text)?;
         if reply.ok {
             Ok(reply)
         } else {
-            Err(io::Error::other(format!(
-                "server refused: {}",
-                reply.message
-            )))
+            Err(ClientError::Refused(reply.message))
         }
     }
 
     /// Runs a multi-statement SQL script, one reply per statement
     /// batch; returns the replies.
-    pub fn run_script(&mut self, script: &str) -> io::Result<Vec<Reply>> {
+    pub fn run_script(&mut self, script: &str) -> Result<Vec<Reply>, ClientError> {
         // Split on statement boundaries client-side so each statement
         // earns its own reply (the server replies once per completed
         // accumulator unit).
@@ -66,17 +137,70 @@ impl Client {
         }
         if !buf.trim().is_empty() {
             // An unterminated statement would never earn a reply.
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "script ends with an unterminated statement",
+            return Err(ClientError::Protocol(
+                "script ends with an unterminated statement".into(),
             ));
         }
         Ok(replies)
     }
 
     /// Ends the session politely.
-    pub fn quit(mut self) -> io::Result<()> {
+    pub fn quit(mut self) -> Result<(), ClientError> {
         let _ = self.request("QUIT")?;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// The harness-critical fix: a server that accepts the connection
+    /// but never replies (killed mid-response, wedged worker) must
+    /// surface as a typed `Timeout`, not block the caller forever.
+    #[test]
+    fn read_times_out_instead_of_blocking() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // Accept and hold the socket open without ever writing.
+        let hold = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut client =
+            Client::connect_with_timeout(addr, Some(Duration::from_millis(50))).unwrap();
+        let err = client.request("PING").unwrap_err();
+        assert!(matches!(err, ClientError::Timeout), "{err}");
+        drop(client);
+        let _ = hold.join().unwrap();
+    }
+
+    /// A server that closes mid-reply reads as `ServerClosed`.
+    #[test]
+    fn server_death_is_a_typed_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let half_reply = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            // A status line announcing payload that never comes.
+            io::Write::write_all(&mut s, b"OK 3 partial\nline1\n").unwrap();
+            // Socket drops here: connection closed mid-payload.
+        });
+        let mut client = Client::connect_with_timeout(addr, Some(Duration::from_secs(5))).unwrap();
+        let err = client.request("PING").unwrap_err();
+        assert!(matches!(err, ClientError::ServerClosed), "{err}");
+        half_reply.join().unwrap();
+    }
+
+    /// Refusals keep their message through `expect_ok`.
+    #[test]
+    fn expect_ok_maps_err_replies() {
+        let server = crate::Server::start(crate::ServeConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let err = client.expect_ok("DUMP nope").unwrap_err();
+        match err {
+            ClientError::Refused(m) => assert!(m.contains("no such table"), "{m}"),
+            other => panic!("expected Refused, got {other}"),
+        }
+        client.quit().unwrap();
+        server.shutdown().unwrap();
     }
 }

@@ -36,7 +36,7 @@ pub mod server;
 pub mod store;
 pub mod wal;
 
-pub use client::Client;
+pub use client::{Client, ClientError};
 pub use protocol::{Reply, Request};
 pub use server::{ServeConfig, Server};
 pub use store::{ServeError, Store};

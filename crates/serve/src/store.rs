@@ -26,7 +26,7 @@ use sqlnf_core::prelude::*;
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 /// Default LHS cap of the `MINE` verb.
@@ -98,6 +98,39 @@ impl StoreStats {
 
 type Registry = BTreeMap<String, Arc<RwLock<StoredTable>>>;
 
+/// Fault-injection and observation hooks for deterministic crash
+/// testing (used by `sqlnf-harness`; all disabled by default and
+/// inert in production paths).
+#[derive(Debug)]
+struct Hooks {
+    /// When enabled, every admitted statement's canonical rendering is
+    /// recorded here *in WAL order* (the push happens under the WAL
+    /// mutex, immediately after the append), so the log is exactly the
+    /// serial history recovery must reproduce.
+    oplog: Mutex<Option<Vec<String>>>,
+    /// After this many successful WAL appends, every further append
+    /// fails with an injected I/O error — a deterministic crash point:
+    /// regardless of thread interleaving, exactly this many statements
+    /// become durable. `u64::MAX` disables the fault.
+    wal_fault_after: AtomicU64,
+    /// Successful appends so far (only counted while a fault is armed
+    /// or an oplog is attached).
+    appends: AtomicU64,
+    /// Whether the armed fault has fired at least once.
+    fault_fired: AtomicBool,
+}
+
+impl Default for Hooks {
+    fn default() -> Self {
+        Hooks {
+            oplog: Mutex::new(None),
+            wal_fault_after: AtomicU64::new(u64::MAX),
+            appends: AtomicU64::new(0),
+            fault_fired: AtomicBool::new(false),
+        }
+    }
+}
+
 /// The shared store: the table registry plus the durability layer.
 #[derive(Debug)]
 pub struct Store {
@@ -111,6 +144,8 @@ pub struct Store {
     /// shutdown).
     snapshot_every: u64,
     since_snapshot: AtomicU64,
+    /// Test-only fault/observation hooks.
+    hooks: Hooks,
     /// Lifetime counters.
     pub stats: StoreStats,
 }
@@ -125,6 +160,7 @@ impl Store {
             generation: Mutex::new(0),
             snapshot_every: 0,
             since_snapshot: AtomicU64::new(0),
+            hooks: Hooks::default(),
             stats: StoreStats::default(),
         }
     }
@@ -145,6 +181,7 @@ impl Store {
             generation: Mutex::new(0),
             snapshot_every,
             since_snapshot: AtomicU64::new(0),
+            hooks: Hooks::default(),
             stats: StoreStats::default(),
         };
         let snap_path = dir.join(SNAPSHOT_FILE);
@@ -304,12 +341,56 @@ impl Store {
     }
 
     /// Appends to the WAL if one is attached (no-op when ephemeral).
+    /// An armed fault hook turns the append into an injected I/O error
+    /// once its budget is spent, and an attached oplog records the
+    /// payload in append order (both under the WAL mutex, so the oplog
+    /// is exactly the on-disk serial history).
     fn append_wal(&self, payload: &str) -> Result<(), ServeError> {
         let mut guard = self.wal.lock().unwrap();
+        let budget = self.hooks.wal_fault_after.load(Ordering::Relaxed);
+        if budget != u64::MAX && self.hooks.appends.load(Ordering::Relaxed) >= budget {
+            self.hooks.fault_fired.store(true, Ordering::SeqCst);
+            return Err(io::Error::other("injected WAL fault").into());
+        }
         if let Some(wal) = guard.as_mut() {
             wal.append(payload)?;
         }
+        self.hooks.appends.fetch_add(1, Ordering::Relaxed);
+        if let Some(log) = self.hooks.oplog.lock().unwrap().as_mut() {
+            log.push(payload.to_owned());
+        }
         Ok(())
+    }
+
+    /// Test hook: start recording every admitted statement (canonical
+    /// rendering, WAL order). Used by the fault-injection harness as
+    /// the ground-truth serial history for differential recovery
+    /// checks.
+    pub fn enable_oplog(&self) {
+        *self.hooks.oplog.lock().unwrap() = Some(Vec::new());
+    }
+
+    /// Test hook: the statements recorded since [`enable_oplog`]
+    /// (`Store::enable_oplog`), in WAL order.
+    pub fn oplog(&self) -> Vec<String> {
+        self.hooks.oplog.lock().unwrap().clone().unwrap_or_default()
+    }
+
+    /// Test hook: after `appends` further successful WAL appends, every
+    /// append fails with an injected I/O error. Statements admitted
+    /// before the fault stay durable; later ones are refused and rolled
+    /// back — a deterministic crash point independent of thread
+    /// interleaving.
+    pub fn inject_wal_fault_after(&self, appends: u64) {
+        let done = self.hooks.appends.load(Ordering::Relaxed);
+        self.hooks
+            .wal_fault_after
+            .store(done.saturating_add(appends), Ordering::Relaxed);
+    }
+
+    /// Test hook: whether the armed WAL fault has fired.
+    pub fn wal_fault_fired(&self) -> bool {
+        self.hooks.fault_fired.load(Ordering::SeqCst)
     }
 
     /// `(bytes, records)` currently in the WAL.
@@ -590,6 +671,48 @@ mod tests {
         let reborn = Store::open(&dir, 0).unwrap();
         assert_eq!(reborn.export_script(), expected);
         assert!(reborn.satisfies_all_constraints());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The harness hooks: the oplog mirrors the admitted history in
+    /// order, and an armed WAL fault refuses (and rolls back) every
+    /// statement past its budget, deterministically.
+    #[test]
+    fn oplog_and_wal_fault_hooks() {
+        let dir = tmp_dir("hooks");
+        let store = Store::open(&dir, 0).unwrap();
+        store.enable_oplog();
+        store.execute_sql(DDL).unwrap();
+        store
+            .execute_sql("INSERT INTO purchase VALUES (1, 'A', NULL, 1);")
+            .unwrap();
+        // DDL + one insert so far; allow exactly one more append.
+        store.inject_wal_fault_after(1);
+        store
+            .execute_sql("INSERT INTO purchase VALUES (2, 'B', NULL, 2);")
+            .unwrap();
+        assert!(!store.wal_fault_fired());
+        let err = store
+            .execute_sql("INSERT INTO purchase VALUES (3, 'C', NULL, 3);")
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)), "{err}");
+        assert!(store.wal_fault_fired());
+        // The refused insert was rolled back, not half-applied.
+        store
+            .with_table("purchase", |st| assert_eq!(st.data().len(), 2))
+            .unwrap();
+        let oplog = store.oplog();
+        assert_eq!(oplog.len(), 3, "{oplog:?}");
+        assert!(oplog[0].starts_with("CREATE TABLE"));
+        // The oplog replayed through a fresh engine reproduces the
+        // recovered store exactly (the harness's differential check).
+        let mut reference = Database::new();
+        for stmt in &oplog {
+            reference.run_script(stmt).unwrap();
+        }
+        drop(store);
+        let reopened = Store::open(&dir, 0).unwrap();
+        assert_eq!(reopened.export_script(), reference.export_script());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -33,6 +33,11 @@ pub enum CliError {
     Engine(EngineError),
     /// Server-side failure (serve/client subcommands).
     Serve(sqlnf_serve::ServeError),
+    /// Client-side failure talking to a server (timeouts, refused
+    /// requests, a connection the server closed mid-reply).
+    Client(sqlnf_serve::ClientError),
+    /// A harness run diverged; carries the minimized replayable seed.
+    Harness(sqlnf_harness::HarnessFailure),
 }
 
 impl std::fmt::Display for CliError {
@@ -44,6 +49,8 @@ impl std::fmt::Display for CliError {
             CliError::Csv(e) => write!(f, "{e}"),
             CliError::Engine(e) => write!(f, "{e}"),
             CliError::Serve(e) => write!(f, "server error: {e}"),
+            CliError::Client(e) => write!(f, "client error: {e}"),
+            CliError::Harness(e) => write!(f, "{e}"),
         }
     }
 }
@@ -73,6 +80,16 @@ impl From<sqlnf_serve::ServeError> for CliError {
         CliError::Serve(e)
     }
 }
+impl From<sqlnf_serve::ClientError> for CliError {
+    fn from(e: sqlnf_serve::ClientError) -> Self {
+        CliError::Client(e)
+    }
+}
+impl From<sqlnf_harness::HarnessFailure> for CliError {
+    fn from(e: sqlnf_harness::HarnessFailure) -> Self {
+        CliError::Harness(e)
+    }
+}
 
 const USAGE: &str = "sqlnf — SQL schema design (Köhler & Link, SIGMOD 2016)
 
@@ -91,6 +108,14 @@ USAGE:
                                        run a scripted session against a server
                                        (reads stdin when no file is given;
                                        lines may mix SQL and service verbs)
+    sqlnf harness [--seed N | --seed A..=B] [--ops N] [--clients N]
+                  [--kill-prob P] [--corrupt-prob P]
+                                       seeded fault-injection + differential
+                                       harness over the server, WAL and miner
+                                       (deterministic per seed; failures print
+                                       a minimized replayable seed/op-count;
+                                       defaults: seed 1, ops 500, clients 4,
+                                       probabilities 0.5; see DESIGN.md §9)
 
 FLAGS (any subcommand):
     --stats                            print an observability report to stderr
@@ -345,6 +370,93 @@ pub fn cmd_client(addr: &str, script: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Parses the `harness` subcommand's flags: the seed set plus the
+/// workload and fault knobs.
+fn parse_harness_args(
+    args: &[String],
+) -> Result<(Vec<u64>, sqlnf_harness::HarnessConfig), CliError> {
+    let mut seeds: Vec<u64> = vec![1];
+    let mut config = sqlnf_harness::HarnessConfig::default();
+    let mut it = args.iter();
+    let need = |flag: &str, v: Option<&String>| -> Result<String, CliError> {
+        v.cloned()
+            .ok_or_else(|| CliError::Usage(format!("{flag} needs a value\n\n{USAGE}")))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                let v = need("--seed", it.next())?;
+                let bad = || CliError::Usage(format!("bad --seed {v:?} (N or A..=B)\n\n{USAGE}"));
+                seeds = if let Some((a, b)) = v.split_once("..=") {
+                    let lo: u64 = a.trim().parse().map_err(|_| bad())?;
+                    let hi: u64 = b.trim().parse().map_err(|_| bad())?;
+                    if lo > hi {
+                        return Err(bad());
+                    }
+                    (lo..=hi).collect()
+                } else {
+                    vec![v.trim().parse().map_err(|_| bad())?]
+                };
+            }
+            "--ops" => {
+                let v = need("--ops", it.next())?;
+                config.ops = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --ops {v:?}\n\n{USAGE}")))?;
+            }
+            "--clients" => {
+                let v = need("--clients", it.next())?;
+                config.clients = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --clients {v:?}\n\n{USAGE}")))?;
+            }
+            "--kill-prob" => {
+                let v = need("--kill-prob", it.next())?;
+                config.kill_prob = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --kill-prob {v:?}\n\n{USAGE}")))?;
+            }
+            "--corrupt-prob" => {
+                let v = need("--corrupt-prob", it.next())?;
+                config.corrupt_prob = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --corrupt-prob {v:?}\n\n{USAGE}")))?;
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown harness flag {other:?}\n\n{USAGE}"
+                )))
+            }
+        }
+    }
+    Ok((seeds, config))
+}
+
+/// `sqlnf harness`: run the seeded fault-injection + differential
+/// harness over one seed or a seed range. A failing seed aborts the
+/// sweep with a minimized, replayable `(seed, ops)` pair.
+pub fn cmd_harness(args: &[String]) -> Result<String, CliError> {
+    let (seeds, base) = parse_harness_args(args)?;
+    let mut out = String::new();
+    let mut admitted = 0usize;
+    let mut oracle_queries = 0usize;
+    for seed in &seeds {
+        let mut config = base.clone();
+        config.seed = *seed;
+        let report = sqlnf_harness::run_minimized(&config)?;
+        admitted += report.admitted;
+        oracle_queries += report.minecheck.oracle_queries;
+        let _ = writeln!(out, "{}", report.line());
+    }
+    let _ = writeln!(
+        out,
+        "{} seed{} passed ({admitted} statements admitted, {oracle_queries} oracle queries)",
+        seeds.len(),
+        if seeds.len() == 1 { "" } else { "s" },
+    );
+    Ok(out)
+}
+
 /// `sqlnf dataset`: emit one of the evaluation datasets as CSV.
 pub fn cmd_dataset(name: &str, seed: u64) -> Result<String, CliError> {
     let table = match name {
@@ -489,6 +601,7 @@ fn dispatch(args: &[String], mine: &MineOptions) -> Result<(String, Option<JsonV
             ))
         }
         [cmd, rest @ ..] if cmd == "serve" => Ok((cmd_serve(rest)?, None)),
+        [cmd, rest @ ..] if cmd == "harness" => Ok((cmd_harness(rest)?, None)),
         [cmd, addr] if cmd == "client" => {
             let mut script = String::new();
             std::io::Read::read_to_string(&mut std::io::stdin(), &mut script)?;

@@ -1,0 +1,98 @@
+//! Seed-regression suite for the fault-injection harness: seeds found
+//! during development, committed so the exact scenarios they exercise
+//! — kill racing the snapshotter, a corrupted WAL tail losing a
+//! suffix, DDL issued concurrently with DML — replay on every CI run.
+//!
+//! Each test pins the *shape* of the seed's plan and workload (so a
+//! generator change that silently repurposes the seed fails loudly)
+//! and then requires the full differential run to pass.
+
+use sqlnf_harness::{plan, run_one, Corruption, HarnessConfig};
+
+fn config(seed: u64, kill_prob: f64, corrupt_prob: f64) -> HarnessConfig {
+    HarnessConfig {
+        seed,
+        ops: 300,
+        clients: 4,
+        kill_prob,
+        corrupt_prob,
+    }
+}
+
+/// Seed 10: a crash injected while the auto-snapshotter is running
+/// hot (a snapshot after every statement), so the kill lands amid
+/// generation switches. Recovery must still reproduce every flushed
+/// append.
+#[test]
+fn seed_10_kill_during_snapshot() {
+    let c = config(10, 1.0, 0.0);
+    let p = plan(c.seed, c.ops, c.kill_prob, c.corrupt_prob);
+    assert!(p.kill_after.is_some(), "seed must arm the kill");
+    assert!(
+        (1..=4).contains(&p.snapshot_every),
+        "seed must snapshot aggressively, got cadence {}",
+        p.snapshot_every
+    );
+    let report = run_one(&c).expect("differential run passes");
+    assert!(report.killed);
+    assert!(
+        report.fault_fired,
+        "the workload must reach the crash point"
+    );
+    assert!(
+        report.snapshots >= 10,
+        "kill must race a busy snapshotter, got {} snapshots",
+        report.snapshots
+    );
+    // No corruption: every flushed append must survive the crash.
+    assert_eq!(report.recovered, report.admitted);
+}
+
+/// Seed 25: crash plus a torn WAL tail (truncation) that destroys a
+/// suffix of the admitted history — recovery must come back as a
+/// strict prefix, never a hole and never a panic. The seed's snapshot
+/// cadence is 0, so the whole history lives in the generation-0 log
+/// and the truncation is guaranteed to clip its final frame in every
+/// interleaving.
+#[test]
+fn seed_25_corrupt_tail_loses_a_suffix() {
+    let c = config(25, 1.0, 1.0);
+    let p = plan(c.seed, c.ops, c.kill_prob, c.corrupt_prob);
+    assert!(p.kill_after.is_some(), "seed must arm the kill");
+    assert!(
+        matches!(p.corruption, Some(Corruption::TruncateTail(_))),
+        "seed must truncate the WAL tail, got {:?}",
+        p.corruption
+    );
+    assert_eq!(
+        p.snapshot_every, 0,
+        "no auto-snapshots: the live log must hold the whole history"
+    );
+    let report = run_one(&c).expect("differential run passes");
+    assert!(report.killed && report.corrupted);
+    assert!(
+        report.recovered < report.admitted,
+        "corruption must cost this seed a suffix ({} of {})",
+        report.recovered,
+        report.admitted
+    );
+}
+
+/// Seed 7: a DDL-heavy stream — CREATE TABLEs keep arriving mid-run
+/// while four clients insert concurrently — shut down gracefully; the
+/// recovered store must equal the full serial replay.
+#[test]
+fn seed_7_concurrent_ddl() {
+    let c = config(7, 0.0, 0.0);
+    let report = run_one(&c).expect("differential run passes");
+    assert!(!report.killed && !report.corrupted);
+    assert!(
+        report.mid_stream_ddl >= 3,
+        "seed must issue DDL mid-stream, got {}",
+        report.mid_stream_ddl
+    );
+    assert!(report.tables >= 4);
+    assert_eq!(report.recovered, report.admitted);
+    assert!(report.minecheck.tables >= 4);
+    assert!(report.minecheck.oracle_queries > 0);
+}

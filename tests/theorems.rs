@@ -45,6 +45,46 @@ proptest! {
         }
     }
 
+    /// Theorems 2, 4, 5 on wide schemata: beyond the exhaustive 3-attr
+    /// check above, sample implication queries over 4–6 attributes —
+    /// the widths the fuzz harness generates — and require the
+    /// linear-time [`Reasoner`] to agree with the exact 2-tuple oracle
+    /// on p-/c-FDs and p-/c-keys, and [`counter_model`] to produce a
+    /// witness exactly when implication fails.
+    #[test]
+    fn implication_matches_oracle_wide(
+        case in (4usize..=6).prop_flat_map(|cols| (
+            Just(cols),
+            sigma(cols, 6),
+            attr_subset(cols),
+            proptest::collection::vec((attr_subset(cols), attr_subset(cols)), 16),
+        )),
+    ) {
+        let (cols, sigma, nfs, pairs) = case;
+        let t = AttrSet::first_n(cols);
+        let r = Reasoner::new(t, nfs, &sigma);
+        for &(x, y) in &pairs {
+            for m in [Modality::Possible, Modality::Certain] {
+                for phi in [
+                    Constraint::Fd(Fd { lhs: x, rhs: y, modality: m }),
+                    Constraint::Key(Key { attrs: x, modality: m }),
+                ] {
+                    let fast = r.implies(&phi);
+                    prop_assert_eq!(fast, oracle_implies(t, nfs, &sigma, &phi), "{}", phi);
+                    // A counter-model exists iff implication fails, and
+                    // any witness genuinely separates Σ from φ.
+                    match counter_model(t, nfs, &sigma, &phi) {
+                        Some(w) => {
+                            prop_assert!(!fast, "witness against implied {}", phi);
+                            prop_assert!(w.satisfies_all(&sigma) && !w.satisfies(&phi));
+                        }
+                        None => prop_assert!(fast, "no witness yet {} not implied", phi),
+                    }
+                }
+            }
+        }
+    }
+
     /// Theorems 1 and 4: the axiom system derives exactly the implied
     /// constraints (soundness + completeness) on random inputs.
     #[test]
