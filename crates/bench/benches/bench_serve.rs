@@ -60,8 +60,17 @@ fn run_load(clients: usize, stmts_per_client: usize, wal: Option<&PathBuf>) {
 }
 
 fn main() {
-    banner("B8 — serve throughput (wire protocol, concurrent sessions)");
-    let configs: &[(usize, usize, bool)] = &[(1, 500, false), (4, 500, false), (4, 500, true)];
+    banner("B8 — serve throughput (wire protocol, worker-count sweep)");
+    // Worker count tracks client count, so the sweep shows how the
+    // lock tiers behave as concurrency grows under WAL durability.
+    let configs: &[(usize, usize, bool)] = &[
+        (1, 500, false),
+        (4, 500, false),
+        (1, 500, true),
+        (2, 500, true),
+        (4, 500, true),
+        (8, 500, true),
+    ];
     let mut records = Vec::new();
     let mut rows = Vec::new();
     for &(clients, per_client, durable) in configs {
@@ -71,7 +80,7 @@ fn main() {
         );
         let dir = wal_dir(&id);
         let wal = durable.then(|| dir.clone());
-        let mut record = measure(&id, 3, || {
+        let record = measure(&id, 3, || {
             if let Some(d) = &wal {
                 let _ = std::fs::remove_dir_all(d);
             }
@@ -79,20 +88,68 @@ fn main() {
         });
         let total = (clients * per_client) as f64;
         let per_sec = total / record.median.as_secs_f64();
+
+        // Per-verb latency percentiles and per-lock-tier wait shares
+        // come straight from the span histograms the runs accumulated
+        // (all zero when built without `--features obs`).
+        let timer = |name: &str| record.obs.timers.iter().find(|t| t.name == name);
+        let (sql_p50, sql_p99) = timer("serve.verb.sql")
+            .map(|t| (t.p50_ns(), t.p99_ns()))
+            .unwrap_or((0, 0));
+        let dispatch_ns = timer("serve.dispatch").map_or(0, |t| t.total_ns).max(1) as f64;
+        let share = |name: &str| timer(name).map_or(0, |t| t.total_ns) as f64 / dispatch_ns;
+        let shares: Vec<(String, f64)> = ["snapshot", "registry", "table", "wal"]
+            .iter()
+            .map(|tier| {
+                (
+                    format!("lock_share_{tier}"),
+                    share(&format!("serve.lock_wait.{tier}")),
+                )
+            })
+            .chain([
+                ("wal_append_share".to_owned(), share("serve.wal.append")),
+                ("wal_fsync_share".to_owned(), share("serve.wal.fsync")),
+            ])
+            .collect();
+        let wal_lock_share = share("serve.lock_wait.wal");
+
+        let mut record = record;
         record
             .extra
             .push(("stmts_per_sec".to_owned(), JsonValue::Float(per_sec)));
+        record
+            .extra
+            .push(("sql_p50_ns".to_owned(), JsonValue::Int(sql_p50 as i128)));
+        record
+            .extra
+            .push(("sql_p99_ns".to_owned(), JsonValue::Int(sql_p99 as i128)));
+        for (name, value) in shares {
+            record.extra.push((name, JsonValue::Float(value)));
+        }
         rows.push(vec![
             id.clone(),
             fmt_duration(record.median),
             format!("{per_sec:.0}"),
+            fmt_duration(std::time::Duration::from_nanos(sql_p50)),
+            fmt_duration(std::time::Duration::from_nanos(sql_p99)),
+            format!("{:.1}%", wal_lock_share * 100.0),
         ]);
         records.push(record);
         let _ = std::fs::remove_dir_all(&dir);
     }
     println!(
         "{}",
-        render_table(&["config", "median", "stmts/sec"], &rows)
+        render_table(
+            &[
+                "config",
+                "median",
+                "stmts/sec",
+                "sql p50",
+                "sql p99",
+                "wal-lock share"
+            ],
+            &rows
+        )
     );
     match write_bench_json("serve", &records) {
         Ok(path) => println!("wrote {}", path.display()),

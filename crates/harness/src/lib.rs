@@ -297,6 +297,16 @@ pub fn run_one(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
     }
 
     let oplog = store.oplog();
+    // The observability plane must agree with the ground-truth serial
+    // history: every oplog push increments `stmt.admitted` (both under
+    // the same admission path), so a divergence means a counter bug.
+    let admitted_counter = store.stats.admitted.load(Ordering::Relaxed);
+    if admitted_counter != oplog.len() as u64 {
+        return Err(fail(format!(
+            "stats.admitted ({admitted_counter}) diverges from the oplog ({})",
+            oplog.len()
+        )));
+    }
     let fault_fired = store.wal_fault_fired();
     let snapshots = store.stats.snapshots.load(Ordering::Relaxed);
     drop(store);

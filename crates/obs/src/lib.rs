@@ -37,9 +37,14 @@
 
 #![warn(missing_docs)]
 
+pub mod flight;
 pub mod json;
 mod report;
 
+pub use flight::{
+    flight_enabled, flight_intern, flight_record_id, flight_reset, flight_snapshot, set_flight,
+    FlightEvent, FlightKind, RING_SLOTS,
+};
 pub use report::{CounterSnapshot, ObsReport, TimerSnapshot};
 
 /// Whether instrumentation is compiled in (the `obs` feature). Lets
@@ -52,18 +57,20 @@ pub const ENABLED: bool = true;
 #[cfg(not(feature = "obs"))]
 pub const ENABLED: bool = false;
 
+/// Number of log2 histogram buckets per timer (bucket 31 absorbs
+/// everything from ~1 s up). Compiled regardless of the `obs` feature
+/// so percentile estimation over snapshots has one API surface.
+pub const TIMER_BUCKETS: usize = 32;
+
 #[cfg(feature = "obs")]
 mod enabled {
+    use crate::TIMER_BUCKETS;
     use crate::{CounterSnapshot, ObsReport, TimerSnapshot};
     use std::cell::Cell;
     use std::fmt;
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
     use std::sync::{Mutex, OnceLock};
     use std::time::Instant;
-
-    /// Number of log2 histogram buckets per timer (bucket 31 absorbs
-    /// everything from ~1 s up).
-    pub const TIMER_BUCKETS: usize = 32;
 
     struct Registry {
         counters: Mutex<Vec<&'static Counter>>,
@@ -151,6 +158,8 @@ mod enabled {
         max_ns: AtomicU64,
         buckets: [AtomicU64; TIMER_BUCKETS],
         registered: AtomicBool,
+        /// Interned flight-recorder name id, resolved on first use.
+        flight_id: OnceLock<u32>,
     }
 
     impl Timer {
@@ -163,7 +172,17 @@ mod enabled {
                 max_ns: AtomicU64::new(0),
                 buckets: [const { AtomicU64::new(0) }; TIMER_BUCKETS],
                 registered: AtomicBool::new(false),
+                flight_id: OnceLock::new(),
             }
+        }
+
+        /// The timer's interned flight-recorder name id (the interning
+        /// lock is taken once per timer per process).
+        #[inline]
+        fn flight_id(&'static self) -> u32 {
+            *self
+                .flight_id
+                .get_or_init(|| crate::flight::flight_intern(self.name))
         }
 
         /// Records one span of `ns` nanoseconds.
@@ -202,6 +221,9 @@ mod enabled {
             if trace_enabled() {
                 trace_emit(format_args!("-> {}", timer.name));
             }
+            if crate::flight::flight_enabled() {
+                crate::flight::flight_record_id(timer.flight_id(), crate::FlightKind::Enter, 0);
+            }
             SPAN_DEPTH.with(|d| d.set(d.get() + 1));
             SpanGuard {
                 timer,
@@ -215,6 +237,13 @@ mod enabled {
             let ns = self.start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             self.timer.record_ns(ns);
             SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            if crate::flight::flight_enabled() {
+                crate::flight::flight_record_id(
+                    self.timer.flight_id(),
+                    crate::FlightKind::Exit,
+                    ns,
+                );
+            }
             if trace_enabled() {
                 trace_emit(format_args!("<- {} ({ns}ns)", self.timer.name));
             }
@@ -310,7 +339,6 @@ mod enabled {
 #[cfg(feature = "obs")]
 pub use enabled::{
     report, reset, set_trace, span_depth, trace_emit, trace_enabled, Counter, SpanGuard, Timer,
-    TIMER_BUCKETS,
 };
 
 #[cfg(not(feature = "obs"))]
@@ -406,6 +434,36 @@ macro_rules! span {
     ($name:expr) => {
         ()
     };
+}
+
+/// Records one point event into the flight recorder:
+/// `event!("serve.stmt.admitted")`, or with a payload value:
+/// `event!("serve.stmt.admitted", nonce)`. Costs one relaxed load when
+/// recording is off ([`set_flight`]); the name is interned once per
+/// call site.
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {
+        $crate::event!($name, 0u64)
+    };
+    ($name:expr, $v:expr) => {{
+        if $crate::flight_enabled() {
+            static __OBS_EVENT_ID: ::std::sync::OnceLock<u32> = ::std::sync::OnceLock::new();
+            let id = *__OBS_EVENT_ID.get_or_init(|| $crate::flight_intern($name));
+            $crate::flight_record_id(id, $crate::FlightKind::Instant, $v as u64);
+        }
+    }};
+}
+
+/// No-op: the `obs` feature is disabled.
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! event {
+    ($name:expr) => {};
+    ($name:expr, $v:expr) => {{
+        let _ = $v;
+    }};
 }
 
 /// Emits one reasoner-trace line (format-args syntax) when tracing is

@@ -35,6 +35,51 @@ impl TimerSnapshot {
     pub fn mean_ns(&self) -> u64 {
         self.total_ns.checked_div(self.count).unwrap_or(0)
     }
+
+    /// Estimates the `q`-quantile (`0 < q <= 1`) in nanoseconds from
+    /// the log2 histogram: the upper edge of the bucket holding the
+    /// rank-`⌈q·count⌉` sample, clamped to `max_ns`. The estimate
+    /// brackets the true percentile within one bucket width — for a
+    /// sample in bucket `b ≥ 1` the true value is in
+    /// `[2^(b-1), min(2^b - 1, max_ns)]`, so `true <= estimate <=
+    /// 2·true`. The final (overflow) bucket has no upper edge, so its
+    /// estimate is `max_ns` exactly. Returns 0 when nothing was
+    /// recorded.
+    pub fn percentile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 || self.buckets.is_empty() {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (b, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return if b == 0 {
+                    0 // sub-nanosecond bucket
+                } else if b + 1 == crate::TIMER_BUCKETS {
+                    self.max_ns // overflow bucket: no upper edge
+                } else {
+                    ((1u64 << b) - 1).min(self.max_ns)
+                };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median estimate ([`percentile_ns`](Self::percentile_ns) at 0.5).
+    pub fn p50_ns(&self) -> u64 {
+        self.percentile_ns(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90_ns(&self) -> u64 {
+        self.percentile_ns(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99_ns(&self) -> u64 {
+        self.percentile_ns(0.99)
+    }
 }
 
 /// A point-in-time export of every registered counter and timer.
@@ -44,6 +89,16 @@ pub struct ObsReport {
     pub counters: Vec<CounterSnapshot>,
     /// Timers, sorted by name.
     pub timers: Vec<TimerSnapshot>,
+}
+
+/// Escapes a Prometheus label value (`\` and `"`; names here are
+/// dotted identifiers, so this is belt-and-braces).
+fn escape_label(s: &str) -> String {
+    if s.contains(['\\', '"']) {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    } else {
+        s.to_string()
+    }
 }
 
 fn fmt_ns(ns: u64) -> String {
@@ -114,6 +169,69 @@ impl ObsReport {
         out
     }
 
+    /// Prometheus-style text exposition (the `METRICS` verb's payload
+    /// grammar; see DESIGN.md §7). Counters become
+    /// `sqlnf_counter{name="…"} v`; each timer becomes the
+    /// `sqlnf_span_*` family: `count`, `total_ns`, `max_ns`, the
+    /// p50/p90/p99 estimates, and cumulative `sqlnf_span_bucket` lines
+    /// with `le` upper edges (only non-empty buckets, then `+Inf`).
+    /// Output is deterministic: families in order, series sorted by
+    /// name.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# sqlnf observability exposition (durations in nanoseconds)\n");
+        if !self.counters.is_empty() {
+            out.push_str("# TYPE sqlnf_counter counter\n");
+            for c in &self.counters {
+                let _ = writeln!(
+                    out,
+                    "sqlnf_counter{{name=\"{}\"}} {}",
+                    escape_label(&c.name),
+                    c.value
+                );
+            }
+        }
+        if !self.timers.is_empty() {
+            out.push_str("# TYPE sqlnf_span summary\n");
+            for t in &self.timers {
+                let name = escape_label(&t.name);
+                let _ = writeln!(out, "sqlnf_span_count{{name=\"{name}\"}} {}", t.count);
+                let _ = writeln!(out, "sqlnf_span_total_ns{{name=\"{name}\"}} {}", t.total_ns);
+                let _ = writeln!(out, "sqlnf_span_max_ns{{name=\"{name}\"}} {}", t.max_ns);
+                let _ = writeln!(out, "sqlnf_span_p50_ns{{name=\"{name}\"}} {}", t.p50_ns());
+                let _ = writeln!(out, "sqlnf_span_p90_ns{{name=\"{name}\"}} {}", t.p90_ns());
+                let _ = writeln!(out, "sqlnf_span_p99_ns{{name=\"{name}\"}} {}", t.p99_ns());
+                let mut cumulative = 0u64;
+                for (b, &c) in t.buckets.iter().enumerate() {
+                    if c == 0 {
+                        continue;
+                    }
+                    cumulative += c;
+                    let le = if b == 0 {
+                        "0".to_string()
+                    } else if b + 1 == crate::TIMER_BUCKETS {
+                        "+Inf".to_string()
+                    } else {
+                        ((1u64 << b) - 1).to_string()
+                    };
+                    let _ = writeln!(
+                        out,
+                        "sqlnf_span_bucket{{name=\"{name}\",le=\"{le}\"}} {cumulative}"
+                    );
+                }
+                if t.buckets.last().is_none_or(|&c| c == 0)
+                    || t.buckets.len() < crate::TIMER_BUCKETS
+                {
+                    let _ = writeln!(
+                        out,
+                        "sqlnf_span_bucket{{name=\"{name}\",le=\"+Inf\"}} {cumulative}"
+                    );
+                }
+            }
+        }
+        out
+    }
+
     /// Compact JSON export, parseable by [`ObsReport::from_json`].
     pub fn to_json(&self) -> String {
         self.to_json_value().to_json()
@@ -137,6 +255,12 @@ impl ObsReport {
                         ("count".to_string(), JsonValue::Int(t.count as i128)),
                         ("total_ns".to_string(), JsonValue::Int(t.total_ns as i128)),
                         ("max_ns".to_string(), JsonValue::Int(t.max_ns as i128)),
+                        // Derived estimates; from_json ignores them and
+                        // recomputes from the buckets, so the round
+                        // trip stays exact.
+                        ("p50_ns".to_string(), JsonValue::Int(t.p50_ns() as i128)),
+                        ("p90_ns".to_string(), JsonValue::Int(t.p90_ns() as i128)),
+                        ("p99_ns".to_string(), JsonValue::Int(t.p99_ns() as i128)),
                         (
                             "buckets".to_string(),
                             JsonValue::Array(
@@ -254,6 +378,74 @@ mod tests {
         assert!(text.contains("core.closure.iterations"));
         assert!(text.contains("count=7"));
         assert!(ObsReport::default().render().contains("nothing recorded"));
+    }
+
+    #[test]
+    fn percentile_estimates_follow_the_buckets() {
+        // 10 samples: 4 in bucket 2 (2..=3 ns), 6 in bucket 4 (8..=15).
+        let mut buckets = vec![0u64; crate::TIMER_BUCKETS];
+        buckets[2] = 4;
+        buckets[4] = 6;
+        let t = TimerSnapshot {
+            name: "t".into(),
+            count: 10,
+            total_ns: 70,
+            max_ns: 14,
+            buckets,
+        };
+        // rank 5 (p50) falls in bucket 4: upper edge 15, clamped to max 14.
+        assert_eq!(t.p50_ns(), 14);
+        // rank 4 (p40) is the last bucket-2 sample: upper edge 3.
+        assert_eq!(t.percentile_ns(0.40), 3);
+        assert_eq!(t.p99_ns(), 14);
+        // Degenerate shapes.
+        let empty = TimerSnapshot {
+            name: "e".into(),
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+            buckets: vec![0; crate::TIMER_BUCKETS],
+        };
+        assert_eq!(empty.p50_ns(), 0);
+        let mut one = vec![0u64; crate::TIMER_BUCKETS];
+        one[7] = 1;
+        let single = TimerSnapshot {
+            name: "s".into(),
+            count: 1,
+            total_ns: 100,
+            max_ns: 100,
+            buckets: one,
+        };
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(single.percentile_ns(q), 100); // min(127, max=100)
+        }
+        // Overflow bucket has no upper edge: the estimate is max_ns.
+        let mut top = vec![0u64; crate::TIMER_BUCKETS];
+        top[crate::TIMER_BUCKETS - 1] = 3;
+        let over = TimerSnapshot {
+            name: "o".into(),
+            count: 3,
+            total_ns: 0,
+            max_ns: 5_000_000_000,
+            buckets: top,
+        };
+        assert_eq!(over.p50_ns(), 5_000_000_000);
+    }
+
+    #[test]
+    fn prometheus_exposition_is_deterministic_and_complete() {
+        let report = sample();
+        let text = report.to_prometheus();
+        assert!(text.contains("sqlnf_counter{name=\"core.closure.iterations\"} 42"));
+        assert!(text.contains("sqlnf_span_count{name=\"p_closure\"} 7"));
+        assert!(text.contains("sqlnf_span_p50_ns{name=\"p_closure\"}"));
+        // Buckets are cumulative and end with +Inf.
+        assert!(text.contains("sqlnf_span_bucket{name=\"p_closure\",le=\"3\"} 3"));
+        assert!(text.contains("sqlnf_span_bucket{name=\"p_closure\",le=\"7\"} 7"));
+        assert!(text.contains("sqlnf_span_bucket{name=\"p_closure\",le=\"+Inf\"} 7"));
+        assert_eq!(text, report.to_prometheus(), "stable under re-render");
+        // Label escaping.
+        assert_eq!(escape_label("a\"b\\c"), "a\\\"b\\\\c");
     }
 
     #[test]

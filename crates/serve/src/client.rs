@@ -25,8 +25,10 @@ pub enum ClientError {
     /// other than timeout/EOF).
     Io(io::Error),
     /// No reply arrived within the read timeout — the server is wedged
-    /// or was killed mid-response.
-    Timeout,
+    /// or was killed mid-response. Carries the configured timeout when
+    /// the client knows it (`None` only for errors converted outside a
+    /// client, where no configuration exists).
+    Timeout(Option<Duration>),
     /// The server closed the connection before completing the reply.
     ServerClosed,
     /// The reply bytes did not parse as the wire protocol.
@@ -40,7 +42,10 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "io error: {e}"),
-            ClientError::Timeout => write!(f, "no reply within the read timeout"),
+            ClientError::Timeout(Some(t)) => {
+                write!(f, "no reply within the read timeout ({t:?})")
+            }
+            ClientError::Timeout(None) => write!(f, "no reply within the read timeout"),
             ClientError::ServerClosed => write!(f, "server closed the connection"),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
             ClientError::Refused(m) => write!(f, "server refused: {m}"),
@@ -53,7 +58,7 @@ impl std::error::Error for ClientError {}
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> Self {
         match e.kind() {
-            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::Timeout,
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ClientError::Timeout(None),
             // EOF is the polite close; reset/abort/broken-pipe is how a
             // killed server looks from the other end of the socket.
             io::ErrorKind::UnexpectedEof
@@ -71,6 +76,8 @@ impl From<io::Error> for ClientError {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// The configured read timeout, stamped into [`ClientError::Timeout`].
+    timeout: Option<Duration>,
 }
 
 impl Client {
@@ -92,7 +99,16 @@ impl Client {
         Ok(Client {
             reader: BufReader::new(stream),
             writer,
+            timeout,
         })
+    }
+
+    /// Stamps the configured timeout into a bare [`ClientError::Timeout`].
+    fn annotate(&self, e: ClientError) -> ClientError {
+        match e {
+            ClientError::Timeout(None) => ClientError::Timeout(self.timeout),
+            other => other,
+        }
     }
 
     /// Sends one request (a verb line or a complete SQL statement,
@@ -100,12 +116,27 @@ impl Client {
     pub fn request(&mut self, text: &str) -> Result<Reply, ClientError> {
         self.writer
             .write_all(text.as_bytes())
-            .map_err(ClientError::from)?;
+            .map_err(|e| self.annotate(e.into()))?;
         if !text.ends_with('\n') {
-            self.writer.write_all(b"\n").map_err(ClientError::from)?;
+            self.writer
+                .write_all(b"\n")
+                .map_err(|e| self.annotate(e.into()))?;
         }
-        self.writer.flush().map_err(ClientError::from)?;
-        read_reply(&mut self.reader).map_err(ClientError::from)
+        self.writer.flush().map_err(|e| self.annotate(e.into()))?;
+        read_reply(&mut self.reader).map_err(|e| self.annotate(e.into()))
+    }
+
+    /// Scrapes the `METRICS` exposition (the payload lines, rejoined).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let reply = self.expect_ok("METRICS")?;
+        Ok(reply.lines.join("\n"))
+    }
+
+    /// Fetches the last `n` flight-recorder events (`TRACE n`), one
+    /// rendered event per line.
+    pub fn trace(&mut self, n: usize) -> Result<Vec<String>, ClientError> {
+        let reply = self.expect_ok(&format!("TRACE {n}"))?;
+        Ok(reply.lines)
     }
 
     /// Sends a request and maps an `ERR` reply to
@@ -168,7 +199,13 @@ mod tests {
         let mut client =
             Client::connect_with_timeout(addr, Some(Duration::from_millis(50))).unwrap();
         let err = client.request("PING").unwrap_err();
-        assert!(matches!(err, ClientError::Timeout), "{err}");
+        assert!(
+            matches!(err, ClientError::Timeout(Some(t)) if t == Duration::from_millis(50)),
+            "{err}"
+        );
+        // The display names the configured timeout, so a stuck harness
+        // log says how long the client actually waited.
+        assert!(err.to_string().contains("50ms"), "{err}");
         drop(client);
         let _ = hold.join().unwrap();
     }

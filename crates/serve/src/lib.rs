@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod store;
 pub mod wal;
 
 pub use client::{Client, ClientError};
+pub use metrics::{parse_exposition, Sample, SlowEntry, Stage};
 pub use protocol::{Reply, Request};
 pub use server::{ServeConfig, Server};
 pub use store::{ServeError, Store};

@@ -12,6 +12,8 @@
 //! CLOSURE <table> <col>...     p- and c-closure of the column set
 //! NORMALIZE <table>            DDL of the VRNF decomposition
 //! STATS                        server counters
+//! METRICS                      Prometheus-style text exposition
+//! TRACE [n]                    last n flight-recorder events (default 64)
 //! QUIT                         close this session
 //! SHUTDOWN                     stop the whole server (final snapshot)
 //! ```
@@ -28,6 +30,9 @@
 //! ```
 
 use std::fmt;
+
+/// How many flight-recorder events a bare `TRACE` returns.
+pub const DEFAULT_TRACE_EVENTS: usize = 64;
 
 /// One parsed service request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +61,12 @@ pub enum Request {
     Normalize(String),
     /// Server counters.
     Stats,
+    /// Prometheus-style text exposition of counters, latency
+    /// histograms (with derived percentiles), store state, and the
+    /// slow-request log.
+    Metrics,
+    /// The last `n` flight-recorder trace events.
+    Trace(usize),
     /// End this session.
     Quit,
     /// Stop the server.
@@ -272,6 +283,9 @@ fn parse_verb(line: &str) -> Option<Request> {
         ("PING", []) => Some(Request::Ping),
         ("TABLES", []) => Some(Request::Tables),
         ("STATS", []) => Some(Request::Stats),
+        ("METRICS", []) => Some(Request::Metrics),
+        ("TRACE", []) => Some(Request::Trace(DEFAULT_TRACE_EVENTS)),
+        ("TRACE", [n]) => n.parse().ok().map(Request::Trace),
         ("QUIT", []) => Some(Request::Quit),
         ("SHUTDOWN", []) => Some(Request::Shutdown),
         ("DUMP", rest) => one_table(rest).map(Request::Dump),
@@ -340,6 +354,20 @@ mod tests {
                 "{line}"
             );
         }
+    }
+
+    #[test]
+    fn metrics_and_trace_verbs_parse() {
+        let mut acc = Accumulator::new();
+        assert_eq!(acc.push_line("metrics"), Some(Request::Metrics));
+        assert_eq!(
+            acc.push_line("TRACE"),
+            Some(Request::Trace(DEFAULT_TRACE_EVENTS))
+        );
+        assert_eq!(acc.push_line("trace 16"), Some(Request::Trace(16)));
+        // A malformed count is not a verb — it starts a SQL statement.
+        assert_eq!(acc.push_line("TRACE lots"), None);
+        assert!(acc.is_pending());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //!   stop without a final snapshot or fsync, leaving recovery entirely
 //!   to the WAL.
 
+use crate::metrics::{self, SlowEntry};
 use crate::protocol::{Accumulator, Reply, Request};
 use crate::store::{ServeError, Store};
 use sqlnf_core::prelude::*;
@@ -67,6 +68,9 @@ impl Server {
     /// Binds, recovers the store from the WAL directory (if any), and
     /// starts the acceptor and worker threads.
     pub fn start(config: ServeConfig) -> Result<Server, ServeError> {
+        // The flight recorder backs the TRACE verb; recording costs a
+        // few atomic stores per span, nothing when obs is compiled out.
+        sqlnf_obs::set_flight(true);
         let store = Arc::new(match &config.wal_dir {
             Some(dir) => Store::open(dir, config.snapshot_every)?,
             None => Store::ephemeral(),
@@ -271,10 +275,44 @@ fn write_reply(writer: &mut TcpStream, reply: &Reply) -> io::Result<()> {
     writer.flush()
 }
 
-/// Executes one request against the store.
+/// Executes one request against the store, recording its latency in
+/// the aggregate `serve.dispatch` histogram and a per-verb
+/// `serve.verb.<label>` histogram, and offering the finished request
+/// (with its per-stage breakdown) to the store's slow-request log.
 pub fn dispatch(store: &Store, req: Request) -> Reply {
     let _span = sqlnf_obs::span!("serve.dispatch");
-    match run_request(store, req) {
+    let verb = metrics::verb_label(&req);
+    let seq = store.stats.requests.fetch_add(1, Ordering::Relaxed) + 1;
+    metrics::stage_begin();
+    let start = std::time::Instant::now();
+    let result = {
+        // `span!` needs a literal name, so per-verb histograms route
+        // through one arm per verb. With `obs` compiled out every arm
+        // is unit, hence the allow.
+        #[allow(clippy::let_unit_value)]
+        let _verb_span = match verb {
+            "ping" => sqlnf_obs::span!("serve.verb.ping"),
+            "tables" => sqlnf_obs::span!("serve.verb.tables"),
+            "dump" => sqlnf_obs::span!("serve.verb.dump"),
+            "mine" => sqlnf_obs::span!("serve.verb.mine"),
+            "closure" => sqlnf_obs::span!("serve.verb.closure"),
+            "normalize" => sqlnf_obs::span!("serve.verb.normalize"),
+            "stats" => sqlnf_obs::span!("serve.verb.stats"),
+            "metrics" => sqlnf_obs::span!("serve.verb.metrics"),
+            "trace" => sqlnf_obs::span!("serve.verb.trace"),
+            "sql" => sqlnf_obs::span!("serve.verb.sql"),
+            _ => sqlnf_obs::span!("serve.verb.other"),
+        };
+        run_request(store, req)
+    };
+    let total_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    store.slow_log().offer(SlowEntry {
+        seq,
+        verb,
+        total_ns,
+        stages: metrics::stage_take(),
+    });
+    match result {
         Ok(reply) => reply,
         Err(e) => Reply::err(e.to_string()),
     }
@@ -295,6 +333,19 @@ fn run_request(store: &Store, req: Request) -> Result<Reply, ServeError> {
                 .stats
                 .lines(store.table_names().len(), wal_bytes, wal_records);
             Ok(Reply::ok_with("server counters", lines))
+        }
+        Request::Metrics => {
+            let text = metrics::render_metrics(store);
+            let lines: Vec<String> = text.lines().map(str::to_owned).collect();
+            Ok(Reply::ok_with("metrics exposition", lines))
+        }
+        Request::Trace(n) => {
+            let events = sqlnf_obs::flight_snapshot(n);
+            let lines: Vec<String> = events.iter().map(|e| e.line()).collect();
+            Ok(Reply::ok_with(
+                format!("{} flight events", lines.len()),
+                lines,
+            ))
         }
         Request::Sql(src) => {
             let applied = store.execute_sql(&src)?;
@@ -427,6 +478,27 @@ mod tests {
         assert!(norm.lines.iter().any(|l| l.contains("CREATE TABLE")));
         let stats = dispatch(&store, Request::Stats);
         assert!(stats.lines.iter().any(|l| l.starts_with("stmt.admitted 2")));
+        let mut sorted = stats.lines.clone();
+        sorted.sort();
+        assert_eq!(stats.lines, sorted, "STATS payload is name-sorted");
+        let metrics = dispatch(&store, Request::Metrics);
+        assert!(metrics.ok);
+        let samples =
+            crate::metrics::parse_exposition(&metrics.lines.join("\n")).expect("exposition parses");
+        let admitted = samples
+            .iter()
+            .find(|s| s.name == "sqlnf_store" && s.label("name") == Some("stmt.admitted"))
+            .expect("store counters exposed");
+        assert_eq!(admitted.value, 2.0);
+        assert!(
+            samples
+                .iter()
+                .any(|s| s.name == "sqlnf_slow_request_ns" && s.label("stage") == Some("total")),
+            "dispatches above recorded into the slow log"
+        );
+        let trace = dispatch(&store, Request::Trace(16));
+        assert!(trace.ok);
+        assert!(trace.lines.len() <= 16);
         let err = dispatch(&store, Request::Dump("nope".into()));
         assert!(!err.ok);
         assert!(err.message.contains("no such table"));

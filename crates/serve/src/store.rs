@@ -21,6 +21,7 @@
 //! table read lock, so no admitted statement can fall between snapshot
 //! and log.
 
+use crate::metrics::{self, SlowEntry, SlowLog, Stage};
 use crate::wal::{self, Wal, SNAPSHOT_FILE};
 use sqlnf_core::prelude::*;
 use std::collections::BTreeMap;
@@ -71,6 +72,8 @@ impl From<io::Error> for ServeError {
 /// `sqlnf-obs` under `serve.*` when the `obs` feature is compiled in).
 #[derive(Debug, Default)]
 pub struct StoreStats {
+    /// Requests dispatched (every verb, including failures).
+    pub requests: AtomicU64,
     /// Sessions accepted.
     pub sessions: AtomicU64,
     /// Statements admitted (and logged).
@@ -82,14 +85,17 @@ pub struct StoreStats {
 }
 
 impl StoreStats {
-    /// Renders the counters as `name value` payload lines.
+    /// Renders the counters as `name value` payload lines, sorted by
+    /// name — `STATS` and `METRICS` output is stable across runs, so
+    /// diffs (and tests diffing the two planes) are deterministic.
     pub fn lines(&self, tables: usize, wal_bytes: u64, wal_records: u64) -> Vec<String> {
         vec![
-            format!("tables {tables}"),
+            format!("requests {}", self.requests.load(Ordering::Relaxed)),
             format!("sessions {}", self.sessions.load(Ordering::Relaxed)),
+            format!("snapshots {}", self.snapshots.load(Ordering::Relaxed)),
             format!("stmt.admitted {}", self.admitted.load(Ordering::Relaxed)),
             format!("stmt.rejected {}", self.rejected.load(Ordering::Relaxed)),
-            format!("snapshots {}", self.snapshots.load(Ordering::Relaxed)),
+            format!("tables {tables}"),
             format!("wal.bytes {wal_bytes}"),
             format!("wal.records {wal_records}"),
         ]
@@ -148,7 +154,16 @@ pub struct Store {
     hooks: Hooks,
     /// Lifetime counters.
     pub stats: StoreStats,
+    /// Worst-request log (see [`crate::metrics`]).
+    slow: SlowLog,
+    /// Process-unique tag stamped into every flight-recorder event this
+    /// store emits, so tests sharing the process-global recorder can
+    /// filter their own events out of the stream.
+    nonce: u64,
 }
+
+/// Source of store nonces (flight events carry them as values).
+static NONCE: AtomicU64 = AtomicU64::new(1);
 
 impl Store {
     /// An in-memory store without durability.
@@ -162,6 +177,8 @@ impl Store {
             since_snapshot: AtomicU64::new(0),
             hooks: Hooks::default(),
             stats: StoreStats::default(),
+            slow: SlowLog::default(),
+            nonce: NONCE.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -183,6 +200,8 @@ impl Store {
             since_snapshot: AtomicU64::new(0),
             hooks: Hooks::default(),
             stats: StoreStats::default(),
+            slow: SlowLog::default(),
+            nonce: NONCE.fetch_add(1, Ordering::Relaxed),
         };
         let snap_path = dir.join(SNAPSHOT_FILE);
         let generation = match std::fs::read_to_string(&snap_path) {
@@ -232,12 +251,29 @@ impl Store {
     }
 
     fn table_arc(&self, name: &str) -> Result<Arc<RwLock<StoredTable>>, ServeError> {
-        self.tables
-            .read()
-            .unwrap()
-            .get(name)
+        let reg = {
+            let _wait = sqlnf_obs::span!("serve.lock_wait.registry");
+            metrics::timed(Stage::LockRegistry, || self.tables.read().unwrap())
+        };
+        reg.get(name)
             .cloned()
             .ok_or_else(|| EngineError::NoSuchTable(name.to_owned()).into())
+    }
+
+    /// This store's flight-event tag (see the `nonce` field).
+    pub fn nonce(&self) -> u64 {
+        self.nonce
+    }
+
+    /// The worst-request log (requests recorded by the server's
+    /// dispatch loop).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow
+    }
+
+    /// The retained worst requests, worst first.
+    pub fn slow_requests(&self) -> Vec<SlowEntry> {
+        self.slow.entries()
     }
 
     /// Table names, sorted.
@@ -254,8 +290,8 @@ impl Store {
         let arc = self.table_arc(name)?;
         let st = {
             // Wait time only: the span must not cover `f` itself.
-            let _wait = sqlnf_obs::span!("serve.table_lock_wait");
-            arc.read().unwrap()
+            let _wait = sqlnf_obs::span!("serve.lock_wait.table");
+            metrics::timed(Stage::LockTable, || arc.read().unwrap())
         };
         Ok(f(&st))
     }
@@ -267,7 +303,11 @@ impl Store {
     /// is the statement, not the script). Returns the number of
     /// statements applied.
     pub fn execute_sql(&self, src: &str) -> Result<usize, ServeError> {
-        let stmts = parse_script(src).map_err(|e| {
+        let parsed = {
+            let _span = sqlnf_obs::span!("serve.parse");
+            metrics::timed(Stage::Parse, || parse_script(src))
+        };
+        let stmts = parsed.map_err(|e| {
             self.stats.rejected.fetch_add(1, Ordering::Relaxed);
             sqlnf_obs::count!("serve.stmt.rejected");
             EngineError::from(e)
@@ -279,6 +319,7 @@ impl Store {
                     applied += 1;
                     self.stats.admitted.fetch_add(1, Ordering::Relaxed);
                     sqlnf_obs::count!("serve.stmt.admitted");
+                    sqlnf_obs::event!("serve.stmt.admitted", self.nonce);
                 }
                 Err(e) => {
                     self.stats.rejected.fetch_add(1, Ordering::Relaxed);
@@ -298,7 +339,10 @@ impl Store {
             Statement::CreateTable { schema, sigma } => {
                 let rendered = render_create_table(&schema, &sigma);
                 let name = schema.name().to_owned();
-                let mut reg = self.tables.write().unwrap();
+                let mut reg = {
+                    let _wait = sqlnf_obs::span!("serve.lock_wait.registry");
+                    metrics::timed(Stage::LockRegistry, || self.tables.write().unwrap())
+                };
                 if reg.contains_key(&name) {
                     return Err(EngineError::DuplicateTable(name).into());
                 }
@@ -314,8 +358,8 @@ impl Store {
                 // suspected cause of serve_4x500 throughput trailing
                 // serve_1x500. The span ends at acquisition.
                 let mut st = {
-                    let _wait = sqlnf_obs::span!("serve.table_lock_wait");
-                    arc.write().unwrap()
+                    let _wait = sqlnf_obs::span!("serve.lock_wait.table");
+                    metrics::timed(Stage::LockTable, || arc.write().unwrap())
                 };
                 // Multi-row INSERTs are atomic: roll back this
                 // statement's rows if a later one is rejected.
@@ -346,14 +390,18 @@ impl Store {
     /// payload in append order (both under the WAL mutex, so the oplog
     /// is exactly the on-disk serial history).
     fn append_wal(&self, payload: &str) -> Result<(), ServeError> {
-        let mut guard = self.wal.lock().unwrap();
+        let mut guard = {
+            let _wait = sqlnf_obs::span!("serve.lock_wait.wal");
+            metrics::timed(Stage::LockWal, || self.wal.lock().unwrap())
+        };
         let budget = self.hooks.wal_fault_after.load(Ordering::Relaxed);
         if budget != u64::MAX && self.hooks.appends.load(Ordering::Relaxed) >= budget {
             self.hooks.fault_fired.store(true, Ordering::SeqCst);
             return Err(io::Error::other("injected WAL fault").into());
         }
         if let Some(wal) = guard.as_mut() {
-            wal.append(payload)?;
+            let _span = sqlnf_obs::span!("serve.wal.append");
+            metrics::timed(Stage::WalAppend, || wal.append(payload))?;
         }
         self.hooks.appends.fetch_add(1, Ordering::Relaxed);
         if let Some(log) = self.hooks.oplog.lock().unwrap().as_mut() {
@@ -456,7 +504,10 @@ impl Store {
         let _span = sqlnf_obs::span!("serve.snapshot");
         // Tier 1: one snapshot at a time; the guard owns the live
         // WAL's generation.
-        let mut generation = self.generation.lock().unwrap();
+        let mut generation = {
+            let _wait = sqlnf_obs::span!("serve.lock_wait.snapshot");
+            metrics::timed(Stage::LockSnapshot, || self.generation.lock().unwrap())
+        };
         let next = *generation + 1;
         let reg = self.tables.read().unwrap();
         let guards: Vec<(&String, std::sync::RwLockReadGuard<'_, StoredTable>)> = reg
@@ -477,7 +528,8 @@ impl Store {
             use std::io::Write as _;
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(script.as_bytes())?;
-            f.sync_data()?;
+            let _span = sqlnf_obs::span!("serve.wal.fsync");
+            metrics::timed(Stage::WalFsync, || f.sync_data())?;
         }
         // The next generation's log must exist before the snapshot
         // naming it is published, and both must be durable before any
@@ -502,9 +554,12 @@ impl Store {
 
     /// Fsyncs the WAL (graceful shutdown path).
     pub fn sync(&self) -> Result<(), ServeError> {
-        let mut guard = self.wal.lock().unwrap();
+        let mut guard = {
+            let _wait = sqlnf_obs::span!("serve.lock_wait.wal");
+            metrics::timed(Stage::LockWal, || self.wal.lock().unwrap())
+        };
         if let Some(wal) = guard.as_mut() {
-            wal.sync()?;
+            metrics::timed(Stage::WalFsync, || wal.sync())?;
         }
         Ok(())
     }

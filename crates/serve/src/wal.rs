@@ -154,6 +154,7 @@ impl Wal {
 
     /// Forces the log to stable storage.
     pub fn sync(&mut self) -> io::Result<()> {
+        let _span = sqlnf_obs::span!("serve.wal.fsync");
         self.file.sync_data()
     }
 

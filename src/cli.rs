@@ -108,6 +108,13 @@ USAGE:
                                        run a scripted session against a server
                                        (reads stdin when no file is given;
                                        lines may mix SQL and service verbs)
+    sqlnf client <host:port> --metrics one-shot METRICS scrape (the raw
+                                       Prometheus-style text exposition)
+    sqlnf top <host:port> [--interval MS] [--samples N]
+                                       live per-verb request/p50/p99/throughput
+                                       table polled from METRICS (default
+                                       interval 1000ms; N=0 polls forever,
+                                       the default)
     sqlnf harness [--seed N | --seed A..=B] [--ops N] [--clients N]
                   [--kill-prob P] [--corrupt-prob P]
                                        seeded fault-injection + differential
@@ -370,6 +377,154 @@ pub fn cmd_client(addr: &str, script: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `sqlnf client --metrics`: one-shot METRICS scrape, raw exposition.
+pub fn cmd_client_metrics(addr: &str) -> Result<String, CliError> {
+    let mut client = sqlnf_serve::Client::connect(addr)?;
+    let text = client.metrics()?;
+    client.quit()?;
+    Ok(text)
+}
+
+/// Pivots one exposition scrape into the `top` table: per verb, the
+/// lifetime request count, p50/p99 latency, and the rate against the
+/// previous scrape's counts. Returns the rendered frame and this
+/// scrape's counts (the next frame's baseline).
+fn top_frame(
+    samples: &[sqlnf_serve::Sample],
+    prev: &std::collections::BTreeMap<String, f64>,
+    dt_secs: f64,
+) -> (String, std::collections::BTreeMap<String, f64>) {
+    // (count, p50_ns, p99_ns) per verb label.
+    let mut verbs: std::collections::BTreeMap<String, (f64, f64, f64)> =
+        std::collections::BTreeMap::new();
+    for s in samples {
+        let Some(name) = s.label("name") else {
+            continue;
+        };
+        let Some(verb) = name.strip_prefix("serve.verb.") else {
+            continue;
+        };
+        let entry = verbs.entry(verb.to_owned()).or_default();
+        match s.name.as_str() {
+            "sqlnf_span_count" => entry.0 = s.value,
+            "sqlnf_span_p50_ns" => entry.1 = s.value,
+            "sqlnf_span_p99_ns" => entry.2 = s.value,
+            _ => {}
+        }
+    }
+    let fmt_ns = |ns: f64| -> String {
+        if ns < 1e3 {
+            format!("{ns:.0}ns")
+        } else if ns < 1e6 {
+            format!("{:.1}µs", ns / 1e3)
+        } else if ns < 1e9 {
+            format!("{:.1}ms", ns / 1e6)
+        } else {
+            format!("{:.2}s", ns / 1e9)
+        }
+    };
+    let mut out = String::new();
+    let mut counts = std::collections::BTreeMap::new();
+    if verbs.is_empty() {
+        // A server compiled without the obs feature has no span
+        // histograms; fall back to the store counters so `top` still
+        // shows something truthful.
+        let _ = writeln!(
+            out,
+            "(no per-verb histograms — server built without obs; store counters:)"
+        );
+        for s in samples {
+            if s.name == "sqlnf_store" {
+                if let Some(name) = s.label("name") {
+                    let _ = writeln!(out, "  {name} {}", s.value);
+                }
+            }
+        }
+        return (out, counts);
+    }
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>10} {:>10} {:>10}",
+        "verb", "requests", "p50", "p99", "req/s"
+    );
+    for (verb, (count, p50, p99)) in &verbs {
+        let rate = match prev.get(verb) {
+            Some(prev_count) if dt_secs > 0.0 => (count - prev_count).max(0.0) / dt_secs,
+            _ => 0.0,
+        };
+        let _ = writeln!(
+            out,
+            "{verb:<12} {count:>10.0} {:>10} {:>10} {rate:>10.1}",
+            fmt_ns(*p50),
+            fmt_ns(*p99),
+        );
+        counts.insert(verb.clone(), *count);
+    }
+    (out, counts)
+}
+
+/// `sqlnf top`: poll `METRICS` and render a live per-verb table.
+/// `--samples N` stops after N frames (0 = forever, the default —
+/// frames print as they arrive); the final frame is also returned so
+/// scripted callers get the table on stdout exactly once.
+pub fn cmd_top(addr: &str, args: &[String]) -> Result<String, CliError> {
+    let mut interval = std::time::Duration::from_millis(1000);
+    let mut frames = 0usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let need = |flag: &str, v: Option<&String>| -> Result<String, CliError> {
+            v.cloned()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value\n\n{USAGE}")))
+        };
+        match a.as_str() {
+            "--interval" => {
+                let v = need("--interval", it.next())?;
+                let ms: u64 = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --interval {v:?}\n\n{USAGE}")))?;
+                interval = std::time::Duration::from_millis(ms);
+            }
+            "--samples" => {
+                let v = need("--samples", it.next())?;
+                frames = v
+                    .parse()
+                    .map_err(|_| CliError::Usage(format!("bad --samples {v:?}\n\n{USAGE}")))?;
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown top flag {other:?}\n\n{USAGE}"
+                )))
+            }
+        }
+    }
+    let mut client = sqlnf_serve::Client::connect(addr)?;
+    let mut prev = std::collections::BTreeMap::new();
+    let mut last = std::time::Instant::now();
+    let mut frame_no = 0usize;
+    loop {
+        let text = client.metrics()?;
+        let samples = sqlnf_serve::parse_exposition(&text)
+            .map_err(|e| CliError::Client(sqlnf_serve::ClientError::Protocol(e)))?;
+        let dt = last.elapsed().as_secs_f64();
+        last = std::time::Instant::now();
+        let (frame, counts) = top_frame(&samples, &prev, dt);
+        prev = counts;
+        frame_no += 1;
+        let done = frames != 0 && frame_no >= frames;
+        if done {
+            let _ = client.quit();
+            return Ok(frame);
+        }
+        {
+            use std::io::Write as _;
+            let mut stdout = std::io::stdout();
+            let _ = writeln!(stdout, "{frame}");
+            let _ = stdout.flush();
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 /// Parses the `harness` subcommand's flags: the seed set plus the
 /// workload and fault knobs.
 fn parse_harness_args(
@@ -607,7 +762,11 @@ fn dispatch(args: &[String], mine: &MineOptions) -> Result<(String, Option<JsonV
             std::io::Read::read_to_string(&mut std::io::stdin(), &mut script)?;
             Ok((cmd_client(addr, &script)?, None))
         }
+        [cmd, addr, flag] if cmd == "client" && flag == "--metrics" => {
+            Ok((cmd_client_metrics(addr)?, None))
+        }
         [cmd, addr, file] if cmd == "client" => Ok((cmd_client(addr, &read(file)?)?, None)),
+        [cmd, addr, rest @ ..] if cmd == "top" => Ok((cmd_top(addr, rest)?, None)),
         [cmd, name] if cmd == "dataset" => Ok((cmd_dataset(name, 20_160_626)?, None)),
         [cmd, name, seed] if cmd == "dataset" => {
             let seed: u64 = seed
@@ -828,6 +987,46 @@ QUIT
         assert!(out.contains("ERR"), "{out}");
         assert!(out.contains("stmt.admitted 2"), "{out}");
         assert!(out.contains("stmt.rejected 1"), "{out}");
+        server.shutdown().unwrap();
+    }
+
+    #[test]
+    fn top_and_metrics_scrape_a_live_server() {
+        let server = sqlnf_serve::Server::start(sqlnf_serve::ServeConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let script = "\
+CREATE TABLE t (
+    a INT NOT NULL,
+    CONSTRAINT k CERTAIN KEY (a)
+);
+INSERT INTO t VALUES (1);
+QUIT
+";
+        cmd_client(&addr, script).unwrap();
+        // One-shot scrape: must parse as an exposition and carry the
+        // store counters.
+        let text = cmd_client_metrics(&addr).unwrap();
+        let samples = sqlnf_serve::parse_exposition(&text).unwrap();
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "sqlnf_store" && s.label("name") == Some("stmt.admitted")));
+        // One `top` frame over the same exposition.
+        let frame = cmd_top(&addr, &["--samples".to_owned(), "1".to_owned()]).unwrap();
+        if sqlnf_obs::ENABLED {
+            assert!(frame.contains("verb"), "{frame}");
+            assert!(frame.contains("sql"), "{frame}");
+        } else {
+            assert!(frame.contains("store counters"), "{frame}");
+        }
+        // Flag validation.
+        assert!(matches!(
+            cmd_top(&addr, &["--samples".to_owned(), "x".to_owned()]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_top(&addr, &["--bogus".to_owned()]),
+            Err(CliError::Usage(_))
+        ));
         server.shutdown().unwrap();
     }
 

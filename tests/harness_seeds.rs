@@ -8,6 +8,8 @@
 //! and then requires the full differential run to pass.
 
 use sqlnf_harness::{plan, run_one, Corruption, HarnessConfig};
+use sqlnf_serve::{parse_exposition, Client, ServeConfig, Server, Store};
+use std::collections::BTreeMap;
 
 fn config(seed: u64, kill_prob: f64, corrupt_prob: f64) -> HarnessConfig {
     HarnessConfig {
@@ -76,6 +78,118 @@ fn seed_25_corrupt_tail_loses_a_suffix() {
         report.recovered,
         report.admitted
     );
+}
+
+/// Observability seed: the flight recorder and the `METRICS`
+/// exposition must agree with the oplog — the harness's ground-truth
+/// serial history. Drives a deterministic workload (half the inserts
+/// replay a key, so admissions and refusals interleave), scrapes
+/// `METRICS`/`TRACE` while the server is live, kills it, and checks
+/// that the number of `serve.stmt.admitted` flight events stamped with
+/// this store's nonce equals the oplog length — and stays equal after
+/// recovery, which replays without re-admitting.
+#[test]
+fn seed_flight_recorder_and_metrics_match_oplog() {
+    let dir = std::env::temp_dir().join(format!("sqlnf_seed_flight_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let server = Server::start(ServeConfig {
+        workers: 2,
+        wal_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .expect("bind");
+    let store = server.store().clone();
+    store.enable_oplog();
+    let nonce = store.nonce();
+    let addr = server.local_addr();
+
+    let mut c = Client::connect(addr).expect("connect");
+    c.expect_ok("CREATE TABLE t (a INT NOT NULL, b INT NOT NULL, CONSTRAINT k CERTAIN KEY (a));")
+        .expect("ddl");
+    let mut admitted = 1usize; // the DDL
+    for i in 0..40i64 {
+        // Ids repeat pairwise (0,0,1,1,…): the first of each pair is
+        // admitted, the second violates the CERTAIN KEY and is refused.
+        let reply = c
+            .request(&format!("INSERT INTO t VALUES ({}, {i});", i / 2))
+            .expect("reply");
+        assert_eq!(reply.ok, i % 2 == 0, "{}", reply.message);
+        if reply.ok {
+            admitted += 1;
+        }
+    }
+    assert_eq!(admitted, 21);
+
+    // Live scrape: the exposition parses, and every `sqlnf_store` gauge
+    // equals the corresponding STATS line.
+    let stats: BTreeMap<String, f64> = c
+        .expect_ok("STATS")
+        .expect("stats")
+        .lines
+        .iter()
+        .filter_map(|l| l.rsplit_once(' '))
+        .map(|(name, v)| (name.to_owned(), v.parse().unwrap()))
+        .collect();
+    let exposition = c.metrics().expect("metrics");
+    let samples = parse_exposition(&exposition).expect("exposition parses");
+    let mut gauges = 0usize;
+    for s in samples.iter().filter(|s| s.name == "sqlnf_store") {
+        let name = s.label("name").expect("store gauge has a name label");
+        if name == "requests" {
+            // The scrapes are themselves requests, so this counter
+            // advances between STATS and METRICS; only its direction
+            // is stable.
+            assert!(s.value > stats[name], "requests must keep counting");
+        } else {
+            assert_eq!(
+                Some(&s.value),
+                stats.get(name),
+                "METRICS gauge {name} diverges from STATS"
+            );
+        }
+        gauges += 1;
+    }
+    assert_eq!(gauges, stats.len(), "every STATS line is exposed");
+    assert_eq!(stats["stmt.admitted"], admitted as f64);
+    // TRACE is bounded and renders one event per line.
+    let trace = c.trace(16).expect("trace");
+    assert!(trace.len() <= 16, "TRACE 16 returned {}", trace.len());
+    for line in &trace {
+        assert!(
+            line.split_whitespace().count() >= 6,
+            "malformed flight line: {line}"
+        );
+    }
+    c.quit().expect("quit");
+
+    server.kill();
+    let oplog = store.oplog();
+    assert_eq!(oplog.len(), admitted, "oplog records every admission");
+
+    if sqlnf_obs::ENABLED {
+        // Flight events are process-global and tests run in parallel,
+        // so count only events stamped with this store's nonce.
+        let admitted_events = |events: &[sqlnf_obs::FlightEvent]| {
+            events
+                .iter()
+                .filter(|e| e.name == "serve.stmt.admitted" && e.value == nonce)
+                .count()
+        };
+        let before = sqlnf_obs::flight_snapshot(usize::MAX);
+        assert_eq!(admitted_events(&before), oplog.len());
+
+        // Recovery replays the WAL without re-admitting: no new events.
+        let reopened = Store::open(&dir, 0).expect("recover");
+        assert!(reopened.satisfies_all_constraints());
+        let after = sqlnf_obs::flight_snapshot(usize::MAX);
+        assert_eq!(
+            admitted_events(&after),
+            oplog.len(),
+            "recovery must not emit admitted events"
+        );
+        drop(reopened);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Seed 7: a DDL-heavy stream — CREATE TABLEs keep arriving mid-run

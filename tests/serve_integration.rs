@@ -163,6 +163,68 @@ fn concurrent_sessions_never_admit_a_violation() {
     let _ = std::fs::remove_dir_all(&out);
 }
 
+/// The observability verbs answer over the wire: `METRICS` renders a
+/// parseable exposition whose per-store gauges match this server's
+/// `STATS` and whose per-verb histograms have seen at least this
+/// session's statements (the histograms are process-global, so `>=`
+/// is the strongest in-process claim — the CI smoke checks exact
+/// equality against a fresh server process); `TRACE n` is bounded.
+#[test]
+fn metrics_and_trace_over_the_wire() {
+    let server = Server::start(ServeConfig::default()).expect("bind");
+    let mut c = Client::connect(server.local_addr()).expect("connect");
+    c.expect_ok(DDL).expect("ddl");
+    for id in 0..10i64 {
+        let g = id / 4;
+        c.expect_ok(&format!(
+            "INSERT INTO load VALUES ({id}, {g}, {});",
+            g * 7 % 101
+        ))
+        .expect("insert");
+    }
+    let stats: std::collections::BTreeMap<String, f64> = c
+        .expect_ok("STATS")
+        .expect("stats")
+        .lines
+        .iter()
+        .filter_map(|l| l.rsplit_once(' '))
+        .map(|(name, v)| (name.to_owned(), v.parse().unwrap()))
+        .collect();
+    let text = c.metrics().expect("metrics");
+    let samples = sqlnf_serve::parse_exposition(&text).expect("exposition parses");
+    let gauge = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == "sqlnf_store" && s.label("name") == Some(name))
+            .unwrap_or_else(|| panic!("missing sqlnf_store gauge {name}"))
+            .value
+    };
+    assert_eq!(gauge("stmt.admitted"), stats["stmt.admitted"]);
+    assert_eq!(gauge("stmt.admitted"), 11.0);
+    assert_eq!(gauge("tables"), 1.0);
+    if sqlnf_obs::ENABLED {
+        // Per-verb latency histograms: this session alone contributed
+        // eleven SQL statements and one STATS.
+        let span_count = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == "sqlnf_span_count" && s.label("name") == Some(name))
+                .map(|s| s.value)
+                .unwrap_or(0.0)
+        };
+        assert!(span_count("serve.verb.sql") >= 11.0);
+        assert!(span_count("serve.verb.stats") >= 1.0);
+        // The slow-request log carries at least one total breakdown.
+        assert!(samples
+            .iter()
+            .any(|s| s.name == "sqlnf_slow_request_ns" && s.label("stage") == Some("total")));
+        let trace = c.trace(8).expect("trace");
+        assert!(trace.len() <= 8 && !trace.is_empty(), "{trace:?}");
+    }
+    c.quit().expect("quit");
+    server.shutdown().expect("graceful shutdown");
+}
+
 /// Graceful shutdown writes a snapshot; a restart from snapshot + WAL
 /// equals a restart from WAL alone (tested against the kill path above;
 /// here the snapshot path).
