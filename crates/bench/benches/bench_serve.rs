@@ -1,21 +1,39 @@
-//! B8 — server throughput: concurrent sessions streaming `INSERT`s
-//! through the wire protocol into one constraint-guarded table, with
-//! and without WAL durability. Emits `BENCH_serve.json` with the
+//! B8 — server write-path throughput: concurrent sessions streaming
+//! pipelined `INSERT` bursts through the wire protocol into
+//! constraint-guarded tables, with and without WAL durability, across
+//! a worker-count × WAL-shard sweep. Emits `BENCH_serve.json` with the
 //! sustained statements/sec of each configuration (plus the `serve.*`
 //! obs counters when built with `--features obs`).
+//!
+//! Clients pipeline with [`Client::send_batch`] — each burst is one
+//! socket write and one reply read-off — so the server's group commit
+//! sees real multi-frame batches instead of lock-step round trips, and
+//! the sweep measures the write path, not the network ping-pong.
 
 use sqlnf_bench::{banner, fmt_duration, measure, render_table, write_bench_json};
 use sqlnf_obs::json::JsonValue;
 use sqlnf_serve::{Client, ServeConfig, Server};
 use std::path::PathBuf;
 
-const DDL: &str = "CREATE TABLE load (
+/// Tables the load spreads across — with `--wal-shards > 1` their
+/// hashes land in different shard logs, so the shard sweep exercises
+/// parallel committers instead of one hot file.
+const TABLES: usize = 4;
+
+/// Statements per pipelined burst.
+const PIPELINE_CHUNK: usize = 32;
+
+fn ddl(table: usize) -> String {
+    format!(
+        "CREATE TABLE load{table} (
     id  INT NOT NULL,
     grp INT NOT NULL,
     val INT NOT NULL,
     CONSTRAINT pk CERTAIN KEY (id),
     CONSTRAINT fd CERTAIN FD (grp) -> (val)
-);";
+);"
+    )
+}
 
 fn wal_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("sqlnf_bench_serve_{tag}_{}", std::process::id()));
@@ -24,30 +42,44 @@ fn wal_dir(tag: &str) -> PathBuf {
 }
 
 /// Runs `clients` concurrent sessions, each inserting
-/// `stmts_per_client` unique rows; returns when all sessions are done
+/// `stmts_per_client` unique rows into its table (round-robin over
+/// [`TABLES`]) in pipelined bursts; returns when all sessions are done
 /// and the server has shut down.
-fn run_load(clients: usize, stmts_per_client: usize, wal: Option<&PathBuf>) {
+fn run_load(clients: usize, stmts_per_client: usize, wal: Option<&PathBuf>, shards: usize) {
     let config = ServeConfig {
         workers: clients.min(8),
         wal_dir: wal.cloned(),
+        wal_shards: shards,
         ..ServeConfig::default()
     };
     let server = Server::start(config).expect("bind");
     let addr = server.local_addr();
     {
         let mut c = Client::connect(addr).expect("connect");
-        c.expect_ok(DDL).expect("ddl");
+        for t in 0..TABLES {
+            c.expect_ok(&ddl(t)).expect("ddl");
+        }
         c.quit().expect("quit");
     }
     let handles: Vec<_> = (0..clients)
         .map(|k| {
             std::thread::spawn(move || {
                 let mut c = Client::connect(addr).expect("connect");
-                for i in 0..stmts_per_client {
-                    let id = (k * stmts_per_client + i) as i64;
-                    let g = id / 4;
-                    let stmt = format!("INSERT INTO load VALUES ({id}, {g}, {});", g * 7 % 101);
-                    c.expect_ok(&stmt).expect("insert admitted");
+                let table = k % TABLES;
+                let stmts: Vec<String> = (0..stmts_per_client)
+                    .map(|i| {
+                        let id = (k * stmts_per_client + i) as i64;
+                        let g = id / 4;
+                        format!(
+                            "INSERT INTO load{table} VALUES ({id}, {g}, {});",
+                            g * 7 % 101
+                        )
+                    })
+                    .collect();
+                for chunk in stmts.chunks(PIPELINE_CHUNK) {
+                    for reply in c.send_batch(chunk).expect("burst") {
+                        assert!(reply.ok, "insert refused: {}", reply.message);
+                    }
                 }
                 c.quit().expect("quit");
             })
@@ -60,38 +92,40 @@ fn run_load(clients: usize, stmts_per_client: usize, wal: Option<&PathBuf>) {
 }
 
 fn main() {
-    banner("B8 — serve throughput (wire protocol, worker-count sweep)");
-    // Worker count tracks client count, so the sweep shows how the
-    // lock tiers behave as concurrency grows under WAL durability.
-    let configs: &[(usize, usize, bool)] = &[
-        (1, 500, false),
-        (4, 500, false),
-        (1, 500, true),
-        (2, 500, true),
-        (4, 500, true),
-        (8, 500, true),
-    ];
+    banner("B8 — serve throughput (pipelined wire protocol, worker × WAL-shard sweep)");
+    // (clients, stmts/client, durable, wal shards). Worker count tracks
+    // client count; the shard axis shows whether the committer file
+    // mutex is the bottleneck once group commit amortizes the fsyncs.
+    let mut configs: Vec<(usize, usize, bool, usize)> =
+        vec![(1, 500, false, 1), (4, 500, false, 1)];
+    for &shards in &[1usize, 4] {
+        for &clients in &[1usize, 2, 4, 8] {
+            configs.push((clients, 500, true, shards));
+        }
+    }
     let mut records = Vec::new();
     let mut rows = Vec::new();
-    for &(clients, per_client, durable) in configs {
-        let id = format!(
-            "serve_{clients}x{per_client}{}",
-            if durable { "_wal" } else { "" }
-        );
+    for &(clients, per_client, durable, shards) in &configs {
+        let id = if durable {
+            format!("serve_{clients}x{per_client}_wal_s{shards}")
+        } else {
+            format!("serve_{clients}x{per_client}")
+        };
         let dir = wal_dir(&id);
         let wal = durable.then(|| dir.clone());
         let record = measure(&id, 3, || {
             if let Some(d) = &wal {
                 let _ = std::fs::remove_dir_all(d);
             }
-            run_load(clients, per_client, wal.as_ref());
+            run_load(clients, per_client, wal.as_ref(), shards);
         });
         let total = (clients * per_client) as f64;
         let per_sec = total / record.median.as_secs_f64();
 
-        // Per-verb latency percentiles and per-lock-tier wait shares
-        // come straight from the span histograms the runs accumulated
-        // (all zero when built without `--features obs`).
+        // Per-verb latency percentiles, per-lock-tier wait shares, and
+        // the group-commit batch profile come straight from the span
+        // histograms the runs accumulated (all zero when built without
+        // `--features obs`).
         let timer = |name: &str| record.obs.timers.iter().find(|t| t.name == name);
         let (sql_p50, sql_p99) = timer("serve.verb.sql")
             .map(|t| (t.p50_ns(), t.p99_ns()))
@@ -112,6 +146,11 @@ fn main() {
             ])
             .collect();
         let wal_lock_share = share("serve.lock_wait.wal");
+        // The batch-size histogram abuses the span plumbing: its "ns"
+        // percentiles are frame counts per commit batch.
+        let (batch_p50, batch_p99) = timer("serve.commit.batch_size")
+            .map(|t| (t.p50_ns(), t.p99_ns()))
+            .unwrap_or((0, 0));
 
         let mut record = record;
         record
@@ -123,6 +162,12 @@ fn main() {
         record
             .extra
             .push(("sql_p99_ns".to_owned(), JsonValue::Int(sql_p99 as i128)));
+        record
+            .extra
+            .push(("batch_p50".to_owned(), JsonValue::Int(batch_p50 as i128)));
+        record
+            .extra
+            .push(("batch_p99".to_owned(), JsonValue::Int(batch_p99 as i128)));
         for (name, value) in shares {
             record.extra.push((name, JsonValue::Float(value)));
         }
@@ -132,6 +177,7 @@ fn main() {
             format!("{per_sec:.0}"),
             fmt_duration(std::time::Duration::from_nanos(sql_p50)),
             fmt_duration(std::time::Duration::from_nanos(sql_p99)),
+            format!("{batch_p50}/{batch_p99}"),
             format!("{:.1}%", wal_lock_share * 100.0),
         ]);
         records.push(record);
@@ -146,6 +192,7 @@ fn main() {
                 "stmts/sec",
                 "sql p50",
                 "sql p99",
+                "batch p50/p99",
                 "wal-lock share"
             ],
             &rows

@@ -43,7 +43,7 @@ pub use faults::{corrupt_wal_dir, plan, Corruption, FaultPlan};
 pub use minecheck::{check_table, MineCheckReport, MAX_ORACLE_ATTRS};
 pub use workload::{generate, Workload};
 
-use sqlnf_serve::{Client, ClientError, ServeConfig, Server, Store};
+use sqlnf_serve::{Client, ClientError, FsyncMode, ServeConfig, Server, Store};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -72,6 +72,13 @@ pub struct HarnessConfig {
     pub kill_prob: f64,
     /// Probability that the plan arms a WAL tail corruption.
     pub corrupt_prob: f64,
+    /// WAL shards of the server under test (corruption damages every
+    /// shard of the live generation).
+    pub wal_shards: usize,
+    /// Group-commit linger window, microseconds.
+    pub commit_window_us: u64,
+    /// Fsync discipline of the server under test.
+    pub fsync: FsyncMode,
 }
 
 impl Default for HarnessConfig {
@@ -82,6 +89,9 @@ impl Default for HarnessConfig {
             clients: 4,
             kill_prob: 0.5,
             corrupt_prob: 0.5,
+            wal_shards: 1,
+            commit_window_us: 0,
+            fsync: FsyncMode::Batch,
         }
     }
 }
@@ -193,16 +203,20 @@ enum ClientOutcome {
     Died(ClientError),
 }
 
+/// Statements per pipelined burst. Small enough that a kill still
+/// lands mid-stream for most plans, large enough to exercise the
+/// server's group-commit batching (several frames per fsync).
+const PIPELINE_CHUNK: usize = 8;
+
 fn drive_client(addr: std::net::SocketAddr, stmts: Vec<String>) -> ClientOutcome {
     let mut client = match Client::connect_with_timeout(addr, Some(CLIENT_READ_TIMEOUT)) {
         Ok(c) => c,
         Err(e) => return ClientOutcome::Died(e),
     };
     let mut rejected = 0usize;
-    for stmt in &stmts {
-        match client.request(stmt) {
-            Ok(reply) if reply.ok => {}
-            Ok(_) => rejected += 1,
+    for chunk in stmts.chunks(PIPELINE_CHUNK) {
+        match client.send_batch(chunk) {
+            Ok(replies) => rejected += replies.iter().filter(|r| !r.ok).count(),
             Err(e) => return ClientOutcome::Died(e),
         }
     }
@@ -241,6 +255,9 @@ pub fn run_one(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
         wal_dir: Some(dir.clone()),
         workers: config.clients.max(1),
         snapshot_every: plan.snapshot_every,
+        wal_shards: config.wal_shards.max(1),
+        commit_window: Duration::from_micros(config.commit_window_us),
+        fsync: config.fsync,
     })
     .map_err(|e| fail(format!("server failed to start: {e}")))?;
     let store = Arc::clone(server.store());
@@ -419,6 +436,7 @@ mod tests {
             clients: 2,
             kill_prob: 0.0,
             corrupt_prob: 0.0,
+            ..HarnessConfig::default()
         };
         let report = run_one(&config).expect("clean run passes");
         assert!(!report.killed && !report.corrupted);
@@ -435,6 +453,9 @@ mod tests {
             clients: 4,
             kill_prob: 1.0,
             corrupt_prob: 1.0,
+            wal_shards: 4,
+            commit_window_us: 200,
+            ..HarnessConfig::default()
         };
         let report = run_one(&config).expect("faulted run passes");
         assert!(report.killed);

@@ -415,6 +415,28 @@ macro_rules! count_max {
     }};
 }
 
+/// Records one value observation into a named log2 histogram (the
+/// same machinery as [`span!`] timers, but fed a dimensionless value
+/// instead of elapsed nanoseconds): `record!("serve.commit.batch_size",
+/// n)`. The report's p50/p99 are bucket upper edges, like any timer.
+#[cfg(feature = "obs")]
+#[macro_export]
+macro_rules! record {
+    ($name:expr, $n:expr) => {{
+        static __OBS_TIMER: $crate::Timer = $crate::Timer::new($name);
+        __OBS_TIMER.record_ns($n as u64);
+    }};
+}
+
+/// No-op: the `obs` feature is disabled.
+#[cfg(not(feature = "obs"))]
+#[macro_export]
+macro_rules! record {
+    ($name:expr, $n:expr) => {{
+        let _ = $n;
+    }};
+}
+
 /// Times the enclosing scope under a named histogram timer. Bind the
 /// guard: `let _span = obs::span!("p_closure");` — timing stops when
 /// the guard drops.

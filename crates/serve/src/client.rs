@@ -139,6 +139,35 @@ impl Client {
         Ok(reply.lines)
     }
 
+    /// Pipelines a batch: writes every statement (each must be one
+    /// complete request — a verb line or a full SQL statement) in a
+    /// single `write`, *then* reads the replies, one per statement, in
+    /// order. The server applies the whole burst before fsyncing, so
+    /// the batch typically shares one commit — this is how `bench_serve`
+    /// and the harness saturate group commit instead of measuring
+    /// round-trip latency. An empty batch returns no replies.
+    pub fn send_batch(&mut self, stmts: &[impl AsRef<str>]) -> Result<Vec<Reply>, ClientError> {
+        if stmts.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut out = String::new();
+        for stmt in stmts {
+            out.push_str(stmt.as_ref());
+            if !stmt.as_ref().ends_with('\n') {
+                out.push('\n');
+            }
+        }
+        self.writer
+            .write_all(out.as_bytes())
+            .map_err(|e| self.annotate(e.into()))?;
+        self.writer.flush().map_err(|e| self.annotate(e.into()))?;
+        let mut replies = Vec::with_capacity(stmts.len());
+        for _ in 0..stmts.len() {
+            replies.push(read_reply(&mut self.reader).map_err(|e| self.annotate(e.into()))?);
+        }
+        Ok(replies)
+    }
+
     /// Sends a request and maps an `ERR` reply to
     /// [`ClientError::Refused`].
     pub fn expect_ok(&mut self, text: &str) -> Result<Reply, ClientError> {

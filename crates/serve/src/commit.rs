@@ -1,0 +1,560 @@
+//! Group commit over the sharded WAL.
+//!
+//! Writers validate and apply a statement under its table lock, then
+//! [`enqueue`](GroupWal::enqueue) the canonical rendering — which
+//! assigns the frame its global epoch and its position in the shard's
+//! commit sequence — release their locks, and park in
+//! [`wait`](GroupWal::wait) until the shard's durable sequence covers
+//! them. There is no dedicated committer thread: the first waiter to
+//! win the shard's file mutex (a `try_lock` election, same shape as
+//! the snapshot trigger's compare-exchange) drains the queue, writes
+//! every pending frame in one `write`, fsyncs once, advances the
+//! durable sequence, and wakes the others. Losers park on a condvar
+//! with a short timeout so a stalled committer can never strand them:
+//! on every wakeup they re-check durability and re-run the election.
+//!
+//! One fsync therefore covers every statement that queued while the
+//! previous fsync was in flight — the classic group-commit bargain:
+//! per-statement latency is bounded below by one fsync, but fsyncs
+//! per second no longer bound statements per second.
+//!
+//! ## Failure contract
+//!
+//! A statement is acknowledged only after its frame is durable
+//! (`--fsync=batch`: covered by the batch fsync; `--fsync=always`:
+//! its own fsync). If the batch write or fsync fails, the committer
+//! rolls the file back to the batch's start, latches the shard
+//! *failed* at the first non-durable sequence, and every waiter at or
+//! past it — plus every later enqueue attempt — gets an error instead
+//! of an ack. The in-memory table state of the failed statements is
+//! not rolled back (their locks are long gone); a store whose shard
+//! has failed is degraded and should be restarted, which replays
+//! exactly the durable prefix.
+
+use crate::metrics::{self, Stage};
+use crate::wal::{self, Wal};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, TryLockError};
+use std::time::Duration;
+
+/// How long a loser of the committer election parks before re-checking
+/// durability and re-running the election.
+const PARK: Duration = Duration::from_millis(1);
+
+/// When a statement's frame is forced to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncMode {
+    /// Every frame gets its own fsync before its writer is acked —
+    /// the pre-group-commit discipline, kept for comparison and for
+    /// the paranoid.
+    Always,
+    /// One fsync per commit batch (the default): every waiter in the
+    /// batch is acked by the same fsync. Identical durability at the
+    /// ack boundary; strictly fewer fsyncs.
+    #[default]
+    Batch,
+}
+
+impl std::str::FromStr for FsyncMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<FsyncMode, String> {
+        match s {
+            "always" => Ok(FsyncMode::Always),
+            "batch" => Ok(FsyncMode::Batch),
+            other => Err(format!("unknown fsync mode {other:?} (always|batch)")),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FsyncMode::Always => "always",
+            FsyncMode::Batch => "batch",
+        })
+    }
+}
+
+/// A claim on durability: the shard and commit sequence assigned to
+/// one enqueued frame. Redeemed by [`GroupWal::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Ticket {
+    shard: usize,
+    seq: u64,
+}
+
+/// Frames admitted but not yet written, plus the sequence counter that
+/// names the next one.
+#[derive(Debug)]
+struct ShardQueue {
+    pending: Vec<(u64, String)>,
+    next_seq: u64,
+}
+
+/// One log shard: its queue, its file, and its durability horizon.
+#[derive(Debug)]
+struct Shard {
+    /// Tier 5: admitted-but-unwritten frames.
+    queue: Mutex<ShardQueue>,
+    /// Tier 4: the shard's log file; holding it *is* being the
+    /// committer (`None` when the store is ephemeral).
+    file: Mutex<Option<Wal>>,
+    /// Highest commit sequence known durable.
+    durable: AtomicU64,
+    /// Lowest commit sequence that failed to commit (`u64::MAX` =
+    /// healthy). Latched once, never reset: a shard that lost a batch
+    /// refuses all further work.
+    failed: AtomicU64,
+    /// Parking lot for election losers.
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Shard {
+    fn new(file: Option<Wal>) -> Shard {
+        Shard {
+            queue: Mutex::new(ShardQueue {
+                pending: Vec::new(),
+                next_seq: 1,
+            }),
+            file: Mutex::new(file),
+            durable: AtomicU64::new(0),
+            failed: AtomicU64::new(u64::MAX),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The store's durability plane: every shard plus the global epoch
+/// counter whose values stitch the shards back into one history.
+#[derive(Debug)]
+pub struct GroupWal {
+    shards: Vec<Shard>,
+    /// Next epoch to assign (epochs start at 1; assignment happens
+    /// under the shard queue lock, itself under the statement's table
+    /// lock, so epoch order is consistent with application order).
+    epoch: AtomicU64,
+    /// How long an elected committer lingers before draining, letting
+    /// more writers join its batch (0 = drain immediately).
+    window: Duration,
+    mode: FsyncMode,
+    /// Test hook: when enabled, every committed frame's
+    /// `(epoch, payload)` is recorded here at commit time — the oplog
+    /// is exactly the durable history, which is what the harness
+    /// diffs recovery against.
+    oplog: Mutex<Option<Vec<(u64, String)>>>,
+    /// Test hook: fail the next batch between `write` and `fsync`.
+    fsync_fault: AtomicBool,
+}
+
+impl GroupWal {
+    /// A durability plane with no backing files (ephemeral store):
+    /// commit still assigns epochs, advances durable sequences, and
+    /// feeds the oplog, it just performs no I/O.
+    pub fn ephemeral(shards: usize, window: Duration, mode: FsyncMode) -> GroupWal {
+        GroupWal {
+            shards: (0..shards.max(1)).map(|_| Shard::new(None)).collect(),
+            epoch: AtomicU64::new(1),
+            window,
+            mode,
+            oplog: Mutex::new(None),
+            fsync_fault: AtomicBool::new(false),
+        }
+    }
+
+    /// Opens `generation`'s shard logs inside `dir` and reconstructs
+    /// the replayable history: every shard present on disk is read
+    /// (regardless of the configured shard count, so restarts may
+    /// change `--wal-shards` freely), the frames are merged by epoch,
+    /// and the longest contiguous run from `epoch_base` is returned as
+    /// the statements to replay. Every shard is then physically
+    /// truncated past the run's last epoch — frames beyond a gap were
+    /// never acknowledged and must not collide with the resumed epoch
+    /// counter.
+    pub fn recover(
+        dir: &Path,
+        generation: u64,
+        epoch_base: u64,
+        shards: usize,
+        window: Duration,
+        mode: FsyncMode,
+    ) -> io::Result<(GroupWal, Vec<String>)> {
+        let shards = shards.max(1);
+        let discovered = wal::shard_logs(dir, generation)?;
+        let mut per_shard = Vec::with_capacity(discovered.len());
+        for (_, path) in &discovered {
+            per_shard.push(wal::replay(path)?);
+        }
+        let (run, last) = wal::merge_by_epoch(per_shard, epoch_base);
+        // Truncate-and-open the configured shards (creating missing
+        // ones), and truncate any extra on-disk shard from a run with
+        // a higher --wal-shards.
+        let mut files = Vec::with_capacity(shards);
+        for s in 0..shards as u64 {
+            files.push(Shard::new(Some(Wal::open_capped(
+                dir,
+                generation,
+                s,
+                Some(last),
+            )?)));
+        }
+        for (id, _) in &discovered {
+            if *id >= shards as u64 {
+                drop(Wal::open_capped(dir, generation, *id, Some(last))?);
+            }
+        }
+        let wal = GroupWal {
+            shards: files,
+            epoch: AtomicU64::new(last.max(epoch_base.saturating_sub(1)) + 1),
+            window,
+            mode,
+            oplog: Mutex::new(None),
+            fsync_fault: AtomicBool::new(false),
+        };
+        Ok((wal, run))
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `table`'s frames commit on.
+    fn shard_for(&self, table: &str) -> usize {
+        let mut h = DefaultHasher::new();
+        table.hash(&mut h);
+        (h.finish() % self.shards.len() as u64) as usize
+    }
+
+    /// The epoch the next enqueued frame will carry. Only meaningful
+    /// while no writer is active (the snapshotter calls this with
+    /// every table lock held).
+    pub fn epoch_next(&self) -> u64 {
+        self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Assigns `payload` its epoch and its place in its shard's commit
+    /// queue. Must be called while still holding the statement's table
+    /// (or registry) write lock, so epoch order agrees with
+    /// application order. Fails — without enqueuing — if the shard has
+    /// already lost a batch; the caller still holds its lock and can
+    /// roll the statement back.
+    pub fn enqueue(&self, table: &str, payload: String) -> io::Result<Ticket> {
+        let idx = self.shard_for(table);
+        let shard = &self.shards[idx];
+        if shard.failed.load(Ordering::Acquire) != u64::MAX {
+            return Err(io::Error::other("WAL shard failed; statement refused"));
+        }
+        let mut q = {
+            let _wait = sqlnf_obs::span!("serve.lock_wait.wal");
+            metrics::timed(Stage::LockWal, || shard.queue.lock().unwrap())
+        };
+        let epoch = self.epoch.fetch_add(1, Ordering::SeqCst);
+        let seq = q.next_seq;
+        q.next_seq += 1;
+        q.pending.push((epoch, payload));
+        Ok(Ticket { shard: idx, seq })
+    }
+
+    /// Parks until the ticket's frame is durable (ack) or its shard
+    /// fails (error). The caller must hold no locks: the waiter may be
+    /// elected committer and perform the batch I/O itself.
+    pub fn wait(&self, t: Ticket) -> io::Result<()> {
+        let shard = &self.shards[t.shard];
+        loop {
+            if shard.durable.load(Ordering::Acquire) >= t.seq {
+                return Ok(());
+            }
+            if shard.failed.load(Ordering::Acquire) <= t.seq {
+                return Err(io::Error::other(
+                    "group commit failed; statement not durable",
+                ));
+            }
+            if let Some(mut file) = try_lock(&shard.file) {
+                self.commit_locked(t.shard, &mut file, true);
+                continue;
+            }
+            // Election lost: park until the committer wakes us (or the
+            // timeout re-runs the election, so a stalled committer can
+            // never strand the queue).
+            let gate = shard.gate.lock().unwrap();
+            if shard.durable.load(Ordering::Acquire) >= t.seq
+                || shard.failed.load(Ordering::Acquire) <= t.seq
+            {
+                continue;
+            }
+            let _ = shard.cv.wait_timeout(gate, PARK).unwrap();
+            sqlnf_obs::count!("serve.commit.wakeups");
+        }
+    }
+
+    /// The committer's critical section: drain the shard's queue and
+    /// make the batch durable. Caller holds the shard's file mutex.
+    /// `linger` applies the commit window (disabled on the quiescent
+    /// snapshot drain path).
+    fn commit_locked(&self, idx: usize, file: &mut Option<Wal>, linger: bool) {
+        let shard = &self.shards[idx];
+        if shard.failed.load(Ordering::Acquire) != u64::MAX {
+            // The shard already lost a batch: drain so waiters see
+            // `failed` instead of queue growth, but perform no I/O.
+            let dropped = std::mem::take(&mut shard.queue.lock().unwrap().pending);
+            if !dropped.is_empty() {
+                wake(shard);
+            }
+            return;
+        }
+        if linger && !self.window.is_zero() {
+            // Linger with the file mutex held: later writers can still
+            // enqueue (the queue mutex is free) and join this batch.
+            std::thread::sleep(self.window);
+        }
+        let batch = std::mem::take(&mut shard.queue.lock().unwrap().pending);
+        if batch.is_empty() {
+            return;
+        }
+        let n = batch.len() as u64;
+        let rollback = file.as_ref().map(|w| (w.bytes(), w.records()));
+        let res = match file.as_mut() {
+            Some(wal) => self.write_batch(wal, &batch),
+            None => Ok(()),
+        };
+        match res {
+            Ok(()) => {
+                if let Some(log) = self.oplog.lock().unwrap().as_mut() {
+                    log.extend(batch.iter().cloned());
+                }
+                shard.durable.fetch_add(n, Ordering::Release);
+                sqlnf_obs::count!("serve.commit.batches");
+                sqlnf_obs::count!("serve.commit.frames", n);
+                sqlnf_obs::record!("serve.commit.batch_size", n);
+            }
+            Err(_) => {
+                // Never acked: erase the batch so recovery cannot
+                // replay frames their writers saw fail, and latch the
+                // shard failed from the first non-durable sequence on.
+                if let (Some(wal), Some((bytes, records))) = (file.as_mut(), rollback) {
+                    let _ = wal.truncate_to(bytes, records);
+                }
+                let first_bad = shard.durable.load(Ordering::Acquire) + 1;
+                shard.failed.store(first_bad, Ordering::Release);
+            }
+        }
+        wake(shard);
+    }
+
+    /// Writes one drained batch under the configured fsync discipline.
+    fn write_batch(&self, wal: &mut Wal, batch: &[(u64, String)]) -> io::Result<()> {
+        match self.mode {
+            FsyncMode::Batch => {
+                {
+                    let _span = sqlnf_obs::span!("serve.wal.append");
+                    metrics::timed(Stage::WalAppend, || wal.append_batch(batch))?;
+                }
+                if self.fsync_fault.swap(false, Ordering::SeqCst) {
+                    return Err(io::Error::other("injected fsync fault"));
+                }
+                metrics::timed(Stage::WalFsync, || wal.sync())
+            }
+            FsyncMode::Always => {
+                for frame in batch {
+                    {
+                        let _span = sqlnf_obs::span!("serve.wal.append");
+                        metrics::timed(Stage::WalAppend, || {
+                            wal.append_batch(std::slice::from_ref(frame))
+                        })?;
+                    }
+                    if self.fsync_fault.swap(false, Ordering::SeqCst) {
+                        return Err(io::Error::other("injected fsync fault"));
+                    }
+                    metrics::timed(Stage::WalFsync, || wal.sync())?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Locks every shard file in shard order (tier 4; the snapshot
+    /// path holds all of them across the generation switch).
+    pub fn lock_files(&self) -> Vec<MutexGuard<'_, Option<Wal>>> {
+        self.shards.iter().map(|s| s.file.lock().unwrap()).collect()
+    }
+
+    /// Drains every shard into its (old-generation) log — used by the
+    /// snapshotter, which at this point holds every table lock, so the
+    /// queues are quiescent afterwards.
+    pub fn drain_all(&self, files: &mut [MutexGuard<'_, Option<Wal>>]) {
+        for (i, f) in files.iter_mut().enumerate() {
+            self.commit_locked(i, f, false);
+        }
+    }
+
+    /// Fsyncs every shard file (graceful shutdown path).
+    pub fn sync_all(&self) -> io::Result<()> {
+        for shard in &self.shards {
+            if let Some(wal) = shard.file.lock().unwrap().as_mut() {
+                metrics::timed(Stage::WalFsync, || wal.sync())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// `(bytes, records)` across all shard logs.
+    pub fn size(&self) -> (u64, u64) {
+        let mut bytes = 0;
+        let mut records = 0;
+        for shard in &self.shards {
+            if let Some(wal) = shard.file.lock().unwrap().as_ref() {
+                bytes += wal.bytes();
+                records += wal.records();
+            }
+        }
+        (bytes, records)
+    }
+
+    /// Test hook: start recording committed frames.
+    pub fn enable_oplog(&self) {
+        *self.oplog.lock().unwrap() = Some(Vec::new());
+    }
+
+    /// Test hook: the committed history so far, in epoch order. The
+    /// per-shard commit order interleaves across shards, so the
+    /// recorded frames are sorted by their epochs — the single global
+    /// order recovery reproduces.
+    pub fn oplog(&self) -> Vec<String> {
+        let mut entries = self.oplog.lock().unwrap().clone().unwrap_or_default();
+        entries.sort_by_key(|(epoch, _)| *epoch);
+        entries.into_iter().map(|(_, payload)| payload).collect()
+    }
+
+    /// Test hook: make the next commit batch fail between its `write`
+    /// and its `fsync` — the crash window group commit must never ack
+    /// across.
+    pub fn inject_fsync_fault_once(&self) {
+        self.fsync_fault.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Wakes a shard's parked waiters (taking the gate briefly first, so a
+/// waiter that just checked the horizon but has not parked yet cannot
+/// miss the notification).
+fn wake(shard: &Shard) {
+    drop(shard.gate.lock().unwrap());
+    shard.cv.notify_all();
+}
+
+/// `try_lock` that treats a poisoned mutex as acquired (the poisoner
+/// panicked mid-commit; the shard will latch failed rather than wedge).
+fn try_lock<T>(m: &Mutex<T>) -> Option<MutexGuard<'_, T>> {
+    match m.try_lock() {
+        Ok(g) => Some(g),
+        Err(TryLockError::Poisoned(p)) => Some(p.into_inner()),
+        Err(TryLockError::WouldBlock) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("sqlnf_commit_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn enqueue_wait_commits_and_acks() {
+        let dir = tmp_dir("ack");
+        let (gw, replayed) =
+            GroupWal::recover(&dir, 0, 1, 2, Duration::ZERO, FsyncMode::Batch).unwrap();
+        assert!(replayed.is_empty());
+        gw.enable_oplog();
+        let t1 = gw.enqueue("a", "S1".into()).unwrap();
+        let t2 = gw.enqueue("b", "S2".into()).unwrap();
+        gw.wait(t1).unwrap();
+        gw.wait(t2).unwrap();
+        assert_eq!(gw.oplog(), vec!["S1".to_owned(), "S2".to_owned()]);
+        // Everything written is replayable in epoch order.
+        drop(gw);
+        let (gw2, replayed) =
+            GroupWal::recover(&dir, 0, 1, 2, Duration::ZERO, FsyncMode::Batch).unwrap();
+        assert_eq!(replayed, vec!["S1".to_owned(), "S2".to_owned()]);
+        assert_eq!(gw2.epoch_next(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn many_writers_share_fsyncs() {
+        let dir = tmp_dir("shared");
+        let (gw, _) = GroupWal::recover(&dir, 0, 1, 1, Duration::ZERO, FsyncMode::Batch).unwrap();
+        let gw = Arc::new(gw);
+        let handles: Vec<_> = (0..4)
+            .map(|k| {
+                let gw = Arc::clone(&gw);
+                std::thread::spawn(move || {
+                    for i in 0..25 {
+                        let t = gw.enqueue("t", format!("S{k}_{i}")).unwrap();
+                        gw.wait(t).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(gw.size().1, 100);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsync_fault_fails_waiters_and_erases_the_batch() {
+        let dir = tmp_dir("fault");
+        let (gw, _) = GroupWal::recover(&dir, 0, 1, 1, Duration::ZERO, FsyncMode::Batch).unwrap();
+        gw.enable_oplog();
+        let t_ok = gw.enqueue("t", "GOOD".into()).unwrap();
+        gw.wait(t_ok).unwrap();
+        gw.inject_fsync_fault_once();
+        let t_bad = gw.enqueue("t", "BAD".into()).unwrap();
+        assert!(gw.wait(t_bad).is_err(), "undurable waiter must not ack");
+        assert_eq!(gw.oplog(), vec!["GOOD".to_owned()]);
+        // The failed frame was erased: only the durable prefix replays.
+        assert_eq!(gw.size().1, 1);
+        // The shard is latched failed: further work is refused upfront.
+        assert!(gw.enqueue("t", "LATER".into()).is_err());
+        drop(gw);
+        let (_, replayed) =
+            GroupWal::recover(&dir, 0, 1, 1, Duration::ZERO, FsyncMode::Batch).unwrap();
+        assert_eq!(replayed, vec!["GOOD".to_owned()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn always_mode_syncs_each_frame() {
+        let dir = tmp_dir("always");
+        let (gw, _) = GroupWal::recover(&dir, 0, 1, 1, Duration::ZERO, FsyncMode::Always).unwrap();
+        let t1 = gw.enqueue("t", "A".into()).unwrap();
+        let t2 = gw.enqueue("t", "B".into()).unwrap();
+        gw.wait(t1).unwrap();
+        gw.wait(t2).unwrap();
+        assert_eq!(gw.size().1, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ephemeral_commits_without_io() {
+        let gw = GroupWal::ephemeral(4, Duration::ZERO, FsyncMode::Batch);
+        gw.enable_oplog();
+        let t = gw.enqueue("t", "S".into()).unwrap();
+        gw.wait(t).unwrap();
+        assert_eq!(gw.oplog(), vec!["S".to_owned()]);
+        assert_eq!(gw.size(), (0, 0));
+    }
+}

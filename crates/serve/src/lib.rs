@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod commit;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
@@ -38,8 +39,9 @@ pub mod store;
 pub mod wal;
 
 pub use client::{Client, ClientError};
+pub use commit::FsyncMode;
 pub use metrics::{parse_exposition, Sample, SlowEntry, Stage};
 pub use protocol::{Reply, Request};
 pub use server::{ServeConfig, Server};
-pub use store::{ServeError, Store};
+pub use store::{ServeError, Store, StoreOptions};
 pub use wal::Wal;

@@ -10,9 +10,10 @@
 //!   stop without a final snapshot or fsync, leaving recovery entirely
 //!   to the WAL.
 
+use crate::commit::FsyncMode;
 use crate::metrics::{self, SlowEntry};
 use crate::protocol::{Accumulator, Reply, Request};
-use crate::store::{ServeError, Store};
+use crate::store::{Pending, ServeError, Store, StoreOptions};
 use sqlnf_core::prelude::*;
 use sqlnf_discovery::prelude::*;
 use std::io::{self, BufRead, BufReader, Write};
@@ -39,6 +40,15 @@ pub struct ServeConfig {
     /// Admitted statements between automatic snapshots (0 = only on
     /// graceful shutdown).
     pub snapshot_every: u64,
+    /// Number of WAL shards (tables hash across them, so unrelated
+    /// tables can commit on independent fsyncs).
+    pub wal_shards: usize,
+    /// How long an elected committer lingers collecting more frames
+    /// before writing its batch (0 = drain immediately).
+    pub commit_window: Duration,
+    /// Fsync discipline at the ack boundary (see
+    /// [`FsyncMode`](crate::commit::FsyncMode)).
+    pub fsync: FsyncMode,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +58,9 @@ impl Default for ServeConfig {
             wal_dir: None,
             workers: 4,
             snapshot_every: 0,
+            wal_shards: 1,
+            commit_window: Duration::ZERO,
+            fsync: FsyncMode::Batch,
         }
     }
 }
@@ -71,9 +84,15 @@ impl Server {
         // The flight recorder backs the TRACE verb; recording costs a
         // few atomic stores per span, nothing when obs is compiled out.
         sqlnf_obs::set_flight(true);
+        let opts = StoreOptions {
+            snapshot_every: config.snapshot_every,
+            wal_shards: config.wal_shards,
+            commit_window: config.commit_window,
+            fsync: config.fsync,
+        };
         let store = Arc::new(match &config.wal_dir {
-            Some(dir) => Store::open(dir, config.snapshot_every)?,
-            None => Store::ephemeral(),
+            Some(dir) => Store::open_with(dir, opts)?,
+            None => Store::ephemeral_with(opts),
         });
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
@@ -211,6 +230,14 @@ fn worker_loop(
 
 /// Runs one session to completion: reads lines, accumulates requests,
 /// writes one reply per request.
+///
+/// SQL requests are pipelining-aware: each one is applied and
+/// *enqueued* immediately, but its reply is staged and its commit
+/// ticket parked in `pending` until the read buffer runs dry — so a
+/// client that writes N statements before reading N replies gets all
+/// of them applied, committed in (at most) one shared fsync, and then
+/// answered in one write. A client that waits for each reply settles
+/// after every request and observes no difference.
 fn handle_session(
     store: &Arc<Store>,
     stream: TcpStream,
@@ -223,9 +250,15 @@ fn handle_session(
     let mut reader = BufReader::new(stream);
     let mut acc = Accumulator::new();
     let mut line = String::new();
+    let mut staged: Vec<(Reply, bool)> = Vec::new();
+    let mut pending = Pending::default();
     loop {
         match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client closed
+            Ok(0) => {
+                // Client closed; ack whatever it pipelined before EOF.
+                settle(store, &mut writer, &mut staged, &mut pending)?;
+                return Ok(());
+            }
             Ok(_) => {
                 if !line.ends_with('\n') {
                     // Timeout can split a line; keep reading it.
@@ -238,15 +271,34 @@ fn handle_session(
                 sqlnf_obs::count!("serve.requests");
                 match req {
                     Request::Quit => {
+                        settle(store, &mut writer, &mut staged, &mut pending)?;
                         write_reply(&mut writer, &Reply::ok("bye"))?;
                         return Ok(());
                     }
                     Request::Shutdown => {
+                        settle(store, &mut writer, &mut staged, &mut pending)?;
                         write_reply(&mut writer, &Reply::ok("shutting down"))?;
                         shutdown.store(true, Ordering::SeqCst);
                         return Ok(());
                     }
+                    Request::Sql(src) => {
+                        let (reply, needs_commit) = dispatch_sql_enqueue(store, &src, &mut pending);
+                        staged.push((reply, needs_commit));
+                        // Settle as soon as the pipe runs dry:
+                        // everything the client already sent shares
+                        // this one commit.
+                        if reader.buffer().is_empty() {
+                            settle(store, &mut writer, &mut staged, &mut pending)?;
+                            if kill.load(Ordering::SeqCst) {
+                                return Ok(());
+                            }
+                        }
+                    }
                     req => {
+                        // Earlier SQL must be acknowledged (and
+                        // counted) before a read verb looks at the
+                        // store.
+                        settle(store, &mut writer, &mut staged, &mut pending)?;
                         let reply = dispatch(store, req);
                         write_reply(&mut writer, &reply)?;
                         if kill.load(Ordering::SeqCst) {
@@ -261,18 +313,83 @@ fn handle_session(
                     io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
+                settle(store, &mut writer, &mut staged, &mut pending)?;
                 if shutdown.load(Ordering::SeqCst) || kill.load(Ordering::SeqCst) {
                     return Ok(()); // drain: drop idle sessions
                 }
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                // The socket died; still redeem enqueued tickets so
+                // the admission counters agree with the commit log.
+                let _ = store.commit_pending(&mut pending);
+                return Err(e);
+            }
         }
     }
+}
+
+/// Commits every pending ticket and flushes the staged replies in
+/// request order. On commit failure, replies that were waiting on
+/// durability flip to errors — an undurable statement is never acked.
+fn settle(
+    store: &Store,
+    writer: &mut TcpStream,
+    staged: &mut Vec<(Reply, bool)>,
+    pending: &mut Pending,
+) -> io::Result<()> {
+    let commit = store.commit_pending(pending);
+    if staged.is_empty() {
+        return Ok(());
+    }
+    let mut out = String::new();
+    for (reply, needs_commit) in staged.drain(..) {
+        match (&commit, needs_commit) {
+            (Err(e), true) => out.push_str(&Reply::err(e.to_string()).to_string()),
+            _ => out.push_str(&reply.to_string()),
+        }
+    }
+    writer.write_all(out.as_bytes())?;
+    writer.flush()
 }
 
 fn write_reply(writer: &mut TcpStream, reply: &Reply) -> io::Result<()> {
     writer.write_all(reply.to_string().as_bytes())?;
     writer.flush()
+}
+
+/// The SQL half of [`dispatch`]: applies and enqueues, but leaves the
+/// commit wait to [`settle`] so pipelined requests share a batch. The
+/// per-request span and slow-log entry cover parse/apply/enqueue; the
+/// shared commit wait is accounted separately under
+/// `serve.commit.wait`. Returns the staged reply and whether it must
+/// be withheld until the pending tickets commit.
+fn dispatch_sql_enqueue(store: &Store, src: &str, pending: &mut Pending) -> (Reply, bool) {
+    let _span = sqlnf_obs::span!("serve.dispatch");
+    let seq = store.stats.requests.fetch_add(1, Ordering::Relaxed) + 1;
+    metrics::stage_begin();
+    let start = std::time::Instant::now();
+    let result = {
+        #[allow(clippy::let_unit_value)]
+        let _verb_span = sqlnf_obs::span!("serve.verb.sql");
+        store.execute_sql_enqueue(src, pending)
+    };
+    let total_ns = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    store.slow_log().offer(SlowEntry {
+        seq,
+        verb: "sql",
+        total_ns,
+        stages: metrics::stage_take(),
+    });
+    match result {
+        Ok(applied) => (
+            Reply::ok(format!(
+                "applied {applied} statement{}",
+                if applied == 1 { "" } else { "s" }
+            )),
+            applied > 0,
+        ),
+        Err(e) => (Reply::err(e.to_string()), false),
+    }
 }
 
 /// Executes one request against the store, recording its latency in
@@ -502,6 +619,55 @@ mod tests {
         let err = dispatch(&store, Request::Dump("nope".into()));
         assert!(!err.ok);
         assert!(err.message.contains("no such table"));
+    }
+
+    /// A pipelined burst (write N, then read N) comes back as N
+    /// in-order replies, interleaves correctly with refusals, and the
+    /// admissions survive recovery — the batch was durable at ack.
+    #[test]
+    fn pipelined_batch_round_trips_and_recovers() {
+        let dir = std::env::temp_dir().join(format!("sqlnf_pipe_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::start(ServeConfig {
+            wal_dir: Some(dir.clone()),
+            wal_shards: 2,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let addr = server.local_addr();
+        let mut client = crate::client::Client::connect(addr).unwrap();
+        client.expect_ok(DDL).unwrap();
+        let stmts: Vec<String> = (0..10)
+            .map(|i| {
+                // Odd statements reuse the previous line's determinant
+                // (order_id, item, catalog) with a different price.
+                format!(
+                    "INSERT INTO purchase VALUES ({}, 'pen', 'web', {});",
+                    i / 2,
+                    100 + i % 2
+                )
+            })
+            .collect();
+        let replies = client.send_batch(&stmts).unwrap();
+        assert_eq!(replies.len(), 10);
+        // The declared FD refuses every second insert — mid-batch, in
+        // order, without derailing the rest of the pipeline.
+        for (i, r) in replies.iter().enumerate() {
+            assert_eq!(r.ok, i % 2 == 0, "reply {i}: {}", r.message);
+        }
+        let stats = client.expect_ok("STATS").unwrap();
+        assert!(
+            stats.lines.iter().any(|l| l == "stmt.admitted 6"),
+            "{:?}",
+            stats.lines
+        );
+        client.quit().unwrap();
+        server.kill(); // no graceful fsync: the acks must already hold
+        let reborn = Store::open(&dir, 0).unwrap();
+        reborn
+            .with_table("purchase", |st| assert_eq!(st.data().len(), 5))
+            .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

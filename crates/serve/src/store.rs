@@ -1,9 +1,9 @@
 //! The shared store behind all sessions: named [`StoredTable`]s, each
-//! behind its own `RwLock`, plus the WAL.
+//! behind its own `RwLock`, plus the group-commit durability plane.
 //!
 //! ## Locking discipline
 //!
-//! Four lock tiers, always acquired in this order (and released
+//! Five lock tiers, always acquired in this order (and released
 //! before acquiring an earlier tier again):
 //!
 //! 1. the **snapshot** mutex — taken only by `snapshot()`, so at most
@@ -13,14 +13,21 @@
 //!    clone the table's `Arc` and drops it before touching the table;
 //! 3. **table** `RwLock`s — sessions hold at most one; the snapshotter
 //!    holds all of them as a reader, acquired in name order;
-//! 4. the **WAL** mutex — always innermost.
+//! 4. **shard file** mutexes — holding one *is* being that shard's
+//!    elected committer; the snapshotter holds all of them (in shard
+//!    order) across the generation switch;
+//! 5. **shard queue** mutexes — always innermost; held only long
+//!    enough to push or drain frames.
 //!
-//! A writer appends to the WAL *while still holding the table's write
-//! lock*, so per-table WAL order equals application order; the
-//! snapshotter switches to the next WAL generation while holding every
-//! table read lock, so no admitted statement can fall between snapshot
-//! and log.
+//! A writer enqueues its WAL frame *while still holding the table's
+//! write lock* — which also assigns the frame its global epoch — so
+//! epoch order equals application order; the actual write+fsync
+//! happens later, in [`commit`](crate::commit), after the writer has
+//! released every lock. The snapshotter drains every shard while
+//! holding every table read lock, so no admitted statement can fall
+//! between snapshot and log.
 
+use crate::commit::{FsyncMode, GroupWal, Ticket};
 use crate::metrics::{self, SlowEntry, SlowLog, Stage};
 use crate::wal::{self, Wal, SNAPSHOT_FILE};
 use sqlnf_core::prelude::*;
@@ -29,6 +36,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
 
 /// Default LHS cap of the `MINE` verb.
 pub const DEFAULT_MINE_LHS: usize = 3;
@@ -76,7 +84,7 @@ pub struct StoreStats {
     pub requests: AtomicU64,
     /// Sessions accepted.
     pub sessions: AtomicU64,
-    /// Statements admitted (and logged).
+    /// Statements admitted: applied, durable, and acknowledged.
     pub admitted: AtomicU64,
     /// Statements rejected.
     pub rejected: AtomicU64,
@@ -104,23 +112,19 @@ impl StoreStats {
 
 type Registry = BTreeMap<String, Arc<RwLock<StoredTable>>>;
 
-/// Fault-injection and observation hooks for deterministic crash
-/// testing (used by `sqlnf-harness`; all disabled by default and
-/// inert in production paths).
+/// Fault-injection hooks for deterministic crash testing (used by
+/// `sqlnf-harness`; all disabled by default and inert in production
+/// paths).
 #[derive(Debug)]
 struct Hooks {
-    /// When enabled, every admitted statement's canonical rendering is
-    /// recorded here *in WAL order* (the push happens under the WAL
-    /// mutex, immediately after the append), so the log is exactly the
-    /// serial history recovery must reproduce.
-    oplog: Mutex<Option<Vec<String>>>,
-    /// After this many successful WAL appends, every further append
-    /// fails with an injected I/O error — a deterministic crash point:
-    /// regardless of thread interleaving, exactly this many statements
-    /// become durable. `u64::MAX` disables the fault.
+    /// After this many statements pass the admission gate, every
+    /// further statement is refused with an injected I/O error — a
+    /// deterministic crash point: regardless of thread interleaving,
+    /// exactly this many statements are admitted (the compare-exchange
+    /// in [`Store::admit_gate`] makes the check-and-count atomic).
+    /// `u64::MAX` disables the fault.
     wal_fault_after: AtomicU64,
-    /// Successful appends so far (only counted while a fault is armed
-    /// or an oplog is attached).
+    /// Statements past the gate so far.
     appends: AtomicU64,
     /// Whether the armed fault has fired at least once.
     fault_fired: AtomicBool,
@@ -129,7 +133,6 @@ struct Hooks {
 impl Default for Hooks {
     fn default() -> Self {
         Hooks {
-            oplog: Mutex::new(None),
             wal_fault_after: AtomicU64::new(u64::MAX),
             appends: AtomicU64::new(0),
             fault_fired: AtomicBool::new(false),
@@ -137,11 +140,53 @@ impl Default for Hooks {
     }
 }
 
+/// Durability tuning for [`Store::open_with`] /
+/// [`Store::ephemeral_with`].
+#[derive(Debug, Clone)]
+pub struct StoreOptions {
+    /// Admitted statements between automatic snapshots (0 = only on
+    /// shutdown).
+    pub snapshot_every: u64,
+    /// Number of WAL shards (tables are hashed across them).
+    pub wal_shards: usize,
+    /// How long an elected committer lingers collecting more frames
+    /// before writing its batch.
+    pub commit_window: Duration,
+    /// Fsync discipline at the ack boundary.
+    pub fsync: FsyncMode,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            snapshot_every: 0,
+            wal_shards: 1,
+            commit_window: Duration::ZERO,
+            fsync: FsyncMode::Batch,
+        }
+    }
+}
+
+/// Statements applied and enqueued but not yet acknowledged: the
+/// tickets a session must redeem (via [`Store::commit_pending`])
+/// before replying to their requests.
+#[derive(Debug, Default)]
+pub struct Pending {
+    tickets: Vec<Ticket>,
+}
+
+impl Pending {
+    /// Whether there is nothing to wait for.
+    pub fn is_empty(&self) -> bool {
+        self.tickets.is_empty()
+    }
+}
+
 /// The shared store: the table registry plus the durability layer.
 #[derive(Debug)]
 pub struct Store {
     tables: RwLock<Registry>,
-    wal: Mutex<Option<Wal>>,
+    wal: GroupWal,
     dir: Option<PathBuf>,
     /// Serializes snapshots; the guarded value is the generation of
     /// the live WAL (tier 1 of the locking discipline).
@@ -168,9 +213,16 @@ static NONCE: AtomicU64 = AtomicU64::new(1);
 impl Store {
     /// An in-memory store without durability.
     pub fn ephemeral() -> Store {
+        Store::ephemeral_with(StoreOptions::default())
+    }
+
+    /// An in-memory store with explicit commit-plane tuning (shard
+    /// count and commit window still shape batching even without
+    /// backing files).
+    pub fn ephemeral_with(opts: StoreOptions) -> Store {
         Store {
             tables: RwLock::new(BTreeMap::new()),
-            wal: Mutex::new(None),
+            wal: GroupWal::ephemeral(opts.wal_shards, opts.commit_window, opts.fsync),
             dir: None,
             generation: Mutex::new(0),
             snapshot_every: 0,
@@ -182,46 +234,66 @@ impl Store {
         }
     }
 
+    /// Opens a durable store in `dir` with default options; see
+    /// [`open_with`](Self::open_with).
+    pub fn open(dir: &Path, snapshot_every: u64) -> Result<Store, ServeError> {
+        Store::open_with(
+            dir,
+            StoreOptions {
+                snapshot_every,
+                ..StoreOptions::default()
+            },
+        )
+    }
+
     /// Opens a durable store in `dir`, recovering state by applying the
     /// snapshot (if any) and then replaying the snapshot generation's
-    /// WAL; `snapshot_every` admitted statements trigger an automatic
-    /// snapshot (0 disables). Logs of any other generation are debris
-    /// of a crash mid-snapshot — older ones are fully contained in the
-    /// snapshot, newer ones were never written to — and are deleted,
-    /// not replayed, so recovery never applies a statement twice.
-    pub fn open(dir: &Path, snapshot_every: u64) -> Result<Store, ServeError> {
+    /// shard logs, merged by epoch — the longest contiguous epoch run
+    /// from the snapshot's base is exactly the acknowledged history.
+    /// Logs of any other generation are debris of a crash mid-snapshot
+    /// — older ones are fully contained in the snapshot, newer ones
+    /// were never written to — and are deleted, not replayed, so
+    /// recovery never applies a statement twice. The shard count may
+    /// differ from the one the logs were written under: recovery reads
+    /// whatever shards exist on disk.
+    pub fn open_with(dir: &Path, opts: StoreOptions) -> Result<Store, ServeError> {
         std::fs::create_dir_all(dir)?;
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let (generation, epoch_base, script) = match std::fs::read_to_string(&snap_path) {
+            Ok(image) => {
+                let (generation, epoch_base, body) = wal::parse_snapshot(&image);
+                (generation, epoch_base, body.to_owned())
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => (0, 1, String::new()),
+            Err(e) => return Err(e.into()),
+        };
+        wal::cleanup_stale(dir, generation)?;
+        // GroupWal::recover truncates torn tails and epoch-gapped
+        // suffixes, so replay-then-append agree on the logs' contents.
+        let (gwal, replayed) = GroupWal::recover(
+            dir,
+            generation,
+            epoch_base,
+            opts.wal_shards,
+            opts.commit_window,
+            opts.fsync,
+        )?;
         let store = Store {
             tables: RwLock::new(BTreeMap::new()),
-            wal: Mutex::new(None),
+            wal: gwal,
             dir: Some(dir.to_path_buf()),
-            generation: Mutex::new(0),
-            snapshot_every,
+            generation: Mutex::new(generation),
+            snapshot_every: opts.snapshot_every,
             since_snapshot: AtomicU64::new(0),
             hooks: Hooks::default(),
             stats: StoreStats::default(),
             slow: SlowLog::default(),
             nonce: NONCE.fetch_add(1, Ordering::Relaxed),
         };
-        let snap_path = dir.join(SNAPSHOT_FILE);
-        let generation = match std::fs::read_to_string(&snap_path) {
-            Ok(image) => {
-                let (generation, script) = wal::parse_snapshot(&image);
-                store.apply_script_unlogged(script)?;
-                generation
-            }
-            Err(e) if e.kind() == io::ErrorKind::NotFound => 0,
-            Err(e) => return Err(e.into()),
-        };
-        wal::cleanup_stale(dir, generation)?;
-        // Wal::open truncates any torn tail, so replay-then-append
-        // agree on the log's frames.
-        let wal = Wal::open(dir, generation)?;
-        for stmt in wal::replay(wal.path())? {
-            store.apply_script_unlogged(&stmt)?;
+        store.apply_script_unlogged(&script)?;
+        for stmt in &replayed {
+            store.apply_script_unlogged(stmt)?;
         }
-        *store.wal.lock().unwrap() = Some(wal);
-        *store.generation.lock().unwrap() = generation;
         Ok(store)
     }
 
@@ -296,13 +368,21 @@ impl Store {
         Ok(f(&st))
     }
 
-    /// Parses and executes a SQL script, logging each admitted
-    /// statement to the WAL in its canonical rendering. Statements
+    /// Parses and executes a SQL script, enqueuing each applied
+    /// statement's canonical rendering for group commit. Statements
     /// apply in order; the first rejection stops the script (earlier
     /// statements stay applied — the wire protocol's unit of atomicity
     /// is the statement, not the script). Returns the number of
-    /// statements applied.
-    pub fn execute_sql(&self, src: &str) -> Result<usize, ServeError> {
+    /// statements applied; their tickets accumulate in `pending` and
+    /// the caller must redeem them with
+    /// [`commit_pending`](Self::commit_pending) before acknowledging
+    /// the request — the split is what lets a session stack several
+    /// pipelined requests into one commit batch.
+    pub fn execute_sql_enqueue(
+        &self,
+        src: &str,
+        pending: &mut Pending,
+    ) -> Result<usize, ServeError> {
         let parsed = {
             let _span = sqlnf_obs::span!("serve.parse");
             metrics::timed(Stage::Parse, || parse_script(src))
@@ -315,11 +395,9 @@ impl Store {
         let mut applied = 0;
         for stmt in stmts {
             match self.apply_logged(stmt) {
-                Ok(()) => {
+                Ok(ticket) => {
                     applied += 1;
-                    self.stats.admitted.fetch_add(1, Ordering::Relaxed);
-                    sqlnf_obs::count!("serve.stmt.admitted");
-                    sqlnf_obs::event!("serve.stmt.admitted", self.nonce);
+                    pending.tickets.push(ticket);
                 }
                 Err(e) => {
                     self.stats.rejected.fetch_add(1, Ordering::Relaxed);
@@ -328,13 +406,60 @@ impl Store {
                 }
             }
         }
-        self.maybe_snapshot(applied as u64)?;
         Ok(applied)
     }
 
-    /// Applies one statement under the locking discipline, appending
-    /// its canonical rendering to the WAL on admission.
-    fn apply_logged(&self, stmt: Statement) -> Result<(), ServeError> {
+    /// Parks until every pending statement is durable, then counts and
+    /// announces the admissions. A statement is *admitted* — counted,
+    /// flight-recorded, snapshot-triggering — only here, after its
+    /// frame survived the batch fsync; a commit failure turns the
+    /// whole pending set into rejections (their replies become errors,
+    /// never acks). Callers must hold no locks: the wait may elect
+    /// this thread committer and perform the batch I/O itself.
+    pub fn commit_pending(&self, pending: &mut Pending) -> Result<(), ServeError> {
+        if pending.tickets.is_empty() {
+            return Ok(());
+        }
+        let tickets = std::mem::take(&mut pending.tickets);
+        let n = tickets.len() as u64;
+        let res: io::Result<()> = {
+            let _span = sqlnf_obs::span!("serve.commit.wait");
+            tickets.into_iter().try_for_each(|t| self.wal.wait(t))
+        };
+        match res {
+            Ok(()) => {
+                self.stats.admitted.fetch_add(n, Ordering::Relaxed);
+                sqlnf_obs::count!("serve.stmt.admitted", n);
+                for _ in 0..n {
+                    sqlnf_obs::event!("serve.stmt.admitted", self.nonce);
+                }
+                self.maybe_snapshot(n)?;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.rejected.fetch_add(n, Ordering::Relaxed);
+                sqlnf_obs::count!("serve.stmt.rejected", n);
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Parses, executes, and makes durable a SQL script in one call
+    /// (the unpipelined path: CLI, tests, recovery checks). Returns
+    /// the number of statements applied.
+    pub fn execute_sql(&self, src: &str) -> Result<usize, ServeError> {
+        let mut pending = Pending::default();
+        let res = self.execute_sql_enqueue(src, &mut pending);
+        // Ack earlier statements even when a later one was refused —
+        // they applied, so they must become durable.
+        self.commit_pending(&mut pending)?;
+        res
+    }
+
+    /// Applies one statement under the locking discipline, enqueuing
+    /// its canonical rendering for commit while the write lock is
+    /// still held (so epoch order equals application order).
+    fn apply_logged(&self, stmt: Statement) -> Result<Ticket, ServeError> {
         match stmt {
             Statement::CreateTable { schema, sigma } => {
                 let rendered = render_create_table(&schema, &sigma);
@@ -346,11 +471,13 @@ impl Store {
                 if reg.contains_key(&name) {
                     return Err(EngineError::DuplicateTable(name).into());
                 }
-                // Log before publishing: if the WAL is sick, the
-                // statement is refused and the registry is unchanged.
-                self.append_wal(&rendered)?;
+                // Gate and enqueue before publishing: if the commit
+                // plane refuses, the statement is refused and the
+                // registry is unchanged.
+                self.admit_gate()?;
+                let ticket = self.wal.enqueue(&name, rendered)?;
                 reg.insert(name, Arc::new(RwLock::new(StoredTable::new(schema, sigma))));
-                Ok(())
+                Ok(ticket)
             }
             Statement::Insert { table, rows } => {
                 let arc = self.table_arc(&table)?;
@@ -373,59 +500,63 @@ impl Store {
                     }
                 }
                 let rendered = render_insert(&table, &rows);
-                if let Err(e) = self.append_wal(&rendered) {
-                    for r in (base..base + rows.len()).rev() {
-                        st.delete(r).expect("rolling back admitted rows");
+                let enqueued = self
+                    .admit_gate()
+                    .and_then(|()| self.wal.enqueue(&table, rendered).map_err(ServeError::from));
+                match enqueued {
+                    Ok(ticket) => Ok(ticket),
+                    Err(e) => {
+                        for r in (base..base + rows.len()).rev() {
+                            st.delete(r).expect("rolling back admitted rows");
+                        }
+                        Err(e)
                     }
-                    return Err(e);
                 }
-                Ok(())
             }
         }
     }
 
-    /// Appends to the WAL if one is attached (no-op when ephemeral).
-    /// An armed fault hook turns the append into an injected I/O error
-    /// once its budget is spent, and an attached oplog records the
-    /// payload in append order (both under the WAL mutex, so the oplog
-    /// is exactly the on-disk serial history).
-    fn append_wal(&self, payload: &str) -> Result<(), ServeError> {
-        let mut guard = {
-            let _wait = sqlnf_obs::span!("serve.lock_wait.wal");
-            metrics::timed(Stage::LockWal, || self.wal.lock().unwrap())
-        };
-        let budget = self.hooks.wal_fault_after.load(Ordering::Relaxed);
-        if budget != u64::MAX && self.hooks.appends.load(Ordering::Relaxed) >= budget {
-            self.hooks.fault_fired.store(true, Ordering::SeqCst);
-            return Err(io::Error::other("injected WAL fault").into());
+    /// The admission gate: atomically checks and spends one unit of
+    /// the fault hook's budget. The compare-exchange makes "first k
+    /// pass, the rest fail" exact under any interleaving — the crash
+    /// pin counts *statements admitted*, not frames fsynced, so
+    /// [`inject_wal_fault_after`](Self::inject_wal_fault_after) keeps
+    /// its meaning under batched commits.
+    fn admit_gate(&self) -> Result<(), ServeError> {
+        loop {
+            let budget = self.hooks.wal_fault_after.load(Ordering::Relaxed);
+            let done = self.hooks.appends.load(Ordering::Relaxed);
+            if done >= budget {
+                self.hooks.fault_fired.store(true, Ordering::SeqCst);
+                return Err(io::Error::other("injected WAL fault").into());
+            }
+            if self
+                .hooks
+                .appends
+                .compare_exchange(done, done + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Ok(());
+            }
         }
-        if let Some(wal) = guard.as_mut() {
-            let _span = sqlnf_obs::span!("serve.wal.append");
-            metrics::timed(Stage::WalAppend, || wal.append(payload))?;
-        }
-        self.hooks.appends.fetch_add(1, Ordering::Relaxed);
-        if let Some(log) = self.hooks.oplog.lock().unwrap().as_mut() {
-            log.push(payload.to_owned());
-        }
-        Ok(())
     }
 
-    /// Test hook: start recording every admitted statement (canonical
-    /// rendering, WAL order). Used by the fault-injection harness as
+    /// Test hook: start recording every committed statement (canonical
+    /// rendering, epoch order). Used by the fault-injection harness as
     /// the ground-truth serial history for differential recovery
     /// checks.
     pub fn enable_oplog(&self) {
-        *self.hooks.oplog.lock().unwrap() = Some(Vec::new());
+        self.wal.enable_oplog();
     }
 
-    /// Test hook: the statements recorded since [`enable_oplog`]
-    /// (`Store::enable_oplog`), in WAL order.
+    /// Test hook: the statements committed since
+    /// [`enable_oplog`](Self::enable_oplog), in epoch order.
     pub fn oplog(&self) -> Vec<String> {
-        self.hooks.oplog.lock().unwrap().clone().unwrap_or_default()
+        self.wal.oplog()
     }
 
-    /// Test hook: after `appends` further successful WAL appends, every
-    /// append fails with an injected I/O error. Statements admitted
+    /// Test hook: after `appends` further admissions, every statement
+    /// is refused with an injected I/O error. Statements admitted
     /// before the fault stay durable; later ones are refused and rolled
     /// back — a deterministic crash point independent of thread
     /// interleaving.
@@ -441,10 +572,15 @@ impl Store {
         self.hooks.fault_fired.load(Ordering::SeqCst)
     }
 
-    /// `(bytes, records)` currently in the WAL.
+    /// Test hook: make the next commit batch fail between its `write`
+    /// and its `fsync`, proving undurable waiters are never acked.
+    pub fn inject_fsync_fault_once(&self) {
+        self.wal.inject_fsync_fault_once();
+    }
+
+    /// `(bytes, records)` across all WAL shards.
     pub fn wal_size(&self) -> (u64, u64) {
-        let guard = self.wal.lock().unwrap();
-        guard.as_ref().map_or((0, 0), |w| (w.bytes(), w.records()))
+        self.wal.size()
     }
 
     /// Counts `applied` statements toward the auto-snapshot threshold.
@@ -488,15 +624,19 @@ impl Store {
         out
     }
 
-    /// Writes a snapshot and retires the current WAL by switching to
-    /// the next generation. All table read locks are held throughout,
-    /// so an admitted statement is always in the snapshot or the live
-    /// WAL, and the on-disk order makes every crash point recoverable:
-    /// the generation-`g+1` snapshot and its empty log are written and
-    /// made durable (file fsync, rename, directory fsync) *before* the
-    /// generation-`g` log is deleted — a leftover old-generation log
-    /// is therefore always fully contained in the snapshot, and
-    /// `open()` discards it instead of replaying it twice.
+    /// Writes a snapshot and retires the current WAL generation by
+    /// switching every shard to the next one atomically. All table
+    /// read locks are held throughout — which quiesces the commit
+    /// plane, since enqueuing requires a table write lock — and every
+    /// shard is drained into its old log before the switch, so an
+    /// admitted statement is always in the snapshot or the live logs.
+    /// The on-disk order makes every crash point recoverable: the
+    /// generation-`g+1` snapshot (whose header records the epoch base)
+    /// and its empty shard logs are written and made durable (file
+    /// fsync, rename, directory fsync) *before* the generation-`g`
+    /// logs are deleted — a leftover old-generation log is therefore
+    /// always fully contained in the snapshot, and `open()` discards
+    /// it instead of replaying it twice.
     pub fn snapshot(&self) -> Result<(), ServeError> {
         let Some(dir) = self.dir.as_ref() else {
             return Ok(());
@@ -514,7 +654,13 @@ impl Store {
             .iter()
             .map(|(name, arc)| (name, arc.read().unwrap()))
             .collect();
-        let mut script = wal::snapshot_header(next);
+        // Tier 4, all shards: drain straggler frames into the old
+        // generation (their writers are parked in wait(), not holding
+        // locks) and keep the file locks across the switch.
+        let mut files = self.wal.lock_files();
+        self.wal.drain_all(&mut files);
+        let epoch_base = self.wal.epoch_next();
+        let mut script = wal::snapshot_header(next, epoch_base);
         for (name, st) in &guards {
             script.push_str(&render_create_table(st.data().schema(), st.sigma()));
             script.push('\n');
@@ -528,23 +674,32 @@ impl Store {
             use std::io::Write as _;
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(script.as_bytes())?;
-            let _span = sqlnf_obs::span!("serve.wal.fsync");
+            let _span = sqlnf_obs::span!("serve.snapshot.fsync");
             metrics::timed(Stage::WalFsync, || f.sync_data())?;
         }
-        // The next generation's log must exist before the snapshot
-        // naming it is published, and both must be durable before any
-        // statement is appended to the new log — otherwise a crash
-        // could recover the old snapshot yet discard the new log.
-        let fresh = Wal::open(dir, next)?;
+        // The next generation's logs must exist before the snapshot
+        // naming them is published, and both must be durable before
+        // any statement is appended to the new logs — otherwise a
+        // crash could recover the old snapshot yet discard a new log.
+        let mut fresh = Vec::with_capacity(files.len());
+        for shard in 0..files.len() as u64 {
+            fresh.push(Wal::open(dir, next, shard)?);
+        }
         std::fs::rename(&tmp, dir.join(SNAPSHOT_FILE))?;
         wal::sync_dir(dir)?;
-        let retired = self.wal.lock().unwrap().replace(fresh);
-        if let Some(old) = retired {
-            // Already captured by the snapshot; removal is cleanup,
-            // not correctness — open() deletes leftovers.
-            let _ = std::fs::remove_file(old.path());
+        let mut removed = false;
+        for (guard, new) in files.iter_mut().zip(fresh) {
+            if let Some(old) = (**guard).replace(new) {
+                // Already captured by the snapshot; removal is cleanup,
+                // not correctness — open() deletes leftovers.
+                let _ = std::fs::remove_file(old.path());
+                removed = true;
+            }
+        }
+        if removed {
             let _ = wal::sync_dir(dir);
         }
+        drop(files);
         self.since_snapshot.store(0, Ordering::Relaxed);
         *generation = next;
         self.stats.snapshots.fetch_add(1, Ordering::Relaxed);
@@ -552,15 +707,9 @@ impl Store {
         Ok(())
     }
 
-    /// Fsyncs the WAL (graceful shutdown path).
+    /// Fsyncs every WAL shard (graceful shutdown path).
     pub fn sync(&self) -> Result<(), ServeError> {
-        let mut guard = {
-            let _wait = sqlnf_obs::span!("serve.lock_wait.wal");
-            metrics::timed(Stage::LockWal, || self.wal.lock().unwrap())
-        };
-        if let Some(wal) = guard.as_mut() {
-            metrics::timed(Stage::WalFsync, || wal.sync())?;
-        }
+        self.wal.sync_all()?;
         Ok(())
     }
 
@@ -654,6 +803,51 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
+    /// A store written under several shards recovers identically no
+    /// matter how many shards the reopening configuration asks for —
+    /// the epoch merge, not the file layout, defines the history.
+    #[test]
+    fn sharded_history_recovers_under_any_shard_count() {
+        let dir = tmp_dir("reshard");
+        let opts = StoreOptions {
+            wal_shards: 4,
+            ..StoreOptions::default()
+        };
+        let store = Store::open_with(&dir, opts).unwrap();
+        store.execute_sql(DDL).unwrap();
+        store
+            .execute_sql("CREATE TABLE other (x INT NOT NULL, CONSTRAINT k CERTAIN KEY (x));")
+            .unwrap();
+        for i in 0..10 {
+            store
+                .execute_sql(&format!(
+                    "INSERT INTO purchase VALUES ({i}, 'i{i}', NULL, {i});"
+                ))
+                .unwrap();
+            store
+                .execute_sql(&format!("INSERT INTO other VALUES ({i});"))
+                .unwrap();
+        }
+        let expected = store.export_script();
+        drop(store);
+        // The two tables hash to shards independently; at least the
+        // frames exist across the generation's shard files.
+        assert!(!wal::shard_logs(&dir, 0).unwrap().is_empty());
+        for shards in [1, 2, 8] {
+            let reborn = Store::open_with(
+                &dir,
+                StoreOptions {
+                    wal_shards: shards,
+                    ..StoreOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(reborn.export_script(), expected, "shards={shards}");
+            assert!(reborn.satisfies_all_constraints());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     /// The crash window the generation scheme closes: the snapshot is
     /// renamed into place but the previous generation's log survives
     /// (power loss before the retired log was deleted). Replaying that
@@ -668,7 +862,7 @@ mod tests {
         store
             .execute_sql("INSERT INTO purchase VALUES (1, 'Fitbit', NULL, 240);")
             .unwrap();
-        let old_log = std::fs::read(wal::wal_path(&dir, 0)).unwrap();
+        let old_log = std::fs::read(wal::wal_path(&dir, 0, 0)).unwrap();
         store.snapshot().unwrap();
         store
             .execute_sql("INSERT INTO purchase VALUES (2, 'Doll', 'Kingtoys', 25);")
@@ -677,19 +871,19 @@ mod tests {
         drop(store);
         // Resurrect the generation-0 log next to the generation-1
         // snapshot + log, as if the final delete never hit the disk.
-        std::fs::write(wal::wal_path(&dir, 0), &old_log).unwrap();
+        std::fs::write(wal::wal_path(&dir, 0, 0), &old_log).unwrap();
         let reborn = Store::open(&dir, 0).unwrap();
         assert_eq!(reborn.export_script(), expected);
         assert!(reborn.satisfies_all_constraints());
-        assert!(!wal::wal_path(&dir, 0).exists(), "stale log cleaned up");
+        assert!(!wal::wal_path(&dir, 0, 0).exists(), "stale log cleaned up");
         drop(reborn);
         // Crash *before* the rename instead: an empty next-generation
         // log and a temp snapshot are debris, not state.
-        std::fs::write(wal::wal_path(&dir, 9), b"").unwrap();
+        std::fs::write(wal::wal_path(&dir, 9, 0), b"").unwrap();
         std::fs::write(wal::snapshot_tmp_path(&dir, 9), b"junk").unwrap();
         let again = Store::open(&dir, 0).unwrap();
         assert_eq!(again.export_script(), expected);
-        assert!(!wal::wal_path(&dir, 9).exists());
+        assert!(!wal::wal_path(&dir, 9, 0).exists());
         assert!(!wal::snapshot_tmp_path(&dir, 9).exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -730,8 +924,10 @@ mod tests {
     }
 
     /// The harness hooks: the oplog mirrors the admitted history in
-    /// order, and an armed WAL fault refuses (and rolls back) every
-    /// statement past its budget, deterministically.
+    /// order, and an armed fault refuses (and rolls back) every
+    /// statement past its budget, deterministically — the budget
+    /// counts *statements admitted*, not frames fsynced, so batching
+    /// cannot shift the crash point.
     #[test]
     fn oplog_and_wal_fault_hooks() {
         let dir = tmp_dir("hooks");
@@ -741,7 +937,7 @@ mod tests {
         store
             .execute_sql("INSERT INTO purchase VALUES (1, 'A', NULL, 1);")
             .unwrap();
-        // DDL + one insert so far; allow exactly one more append.
+        // DDL + one insert so far; allow exactly one more admission.
         store.inject_wal_fault_after(1);
         store
             .execute_sql("INSERT INTO purchase VALUES (2, 'B', NULL, 2);")
@@ -768,6 +964,34 @@ mod tests {
         drop(store);
         let reopened = Store::open(&dir, 0).unwrap();
         assert_eq!(reopened.export_script(), reference.export_script());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The crash-during-commit window: the batch is written but the
+    /// fsync fails. The waiter must get an error, the admission
+    /// counter must not move, the oplog must not record the statement,
+    /// and recovery must come back without it.
+    #[test]
+    fn crash_between_write_and_fsync_never_acks() {
+        let dir = tmp_dir("fsync_fault");
+        let store = Store::open(&dir, 0).unwrap();
+        store.enable_oplog();
+        store.execute_sql(DDL).unwrap();
+        store
+            .execute_sql("INSERT INTO purchase VALUES (1, 'A', NULL, 1);")
+            .unwrap();
+        store.inject_fsync_fault_once();
+        let err = store
+            .execute_sql("INSERT INTO purchase VALUES (2, 'B', NULL, 2);")
+            .unwrap_err();
+        assert!(matches!(err, ServeError::Io(_)), "{err}");
+        assert_eq!(store.stats.admitted.load(Ordering::Relaxed), 2);
+        assert_eq!(store.oplog().len(), 2, "undurable frame must not be acked");
+        drop(store);
+        let reborn = Store::open(&dir, 0).unwrap();
+        reborn
+            .with_table("purchase", |st| assert_eq!(st.data().len(), 1))
+            .unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -102,8 +102,10 @@ USAGE:
     sqlnf dataset <name> [seed]        emit an evaluation dataset as CSV
                                        (contact | contractor | fig7 | purchase)
     sqlnf serve [--port N] [--wal-dir DIR] [--workers N] [--snapshot-every N]
+                [--wal-shards N] [--commit-window-us N] [--fsync always|batch]
                                        run the constraint-enforcing TCP server
-                                       (line protocol; see DESIGN.md §8)
+                                       (line protocol; group-commit WAL sharded
+                                       across N logs; see DESIGN.md §8)
     sqlnf client <host:port> [file.sql]
                                        run a scripted session against a server
                                        (reads stdin when no file is given;
@@ -117,6 +119,7 @@ USAGE:
                                        the default)
     sqlnf harness [--seed N | --seed A..=B] [--ops N] [--clients N]
                   [--kill-prob P] [--corrupt-prob P]
+                  [--wal-shards N] [--commit-window-us N] [--fsync always|batch]
                                        seeded fault-injection + differential
                                        harness over the server, WAL and miner
                                        (deterministic per seed; failures print
@@ -291,6 +294,30 @@ fn parse_serve_config(args: &[String]) -> Result<sqlnf_serve::ServeConfig, CliEr
                     CliError::Usage(format!("bad --snapshot-every {v:?}\n\n{USAGE}"))
                 })?;
             }
+            "--wal-shards" => {
+                let v = need("--wal-shards", it.next())?;
+                config.wal_shards = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        return Err(CliError::Usage(format!(
+                            "bad --wal-shards {v:?} (want an integer >= 1)\n\n{USAGE}"
+                        )))
+                    }
+                };
+            }
+            "--commit-window-us" => {
+                let v = need("--commit-window-us", it.next())?;
+                let us: u64 = v.parse().map_err(|_| {
+                    CliError::Usage(format!("bad --commit-window-us {v:?}\n\n{USAGE}"))
+                })?;
+                config.commit_window = std::time::Duration::from_micros(us);
+            }
+            "--fsync" => {
+                let v = need("--fsync", it.next())?;
+                config.fsync = v.parse().map_err(|_| {
+                    CliError::Usage(format!("bad --fsync {v:?} (always | batch)\n\n{USAGE}"))
+                })?;
+            }
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown serve flag {other:?}\n\n{USAGE}"
@@ -460,6 +487,27 @@ fn top_frame(
         );
         counts.insert(verb.clone(), *count);
     }
+    // Group-commit health: how many frames each fsync amortizes. The
+    // batch-size histogram reuses the span plumbing, so its "ns" values
+    // are plain frame counts.
+    let commit = |metric: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == metric && s.label("name") == Some("serve.commit.batch_size"))
+            .map(|s| s.value)
+    };
+    if let (Some(batches), Some(p50), Some(p99)) = (
+        commit("sqlnf_span_count"),
+        commit("sqlnf_span_p50_ns"),
+        commit("sqlnf_span_p99_ns"),
+    ) {
+        if batches > 0.0 {
+            let _ = writeln!(
+                out,
+                "commit batches {batches:.0}  size p50 {p50:.0}  p99 {p99:.0}"
+            );
+        }
+    }
     (out, counts)
 }
 
@@ -576,6 +624,29 @@ fn parse_harness_args(
                 config.corrupt_prob = v
                     .parse()
                     .map_err(|_| CliError::Usage(format!("bad --corrupt-prob {v:?}\n\n{USAGE}")))?;
+            }
+            "--wal-shards" => {
+                let v = need("--wal-shards", it.next())?;
+                config.wal_shards = match v.parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        return Err(CliError::Usage(format!(
+                            "bad --wal-shards {v:?} (want an integer >= 1)\n\n{USAGE}"
+                        )))
+                    }
+                };
+            }
+            "--commit-window-us" => {
+                let v = need("--commit-window-us", it.next())?;
+                config.commit_window_us = v.parse().map_err(|_| {
+                    CliError::Usage(format!("bad --commit-window-us {v:?}\n\n{USAGE}"))
+                })?;
+            }
+            "--fsync" => {
+                let v = need("--fsync", it.next())?;
+                config.fsync = v.parse().map_err(|_| {
+                    CliError::Usage(format!("bad --fsync {v:?} (always | batch)\n\n{USAGE}"))
+                })?;
             }
             other => {
                 return Err(CliError::Usage(format!(
@@ -957,15 +1028,82 @@ mod tests {
 
     #[test]
     fn serve_flags_are_validated() {
-        let bad: Vec<String> = ["--port", "notaport"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert!(matches!(cmd_serve(&bad), Err(CliError::Usage(_))));
-        let unknown: Vec<String> = ["--bogus"].iter().map(|s| s.to_string()).collect();
-        assert!(matches!(cmd_serve(&unknown), Err(CliError::Usage(_))));
-        let dangling: Vec<String> = ["--wal-dir"].iter().map(|s| s.to_string()).collect();
-        assert!(matches!(cmd_serve(&dangling), Err(CliError::Usage(_))));
+        let argv =
+            |flags: &[&str]| -> Vec<String> { flags.iter().map(|s| s.to_string()).collect() };
+        assert!(matches!(
+            cmd_serve(&argv(&["--port", "notaport"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_serve(&argv(&["--bogus"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_serve(&argv(&["--wal-dir"])),
+            Err(CliError::Usage(_))
+        ));
+        // The group-commit knobs refuse malformed values.
+        assert!(matches!(
+            cmd_serve(&argv(&["--wal-shards", "0"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_serve(&argv(&["--wal-shards", "four"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_serve(&argv(&["--commit-window-us", "-3"])),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            cmd_serve(&argv(&["--fsync", "sometimes"])),
+            Err(CliError::Usage(_))
+        ));
+        // And accept well-formed ones.
+        let config = parse_serve_config(&argv(&[
+            "--wal-shards",
+            "4",
+            "--commit-window-us",
+            "200",
+            "--fsync",
+            "always",
+        ]))
+        .unwrap();
+        assert_eq!(config.wal_shards, 4);
+        assert_eq!(config.commit_window, std::time::Duration::from_micros(200));
+        assert_eq!(config.fsync, sqlnf_serve::FsyncMode::Always);
+    }
+
+    #[test]
+    fn harness_flags_are_validated() {
+        let argv =
+            |flags: &[&str]| -> Vec<String> { flags.iter().map(|s| s.to_string()).collect() };
+        let (seeds, config) = parse_harness_args(&argv(&[
+            "--seed",
+            "2..=4",
+            "--wal-shards",
+            "4",
+            "--commit-window-us",
+            "200",
+            "--fsync",
+            "batch",
+        ]))
+        .unwrap();
+        assert_eq!(seeds, vec![2, 3, 4]);
+        assert_eq!(config.wal_shards, 4);
+        assert_eq!(config.commit_window_us, 200);
+        assert_eq!(config.fsync, sqlnf_serve::FsyncMode::Batch);
+        for bad in [
+            &["--wal-shards", "0"][..],
+            &["--commit-window-us", "soon"],
+            &["--fsync", "never"],
+            &["--fsync"],
+        ] {
+            assert!(
+                matches!(parse_harness_args(&argv(bad)), Err(CliError::Usage(_))),
+                "{bad:?}"
+            );
+        }
     }
 
     #[test]

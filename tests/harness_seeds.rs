@@ -18,6 +18,7 @@ fn config(seed: u64, kill_prob: f64, corrupt_prob: f64) -> HarnessConfig {
         clients: 4,
         kill_prob,
         corrupt_prob,
+        ..HarnessConfig::default()
     }
 }
 
