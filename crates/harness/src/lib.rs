@@ -118,6 +118,11 @@ pub struct RunReport {
     /// by the clients (DDL re-issues, constraint violations, and —
     /// after an injected WAL fault — every further statement).
     pub rejected: usize,
+    /// Statements the server acknowledged with an `OK` reply, as
+    /// counted by the clients — the harness's view of the ack
+    /// contract. A lower bound under a kill: replies a dying session
+    /// never read are lost to the tally.
+    pub acked: usize,
     /// Length of the admitted-history prefix the recovered store
     /// matched byte-for-byte.
     pub recovered: usize,
@@ -194,12 +199,21 @@ fn run_dir(seed: u64, ops: usize) -> PathBuf {
 }
 
 /// Outcome of one client session thread. The authoritative admitted
-/// count is the store's oplog; the client side only tallies `ERR`
-/// replies.
+/// count is the store's oplog; the client side tallies the replies it
+/// actually read — `OK`s are the statements the server *acknowledged*
+/// to this client, the harness's ground truth for the ack contract
+/// ("OK means durable across recovery").
 enum ClientOutcome {
-    /// Every dealt statement earned a reply; this many were refused.
-    Finished(usize),
-    /// The server went away mid-session (only legal under a kill).
+    /// Every dealt statement earned a reply.
+    Finished {
+        /// Statements refused with an `ERR` reply.
+        rejected: usize,
+        /// Statements acknowledged with an `OK` reply.
+        acked: usize,
+    },
+    /// The server went away mid-session (only legal under a kill);
+    /// replies read before the death are lost to the tally, so the
+    /// run's acked total becomes a lower bound.
     Died(ClientError),
 }
 
@@ -214,14 +228,18 @@ fn drive_client(addr: std::net::SocketAddr, stmts: Vec<String>) -> ClientOutcome
         Err(e) => return ClientOutcome::Died(e),
     };
     let mut rejected = 0usize;
+    let mut acked = 0usize;
     for chunk in stmts.chunks(PIPELINE_CHUNK) {
         match client.send_batch(chunk) {
-            Ok(replies) => rejected += replies.iter().filter(|r| !r.ok).count(),
+            Ok(replies) => {
+                acked += replies.iter().filter(|r| r.ok).count();
+                rejected += replies.iter().filter(|r| !r.ok).count();
+            }
             Err(e) => return ClientOutcome::Died(e),
         }
     }
     let _ = client.quit();
-    ClientOutcome::Finished(rejected)
+    ClientOutcome::Finished { rejected, acked }
 }
 
 /// Runs one seed end-to-end. A passing run returns its [`RunReport`];
@@ -296,9 +314,16 @@ pub fn run_one(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
     }
 
     let mut rejected = 0usize;
+    let mut acked = 0usize;
     for h in handles {
         match h.join() {
-            Ok(ClientOutcome::Finished(r)) => rejected += r,
+            Ok(ClientOutcome::Finished {
+                rejected: r,
+                acked: a,
+            }) => {
+                rejected += r;
+                acked += a;
+            }
             Ok(ClientOutcome::Died(e)) => {
                 if !killed {
                     return Err(fail(format!("client died without an injected kill: {e}")));
@@ -347,6 +372,30 @@ pub fn run_one(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
         DiffOutcome::MatchedPrefix(n) => n,
         other => return Err(fail(format!("differential check failed: {other:?}"))),
     };
+    // The ack contract, from the client's side of the wire. Every
+    // `OK` reply is one oplog entry, so the tally can never exceed
+    // the durable history; without a kill every reply was read, so it
+    // matches exactly; and without corruption (which destroys durable
+    // frames by design) every acked statement must survive recovery —
+    // acks are watermark-gated, so acked statements always sit inside
+    // the contiguous recovered prefix, never past a censoring gap.
+    if acked > oplog.len() {
+        return Err(fail(format!(
+            "clients counted {acked} acks but the oplog holds only {}",
+            oplog.len()
+        )));
+    }
+    if !killed && acked != oplog.len() {
+        return Err(fail(format!(
+            "ack tally ({acked}) diverges from the oplog ({}) without a kill",
+            oplog.len()
+        )));
+    }
+    if !corrupted && acked > recovered {
+        return Err(fail(format!(
+            "an acked statement did not survive recovery: {acked} acked, {recovered} recovered"
+        )));
+    }
     if !killed && !corrupted && recovered != oplog.len() {
         return Err(fail(format!(
             "graceful shutdown lost statements: recovered {recovered} of {}",
@@ -383,6 +432,7 @@ pub fn run_one(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
         corrupted,
         admitted: oplog.len(),
         rejected,
+        acked,
         recovered,
         snapshots,
         tables: workload.tables,
@@ -441,6 +491,7 @@ mod tests {
         let report = run_one(&config).expect("clean run passes");
         assert!(!report.killed && !report.corrupted);
         assert_eq!(report.recovered, report.admitted);
+        assert_eq!(report.acked, report.admitted);
         assert!(report.admitted > 0);
         assert!(report.minecheck.tables > 0);
     }

@@ -18,18 +18,40 @@
 //! per-statement latency is bounded below by one fsync, but fsyncs
 //! per second no longer bound statements per second.
 //!
+//! ## The cross-shard watermark
+//!
+//! Recovery replays the longest *contiguous* epoch run (see
+//! [`wal::merge_by_epoch`]): a gap censors every later epoch on every
+//! shard. Per-shard durability alone would therefore break the ack
+//! contract — shard B could fsync and ack epoch `N+1` while epoch `N`
+//! sat unwritten in shard A's queue, and a crash in that window would
+//! censor the acked frame. So an ack additionally waits for the
+//! **global durable-epoch watermark**: [`wait`](GroupWal::wait)
+//! returns `Ok` only once *every* epoch at or below the ticket's own
+//! is durable, on whichever shard it lives. Each shard publishes the
+//! epoch of its oldest queued-or-in-flight frame
+//! (`Shard::oldest_pending`); the watermark holds for epoch `e` when
+//! no shard's oldest pending frame is `<= e`. A waiter blocked on a
+//! lagging shard *helps*: it runs the committer election on every
+//! shard still holding an earlier epoch, so progress never depends on
+//! the lagging frame's own writer being scheduled.
+//!
 //! ## Failure contract
 //!
 //! A statement is acknowledged only after its frame is durable
 //! (`--fsync=batch`: covered by the batch fsync; `--fsync=always`:
-//! its own fsync). If the batch write or fsync fails, the committer
-//! rolls the file back to the batch's start, latches the shard
-//! *failed* at the first non-durable sequence, and every waiter at or
-//! past it — plus every later enqueue attempt — gets an error instead
-//! of an ack. The in-memory table state of the failed statements is
-//! not rolled back (their locks are long gone); a store whose shard
-//! has failed is degraded and should be restarted, which replays
-//! exactly the durable prefix.
+//! its own fsync) *and* the watermark covers its epoch. If the batch
+//! write or fsync fails, the committer rolls the file back to the
+//! batch's start, latches the shard *failed* at the first non-durable
+//! sequence, and records the batch's first epoch as the store-wide
+//! *failed floor*: the lost epochs make a permanent gap, recovery
+//! will censor everything past it, so every waiter whose epoch is at
+//! or past the floor — on any shard, durable or not — plus every
+//! later enqueue attempt gets an error instead of an ack. The
+//! in-memory table state of the failed statements is not rolled back
+//! (their locks are long gone); a store that lost a batch is degraded
+//! and should be restarted, which replays exactly the durable,
+//! ack-consistent prefix.
 
 use crate::metrics::{self, Stage};
 use crate::wal::{self, Wal};
@@ -37,7 +59,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
 use std::io;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, TryLockError};
 use std::time::Duration;
 
@@ -79,12 +101,14 @@ impl std::fmt::Display for FsyncMode {
     }
 }
 
-/// A claim on durability: the shard and commit sequence assigned to
-/// one enqueued frame. Redeemed by [`GroupWal::wait`].
+/// A claim on durability: the shard, per-shard commit sequence, and
+/// global epoch assigned to one enqueued frame. Redeemed by
+/// [`GroupWal::wait`].
 #[derive(Debug, Clone, Copy)]
 pub struct Ticket {
     shard: usize,
     seq: u64,
+    epoch: u64,
 }
 
 /// Frames admitted but not yet written, plus the sequence counter that
@@ -93,6 +117,10 @@ pub struct Ticket {
 struct ShardQueue {
     pending: Vec<(u64, String)>,
     next_seq: u64,
+    /// First epoch of the batch a committer has drained but not yet
+    /// made durable (`None` outside a commit). Keeps
+    /// `Shard::oldest_pending` honest while frames are in flight.
+    in_flight_front: Option<u64>,
 }
 
 /// One log shard: its queue, its file, and its durability horizon.
@@ -109,6 +137,12 @@ struct Shard {
     /// healthy). Latched once, never reset: a shard that lost a batch
     /// refuses all further work.
     failed: AtomicU64,
+    /// Epoch of this shard's oldest queued-or-in-flight frame
+    /// (`u64::MAX` when the shard is fully durable) — the shard's
+    /// contribution to the cross-shard ack watermark. Written only
+    /// under the queue mutex; read lock-free by
+    /// [`GroupWal::durable_through`].
+    oldest_pending: AtomicU64,
     /// Parking lot for election losers.
     gate: Mutex<()>,
     cv: Condvar,
@@ -120,15 +154,23 @@ impl Shard {
             queue: Mutex::new(ShardQueue {
                 pending: Vec::new(),
                 next_seq: 1,
+                in_flight_front: None,
             }),
             file: Mutex::new(file),
             durable: AtomicU64::new(0),
             failed: AtomicU64::new(u64::MAX),
+            oldest_pending: AtomicU64::new(u64::MAX),
             gate: Mutex::new(()),
             cv: Condvar::new(),
         }
     }
 }
+
+/// `fsync_fault` value meaning "no fault armed".
+const FAULT_NONE: u64 = u64::MAX;
+
+/// `fsync_fault` value meaning "fail the next batch on any shard".
+const FAULT_ANY: u64 = u64::MAX - 1;
 
 /// The store's durability plane: every shard plus the global epoch
 /// counter whose values stitch the shards back into one history.
@@ -143,13 +185,19 @@ pub struct GroupWal {
     /// more writers join its batch (0 = drain immediately).
     window: Duration,
     mode: FsyncMode,
+    /// Lowest epoch ever lost to a failed batch (`u64::MAX` =
+    /// healthy). Latched, never reset: recovery censors every epoch
+    /// past the loss, so no statement at or past it may ever ack.
+    failed_floor: AtomicU64,
     /// Test hook: when enabled, every committed frame's
     /// `(epoch, payload)` is recorded here at commit time — the oplog
     /// is exactly the durable history, which is what the harness
     /// diffs recovery against.
     oplog: Mutex<Option<Vec<(u64, String)>>>,
-    /// Test hook: fail the next batch between `write` and `fsync`.
-    fsync_fault: AtomicBool,
+    /// Test hook: shard whose next batch fails between `write` and
+    /// `fsync` ([`FAULT_ANY`] = whichever commits first,
+    /// [`FAULT_NONE`] = disarmed).
+    fsync_fault: AtomicU64,
 }
 
 impl GroupWal {
@@ -162,8 +210,9 @@ impl GroupWal {
             epoch: AtomicU64::new(1),
             window,
             mode,
+            failed_floor: AtomicU64::new(u64::MAX),
             oplog: Mutex::new(None),
-            fsync_fault: AtomicBool::new(false),
+            fsync_fault: AtomicU64::new(FAULT_NONE),
         }
     }
 
@@ -213,8 +262,9 @@ impl GroupWal {
             epoch: AtomicU64::new(last.max(epoch_base.saturating_sub(1)) + 1),
             window,
             mode,
+            failed_floor: AtomicU64::new(u64::MAX),
             oplog: Mutex::new(None),
-            fsync_fault: AtomicBool::new(false),
+            fsync_fault: AtomicU64::new(FAULT_NONE),
         };
         Ok((wal, run))
     }
@@ -225,7 +275,7 @@ impl GroupWal {
     }
 
     /// The shard `table`'s frames commit on.
-    fn shard_for(&self, table: &str) -> usize {
+    pub(crate) fn shard_for(&self, table: &str) -> usize {
         let mut h = DefaultHasher::new();
         table.hash(&mut h);
         (h.finish() % self.shards.len() as u64) as usize
@@ -241,50 +291,107 @@ impl GroupWal {
     /// Assigns `payload` its epoch and its place in its shard's commit
     /// queue. Must be called while still holding the statement's table
     /// (or registry) write lock, so epoch order agrees with
-    /// application order. Fails — without enqueuing — if the shard has
-    /// already lost a batch; the caller still holds its lock and can
-    /// roll the statement back.
+    /// application order. Fails — without enqueuing — if any shard has
+    /// already lost a batch (the new frame's epoch would sit past the
+    /// failed floor and could never ack); the caller still holds its
+    /// lock and can roll the statement back.
     pub fn enqueue(&self, table: &str, payload: String) -> io::Result<Ticket> {
         let idx = self.shard_for(table);
         let shard = &self.shards[idx];
-        if shard.failed.load(Ordering::Acquire) != u64::MAX {
+        if shard.failed.load(Ordering::Acquire) != u64::MAX
+            || self.failed_floor.load(Ordering::Acquire) != u64::MAX
+        {
             return Err(io::Error::other("WAL shard failed; statement refused"));
         }
         let mut q = {
             let _wait = sqlnf_obs::span!("serve.lock_wait.wal");
             metrics::timed(Stage::LockWal, || shard.queue.lock().unwrap())
         };
+        if q.in_flight_front.is_none() && q.pending.is_empty() {
+            // Publish a floor *before* drawing the epoch: the drawn
+            // value will be >= the counter read here, and every
+            // already-assigned epoch is below it, so a concurrent
+            // watermark scan can never observe this shard idle while
+            // the new frame's epoch is assigned but not yet visible.
+            shard
+                .oldest_pending
+                .store(self.epoch.load(Ordering::SeqCst), Ordering::SeqCst);
+        }
         let epoch = self.epoch.fetch_add(1, Ordering::SeqCst);
         let seq = q.next_seq;
         q.next_seq += 1;
         q.pending.push((epoch, payload));
-        Ok(Ticket { shard: idx, seq })
+        if q.in_flight_front.is_none() && q.pending.len() == 1 {
+            shard.oldest_pending.store(epoch, Ordering::SeqCst);
+        }
+        Ok(Ticket {
+            shard: idx,
+            seq,
+            epoch,
+        })
     }
 
-    /// Parks until the ticket's frame is durable (ack) or its shard
-    /// fails (error). The caller must hold no locks: the waiter may be
-    /// elected committer and perform the batch I/O itself.
+    /// Whether every epoch up to and including `epoch` is durable: no
+    /// shard still holds — queued or in flight — a frame at or below
+    /// it. This is the ack watermark: recovery replays the contiguous
+    /// epoch prefix, so an ack must cover its whole epoch prefix, not
+    /// just its own shard's fsync.
+    fn durable_through(&self, epoch: u64) -> bool {
+        self.shards
+            .iter()
+            .all(|s| s.oldest_pending.load(Ordering::SeqCst) > epoch)
+    }
+
+    /// Parks until the ticket's frame — and every earlier epoch on
+    /// every shard — is durable (ack), or until the frame can never
+    /// legally ack (error): its own shard failed, or an earlier batch
+    /// was lost anywhere, leaving a gap recovery would censor this
+    /// frame behind. The caller must hold no locks: the waiter may be
+    /// elected committer — of its own shard or of any lagging one —
+    /// and perform the batch I/O itself.
     pub fn wait(&self, t: Ticket) -> io::Result<()> {
         let shard = &self.shards[t.shard];
         loop {
-            if shard.durable.load(Ordering::Acquire) >= t.seq {
-                return Ok(());
-            }
             if shard.failed.load(Ordering::Acquire) <= t.seq {
                 return Err(io::Error::other(
                     "group commit failed; statement not durable",
                 ));
             }
-            if let Some(mut file) = try_lock(&shard.file) {
-                self.commit_locked(t.shard, &mut file, true);
+            if self.failed_floor.load(Ordering::Acquire) <= t.epoch {
+                return Err(io::Error::other(
+                    "an earlier commit batch was lost; statement not durable",
+                ));
+            }
+            if shard.durable.load(Ordering::Acquire) >= t.seq && self.durable_through(t.epoch) {
+                return Ok(());
+            }
+            // Election, with help: run the committer protocol on every
+            // shard still holding a frame at or before our epoch (our
+            // own included), so the watermark advances even if the
+            // lagging frames' writers are not scheduled. Only the own
+            // shard lingers — help-commits flush old frames, they
+            // should not grow batches.
+            let mut helped = false;
+            for (i, s) in self.shards.iter().enumerate() {
+                if s.oldest_pending.load(Ordering::SeqCst) > t.epoch {
+                    continue;
+                }
+                if let Some(mut file) = try_lock(&s.file) {
+                    self.commit_locked(i, &mut file, i == t.shard);
+                    helped = true;
+                }
+            }
+            if helped {
                 continue;
             }
-            // Election lost: park until the committer wakes us (or the
-            // timeout re-runs the election, so a stalled committer can
-            // never strand the queue).
+            // Every election lost: park until a committer wakes us (or
+            // the timeout re-runs the election, so a stalled committer
+            // — or progress on another shard's condvar — can never
+            // strand us).
             let gate = shard.gate.lock().unwrap();
-            if shard.durable.load(Ordering::Acquire) >= t.seq
+            if (shard.durable.load(Ordering::Acquire) >= t.seq && self.durable_through(t.epoch))
                 || shard.failed.load(Ordering::Acquire) <= t.seq
+                || self.failed_floor.load(Ordering::Acquire) <= t.epoch
             {
                 continue;
             }
@@ -302,7 +409,15 @@ impl GroupWal {
         if shard.failed.load(Ordering::Acquire) != u64::MAX {
             // The shard already lost a batch: drain so waiters see
             // `failed` instead of queue growth, but perform no I/O.
-            let dropped = std::mem::take(&mut shard.queue.lock().unwrap().pending);
+            // The dropped frames all sit at or past the failed floor
+            // (per-shard epochs are monotone), so retiring them from
+            // the watermark cannot release an ack that should block.
+            let dropped = {
+                let mut q = shard.queue.lock().unwrap();
+                q.in_flight_front = None;
+                shard.oldest_pending.store(u64::MAX, Ordering::SeqCst);
+                std::mem::take(&mut q.pending)
+            };
             if !dropped.is_empty() {
                 wake(shard);
             }
@@ -313,14 +428,24 @@ impl GroupWal {
             // enqueue (the queue mutex is free) and join this batch.
             std::thread::sleep(self.window);
         }
-        let batch = std::mem::take(&mut shard.queue.lock().unwrap().pending);
+        let batch = {
+            let mut q = shard.queue.lock().unwrap();
+            let batch = std::mem::take(&mut q.pending);
+            if let Some(&(front, _)) = batch.first() {
+                // The frames leave the queue but are not durable yet:
+                // keep them visible to the watermark until the fsync
+                // lands.
+                q.in_flight_front = Some(front);
+            }
+            batch
+        };
         if batch.is_empty() {
             return;
         }
         let n = batch.len() as u64;
         let rollback = file.as_ref().map(|w| (w.bytes(), w.records()));
         let res = match file.as_mut() {
-            Some(wal) => self.write_batch(wal, &batch),
+            Some(wal) => self.write_batch(idx, wal, &batch),
             None => Ok(()),
         };
         match res {
@@ -329,33 +454,50 @@ impl GroupWal {
                     log.extend(batch.iter().cloned());
                 }
                 shard.durable.fetch_add(n, Ordering::Release);
+                {
+                    // Retire the batch from the watermark only after
+                    // the durable sequence advanced, under the queue
+                    // lock so the published epoch can only grow.
+                    let mut q = shard.queue.lock().unwrap();
+                    q.in_flight_front = None;
+                    let next = q.pending.first().map_or(u64::MAX, |&(e, _)| e);
+                    shard.oldest_pending.store(next, Ordering::SeqCst);
+                }
                 sqlnf_obs::count!("serve.commit.batches");
                 sqlnf_obs::count!("serve.commit.frames", n);
                 sqlnf_obs::record!("serve.commit.batch_size", n);
             }
             Err(_) => {
                 // Never acked: erase the batch so recovery cannot
-                // replay frames their writers saw fail, and latch the
-                // shard failed from the first non-durable sequence on.
+                // replay frames their writers saw fail, latch the
+                // shard failed from the first non-durable sequence on,
+                // and sink the store-wide floor to the batch's first
+                // epoch — the lost epochs are a permanent gap, so
+                // nothing at or past them may ever ack, on any shard.
                 if let (Some(wal), Some((bytes, records))) = (file.as_mut(), rollback) {
                     let _ = wal.truncate_to(bytes, records);
                 }
                 let first_bad = shard.durable.load(Ordering::Acquire) + 1;
                 shard.failed.store(first_bad, Ordering::Release);
+                self.failed_floor.fetch_min(batch[0].0, Ordering::AcqRel);
+                let mut q = shard.queue.lock().unwrap();
+                q.in_flight_front = None;
+                shard.oldest_pending.store(u64::MAX, Ordering::SeqCst);
+                drop(q);
             }
         }
         wake(shard);
     }
 
     /// Writes one drained batch under the configured fsync discipline.
-    fn write_batch(&self, wal: &mut Wal, batch: &[(u64, String)]) -> io::Result<()> {
+    fn write_batch(&self, idx: usize, wal: &mut Wal, batch: &[(u64, String)]) -> io::Result<()> {
         match self.mode {
             FsyncMode::Batch => {
                 {
                     let _span = sqlnf_obs::span!("serve.wal.append");
                     metrics::timed(Stage::WalAppend, || wal.append_batch(batch))?;
                 }
-                if self.fsync_fault.swap(false, Ordering::SeqCst) {
+                if self.take_fault(idx) {
                     return Err(io::Error::other("injected fsync fault"));
                 }
                 metrics::timed(Stage::WalFsync, || wal.sync())
@@ -368,13 +510,26 @@ impl GroupWal {
                             wal.append_batch(std::slice::from_ref(frame))
                         })?;
                     }
-                    if self.fsync_fault.swap(false, Ordering::SeqCst) {
+                    if self.take_fault(idx) {
                         return Err(io::Error::other("injected fsync fault"));
                     }
                     metrics::timed(Stage::WalFsync, || wal.sync())?;
                 }
                 Ok(())
             }
+        }
+    }
+
+    /// Consumes an armed fsync fault if it targets shard `idx` (or any
+    /// shard). Compare-exchange so concurrent committers fire it once.
+    fn take_fault(&self, idx: usize) -> bool {
+        let armed = self.fsync_fault.load(Ordering::SeqCst);
+        if armed == FAULT_ANY || armed == idx as u64 {
+            self.fsync_fault
+                .compare_exchange(armed, FAULT_NONE, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+        } else {
+            false
         }
     }
 
@@ -431,11 +586,20 @@ impl GroupWal {
         entries.into_iter().map(|(_, payload)| payload).collect()
     }
 
-    /// Test hook: make the next commit batch fail between its `write`
-    /// and its `fsync` — the crash window group commit must never ack
-    /// across.
+    /// Test hook: make the next commit batch — on whichever shard
+    /// commits first — fail between its `write` and its `fsync`, the
+    /// crash window group commit must never ack across.
     pub fn inject_fsync_fault_once(&self) {
-        self.fsync_fault.store(true, Ordering::SeqCst);
+        self.fsync_fault.store(FAULT_ANY, Ordering::SeqCst);
+    }
+
+    /// Test hook: like [`inject_fsync_fault_once`], but only shard
+    /// `shard`'s next batch fails — other shards commit normally, so
+    /// tests can build deterministic partial-failure interleavings.
+    ///
+    /// [`inject_fsync_fault_once`]: GroupWal::inject_fsync_fault_once
+    pub fn inject_fsync_fault_on(&self, shard: usize) {
+        self.fsync_fault.store(shard as u64, Ordering::SeqCst);
     }
 }
 
@@ -556,5 +720,86 @@ mod tests {
         gw.wait(t).unwrap();
         assert_eq!(gw.oplog(), vec!["S".to_owned()]);
         assert_eq!(gw.size(), (0, 0));
+    }
+
+    /// Two table names that land on different shards of `gw` —
+    /// (a shard-0 table, a shard-1 table) for a two-shard plane.
+    fn two_tables_on_distinct_shards(gw: &GroupWal) -> (String, String) {
+        let mut found: [Option<String>; 2] = [None, None];
+        for i in 0.. {
+            let name = format!("t{i}");
+            let shard = gw.shard_for(&name);
+            if found[shard].is_none() {
+                found[shard] = Some(name);
+                if found.iter().all(|f| f.is_some()) {
+                    break;
+                }
+            }
+        }
+        (found[0].take().unwrap(), found[1].take().unwrap())
+    }
+
+    /// The cross-shard watermark: acking epoch 2 on shard B must first
+    /// make epoch 1 on shard A durable, even though A's writer never
+    /// calls `wait` — otherwise a crash in the window would censor the
+    /// acked frame behind the epoch gap.
+    #[test]
+    fn ack_waits_for_earlier_epochs_on_other_shards() {
+        let dir = tmp_dir("watermark");
+        let (gw, _) = GroupWal::recover(&dir, 0, 1, 2, Duration::ZERO, FsyncMode::Batch).unwrap();
+        let (on_a, on_b) = two_tables_on_distinct_shards(&gw);
+        let _t1 = gw.enqueue(&on_a, "S1".into()).unwrap(); // epoch 1, shard 0
+        let t2 = gw.enqueue(&on_b, "S2".into()).unwrap(); // epoch 2, shard 1
+
+        // Only the later epoch's waiter runs; it must help-commit
+        // shard 0 before it may ack.
+        gw.wait(t2).unwrap();
+        let a_frames = wal::replay(&wal::wal_path(&dir, 0, 0)).unwrap();
+        assert_eq!(
+            a_frames,
+            vec![(1, "S1".to_owned())],
+            "epoch 1 must be durable on shard 0 before epoch 2 acks"
+        );
+        // And recovery replays both, in epoch order — no gap.
+        drop(gw);
+        let (_, replayed) =
+            GroupWal::recover(&dir, 0, 1, 2, Duration::ZERO, FsyncMode::Batch).unwrap();
+        assert_eq!(replayed, vec!["S1".to_owned(), "S2".to_owned()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A lost batch poisons every later epoch store-wide: waiters past
+    /// the failed floor error on *every* shard (their frames sit past
+    /// a permanent gap recovery will censor), later enqueues are
+    /// refused, and recovery replays exactly the pre-loss prefix.
+    #[test]
+    fn lost_batch_fails_later_epochs_on_every_shard() {
+        let dir = tmp_dir("floor");
+        let (gw, _) = GroupWal::recover(&dir, 0, 1, 2, Duration::ZERO, FsyncMode::Batch).unwrap();
+        gw.enable_oplog();
+        let (on_a, on_b) = two_tables_on_distinct_shards(&gw);
+        let t_early = gw.enqueue(&on_a, "EARLY".into()).unwrap(); // epoch 1
+        gw.wait(t_early).unwrap();
+        let t_lost = gw.enqueue(&on_a, "LOST".into()).unwrap(); // epoch 2, shard 0
+        let t_after = gw.enqueue(&on_b, "AFTER".into()).unwrap(); // epoch 3, shard 1
+        gw.inject_fsync_fault_on(0);
+        assert!(
+            gw.wait(t_lost).is_err(),
+            "the lost frame's own waiter must not ack"
+        );
+        // The healthy shard's frame may even be durable on disk, but
+        // it sits past the gap: recovery censors it, so it must fail.
+        let err = gw.wait(t_after).unwrap_err();
+        assert!(err.to_string().contains("not durable"), "{err}");
+        // The store refuses new work on every shard.
+        assert!(gw.enqueue(&on_a, "MORE".into()).is_err());
+        assert!(gw.enqueue(&on_b, "MORE".into()).is_err());
+        // The oplog records only what recovery can reproduce.
+        assert_eq!(gw.oplog(), vec!["EARLY".to_owned()]);
+        drop(gw);
+        let (_, replayed) =
+            GroupWal::recover(&dir, 0, 1, 2, Duration::ZERO, FsyncMode::Batch).unwrap();
+        assert_eq!(replayed, vec!["EARLY".to_owned()]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -250,7 +250,7 @@ fn handle_session(
     let mut reader = BufReader::new(stream);
     let mut acc = Accumulator::new();
     let mut line = String::new();
-    let mut staged: Vec<(Reply, bool)> = Vec::new();
+    let mut staged: Vec<(Reply, usize)> = Vec::new();
     let mut pending = Pending::default();
     loop {
         match reader.read_line(&mut line) {
@@ -282,8 +282,8 @@ fn handle_session(
                         return Ok(());
                     }
                     Request::Sql(src) => {
-                        let (reply, needs_commit) = dispatch_sql_enqueue(store, &src, &mut pending);
-                        staged.push((reply, needs_commit));
+                        let (reply, tickets) = dispatch_sql_enqueue(store, &src, &mut pending);
+                        staged.push((reply, tickets));
                         // Settle as soon as the pipe runs dry:
                         // everything the client already sent shares
                         // this one commit.
@@ -329,27 +329,38 @@ fn handle_session(
 }
 
 /// Commits every pending ticket and flushes the staged replies in
-/// request order. On commit failure, replies that were waiting on
-/// durability flip to errors — an undurable statement is never acked.
+/// request order. Commit outcomes are per ticket: exactly the replies
+/// whose own statements failed to become durable flip to errors — an
+/// undurable statement is never acked, and a statement durable on a
+/// healthy shard is never un-acked by a neighbour's failure. (A reply
+/// already reporting a statement-level refusal keeps its original
+/// error even if one of its earlier, applied statements also failed
+/// to commit.) A snapshot failure after the commit is a session-level
+/// error, not a statement rejection.
 fn settle(
     store: &Store,
     writer: &mut TcpStream,
-    staged: &mut Vec<(Reply, bool)>,
+    staged: &mut Vec<(Reply, usize)>,
     pending: &mut Pending,
 ) -> io::Result<()> {
-    let commit = store.commit_pending(pending);
+    let (outcomes, aftermath) = store.commit_pending_each(pending);
     if staged.is_empty() {
-        return Ok(());
+        return aftermath.map_err(|e| io::Error::other(e.to_string()));
     }
     let mut out = String::new();
-    for (reply, needs_commit) in staged.drain(..) {
-        match (&commit, needs_commit) {
-            (Err(e), true) => out.push_str(&Reply::err(e.to_string()).to_string()),
+    let mut taken = 0usize;
+    for (reply, tickets) in staged.drain(..) {
+        let end = (taken + tickets).min(outcomes.len());
+        let mine = &outcomes[taken.min(end)..end];
+        taken = end;
+        match mine.iter().find_map(|r| r.as_ref().err()) {
+            Some(e) if reply.ok => out.push_str(&Reply::err(e.to_string()).to_string()),
             _ => out.push_str(&reply.to_string()),
         }
     }
     writer.write_all(out.as_bytes())?;
-    writer.flush()
+    writer.flush()?;
+    aftermath.map_err(|e| io::Error::other(e.to_string()))
 }
 
 fn write_reply(writer: &mut TcpStream, reply: &Reply) -> io::Result<()> {
@@ -361,13 +372,16 @@ fn write_reply(writer: &mut TcpStream, reply: &Reply) -> io::Result<()> {
 /// commit wait to [`settle`] so pipelined requests share a batch. The
 /// per-request span and slow-log entry cover parse/apply/enqueue; the
 /// shared commit wait is accounted separately under
-/// `serve.commit.wait`. Returns the staged reply and whether it must
-/// be withheld until the pending tickets commit.
-fn dispatch_sql_enqueue(store: &Store, src: &str, pending: &mut Pending) -> (Reply, bool) {
+/// `serve.commit.wait`. Returns the staged reply and how many commit
+/// tickets this request pushed into `pending` — the reply must be
+/// withheld until exactly those tickets settle. (A refused script
+/// still owns the tickets of its earlier, applied statements.)
+fn dispatch_sql_enqueue(store: &Store, src: &str, pending: &mut Pending) -> (Reply, usize) {
     let _span = sqlnf_obs::span!("serve.dispatch");
     let seq = store.stats.requests.fetch_add(1, Ordering::Relaxed) + 1;
     metrics::stage_begin();
     let start = std::time::Instant::now();
+    let before = pending.len();
     let result = {
         #[allow(clippy::let_unit_value)]
         let _verb_span = sqlnf_obs::span!("serve.verb.sql");
@@ -380,15 +394,16 @@ fn dispatch_sql_enqueue(store: &Store, src: &str, pending: &mut Pending) -> (Rep
         total_ns,
         stages: metrics::stage_take(),
     });
+    let tickets = pending.len() - before;
     match result {
         Ok(applied) => (
             Reply::ok(format!(
                 "applied {applied} statement{}",
                 if applied == 1 { "" } else { "s" }
             )),
-            applied > 0,
+            tickets,
         ),
-        Err(e) => (Reply::err(e.to_string()), false),
+        Err(e) => (Reply::err(e.to_string()), tickets),
     }
 }
 

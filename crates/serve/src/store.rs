@@ -180,6 +180,12 @@ impl Pending {
     pub fn is_empty(&self) -> bool {
         self.tickets.is_empty()
     }
+
+    /// Tickets accumulated so far (callers use the delta around an
+    /// enqueue to attribute tickets to requests).
+    pub fn len(&self) -> usize {
+        self.tickets.len()
+    }
 }
 
 /// The shared store: the table registry plus the durability layer.
@@ -409,39 +415,60 @@ impl Store {
         Ok(applied)
     }
 
-    /// Parks until every pending statement is durable, then counts and
-    /// announces the admissions. A statement is *admitted* — counted,
-    /// flight-recorded, snapshot-triggering — only here, after its
-    /// frame survived the batch fsync; a commit failure turns the
-    /// whole pending set into rejections (their replies become errors,
-    /// never acks). Callers must hold no locks: the wait may elect
-    /// this thread committer and perform the batch I/O itself.
-    pub fn commit_pending(&self, pending: &mut Pending) -> Result<(), ServeError> {
+    /// Parks until every pending statement is durable, then counts
+    /// and announces the per-statement outcomes. A statement is
+    /// *admitted* — counted, flight-recorded, snapshot-triggering —
+    /// only here, after its frame survived the batch fsync and the
+    /// cross-shard watermark covers its epoch; a statement whose own
+    /// wait fails is *rejected*. Every ticket is redeemed
+    /// individually: a lost batch on one shard leaves statements
+    /// already durable elsewhere admitted, so the admission counter
+    /// always agrees with the oplog. Returns one outcome per ticket,
+    /// in enqueue order, plus the aftermath of the commit (the
+    /// auto-snapshot attempt) — callers replying per request map the
+    /// outcomes back onto replies and treat the aftermath as a
+    /// session-level failure, not a statement rejection. Callers must
+    /// hold no locks: a wait may elect this thread committer and
+    /// perform the batch I/O itself.
+    pub fn commit_pending_each(
+        &self,
+        pending: &mut Pending,
+    ) -> (Vec<io::Result<()>>, Result<(), ServeError>) {
         if pending.tickets.is_empty() {
-            return Ok(());
+            return (Vec::new(), Ok(()));
         }
         let tickets = std::mem::take(&mut pending.tickets);
-        let n = tickets.len() as u64;
-        let res: io::Result<()> = {
+        let outcomes: Vec<io::Result<()>> = {
             let _span = sqlnf_obs::span!("serve.commit.wait");
-            tickets.into_iter().try_for_each(|t| self.wal.wait(t))
+            tickets.into_iter().map(|t| self.wal.wait(t)).collect()
         };
-        match res {
-            Ok(()) => {
-                self.stats.admitted.fetch_add(n, Ordering::Relaxed);
-                sqlnf_obs::count!("serve.stmt.admitted", n);
-                for _ in 0..n {
-                    sqlnf_obs::event!("serve.stmt.admitted", self.nonce);
-                }
-                self.maybe_snapshot(n)?;
-                Ok(())
-            }
-            Err(e) => {
-                self.stats.rejected.fetch_add(n, Ordering::Relaxed);
-                sqlnf_obs::count!("serve.stmt.rejected", n);
-                Err(e.into())
+        let admitted = outcomes.iter().filter(|o| o.is_ok()).count() as u64;
+        let rejected = outcomes.len() as u64 - admitted;
+        if admitted > 0 {
+            self.stats.admitted.fetch_add(admitted, Ordering::Relaxed);
+            sqlnf_obs::count!("serve.stmt.admitted", admitted);
+            for _ in 0..admitted {
+                sqlnf_obs::event!("serve.stmt.admitted", self.nonce);
             }
         }
+        if rejected > 0 {
+            self.stats.rejected.fetch_add(rejected, Ordering::Relaxed);
+            sqlnf_obs::count!("serve.stmt.rejected", rejected);
+        }
+        let aftermath = self.maybe_snapshot(admitted);
+        (outcomes, aftermath)
+    }
+
+    /// [`commit_pending_each`](Self::commit_pending_each) collapsed
+    /// for callers that treat the pending set as one unit (CLI,
+    /// tests): the first per-ticket failure, or else the aftermath
+    /// error, is the result.
+    pub fn commit_pending(&self, pending: &mut Pending) -> Result<(), ServeError> {
+        let (outcomes, aftermath) = self.commit_pending_each(pending);
+        for outcome in outcomes {
+            outcome?;
+        }
+        aftermath
     }
 
     /// Parses, executes, and makes durable a SQL script in one call
@@ -576,6 +603,14 @@ impl Store {
     /// and its `fsync`, proving undurable waiters are never acked.
     pub fn inject_fsync_fault_once(&self) {
         self.wal.inject_fsync_fault_once();
+    }
+
+    /// Test hook: like
+    /// [`inject_fsync_fault_once`](Self::inject_fsync_fault_once),
+    /// but only the named WAL shard's next batch fails — for
+    /// deterministic partial-commit-failure interleavings.
+    pub fn inject_fsync_fault_on(&self, shard: usize) {
+        self.wal.inject_fsync_fault_on(shard);
     }
 
     /// `(bytes, records)` across all WAL shards.
@@ -991,6 +1026,72 @@ mod tests {
         let reborn = Store::open(&dir, 0).unwrap();
         reborn
             .with_table("purchase", |st| assert_eq!(st.data().len(), 1))
+            .unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A partial commit failure — one shard loses its batch while
+    /// another commits — must be accounted per ticket: the statement
+    /// durable on the healthy shard is admitted (it is in the oplog,
+    /// and recovery replays it), only the lost statement is rejected,
+    /// and the admission counter agrees with the oplog throughout.
+    #[test]
+    fn partial_commit_failure_counts_per_ticket() {
+        let dir = tmp_dir("partial");
+        let opts = StoreOptions {
+            wal_shards: 2,
+            ..StoreOptions::default()
+        };
+        let store = Store::open_with(&dir, opts.clone()).unwrap();
+        store.enable_oplog();
+        // Two tables that hash to the two distinct shards.
+        let mut names: [Option<String>; 2] = [None, None];
+        for i in 0.. {
+            let name = format!("t{i}");
+            let shard = store.wal.shard_for(&name);
+            if names[shard].is_none() {
+                names[shard] = Some(name);
+                if names.iter().all(|n| n.is_some()) {
+                    break;
+                }
+            }
+        }
+        let (on_a, on_b) = (names[0].take().unwrap(), names[1].take().unwrap());
+        for t in [&on_a, &on_b] {
+            store
+                .execute_sql(&format!(
+                    "CREATE TABLE {t} (x INT NOT NULL, CONSTRAINT k CERTAIN KEY (x));"
+                ))
+                .unwrap();
+        }
+        // One pipelined pending set spanning both shards; shard 1
+        // (the *later* epoch's shard) loses its batch, so the earlier
+        // statement commits before the loss poisons the floor.
+        let mut pending = Pending::default();
+        store
+            .execute_sql_enqueue(&format!("INSERT INTO {on_a} VALUES (1);"), &mut pending)
+            .unwrap();
+        store
+            .execute_sql_enqueue(&format!("INSERT INTO {on_b} VALUES (1);"), &mut pending)
+            .unwrap();
+        assert_eq!(pending.len(), 2);
+        store.inject_fsync_fault_on(1);
+        let (outcomes, aftermath) = store.commit_pending_each(&mut pending);
+        aftermath.unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert!(outcomes[0].is_ok(), "healthy shard's statement is admitted");
+        assert!(outcomes[1].is_err(), "only the lost statement is rejected");
+        // 2 DDL + the healthy insert; the counter matches the oplog.
+        assert_eq!(store.stats.admitted.load(Ordering::Relaxed), 3);
+        assert_eq!(store.stats.rejected.load(Ordering::Relaxed), 1);
+        assert_eq!(store.oplog().len(), 3);
+        drop(store);
+        let reborn = Store::open_with(&dir, opts).unwrap();
+        reborn
+            .with_table(&on_a, |st| assert_eq!(st.data().len(), 1))
+            .unwrap();
+        reborn
+            .with_table(&on_b, |st| assert_eq!(st.data().len(), 0))
             .unwrap();
         let _ = std::fs::remove_dir_all(&dir);
     }

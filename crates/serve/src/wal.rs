@@ -27,9 +27,11 @@
 //! epoch base (recorded in the snapshot header). A gap — epoch `e`
 //! missing because its shard's tail was torn while a later epoch on
 //! another shard survived — ends the replay at `e-1`; the frames past
-//! the gap were never acknowledged as a prefix and are discarded by
-//! physically truncating every shard back to the durable prefix, so
-//! the resumed epoch counter can never collide with a leftover frame.
+//! the gap were never acknowledged (an ack waits for the cross-shard
+//! watermark: every epoch at or below the acked one durable, see
+//! [`crate::commit`]) and are discarded by physically truncating
+//! every shard back to the durable prefix, so the resumed epoch
+//! counter can never collide with a leftover frame.
 //!
 //! ## Generations
 //!
@@ -354,8 +356,10 @@ pub fn replay(path: &Path) -> io::Result<Vec<(u64, String)>> {
 /// starting at `epoch_base`. Returns the merged run and the last good
 /// epoch (`epoch_base - 1` if the run is empty). A duplicate epoch —
 /// impossible under the commit protocol, but conceivable after manual
-/// log surgery — also ends the run, on the grounds that history past
-/// it is ambiguous.
+/// log surgery — is skipped as stale: the first frame bearing an
+/// epoch wins, later ones are ignored and the run continues. Frames
+/// below `epoch_base` (already captured by the snapshot) are skipped
+/// the same way.
 pub fn merge_by_epoch(shards: Vec<Vec<(u64, String)>>, epoch_base: u64) -> (Vec<String>, u64) {
     let mut all: Vec<(u64, String)> = shards.into_iter().flatten().collect();
     all.sort_by_key(|a| a.0);
@@ -368,7 +372,7 @@ pub fn merge_by_epoch(shards: Vec<Vec<(u64, String)>>, epoch_base: u64) -> (Vec<
         } else if epoch > last {
             break; // gap: a torn shard tail swallowed `last+1`
         }
-        // epoch <= last: stale duplicate below the base; skip.
+        // epoch <= last: duplicate, or below the base; skip as stale.
     }
     (out, last)
 }
