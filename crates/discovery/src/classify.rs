@@ -170,15 +170,28 @@ pub fn classify_table_budgeted(
 /// header, category counts, then the certain keys, λ-FDs (with
 /// projection sizes) and nn-FDs.
 pub fn mine_report(name: &str, table: &Table, max_lhs: usize, cache_budget: usize) -> String {
-    use std::fmt::Write as _;
-    let schema = table.schema();
     let cls = classify_table_budgeted(table, max_lhs, cache_budget);
     let keys = crate::keys::mine_keys_budgeted(table, max_lhs, cache_budget);
+    render_report(name, table.len(), table.schema(), max_lhs, &cls, &keys)
+}
+
+/// Renders the `MINE` report from already-computed parts. Shared by
+/// [`mine_report`] (from-scratch) and the incremental engine
+/// ([`crate::incremental`]), so "byte-identical output" between the two
+/// paths reduces to equality of the classification and key sets.
+pub fn render_report(
+    name: &str,
+    rows: usize,
+    schema: &sqlnf_model::schema::TableSchema,
+    max_lhs: usize,
+    cls: &Classification,
+    keys: &crate::keys::MinedKeys,
+) -> String {
+    use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{name}: {} rows × {} columns (LHS cap {max_lhs})",
-        table.len(),
+        "{name}: {rows} rows × {} columns (LHS cap {max_lhs})",
         schema.arity()
     );
     let _ = writeln!(
@@ -215,7 +228,7 @@ pub fn mine_report(name: &str, table: &Table, max_lhs: usize, cache_budget: usiz
     out
 }
 
-fn projection_ratio(table: &Table, attrs: AttrSet) -> f64 {
+pub(crate) fn projection_ratio(table: &Table, attrs: AttrSet) -> f64 {
     if table.is_empty() {
         return 1.0;
     }

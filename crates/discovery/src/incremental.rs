@@ -1,0 +1,1717 @@
+//! Incremental FD/key discovery over a live, mutating instance.
+//!
+//! The from-scratch miner ([`crate::mine`]) re-walks the whole candidate
+//! lattice per call. Under the serve tier's write traffic that is pure
+//! waste: one admitted row can only *break* FDs/keys that held (it adds
+//! pairs) and one deletion can only *repair* refuted ones (it removes
+//! pairs) — the verdicts of untouched candidates are still good. This
+//! module maintains exactly that: a verdict cache over the explored
+//! candidate frontier, invalidated by a small delta algebra, so a
+//! `MINE` after `k` admissions costs `O(k · touched candidates)` row
+//! work instead of a full lattice re-run.
+//!
+//! ## Delta algebra
+//!
+//! Per delta we record three monotone marks: the epoch of the last
+//! insert, of the last delete, and per column the epoch of the last
+//! update that changed it. Verdicts are then validated per candidate:
+//!
+//! * **Holding** `X → A` (epoch `e`): still holds iff no insert since
+//!   `e` and no update touched a column of `X ∪ {A}` since `e`.
+//!   Deletions never break a holding FD/key — removing rows removes
+//!   violating pairs only.
+//! * **Refuted** `X → A` with witness pair `(r, s)`: still refuted iff
+//!   the two rows are live and *still violate by value* — a single
+//!   violating pair refutes regardless of every other row, so the
+//!   witness re-check is `O(|X|)` value comparisons, no scan. (This is
+//!   also why slot reuse would be sound: the check is semantic, not
+//!   identity-based.) Inserts can never un-refute.
+//!
+//! Everything else (classification into nn/p/c/t/λ, key mining,
+//! projection ratios) replays the *exact* enumeration of the
+//! from-scratch path — same [`k_subsets`] order, same minimality
+//! bookkeeping, same checks on the cache misses — so the output is
+//! byte-identical to [`mine_report`] by construction, not by accident.
+//! The `incremental_matches_scratch` differential property pins this
+//! across all three semantics, random DML, and thread counts.
+//!
+//! ## Reconcile policy
+//!
+//! [`IncrementalMiner::with_reconcile_every`] arms a threshold: once
+//! that many deltas accumulate, the next report *also* runs the full
+//! from-scratch pipeline and asserts equivalence (panicking on any
+//! divergence), then resets the counter. `discovery.incr.reconciles`
+//! counts these audits.
+
+use crate::cache::PartitionCtx;
+use crate::check::{fd_targets_holding_cached, is_pkey, null_semantics, ProbeCache, Semantics};
+use crate::classify::{projection_ratio, render_report, Classification, LambdaFd};
+use crate::keys::MinedKeys;
+use crate::mine::{k_subsets, MinedFd};
+use crate::partition::{Encoded, EncodedAppender, NullSemantics, Partition};
+use sqlnf_model::attrs::{Attr, AttrSet};
+use sqlnf_model::schema::TableSchema;
+use sqlnf_model::table::Table;
+use sqlnf_model::tuple::Tuple;
+use sqlnf_model::value::Value;
+use std::collections::HashMap;
+
+/// Stable identifier of a row slot; never invalidated by other rows'
+/// deletions (the slot array is tombstoned, not compacted).
+pub type RowId = usize;
+
+/// One row-level mutation of the maintained instance.
+#[derive(Debug, Clone)]
+pub enum Delta {
+    /// Append a new row.
+    Insert(Tuple),
+    /// Replace the row in `row` with `tuple`.
+    Update {
+        /// Slot to overwrite (must be live).
+        row: RowId,
+        /// The replacement tuple.
+        tuple: Tuple,
+    },
+    /// Remove the row in `row`.
+    Delete {
+        /// Slot to tombstone (must be live).
+        row: RowId,
+    },
+}
+
+/// A cached yes/no verdict about one candidate attribute set.
+#[derive(Debug, Clone, Copy)]
+enum Verdict {
+    /// Established at the given delta epoch.
+    Holds(u64),
+    /// Refuted by the (live) witness pair.
+    Fails(RowId, RowId),
+}
+
+/// Per-candidate FD verdicts, one entry per target attribute.
+#[derive(Debug, Default)]
+struct FdVerdict {
+    /// Targets known to hold, with the epoch that established it.
+    holding: Vec<(Attr, u64)>,
+    /// Targets known refuted, with a witness pair.
+    refuted: Vec<(Attr, RowId, RowId)>,
+}
+
+/// Per-candidate key verdicts.
+#[derive(Debug, Default)]
+struct KeyVerdict {
+    /// Possible-key status (strong-similarity uniqueness).
+    p: Option<Verdict>,
+    /// Certain-key status (weak-similarity uniqueness).
+    c: Option<Verdict>,
+}
+
+/// Snapshot of the delta marks a replay validates against.
+struct Marks<'a> {
+    insert: u64,
+    delete: u64,
+    cols: &'a [u64],
+}
+
+impl Marks<'_> {
+    /// Whether a holding verdict from epoch `at` over columns `cols`
+    /// survived every delta since: no insert, and no update touching
+    /// the columns.
+    fn holding_valid(&self, at: u64, cols: AttrSet) -> bool {
+        at >= self.insert && cols.iter().all(|c| at >= self.cols[c.index()])
+    }
+
+    /// Whether a holding verdict from epoch `at` is invalid *only*
+    /// because of inserts — no update has touched `cols` since. Such a
+    /// verdict still covers every pair of pre-delta rows (deletes only
+    /// remove pairs), so it can be re-validated against just the rows
+    /// inserted after `at` instead of rechecking the whole candidate.
+    fn only_inserts_since(&self, at: u64, cols: AttrSet) -> bool {
+        at < self.insert && cols.iter().all(|c| at >= self.cols[c.index()])
+    }
+}
+
+/// rustc-style multiplicative hasher for the hot code maps (postings
+/// and delta groups): the keys are short `u32`s / code vectors, where
+/// SipHash's DoS resistance buys nothing and costs most of each probe.
+#[derive(Default, Clone)]
+struct FxHasher(u64);
+
+impl FxHasher {
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(b as u64);
+        }
+    }
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+type FastMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>;
+
+fn sem_index(sem: Semantics) -> usize {
+    match sem {
+        Semantics::Classical => 0,
+        Semantics::Possible => 1,
+        Semantics::Certain => 2,
+    }
+}
+
+fn strongly_similar(a: &Value, b: &Value) -> bool {
+    !a.is_null() && !b.is_null() && a == b
+}
+
+fn weakly_similar(a: &Value, b: &Value) -> bool {
+    a.is_null() || b.is_null() || a == b
+}
+
+/// Incrementally-maintained discovery state for one table.
+///
+/// Feed it the same row stream the table sees ([`IncrementalMiner::
+/// apply`]); ask for mined FDs, keys or the full `MINE` report at any
+/// point. Reports are byte-identical to [`mine_report`] over the
+/// current rows.
+pub struct IncrementalMiner {
+    schema: TableSchema,
+    /// Tombstoned row slots; `None` = deleted. Stable [`RowId`]s index
+    /// into this.
+    slots: Vec<Option<Tuple>>,
+    live: usize,
+    /// Monotone delta counter; bumped once per applied delta.
+    epoch: u64,
+    last_insert: u64,
+    last_delete: u64,
+    /// Per column: epoch of the last update that changed it.
+    col_updated: Vec<u64>,
+    /// Verdict caches per semantics (Classical/Possible/Certain).
+    fd_cache: [HashMap<AttrSet, FdVerdict>; 3],
+    key_cache: HashMap<AttrSet, KeyVerdict>,
+    /// `X →_w X` (totality) verdicts, for the t-FD classification.
+    refl_cache: HashMap<AttrSet, Verdict>,
+    /// Projection-ratio memo: value + epoch it was computed at.
+    ratio_cache: HashMap<AttrSet, (f64, u64)>,
+    /// Warm dense view of the live rows (dictionary encoding + stable
+    /// slot ids), extended in `O(arity)` per insert, dropped on
+    /// update/delete and rebuilt lazily at the next mine. Without it
+    /// every mine call pays an `O(rows × arity)` clone + re-encode of
+    /// the whole instance — a wall-clock floor that would swallow the
+    /// savings of the verdict cache.
+    dense: Option<DenseView>,
+    /// `(epoch, slot)` of every insert, ascending in both — the rows a
+    /// verdict from epoch `e` has never seen are exactly the live
+    /// entries after the `partition_point` of `e`. One entry per
+    /// insert ever, matching the tombstoned `slots` growth.
+    insert_log: Vec<(u64, RowId)>,
+    deltas_since_reconcile: u64,
+    reconcile_every: Option<u64>,
+}
+
+/// See [`IncrementalMiner::dense`]. `enc` row `i` is the live row in
+/// slot `stable[i]`; the order is exactly [`IncrementalMiner::table`]'s
+/// row order, so a warm view is byte-identical to a fresh
+/// [`Encoded::new`] over that table.
+struct DenseView {
+    enc: Encoded,
+    appender: EncodedAppender,
+    stable: Vec<RowId>,
+    /// Per column: code → ascending dense rows carrying it (code 0 =
+    /// the column's ⊥ rows). The delta re-validation sweeps scan only
+    /// the sparsest matching list instead of the whole view.
+    postings: Vec<FastMap<u32, Vec<usize>>>,
+}
+
+impl DenseView {
+    fn build(enc: Encoded, appender: EncodedAppender, stable: Vec<RowId>, arity: usize) -> Self {
+        let mut postings: Vec<FastMap<u32, Vec<usize>>> = vec![FastMap::default(); arity];
+        for row in 0..enc.rows() {
+            for (ci, p) in postings.iter_mut().enumerate() {
+                p.entry(enc.code(row, Attr::from(ci)))
+                    .or_default()
+                    .push(row);
+            }
+        }
+        DenseView {
+            enc,
+            appender,
+            stable,
+            postings,
+        }
+    }
+}
+
+impl IncrementalMiner {
+    /// An empty maintained instance over `schema`.
+    pub fn new(schema: TableSchema) -> IncrementalMiner {
+        let arity = schema.arity();
+        IncrementalMiner {
+            schema,
+            slots: Vec::new(),
+            live: 0,
+            epoch: 0,
+            last_insert: 0,
+            last_delete: 0,
+            col_updated: vec![0; arity],
+            fd_cache: Default::default(),
+            key_cache: HashMap::new(),
+            refl_cache: HashMap::new(),
+            ratio_cache: HashMap::new(),
+            dense: None,
+            insert_log: Vec::new(),
+            deltas_since_reconcile: 0,
+            reconcile_every: None,
+        }
+    }
+
+    /// Seeds the maintained instance from an existing table; rows get
+    /// [`RowId`]s `0..len` in table order.
+    pub fn from_table(table: &Table) -> IncrementalMiner {
+        let mut m = IncrementalMiner::new(table.schema().clone());
+        m.slots.extend(table.rows().iter().cloned().map(Some));
+        m.live = m.slots.len();
+        m
+    }
+
+    /// Arms the reconcile threshold: after `every` deltas the next
+    /// report also runs the full pipeline and asserts equivalence.
+    pub fn with_reconcile_every(mut self, every: u64) -> IncrementalMiner {
+        self.reconcile_every = Some(every);
+        self
+    }
+
+    /// The schema of the maintained instance.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live rows remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Deltas applied since construction.
+    pub fn deltas_applied(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The live rows as a [`Table`], in stable slot order. This is what
+    /// every report mines; its row multiset always equals the table the
+    /// deltas were mirrored from (row *order* is irrelevant to every
+    /// mined artifact).
+    pub fn table(&self) -> Table {
+        Table::from_rows(self.schema.clone(), self.slots.iter().flatten().cloned())
+    }
+
+    /// Appends a row, returning its stable id.
+    pub fn insert(&mut self, tuple: Tuple) -> RowId {
+        let _apply = sqlnf_obs::span!("discovery.incr.apply");
+        self.begin_delta();
+        self.last_insert = self.epoch;
+        if let Some(dense) = self.dense.as_mut() {
+            dense.appender.push(&mut dense.enc, &tuple);
+            let row = dense.enc.rows() - 1;
+            for (ci, p) in dense.postings.iter_mut().enumerate() {
+                p.entry(dense.enc.code(row, Attr::from(ci)))
+                    .or_default()
+                    .push(row);
+            }
+            dense.stable.push(self.slots.len());
+        }
+        self.insert_log.push((self.epoch, self.slots.len()));
+        self.slots.push(Some(tuple));
+        self.live += 1;
+        self.slots.len() - 1
+    }
+
+    /// Replaces a live row; returns `false` (and applies nothing) if
+    /// the slot is dead or out of range. Only columns whose value
+    /// actually changed are marked dirty.
+    pub fn update(&mut self, row: RowId, tuple: Tuple) -> bool {
+        let _apply = sqlnf_obs::span!("discovery.incr.apply");
+        let Some(Some(old)) = self.slots.get(row) else {
+            return false;
+        };
+        let changed: AttrSet = (0..self.schema.arity())
+            .map(Attr::from)
+            .filter(|&a| old.get(a) != tuple.get(a))
+            .collect();
+        self.begin_delta();
+        let epoch = self.epoch;
+        for a in changed {
+            self.col_updated[a.index()] = epoch;
+        }
+        self.slots[row] = Some(tuple);
+        self.dense = None;
+        true
+    }
+
+    /// Tombstones a live row; returns `false` if it was not live.
+    pub fn delete(&mut self, row: RowId) -> bool {
+        let _apply = sqlnf_obs::span!("discovery.incr.apply");
+        match self.slots.get_mut(row) {
+            Some(slot) if slot.is_some() => {
+                *slot = None;
+                self.live -= 1;
+                self.dense = None;
+                self.begin_delta();
+                self.last_delete = self.epoch;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Applies one [`Delta`]; returns the inserted row's id for
+    /// inserts.
+    pub fn apply(&mut self, delta: Delta) -> Option<RowId> {
+        match delta {
+            Delta::Insert(t) => Some(self.insert(t)),
+            Delta::Update { row, tuple } => {
+                self.update(row, tuple);
+                None
+            }
+            Delta::Delete { row } => {
+                self.delete(row);
+                None
+            }
+        }
+    }
+
+    fn begin_delta(&mut self) {
+        sqlnf_obs::count!("discovery.incr.deltas");
+        self.epoch += 1;
+        self.deltas_since_reconcile += 1;
+    }
+
+    /// Whether the witness pair still violates `X → A` (rows live and
+    /// similar on `X` per `sem`, unequal on `a`). Purely semantic: any
+    /// live violating pair refutes, whatever its history.
+    fn pair_violates_fd(
+        slots: &[Option<Tuple>],
+        r: RowId,
+        s: RowId,
+        x: AttrSet,
+        a: Attr,
+        sem: Semantics,
+    ) -> bool {
+        let (Some(Some(tr)), Some(Some(ts))) = (slots.get(r), slots.get(s)) else {
+            return false;
+        };
+        Self::pair_similar(tr, ts, x, sem) && tr.get(a) != ts.get(a)
+    }
+
+    /// LHS-similarity of two live tuples under the mining semantics:
+    /// syntactic equality (⊥ = ⊥) classically, strong similarity for
+    /// possible FDs, weak similarity for certain FDs.
+    fn pair_similar(tr: &Tuple, ts: &Tuple, x: AttrSet, sem: Semantics) -> bool {
+        x.iter().all(|c| match sem {
+            Semantics::Classical => tr.get(c) == ts.get(c),
+            Semantics::Possible => strongly_similar(tr.get(c), ts.get(c)),
+            Semantics::Certain => weakly_similar(tr.get(c), ts.get(c)),
+        })
+    }
+
+    /// Whether a witness pair still refutes `X` as a key: possible keys
+    /// fall to a strongly-similar pair, certain keys to a weakly-similar
+    /// one.
+    fn pair_violates_key(
+        slots: &[Option<Tuple>],
+        r: RowId,
+        s: RowId,
+        x: AttrSet,
+        certain: bool,
+    ) -> bool {
+        let (Some(Some(tr)), Some(Some(ts))) = (slots.get(r), slots.get(s)) else {
+            return false;
+        };
+        x.iter().all(|c| {
+            if certain {
+                weakly_similar(tr.get(c), ts.get(c))
+            } else {
+                strongly_similar(tr.get(c), ts.get(c))
+            }
+        })
+    }
+
+    /// Whether a witness pair still refutes totality `X →_w X`: weakly
+    /// similar on `X` but not syntactically equal on it.
+    fn pair_violates_reflexive(slots: &[Option<Tuple>], r: RowId, s: RowId, x: AttrSet) -> bool {
+        let (Some(Some(tr)), Some(Some(ts))) = (slots.get(r), slots.get(s)) else {
+            return false;
+        };
+        x.iter().all(|c| weakly_similar(tr.get(c), ts.get(c)))
+            && x.iter().any(|c| tr.get(c) != ts.get(c))
+    }
+
+    /// Finds a violating pair for each refuted target of `x` — the
+    /// witnesses the next replay validates instead of re-scanning. Every
+    /// requested target is guaranteed a witness (the check just refuted
+    /// it over the same data).
+    #[allow(clippy::too_many_arguments)]
+    fn find_fd_witnesses(
+        enc: &Encoded,
+        probes: &ProbeCache,
+        stable: &[RowId],
+        x: AttrSet,
+        p: &Partition,
+        mut want: AttrSet,
+        sem: Semantics,
+        out: &mut Vec<(Attr, RowId, RowId)>,
+    ) {
+        'classes: for class in &p.classes {
+            let first = class[0] as usize;
+            for &r in &class[1..] {
+                let r = r as usize;
+                let mut got = AttrSet::EMPTY;
+                for a in want {
+                    if enc.code(r, a) != enc.code(first, a) {
+                        out.push((a, stable[first], stable[r]));
+                        got.insert(a);
+                    }
+                }
+                want = want - got;
+                if want.is_empty() {
+                    break 'classes;
+                }
+            }
+        }
+        if sem == Semantics::Certain && !want.is_empty() {
+            probes.weak_pairs(enc, x, |r, s| {
+                let mut got = AttrSet::EMPTY;
+                for a in want {
+                    if enc.code(r, a) != enc.code(s, a) {
+                        out.push((a, stable[r], stable[s]));
+                        got.insert(a);
+                    }
+                }
+                want = want - got;
+                !want.is_empty()
+            });
+        }
+        debug_assert!(want.is_empty(), "refuted target without witness: {want:?}");
+    }
+
+    /// Dense indices (ascending) of the live rows inserted after
+    /// `since` — the only rows that can carry a pair unseen by a
+    /// verdict stamped at `since`.
+    /// Memoizing wrapper around [`Self::delta_dense_since`]: within one
+    /// replay most stale verdicts share the epoch of the previous mine,
+    /// so the delta row set is computed once, not per candidate.
+    fn delta_since_memo<'m>(
+        log: &[(u64, RowId)],
+        slots: &[Option<Tuple>],
+        stable: &[RowId],
+        since: u64,
+        memo: &'m mut Option<(u64, Vec<usize>)>,
+    ) -> &'m [usize] {
+        if memo.as_ref().is_none_or(|(s, _)| *s != since) {
+            *memo = Some((since, Self::delta_dense_since(log, slots, stable, since)));
+        }
+        &memo.as_ref().expect("just filled").1
+    }
+
+    fn delta_dense_since(
+        log: &[(u64, RowId)],
+        slots: &[Option<Tuple>],
+        stable: &[RowId],
+        since: u64,
+    ) -> Vec<usize> {
+        let start = log.partition_point(|&(e, _)| e <= since);
+        log[start..]
+            .iter()
+            .filter(|&&(_, slot)| slots.get(slot).is_some_and(Option::is_some))
+            .map(|&(_, slot)| {
+                stable
+                    .binary_search(&slot)
+                    .expect("live slot missing from the dense view")
+            })
+            .collect()
+    }
+
+    /// The code projection of dense row `row` onto `attrs`, written
+    /// into `buf`.
+    fn key_on(enc: &Encoded, row: usize, attrs: AttrSet, buf: &mut Vec<u32>) {
+        buf.clear();
+        for a in attrs {
+            buf.push(enc.code(row, a));
+        }
+    }
+
+    /// The shortest posting list among `x`'s columns for the code
+    /// vector `kv` (parallel to `x`'s iteration order); `None` when
+    /// some column has no row carrying the required code — no partner
+    /// can match at all.
+    fn sparsest_posting<'p>(
+        postings: &'p [FastMap<u32, Vec<usize>>],
+        x: AttrSet,
+        kv: &[u32],
+    ) -> Option<&'p Vec<usize>> {
+        let mut best: Option<&'p Vec<usize>> = None;
+        for (i, a) in x.iter().enumerate() {
+            let list = postings[a.index()].get(&kv[i])?;
+            if best.is_none_or(|b: &Vec<usize>| list.len() < b.len()) {
+                best = Some(list);
+            }
+        }
+        best
+    }
+
+    /// Groups `delta` by its code vector on `x` (⊥ is code 0): equal
+    /// projections have identical partner sets, so they share one
+    /// probe. Under `Possible`, x-incomplete rows are dropped — ⊥ is
+    /// similar to nothing.
+    fn delta_groups(
+        enc: &Encoded,
+        delta: &[usize],
+        x: AttrSet,
+        sem: Semantics,
+    ) -> FastMap<Vec<u32>, Vec<usize>> {
+        let mut key = Vec::new();
+        let mut groups: FastMap<Vec<u32>, Vec<usize>> = FastMap::default();
+        for &r in delta {
+            if sem == Semantics::Possible && !enc.is_total_on(r, x) {
+                continue;
+            }
+            Self::key_on(enc, r, x, &mut key);
+            match groups.get_mut(key.as_slice()) {
+                Some(g) => g.push(r),
+                None => {
+                    groups.insert(key.clone(), vec![r]);
+                }
+            }
+        }
+        groups
+    }
+
+    /// Visits every dense row `sem`-similar on `x` to the projection
+    /// `kv` (carried by delta row `r0`), charging each visit to
+    /// `scanned`. Stops — returning `false` — when `f` does. The
+    /// visited rows include `r0` itself and any other delta row with a
+    /// similar projection; callers decide whether self-pairs matter.
+    ///
+    /// Partners come from the dense view's posting lists, so work is
+    /// proportional to the classes the projection actually lands in —
+    /// not to the instance. This is what makes a re-mine after a small
+    /// delta cheap in *wall clock*, not just in rows scanned.
+    #[allow(clippy::too_many_arguments)]
+    fn for_each_partner(
+        enc: &Encoded,
+        postings: &[FastMap<u32, Vec<usize>>],
+        x: AttrSet,
+        kv: &[u32],
+        r0: usize,
+        sem: Semantics,
+        scanned: &mut usize,
+        mut f: impl FnMut(usize) -> bool,
+    ) -> bool {
+        match sem {
+            Semantics::Classical | Semantics::Possible => {
+                // Similarity is plain code equality on `x`: scan the
+                // sparsest matching posting list, verifying the other
+                // columns directly. A classical ⊥ is the ordinary code
+                // 0, so a zero entry correctly demands fellow nulls; a
+                // possible projection is x-total, so any row matching
+                // its all-nonzero codes is too.
+                let Some(list) = Self::sparsest_posting(postings, x, kv) else {
+                    return true;
+                };
+                for &s in list {
+                    *scanned += 1;
+                    if x.iter().zip(kv.iter()).all(|(a, &c)| enc.code(s, a) == c) && !f(s) {
+                        return false;
+                    }
+                }
+            }
+            Semantics::Certain => {
+                // Weak similarity: agreement wherever both rows are
+                // non-null on `x`. On a column where `kv` is non-null a
+                // partner either shares the code or is ⊥ there — so the
+                // cheapest match∪null posting pair bounds the scan and
+                // the remaining columns are verified pairwise. A
+                // projection that is ⊥ on all of `x` is weakly similar
+                // to everything and must scan the whole view (bounded
+                // by such rows in the delta).
+                let mut choice: Option<(Attr, u32, usize)> = None;
+                for (i, a) in x.iter().enumerate() {
+                    let c = kv[i];
+                    if c == 0 {
+                        continue;
+                    }
+                    let len = postings[a.index()].get(&c).map_or(0, Vec::len)
+                        + postings[a.index()].get(&0).map_or(0, Vec::len);
+                    if choice.is_none_or(|(_, _, best)| len < best) {
+                        choice = Some((a, c, len));
+                    }
+                }
+                match choice {
+                    None => {
+                        for s in 0..enc.rows() {
+                            *scanned += 1;
+                            if !f(s) {
+                                return false;
+                            }
+                        }
+                    }
+                    Some((a, c, _)) => {
+                        let lists = [postings[a.index()].get(&c), postings[a.index()].get(&0)];
+                        for &s in lists.into_iter().flatten().flatten() {
+                            *scanned += 1;
+                            if enc.weakly_similar(r0, s, x) && !f(s) {
+                                return false;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Visits every `sem`-similar pair `(r, s)` of dense rows with `r`
+    /// drawn from `delta` — exactly the pairs that a verdict predating
+    /// the delta rows has never seen. Calls `f` for each; stops early —
+    /// and returns `false` — when `f` returns `false`. A pair with both
+    /// rows in `delta` may be visited in both orientations; callers
+    /// hunt for a single violation, so the duplicate is harmless. Rows
+    /// visited are charged to `discovery.partition.rows_scanned` like
+    /// every other check path.
+    fn for_each_delta_pair(
+        enc: &Encoded,
+        postings: &[FastMap<u32, Vec<usize>>],
+        delta: &[usize],
+        x: AttrSet,
+        sem: Semantics,
+        mut f: impl FnMut(usize, usize) -> bool,
+    ) -> bool {
+        if delta.is_empty() {
+            return true;
+        }
+        if x.is_empty() {
+            // Similarity on ∅ is vacuous: every pair qualifies. Only
+            // the empty key candidate lands here, and it dies to the
+            // first pair, so the scan is O(1) in practice.
+            let mut scanned = 0usize;
+            let mut complete = true;
+            'empty: for &r in delta {
+                for s in 0..enc.rows() {
+                    scanned += 1;
+                    if r != s && !f(r, s) {
+                        complete = false;
+                        break 'empty;
+                    }
+                }
+            }
+            sqlnf_obs::count!("discovery.partition.rows_scanned", scanned);
+            return complete;
+        }
+        let mut scanned = delta.len();
+        let groups = Self::delta_groups(enc, delta, x, sem);
+        let mut complete = true;
+        for (kv, group) in &groups {
+            let done =
+                Self::for_each_partner(enc, postings, x, kv, group[0], sem, &mut scanned, |s| {
+                    for &r in group {
+                        if r != s && !f(r, s) {
+                            return false;
+                        }
+                    }
+                    true
+                });
+            if !done {
+                complete = false;
+                break;
+            }
+        }
+        sqlnf_obs::count!("discovery.partition.rows_scanned", scanned);
+        complete
+    }
+
+    /// Re-validates previously-holding targets of `X → ·` against only
+    /// the delta-involved pairs. Returns the surviving targets; each
+    /// refuted one is appended to `refuted` with a live witness pair
+    /// (slot ids). Sound because deletes only remove pairs and the
+    /// caller has checked that no update touched `X` or a target since
+    /// the verdicts were stamped.
+    #[allow(clippy::too_many_arguments)]
+    fn delta_targets_surviving(
+        enc: &Encoded,
+        postings: &[FastMap<u32, Vec<usize>>],
+        stable: &[RowId],
+        delta: &[usize],
+        x: AttrSet,
+        targets: AttrSet,
+        sem: Semantics,
+        refuted: &mut Vec<(Attr, RowId, RowId)>,
+    ) -> AttrSet {
+        let mut holding = targets;
+        if delta.is_empty() {
+            return holding;
+        }
+        if x.is_empty() {
+            // `∅ → A`: every pair is similar under every semantics, so
+            // the FD survives iff the column is still constant — one
+            // early-exit column scan.
+            let mut scanned = 0usize;
+            for s in 1..enc.rows() {
+                scanned += 1;
+                let mut still = AttrSet::EMPTY;
+                for a in holding {
+                    if enc.code(s, a) == enc.code(0, a) {
+                        still.insert(a);
+                    } else {
+                        refuted.push((a, stable[0], stable[s]));
+                    }
+                }
+                holding = still;
+                if holding.is_empty() {
+                    break;
+                }
+            }
+            sqlnf_obs::count!("discovery.partition.rows_scanned", scanned);
+            return holding;
+        }
+        let mut scanned = delta.len();
+        let groups = Self::delta_groups(enc, delta, x, sem);
+        for (kv, group) in &groups {
+            if holding.is_empty() {
+                break;
+            }
+            let r0 = group[0];
+            // Group members are pairwise similar on `x`, so a target
+            // they disagree on dies to a member pair — and the
+            // survivors are group-homogeneous, which lets the partner
+            // scan below compare each row once against `r0` instead of
+            // once per member.
+            let mut still = AttrSet::EMPTY;
+            for a in holding {
+                match group.iter().find(|&&m| enc.code(m, a) != enc.code(r0, a)) {
+                    Some(&m) => refuted.push((a, stable[r0], stable[m])),
+                    None => {
+                        still.insert(a);
+                    }
+                }
+            }
+            holding = still;
+            if holding.is_empty() {
+                break;
+            }
+            Self::for_each_partner(enc, postings, x, kv, r0, sem, &mut scanned, |s| {
+                let mut still = AttrSet::EMPTY;
+                for a in holding {
+                    if enc.code(s, a) == enc.code(r0, a) {
+                        still.insert(a);
+                    } else {
+                        // `s` matched the group's projection but not
+                        // this target, so it is not a group member
+                        // (those agree on `a`) and `(r0, s)` is a
+                        // genuine violating pair.
+                        refuted.push((a, stable[r0], stable[s]));
+                    }
+                }
+                holding = still;
+                !holding.is_empty()
+            });
+        }
+        sqlnf_obs::count!("discovery.partition.rows_scanned", scanned);
+        holding
+    }
+
+    /// The first delta-involved pair similar on `x` under `sem`, as
+    /// slot ids — the witness that kills a stale p-/c-key verdict.
+    /// `None` means the verdict survived the delta.
+    fn first_delta_pair(
+        enc: &Encoded,
+        postings: &[FastMap<u32, Vec<usize>>],
+        stable: &[RowId],
+        delta: &[usize],
+        x: AttrSet,
+        sem: Semantics,
+    ) -> Option<(RowId, RowId)> {
+        let mut witness = None;
+        Self::for_each_delta_pair(enc, postings, delta, x, sem, |r, s| {
+            witness = Some((stable[r], stable[s]));
+            false
+        });
+        witness
+    }
+
+    /// The first delta-involved weak pair of `x` that is *not*
+    /// syntactically equal on `x` — the witness that kills a stale
+    /// totality (`X →_w X`) verdict.
+    fn first_delta_reflexive_violation(
+        enc: &Encoded,
+        postings: &[FastMap<u32, Vec<usize>>],
+        stable: &[RowId],
+        delta: &[usize],
+        x: AttrSet,
+    ) -> Option<(RowId, RowId)> {
+        let mut witness = None;
+        Self::for_each_delta_pair(enc, postings, delta, x, Semantics::Certain, |r, s| {
+            if enc.equal_on(r, s, x) {
+                true
+            } else {
+                witness = Some((stable[r], stable[s]));
+                false
+            }
+        });
+        witness
+    }
+
+    /// Replays the level-wise FD enumeration of [`crate::mine`] against
+    /// the verdict cache. The walk — candidate order, target pruning,
+    /// minimality bookkeeping — is the from-scratch serial one; only
+    /// the per-candidate check is short-circuited by valid verdicts, so
+    /// the returned FDs are identical to `mine_fds` over the same rows.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_fds(
+        slots: &[Option<Tuple>],
+        marks: &Marks<'_>,
+        log: &[(u64, RowId)],
+        cache: &mut HashMap<AttrSet, FdVerdict>,
+        enc: &Encoded,
+        ctx: &mut PartitionCtx<'_>,
+        probes: &ProbeCache,
+        stable: &[RowId],
+        postings: &[FastMap<u32, Vec<usize>>],
+        sem: Semantics,
+        arity: usize,
+        max_lhs: usize,
+        now: u64,
+    ) -> Vec<MinedFd> {
+        let attrs: Vec<Attr> = (0..arity).map(Attr::from).collect();
+        let all: AttrSet = attrs.iter().copied().collect();
+        let last_level = max_lhs.min(arity.saturating_sub(1));
+        let mut minimal_for: Vec<Vec<AttrSet>> = vec![Vec::new(); arity];
+        let mut found = Vec::new();
+        let mut touched = 0usize;
+        let mut delta_memo: Option<(u64, Vec<usize>)> = None;
+
+        for k in 0..=last_level {
+            if k >= 2 {
+                ctx.evict_below(k - 1);
+            }
+            for x in k_subsets(&attrs, k) {
+                let mut targets = AttrSet::EMPTY;
+                for a in all - x {
+                    if !minimal_for[a.index()].iter().any(|y| y.is_subset(x)) {
+                        targets.insert(a);
+                    }
+                }
+                if targets.is_empty() {
+                    continue;
+                }
+                let v = cache.entry(x).or_default();
+                let mut holding = AttrSet::EMPTY;
+                let mut stale = AttrSet::EMPTY;
+                let mut stale_since = u64::MAX;
+                let mut unknown = AttrSet::EMPTY;
+                for a in targets {
+                    if let Some(&(_, at)) = v.holding.iter().find(|&&(b, _)| b == a) {
+                        if marks.holding_valid(at, x | AttrSet::single(a)) {
+                            holding.insert(a);
+                            continue;
+                        }
+                        if marks.only_inserts_since(at, x | AttrSet::single(a)) {
+                            stale.insert(a);
+                            stale_since = stale_since.min(at);
+                            continue;
+                        }
+                    }
+                    if let Some(&(_, r, s)) = v.refuted.iter().find(|&&(b, _, _)| b == a) {
+                        if Self::pair_violates_fd(slots, r, s, x, a, sem) {
+                            continue; // still refuted, witness intact
+                        }
+                    }
+                    unknown.insert(a);
+                }
+                if !stale.is_empty() {
+                    // Held before the delta, and only inserts happened
+                    // since: check the inserted rows' pairs instead of
+                    // rechecking the whole candidate.
+                    touched += 1;
+                    let delta =
+                        Self::delta_since_memo(log, slots, stable, stale_since, &mut delta_memo);
+                    let mut fresh = Vec::new();
+                    let survive = Self::delta_targets_surviving(
+                        enc, postings, stable, delta, x, stale, sem, &mut fresh,
+                    );
+                    for a in survive {
+                        holding.insert(a);
+                        if let Some(entry) = v.holding.iter_mut().find(|(b, _)| *b == a) {
+                            entry.1 = now;
+                        }
+                    }
+                    for (a, r, s) in fresh {
+                        v.holding.retain(|&(b, _)| b != a);
+                        v.refuted.retain(|&(b, _, _)| b != a);
+                        v.refuted.push((a, r, s));
+                    }
+                }
+                if !unknown.is_empty() {
+                    touched += 1;
+                    let p = ctx.partition(x);
+                    let held = fd_targets_holding_cached(enc, x, &p, unknown, sem, probes);
+                    holding |= held;
+                    let refuted = unknown - held;
+                    // Record fresh verdicts: held targets stamped at the
+                    // current epoch, refuted ones re-witnessed.
+                    for a in held {
+                        v.refuted.retain(|&(b, _, _)| b != a);
+                        match v.holding.iter_mut().find(|(b, _)| *b == a) {
+                            Some(entry) => entry.1 = now,
+                            None => v.holding.push((a, now)),
+                        }
+                    }
+                    if !refuted.is_empty() {
+                        v.refuted.retain(|&(b, _, _)| !refuted.contains(b));
+                        v.holding.retain(|&(b, _)| !refuted.contains(b));
+                        Self::find_fd_witnesses(
+                            enc,
+                            probes,
+                            stable,
+                            x,
+                            &p,
+                            refuted,
+                            sem,
+                            &mut v.refuted,
+                        );
+                    }
+                }
+                if !holding.is_empty() {
+                    for a in holding {
+                        minimal_for[a.index()].push(x);
+                    }
+                    found.push(MinedFd {
+                        lhs: x,
+                        rhs: holding,
+                    });
+                }
+            }
+        }
+        sqlnf_obs::count!("discovery.incr.candidates_touched", touched);
+        found
+    }
+
+    /// Replays the level-wise key enumeration of [`crate::keys`]
+    /// against the verdict cache; identical output to
+    /// `mine_keys_budgeted` over the same rows.
+    #[allow(clippy::too_many_arguments)]
+    fn replay_keys(
+        slots: &[Option<Tuple>],
+        marks: &Marks<'_>,
+        log: &[(u64, RowId)],
+        cache: &mut HashMap<AttrSet, KeyVerdict>,
+        enc: &Encoded,
+        ctx: &mut PartitionCtx<'_>,
+        probes: &ProbeCache,
+        stable: &[RowId],
+        postings: &[FastMap<u32, Vec<usize>>],
+        arity: usize,
+        max_size: usize,
+        now: u64,
+    ) -> MinedKeys {
+        let attrs: Vec<Attr> = (0..arity).map(Attr::from).collect();
+        let mut out = MinedKeys::default();
+        let mut touched = 0usize;
+        let mut delta_memo: Option<(u64, Vec<usize>)> = None;
+        for k in 0..=max_size.min(arity) {
+            if k >= 2 {
+                ctx.evict_below(k - 1);
+            }
+            for x in k_subsets(&attrs, k) {
+                let p_covered = out.pkeys.iter().any(|y| y.is_subset(x));
+                let c_covered = out.ckeys.iter().any(|y| y.is_subset(x));
+                if p_covered && c_covered {
+                    continue;
+                }
+                let (p_is, c_is) = Self::key_status(
+                    slots,
+                    marks,
+                    log,
+                    cache,
+                    enc,
+                    ctx,
+                    probes,
+                    stable,
+                    postings,
+                    &mut delta_memo,
+                    x,
+                    now,
+                    &mut touched,
+                );
+                if !p_covered && p_is {
+                    out.pkeys.push(x);
+                }
+                if !c_covered && c_is {
+                    out.ckeys.push(x);
+                }
+            }
+        }
+        sqlnf_obs::count!("discovery.incr.candidates_touched", touched);
+        out
+    }
+
+    /// Cached p-key/c-key status of `x`, rechecking only what the delta
+    /// marks invalidated.
+    #[allow(clippy::too_many_arguments)]
+    fn key_status(
+        slots: &[Option<Tuple>],
+        marks: &Marks<'_>,
+        log: &[(u64, RowId)],
+        cache: &mut HashMap<AttrSet, KeyVerdict>,
+        enc: &Encoded,
+        ctx: &mut PartitionCtx<'_>,
+        probes: &ProbeCache,
+        stable: &[RowId],
+        postings: &[FastMap<u32, Vec<usize>>],
+        delta_memo: &mut Option<(u64, Vec<usize>)>,
+        x: AttrSet,
+        now: u64,
+        touched: &mut usize,
+    ) -> (bool, bool) {
+        let v = cache.entry(x).or_default();
+        let p_known = match v.p {
+            Some(Verdict::Holds(at)) if marks.holding_valid(at, x) => Some(true),
+            Some(Verdict::Holds(at)) if marks.only_inserts_since(at, x) => {
+                // A key dies only to a *new* similar pair; probe the
+                // inserted rows instead of rechecking the candidate.
+                *touched += 1;
+                let delta = Self::delta_since_memo(log, slots, stable, at, delta_memo);
+                match Self::first_delta_pair(enc, postings, stable, delta, x, Semantics::Possible) {
+                    None => {
+                        v.p = Some(Verdict::Holds(now));
+                        Some(true)
+                    }
+                    Some((r, s)) => {
+                        v.p = Some(Verdict::Fails(r, s));
+                        Some(false)
+                    }
+                }
+            }
+            Some(Verdict::Fails(r, s)) if Self::pair_violates_key(slots, r, s, x, false) => {
+                Some(false)
+            }
+            _ => None,
+        };
+        let c_known = match v.c {
+            Some(Verdict::Holds(at)) if marks.holding_valid(at, x) => Some(true),
+            Some(Verdict::Holds(at)) if marks.only_inserts_since(at, x) => {
+                *touched += 1;
+                let delta = Self::delta_since_memo(log, slots, stable, at, delta_memo);
+                match Self::first_delta_pair(enc, postings, stable, delta, x, Semantics::Certain) {
+                    None => {
+                        v.c = Some(Verdict::Holds(now));
+                        Some(true)
+                    }
+                    Some((r, s)) => {
+                        v.c = Some(Verdict::Fails(r, s));
+                        Some(false)
+                    }
+                }
+            }
+            Some(Verdict::Fails(r, s)) if Self::pair_violates_key(slots, r, s, x, true) => {
+                Some(false)
+            }
+            _ => None,
+        };
+        if let (Some(p), Some(c)) = (p_known, c_known) {
+            return (p, c);
+        }
+        *touched += 1;
+        let strong = ctx.partition(x);
+        let p_is = p_known.unwrap_or_else(|| {
+            let holds = is_pkey(&strong);
+            v.p = Some(if holds {
+                Verdict::Holds(now)
+            } else {
+                let c = &strong.classes[0];
+                Verdict::Fails(stable[c[0] as usize], stable[c[1] as usize])
+            });
+            holds
+        });
+        let c_is = match c_known {
+            Some(c) => c,
+            None => {
+                // is_ckey with witness extraction: a strong pair is
+                // already a weak violation; else probe the weak pairs.
+                let mut witness: Option<(RowId, RowId)> = None;
+                if let Some(c) = strong.classes.first() {
+                    witness = Some((stable[c[0] as usize], stable[c[1] as usize]));
+                } else {
+                    probes.weak_pairs(enc, x, |r, s| {
+                        witness = Some((stable[r], stable[s]));
+                        false
+                    });
+                }
+                v.c = Some(match witness {
+                    None => Verdict::Holds(now),
+                    Some((r, s)) => Verdict::Fails(r, s),
+                });
+                witness.is_none()
+            }
+        };
+        (p_is, c_is)
+    }
+
+    /// Cached c-key check for classification (λ-FD and nn-ratio
+    /// eligibility); shares the key verdict cache.
+    #[allow(clippy::too_many_arguments)]
+    fn is_ckey_incr(
+        slots: &[Option<Tuple>],
+        marks: &Marks<'_>,
+        log: &[(u64, RowId)],
+        cache: &mut HashMap<AttrSet, KeyVerdict>,
+        enc: &Encoded,
+        ctx: &mut PartitionCtx<'_>,
+        probes: &ProbeCache,
+        stable: &[RowId],
+        postings: &[FastMap<u32, Vec<usize>>],
+        delta_memo: &mut Option<(u64, Vec<usize>)>,
+        x: AttrSet,
+        now: u64,
+        touched: &mut usize,
+    ) -> bool {
+        Self::key_status(
+            slots, marks, log, cache, enc, ctx, probes, stable, postings, delta_memo, x, now,
+            touched,
+        )
+        .1
+    }
+
+    /// Cached totality check `X →_w X` (Definition 9).
+    #[allow(clippy::too_many_arguments)]
+    fn reflexive_incr(
+        slots: &[Option<Tuple>],
+        marks: &Marks<'_>,
+        log: &[(u64, RowId)],
+        cache: &mut HashMap<AttrSet, Verdict>,
+        enc: &Encoded,
+        probes: &ProbeCache,
+        stable: &[RowId],
+        postings: &[FastMap<u32, Vec<usize>>],
+        delta_memo: &mut Option<(u64, Vec<usize>)>,
+        x: AttrSet,
+        now: u64,
+        touched: &mut usize,
+    ) -> bool {
+        match cache.get(&x) {
+            Some(&Verdict::Holds(at)) if marks.holding_valid(at, x) => return true,
+            Some(&Verdict::Holds(at)) if marks.only_inserts_since(at, x) => {
+                *touched += 1;
+                let delta = Self::delta_since_memo(log, slots, stable, at, delta_memo);
+                return match Self::first_delta_reflexive_violation(enc, postings, stable, delta, x)
+                {
+                    None => {
+                        cache.insert(x, Verdict::Holds(now));
+                        true
+                    }
+                    Some((r, s)) => {
+                        cache.insert(x, Verdict::Fails(r, s));
+                        false
+                    }
+                };
+            }
+            Some(&Verdict::Fails(r, s)) if Self::pair_violates_reflexive(slots, r, s, x) => {
+                return false
+            }
+            _ => {}
+        }
+        *touched += 1;
+        let mut witness: Option<(RowId, RowId)> = None;
+        probes.weak_pairs(enc, x, |r, s| {
+            if enc.equal_on(r, s, x) {
+                true
+            } else {
+                witness = Some((stable[r], stable[s]));
+                false
+            }
+        });
+        cache.insert(
+            x,
+            match witness {
+                None => Verdict::Holds(now),
+                Some((r, s)) => Verdict::Fails(r, s),
+            },
+        );
+        witness.is_none()
+    }
+
+    /// Mines the minimal FDs under `sem`, replaying the lattice against
+    /// the verdict cache. Byte-identical (content and order) to
+    /// `mine_fds` over [`IncrementalMiner::table`].
+    pub fn mine_fds(
+        &mut self,
+        sem: Semantics,
+        max_lhs: usize,
+        cache_budget: usize,
+    ) -> Vec<MinedFd> {
+        self.ensure_dense();
+        let dense = self.dense.as_ref().expect("just ensured");
+        let (enc, stable) = (&dense.enc, &dense.stable);
+        let mut ctx = PartitionCtx::with_budget(enc, null_semantics(sem), cache_budget);
+        let probes = ProbeCache::new(enc);
+        let marks = Marks {
+            insert: self.last_insert,
+            delete: self.last_delete,
+            cols: &self.col_updated,
+        };
+        let now = self.epoch;
+        let fds = Self::replay_fds(
+            &self.slots,
+            &marks,
+            &self.insert_log,
+            &mut self.fd_cache[sem_index(sem)],
+            enc,
+            &mut ctx,
+            &probes,
+            stable,
+            &dense.postings,
+            sem,
+            self.schema.arity(),
+            max_lhs,
+            now,
+        );
+        self.note_frontier();
+        fds
+    }
+
+    /// Mines the minimal p-/c-keys; identical to `mine_keys_budgeted`
+    /// over [`IncrementalMiner::table`].
+    pub fn mine_keys(&mut self, max_size: usize, cache_budget: usize) -> MinedKeys {
+        self.ensure_dense();
+        let dense = self.dense.as_ref().expect("just ensured");
+        let (enc, stable) = (&dense.enc, &dense.stable);
+        let mut ctx = PartitionCtx::with_budget(enc, NullSemantics::Strong, cache_budget);
+        let probes = ProbeCache::new(enc);
+        let marks = Marks {
+            insert: self.last_insert,
+            delete: self.last_delete,
+            cols: &self.col_updated,
+        };
+        let now = self.epoch;
+        let keys = Self::replay_keys(
+            &self.slots,
+            &marks,
+            &self.insert_log,
+            &mut self.key_cache,
+            enc,
+            &mut ctx,
+            &probes,
+            stable,
+            &dense.postings,
+            self.schema.arity(),
+            max_size,
+            now,
+        );
+        self.note_frontier();
+        keys
+    }
+
+    /// The classification + keys backing one `MINE` report — the
+    /// incremental mirror of `classify_table_budgeted` +
+    /// `mine_keys_budgeted`.
+    pub fn classify(&mut self, max_lhs: usize, cache_budget: usize) -> (Classification, MinedKeys) {
+        self.ensure_dense();
+        let dense = self.dense.as_ref().expect("just ensured");
+        let (enc, stable) = (&dense.enc, &dense.stable);
+        // Materialized only if a projection ratio misses its memo —
+        // `projection_ratio` wants real rows, not codes.
+        let mut ratio_table: Option<Table> = None;
+        let null_free = enc.null_free_columns();
+        let now = self.epoch;
+        let probes = ProbeCache::new(enc);
+        let mut ctx = PartitionCtx::with_budget(enc, NullSemantics::Strong, cache_budget);
+        let mut touched = 0usize;
+        let mut delta_memo: Option<(u64, Vec<usize>)> = None;
+
+        let marks = Marks {
+            insert: self.last_insert,
+            delete: self.last_delete,
+            cols: &self.col_updated,
+        };
+        let possible = Self::replay_fds(
+            &self.slots,
+            &marks,
+            &self.insert_log,
+            &mut self.fd_cache[sem_index(Semantics::Possible)],
+            enc,
+            &mut ctx,
+            &probes,
+            stable,
+            &dense.postings,
+            Semantics::Possible,
+            self.schema.arity(),
+            max_lhs,
+            now,
+        );
+        let certain = Self::replay_fds(
+            &self.slots,
+            &marks,
+            &self.insert_log,
+            &mut self.fd_cache[sem_index(Semantics::Certain)],
+            enc,
+            &mut ctx,
+            &probes,
+            stable,
+            &dense.postings,
+            Semantics::Certain,
+            self.schema.arity(),
+            max_lhs,
+            now,
+        );
+
+        let mut out = Classification::default();
+        for fd in possible {
+            if fd.lhs.is_subset(null_free) {
+                let ckey = Self::is_ckey_incr(
+                    &self.slots,
+                    &marks,
+                    &self.insert_log,
+                    &mut self.key_cache,
+                    enc,
+                    &mut ctx,
+                    &probes,
+                    stable,
+                    &dense.postings,
+                    &mut delta_memo,
+                    fd.lhs,
+                    now,
+                    &mut touched,
+                );
+                if !ckey {
+                    let attrs = fd.lhs | fd.rhs;
+                    // Inline ratio memo (self is partially borrowed via
+                    // marks/caches above, so consult the map directly).
+                    let ratio = match self.ratio_cache.get(&attrs) {
+                        Some(&(ratio, at))
+                            if at >= marks.insert
+                                && at >= marks.delete
+                                && attrs.iter().all(|c| at >= marks.cols[c.index()]) =>
+                        {
+                            ratio
+                        }
+                        _ => {
+                            let table = ratio_table.get_or_insert_with(|| {
+                                Table::from_rows(
+                                    self.schema.clone(),
+                                    self.slots.iter().flatten().cloned(),
+                                )
+                            });
+                            let ratio = projection_ratio(table, attrs);
+                            self.ratio_cache.insert(attrs, (ratio, now));
+                            ratio
+                        }
+                    };
+                    out.nn_nonkey_ratios.push(ratio);
+                }
+                out.nn_fds.push(fd);
+            } else {
+                out.p_fds.push(fd);
+            }
+        }
+        for fd in certain {
+            if fd.lhs.is_subset(null_free) {
+                continue; // coincides with an nn-FD; counted there
+            }
+            let total = Self::reflexive_incr(
+                &self.slots,
+                &marks,
+                &self.insert_log,
+                &mut self.refl_cache,
+                enc,
+                &probes,
+                stable,
+                &dense.postings,
+                &mut delta_memo,
+                fd.lhs,
+                now,
+                &mut touched,
+            );
+            if total {
+                out.t_fds.push(fd.clone());
+                let ckey = Self::is_ckey_incr(
+                    &self.slots,
+                    &marks,
+                    &self.insert_log,
+                    &mut self.key_cache,
+                    enc,
+                    &mut ctx,
+                    &probes,
+                    stable,
+                    &dense.postings,
+                    &mut delta_memo,
+                    fd.lhs,
+                    now,
+                    &mut touched,
+                );
+                if !fd.rhs.is_empty() && !ckey {
+                    let attrs = fd.lhs | fd.rhs;
+                    let ratio = match self.ratio_cache.get(&attrs) {
+                        Some(&(ratio, at))
+                            if at >= marks.insert
+                                && at >= marks.delete
+                                && attrs.iter().all(|c| at >= marks.cols[c.index()]) =>
+                        {
+                            ratio
+                        }
+                        _ => {
+                            let table = ratio_table.get_or_insert_with(|| {
+                                Table::from_rows(
+                                    self.schema.clone(),
+                                    self.slots.iter().flatten().cloned(),
+                                )
+                            });
+                            let ratio = projection_ratio(table, attrs);
+                            self.ratio_cache.insert(attrs, (ratio, now));
+                            ratio
+                        }
+                    };
+                    out.lambda_fds.push(LambdaFd {
+                        lhs: fd.lhs,
+                        rhs: fd.rhs,
+                        relative_projection_size: ratio,
+                    });
+                }
+            }
+            out.c_fds.push(fd);
+        }
+
+        let keys = Self::replay_keys(
+            &self.slots,
+            &marks,
+            &self.insert_log,
+            &mut self.key_cache,
+            enc,
+            &mut ctx,
+            &probes,
+            stable,
+            &dense.postings,
+            self.schema.arity(),
+            max_lhs,
+            now,
+        );
+        sqlnf_obs::count!("discovery.incr.candidates_touched", touched);
+        self.note_frontier();
+        (out, keys)
+    }
+
+    /// The `MINE` report over the live rows, byte-identical to
+    /// [`mine_report`] over [`IncrementalMiner::table`]. When the
+    /// reconcile threshold is armed and tripped, also runs the full
+    /// from-scratch pipeline and asserts equivalence.
+    pub fn report(&mut self, name: &str, max_lhs: usize, cache_budget: usize) -> String {
+        let due = self
+            .reconcile_every
+            .is_some_and(|n| self.deltas_since_reconcile >= n);
+        if due {
+            return self.reconcile(name, max_lhs, cache_budget);
+        }
+        let (cls, keys) = self.classify(max_lhs, cache_budget);
+        render_report(name, self.live, &self.schema, max_lhs, &cls, &keys)
+    }
+
+    /// Full-pipeline audit: runs both the incremental replay and the
+    /// from-scratch mine, asserts they render the same report, resets
+    /// the reconcile counter, and returns the report. Panics on any
+    /// divergence — an incremental-state bug must never ship a wrong
+    /// answer silently.
+    pub fn reconcile(&mut self, name: &str, max_lhs: usize, cache_budget: usize) -> String {
+        sqlnf_obs::count!("discovery.incr.reconciles");
+        let (cls, keys) = self.classify(max_lhs, cache_budget);
+        let incr = render_report(name, self.live, &self.schema, max_lhs, &cls, &keys);
+        let full = crate::classify::mine_report(name, &self.table(), max_lhs, cache_budget);
+        assert_eq!(
+            incr, full,
+            "incremental reconcile mismatch on {name} after {} deltas",
+            self.epoch
+        );
+        self.deltas_since_reconcile = 0;
+        incr
+    }
+
+    /// Builds the warm dense view if an update/delete (or construction)
+    /// left it cold. The rebuild is exactly [`Encoded::new`] over
+    /// [`IncrementalMiner::table`], and [`EncodedAppender::push`]
+    /// reproduces that encode for appended rows, so a warm view is
+    /// always indistinguishable from a fresh one.
+    fn ensure_dense(&mut self) {
+        if self.dense.is_none() {
+            let table = self.table();
+            let (enc, appender) = EncodedAppender::build(&table);
+            self.dense = Some(DenseView::build(
+                enc,
+                appender,
+                self.stable_ids(),
+                self.schema.arity(),
+            ));
+        }
+    }
+
+    fn stable_ids(&self) -> Vec<RowId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|_| i))
+            .collect()
+    }
+
+    fn note_frontier(&self) {
+        let frontier: usize = self.fd_cache.iter().map(HashMap::len).sum::<usize>()
+            + self.key_cache.len()
+            + self.refl_cache.len();
+        sqlnf_obs::count_max!("discovery.incr.frontier_size", frontier);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classify::mine_report;
+    use crate::keys::mine_keys_budgeted;
+    use crate::mine::{mine_fds, MinerConfig};
+    use sqlnf_model::prelude::*;
+
+    fn sample() -> Table {
+        TableBuilder::new("r", ["a", "b", "c"], &[])
+            .row(tuple![1i64, 10i64, "x"])
+            .row(tuple![1i64, 10i64, "y"])
+            .row(tuple![2i64, 20i64, null])
+            .row(tuple![3i64, null, "x"])
+            .build()
+    }
+
+    fn assert_matches_scratch(m: &mut IncrementalMiner, max_lhs: usize) {
+        let t = m.table();
+        for sem in [
+            Semantics::Classical,
+            Semantics::Possible,
+            Semantics::Certain,
+        ] {
+            let scratch = mine_fds(
+                &t,
+                MinerConfig::new(sem).with_max_lhs(max_lhs).with_threads(1),
+            );
+            let incr = m.mine_fds(sem, max_lhs, crate::cache::DEFAULT_CACHE_BUDGET);
+            assert_eq!(scratch.fds, incr, "{sem:?}");
+        }
+        let keys = mine_keys_budgeted(&t, max_lhs, crate::cache::DEFAULT_CACHE_BUDGET);
+        assert_eq!(
+            keys,
+            m.mine_keys(max_lhs, crate::cache::DEFAULT_CACHE_BUDGET)
+        );
+        let report = mine_report("r", &t, max_lhs, crate::cache::DEFAULT_CACHE_BUDGET);
+        assert_eq!(
+            report,
+            m.report("r", max_lhs, crate::cache::DEFAULT_CACHE_BUDGET)
+        );
+    }
+
+    #[test]
+    fn cold_start_matches_scratch() {
+        let mut m = IncrementalMiner::from_table(&sample());
+        assert_matches_scratch(&mut m, 3);
+        // Second mine over an unchanged instance: still identical.
+        assert_matches_scratch(&mut m, 3);
+    }
+
+    #[test]
+    fn inserts_invalidate_holding_fds() {
+        let mut m = IncrementalMiner::from_table(&sample());
+        assert_matches_scratch(&mut m, 3);
+        // a → b held; this insert breaks it.
+        m.insert(tuple![1i64, 99i64, "z"]);
+        assert_matches_scratch(&mut m, 3);
+    }
+
+    #[test]
+    fn deletes_can_unrefute() {
+        let mut m = IncrementalMiner::from_table(&sample());
+        assert_matches_scratch(&mut m, 3);
+        // Deleting row 1 removes the (a,b) → c violation witness.
+        m.delete(1);
+        assert_matches_scratch(&mut m, 3);
+        // And deleting everything leaves the vacuous instance.
+        for r in [0, 2, 3] {
+            m.delete(r);
+        }
+        assert_matches_scratch(&mut m, 3);
+    }
+
+    #[test]
+    fn updates_touch_only_changed_columns() {
+        let mut m = IncrementalMiner::from_table(&sample());
+        assert_matches_scratch(&mut m, 3);
+        m.update(2, tuple![2i64, 10i64, null]); // b changed
+        assert_matches_scratch(&mut m, 3);
+        m.update(3, tuple![3i64, null, "x"]); // no-op update
+        assert_matches_scratch(&mut m, 3);
+        m.update(0, tuple![1i64, 10i64, null]); // c nulled
+        assert_matches_scratch(&mut m, 3);
+    }
+
+    #[test]
+    fn dead_slots_reject_mutation() {
+        let mut m = IncrementalMiner::from_table(&sample());
+        assert!(m.delete(1));
+        assert!(!m.delete(1));
+        assert!(!m.update(1, tuple![0i64, 0i64, "q"]));
+        assert!(!m.delete(99));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn empty_instance_reports() {
+        let schema = TableSchema::new("e", ["a", "b"], &[]);
+        let mut m = IncrementalMiner::new(schema);
+        assert_matches_scratch(&mut m, 2);
+        let id = m.insert(tuple![1i64, 2i64]);
+        assert_matches_scratch(&mut m, 2);
+        m.delete(id);
+        assert_matches_scratch(&mut m, 2);
+    }
+
+    #[test]
+    fn reconcile_threshold_trips_and_resets() {
+        sqlnf_obs::reset();
+        let mut m = IncrementalMiner::from_table(&sample()).with_reconcile_every(2);
+        m.insert(tuple![5i64, 50i64, "w"]);
+        let _ = m.report("r", 2, crate::cache::DEFAULT_CACHE_BUDGET); // 1 delta: no audit
+        m.insert(tuple![6i64, 60i64, "v"]);
+        let _ = m.report("r", 2, crate::cache::DEFAULT_CACHE_BUDGET); // 2 deltas: audit
+        assert_eq!(m.deltas_since_reconcile, 0);
+    }
+
+    #[test]
+    fn apply_mirrors_direct_calls() {
+        let mut m = IncrementalMiner::from_table(&sample());
+        let id = m
+            .apply(Delta::Insert(tuple![7i64, 70i64, "u"]))
+            .expect("insert returns id");
+        m.apply(Delta::Update {
+            row: id,
+            tuple: tuple![7i64, 71i64, "u"],
+        });
+        m.apply(Delta::Delete { row: 0 });
+        assert_matches_scratch(&mut m, 3);
+    }
+}

@@ -15,6 +15,7 @@ pub mod approx;
 pub mod cache;
 pub mod check;
 pub mod classify;
+pub mod incremental;
 pub mod keys;
 pub mod mine;
 pub mod partition;
@@ -33,8 +34,10 @@ pub mod prelude {
         ProbeIndex, Semantics,
     };
     pub use crate::classify::{
-        classify_table, classify_table_budgeted, mine_report, Classification, Counts, LambdaFd,
+        classify_table, classify_table_budgeted, mine_report, render_report, Classification,
+        Counts, LambdaFd,
     };
+    pub use crate::incremental::{Delta, IncrementalMiner, RowId};
     pub use crate::keys::{mine_keys, mine_keys_budgeted, MinedKeys};
     pub use crate::mine::{mine_fds, MinedFd, MinerConfig, MiningResult};
     pub use crate::partition::{Encoded, NullSemantics, Partition, ProductScratch};

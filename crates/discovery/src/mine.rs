@@ -156,8 +156,11 @@ impl MiningResult {
     }
 }
 
-/// Generates all `k`-subsets of `attrs`.
-fn k_subsets(attrs: &[Attr], k: usize) -> Vec<AttrSet> {
+/// Generates all `k`-subsets of `attrs`, in the canonical
+/// combination order every level-wise pass in this crate shares (the
+/// incremental replay of [`crate::incremental`] relies on walking the
+/// exact same order as the from-scratch miner).
+pub(crate) fn k_subsets(attrs: &[Attr], k: usize) -> Vec<AttrSet> {
     let mut out = Vec::new();
     let n = attrs.len();
     if k > n {

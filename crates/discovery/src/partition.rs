@@ -177,6 +177,86 @@ impl Encoded {
     }
 }
 
+/// The per-column dictionaries behind an [`Encoded`], kept alive so
+/// the encoding can be **extended** one appended row at a time instead
+/// of rebuilt from scratch.
+///
+/// Codes are assigned in first-appearance order, exactly as
+/// [`Encoded::new`] assigns them, so an encoding grown through
+/// [`EncodedAppender::push`] is byte-identical to a fresh encode of the
+/// same rows in the same order. That equivalence is what lets the
+/// incremental miner keep a dense view warm across inserts without
+/// weakening the determinism contract.
+#[derive(Debug, Clone)]
+pub struct EncodedAppender {
+    /// `dicts[a]` maps each non-null value seen in column `a` to its
+    /// code (`0` stays reserved for `⊥`).
+    dicts: Vec<HashMap<Value, u32>>,
+}
+
+impl EncodedAppender {
+    /// Encodes a table and returns the encoding together with the
+    /// dictionaries that produced it, ready to accept appended rows.
+    pub fn build(table: &Table) -> (Encoded, EncodedAppender) {
+        let arity = table.schema().arity();
+        let mut codes = vec![Vec::with_capacity(table.len()); arity];
+        let mut null_rows = vec![Vec::new(); arity];
+        let mut dicts: Vec<HashMap<Value, u32>> = vec![HashMap::new(); arity];
+        for (ci, col) in codes.iter_mut().enumerate() {
+            let a = Attr::from(ci);
+            let dict = &mut dicts[ci];
+            for (r, t) in table.rows().iter().enumerate() {
+                let v = t.get(a);
+                let code = if v.is_null() {
+                    null_rows[ci].push(r as u32);
+                    0
+                } else {
+                    match dict.get(v) {
+                        Some(&c) => c,
+                        None => {
+                            let next = dict.len() as u32 + 1;
+                            dict.insert(v.clone(), next);
+                            next
+                        }
+                    }
+                };
+                col.push(code);
+            }
+        }
+        (
+            Encoded {
+                codes,
+                null_rows,
+                rows: table.len(),
+            },
+            EncodedAppender { dicts },
+        )
+    }
+
+    /// Appends one row to the encoding in `O(arity)` dictionary probes.
+    pub fn push(&mut self, enc: &mut Encoded, t: &sqlnf_model::tuple::Tuple) {
+        let row = enc.rows as u32;
+        for (ci, dict) in self.dicts.iter_mut().enumerate() {
+            let v = t.get(Attr::from(ci));
+            let code = if v.is_null() {
+                enc.null_rows[ci].push(row);
+                0
+            } else {
+                match dict.get(v) {
+                    Some(&c) => c,
+                    None => {
+                        let next = dict.len() as u32 + 1;
+                        dict.insert(v.clone(), next);
+                        next
+                    }
+                }
+            };
+            enc.codes[ci].push(code);
+        }
+        enc.rows += 1;
+    }
+}
+
 /// A stripped partition: classes of size ≥ 2, each a sorted row list.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
@@ -557,6 +637,23 @@ mod tests {
         assert_ne!(e.code(0, Attr(0)), e.code(4, Attr(0)));
         assert_eq!(e.null_free_columns(), AttrSet::from_indices([1]));
         assert_eq!(e.null_rows_on(AttrSet::from_indices([0])), vec![2, 3]);
+    }
+
+    #[test]
+    fn appended_encoding_matches_a_fresh_encode() {
+        let t = sample();
+        // Grow from a 2-row prefix to the full table one push at a time;
+        // the result must be indistinguishable from encoding the whole
+        // table in one pass (same codes, same null lists, same count).
+        let prefix = Table::from_rows(t.schema().clone(), t.rows().iter().take(2).cloned());
+        let (mut enc, mut app) = EncodedAppender::build(&prefix);
+        for row in t.rows().iter().skip(2) {
+            app.push(&mut enc, row);
+        }
+        let fresh = Encoded::new(&t);
+        assert_eq!(enc.codes, fresh.codes);
+        assert_eq!(enc.null_rows, fresh.null_rows);
+        assert_eq!(enc.rows, fresh.rows);
     }
 
     #[test]

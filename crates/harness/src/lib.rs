@@ -43,10 +43,15 @@ pub use faults::{corrupt_wal_dir, plan, Corruption, FaultPlan};
 pub use minecheck::{check_table, MineCheckReport, MAX_ORACLE_ATTRS};
 pub use workload::{generate, Workload};
 
-use sqlnf_serve::{Client, ClientError, FsyncMode, ServeConfig, Server, Store};
+use sqlnf_model::prelude::{parse_script, Database, Statement};
+use sqlnf_serve::{
+    table_facts, Client, ClientError, FsyncMode, ServeConfig, Server, Store, StreamItem,
+    WatchEvent, WATCH_MAX_LHS,
+};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -79,6 +84,11 @@ pub struct HarnessConfig {
     pub commit_window_us: u64,
     /// Fsync discipline of the server under test.
     pub fsync: FsyncMode,
+    /// Ride a `WATCH` subscriber and a `MINE`-issuing session along
+    /// with the DML clients, then cross-check every streamed FD/key
+    /// event against a from-scratch mine of its oplog prefix. Off by
+    /// default so existing pinned seeds replay unchanged.
+    pub watch: bool,
 }
 
 impl Default for HarnessConfig {
@@ -92,6 +102,7 @@ impl Default for HarnessConfig {
             wal_shards: 1,
             commit_window_us: 0,
             fsync: FsyncMode::Batch,
+            watch: false,
         }
     }
 }
@@ -135,6 +146,13 @@ pub struct RunReport {
     /// What the miner/oracle cross-check covered on the recovered
     /// tables.
     pub minecheck: MineCheckReport,
+    /// FD/key stream events the `WATCH` subscriber received (0 when
+    /// the run rode no subscriber).
+    pub watch_events: usize,
+    /// Events the subscriber lost to backpressure (`LAGGED` totals).
+    pub watch_lagged: u64,
+    /// `MINE` verbs acknowledged while (and just after) the DML ran.
+    pub mines: usize,
 }
 
 impl RunReport {
@@ -146,9 +164,17 @@ impl RunReport {
             (false, true) => "corrupted",
             (false, false) => "graceful",
         };
+        let watch = if self.watch_events > 0 || self.mines > 0 {
+            format!(
+                "  watch ev {} lag {} mines {}",
+                self.watch_events, self.watch_lagged, self.mines
+            )
+        } else {
+            String::new()
+        };
         format!(
             "seed {:>4}  ops {:>5}  {}  admitted {:>5}  recovered {:>5}  \
-             snapshots {:>3}  tables {}  fds✓ {}  keys✓ {}  oracle✓ {}",
+             snapshots {:>3}  tables {}  fds✓ {}  keys✓ {}  oracle✓ {}{watch}",
             self.seed,
             self.ops,
             fate,
@@ -242,6 +268,94 @@ fn drive_client(addr: std::net::SocketAddr, stmts: Vec<String>) -> ClientOutcome
     ClientOutcome::Finished { rejected, acked }
 }
 
+/// What the ride-along `WATCH` subscriber saw: every streamed event in
+/// arrival order, the total backpressure loss, and whether the session
+/// outlived the server (only legal under a kill).
+struct WatchTally {
+    events: Vec<WatchEvent>,
+    lagged: u64,
+    died: bool,
+}
+
+/// Read timeout of the ride-along subscriber: short, so `Ok(None)`
+/// from `next_event` means "stream idle right now" and the final drain
+/// converges quickly once the run is over.
+const WATCH_POLL: Duration = Duration::from_millis(200);
+
+fn watch_session(mut client: Client, done: Arc<AtomicBool>) -> WatchTally {
+    let mut tally = WatchTally {
+        events: Vec::new(),
+        lagged: 0,
+        died: false,
+    };
+    loop {
+        match client.next_event() {
+            Ok(Some(StreamItem::Event(ev))) => tally.events.push(ev),
+            Ok(Some(StreamItem::Lagged(n))) => tally.lagged += n,
+            // Idle: keep listening until the runner says the workload
+            // (and the hub fence) is behind us.
+            Ok(None) => {
+                if done.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            Err(_) => {
+                tally.died = true;
+                return tally;
+            }
+        }
+    }
+    // UNWATCH forces a flush of everything still queued server-side,
+    // so the tally never depends on racing the idle-poll flush.
+    match client.unwatch() {
+        Ok((rest, _)) => {
+            for item in rest {
+                match item {
+                    StreamItem::Event(ev) => tally.events.push(ev),
+                    StreamItem::Lagged(n) => tally.lagged += n,
+                }
+            }
+            let _ = client.quit();
+        }
+        Err(_) => tally.died = true,
+    }
+    tally
+}
+
+/// Issues `MINE <table>` round-robin while the DML clients run — the
+/// snapshot-then-mine path under live write pressure — then one final
+/// pass once the stream has settled (every table exists by then), so
+/// even the shortest run tallies at least one successful mine.
+fn mine_session(addr: std::net::SocketAddr, tables: Vec<String>, done: Arc<AtomicBool>) -> usize {
+    let mut client = match Client::connect_with_timeout(addr, Some(CLIENT_READ_TIMEOUT)) {
+        Ok(c) => c,
+        Err(_) => return 0,
+    };
+    let mut mined = 0usize;
+    let pass = |client: &mut Client, mined: &mut usize| -> bool {
+        for t in &tables {
+            match client.request(&format!("MINE {t}")) {
+                Ok(r) if r.ok => *mined += 1,
+                // Refusals are expected early: a mid-stream table may
+                // not exist yet.
+                Ok(_) => {}
+                Err(_) => return false,
+            }
+        }
+        true
+    };
+    while !done.load(Ordering::Acquire) {
+        if !pass(&mut client, &mut mined) {
+            return mined;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    if pass(&mut client, &mut mined) {
+        let _ = client.quit();
+    }
+    mined
+}
+
 /// Runs one seed end-to-end. A passing run returns its [`RunReport`];
 /// any divergence — recovery panic, a store that matches no prefix of
 /// the admitted history, a miner/oracle disagreement — is a
@@ -271,7 +385,10 @@ pub fn run_one(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".to_owned(),
         wal_dir: Some(dir.clone()),
-        workers: config.clients.max(1),
+        // A session occupies a worker for its lifetime, so the two
+        // ride-along sessions (subscriber + miner) need seats of their
+        // own or they would starve the DML clients.
+        workers: config.clients.max(1) + if config.watch { 2 } else { 0 },
         snapshot_every: plan.snapshot_every,
         wal_shards: config.wal_shards.max(1),
         commit_window: Duration::from_micros(config.commit_window_us),
@@ -284,6 +401,29 @@ pub fn run_one(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
         store.inject_wal_fault_after(k);
     }
     let addr = server.local_addr();
+
+    // The ride-along subscriber registers before any DML client
+    // connects, so its subscription covers the whole durable history
+    // (epoch 1 onward) and completeness is checkable afterwards.
+    let watch_done = Arc::new(AtomicBool::new(false));
+    let watch_handle = if config.watch {
+        let mut watcher = Client::connect_with_timeout(addr, Some(WATCH_POLL))
+            .map_err(|e| fail(format!("watch subscriber failed to connect: {e}")))?;
+        watcher
+            .watch(None)
+            .map_err(|e| fail(format!("WATCH refused: {e}")))?;
+        let done = Arc::clone(&watch_done);
+        Some(std::thread::spawn(move || watch_session(watcher, done)))
+    } else {
+        None
+    };
+    let mine_handle = if config.watch {
+        let tables: Vec<String> = (0..workload.tables).map(|i| format!("t{i}")).collect();
+        let done = Arc::clone(&watch_done);
+        Some(std::thread::spawn(move || mine_session(addr, tables, done)))
+    } else {
+        None
+    };
 
     let clients = config.clients.max(1);
     let handles: Vec<_> = (0..clients)
@@ -332,6 +472,32 @@ pub fn run_one(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
             Err(_) => return Err(fail("client thread panicked".into())),
         }
     }
+
+    // Wind down the ride-alongs while the server (if it survived) is
+    // still up: fence the hub first, so every committed frame has been
+    // mined and queued before the subscriber is told it may stop, then
+    // let the subscriber drain (its UNWATCH flushes the queue) and the
+    // miner finish its settled pass.
+    if config.watch {
+        store.watch_barrier();
+    }
+    watch_done.store(true, Ordering::Release);
+    let mines = match mine_handle {
+        Some(h) => h.join().map_err(|_| fail("mine thread panicked".into()))?,
+        None => 0,
+    };
+    let watch_tally = match watch_handle {
+        Some(h) => {
+            let tally = h.join().map_err(|_| fail("watch thread panicked".into()))?;
+            if tally.died && !killed {
+                return Err(fail(
+                    "watch subscriber died without an injected kill".into(),
+                ));
+            }
+            Some(tally)
+        }
+        None => None,
+    };
 
     if let Some(s) = server.take() {
         s.shutdown()
@@ -422,6 +588,63 @@ pub fn run_one(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
         minecheck.absorb(&report);
     }
 
+    // Stream soundness: every event the subscriber received must be
+    // confirmed by a from-scratch mine of the oplog prefix it claims —
+    // replay the durable history statement by statement and diff the
+    // touched table's fact set across each epoch. The received stream
+    // must be an in-order subsequence of that reference stream (the
+    // hub releases epochs contiguously and the queue is FIFO, so lag
+    // can only drop events, never reorder them), and with no kill and
+    // no lag it must be the whole thing.
+    let (watch_events, watch_lagged) = if let Some(tally) = &watch_tally {
+        let mut db = Database::new();
+        let mut facts: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        let mut expected: Vec<String> = Vec::new();
+        for (i, stmt) in oplog.iter().enumerate() {
+            let epoch = i + 1;
+            let parsed = parse_script(stmt)
+                .map_err(|e| fail(format!("admitted statement does not parse: {e:?}")))?;
+            db.run_script(stmt)
+                .map_err(|e| fail(format!("admitted statement does not replay: {e}")))?;
+            for s in &parsed {
+                let name = match s {
+                    Statement::CreateTable { schema, .. } => schema.name().to_owned(),
+                    Statement::Insert { table, .. } => table.clone(),
+                };
+                let table = db.table(&name).expect("replayed table exists").data();
+                let now = table_facts(table, WATCH_MAX_LHS);
+                let before = facts.entry(name.clone()).or_default();
+                for f in before.difference(&now) {
+                    expected.push(format!("EVENT {epoch} {name} -{f}"));
+                }
+                for f in now.difference(before) {
+                    expected.push(format!("EVENT {epoch} {name} +{f}"));
+                }
+                *before = now;
+            }
+        }
+        let got: Vec<String> = tally.events.iter().map(WatchEvent::line).collect();
+        let mut reference = expected.iter();
+        for line in &got {
+            if !reference.any(|e| e == line) {
+                return Err(fail(format!(
+                    "unsound WATCH event (no from-scratch mine of any remaining \
+                     oplog prefix produces it, in order): {line}"
+                )));
+            }
+        }
+        if !killed && !tally.died && tally.lagged == 0 && got != expected {
+            return Err(fail(format!(
+                "WATCH stream incomplete without lag: received {} of {} events",
+                got.len(),
+                expected.len()
+            )));
+        }
+        (tally.events.len(), tally.lagged)
+    } else {
+        (0, 0)
+    };
+
     let _ = std::fs::remove_dir_all(&dir);
     Ok(RunReport {
         seed: config.seed,
@@ -438,6 +661,9 @@ pub fn run_one(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
         tables: workload.tables,
         mid_stream_ddl: workload.mid_stream_ddl,
         minecheck,
+        watch_events,
+        watch_lagged,
+        mines,
     })
 }
 
@@ -512,6 +738,24 @@ mod tests {
         assert!(report.killed);
         assert!(report.corrupted);
         assert!(report.recovered <= report.admitted);
+    }
+
+    #[test]
+    fn watched_run_cross_checks_the_stream() {
+        let config = HarnessConfig {
+            seed: 5,
+            ops: 60,
+            clients: 2,
+            kill_prob: 0.0,
+            corrupt_prob: 0.0,
+            watch: true,
+            ..HarnessConfig::default()
+        };
+        let report = run_one(&config).expect("watched run passes");
+        assert!(report.watch_events > 0, "subscriber saw no events");
+        assert_eq!(report.watch_lagged, 0, "drain must keep up at this scale");
+        assert!(report.mines > 0, "MINE must ride along with the DML");
+        assert_eq!(report.recovered, report.admitted);
     }
 
     #[test]

@@ -8,9 +8,11 @@
 //! the connection state is indeterminate (a late reply may still be in
 //! flight); callers should drop the client rather than reuse it.
 
-use crate::protocol::{read_reply, Reply};
+use crate::protocol::{parse_status, read_payload, read_reply, Reply};
+use crate::watch::WatchEvent;
+use std::collections::VecDeque;
 use std::fmt;
-use std::io::{self, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
@@ -71,6 +73,16 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// One item off a watched session's event stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StreamItem {
+    /// A discovery fact appeared or was refuted.
+    Event(WatchEvent),
+    /// The server dropped `n` events because this consumer lagged; the
+    /// stream has a gap and a full `MINE` re-baselines it.
+    Lagged(u64),
+}
+
 /// A connected session.
 #[derive(Debug)]
 pub struct Client {
@@ -78,6 +90,14 @@ pub struct Client {
     writer: TcpStream,
     /// The configured read timeout, stamped into [`ClientError::Timeout`].
     timeout: Option<Duration>,
+    /// Partial line carried across a read timeout while streaming.
+    stream_buf: String,
+    /// `true` between an acknowledged `WATCH` and `UNWATCH`: replies
+    /// may then be preceded by framed event lines.
+    watching: bool,
+    /// Events collected while skipping to a reply; consumed by
+    /// [`next_event`](Self::next_event).
+    queued: VecDeque<StreamItem>,
 }
 
 impl Client {
@@ -100,6 +120,9 @@ impl Client {
             reader: BufReader::new(stream),
             writer,
             timeout,
+            stream_buf: String::new(),
+            watching: false,
+            queued: VecDeque::new(),
         })
     }
 
@@ -123,7 +146,44 @@ impl Client {
                 .map_err(|e| self.annotate(e.into()))?;
         }
         self.writer.flush().map_err(|e| self.annotate(e.into()))?;
-        read_reply(&mut self.reader).map_err(|e| self.annotate(e.into()))
+        self.read_reply_skipping_events()
+    }
+
+    /// Reads the next reply; while watching, framed `EVENT`/`LAGGED`
+    /// lines may precede the status line — they are queued for
+    /// [`next_event`](Self::next_event), never lost.
+    fn read_reply_skipping_events(&mut self) -> Result<Reply, ClientError> {
+        if !self.watching {
+            return read_reply(&mut self.reader).map_err(|e| self.annotate(e.into()));
+        }
+        loop {
+            let line = self.read_session_line()?;
+            if let Some(item) = classify_stream_line(&line) {
+                self.queued.push_back(item?);
+                continue;
+            }
+            let (ok, n, message) = parse_status(&line).map_err(|e| self.annotate(e.into()))?;
+            let lines = read_payload(&mut self.reader, n).map_err(|e| self.annotate(e.into()))?;
+            return Ok(Reply { ok, message, lines });
+        }
+    }
+
+    /// Reads one complete line, preserving a partial line across
+    /// timeouts (the server's idle event flush can race the timeout).
+    fn read_session_line(&mut self) -> Result<String, ClientError> {
+        match self.reader.read_line(&mut self.stream_buf) {
+            Ok(0) => Err(ClientError::ServerClosed),
+            Ok(_) if self.stream_buf.ends_with('\n') => {
+                let mut line = std::mem::take(&mut self.stream_buf);
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                Ok(line)
+            }
+            // A read that returns data without a newline hit EOF.
+            Ok(_) => Err(ClientError::ServerClosed),
+            Err(e) => Err(self.annotate(e.into())),
+        }
     }
 
     /// Scrapes the `METRICS` exposition (the payload lines, rejoined).
@@ -163,7 +223,7 @@ impl Client {
         self.writer.flush().map_err(|e| self.annotate(e.into()))?;
         let mut replies = Vec::with_capacity(stmts.len());
         for _ in 0..stmts.len() {
-            replies.push(read_reply(&mut self.reader).map_err(|e| self.annotate(e.into()))?);
+            replies.push(self.read_reply_skipping_events()?);
         }
         Ok(replies)
     }
@@ -208,6 +268,74 @@ impl Client {
     pub fn quit(mut self) -> Result<(), ClientError> {
         let _ = self.request("QUIT")?;
         Ok(())
+    }
+
+    /// Subscribes this session to live discovery events (`WATCH`),
+    /// optionally restricted to one table. After this, use
+    /// [`next_event`](Self::next_event) to pull the stream.
+    pub fn watch(&mut self, table: Option<&str>) -> Result<Reply, ClientError> {
+        let line = match table {
+            Some(t) => format!("WATCH {t}"),
+            None => "WATCH".to_owned(),
+        };
+        let reply = self.request(&line)?;
+        if reply.ok {
+            self.watching = true;
+            Ok(reply)
+        } else {
+            Err(ClientError::Refused(reply.message))
+        }
+    }
+
+    /// Waits for the next streamed item. `Ok(None)` means the read
+    /// timed out with no event — the stream is idle, not broken.
+    pub fn next_event(&mut self) -> Result<Option<StreamItem>, ClientError> {
+        if let Some(item) = self.queued.pop_front() {
+            return Ok(Some(item));
+        }
+        if !self.watching {
+            return Err(ClientError::Protocol("session is not watching".into()));
+        }
+        match self.read_session_line() {
+            Ok(line) => match classify_stream_line(&line) {
+                Some(item) => item.map(Some),
+                None => Err(ClientError::Protocol(format!(
+                    "unexpected line while watching: {line:?}"
+                ))),
+            },
+            Err(ClientError::Timeout(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Cancels the subscription (`UNWATCH`). The server drains queued
+    /// events before confirming; they are returned along with any
+    /// events collected earlier, in stream order.
+    pub fn unwatch(&mut self) -> Result<(Vec<StreamItem>, Reply), ClientError> {
+        let reply = self.request("UNWATCH")?;
+        self.watching = false;
+        let items: Vec<StreamItem> = self.queued.drain(..).collect();
+        if reply.ok {
+            Ok((items, reply))
+        } else {
+            Err(ClientError::Refused(reply.message))
+        }
+    }
+}
+
+/// Classifies a framed stream line; `None` means the line is not an
+/// event frame (likely a reply status line).
+fn classify_stream_line(line: &str) -> Option<Result<StreamItem, ClientError>> {
+    if line.starts_with("EVENT ") {
+        Some(match WatchEvent::parse(line) {
+            Some(ev) => Ok(StreamItem::Event(ev)),
+            None => Err(ClientError::Protocol(format!("bad event line {line:?}"))),
+        })
+    } else {
+        line.strip_prefix("LAGGED ").map(|n| match n.parse() {
+            Ok(n) => Ok(StreamItem::Lagged(n)),
+            Err(_) => Err(ClientError::Protocol(format!("bad lag line {line:?}"))),
+        })
     }
 }
 

@@ -198,6 +198,12 @@ pub struct GroupWal {
     /// `fsync` ([`FAULT_ANY`] = whichever commits first,
     /// [`FAULT_NONE`] = disarmed).
     fsync_fault: AtomicU64,
+    /// Commit-time listener (the store's WATCH hub): every batch that
+    /// becomes durable on its shard is forwarded as `(epoch, payload)`
+    /// frames. Failed batches are never sent, so a listener that
+    /// releases epochs contiguously observes exactly the cross-shard
+    /// durable watermark.
+    listener: Mutex<Option<std::sync::mpsc::Sender<crate::watch::HubMsg>>>,
 }
 
 impl GroupWal {
@@ -213,6 +219,7 @@ impl GroupWal {
             failed_floor: AtomicU64::new(u64::MAX),
             oplog: Mutex::new(None),
             fsync_fault: AtomicU64::new(FAULT_NONE),
+            listener: Mutex::new(None),
         }
     }
 
@@ -265,6 +272,7 @@ impl GroupWal {
             failed_floor: AtomicU64::new(u64::MAX),
             oplog: Mutex::new(None),
             fsync_fault: AtomicU64::new(FAULT_NONE),
+            listener: Mutex::new(None),
         };
         Ok((wal, run))
     }
@@ -286,6 +294,12 @@ impl GroupWal {
     /// every table lock held).
     pub fn epoch_next(&self) -> u64 {
         self.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Install the commit-time listener (the store's WATCH hub). Set
+    /// once at store construction, before any writer runs.
+    pub(crate) fn set_listener(&self, tx: std::sync::mpsc::Sender<crate::watch::HubMsg>) {
+        *self.listener.lock().unwrap() = Some(tx);
     }
 
     /// Assigns `payload` its epoch and its place in its shard's commit
@@ -452,6 +466,13 @@ impl GroupWal {
             Ok(()) => {
                 if let Some(log) = self.oplog.lock().unwrap().as_mut() {
                     log.extend(batch.iter().cloned());
+                }
+                // Frames are durable on this shard from here on:
+                // notify the WATCH hub. The hub's contiguous-epoch
+                // release turns per-shard durability into the
+                // cross-shard watermark.
+                if let Some(tx) = self.listener.lock().unwrap().as_ref() {
+                    let _ = tx.send(crate::watch::HubMsg::Batch(batch.clone()));
                 }
                 shard.durable.fetch_add(n, Ordering::Release);
                 {

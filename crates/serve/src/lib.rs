@@ -37,11 +37,15 @@ pub mod protocol;
 pub mod server;
 pub mod store;
 pub mod wal;
+pub mod watch;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, StreamItem};
 pub use commit::FsyncMode;
 pub use metrics::{parse_exposition, Sample, SlowEntry, Stage};
 pub use protocol::{Reply, Request};
 pub use server::{ServeConfig, Server};
 pub use store::{ServeError, Store, StoreOptions};
 pub use wal::Wal;
+pub use watch::{
+    table_facts, Subscription, WatchEvent, WatchHub, DEFAULT_WATCH_QUEUE, WATCH_MAX_LHS,
+};

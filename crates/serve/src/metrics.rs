@@ -324,6 +324,8 @@ pub fn verb_label(req: &crate::protocol::Request) -> &'static str {
         Request::Stats => "stats",
         Request::Metrics => "metrics",
         Request::Trace(_) => "trace",
+        Request::Watch(_) => "watch",
+        Request::Unwatch => "unwatch",
         Request::Quit => "quit",
         Request::Shutdown => "shutdown",
         Request::Sql(_) => "sql",

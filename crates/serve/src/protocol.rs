@@ -14,9 +14,17 @@
 //! STATS                        server counters
 //! METRICS                      Prometheus-style text exposition
 //! TRACE [n]                    last n flight-recorder events (default 64)
+//! WATCH [table]                stream live discovery events (all tables
+//!                              when no table is named)
+//! UNWATCH                      stop streaming; drains pending events
 //! QUIT                         close this session
 //! SHUTDOWN                     stop the whole server (final snapshot)
 //! ```
+//!
+//! While a session is watching, the server may interleave framed event
+//! lines between replies (never inside one): `EVENT <epoch> <table>
+//! +<fact>` / `-<fact>` and `LAGGED <n>` — see [`crate::watch`] for
+//! the fact grammar and the backpressure contract.
 //!
 //! Any other line feeds the SQL accumulator; a statement is complete
 //! when every `'…'` string literal (`''` escapes a quote) and every
@@ -67,6 +75,11 @@ pub enum Request {
     Metrics,
     /// The last `n` flight-recorder trace events.
     Trace(usize),
+    /// Subscribe this session to live discovery events, optionally
+    /// restricted to one table.
+    Watch(Option<String>),
+    /// Cancel this session's subscription.
+    Unwatch,
     /// End this session.
     Quit,
     /// Stop the server.
@@ -148,6 +161,16 @@ pub fn read_reply(reader: &mut impl std::io::BufRead) -> std::io::Result<Reply> 
         return Err(Error::new(ErrorKind::UnexpectedEof, "server closed"));
     }
     let status = status.trim_end_matches(['\r', '\n']);
+    let (ok, n, message) = parse_status(status)?;
+    let lines = read_payload(reader, n)?;
+    Ok(Reply { ok, message, lines })
+}
+
+/// Splits a status line into `(ok, payload-count, message)`. Exposed
+/// within the crate so the client can classify a line that might
+/// instead be a framed `EVENT`/`LAGGED` while a session is watching.
+pub(crate) fn parse_status(status: &str) -> std::io::Result<(bool, usize, String)> {
+    use std::io::{Error, ErrorKind};
     let bad = || {
         Error::new(
             ErrorKind::InvalidData,
@@ -162,6 +185,16 @@ pub fn read_reply(reader: &mut impl std::io::BufRead) -> std::io::Result<Reply> 
     };
     let n: usize = parts.next().ok_or_else(bad)?.parse().map_err(|_| bad())?;
     let message = parts.next().unwrap_or("").to_owned();
+    Ok((ok, n, message))
+}
+
+/// Reads `n` announced payload lines (events never interleave inside
+/// a reply, so this read is unconditional).
+pub(crate) fn read_payload(
+    reader: &mut impl std::io::BufRead,
+    n: usize,
+) -> std::io::Result<Vec<String>> {
+    use std::io::{Error, ErrorKind};
     let mut lines = Vec::with_capacity(n);
     for _ in 0..n {
         let mut line = String::new();
@@ -173,7 +206,7 @@ pub fn read_reply(reader: &mut impl std::io::BufRead) -> std::io::Result<Reply> 
         }
         lines.push(line);
     }
-    Ok(Reply { ok, message, lines })
+    Ok(lines)
 }
 
 /// Accumulates request lines into complete [`Request`]s. SQL
@@ -288,6 +321,9 @@ fn parse_verb(line: &str) -> Option<Request> {
         ("TRACE", [n]) => n.parse().ok().map(Request::Trace),
         ("QUIT", []) => Some(Request::Quit),
         ("SHUTDOWN", []) => Some(Request::Shutdown),
+        ("WATCH", []) => Some(Request::Watch(None)),
+        ("WATCH", [t]) => Some(Request::Watch(Some((*t).to_owned()))),
+        ("UNWATCH", []) => Some(Request::Unwatch),
         ("DUMP", rest) => one_table(rest).map(Request::Dump),
         ("NORMALIZE", rest) => one_table(rest).map(Request::Normalize),
         ("MINE", [table]) => Some(Request::Mine {

@@ -14,6 +14,7 @@ use crate::commit::FsyncMode;
 use crate::metrics::{self, SlowEntry};
 use crate::protocol::{Accumulator, Reply, Request};
 use crate::store::{Pending, ServeError, Store, StoreOptions};
+use crate::watch::Subscription;
 use sqlnf_core::prelude::*;
 use sqlnf_discovery::prelude::*;
 use std::io::{self, BufRead, BufReader, Write};
@@ -252,6 +253,11 @@ fn handle_session(
     let mut line = String::new();
     let mut staged: Vec<(Reply, usize)> = Vec::new();
     let mut pending = Pending::default();
+    // The session's live WATCH subscription, if any. Events are
+    // drained to the socket only between requests (on the idle poll),
+    // so a framed event never splits a reply. Dropping the handle —
+    // on UNWATCH, QUIT, or any disconnect path — unregisters it.
+    let mut watching: Option<Subscription> = None;
     loop {
         match reader.read_line(&mut line) {
             Ok(0) => {
@@ -280,6 +286,28 @@ fn handle_session(
                         write_reply(&mut writer, &Reply::ok("shutting down"))?;
                         shutdown.store(true, Ordering::SeqCst);
                         return Ok(());
+                    }
+                    // WATCH and UNWATCH mutate session state, so they
+                    // are handled here rather than in `dispatch`.
+                    Request::Watch(filter) => {
+                        settle(store, &mut writer, &mut staged, &mut pending)?;
+                        let _span = sqlnf_obs::span!("serve.verb.watch");
+                        let label = filter.as_deref().unwrap_or("*").to_owned();
+                        watching = Some(store.watch(filter));
+                        write_reply(&mut writer, &Reply::ok(format!("watching {label}")))?;
+                    }
+                    Request::Unwatch => {
+                        settle(store, &mut writer, &mut staged, &mut pending)?;
+                        let _span = sqlnf_obs::span!("serve.verb.unwatch");
+                        // Flush everything queued before the
+                        // subscription dies, then confirm.
+                        flush_watch(&mut writer, watching.as_ref())?;
+                        let reply = if watching.take().is_some() {
+                            Reply::ok("unwatched")
+                        } else {
+                            Reply::err("not watching")
+                        };
+                        write_reply(&mut writer, &reply)?;
                     }
                     Request::Sql(src) => {
                         let (reply, tickets) = dispatch_sql_enqueue(store, &src, &mut pending);
@@ -314,6 +342,7 @@ fn handle_session(
                 ) =>
             {
                 settle(store, &mut writer, &mut staged, &mut pending)?;
+                flush_watch(&mut writer, watching.as_ref())?;
                 if shutdown.load(Ordering::SeqCst) || kill.load(Ordering::SeqCst) {
                     return Ok(()); // drain: drop idle sessions
                 }
@@ -366,6 +395,25 @@ fn settle(
 fn write_reply(writer: &mut TcpStream, reply: &Reply) -> io::Result<()> {
     writer.write_all(reply.to_string().as_bytes())?;
     writer.flush()
+}
+
+/// Drain a watching session's queued discovery events to the socket.
+/// Called only between requests (idle poll or UNWATCH), so events
+/// never interleave inside a reply.
+fn flush_watch(writer: &mut TcpStream, watching: Option<&Subscription>) -> io::Result<()> {
+    if let Some(sub) = watching {
+        let lines = sub.drain();
+        if !lines.is_empty() {
+            let mut out = String::new();
+            for line in &lines {
+                out.push_str(line);
+                out.push('\n');
+            }
+            writer.write_all(out.as_bytes())?;
+            writer.flush()?;
+        }
+    }
+    Ok(())
 }
 
 /// The SQL half of [`dispatch`]: applies and enqueues, but leaves the
@@ -432,6 +480,8 @@ pub fn dispatch(store: &Store, req: Request) -> Reply {
             "stats" => sqlnf_obs::span!("serve.verb.stats"),
             "metrics" => sqlnf_obs::span!("serve.verb.metrics"),
             "trace" => sqlnf_obs::span!("serve.verb.trace"),
+            "watch" => sqlnf_obs::span!("serve.verb.watch"),
+            "unwatch" => sqlnf_obs::span!("serve.verb.unwatch"),
             "sql" => sqlnf_obs::span!("serve.verb.sql"),
             _ => sqlnf_obs::span!("serve.verb.other"),
         };
@@ -455,6 +505,11 @@ fn run_request(store: &Store, req: Request) -> Result<Reply, ServeError> {
         Request::Ping => Ok(Reply::ok("pong")),
         Request::Quit => Ok(Reply::ok("bye")),
         Request::Shutdown => Ok(Reply::ok("shutting down")),
+        // Session-stateful verbs; `handle_session` intercepts them, so
+        // this arm is only reachable through a direct `dispatch` call.
+        Request::Watch(_) | Request::Unwatch => Ok(Reply::err(
+            "WATCH requires an interactive session".to_string(),
+        )),
         Request::Tables => {
             let names = store.table_names();
             Ok(Reply::ok_with(format!("{} tables", names.len()), names))
@@ -491,12 +546,18 @@ fn run_request(store: &Store, req: Request) -> Result<Reply, ServeError> {
             let lines: Vec<String> = csv.lines().map(str::to_owned).collect();
             Reply::ok_with(format!("{} rows", st.data().len()), lines)
         }),
-        Request::Mine { table, max_lhs } => store.with_table(&table, |st| {
-            let max_lhs = max_lhs.clamp(1, st.data().schema().arity().max(1));
-            let report = mine_report(&table, st.data(), max_lhs, DEFAULT_CACHE_BUDGET);
+        Request::Mine { table, max_lhs } => {
+            // Snapshot the instance under the read lock, then mine
+            // *outside* it: a full mining run is O(2^arity · rows)
+            // and must not stall writers (or the snapshotter, which
+            // takes every table lock in name order) for its duration.
+            // See DESIGN.md §8.
+            let snap = store.with_table(&table, |st| st.data().clone())?;
+            let max_lhs = max_lhs.clamp(1, snap.schema().arity().max(1));
+            let report = mine_report(&table, &snap, max_lhs, DEFAULT_CACHE_BUDGET);
             let lines: Vec<String> = report.lines().map(str::to_owned).collect();
-            Reply::ok_with("mined", lines)
-        }),
+            Ok(Reply::ok_with("mined", lines))
+        }
         Request::Closure { table, columns } => {
             store.with_table(&table, |st| closure_reply(st, &columns))?
         }

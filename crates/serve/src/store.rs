@@ -30,6 +30,7 @@
 use crate::commit::{FsyncMode, GroupWal, Ticket};
 use crate::metrics::{self, SlowEntry, SlowLog, Stage};
 use crate::wal::{self, Wal, SNAPSHOT_FILE};
+use crate::watch::{Subscription, WatchHub, DEFAULT_WATCH_QUEUE};
 use sqlnf_core::prelude::*;
 use std::collections::BTreeMap;
 use std::io;
@@ -211,6 +212,10 @@ pub struct Store {
     /// store emits, so tests sharing the process-global recorder can
     /// filter their own events out of the stream.
     nonce: u64,
+    /// The WATCH subscription hub (see [`crate::watch`]): a thread
+    /// shadowing committed history with incremental miners, fed from
+    /// the commit plane post-durability.
+    watch: WatchHub,
 }
 
 /// Source of store nonces (flight events carry them as values).
@@ -226,9 +231,12 @@ impl Store {
     /// count and commit window still shape batching even without
     /// backing files).
     pub fn ephemeral_with(opts: StoreOptions) -> Store {
+        let wal = GroupWal::ephemeral(opts.wal_shards, opts.commit_window, opts.fsync);
+        let watch = WatchHub::spawn(Vec::new(), wal.epoch_next(), DEFAULT_WATCH_QUEUE);
+        wal.set_listener(watch.sender());
         Store {
             tables: RwLock::new(BTreeMap::new()),
-            wal: GroupWal::ephemeral(opts.wal_shards, opts.commit_window, opts.fsync),
+            wal,
             dir: None,
             generation: Mutex::new(0),
             snapshot_every: 0,
@@ -237,6 +245,7 @@ impl Store {
             stats: StoreStats::default(),
             slow: SlowLog::default(),
             nonce: NONCE.fetch_add(1, Ordering::Relaxed),
+            watch,
         }
     }
 
@@ -284,6 +293,14 @@ impl Store {
             opts.commit_window,
             opts.fsync,
         )?;
+        // Seed the WATCH hub's shadow state with the recovered history
+        // so a subscriber's baseline matches the live registry; the
+        // cursor starts at the first epoch the resumed store can
+        // commit.
+        let mut preamble = vec![script.clone()];
+        preamble.extend(replayed.iter().cloned());
+        let watch = WatchHub::spawn(preamble, gwal.epoch_next(), DEFAULT_WATCH_QUEUE);
+        gwal.set_listener(watch.sender());
         let store = Store {
             tables: RwLock::new(BTreeMap::new()),
             wal: gwal,
@@ -295,6 +312,7 @@ impl Store {
             stats: StoreStats::default(),
             slow: SlowLog::default(),
             nonce: NONCE.fetch_add(1, Ordering::Relaxed),
+            watch,
         };
         store.apply_script_unlogged(&script)?;
         for stmt in &replayed {
@@ -372,6 +390,21 @@ impl Store {
             metrics::timed(Stage::LockTable, || arc.read().unwrap())
         };
         Ok(f(&st))
+    }
+
+    /// Subscribe to live discovery events; `filter` limits the stream
+    /// to one table (`None` = every table). Events begin at the
+    /// store's current committed state — the hub mines a silent
+    /// baseline at registration and streams only subsequent diffs.
+    pub fn watch(&self, filter: Option<String>) -> Subscription {
+        self.watch.subscribe(filter)
+    }
+
+    /// Block until the WATCH hub has processed every commit
+    /// notification sent so far (deterministic fence for tests and the
+    /// harness).
+    pub fn watch_barrier(&self) {
+        self.watch.barrier();
     }
 
     /// Parses and executes a SQL script, enqueuing each applied

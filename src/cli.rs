@@ -99,6 +99,10 @@ USAGE:
     sqlnf check <file.sql>             run script, validate data, report redundancy
     sqlnf profile <file.csv>           table statistics
     sqlnf mine <file.csv> [max_lhs]    discover & classify FDs (default LHS cap 3)
+    sqlnf mine <file.csv> --incremental[=K]
+                                       same report via the incremental engine
+                                       (rows applied as deltas; K > 0 audits
+                                       against a full re-mine every K deltas)
     sqlnf dataset <name> [seed]        emit an evaluation dataset as CSV
                                        (contact | contractor | fig7 | purchase)
     sqlnf serve [--port N] [--wal-dir DIR] [--workers N] [--snapshot-every N]
@@ -112,20 +116,27 @@ USAGE:
                                        lines may mix SQL and service verbs)
     sqlnf client <host:port> --metrics one-shot METRICS scrape (the raw
                                        Prometheus-style text exposition)
+    sqlnf client <host:port> --watch [table]
+                                       subscribe to live discovery events
+                                       (WATCH; streams EVENT/LAGGED lines
+                                       until the server closes the session)
     sqlnf top <host:port> [--interval MS] [--samples N]
                                        live per-verb request/p50/p99/throughput
                                        table polled from METRICS (default
                                        interval 1000ms; N=0 polls forever,
                                        the default)
     sqlnf harness [--seed N | --seed A..=B] [--ops N] [--clients N]
-                  [--kill-prob P] [--corrupt-prob P]
+                  [--kill-prob P] [--corrupt-prob P] [--watch]
                   [--wal-shards N] [--commit-window-us N] [--fsync always|batch]
                                        seeded fault-injection + differential
                                        harness over the server, WAL and miner
                                        (deterministic per seed; failures print
                                        a minimized replayable seed/op-count;
                                        defaults: seed 1, ops 500, clients 4,
-                                       probabilities 0.5; see DESIGN.md §9)
+                                       probabilities 0.5; --watch rides a WATCH
+                                       subscriber + MINE session along and
+                                       cross-checks the event stream against
+                                       from-scratch mines; see DESIGN.md §9)
 
 FLAGS (any subcommand):
     --stats                            print an observability report to stderr
@@ -256,10 +267,27 @@ pub fn cmd_mine(
     csv_src: &str,
     name: &str,
     max_lhs: usize,
-    cache_budget: usize,
+    opts: &MineOptions,
 ) -> Result<String, CliError> {
     let table = table_from_csv(name, csv_src)?;
-    Ok(mine_report(name, &table, max_lhs, cache_budget))
+    match opts.incremental {
+        None => Ok(mine_report(name, &table, max_lhs, opts.cache_budget)),
+        Some(every) => {
+            // Exercise the delta path: every row is applied as an
+            // insert delta, then the report renders off the maintained
+            // state. The output is byte-identical to the from-scratch
+            // path (and `--incremental=K` asserts exactly that every K
+            // deltas).
+            let mut m = IncrementalMiner::new(table.schema().clone());
+            if every > 0 {
+                m = m.with_reconcile_every(every);
+            }
+            for row in table.rows() {
+                m.insert(row.clone());
+            }
+            Ok(m.report(name, max_lhs, opts.cache_budget))
+        }
+    }
 }
 
 /// Parses the `serve` subcommand's flags.
@@ -404,6 +432,25 @@ pub fn cmd_client(addr: &str, script: &str) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// `sqlnf client --watch [table]`: subscribe and stream discovery
+/// events to stdout as they arrive, until the server closes the
+/// session (or the process is interrupted).
+pub fn cmd_client_watch(addr: &str, table: Option<&str>) -> Result<String, CliError> {
+    use sqlnf_serve::{ClientError, StreamItem};
+    let mut client = sqlnf_serve::Client::connect(addr)?;
+    let reply = client.watch(table)?;
+    println!("OK {}", reply.message);
+    loop {
+        match client.next_event() {
+            Ok(Some(StreamItem::Event(ev))) => println!("{}", ev.line()),
+            Ok(Some(StreamItem::Lagged(n))) => println!("LAGGED {n}"),
+            Ok(None) => continue, // idle poll; keep streaming
+            Err(ClientError::ServerClosed) => return Ok(String::new()),
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
 /// `sqlnf client --metrics`: one-shot METRICS scrape, raw exposition.
 pub fn cmd_client_metrics(addr: &str) -> Result<String, CliError> {
     let mut client = sqlnf_serve::Client::connect(addr)?;
@@ -505,6 +552,26 @@ fn top_frame(
             let _ = writeln!(
                 out,
                 "commit batches {batches:.0}  size p50 {p50:.0}  p99 {p99:.0}"
+            );
+        }
+    }
+    // Incremental-discovery health (the WATCH hub's shadow miners):
+    // deltas applied, candidate FDs/keys re-examined, audit re-mines,
+    // and the high-water candidate frontier.
+    let incr = |name: &str| {
+        samples
+            .iter()
+            .find(|s| s.name == "sqlnf_counter" && s.label("name") == Some(name))
+            .map(|s| s.value)
+    };
+    if let Some(deltas) = incr("discovery.incr.deltas") {
+        if deltas > 0.0 {
+            let _ = writeln!(
+                out,
+                "incr deltas {deltas:.0}  touched {:.0}  reconciles {:.0}  frontier {:.0}",
+                incr("discovery.incr.candidates_touched").unwrap_or(0.0),
+                incr("discovery.incr.reconciles").unwrap_or(0.0),
+                incr("discovery.incr.frontier_size").unwrap_or(0.0),
             );
         }
     }
@@ -648,6 +715,7 @@ fn parse_harness_args(
                     CliError::Usage(format!("bad --fsync {v:?} (always | batch)\n\n{USAGE}"))
                 })?;
             }
+            "--watch" => config.watch = true,
             other => {
                 return Err(CliError::Usage(format!(
                     "unknown harness flag {other:?}\n\n{USAGE}"
@@ -725,12 +793,18 @@ pub struct MineOptions {
     /// `--cache-budget <bytes>`: byte budget of the miner's level-wise
     /// partition cache. Results are identical for any value.
     pub cache_budget: usize,
+    /// `--incremental[=K]`: route `mine` through the incremental
+    /// engine, applying every row as a delta. `Some(0)` never audits;
+    /// `Some(k)` re-mines from scratch and asserts equivalence every
+    /// `k` deltas. Output is byte-identical either way.
+    pub incremental: Option<u64>,
 }
 
 impl Default for MineOptions {
     fn default() -> Self {
         MineOptions {
             cache_budget: DEFAULT_CACHE_BUDGET,
+            incremental: None,
         }
     }
 }
@@ -765,6 +839,13 @@ pub fn split_mine_args(args: &[String]) -> Result<(Vec<String>, MineOptions), Cl
             })?;
             opts.cache_budget = parse_budget(v)
                 .ok_or_else(|| CliError::Usage(format!("bad --cache-budget {v:?}\n\n{USAGE}")))?;
+        } else if a == "--incremental" {
+            opts.incremental = Some(0);
+        } else if let Some(k) = a.strip_prefix("--incremental=") {
+            let k: u64 = k
+                .parse()
+                .map_err(|_| CliError::Usage(format!("bad --incremental {k:?}\n\n{USAGE}")))?;
+            opts.incremental = Some(k);
         } else {
             rest.push(a.clone());
         }
@@ -813,18 +894,14 @@ fn dispatch(args: &[String], mine: &MineOptions) -> Result<(String, Option<JsonV
             let p = profile(&table);
             Ok((render_profile(&p), Some(profile_to_json(&p))))
         }
-        [cmd, file] if cmd == "mine" => Ok((
-            cmd_mine(&read(file)?, &base_name(file), 3, mine.cache_budget)?,
-            None,
-        )),
+        [cmd, file] if cmd == "mine" => {
+            Ok((cmd_mine(&read(file)?, &base_name(file), 3, mine)?, None))
+        }
         [cmd, file, cap] if cmd == "mine" => {
             let cap: usize = cap
                 .parse()
                 .map_err(|_| CliError::Usage(format!("bad max_lhs {cap:?}\n\n{USAGE}")))?;
-            Ok((
-                cmd_mine(&read(file)?, &base_name(file), cap, mine.cache_budget)?,
-                None,
-            ))
+            Ok((cmd_mine(&read(file)?, &base_name(file), cap, mine)?, None))
         }
         [cmd, rest @ ..] if cmd == "serve" => Ok((cmd_serve(rest)?, None)),
         [cmd, rest @ ..] if cmd == "harness" => Ok((cmd_harness(rest)?, None)),
@@ -835,6 +912,12 @@ fn dispatch(args: &[String], mine: &MineOptions) -> Result<(String, Option<JsonV
         }
         [cmd, addr, flag] if cmd == "client" && flag == "--metrics" => {
             Ok((cmd_client_metrics(addr)?, None))
+        }
+        [cmd, addr, flag] if cmd == "client" && flag == "--watch" => {
+            Ok((cmd_client_watch(addr, None)?, None))
+        }
+        [cmd, addr, flag, table] if cmd == "client" && flag == "--watch" => {
+            Ok((cmd_client_watch(addr, Some(table))?, None))
         }
         [cmd, addr, file] if cmd == "client" => Ok((cmd_client(addr, &read(file)?)?, None)),
         [cmd, addr, rest @ ..] if cmd == "top" => Ok((cmd_top(addr, rest)?, None)),
@@ -949,11 +1032,22 @@ mod tests {
         let prof = cmd_profile(csv, "contacts").unwrap();
         assert!(prof.contains("contacts"));
         assert!(prof.contains("city"));
-        let mined = cmd_mine(csv, "contacts", 2, DEFAULT_CACHE_BUDGET).unwrap();
+        let mined = cmd_mine(csv, "contacts", 2, &MineOptions::default()).unwrap();
         assert!(mined.contains("nn-FD"));
         assert!(mined.contains("{city}"));
-        // A zero cache budget changes nothing but throughput.
-        assert_eq!(mined, cmd_mine(csv, "contacts", 2, 0).unwrap());
+        // A zero cache budget changes nothing but throughput, and the
+        // incremental engine (auditing on every delta) is byte-
+        // identical to the from-scratch path.
+        let zero = MineOptions {
+            cache_budget: 0,
+            incremental: None,
+        };
+        assert_eq!(mined, cmd_mine(csv, "contacts", 2, &zero).unwrap());
+        let incr = MineOptions {
+            cache_budget: DEFAULT_CACHE_BUDGET,
+            incremental: Some(1),
+        };
+        assert_eq!(mined, cmd_mine(csv, "contacts", 2, &incr).unwrap());
     }
 
     #[test]
@@ -1087,12 +1181,14 @@ mod tests {
             "200",
             "--fsync",
             "batch",
+            "--watch",
         ]))
         .unwrap();
         assert_eq!(seeds, vec![2, 3, 4]);
         assert_eq!(config.wal_shards, 4);
         assert_eq!(config.commit_window_us, 200);
         assert_eq!(config.fsync, sqlnf_serve::FsyncMode::Batch);
+        assert!(config.watch);
         for bad in [
             &["--wal-shards", "0"][..],
             &["--commit-window-us", "soon"],
@@ -1175,7 +1271,7 @@ QUIT
         assert_eq!(table.len(), 173);
         assert_eq!(table.schema().arity(), 22);
         // Full pipeline: the emitted dataset mines like the original.
-        let out = cmd_mine(&csv, "contractor", 2, DEFAULT_CACHE_BUDGET).unwrap();
+        let out = cmd_mine(&csv, "contractor", 2, &MineOptions::default()).unwrap();
         assert!(out.contains("minimal FDs"));
         assert!(matches!(cmd_dataset("bogus", 1), Err(CliError::Usage(_))));
     }

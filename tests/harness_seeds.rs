@@ -193,6 +193,34 @@ fn seed_flight_recorder_and_metrics_match_oplog() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Seed 5 with ride-alongs: a `WATCH` subscriber and a `MINE`-issuing
+/// session run beside two DML clients. `run_one` cross-checks every
+/// streamed FD/key event against a from-scratch mine of the oplog
+/// prefix it claims, and — since nothing is killed and nothing lags —
+/// requires the received stream to equal the full reference stream.
+#[test]
+fn seed_5_watch_stream_is_sound_and_complete() {
+    let c = HarnessConfig {
+        seed: 5,
+        ops: 150,
+        clients: 2,
+        kill_prob: 0.0,
+        corrupt_prob: 0.0,
+        watch: true,
+        ..HarnessConfig::default()
+    };
+    let report = run_one(&c).expect("watched differential run passes");
+    assert!(!report.killed && !report.corrupted);
+    assert!(report.watch_events > 0, "subscriber saw no events");
+    assert_eq!(report.watch_lagged, 0, "subscriber must keep up");
+    assert!(report.mines > 0, "MINE must interleave with the DML");
+    assert_eq!(report.recovered, report.admitted);
+    assert!(
+        report.line().contains("watch ev"),
+        "summary surfaces the stream"
+    );
+}
+
 /// Seed 7: a DDL-heavy stream — CREATE TABLEs keep arriving mid-run
 /// while four clients insert concurrently — shut down gracefully; the
 /// recovered store must equal the full serial replay.
