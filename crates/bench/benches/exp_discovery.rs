@@ -20,10 +20,10 @@
 //! Every measurement goes through `measure()`/`write_bench_json`, so a
 //! run leaves a counter-annotated `BENCH_discovery.json` behind (build
 //! with `--features obs` for the counters; see `bench-baselines/` for
-//! the committed before/after pair of the partition-cache work).
+//! the committed before/after pair of the columnar-storage work).
 
 use sqlnf_bench::{banner, fmt_duration, measure, render_table, write_bench_json, BenchRecord};
-use sqlnf_datagen::naumann::{adult_like, breast_cancer_like, hepatitis_like};
+use sqlnf_datagen::naumann::{adult_like, breast_cancer_like, hepatitis_like, million_like};
 use sqlnf_discovery::check::Semantics;
 use sqlnf_discovery::mine::{mine_fds, MinerConfig, MiningResult};
 use sqlnf_model::table::Table;
@@ -69,11 +69,22 @@ fn main() {
     let adult = adult_like(20_160_626);
 
     let mut records: Vec<BenchRecord> = Vec::new();
-    let rows = vec![
+    let mut rows = vec![
         run("breast-cancer", &bc, 4, &mut records),
         run("adult", &adult, 4, &mut records),
         run("hepatitis", &hep, 4, &mut records),
     ];
+
+    // Beyond the paper's table: the million-row telemetry regime the
+    // columnar dictionary-code storage targets (8 low-cardinality
+    // columns, planted site→region and device_class→firmware FDs).
+    // LHS capped at 3 — at this scale the interesting comparison is
+    // rows/second, not lattice depth. Built after the paper tables are
+    // measured so its ~350 MB of row storage doesn't sit on the heap
+    // (and in the allocator's free lists) during their timings.
+    let million = million_like(20_160_626);
+    rows.push(run("million", &million, 3, &mut records));
+    drop(million);
 
     print!(
         "{}",

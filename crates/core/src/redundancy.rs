@@ -82,7 +82,7 @@ pub fn is_redundant(table: &Table, sigma: &Sigma, pos: Position) -> bool {
     }
     let mut scratch = table.clone();
     for cand in substitution_candidates(table, pos) {
-        *scratch.row_mut(pos.row).get_mut(pos.col) = cand;
+        scratch.set_value(pos.row, pos.col, cand);
         if affected.iter().all(|c| satisfies(&scratch, c)) {
             return false;
         }

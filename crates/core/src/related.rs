@@ -97,7 +97,7 @@ pub fn for_each_possible_world(table: &Table, mut f: impl FnMut(&Table) -> bool)
     let mut idx = vec![0usize; nulls.len()];
     loop {
         for (k, &(r, a)) in nulls.iter().enumerate() {
-            *world.row_mut(r).get_mut(a) = cand[k][idx[k]].clone();
+            world.set_value(r, a, cand[k][idx[k]].clone());
         }
         if !f(&world) {
             return false;

@@ -62,7 +62,7 @@ impl<'a> PartitionCtx<'a> {
             sem,
             singles: Vec::new(),
             universal: None,
-            scratch: ProductScratch::with_rows(enc.rows()),
+            scratch: ProductScratch::for_encoded(enc),
             memo: HashMap::new(),
             memo_bytes: 0,
             budget,
@@ -118,6 +118,17 @@ impl<'a> PartitionCtx<'a> {
                     return Rc::clone(p);
                 }
                 sqlnf_obs::count!("discovery.partition.cache.misses");
+                // Attribute pairs over small combined code spaces take
+                // the fused counting sort straight off the raw columns.
+                if x.len() == 2 {
+                    let mut it = x.iter();
+                    let (a, b) = (it.next().expect("pair"), it.next().expect("pair"));
+                    if Partition::by_pair_applicable(self.enc, a, b) {
+                        let p = Rc::new(Partition::by_pair(self.enc, a, b, self.sem));
+                        self.admit(x, &p);
+                        return p;
+                    }
+                }
                 // Split off the attribute whose remaining prefix is the
                 // cheapest *resident* one to sweep; fall back to the
                 // last attribute when no prefix is memoized (the

@@ -44,7 +44,7 @@ pub struct LambdaFd {
 }
 
 /// Full classification of one table's mined dependencies.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Classification {
     /// Minimal p-FDs with null-free LHS columns.
     pub nn_fds: Vec<MinedFd>,
@@ -102,12 +102,26 @@ pub fn classify_table_budgeted(
     max_lhs: usize,
     cache_budget: usize,
 ) -> Classification {
-    let enc = Encoded::new(table);
+    classify_table_encoded(table, &Encoded::new(table), max_lhs, cache_budget)
+}
+
+/// [`classify_table_budgeted`] from a pre-encoded instance. `enc` must
+/// encode `table` (the table itself is still consulted for projection
+/// ratios, which need the actual values). Lets callers reuse one
+/// encoding across mining runs — and lets the columnar-vs-row-major
+/// differential tests drive the full classification pipeline from
+/// either encoding.
+pub fn classify_table_encoded(
+    table: &Table,
+    enc: &Encoded,
+    max_lhs: usize,
+    cache_budget: usize,
+) -> Classification {
     let arity = table.schema().arity();
     let null_free = enc.null_free_columns();
 
     let possible = mine_fds_encoded(
-        &enc,
+        enc,
         arity,
         MinerConfig::new(Semantics::Possible)
             .with_max_lhs(max_lhs)
@@ -115,7 +129,7 @@ pub fn classify_table_budgeted(
         Instant::now(),
     );
     let certain = mine_fds_encoded(
-        &enc,
+        enc,
         arity,
         MinerConfig::new(Semantics::Certain)
             .with_max_lhs(max_lhs)
@@ -124,16 +138,16 @@ pub fn classify_table_budgeted(
     );
 
     let mut out = Classification::default();
-    let mut ctx = PartitionCtx::with_budget(&enc, NullSemantics::Strong, cache_budget);
+    let mut ctx = PartitionCtx::with_budget(enc, NullSemantics::Strong, cache_budget);
     // One probe cache serves every post-mining key/reflexivity check:
     // LHSs sharing a nullable footprint reuse one index.
-    let probes = ProbeCache::new(&enc);
+    let probes = ProbeCache::new(enc);
 
     for fd in possible.fds {
         if fd.lhs.is_subset(null_free) {
             // Figure 6's nn series additionally requires a non-key LHS.
             let strong = ctx.partition(fd.lhs);
-            if !is_ckey_cached(&enc, &probes, fd.lhs, &strong) {
+            if !is_ckey_cached(enc, &probes, fd.lhs, &strong) {
                 out.nn_nonkey_ratios
                     .push(projection_ratio(table, fd.lhs | fd.rhs));
             }
@@ -147,11 +161,11 @@ pub fn classify_table_budgeted(
         if fd.lhs.is_subset(null_free) {
             continue; // coincides with an nn-FD; counted there
         }
-        let total = certain_reflexive_holds_cached(&enc, &probes, fd.lhs);
+        let total = certain_reflexive_holds_cached(enc, &probes, fd.lhs);
         if total {
             out.t_fds.push(fd.clone());
             let strong = ctx.partition(fd.lhs);
-            let usable = !fd.rhs.is_empty() && !is_ckey_cached(&enc, &probes, fd.lhs, &strong);
+            let usable = !fd.rhs.is_empty() && !is_ckey_cached(enc, &probes, fd.lhs, &strong);
             if usable {
                 out.lambda_fds.push(LambdaFd {
                     lhs: fd.lhs,

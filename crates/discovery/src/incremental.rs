@@ -48,8 +48,9 @@ use crate::check::{fd_targets_holding_cached, is_pkey, null_semantics, ProbeCach
 use crate::classify::{projection_ratio, render_report, Classification, LambdaFd};
 use crate::keys::MinedKeys;
 use crate::mine::{k_subsets, MinedFd};
-use crate::partition::{Encoded, EncodedAppender, NullSemantics, Partition};
+use crate::partition::{Encoded, NullSemantics, Partition};
 use sqlnf_model::attrs::{Attr, AttrSet};
+use sqlnf_model::column::ColumnStore;
 use sqlnf_model::schema::TableSchema;
 use sqlnf_model::table::Table;
 use sqlnf_model::tuple::Tuple;
@@ -222,13 +223,20 @@ pub struct IncrementalMiner {
     reconcile_every: Option<u64>,
 }
 
-/// See [`IncrementalMiner::dense`]. `enc` row `i` is the live row in
+/// See [`IncrementalMiner::dense`]. Store row `i` is the live row in
 /// slot `stable[i]`; the order is exactly [`IncrementalMiner::table`]'s
-/// row order, so a warm view is byte-identical to a fresh
+/// row order, and the store is append-only between rebuilds, so its
+/// first-appearance codes are byte-identical to a fresh
 /// [`Encoded::new`] over that table.
+///
+/// The view owns a [`ColumnStore`] rather than a long-lived
+/// [`Encoded`]: mine calls take a *transient* snapshot and drop it
+/// before returning, so the next insert's `push` finds the column
+/// `Arc`s unshared and extends them in place (`O(arity)`). Holding the
+/// snapshot across inserts would instead force a copy-on-write column
+/// clone per push.
 struct DenseView {
-    enc: Encoded,
-    appender: EncodedAppender,
+    store: ColumnStore,
     stable: Vec<RowId>,
     /// Per column: code → ascending dense rows carrying it (code 0 =
     /// the column's ⊥ rows). The delta re-validation sweeps scan only
@@ -237,21 +245,23 @@ struct DenseView {
 }
 
 impl DenseView {
-    fn build(enc: Encoded, appender: EncodedAppender, stable: Vec<RowId>, arity: usize) -> Self {
-        let mut postings: Vec<FastMap<u32, Vec<usize>>> = vec![FastMap::default(); arity];
-        for row in 0..enc.rows() {
+    fn build(store: ColumnStore, stable: Vec<RowId>) -> Self {
+        let mut postings: Vec<FastMap<u32, Vec<usize>>> = vec![FastMap::default(); store.arity()];
+        for row in 0..store.rows() {
             for (ci, p) in postings.iter_mut().enumerate() {
-                p.entry(enc.code(row, Attr::from(ci)))
-                    .or_default()
-                    .push(row);
+                p.entry(store.code_at(row, ci)).or_default().push(row);
             }
         }
         DenseView {
-            enc,
-            appender,
+            store,
             stable,
             postings,
         }
+    }
+
+    /// A transient `O(arity)` encoding snapshot for one mine call.
+    fn encode(&self) -> Encoded {
+        Encoded::from_snapshot(self.store.snapshot())
     }
 }
 
@@ -328,12 +338,10 @@ impl IncrementalMiner {
         self.begin_delta();
         self.last_insert = self.epoch;
         if let Some(dense) = self.dense.as_mut() {
-            dense.appender.push(&mut dense.enc, &tuple);
-            let row = dense.enc.rows() - 1;
+            dense.store.push(&tuple);
+            let row = dense.store.rows() - 1;
             for (ci, p) in dense.postings.iter_mut().enumerate() {
-                p.entry(dense.enc.code(row, Attr::from(ci)))
-                    .or_default()
-                    .push(row);
+                p.entry(dense.store.code_at(row, ci)).or_default().push(row);
             }
             dense.stable.push(self.slots.len());
         }
@@ -1267,7 +1275,8 @@ impl IncrementalMiner {
     ) -> Vec<MinedFd> {
         self.ensure_dense();
         let dense = self.dense.as_ref().expect("just ensured");
-        let (enc, stable) = (&dense.enc, &dense.stable);
+        let enc_snap = dense.encode(); // transient; dropped before the next delta
+        let (enc, stable) = (&enc_snap, &dense.stable);
         let mut ctx = PartitionCtx::with_budget(enc, null_semantics(sem), cache_budget);
         let probes = ProbeCache::new(enc);
         let marks = Marks {
@@ -1300,7 +1309,8 @@ impl IncrementalMiner {
     pub fn mine_keys(&mut self, max_size: usize, cache_budget: usize) -> MinedKeys {
         self.ensure_dense();
         let dense = self.dense.as_ref().expect("just ensured");
-        let (enc, stable) = (&dense.enc, &dense.stable);
+        let enc_snap = dense.encode(); // transient; dropped before the next delta
+        let (enc, stable) = (&enc_snap, &dense.stable);
         let mut ctx = PartitionCtx::with_budget(enc, NullSemantics::Strong, cache_budget);
         let probes = ProbeCache::new(enc);
         let marks = Marks {
@@ -1333,7 +1343,8 @@ impl IncrementalMiner {
     pub fn classify(&mut self, max_lhs: usize, cache_budget: usize) -> (Classification, MinedKeys) {
         self.ensure_dense();
         let dense = self.dense.as_ref().expect("just ensured");
-        let (enc, stable) = (&dense.enc, &dense.stable);
+        let enc_snap = dense.encode(); // transient; dropped before the next delta
+        let (enc, stable) = (&enc_snap, &dense.stable);
         // Materialized only if a projection ratio misses its memo —
         // `projection_ratio` wants real rows, not codes.
         let mut ratio_table: Option<Table> = None;
@@ -1550,20 +1561,18 @@ impl IncrementalMiner {
     }
 
     /// Builds the warm dense view if an update/delete (or construction)
-    /// left it cold. The rebuild is exactly [`Encoded::new`] over
-    /// [`IncrementalMiner::table`], and [`EncodedAppender::push`]
-    /// reproduces that encode for appended rows, so a warm view is
-    /// always indistinguishable from a fresh one.
+    /// left it cold: the live rows are pushed straight into a fresh
+    /// [`ColumnStore`] in slot order — no intermediate [`Table`] — so
+    /// the codes are exactly what [`Encoded::new`] over
+    /// [`IncrementalMiner::table`] would see, and later appends keep
+    /// that equivalence (first-appearance codes either way).
     fn ensure_dense(&mut self) {
         if self.dense.is_none() {
-            let table = self.table();
-            let (enc, appender) = EncodedAppender::build(&table);
-            self.dense = Some(DenseView::build(
-                enc,
-                appender,
-                self.stable_ids(),
-                self.schema.arity(),
-            ));
+            let mut store = ColumnStore::new(self.schema.arity());
+            for t in self.slots.iter().flatten() {
+                store.push(t);
+            }
+            self.dense = Some(DenseView::build(store, self.stable_ids()));
         }
     }
 

@@ -63,12 +63,26 @@ pub fn mine_keys(table: &Table, max_size: usize) -> MinedKeys {
 /// [`PartitionCtx`] (a product per candidate instead of a fresh
 /// grouping); results are identical for any budget.
 pub fn mine_keys_budgeted(table: &Table, max_size: usize, cache_budget: usize) -> MinedKeys {
-    let enc = Encoded::new(table);
-    let arity = table.schema().arity();
+    mine_keys_encoded(
+        &Encoded::new(table),
+        table.schema().arity(),
+        max_size,
+        cache_budget,
+    )
+}
+
+/// [`mine_keys_budgeted`] from a pre-encoded instance (shared encodes,
+/// and the columnar-vs-row-major differential tests).
+pub fn mine_keys_encoded(
+    enc: &Encoded,
+    arity: usize,
+    max_size: usize,
+    cache_budget: usize,
+) -> MinedKeys {
     let attrs: Vec<Attr> = (0..arity).map(Attr::from).collect();
-    let mut ctx = PartitionCtx::with_budget(&enc, NullSemantics::Strong, cache_budget);
+    let mut ctx = PartitionCtx::with_budget(enc, NullSemantics::Strong, cache_budget);
     // Candidates sharing a nullable footprint share one probe index.
-    let probes = ProbeCache::new(&enc);
+    let probes = ProbeCache::new(enc);
     let mut out = MinedKeys::default();
 
     for k in 0..=max_size.min(arity) {
@@ -87,7 +101,7 @@ pub fn mine_keys_budgeted(table: &Table, max_size: usize, cache_budget: usize) -
             if !p_covered && is_pkey(&strong) {
                 out.pkeys.push(x);
             }
-            if !c_covered && is_ckey_cached(&enc, &probes, x, &strong) {
+            if !c_covered && is_ckey_cached(enc, &probes, x, &strong) {
                 out.ckeys.push(x);
             }
         }

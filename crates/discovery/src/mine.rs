@@ -234,9 +234,14 @@ fn candidate_partition<'a>(
             let mut it = x.iter();
             let a = it.next().expect("level-2 candidate");
             let b = it.next().expect("level-2 candidate");
-            // Sweep the smaller of the two singles (ties keep attribute
-            // order — deterministic, and the result is canonical either
-            // way).
+            // Small combined code space: one fused counting sort over
+            // both raw columns. Otherwise (a near-unique attribute in
+            // the pair) sweep the smaller of the two singles — which is
+            // then tiny. Ties keep attribute order; the result is
+            // canonical either way.
+            if Partition::by_pair_applicable(enc, a, b) {
+                return Part::Own(Partition::by_pair(enc, a, b, ns));
+            }
             let (base, by) =
                 if singles[a.index()].stripped_rows() <= singles[b.index()].stripped_rows() {
                     (a, b)
@@ -415,6 +420,145 @@ fn cost_order(
     order
 }
 
+/// The last lattice level's working set when the pre-last level was
+/// check-only: each candidate refines exactly one `(k−1)`-prefix, so
+/// only the *distinct* chosen prefixes are materialized — from the
+/// retained level-`(k−2)` cache, one product each. The choice rule is
+/// the cheapest **estimated** prefix (the minimum stripped size over
+/// its cached `(k−2)`-sub-partitions): prefix choice affects
+/// throughput only, never the refined result, so estimating instead of
+/// measuring is sound. Deterministic throughout — first-use order
+/// drives the byte-budget admission, ties break on the smallest
+/// omitted attribute.
+#[allow(clippy::too_many_arguments)]
+fn build_needed_prefixes(
+    enc: &Encoded,
+    ns: NullSemantics,
+    candidates: &[(AttrSet, AttrSet)],
+    k: usize,
+    singles: &[Partition],
+    prev: &HashMap<AttrSet, Partition>,
+    threads: usize,
+    budget: usize,
+) -> HashMap<AttrSet, Partition> {
+    let pessimistic = enc.rows().saturating_mul(2);
+    let est = |s: AttrSet| -> usize {
+        let mut e = pessimistic;
+        for b in s {
+            if let Some(p) = prev.get(&(s - AttrSet::single(b))) {
+                e = e.min(p.stripped_rows());
+            }
+        }
+        e
+    };
+    let mut needed: Vec<AttrSet> = Vec::new();
+    let mut seen: std::collections::HashSet<AttrSet> = std::collections::HashSet::new();
+    for &(x, _) in candidates {
+        let mut best: Option<(usize, Attr)> = None;
+        for a in x {
+            let e = est(x - AttrSet::single(a));
+            if best.is_none_or(|(be, _)| e < be) {
+                best = Some((e, a));
+            }
+        }
+        let Some((min_est, best_a)) = best else {
+            continue;
+        };
+        // Greedy sharing: a prefix already being built is free, so any
+        // of the candidate's prefixes within 2× of the cheapest
+        // estimate that is already chosen wins over minting a new one.
+        // The check sweep aborts at the first refuting row, so a
+        // same-magnitude prefix costs it nearly nothing — while every
+        // *distinct* prefix costs a full product. Still deterministic:
+        // `seen` evolves in candidate order.
+        let chosen = x
+            .iter()
+            .map(|a| x - AttrSet::single(a))
+            .find(|s| est(*s) <= min_est.saturating_mul(2) && seen.contains(s))
+            .unwrap_or(x - AttrSet::single(best_a));
+        if seen.insert(chosen) {
+            needed.push(chosen);
+        }
+    }
+    sqlnf_obs::count!("discovery.mine.lazy_prefix_builds", needed.len());
+    let own = |part: Part| match part {
+        Part::Own(p) => p,
+        Part::Ref(p) => p.clone(),
+    };
+    let built: Vec<Partition> = if threads > 1 && needed.len() >= PAR_MIN {
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<Partition>> = Vec::new();
+        slots.resize_with(needed.len(), || None);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.min(needed.len()))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut scratch = ProductScratch::for_encoded(enc);
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= needed.len() {
+                                break;
+                            }
+                            let p = candidate_partition(
+                                enc,
+                                ns,
+                                needed[i],
+                                k - 1,
+                                singles,
+                                prev,
+                                &mut scratch,
+                            );
+                            out.push((i, own(p)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, p) in h.join().expect("prefix builder panicked") {
+                    slots[i] = Some(p);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|p| p.expect("every needed prefix built exactly once"))
+            .collect()
+    } else {
+        let mut scratch = ProductScratch::for_encoded(enc);
+        needed
+            .iter()
+            .map(|&s| {
+                own(candidate_partition(
+                    enc,
+                    ns,
+                    s,
+                    k - 1,
+                    singles,
+                    prev,
+                    &mut scratch,
+                ))
+            })
+            .collect()
+    };
+    let mut map = HashMap::new();
+    let mut bytes = 0usize;
+    for (s, p) in needed.into_iter().zip(built) {
+        let sz = p.approx_bytes() + std::mem::size_of::<AttrSet>();
+        if bytes.saturating_add(sz) <= budget {
+            bytes += sz;
+            map.insert(s, p);
+        } else {
+            sqlnf_obs::count!("discovery.mine.prev_level.evictions");
+        }
+    }
+    if bytes > 0 {
+        sqlnf_obs::count_max!("discovery.mine.prev_level.bytes", bytes);
+    }
+    map
+}
+
 /// Drains the level's work queue from one thread: pulls candidate
 /// positions off the shared cursor until the order is exhausted,
 /// checking FDs and (when `store` is set) collecting owned partitions
@@ -560,7 +704,7 @@ pub fn mine_fds_encoded(
     std::thread::scope(|scope| {
         let mut pool: Vec<(Sender<LevelJob>, Receiver<LevelOut>)> = Vec::new();
         let mut prev: Arc<HashMap<AttrSet, Partition>> = Arc::new(HashMap::new());
-        let mut scratch = ProductScratch::with_rows(enc.rows());
+        let mut scratch = ProductScratch::for_encoded(enc);
 
         for k in 0..=last_level {
             sqlnf_obs::count!("discovery.mine.lattice_levels");
@@ -593,86 +737,116 @@ pub fn mine_fds_encoded(
 
             // Keep this level's partitions only if the next level will
             // consult them (level-2 candidates product the singles
-            // directly, so level-1 partitions are never stored).
-            let store = k >= 2 && k < last_level;
-
-            let outs: Vec<LevelOut> =
-                if config.threads > 1 && candidates.len() >= PAR_MIN.max(config.threads) {
-                    if pool.is_empty() {
-                        for _ in 0..config.threads {
-                            let (job_tx, job_rx) = channel::<LevelJob>();
-                            let (out_tx, out_rx) = channel::<LevelOut>();
-                            scope.spawn(move || {
-                                sqlnf_obs::count!("discovery.mine.worker_spawns");
-                                let mut scratch = ProductScratch::with_rows(enc.rows());
-                                for job in job_rx {
-                                    let out = run_queue(
-                                        enc,
-                                        sem,
-                                        ns,
-                                        job.k,
-                                        &job.candidates,
-                                        &job.order,
-                                        &job.cursor,
-                                        singles,
-                                        &job.prev,
-                                        job.store,
-                                        &mut scratch,
-                                        probes,
-                                    );
-                                    if out_tx.send(out).is_err() {
-                                        break;
-                                    }
-                                }
-                            });
-                            pool.push((job_tx, out_rx));
-                        }
-                    }
-                    // One shared queue: every worker pulls candidates
-                    // (most expensive first) off the same cursor, so no
-                    // thread idles while another drains a heavy chunk.
-                    let order = Arc::new(cost_order(&candidates, k, enc.rows(), singles, &prev));
-                    let candidates = Arc::new(candidates);
-                    let cursor = Arc::new(AtomicUsize::new(0));
-                    for (job_tx, _) in &pool {
-                        job_tx
-                            .send(LevelJob {
-                                k,
-                                candidates: Arc::clone(&candidates),
-                                order: Arc::clone(&order),
-                                cursor: Arc::clone(&cursor),
-                                prev: Arc::clone(&prev),
-                                store,
-                            })
-                            .expect("miner worker hung up");
-                    }
-                    pool.iter()
-                        .map(|(_, out_rx)| out_rx.recv().expect("miner worker panicked"))
-                        .collect()
+            // directly, so level-1 partitions are never stored). On a
+            // deep lattice the *pre-last* level is also check-only:
+            // each last-level candidate refines exactly one prefix
+            // partition, so the last level materializes only the
+            // distinct prefixes actually chosen (see
+            // [`build_needed_prefixes`]) instead of eagerly building
+            // every pre-last candidate's partition — on adult-shaped
+            // tables that eager build dominated the whole run.
+            let defer_prelast = last_level >= 4;
+            let store = k >= 2
+                && k < if defer_prelast {
+                    last_level - 1
                 } else {
-                    let order: Vec<u32> = (0..candidates.len() as u32).collect();
-                    let cursor = AtomicUsize::new(0);
-                    vec![run_queue(
-                        enc,
-                        sem,
-                        ns,
-                        k,
-                        &candidates,
-                        &order,
-                        &cursor,
-                        singles,
-                        &prev,
-                        store,
-                        &mut scratch,
-                        probes,
-                    )]
+                    last_level
                 };
+            let level_prev: Arc<HashMap<AttrSet, Partition>> = if defer_prelast && k == last_level {
+                Arc::new(build_needed_prefixes(
+                    enc,
+                    ns,
+                    &candidates,
+                    k,
+                    singles,
+                    &prev,
+                    config.threads,
+                    config.cache_budget,
+                ))
+            } else {
+                Arc::clone(&prev)
+            };
 
-            // Retire the previous level, then merge this level — FDs
-            // and shards sorted back into candidate order first, so the
-            // result and the cache contents (budget admission included)
-            // never depend on which worker processed what.
-            if !prev.is_empty() {
+            let outs: Vec<LevelOut> = if config.threads > 1
+                && candidates.len() >= PAR_MIN.max(config.threads)
+            {
+                if pool.is_empty() {
+                    for _ in 0..config.threads {
+                        let (job_tx, job_rx) = channel::<LevelJob>();
+                        let (out_tx, out_rx) = channel::<LevelOut>();
+                        scope.spawn(move || {
+                            sqlnf_obs::count!("discovery.mine.worker_spawns");
+                            let mut scratch = ProductScratch::for_encoded(enc);
+                            for job in job_rx {
+                                let out = run_queue(
+                                    enc,
+                                    sem,
+                                    ns,
+                                    job.k,
+                                    &job.candidates,
+                                    &job.order,
+                                    &job.cursor,
+                                    singles,
+                                    &job.prev,
+                                    job.store,
+                                    &mut scratch,
+                                    probes,
+                                );
+                                if out_tx.send(out).is_err() {
+                                    break;
+                                }
+                            }
+                        });
+                        pool.push((job_tx, out_rx));
+                    }
+                }
+                // One shared queue: every worker pulls candidates
+                // (most expensive first) off the same cursor, so no
+                // thread idles while another drains a heavy chunk.
+                let order = Arc::new(cost_order(&candidates, k, enc.rows(), singles, &level_prev));
+                let candidates = Arc::new(candidates);
+                let cursor = Arc::new(AtomicUsize::new(0));
+                for (job_tx, _) in &pool {
+                    job_tx
+                        .send(LevelJob {
+                            k,
+                            candidates: Arc::clone(&candidates),
+                            order: Arc::clone(&order),
+                            cursor: Arc::clone(&cursor),
+                            prev: Arc::clone(&level_prev),
+                            store,
+                        })
+                        .expect("miner worker hung up");
+                }
+                pool.iter()
+                    .map(|(_, out_rx)| out_rx.recv().expect("miner worker panicked"))
+                    .collect()
+            } else {
+                let order: Vec<u32> = (0..candidates.len() as u32).collect();
+                let cursor = AtomicUsize::new(0);
+                vec![run_queue(
+                    enc,
+                    sem,
+                    ns,
+                    k,
+                    &candidates,
+                    &order,
+                    &cursor,
+                    singles,
+                    &level_prev,
+                    store,
+                    &mut scratch,
+                    probes,
+                )]
+            };
+
+            // Retire the previous level when this one replaces it (a
+            // check-only pre-last level retains it — the last level
+            // still products from it), then merge this level — FDs and
+            // shards sorted back into candidate order first, so the
+            // result and the cache contents (budget admission
+            // included) never depend on which worker processed what.
+            if store && !prev.is_empty() {
                 sqlnf_obs::count!("discovery.mine.prev_level.evictions", prev.len());
             }
             let mut fds: Vec<(u32, MinedFd)> = Vec::new();
@@ -702,7 +876,9 @@ pub fn mine_fds_encoded(
             if bytes > 0 {
                 sqlnf_obs::count_max!("discovery.mine.prev_level.bytes", bytes);
             }
-            prev = Arc::new(next);
+            if store {
+                prev = Arc::new(next);
+            }
         }
     });
 

@@ -15,11 +15,26 @@
 //! Weak similarity is **not** an equivalence relation and has no
 //! partition; c-FD checking handles null-bearing rows by probing (see
 //! [`crate::check`]).
+//!
+//! # Encoding
+//!
+//! [`Encoded`] is a *zero-copy borrow* of the table's own
+//! dictionary-coded columns ([`sqlnf_model::column::ColumnStore`]):
+//! `Encoded::new` is `O(arity)` `Arc` clones, not an `O(rows × arity)`
+//! hash-everything rebuild. The storage layer guarantees the only
+//! invariants the kernels need — code `0` = `⊥`, code equality ⟺ value
+//! equality within the table, and every code `≤ dict_size`. Because the
+//! dictionary size is known, [`Partition::by_attr`] is a counting sort
+//! (no hashing, classes come out internally sorted for free), with a
+//! stable radix fallback when retired dictionary entries make the code
+//! space much larger than the table (heavy DELETE churn).
 
 use sqlnf_model::attrs::{Attr, AttrSet};
+use sqlnf_model::column::ColData;
 use sqlnf_model::table::Table;
 use sqlnf_model::value::Value;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How null markers participate in the grouping.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -32,42 +47,76 @@ pub enum NullSemantics {
 }
 
 /// Dictionary-encoded columns: each cell as a small integer, with `0`
-/// reserved for `⊥`.
+/// reserved for `⊥`. A shared snapshot of the table's columnar
+/// storage.
 #[derive(Debug, Clone)]
 pub struct Encoded {
-    /// `codes[a][row]` is the code of row `row` in column `a`; `0` = ⊥.
-    codes: Vec<Vec<u32>>,
-    /// `null_rows[a]` is the ascending list of rows with `⊥` in column
-    /// `a` — lets null-aware checks skip full-table scans when a
-    /// candidate's columns are (mostly) total.
-    null_rows: Vec<Vec<u32>>,
+    /// Shared per-column code vectors and ascending null-row lists.
+    cols: Vec<Arc<ColData>>,
+    /// Upper bound (inclusive) on the codes in each column.
+    dict_sizes: Vec<u32>,
     rows: usize,
 }
 
 impl Encoded {
-    /// Encodes a table.
+    /// Borrows a table's columnar encoding — `O(arity)`, no per-row
+    /// work. The `discovery.encode.{rows,dict_entries}` counters tick
+    /// at INSERT/UPDATE time in the storage layer; only the (cheap)
+    /// build itself is counted here.
     pub fn new(table: &Table) -> Encoded {
+        Encoded::from_snapshot(table.snapshot())
+    }
+
+    /// Wraps an already-taken storage snapshot (e.g. the incremental
+    /// miner's dense view, which owns its own
+    /// [`sqlnf_model::column::ColumnStore`]).
+    pub fn from_snapshot(snap: sqlnf_model::column::ColumnSnapshot) -> Encoded {
+        let _span = sqlnf_obs::span!("discovery.encode");
+        sqlnf_obs::count!("discovery.encode.builds");
+        Encoded {
+            cols: snap.cols,
+            dict_sizes: snap.dict_sizes,
+            rows: snap.rows,
+        }
+    }
+
+    /// Re-encodes a table from its row view with the pre-columnar
+    /// algorithm (per-column `HashMap<&Value, u32>`, first-appearance
+    /// codes). This is the reference path the differential tests mine
+    /// against: after UPDATE/DELETE the storage's codes may differ
+    /// from a fresh encode (retired entries keep their codes), but
+    /// every mined result must be byte-identical either way.
+    pub fn from_table_rows(table: &Table) -> Encoded {
+        let _span = sqlnf_obs::span!("discovery.encode");
+        sqlnf_obs::count!("discovery.encode.builds");
+        sqlnf_obs::count!("discovery.encode.rows", table.len());
         let arity = table.schema().arity();
-        let mut codes = vec![Vec::with_capacity(table.len()); arity];
-        let mut null_rows = vec![Vec::new(); arity];
-        for (ci, col) in codes.iter_mut().enumerate() {
+        let mut cols = Vec::with_capacity(arity);
+        let mut dict_sizes = Vec::with_capacity(arity);
+        for ci in 0..arity {
             let a = Attr::from(ci);
+            let mut data = ColData {
+                codes: Vec::with_capacity(table.len()),
+                null_rows: Vec::new(),
+            };
             let mut dict: HashMap<&Value, u32> = HashMap::new();
             for (r, t) in table.rows().iter().enumerate() {
                 let v = t.get(a);
                 let code = if v.is_null() {
-                    null_rows[ci].push(r as u32);
+                    data.null_rows.push(r as u32);
                     0
                 } else {
                     let next = dict.len() as u32 + 1;
                     *dict.entry(v).or_insert(next)
                 };
-                col.push(code);
+                data.codes.push(code);
             }
+            dict_sizes.push(dict.len() as u32);
+            cols.push(Arc::new(data));
         }
         Encoded {
-            codes,
-            null_rows,
+            cols,
+            dict_sizes,
             rows: table.len(),
         }
     }
@@ -77,10 +126,35 @@ impl Encoded {
         self.rows
     }
 
+    /// The code vector of column `a` — the slice the partition kernels
+    /// sweep directly.
+    #[inline]
+    pub fn column(&self, a: Attr) -> &[u32] {
+        &self.cols[a.index()].codes
+    }
+
+    /// Inclusive upper bound on the codes in column `a` (the dictionary
+    /// size; codes run `1..=dict_size`, plus `0` for `⊥`).
+    #[inline]
+    pub fn dict_size(&self, a: Attr) -> u32 {
+        self.dict_sizes[a.index()]
+    }
+
+    /// The largest dictionary size across all columns — sizes the probe
+    /// table of a [`ProductScratch`] once for every column it may meet.
+    pub fn max_code(&self) -> u32 {
+        self.dict_sizes.iter().copied().max().unwrap_or(0)
+    }
+
     /// The code of `(row, a)`; `0` means `⊥`.
     #[inline]
     pub fn code(&self, row: usize, a: Attr) -> u32 {
-        self.codes[a.index()][row]
+        self.cols[a.index()].codes[row]
+    }
+
+    #[inline]
+    fn nulls(&self, a: Attr) -> &[u32] {
+        &self.cols[a.index()].null_rows
     }
 
     /// Whether the row is `X`-total.
@@ -103,8 +177,8 @@ impl Encoded {
 
     /// The columns that contain no `⊥` at all.
     pub fn null_free_columns(&self) -> AttrSet {
-        (0..self.codes.len())
-            .filter(|&ci| self.null_rows[ci].is_empty())
+        (0..self.cols.len())
+            .filter(|&ci| self.cols[ci].null_rows.is_empty())
             .map(Attr::from)
             .collect()
     }
@@ -114,8 +188,8 @@ impl Encoded {
     /// only ever depends on `X ∩ nullable_columns` plus an equality
     /// filter on the rest (see [`crate::check::ProbeCache`]).
     pub fn nullable_columns(&self) -> AttrSet {
-        (0..self.codes.len())
-            .filter(|&ci| !self.null_rows[ci].is_empty())
+        (0..self.cols.len())
+            .filter(|&ci| !self.cols[ci].null_rows.is_empty())
             .map(Attr::from)
             .collect()
     }
@@ -124,14 +198,14 @@ impl Encoded {
     /// the per-column null counts. Used to price a direct pair scan
     /// against building a [`crate::check::ProbeIndex`].
     pub fn null_count_bound(&self, x: AttrSet) -> usize {
-        x.iter().map(|a| self.null_rows[a.index()].len()).sum()
+        x.iter().map(|a| self.nulls(a).len()).sum()
     }
 
     /// Whether any column of `X` carries a `⊥`. `O(|X|)` — the cheap
     /// guard that lets weak-similarity probing skip total candidates
     /// without touching the rows.
     pub fn has_nulls_on(&self, x: AttrSet) -> bool {
-        x.iter().any(|a| !self.null_rows[a.index()].is_empty())
+        x.iter().any(|a| !self.nulls(a).is_empty())
     }
 
     /// The rows carrying `⊥` somewhere in `X`, ascending. Merges the
@@ -140,7 +214,7 @@ impl Encoded {
     pub fn null_rows_on(&self, x: AttrSet) -> Vec<usize> {
         let mut out: Vec<usize> = Vec::new();
         for a in x {
-            let col = &self.null_rows[a.index()];
+            let col = self.nulls(a);
             if col.is_empty() {
                 continue;
             }
@@ -177,86 +251,6 @@ impl Encoded {
     }
 }
 
-/// The per-column dictionaries behind an [`Encoded`], kept alive so
-/// the encoding can be **extended** one appended row at a time instead
-/// of rebuilt from scratch.
-///
-/// Codes are assigned in first-appearance order, exactly as
-/// [`Encoded::new`] assigns them, so an encoding grown through
-/// [`EncodedAppender::push`] is byte-identical to a fresh encode of the
-/// same rows in the same order. That equivalence is what lets the
-/// incremental miner keep a dense view warm across inserts without
-/// weakening the determinism contract.
-#[derive(Debug, Clone)]
-pub struct EncodedAppender {
-    /// `dicts[a]` maps each non-null value seen in column `a` to its
-    /// code (`0` stays reserved for `⊥`).
-    dicts: Vec<HashMap<Value, u32>>,
-}
-
-impl EncodedAppender {
-    /// Encodes a table and returns the encoding together with the
-    /// dictionaries that produced it, ready to accept appended rows.
-    pub fn build(table: &Table) -> (Encoded, EncodedAppender) {
-        let arity = table.schema().arity();
-        let mut codes = vec![Vec::with_capacity(table.len()); arity];
-        let mut null_rows = vec![Vec::new(); arity];
-        let mut dicts: Vec<HashMap<Value, u32>> = vec![HashMap::new(); arity];
-        for (ci, col) in codes.iter_mut().enumerate() {
-            let a = Attr::from(ci);
-            let dict = &mut dicts[ci];
-            for (r, t) in table.rows().iter().enumerate() {
-                let v = t.get(a);
-                let code = if v.is_null() {
-                    null_rows[ci].push(r as u32);
-                    0
-                } else {
-                    match dict.get(v) {
-                        Some(&c) => c,
-                        None => {
-                            let next = dict.len() as u32 + 1;
-                            dict.insert(v.clone(), next);
-                            next
-                        }
-                    }
-                };
-                col.push(code);
-            }
-        }
-        (
-            Encoded {
-                codes,
-                null_rows,
-                rows: table.len(),
-            },
-            EncodedAppender { dicts },
-        )
-    }
-
-    /// Appends one row to the encoding in `O(arity)` dictionary probes.
-    pub fn push(&mut self, enc: &mut Encoded, t: &sqlnf_model::tuple::Tuple) {
-        let row = enc.rows as u32;
-        for (ci, dict) in self.dicts.iter_mut().enumerate() {
-            let v = t.get(Attr::from(ci));
-            let code = if v.is_null() {
-                enc.null_rows[ci].push(row);
-                0
-            } else {
-                match dict.get(v) {
-                    Some(&c) => c,
-                    None => {
-                        let next = dict.len() as u32 + 1;
-                        dict.insert(v.clone(), next);
-                        next
-                    }
-                }
-            };
-            enc.codes[ci].push(code);
-        }
-        enc.rows += 1;
-    }
-}
-
 /// A stripped partition: classes of size ≥ 2, each a sorted row list.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
@@ -271,6 +265,11 @@ pub struct Partition {
 /// worker, a [`crate::cache::PartitionCtx`]) and reused across every
 /// intersection it performs — the per-candidate `HashMap` allocations
 /// of the old refinement path are gone entirely.
+///
+/// The probe table is sized **once** — by [`ProductScratch::for_encoded`]
+/// at construction, or by one `ensure_probe` branch at the top of each
+/// kernel — so the hot loops index it directly with no grow-on-miss
+/// branch per row.
 #[derive(Debug, Default)]
 pub struct ProductScratch {
     /// `probe[row]` = 1-based class id of `row` in the left partition
@@ -290,18 +289,28 @@ pub struct ProductScratch {
 }
 
 impl ProductScratch {
-    /// Fresh scratch; the probe table grows on demand.
+    /// Fresh scratch; the probe table is sized by the kernels' entry
+    /// checks on first use.
     pub fn new() -> ProductScratch {
         ProductScratch::default()
     }
 
-    /// Fresh scratch pre-sized for `rows` rows.
-    pub fn with_rows(rows: usize) -> ProductScratch {
+    /// Fresh scratch pre-sized for every kernel over `enc`: the probe
+    /// table covers both row ids (binary products) and dictionary
+    /// codes (attribute products) up front.
+    pub fn for_encoded(enc: &Encoded) -> ProductScratch {
         ProductScratch {
-            probe: vec![0; rows],
-            slots: Vec::new(),
-            touched: Vec::new(),
-            heads: Vec::new(),
+            probe: vec![0; enc.rows().max(enc.max_code() as usize + 1)],
+            ..ProductScratch::default()
+        }
+    }
+
+    /// One-branch pre-size check at kernel entry; hot loops then index
+    /// the probe table directly.
+    #[inline]
+    fn ensure_probe(&mut self, needed: usize) {
+        if self.probe.len() < needed {
+            self.probe.resize(needed, 0);
         }
     }
 
@@ -312,41 +321,171 @@ impl ProductScratch {
     }
 
     #[inline]
-    fn label(&mut self, row: u32, id: u32) {
-        let r = row as usize;
-        if r >= self.probe.len() {
-            self.probe.resize(r + 1, 0);
-        }
-        self.probe[r] = id;
+    fn label(&mut self, key: u32, id: u32) {
+        debug_assert!(
+            (key as usize) < self.probe.len(),
+            "probe table under-sized: key {key} for len {}",
+            self.probe.len()
+        );
+        self.probe[key as usize] = id;
     }
 
     #[inline]
-    fn probe_label(&self, row: u32) -> u32 {
-        self.probe.get(row as usize).copied().unwrap_or(0)
+    fn probe_label(&self, key: u32) -> u32 {
+        debug_assert!((key as usize) < self.probe.len());
+        self.probe[key as usize]
     }
 
     #[inline]
-    fn clear_label(&mut self, row: u32) {
-        self.probe[row as usize] = 0;
+    fn clear_label(&mut self, key: u32) {
+        self.probe[key as usize] = 0;
     }
 }
 
+/// Above this ratio of code space to rows, [`Partition::by_attr`]
+/// switches from counting sort (cost `O(rows + dict)`) to a stable
+/// radix sort of `(code, row)` pairs (cost `O(rows)` with a fixed
+/// 2¹⁶-bucket pass) — the regime where heavy DELETE churn left the
+/// dictionary much larger than the table.
+const RADIX_OVER: usize = 4;
+
 impl Partition {
-    /// Partition by a single attribute.
+    /// Partition by a single attribute: a counting sort over the known
+    /// dictionary size. No hashing, no per-class sort — the scatter
+    /// visits rows in ascending order, so every bucket comes out
+    /// internally sorted; only the final by-first-row ordering of the
+    /// (few) classes is explicit.
     pub fn by_attr(enc: &Encoded, a: Attr, sem: NullSemantics) -> Partition {
         sqlnf_obs::count!("discovery.partition.builds");
         sqlnf_obs::count!("discovery.partition.rows_scanned", enc.rows());
-        let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
-        for r in 0..enc.rows() {
-            let c = enc.code(r, a);
-            if c == 0 && sem == NullSemantics::Strong {
-                continue; // null row: strongly similar to nothing
-            }
-            groups.entry(c).or_default().push(r as u32);
+        let col = enc.column(a);
+        let dict = enc.dict_size(a) as usize;
+        if dict > RADIX_OVER * col.len() + 1024 {
+            return Partition::by_attr_radix(col, sem);
         }
-        let mut classes: Vec<Vec<u32>> = groups.into_values().filter(|g| g.len() >= 2).collect();
-        classes.sort();
+        // starts[c] .. starts[c+1] = the slot range of code c.
+        let mut starts = vec![0u32; dict + 2];
+        for &c in col {
+            starts[c as usize + 1] += 1;
+        }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        let mut out = vec![0u32; col.len()];
+        let mut cursor = starts.clone();
+        for (r, &c) in col.iter().enumerate() {
+            let slot = &mut cursor[c as usize];
+            out[*slot as usize] = r as u32;
+            *slot += 1;
+        }
+        let first_code = usize::from(sem == NullSemantics::Strong);
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for c in first_code..=dict {
+            let (s, e) = (starts[c] as usize, starts[c + 1] as usize);
+            if e - s >= 2 {
+                classes.push(out[s..e].to_vec());
+            }
+        }
+        classes.sort_unstable_by_key(|c| c[0]);
         Partition { classes }
+    }
+
+    /// The high-cardinality fallback: stable LSB radix sort of
+    /// `(code, row)` pairs, then a run sweep. Identical output to the
+    /// counting-sort path.
+    fn by_attr_radix(col: &[u32], sem: NullSemantics) -> Partition {
+        let mut pairs: Vec<(u32, u32)> = col
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| !(c == 0 && sem == NullSemantics::Strong))
+            .map(|(r, &c)| (c, r as u32))
+            .collect();
+        let max = pairs.iter().map(|p| p.0).max().unwrap_or(0);
+        let mut tmp = vec![(0u32, 0u32); pairs.len()];
+        radix_pass(&pairs, &mut tmp, 0);
+        if max >= 1 << 16 {
+            radix_pass(&tmp, &mut pairs, 16);
+        } else {
+            pairs.copy_from_slice(&tmp);
+        }
+        // Stability keeps rows ascending within each equal-code run.
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        let mut i = 0;
+        while i < pairs.len() {
+            let code = pairs[i].0;
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 == code {
+                j += 1;
+            }
+            if j - i >= 2 {
+                classes.push(pairs[i..j].iter().map(|p| p.1).collect());
+            }
+            i = j;
+        }
+        classes.sort_unstable_by_key(|c| c[0]);
+        Partition { classes }
+    }
+
+    /// Partition by an attribute *pair* in one counting sort over the
+    /// combined code space `(dict_a + 1) × (dict_b + 1)` — two
+    /// sequential column sweeps and a scatter, no probe table and no
+    /// per-class bookkeeping. This is the level-2 fast path of the
+    /// miner: at that level the prefix partitions are single attributes
+    /// whose stripped classes still cover nearly the whole table, so a
+    /// fused scan of both raw columns beats refining. Callers must
+    /// check [`Partition::pair_space`] against the table size first
+    /// (the guard [`Partition::by_pair_applicable`]); past the gate the
+    /// combined space would dwarf the row count and
+    /// [`Partition::product_attr`] from the smaller single wins.
+    pub fn by_pair(enc: &Encoded, a: Attr, b: Attr, sem: NullSemantics) -> Partition {
+        sqlnf_obs::count!("discovery.partition.builds");
+        sqlnf_obs::count!("discovery.partition.rows_scanned", enc.rows());
+        let (ca, cb) = (enc.column(a), enc.column(b));
+        let width = enc.dict_size(b) as usize + 1;
+        let space = (enc.dict_size(a) as usize + 1) * width;
+        let strong = sem == NullSemantics::Strong;
+        let mut starts = vec![0u32; space + 1];
+        for (&x, &y) in ca.iter().zip(cb) {
+            if strong && (x == 0 || y == 0) {
+                continue;
+            }
+            starts[x as usize * width + y as usize + 1] += 1;
+        }
+        for i in 1..starts.len() {
+            starts[i] += starts[i - 1];
+        }
+        let mut out = vec![0u32; starts[space] as usize];
+        let mut cursor = starts.clone();
+        for (r, (&x, &y)) in ca.iter().zip(cb).enumerate() {
+            if strong && (x == 0 || y == 0) {
+                continue;
+            }
+            let slot = &mut cursor[x as usize * width + y as usize];
+            out[*slot as usize] = r as u32;
+            *slot += 1;
+        }
+        let mut classes: Vec<Vec<u32>> = Vec::new();
+        for c in 0..space {
+            let (s, e) = (starts[c] as usize, starts[c + 1] as usize);
+            if e - s >= 2 {
+                classes.push(out[s..e].to_vec());
+            }
+        }
+        classes.sort_unstable_by_key(|c| c[0]);
+        Partition { classes }
+    }
+
+    /// The combined code space a [`Partition::by_pair`] counting sort
+    /// would allocate for `{a, b}`.
+    fn pair_space(enc: &Encoded, a: Attr, b: Attr) -> usize {
+        (enc.dict_size(a) as usize + 1).saturating_mul(enc.dict_size(b) as usize + 1)
+    }
+
+    /// Whether the pair counting sort is the right kernel for `{a, b}`:
+    /// the combined space must stay within the same
+    /// space-versus-rows margin the radix gate ([`RADIX_OVER`]) uses.
+    pub fn by_pair_applicable(enc: &Encoded, a: Attr, b: Attr) -> bool {
+        Partition::pair_space(enc, a, b) <= RADIX_OVER * enc.rows() + 1024
     }
 
     /// The trivial partition over the empty attribute set: one class of
@@ -374,32 +513,18 @@ impl Partition {
         p
     }
 
-    /// Refines the partition by one more attribute.
+    /// Refines the partition by one more attribute. Same kernel as
+    /// [`Partition::product_attr`], with a throwaway scratch — callers
+    /// on the hot path thread their own scratch through `product_attr`
+    /// instead.
     pub fn refine_by(&self, enc: &Encoded, a: Attr, sem: NullSemantics) -> Partition {
         sqlnf_obs::count!("discovery.partition.intersections");
         sqlnf_obs::count!(
             "discovery.partition.rows_scanned",
             self.classes.iter().map(|c| c.len()).sum::<usize>()
         );
-        let mut classes = Vec::new();
-        let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
-        for class in &self.classes {
-            groups.clear();
-            for &r in class {
-                let c = enc.code(r as usize, a);
-                if c == 0 && sem == NullSemantics::Strong {
-                    continue;
-                }
-                groups.entry(c).or_default().push(r);
-            }
-            for g in groups.drain().map(|(_, g)| g) {
-                if g.len() >= 2 {
-                    classes.push(g);
-                }
-            }
-        }
-        classes.sort();
-        Partition { classes }
+        let mut scratch = ProductScratch::new();
+        self.refine_with(enc, a, sem, &mut scratch)
     }
 
     /// TANE-style product `π_self · π_other` in one linear sweep over
@@ -418,6 +543,15 @@ impl Partition {
     pub fn product(&self, other: &Partition, scratch: &mut ProductScratch) -> Partition {
         sqlnf_obs::count!("discovery.partition.products");
         scratch.ensure(self.classes.len());
+        let needed = self
+            .classes
+            .iter()
+            .chain(other.classes.iter())
+            .filter_map(|c| c.last())
+            .map(|&r| r as usize + 1)
+            .max()
+            .unwrap_or(0);
+        scratch.ensure_probe(needed);
         let mut scanned = 0usize;
         // Label every row of `self` with its class id (1-based; 0 =
         // absent, i.e. stripped singleton or dropped null row).
@@ -458,7 +592,7 @@ impl Partition {
             }
         }
         sqlnf_obs::count!("discovery.partition.rows_scanned", scanned);
-        classes.sort();
+        classes.sort_unstable_by_key(|c| c[0]);
         Partition { classes }
     }
 
@@ -482,38 +616,68 @@ impl Partition {
             "discovery.partition.rows_scanned",
             self.classes.iter().map(|c| c.len()).sum::<usize>()
         );
+        self.refine_with(enc, a, sem, scratch)
+    }
+
+    /// Shared kernel of [`Partition::refine_by`] and
+    /// [`Partition::product_attr`] (counters live in the wrappers).
+    fn refine_with(
+        &self,
+        enc: &Encoded,
+        a: Attr,
+        sem: NullSemantics,
+        scratch: &mut ProductScratch,
+    ) -> Partition {
+        let col = enc.column(a);
+        scratch.ensure_probe(enc.dict_size(a) as usize + 1);
+        let strong = sem == NullSemantics::Strong;
         let mut classes: Vec<Vec<u32>> = Vec::new();
         for class in &self.classes {
-            // Group the class by code, using the probe table as a
-            // code → slot map scoped to this class.
-            let mut used = 0u32;
+            // Counting two-pass scoped to this class: the probe table
+            // first holds per-code counts, then 1-based output slots
+            // for the codes that survive stripping. One exact-capacity
+            // allocation per emitted subclass, nothing at all for
+            // singletons — which dominate once a selective attribute
+            // has entered the product chain.
             for &r in class {
-                let c = enc.code(r as usize, a);
-                if c == 0 && sem == NullSemantics::Strong {
+                let c = col[r as usize];
+                if c == 0 && strong {
                     continue;
                 }
-                let mut id = scratch.probe_label(c);
-                if id == 0 {
-                    used += 1;
-                    id = used;
+                let n = scratch.probe_label(c);
+                if n == 0 {
                     scratch.touched.push(c);
-                    scratch.ensure(used as usize);
-                    scratch.label(c, id);
                 }
-                scratch.slots[id as usize - 1].push(r);
+                scratch.label(c, n + 1);
             }
-            for slot in scratch.slots[..used as usize].iter_mut() {
-                if slot.len() >= 2 {
-                    classes.push(std::mem::take(slot));
+            let base = classes.len();
+            for i in 0..scratch.touched.len() {
+                let c = scratch.touched[i];
+                let n = scratch.probe_label(c);
+                if n >= 2 {
+                    classes.push(Vec::with_capacity(n as usize));
+                    scratch.label(c, (classes.len() - base) as u32);
                 } else {
-                    slot.clear();
+                    scratch.clear_label(c);
+                }
+            }
+            if classes.len() > base {
+                for &r in class {
+                    let c = col[r as usize];
+                    if c == 0 && strong {
+                        continue;
+                    }
+                    let id = scratch.probe_label(c);
+                    if id != 0 {
+                        classes[base + id as usize - 1].push(r);
+                    }
                 }
             }
             while let Some(c) = scratch.touched.pop() {
                 scratch.clear_label(c);
             }
         }
-        classes.sort();
+        classes.sort_unstable_by_key(|c| c[0]);
         Partition { classes }
     }
 
@@ -538,14 +702,17 @@ impl Partition {
         mut f: impl FnMut(u32, u32) -> bool,
     ) -> bool {
         sqlnf_obs::count!("discovery.partition.products");
+        let col = enc.column(a);
+        scratch.ensure_probe(enc.dict_size(a) as usize + 1);
+        let strong = sem == NullSemantics::Strong;
         let mut scanned = 0usize;
         let mut live = true;
         'classes: for class in &self.classes {
             let mut used = 0u32;
             for &r in class {
                 scanned += 1;
-                let c = enc.code(r as usize, a);
-                if c == 0 && sem == NullSemantics::Strong {
+                let c = col[r as usize];
+                if c == 0 && strong {
                     continue;
                 }
                 let id = scratch.probe_label(c);
@@ -611,6 +778,23 @@ impl Partition {
     }
 }
 
+/// One stable counting pass over 16 bits of the code.
+fn radix_pass(src: &[(u32, u32)], dst: &mut [(u32, u32)], shift: u32) {
+    const R: usize = 1 << 16;
+    let mut counts = vec![0u32; R + 1];
+    for &(c, _) in src {
+        counts[(((c >> shift) as usize) & (R - 1)) + 1] += 1;
+    }
+    for i in 1..=R {
+        counts[i] += counts[i - 1];
+    }
+    for &p in src {
+        let b = ((p.0 >> shift) as usize) & (R - 1);
+        dst[counts[b] as usize] = p;
+        counts[b] += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,20 +824,96 @@ mod tests {
     }
 
     #[test]
-    fn appended_encoding_matches_a_fresh_encode() {
+    fn snapshot_matches_row_major_reference_encode() {
+        // For an append-only table, the storage's first-appearance
+        // codes are exactly what the reference row-major encode
+        // produces: same codes, same null lists, same dictionary sizes.
         let t = sample();
-        // Grow from a 2-row prefix to the full table one push at a time;
-        // the result must be indistinguishable from encoding the whole
-        // table in one pass (same codes, same null lists, same count).
-        let prefix = Table::from_rows(t.schema().clone(), t.rows().iter().take(2).cloned());
-        let (mut enc, mut app) = EncodedAppender::build(&prefix);
-        for row in t.rows().iter().skip(2) {
-            app.push(&mut enc, row);
+        let snap = Encoded::new(&t);
+        let fresh = Encoded::from_table_rows(&t);
+        assert_eq!(snap.rows, fresh.rows);
+        assert_eq!(snap.dict_sizes, fresh.dict_sizes);
+        for a in t.schema().attrs() {
+            assert_eq!(snap.column(a), fresh.column(a), "{a:?} codes");
+            assert_eq!(snap.nulls(a), fresh.nulls(a), "{a:?} null rows");
         }
-        let fresh = Encoded::new(&t);
-        assert_eq!(enc.codes, fresh.codes);
-        assert_eq!(enc.null_rows, fresh.null_rows);
-        assert_eq!(enc.rows, fresh.rows);
+    }
+
+    #[test]
+    fn snapshot_after_dml_partitions_agree_with_reference() {
+        // UPDATE/DELETE may leave the storage with retired codes the
+        // reference encode never assigns; the *partitions* (and hence
+        // everything mined) must agree regardless.
+        let mut t = sample();
+        t.set_value(0, Attr(0), Value::str("z"));
+        t.set_value(3, Attr(0), Value::str("x"));
+        t.remove_row(1);
+        t.push(tuple!["x", 2i64]);
+        t.set_value(2, Attr(1), Value::Null);
+        let snap = Encoded::new(&t);
+        let fresh = Encoded::from_table_rows(&t);
+        assert_eq!(snap.rows(), fresh.rows());
+        for sem in [NullSemantics::Strong, NullSemantics::NullAsValue] {
+            for a in t.schema().attrs() {
+                assert_eq!(
+                    Partition::by_attr(&snap, a, sem),
+                    Partition::by_attr(&fresh, a, sem),
+                    "{a:?} {sem:?}"
+                );
+                assert_eq!(snap.nulls(a), fresh.nulls(a), "{a:?} null rows");
+            }
+            let ab = AttrSet::from_indices([0, 1]);
+            assert_eq!(
+                Partition::by_set(&snap, ab, sem),
+                Partition::by_set(&fresh, ab, sem),
+                "{sem:?} by_set"
+            );
+        }
+    }
+
+    #[test]
+    fn radix_path_matches_counting_sort() {
+        // Force the radix fallback with a synthetic column whose code
+        // space dwarfs its rows (the post-DELETE-churn regime), and
+        // check it against the counting-sort path on identical codes.
+        let codes = vec![70_000u32, 3, 0, 70_000, 3, 1 << 20, 0, 1 << 20, 5];
+        let nulls: Vec<u32> = codes
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 0)
+            .map(|(r, _)| r as u32)
+            .collect();
+        let rows = codes.len();
+        let enc = Encoded {
+            cols: vec![Arc::new(ColData {
+                codes: codes.clone(),
+                null_rows: nulls,
+            })],
+            dict_sizes: vec![1 << 20],
+            rows,
+        };
+        assert!((1 << 20) > RADIX_OVER * rows + 1024, "radix path selected");
+        for sem in [NullSemantics::Strong, NullSemantics::NullAsValue] {
+            let via_radix = Partition::by_attr(&enc, Attr(0), sem);
+            // Naive reference grouping.
+            let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
+            for (r, &c) in codes.iter().enumerate() {
+                if c == 0 && sem == NullSemantics::Strong {
+                    continue;
+                }
+                groups.entry(c).or_default().push(r as u32);
+            }
+            let mut expect: Vec<Vec<u32>> = groups.into_values().filter(|g| g.len() >= 2).collect();
+            expect.sort_unstable_by_key(|c| c[0]);
+            assert_eq!(via_radix.classes, expect, "{sem:?}");
+        }
+        let strong = Partition::by_attr(&enc, Attr(0), NullSemantics::Strong);
+        assert_eq!(strong.classes, vec![vec![0, 3], vec![1, 4], vec![5, 7]]);
+        let nav = Partition::by_attr(&enc, Attr(0), NullSemantics::NullAsValue);
+        assert_eq!(
+            nav.classes,
+            vec![vec![0, 3], vec![1, 4], vec![2, 6], vec![5, 7]]
+        );
     }
 
     #[test]
@@ -710,7 +970,7 @@ mod tests {
     fn product_matches_by_set() {
         let t = sample();
         let e = Encoded::new(&t);
-        let mut scratch = ProductScratch::new();
+        let mut scratch = ProductScratch::for_encoded(&e);
         let ab = AttrSet::from_indices([0, 1]);
         for sem in [NullSemantics::Strong, NullSemantics::NullAsValue] {
             let pa = Partition::by_attr(&e, Attr(0), sem);
@@ -729,9 +989,33 @@ mod tests {
     }
 
     #[test]
+    fn by_pair_matches_by_set() {
+        let t = sample();
+        let e = Encoded::new(&t);
+        for sem in [NullSemantics::Strong, NullSemantics::NullAsValue] {
+            for i in 0..t.schema().arity() {
+                for j in 0..t.schema().arity() {
+                    if i == j {
+                        continue;
+                    }
+                    let (a, b) = (Attr(i as u8), Attr(j as u8));
+                    assert!(Partition::by_pair_applicable(&e, a, b));
+                    assert_eq!(
+                        Partition::by_pair(&e, a, b, sem),
+                        Partition::by_set(&e, AttrSet::from_indices([i, j]), sem),
+                        "{sem:?} pair ({i}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn product_attr_matches_refine_by() {
         let t = sample();
         let e = Encoded::new(&t);
+        // Start from an unsized scratch: the kernels' entry checks must
+        // size the probe table themselves.
         let mut scratch = ProductScratch::new();
         for sem in [NullSemantics::Strong, NullSemantics::NullAsValue] {
             let pa = Partition::by_attr(&e, Attr(0), sem);
@@ -757,7 +1041,7 @@ mod tests {
         // next product's classes).
         let t = sample();
         let e = Encoded::new(&t);
-        let mut scratch = ProductScratch::new();
+        let mut scratch = ProductScratch::for_encoded(&e);
         for sem in [NullSemantics::Strong, NullSemantics::NullAsValue] {
             let pa = Partition::by_attr(&e, Attr(0), sem);
             let mut pairs = 0usize;

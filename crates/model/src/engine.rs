@@ -216,7 +216,7 @@ impl StoredTable {
         }
         let old = self.data.rows()[row].clone();
         let mut new = old.clone();
-        *new.get_mut(a) = value;
+        *new.get_mut(a) = value.clone();
         self.bank.remove(&old, row);
         match self
             .bank
@@ -228,7 +228,7 @@ impl StoredTable {
             }
             Ok(()) => {
                 self.bank.insert(&new, row);
-                *self.data.row_mut(row) = new;
+                self.data.set_value(row, a, value);
                 Ok(())
             }
         }
@@ -243,11 +243,9 @@ impl StoredTable {
                 row,
             });
         }
-        let mut rows = self.data.rows().to_vec();
-        let removed = rows.remove(row);
+        let removed = self.data.remove_row(row);
         self.bank.remove(&removed, row);
         self.bank.shift_down(row);
-        self.data = Table::from_rows(self.data.schema().clone(), rows);
         Ok(removed)
     }
 }

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 pub mod attrs;
+pub mod column;
 pub mod constraint;
 pub mod csv;
 pub mod engine;
@@ -31,6 +32,7 @@ pub mod value;
 /// Convenience re-exports for downstream crates, tests and examples.
 pub mod prelude {
     pub use crate::attrs::{Attr, AttrSet};
+    pub use crate::column::{ColData, ColumnSnapshot, ColumnStore};
     pub use crate::constraint::{Constraint, Fd, Key, Modality, Sigma};
     pub use crate::csv::{table_from_csv, table_to_csv};
     pub use crate::engine::{Database, EngineError, StoredTable};

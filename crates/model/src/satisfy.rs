@@ -297,7 +297,7 @@ mod tests {
         // After assigning a dob to row 3 that matches row 1's, the c-FD
         // holds while c<nd> is still violated (rows 1 and 3 agree on nd).
         let mut fixed = t.clone();
-        *fixed.row_mut(2).get_mut(s.a("d")) = Value::str("19/05/1969");
+        fixed.set_value(2, s.a("d"), Value::str("19/05/1969"));
         assert!(satisfies_fd(&fixed, &Fd::certain(nd, d)));
         assert!(!satisfies_key(&fixed, &Key::certain(nd)));
     }

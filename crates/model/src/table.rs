@@ -6,6 +6,7 @@
 //! [`crate::join`].
 
 use crate::attrs::{Attr, AttrSet};
+use crate::column::{ColumnSnapshot, ColumnStore};
 use crate::schema::{SchemaRef, TableSchema};
 use crate::tuple::Tuple;
 use crate::value::Value;
@@ -20,26 +21,48 @@ use std::sync::Arc;
 /// the paper's definitions distinguish "table over `T`" from "table over
 /// `(T, T_S)`" and several constructions (e.g. witnesses for violated
 /// constraints) need the former.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Storage is dual: the row view (`Vec<Tuple>`, serving projection,
+/// join, satisfaction, SQL and CSV) and the dictionary-coded
+/// [`ColumnStore`] (serving discovery), kept in lockstep by every
+/// mutation. [`Table::snapshot`] hands discovery the columnar side in
+/// `O(arity)` — no per-mine re-encode.
+#[derive(Debug, Clone)]
 pub struct Table {
     schema: SchemaRef,
     rows: Vec<Tuple>,
+    cols: ColumnStore,
 }
+
+/// Equality is schema + row multiset-in-order; the columnar codes are
+/// derived state (and may legitimately differ between two equal tables
+/// with different mutation histories).
+impl PartialEq for Table {
+    fn eq(&self, other: &Table) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
+}
+
+impl Eq for Table {}
 
 impl Table {
     /// Creates an empty table over the given schema.
     pub fn new(schema: TableSchema) -> Self {
+        let arity = schema.arity();
         Table {
             schema: Arc::new(schema),
             rows: Vec::new(),
+            cols: ColumnStore::new(arity),
         }
     }
 
     /// Creates an empty table over a shared schema handle.
     pub fn with_schema(schema: SchemaRef) -> Self {
+        let arity = schema.arity();
         Table {
             schema,
             rows: Vec::new(),
+            cols: ColumnStore::new(arity),
         }
     }
 
@@ -77,10 +100,23 @@ impl Table {
         &self.rows
     }
 
-    /// Mutable access to a row (used by the redundancy checker, which
-    /// performs value substitutions).
-    pub fn row_mut(&mut self, i: usize) -> &mut Tuple {
-        &mut self.rows[i]
+    /// Point-updates one cell, keeping the row view and the columnar
+    /// codes in lockstep (the replacement for direct row mutation).
+    pub fn set_value(&mut self, row: usize, a: Attr, v: Value) {
+        self.cols.set_value(row, a.index(), &v);
+        *self.rows[row].get_mut(a) = v;
+    }
+
+    /// Removes one row (later rows shift down by one) and returns it.
+    pub fn remove_row(&mut self, row: usize) -> Tuple {
+        self.cols.remove_row(row);
+        self.rows.remove(row)
+    }
+
+    /// An `O(arity)` frozen view of the dictionary-coded columns — what
+    /// discovery wraps as its `Encoded` input.
+    pub fn snapshot(&self) -> ColumnSnapshot {
+        self.cols.snapshot()
     }
 
     /// Appends a row.
@@ -96,6 +132,7 @@ impl Table {
             self.schema.name(),
             self.schema.arity()
         );
+        self.cols.push(&t);
         self.rows.push(t);
     }
 
@@ -111,24 +148,39 @@ impl Table {
         self.rows.iter().all(Tuple::is_total)
     }
 
-    /// Whether the table contains duplicate tuples.
+    /// Whether the table contains duplicate tuples. Compares rows by
+    /// their dictionary codes (one `u64` hash + `u32` comparisons per
+    /// row) instead of hashing `Value`s.
     pub fn has_duplicates(&self) -> bool {
-        let mut seen: HashMap<&Tuple, ()> = HashMap::with_capacity(self.rows.len());
-        for t in &self.rows {
-            if seen.insert(t, ()).is_some() {
+        let mut seen: HashMap<u64, Vec<u32>> = HashMap::with_capacity(self.rows.len());
+        for r in 0..self.rows.len() {
+            let bucket = seen.entry(self.cols.row_code_hash(r)).or_default();
+            if bucket
+                .iter()
+                .any(|&s| self.cols.code_rows_equal(s as usize, r))
+            {
                 return true;
             }
+            bucket.push(r as u32);
         }
         false
     }
 
-    /// Number of distinct tuples.
+    /// Number of distinct tuples, by code-row comparison.
     pub fn distinct_count(&self) -> usize {
-        let mut seen: HashMap<&Tuple, ()> = HashMap::with_capacity(self.rows.len());
-        for t in &self.rows {
-            seen.insert(t, ());
+        let mut seen: HashMap<u64, Vec<u32>> = HashMap::with_capacity(self.rows.len());
+        let mut distinct = 0usize;
+        for r in 0..self.rows.len() {
+            let bucket = seen.entry(self.cols.row_code_hash(r)).or_default();
+            if !bucket
+                .iter()
+                .any(|&s| self.cols.code_rows_equal(s as usize, r))
+            {
+                bucket.push(r as u32);
+                distinct += 1;
+            }
         }
-        seen.len()
+        distinct
     }
 
     /// Total number of cells (`rows × columns`), the measure used in the

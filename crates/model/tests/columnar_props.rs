@@ -1,0 +1,106 @@
+//! Property test for the columnar primary storage: under arbitrary
+//! engine DML sequences the incrementally-maintained dictionary codes
+//! must stay a faithful view of the row data — same shape, nulls
+//! exactly at code 0, and per-column code equality coinciding with
+//! value equality across every row pair. That last clause is the whole
+//! contract discovery builds on: partitions read codes, never values.
+
+use proptest::prelude::*;
+use sqlnf_model::attrs::Attr;
+use sqlnf_model::engine::StoredTable;
+use sqlnf_model::prelude::*;
+
+const COLS: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<Value>),
+    Update {
+        row: usize,
+        col: usize,
+        value: Value,
+    },
+    Delete {
+        row: usize,
+    },
+}
+
+fn small_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        3 => (0i64..4).prop_map(Value::Int),
+        2 => "[ab]{1,2}".prop_map(Value::str),
+        1 => Just(Value::Null),
+    ]
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => proptest::collection::vec(small_value(), COLS).prop_map(Op::Insert),
+        3 => (0usize..8, 0usize..COLS, small_value())
+            .prop_map(|(row, col, value)| Op::Update { row, col, value }),
+        2 => (0usize..8).prop_map(|row| Op::Delete { row }),
+    ]
+}
+
+/// The agreement invariant between the two representations held by one
+/// [`Table`]: codes are an exact quotient of the values, column by
+/// column.
+fn assert_columnar_faithful(t: &Table) {
+    let snap = t.snapshot();
+    assert_eq!(snap.rows, t.len(), "row count out of sync");
+    assert_eq!(snap.cols.len(), t.schema().arity(), "arity out of sync");
+    for c in 0..t.schema().arity() {
+        let col = &snap.cols[c];
+        assert_eq!(col.codes.len(), t.len(), "column {c} length out of sync");
+        let a = Attr::from(c);
+        for r in 0..t.len() {
+            let code = col.codes[r];
+            let is_null = t.rows()[r].get(a) == &Value::Null;
+            assert_eq!(code == 0, is_null, "null/code-0 mismatch at ({r}, {c})");
+            assert!((code as usize) < snap.dict_sizes[c] as usize + 1);
+            assert_eq!(
+                col.null_rows.binary_search(&(r as u32)).is_ok(),
+                is_null,
+                "null_rows index wrong at ({r}, {c})"
+            );
+        }
+        for r in 0..t.len() {
+            for s in (r + 1)..t.len() {
+                assert_eq!(
+                    col.codes[r] == col.codes[s],
+                    t.rows()[r].get(a) == t.rows()[s].get(a),
+                    "code equality diverges from value equality at rows ({r}, {s}), column {c}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn columnar_codes_track_row_values_under_dml(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let names: Vec<String> = (0..COLS).map(|i| format!("a{i}")).collect();
+        let schema = TableSchema::new("t", names, &[]);
+        let mut stored = StoredTable::new(schema, Sigma::default());
+        for op in ops {
+            // With an empty Σ the engine accepts everything in range;
+            // out-of-range rows are rejected and must leave no trace.
+            match op {
+                Op::Insert(values) => {
+                    stored.insert(Tuple::new(values)).expect("no constraints");
+                }
+                Op::Update { row, col, value } => {
+                    let _ = stored.update(row, &format!("a{col}"), value);
+                }
+                Op::Delete { row } => {
+                    let _ = stored.delete(row);
+                }
+            }
+            assert_columnar_faithful(stored.data());
+        }
+    }
+}
