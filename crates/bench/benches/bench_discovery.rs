@@ -1,4 +1,4 @@
-//! B6 — FD discovery scaling: the level-wise miner under the three
+//! B6 — FD discovery scaling: the level-wise miner under all four
 //! semantics over growing row counts and LHS caps.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -20,11 +20,7 @@ fn bench_discovery(c: &mut Criterion) {
     let base = breast_cancer_like(5);
     for &rows in &[100usize, 300, 699] {
         let t = truncate(&base, rows);
-        for sem in [
-            Semantics::Classical,
-            Semantics::Possible,
-            Semantics::Certain,
-        ] {
+        for sem in Semantics::ALL {
             group.bench_with_input(BenchmarkId::new(format!("{sem:?}"), rows), &rows, |b, _| {
                 b.iter(|| mine_fds(&t, MinerConfig::new(sem).with_max_lhs(3)))
             });

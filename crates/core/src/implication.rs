@@ -131,6 +131,28 @@ impl Reasoner {
         implied
     }
 
+    /// Decides `Σ ⊨ X →_weak Y` — the *weak* (some-possible-world) FD
+    /// of Levene/Loizou as the query, with Σ staying in the combined
+    /// p/c class.
+    ///
+    /// Weak implication collapses onto possible implication: `Σ ⊨
+    /// X →_weak Y` iff `Y ⊆ X*p` iff `Σ ⊨ X →_s Y`. Soundness is the
+    /// pairwise chain (strong similarity plus syntactic equality on a
+    /// 2-tuple model leaves every RHS agreement completable);
+    /// completeness follows because the fixpoint computing `X*p` — seed
+    /// `X`, fire `V → W` certain on `V ⊆ eq` and possible on `V ⊆ X ∪
+    /// (eq ∩ T_S)` — is exactly the forced-equal set of the 2-tuple
+    /// counter-model construction: every attribute outside it can be
+    /// set `NeqNonNull`, which refutes the weak FD just as it refutes
+    /// the possible one. The oracle test below checks the identity
+    /// exhaustively.
+    pub fn implies_weak_fd(&self, lhs: AttrSet, rhs: AttrSet) -> bool {
+        sqlnf_obs::count!("core.reasoner.fd_queries.weak");
+        let implied = rhs.is_subset(self.p_closure(lhs));
+        sqlnf_obs::trace!("implies_weak_fd({lhs:?} -> {rhs:?}) = {implied}");
+        implied
+    }
+
     /// Decides `Σ|key ⊨ key` using only the keys of Σ (axioms 𝔎).
     pub fn keys_only_imply(&self, key: &Key) -> bool {
         match key.modality {
@@ -292,6 +314,63 @@ mod tests {
                             oracle_implies(t, nfs, &sigma, &Constraint::Key(key)),
                             "key {key:?} sigma={sigma:?} nfs={nfs:?}"
                         );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The weak-implication coincidence theorem, mechanized: over every
+    /// Σ from the same pool as [`matches_oracle_exhaustively`], every
+    /// NFS and every query pair, `Σ ⊨ X →_weak Y` (per the exact
+    /// 2-tuple oracle) equals both `Y ⊆ X*p` and `Σ ⊨ X →_s Y`.
+    #[test]
+    fn weak_fd_matches_oracle_exhaustively() {
+        use crate::oracle::{oracle_implies_weak_fd, weak_counter_model};
+        let t = s(&[0, 1, 2]);
+        let pool: Vec<Constraint> = vec![
+            Constraint::Fd(Fd::possible(s(&[0]), s(&[1]))),
+            Constraint::Fd(Fd::certain(s(&[0]), s(&[1]))),
+            Constraint::Fd(Fd::possible(s(&[1]), s(&[2]))),
+            Constraint::Fd(Fd::certain(s(&[1, 2]), s(&[0, 2]))),
+            Constraint::Key(Key::possible(s(&[0, 1]))),
+            Constraint::Key(Key::certain(s(&[1]))),
+            Constraint::Key(Key::possible(s(&[2]))),
+        ];
+        let subsets: Vec<AttrSet> = t.subsets().collect();
+        for mask in 0..(1usize << pool.len()) {
+            let sigma: Sigma = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, c)| *c)
+                .collect();
+            for &nfs in &subsets {
+                let r = Reasoner::new(t, nfs, &sigma);
+                for &x in &subsets {
+                    for &y in &subsets {
+                        let want = oracle_implies_weak_fd(t, nfs, &sigma, x, y);
+                        assert_eq!(
+                            r.implies_weak_fd(x, y),
+                            want,
+                            "weak {x:?}->{y:?} sigma={sigma:?} nfs={nfs:?}"
+                        );
+                        // The collapse: weak ≡ possible as implication.
+                        assert_eq!(
+                            r.implies_fd(&Fd::possible(x, y)),
+                            want,
+                            "collapse {x:?}->{y:?} sigma={sigma:?} nfs={nfs:?}"
+                        );
+                        // Witness consistency: a counter-model exists
+                        // iff implication fails, and genuinely
+                        // separates Σ from the weak FD.
+                        match weak_counter_model(t, nfs, &sigma, x, y) {
+                            Some(w) => {
+                                assert!(!want);
+                                assert!(w.satisfies_all(&sigma) && !w.satisfies_weak_fd(x, y));
+                            }
+                            None => assert!(want),
+                        }
                     }
                 }
             }

@@ -59,7 +59,9 @@ pub mod prelude {
         bcnf_violations, is_bcnf, is_rfnf, is_sql_bcnf, is_vrnf, redundancy_witness,
         sql_bcnf_violations, value_redundancy_witness,
     };
-    pub use crate::oracle::{counter_model, oracle_implies};
+    pub use crate::oracle::{
+        counter_model, oracle_implies, oracle_implies_weak_fd, weak_counter_model,
+    };
     pub use crate::projection::project_sigma;
     pub use crate::redundancy::{
         is_redundancy_free, is_value_redundancy_free, redundant_positions,

@@ -67,6 +67,17 @@ impl PairPattern {
         }
     }
 
+    /// Whether the pair (as a 2-tuple table) satisfies the *weak* FD
+    /// `lhs →_weak rhs` — some completion of the null markers satisfies
+    /// the FD classically. A 2-tuple violation needs both rows total
+    /// and equal on `lhs` (strong similarity) plus a non-null
+    /// disagreement on some `rhs` attribute; any null on the RHS can be
+    /// completed to match, so "weakly similar on `rhs`" (anything but
+    /// `NeqNonNull`) is exactly completability.
+    pub fn satisfies_weak_fd(&self, lhs: AttrSet, rhs: AttrSet) -> bool {
+        !self.strongly_similar(lhs) || self.weakly_similar(rhs)
+    }
+
     /// Whether the pair satisfies every constraint of Σ.
     pub fn satisfies_all(&self, sigma: &Sigma) -> bool {
         sigma.iter().all(|c| self.satisfies(&c))
@@ -122,6 +133,34 @@ pub fn counter_model(
     phi: &Constraint,
 ) -> Option<PairPattern> {
     all_patterns(t, nfs).find(|p| p.satisfies_all(sigma) && !p.satisfies(phi))
+}
+
+/// Decides `Σ ⊨ lhs →_weak rhs` by exhaustive enumeration of 2-tuple
+/// models. Exact: weak satisfaction is closed under sub-instances and
+/// any weak violation is witnessed by a 2-tuple sub-instance, so the
+/// pair-completeness argument of the module header applies verbatim to
+/// the weak FD on the right of `⊨` too (Σ itself stays within the
+/// combined p/c class).
+pub fn oracle_implies_weak_fd(
+    t: AttrSet,
+    nfs: AttrSet,
+    sigma: &Sigma,
+    lhs: AttrSet,
+    rhs: AttrSet,
+) -> bool {
+    all_patterns(t, nfs).all(|p| !p.satisfies_all(sigma) || p.satisfies_weak_fd(lhs, rhs))
+}
+
+/// Finds a 2-tuple counter-model (as a pattern) for
+/// `Σ ⊨ lhs →_weak rhs`, if any.
+pub fn weak_counter_model(
+    t: AttrSet,
+    nfs: AttrSet,
+    sigma: &Sigma,
+    lhs: AttrSet,
+    rhs: AttrSet,
+) -> Option<PairPattern> {
+    all_patterns(t, nfs).find(|p| p.satisfies_all(sigma) && !p.satisfies_weak_fd(lhs, rhs))
 }
 
 /// Materializes a pattern as two concrete tuples of a table, for tests
@@ -271,6 +310,79 @@ mod tests {
         let table = Table::from_rows(schema, [Tuple::new(v0), Tuple::new(v1)]);
         assert!(satisfies_all(&table, &sigma));
         assert!(!satisfies_fd(&table, &Fd::certain(s(&[0]), s(&[1]))));
+    }
+
+    #[test]
+    fn weak_fd_oracle_basics() {
+        let t = s(&[0, 1]);
+        let empty = Sigma::new();
+        // X →_weak X is an axiom even for nullable X: OneNull completes.
+        assert!(oracle_implies_weak_fd(
+            t,
+            AttrSet::EMPTY,
+            &empty,
+            s(&[0]),
+            s(&[0])
+        ));
+        // But nothing implies a →_weak b from scratch: NeqNonNull on b
+        // with EqNonNull on a is a counter-pair…
+        assert!(!oracle_implies_weak_fd(t, t, &empty, s(&[0]), s(&[1])));
+        let cm = weak_counter_model(t, t, &empty, s(&[0]), s(&[1])).unwrap();
+        // …and the witness realizes to a genuine weak violation.
+        let (v0, v1) = realize(&cm);
+        let schema = TableSchema::new("w", ["a", "b"], &[]);
+        let table = Table::from_rows(schema, [Tuple::new(v0), Tuple::new(v1)]);
+        assert!(!satisfies_weak_fd(&table, s(&[0]), s(&[1])));
+        // A p-FD implies its weak counterpart (possible ⟹ weak
+        // pairwise); so does a classical/certain one.
+        let sigma = Sigma::new().with(Fd::possible(s(&[0]), s(&[1])));
+        assert!(oracle_implies_weak_fd(
+            t,
+            AttrSet::EMPTY,
+            &sigma,
+            s(&[0]),
+            s(&[1])
+        ));
+        let sigma_c = Sigma::new().with(Fd::certain(s(&[0]), s(&[1])));
+        assert!(oracle_implies_weak_fd(
+            t,
+            AttrSet::EMPTY,
+            &sigma_c,
+            s(&[0]),
+            s(&[1])
+        ));
+        // p-FD chains transfer weakly exactly as they do possibly: a
+        // NOT NULL midpoint carries the chain (the weak conclusion
+        // tracks `p_closure`), a nullable one breaks it (`b` BothNull
+        // satisfies a →_s b by syntactic equality while vacuating
+        // b →_s c).
+        let chain = Sigma::new()
+            .with(Fd::possible(s(&[0]), s(&[1])))
+            .with(Fd::possible(s(&[1]), s(&[2])));
+        let t3 = s(&[0, 1, 2]);
+        assert!(oracle_implies_weak_fd(
+            t3,
+            s(&[1]),
+            &chain,
+            s(&[0]),
+            s(&[2])
+        ));
+        assert!(!oracle_implies_weak_fd(
+            t3,
+            AttrSet::EMPTY,
+            &chain,
+            s(&[0]),
+            s(&[2])
+        ));
+        // Even with the NFS midpoint, the *certain* conclusion fails
+        // (OneNull on `a` vacuates the chain but not weak similarity) —
+        // weak sits strictly below certain as a conclusion.
+        assert!(!oracle_implies(
+            t3,
+            s(&[1]),
+            &chain,
+            &Constraint::Fd(Fd::certain(s(&[0]), s(&[2])))
+        ));
     }
 
     #[test]

@@ -95,6 +95,45 @@ pub fn pkey_error(enc: &Encoded, x: AttrSet) -> f64 {
     pkey_error_ctx(&mut PartitionCtx::new(enc, NullSemantics::Strong), x)
 }
 
+/// [`wfd_error`] against a caller-held strong-semantics
+/// [`PartitionCtx`].
+pub fn wfd_error_ctx(ctx: &mut PartitionCtx, x: AttrSet, a: Attr) -> f64 {
+    let enc = ctx.encoded();
+    if enc.rows() == 0 {
+        return 0.0;
+    }
+    let p = ctx.partition(x);
+    let mut cost = 0usize;
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for class in &p.classes {
+        counts.clear();
+        let mut nulls = 0usize;
+        for &r in class {
+            let c = enc.code(r as usize, a);
+            if c == 0 {
+                nulls += 1;
+            } else {
+                *counts.entry(c).or_insert(0) += 1;
+            }
+        }
+        // ⊥ rows never conflict (complete them to the consensus), so
+        // keep all of them plus the plurality non-null class.
+        let keep = nulls + counts.values().copied().max().unwrap_or(0);
+        cost += class.len() - keep;
+    }
+    cost as f64 / enc.rows() as f64
+}
+
+/// Exact g₃ error of the *weak* FD `X →_weak A` (some possible world
+/// satisfies `X → A` classically). A weak violation needs two X-total
+/// rows, strongly similar on `X`, with differing **non-null** `A`
+/// values — so unlike the certain case there is no null-pair conflict
+/// graph and the optimum is exact: per strong group keep every
+/// `⊥`-on-`A` row plus the plurality non-null value.
+pub fn wfd_error(enc: &Encoded, x: AttrSet, a: Attr) -> f64 {
+    wfd_error_ctx(&mut PartitionCtx::new(enc, NullSemantics::Strong), x, a)
+}
+
 /// Upper bound on the g₃ error of the c-key `c⟨X⟩`: the exact
 /// strong-group excess plus a greedy vertex-deletion bound over the
 /// weak-similarity pairs involving `⊥`-carrying rows. Exact when no
@@ -316,6 +355,72 @@ mod tests {
         let e = enc(&t);
         assert_eq!(pfd_error(&e, AttrSet::from_indices([0]), Attr(0)), 0.0);
         assert_eq!(ckey_error(&e, AttrSet::from_indices([0])), 0.0);
+    }
+
+    #[test]
+    fn wfd_error_is_exact_and_weakest() {
+        // Group a=1: b ∈ {10, ⊥, 30}. Weak repair keeps the ⊥ row and
+        // one non-null value: delete 1 of 4. The p-FD must also delete
+        // the ⊥ row (its singleton code conflicts): 2 of 4.
+        let t = TableBuilder::new("r", ["a", "b"], &[])
+            .row(tuple![1i64, 10i64])
+            .row(tuple![1i64, null])
+            .row(tuple![1i64, 30i64])
+            .row(tuple![2i64, 20i64])
+            .build();
+        let e = enc(&t);
+        let x = AttrSet::from_indices([0]);
+        assert!((wfd_error(&e, x, Attr(1)) - 0.25).abs() < 1e-12);
+        assert!((pfd_error(&e, x, Attr(1)) - 0.5).abs() < 1e-12);
+        // ⊥-only disagreement: weakly satisfied, zero error.
+        let t2 = TableBuilder::new("r", ["a", "b"], &[])
+            .row(tuple![1i64, 10i64])
+            .row(tuple![1i64, null])
+            .build();
+        let e2 = enc(&t2);
+        assert_eq!(wfd_error(&e2, x, Attr(1)), 0.0);
+    }
+
+    /// Zero weak error ⟺ the weak FD holds, and the weak error never
+    /// exceeds the possible or classical one (the semantics is laxer).
+    #[test]
+    fn wfd_error_agrees_with_check() {
+        use crate::check::{fd_holds, Semantics};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let schema = TableSchema::new("r", ["a", "b", "c"], &[]);
+            let mut t = Table::new(schema);
+            for _ in 0..12 {
+                t.push(Tuple::new(
+                    (0..3)
+                        .map(|_| {
+                            if rng.gen_bool(0.3) {
+                                Value::Null
+                            } else {
+                                Value::Int(rng.gen_range(0..3))
+                            }
+                        })
+                        .collect::<Vec<_>>(),
+                ));
+            }
+            let e = enc(&t);
+            for xi in 0..3usize {
+                for ai in 0..3usize {
+                    if xi == ai {
+                        continue;
+                    }
+                    let x = AttrSet::from_indices([xi]);
+                    let a = Attr(ai as u8);
+                    let werr = wfd_error(&e, x, a);
+                    let holds = fd_holds(&e, x, a, Semantics::Weak);
+                    assert_eq!(werr == 0.0, holds, "x={xi} a={ai}\n{t}");
+                    assert!(werr <= pfd_error(&e, x, a) + 1e-12);
+                    assert!(werr <= classical_fd_error(&e, x, a) + 1e-12);
+                }
+            }
+        }
     }
 
     /// The error is sound: deleting the implied number of rows (greedy

@@ -480,6 +480,77 @@ pub enum Semantics {
     /// Certain FD `X →_w A`: weak similarity on `X`, syntactic equality
     /// on `A`.
     Certain,
+    /// Weak FD (Levene/Loizou, via Badia & Lemire): *some* possible
+    /// world — some completion of the null markers — satisfies `X → A`
+    /// classically. On full tables this is exactly: within every group
+    /// of `X`-total rows equal on `X`, all **non-null** `A`-values are
+    /// equal. Rows with `⊥` in `X` constrain nothing (the completion
+    /// hands them fresh values, isolating them in their own group), and
+    /// a `⊥` on `A` is completed to whatever its group agreed on — so
+    /// unlike [`Semantics::Certain`] there is no weak-pair probe tail,
+    /// and the null-tolerant class sweep makes this the *weakest* of
+    /// the four semantics pairwise: certain ⟹ possible ⟹ weak, and
+    /// classical ⟹ weak.
+    Weak,
+}
+
+impl Semantics {
+    /// Every semantics, in strength order (for matrices and test loops):
+    /// certain ⟹ possible ⟹ weak and classical ⟹ weak.
+    pub const ALL: [Semantics; 4] = [
+        Semantics::Classical,
+        Semantics::Possible,
+        Semantics::Certain,
+        Semantics::Weak,
+    ];
+
+    /// Stable lowercase token, as accepted on the wire (`MINE`/`WATCH`)
+    /// and by `sqlnf mine --semantics`.
+    pub fn token(self) -> &'static str {
+        match self {
+            Semantics::Classical => "classical",
+            Semantics::Possible => "possible",
+            Semantics::Certain => "certain",
+            Semantics::Weak => "weak",
+        }
+    }
+
+    /// Parses a [`Self::token`] (case-insensitive). `None` on anything
+    /// else — callers decide whether that is an error or a fallthrough.
+    pub fn parse(tok: &str) -> Option<Semantics> {
+        match tok.to_ascii_lowercase().as_str() {
+            "classical" => Some(Semantics::Classical),
+            "possible" => Some(Semantics::Possible),
+            "certain" => Some(Semantics::Certain),
+            "weak" => Some(Semantics::Weak),
+            _ => None,
+        }
+    }
+}
+
+/// The subset of `targets` whose non-null codes are constant over
+/// `class` — the per-class kernel of [`Semantics::Weak`] (`0` encodes
+/// `⊥`, which the weak completion absorbs). Comparing against the
+/// class head would be unsound here: the head may carry `⊥` on a
+/// target while two later rows disagree with non-null values, so the
+/// sweep tracks the first *non-null* code per target instead.
+fn weak_targets_in_class(enc: &Encoded, class: &[u32], targets: AttrSet) -> AttrSet {
+    let mut still = AttrSet::EMPTY;
+    'targets: for a in targets {
+        let mut seen = 0u32;
+        for &r in class {
+            let c = enc.code(r as usize, a);
+            if c != 0 {
+                if seen == 0 {
+                    seen = c;
+                } else if seen != c {
+                    continue 'targets;
+                }
+            }
+        }
+        still.insert(a);
+    }
+    still
 }
 
 /// [`fd_targets_holding`] fused with the partition product: checks
@@ -503,6 +574,14 @@ pub fn fd_targets_on_refinement(
     probes: &ProbeCache,
 ) -> AttrSet {
     sqlnf_obs::count!("discovery.check.fused_checks");
+    // The weak sweep needs per-class "first non-null code" state, not
+    // head-vs-row pairs (the head's `⊥` would mask a later non-null
+    // disagreement), so it materializes the refined partition and runs
+    // the class kernel directly.
+    if sem == Semantics::Weak {
+        let p = prefix.product_attr(enc, by, ns, scratch);
+        return fd_targets_holding(enc, x, &p, targets, sem);
+    }
     let mut holding = targets;
     prefix.for_each_refined_pair(enc, by, ns, scratch, |head, r| {
         let (head, r) = (head as usize, r as usize);
@@ -540,10 +619,16 @@ pub fn fd_targets_holding(
 
     // Within-partition check: every class must be constant on A.
     // For Possible/Certain the class is a strong-similarity class and
-    // equality is syntactic (⊥ = ⊥ ⇒ code equality works, with 0 = ⊥).
+    // equality is syntactic (⊥ = ⊥ ⇒ code equality works, with 0 = ⊥);
+    // for Weak only the non-null codes must agree (`⊥` is completed to
+    // the class consensus).
     for class in &partition.classes {
         if holding.is_empty() {
             break;
+        }
+        if sem == Semantics::Weak {
+            holding = weak_targets_in_class(enc, class, holding);
+            continue;
         }
         let first = class[0] as usize;
         for &r in &class[1..] {
@@ -592,6 +677,10 @@ pub fn fd_targets_holding_cached(
     for class in &partition.classes {
         if holding.is_empty() {
             break;
+        }
+        if sem == Semantics::Weak {
+            holding = weak_targets_in_class(enc, class, holding);
+            continue;
         }
         let first = class[0] as usize;
         for &r in &class[1..] {
@@ -673,12 +762,24 @@ pub fn certain_reflexive_holds_cached(enc: &Encoded, probes: &ProbeCache, x: Att
 
 /// The [`NullSemantics`] under which partitions for `sem` are built:
 /// null-as-value for the classical convention, strong similarity for
-/// possible/certain FDs.
+/// possible/certain/weak FDs (weak satisfaction only ever constrains
+/// `X`-total rows, which is exactly what the strong partition groups).
 pub fn null_semantics(sem: Semantics) -> NullSemantics {
     match sem {
         Semantics::Classical => NullSemantics::NullAsValue,
-        Semantics::Possible | Semantics::Certain => NullSemantics::Strong,
+        Semantics::Possible | Semantics::Certain | Semantics::Weak => NullSemantics::Strong,
     }
+}
+
+/// Whether `X` is a *weak* key — some completion of the instance has no
+/// two rows equal on `X`. Rows carrying `⊥` in `X` can always be
+/// completed apart with fresh values, while `X`-total duplicates can
+/// never be separated, so weak keys coincide **exactly** with possible
+/// keys: the strong partition must be empty. Kept as its own entry
+/// point so the four-way key surface is explicit (and pinned by the
+/// differential tests).
+pub fn is_weak_key(strong_partition: &Partition) -> bool {
+    is_pkey(strong_partition)
 }
 
 /// Builds the grouping of `X` appropriate for `sem` from scratch — the
@@ -726,6 +827,17 @@ mod tests {
         // Classical (null as value) also holds: groups (FS,Amazon),
         // (FS,⊥), (DD,K) each constant on price.
         assert!(fd_holds(&e, ic, pr, Semantics::Classical));
+        // Weak: the completion hands row 2's ⊥ catalog a fresh value,
+        // so every constraint certain satisfaction imposes is relaxed —
+        // and price is constant on the remaining exact ic-groups.
+        assert!(fd_holds(&e, ic, pr, Semantics::Weak));
+        assert!(fd_holds(&e, ic, s.a("i"), Semantics::Weak));
+        // oi → c fails under possible (rows 1–2 agree on order and item
+        // but map to Amazon and ⊥, syntactically unequal) yet holds
+        // weakly: complete the ⊥ to "Amazon".
+        let oi = s.set(&["o", "i"]);
+        assert!(!fd_holds(&e, oi, s.a("c"), Semantics::Possible));
+        assert!(fd_holds(&e, oi, s.a("c"), Semantics::Weak));
     }
 
     #[test]
@@ -782,7 +894,21 @@ mod tests {
                         satisfies_fd(&t, &fd_c),
                         "c x={x:?} a={a:?}\n{t}"
                     );
+                    let weak = fd_holds(&e, x, a, Semantics::Weak);
+                    assert_eq!(
+                        weak,
+                        satisfies_weak_fd(&t, x, AttrSet::single(a)),
+                        "w x={x:?} a={a:?}\n{t}"
+                    );
+                    // Pairwise strength chain: certain ⟹ possible ⟹
+                    // weak, classical ⟹ weak.
+                    if fd_holds(&e, x, a, Semantics::Possible)
+                        || fd_holds(&e, x, a, Semantics::Classical)
+                    {
+                        assert!(weak, "chain x={x:?} a={a:?}\n{t}");
+                    }
                 }
+                assert_eq!(is_weak_key(&strong), is_pkey(&strong), "wkey x={x:?}\n{t}");
                 assert_eq!(
                     is_pkey(&strong),
                     satisfies_key(&t, &Key::possible(x)),
@@ -817,6 +943,7 @@ mod tests {
             Semantics::Classical,
             Semantics::Possible,
             Semantics::Certain,
+            Semantics::Weak,
         ] {
             let p = partition_for(&e, x, sem);
             let targets = AttrSet::from_indices([1, 2, 3]);
@@ -824,6 +951,38 @@ mod tests {
             for a in targets {
                 assert_eq!(batch.contains(a), fd_holds(&e, x, a, sem), "{sem:?} {a:?}");
             }
+        }
+    }
+
+    /// The promoted [`Semantics::Weak`] must byte-match the related-work
+    /// reproduction it generalizes: `sqlnf_core::related::weak_fd_holds`
+    /// on the 2-row comparison table of Example 2 (the regression pin
+    /// lives in `tests/discovery.rs`, where `sqlnf-core` is in scope;
+    /// here we pin the same truth column directly).
+    #[test]
+    fn example2_weak_column() {
+        let t = TableBuilder::new("emp", ["e", "d", "m", "s"], &[])
+            .row(tuple!["Turing", "CS", "von Neumann", null])
+            .row(tuple!["Turing", null, "Goedel", null])
+            .build();
+        let e = enc(&t);
+        let s = t.schema().clone();
+        // (lhs, rhs, weak_fd_holds column of the Example-2 matrix)
+        let matrix = [
+            ("e", "d", true),
+            ("e", "m", false),
+            ("e", "s", true),
+            ("d", "d", true),
+            ("d", "m", true),
+            ("m", "e", true),
+            ("m", "d", true),
+        ];
+        for (l, r, want) in matrix {
+            assert_eq!(
+                fd_holds(&e, s.set(&[l]), s.a(r), Semantics::Weak),
+                want,
+                "{l} ->weak {r}"
+            );
         }
     }
 }

@@ -189,6 +189,63 @@ pub fn mine_report(name: &str, table: &Table, max_lhs: usize, cache_budget: usiz
     render_report(name, table.len(), table.schema(), max_lhs, &cls, &keys)
 }
 
+/// Mines minimal FDs under **one** named semantics and renders a plain
+/// listing — the report behind `MINE <table> [cap] <semantics>` and
+/// `sqlnf mine --semantics <tok>`. Unlike [`mine_report`] (which fixes
+/// the paper's possible/certain classification), this treats all four
+/// [`Semantics`] uniformly, so `weak` is a first-class citizen of the
+/// serve plane and CLI.
+pub fn semantics_report(
+    name: &str,
+    table: &Table,
+    sem: Semantics,
+    max_lhs: usize,
+    cache_budget: usize,
+) -> String {
+    let enc = Encoded::new(table);
+    let schema = table.schema();
+    let mined = mine_fds_encoded(
+        &enc,
+        schema.arity(),
+        MinerConfig::new(sem)
+            .with_max_lhs(max_lhs)
+            .with_cache_budget(cache_budget),
+        Instant::now(),
+    );
+    render_semantics_report(name, table.len(), schema, sem, max_lhs, &mined.fds)
+}
+
+/// Renders [`semantics_report`] from already-mined FDs. Shared with the
+/// incremental engine's `--incremental --semantics` path, so
+/// "byte-identical output" between the two reduces to FD-set equality.
+pub fn render_semantics_report(
+    name: &str,
+    rows: usize,
+    schema: &sqlnf_model::schema::TableSchema,
+    sem: Semantics,
+    max_lhs: usize,
+    fds: &[MinedFd],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{name}: {rows} rows × {} columns (LHS cap {max_lhs}, {} semantics)",
+        schema.arity(),
+        sem.token()
+    );
+    let _ = writeln!(out, "minimal {} FDs: {}", sem.token(), fds.len());
+    for fd in fds {
+        let _ = writeln!(
+            out,
+            "  {} -> {}",
+            schema.display_set(fd.lhs),
+            schema.display_set(fd.rhs)
+        );
+    }
+    out
+}
+
 /// Renders the `MINE` report from already-computed parts. Shared by
 /// [`mine_report`] (from-scratch) and the incremental engine
 /// ([`crate::incremental`]), so "byte-identical output" between the two
@@ -351,6 +408,26 @@ mod tests {
         counts.add(&cls);
         assert_eq!(counts.nn, 2 * cls.nn_fds.len());
         assert_eq!(counts.lambda, 2 * cls.lambda_fds.len());
+    }
+
+    #[test]
+    fn semantics_report_lists_each_semantics() {
+        // a → b holds weakly and possibly (the ⊥ completes to 10) but
+        // not certainly — the per-semantics listings must disagree.
+        let t = TableBuilder::new("r", ["a", "b"], &[])
+            .row(tuple![1i64, 10i64])
+            .row(tuple![1i64, null])
+            .row(tuple![2i64, 20i64])
+            .build();
+        let weak = semantics_report("r", &t, Semantics::Weak, 2, DEFAULT_CACHE_BUDGET);
+        let certain = semantics_report("r", &t, Semantics::Certain, 2, DEFAULT_CACHE_BUDGET);
+        assert!(weak.contains("weak semantics"), "{weak}");
+        assert!(weak.contains("{a} -> {b}"), "{weak}");
+        assert!(!certain.contains("{a} -> {b}"), "{certain}");
+        for sem in Semantics::ALL {
+            let r = semantics_report("r", &t, sem, 2, DEFAULT_CACHE_BUDGET);
+            assert!(r.contains(&format!("{} semantics", sem.token())), "{r}");
+        }
     }
 
     #[test]

@@ -171,6 +171,7 @@ fn sem_index(sem: Semantics) -> usize {
         Semantics::Classical => 0,
         Semantics::Possible => 1,
         Semantics::Certain => 2,
+        Semantics::Weak => 3,
     }
 }
 
@@ -200,8 +201,9 @@ pub struct IncrementalMiner {
     last_delete: u64,
     /// Per column: epoch of the last update that changed it.
     col_updated: Vec<u64>,
-    /// Verdict caches per semantics (Classical/Possible/Certain).
-    fd_cache: [HashMap<AttrSet, FdVerdict>; 3],
+    /// Verdict caches per semantics
+    /// (Classical/Possible/Certain/Weak).
+    fd_cache: [HashMap<AttrSet, FdVerdict>; 4],
     key_cache: HashMap<AttrSet, KeyVerdict>,
     /// `X →_w X` (totality) verdicts, for the t-FD classification.
     refl_cache: HashMap<AttrSet, Verdict>,
@@ -425,16 +427,31 @@ impl IncrementalMiner {
         let (Some(Some(tr)), Some(Some(ts))) = (slots.get(r), slots.get(s)) else {
             return false;
         };
-        Self::pair_similar(tr, ts, x, sem) && tr.get(a) != ts.get(a)
+        if !Self::pair_similar(tr, ts, x, sem) {
+            return false;
+        }
+        match sem {
+            // A weak violation needs a conflict no completion can fix:
+            // both values present and distinct (a ⊥ is filled with the
+            // partner's value).
+            Semantics::Weak => {
+                let (va, vb) = (tr.get(a), ts.get(a));
+                !va.is_null() && !vb.is_null() && va != vb
+            }
+            _ => tr.get(a) != ts.get(a),
+        }
     }
 
     /// LHS-similarity of two live tuples under the mining semantics:
     /// syntactic equality (⊥ = ⊥) classically, strong similarity for
-    /// possible FDs, weak similarity for certain FDs.
+    /// possible FDs, weak similarity for certain FDs. Weak FDs only
+    /// ever constrain `X`-total pairs (an `X`-incomplete row is
+    /// completed apart with fresh values), so their pair notion is
+    /// strong similarity too.
     fn pair_similar(tr: &Tuple, ts: &Tuple, x: AttrSet, sem: Semantics) -> bool {
         x.iter().all(|c| match sem {
             Semantics::Classical => tr.get(c) == ts.get(c),
-            Semantics::Possible => strongly_similar(tr.get(c), ts.get(c)),
+            Semantics::Possible | Semantics::Weak => strongly_similar(tr.get(c), ts.get(c)),
             Semantics::Certain => weakly_similar(tr.get(c), ts.get(c)),
         })
     }
@@ -486,6 +503,40 @@ impl IncrementalMiner {
         sem: Semantics,
         out: &mut Vec<(Attr, RowId, RowId)>,
     ) {
+        if sem == Semantics::Weak {
+            // The witness must be a *non-null* disagreement: comparing
+            // against the class head would hand out a pair a completion
+            // could repair (the head may carry ⊥ on the target), so
+            // track the first non-null code per target instead.
+            'weak_classes: for class in &p.classes {
+                let mut got = AttrSet::EMPTY;
+                for a in want {
+                    let mut seen: Option<usize> = None;
+                    for &r in class {
+                        let r = r as usize;
+                        let c = enc.code(r, a);
+                        if c == 0 {
+                            continue;
+                        }
+                        match seen {
+                            None => seen = Some(r),
+                            Some(f) if enc.code(f, a) != c => {
+                                out.push((a, stable[f], stable[r]));
+                                got.insert(a);
+                                break;
+                            }
+                            Some(_) => {}
+                        }
+                    }
+                }
+                want = want - got;
+                if want.is_empty() {
+                    break 'weak_classes;
+                }
+            }
+            debug_assert!(want.is_empty(), "refuted target without witness: {want:?}");
+            return;
+        }
         'classes: for class in &p.classes {
             let first = class[0] as usize;
             for &r in &class[1..] {
@@ -586,8 +637,9 @@ impl IncrementalMiner {
 
     /// Groups `delta` by its code vector on `x` (⊥ is code 0): equal
     /// projections have identical partner sets, so they share one
-    /// probe. Under `Possible`, x-incomplete rows are dropped — ⊥ is
-    /// similar to nothing.
+    /// probe. Under `Possible` and `Weak`, x-incomplete rows are
+    /// dropped — ⊥ is strongly similar to nothing, and the weak
+    /// completion isolates such rows with fresh values.
     fn delta_groups(
         enc: &Encoded,
         delta: &[usize],
@@ -597,7 +649,7 @@ impl IncrementalMiner {
         let mut key = Vec::new();
         let mut groups: FastMap<Vec<u32>, Vec<usize>> = FastMap::default();
         for &r in delta {
-            if sem == Semantics::Possible && !enc.is_total_on(r, x) {
+            if matches!(sem, Semantics::Possible | Semantics::Weak) && !enc.is_total_on(r, x) {
                 continue;
             }
             Self::key_on(enc, r, x, &mut key);
@@ -633,13 +685,14 @@ impl IncrementalMiner {
         mut f: impl FnMut(usize) -> bool,
     ) -> bool {
         match sem {
-            Semantics::Classical | Semantics::Possible => {
+            Semantics::Classical | Semantics::Possible | Semantics::Weak => {
                 // Similarity is plain code equality on `x`: scan the
                 // sparsest matching posting list, verifying the other
                 // columns directly. A classical ⊥ is the ordinary code
                 // 0, so a zero entry correctly demands fellow nulls; a
-                // possible projection is x-total, so any row matching
-                // its all-nonzero codes is too.
+                // possible or weak projection is x-total (incomplete
+                // delta rows were dropped), so any row matching its
+                // all-nonzero codes is too.
                 let Some(list) = Self::sparsest_posting(postings, x, kv) else {
                     return true;
                 };
@@ -754,6 +807,39 @@ impl IncrementalMiner {
         complete
     }
 
+    /// Folds one class row into the weak-semantics tracking state:
+    /// `tracked` holds, per target, the first dense row seen carrying a
+    /// non-null code; a later row with a *different* non-null code is a
+    /// genuine violating pair (no completion can reconcile two present,
+    /// distinct values), recorded in `refuted` and `dead`. Rows with ⊥
+    /// on a target are skipped — the weak completion absorbs them.
+    fn weak_note_row(
+        enc: &Encoded,
+        stable: &[RowId],
+        row: usize,
+        tracked: &mut [(Attr, Option<usize>)],
+        dead: &mut AttrSet,
+        refuted: &mut Vec<(Attr, RowId, RowId)>,
+    ) {
+        for (a, first) in tracked.iter_mut() {
+            if dead.contains(*a) {
+                continue;
+            }
+            let c = enc.code(row, *a);
+            if c == 0 {
+                continue;
+            }
+            match first {
+                None => *first = Some(row),
+                Some(f) if enc.code(*f, *a) != c => {
+                    refuted.push((*a, stable[*f], stable[row]));
+                    dead.insert(*a);
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
     /// Re-validates previously-holding targets of `X → ·` against only
     /// the delta-involved pairs. Returns the surviving targets; each
     /// refuted one is appended to `refuted` with a live witness pair
@@ -778,7 +864,23 @@ impl IncrementalMiner {
         if x.is_empty() {
             // `∅ → A`: every pair is similar under every semantics, so
             // the FD survives iff the column is still constant — one
-            // early-exit column scan.
+            // early-exit column scan. Weakly, "constant" tolerates ⊥:
+            // only two distinct non-null codes kill the target.
+            if sem == Semantics::Weak {
+                let mut scanned = 0usize;
+                let mut tracked: Vec<(Attr, Option<usize>)> =
+                    holding.iter().map(|a| (a, None)).collect();
+                let mut dead = AttrSet::EMPTY;
+                for s in 0..enc.rows() {
+                    scanned += 1;
+                    Self::weak_note_row(enc, stable, s, &mut tracked, &mut dead, refuted);
+                    if dead == holding {
+                        break;
+                    }
+                }
+                sqlnf_obs::count!("discovery.partition.rows_scanned", scanned);
+                return holding - dead;
+            }
             let mut scanned = 0usize;
             for s in 1..enc.rows() {
                 scanned += 1;
@@ -805,6 +907,27 @@ impl IncrementalMiner {
                 break;
             }
             let r0 = group[0];
+            if sem == Semantics::Weak {
+                // Weakly, a class stays repairable while its non-null
+                // codes per target agree; the r0-homogeneity shortcut
+                // below is unsound here (r0 may carry ⊥ on a target two
+                // partners disagree on non-null), so track the first
+                // non-null row per target across group and partners.
+                let mut tracked: Vec<(Attr, Option<usize>)> =
+                    holding.iter().map(|a| (a, None)).collect();
+                let mut dead = AttrSet::EMPTY;
+                for &m in group {
+                    Self::weak_note_row(enc, stable, m, &mut tracked, &mut dead, refuted);
+                }
+                if dead != holding {
+                    Self::for_each_partner(enc, postings, x, kv, r0, sem, &mut scanned, |s| {
+                        Self::weak_note_row(enc, stable, s, &mut tracked, &mut dead, refuted);
+                        dead != holding
+                    });
+                }
+                holding = holding - dead;
+                continue;
+            }
             // Group members are pairwise similar on `x`, so a target
             // they disagree on dies to a member pair — and the
             // survivors are group-homogeneous, which lets the partner
@@ -1615,6 +1738,7 @@ mod tests {
             Semantics::Classical,
             Semantics::Possible,
             Semantics::Certain,
+            Semantics::Weak,
         ] {
             let scratch = mine_fds(
                 &t,

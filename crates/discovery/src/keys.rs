@@ -6,6 +6,12 @@
 //! keys" but are not, due to dirty data. This module mines the minimal
 //! p-keys and c-keys of an instance level-wise, with subset pruning
 //! (any superset of a key is a key, by key-Augmentation).
+//!
+//! There is no separate *weak*-key miner: weak keys coincide exactly
+//! with possible keys ([`crate::check::is_weak_key`]) — an `X`-null row
+//! is always separable by fresh completion values, while two `X`-total
+//! duplicates are never separable — so `pkeys` doubles as the
+//! weak-semantics key set.
 
 use crate::cache::{PartitionCtx, DEFAULT_CACHE_BUDGET};
 use crate::check::{is_ckey_cached, is_pkey, ProbeCache};

@@ -1,5 +1,5 @@
 //! Level-wise discovery of minimal non-trivial FDs, in the style of
-//! TANE, under any of the three [`Semantics`].
+//! TANE, under any of the four [`Semantics`].
 //!
 //! The miner records, per minimal LHS `X`, the set of all RHS
 //! attributes `A ∉ X` such that `X → A` holds and no `Y ⊊ X` already
@@ -973,12 +973,61 @@ mod tests {
         let possible = mine_fds(&t, MinerConfig::new(Semantics::Possible));
         let certain = mine_fds(&t, MinerConfig::new(Semantics::Certain));
         let classical = mine_fds(&t, MinerConfig::new(Semantics::Classical));
+        let weak = mine_fds(&t, MinerConfig::new(Semantics::Weak));
         let a = AttrSet::from_indices([0]);
         let b = sqlnf_model::attrs::Attr(1);
         let has = |r: &MiningResult| r.fds.iter().any(|f| f.lhs == a && f.rhs.contains(b));
         assert!(has(&possible));
         assert!(has(&classical));
         assert!(!has(&certain));
+        // Weak is laxer still: the ⊥ row's fresh completion never
+        // collides with 1 or 2, so a →_weak b holds like the p-FD.
+        assert!(has(&weak));
+    }
+
+    /// certain ⊆ weak as *mined sets*, checked semantically: every
+    /// certain-mined `lhs → a` must be covered by a weak-mined FD with
+    /// `Y ⊆ lhs` determining `a` (minimal LHSs can genuinely shrink
+    /// under the laxer semantics).
+    #[test]
+    fn certain_mined_contained_in_weak_mined() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for case in 0..12 {
+            let schema = TableSchema::new(
+                "r",
+                (0..5).map(|i| format!("c{i}")).collect::<Vec<_>>(),
+                &[],
+            );
+            let mut t = Table::new(schema);
+            for _ in 0..40 {
+                t.push(Tuple::new(
+                    (0..5)
+                        .map(|_| {
+                            if rng.gen_bool(0.2) {
+                                Value::Null
+                            } else {
+                                Value::Int(rng.gen_range(0..4))
+                            }
+                        })
+                        .collect::<Vec<_>>(),
+                ));
+            }
+            let certain = mine_fds(&t, MinerConfig::new(Semantics::Certain).with_max_lhs(3));
+            let weak = mine_fds(&t, MinerConfig::new(Semantics::Weak).with_max_lhs(3));
+            for fd in &certain.fds {
+                for a in fd.rhs {
+                    assert!(
+                        weak.fds
+                            .iter()
+                            .any(|w| w.lhs.is_subset(fd.lhs) && w.rhs.contains(a)),
+                        "case {case}: certain {:?} -> {a:?} uncovered weakly\n{t}",
+                        fd.lhs
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -1019,6 +1068,7 @@ mod tests {
             Semantics::Classical,
             Semantics::Possible,
             Semantics::Certain,
+            Semantics::Weak,
         ] {
             for budget in [0, 4096, DEFAULT_CACHE_BUDGET] {
                 let config = |threads| {

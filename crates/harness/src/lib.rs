@@ -45,7 +45,7 @@ pub use workload::{generate, Workload};
 
 use sqlnf_model::prelude::{parse_script, Database, Statement};
 use sqlnf_serve::{
-    table_facts, Client, ClientError, FsyncMode, ServeConfig, Server, Store, StreamItem,
+    table_facts_with, Client, ClientError, FsyncMode, ServeConfig, Server, Store, StreamItem,
     WatchEvent, WATCH_MAX_LHS,
 };
 use std::collections::{BTreeMap, BTreeSet};
@@ -406,12 +406,19 @@ pub fn run_one(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
     // connects, so its subscription covers the whole durable history
     // (epoch 1 onward) and completeness is checkable afterwards.
     let watch_done = Arc::new(AtomicBool::new(false));
+    // Odd seeds subscribe on the weak plane (`WATCH * weak`), even
+    // seeds on the default one, so both fact vocabularies are under
+    // the stream-soundness check — deterministically per seed.
+    let weak_plane = config.watch && config.seed % 2 == 1;
     let watch_handle = if config.watch {
         let mut watcher = Client::connect_with_timeout(addr, Some(WATCH_POLL))
             .map_err(|e| fail(format!("watch subscriber failed to connect: {e}")))?;
-        watcher
-            .watch(None)
-            .map_err(|e| fail(format!("WATCH refused: {e}")))?;
+        if weak_plane {
+            watcher.watch_weak(None)
+        } else {
+            watcher.watch(None)
+        }
+        .map_err(|e| fail(format!("WATCH refused: {e}")))?;
         let done = Arc::clone(&watch_done);
         Some(std::thread::spawn(move || watch_session(watcher, done)))
     } else {
@@ -612,7 +619,7 @@ pub fn run_one(config: &HarnessConfig) -> Result<RunReport, HarnessFailure> {
                     Statement::Insert { table, .. } => table.clone(),
                 };
                 let table = db.table(&name).expect("replayed table exists").data();
-                let now = table_facts(table, WATCH_MAX_LHS);
+                let now = table_facts_with(table, WATCH_MAX_LHS, weak_plane);
                 let before = facts.entry(name.clone()).or_default();
                 for f in before.difference(&now) {
                     expected.push(format!("EVENT {epoch} {name} -{f}"));
@@ -755,6 +762,25 @@ mod tests {
         assert!(report.watch_events > 0, "subscriber saw no events");
         assert_eq!(report.watch_lagged, 0, "drain must keep up at this scale");
         assert!(report.mines > 0, "MINE must ride along with the DML");
+        assert_eq!(report.recovered, report.admitted);
+    }
+
+    /// Seed parity picks the subscriber's plane: odd seeds (above) ride
+    /// `WATCH * weak`, even seeds the default plane. Both must pass the
+    /// stream-soundness check against their own fact vocabulary.
+    #[test]
+    fn watched_run_covers_the_default_plane_on_even_seeds() {
+        let config = HarnessConfig {
+            seed: 6,
+            ops: 50,
+            clients: 2,
+            kill_prob: 0.0,
+            corrupt_prob: 0.0,
+            watch: true,
+            ..HarnessConfig::default()
+        };
+        let report = run_one(&config).expect("watched run passes");
+        assert!(report.watch_events > 0, "subscriber saw no events");
         assert_eq!(report.recovered, report.admitted);
     }
 

@@ -5,16 +5,23 @@
 //!
 //! 1. **determinism** — `mine_fds` / `mine_keys_budgeted` return
 //!    byte-identical results across thread counts and cache budgets,
-//!    for each of the three semantics;
-//! 2. **soundness vs satisfaction** — every mined p-/c-FD and key
-//!    holds on the instance under `sqlnf_model::satisfy` (a pairwise
-//!    evaluator sharing no code with the partition-based miner);
+//!    for each of the four semantics;
+//! 2. **soundness vs satisfaction** — every mined p-/c-/weak FD and
+//!    key holds on the instance under `sqlnf_model::satisfy` (a
+//!    pairwise evaluator sharing no code with the partition-based
+//!    miner);
 //! 3. **oracle agreement** — with Σ = the mined constraints, sampled
 //!    implication queries through `oracle_implies` are consistent with
-//!    `counter_model`, and every constraint the oracle derives from Σ
-//!    must hold on the instance (the instance is a model of Σ);
+//!    `counter_model` (and `oracle_implies_weak_fd` with
+//!    `weak_counter_model`), and every constraint the oracle derives
+//!    from Σ must hold on the instance (the instance is a model of Σ);
 //! 4. **augmentation** — LHS-extensions of mined FDs are implied by Σ,
 //!    a known-true theorem the oracle must confirm.
+//!
+//! On top of the per-semantics checks, the cross-semantics lattice is
+//! enforced: every certain-mined FD must be weakly covered (certain ⊆
+//! weak as implied sets), and on null-free instances all four
+//! semantics must mine the identical FD list.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -57,11 +64,8 @@ pub fn check_table(table: &Table, seed: u64) -> Result<MineCheckReport, String> 
     //    soundness of possible/certain results against the
     //    satisfaction layer.
     let mut mined_sigma = Sigma::new();
-    for sem in [
-        Semantics::Classical,
-        Semantics::Possible,
-        Semantics::Certain,
-    ] {
+    let mut mined_by_sem: Vec<Vec<MinedFd>> = Vec::with_capacity(Semantics::ALL.len());
+    for sem in Semantics::ALL {
         let config = |threads, budget| {
             MinerConfig::new(sem)
                 .with_max_lhs(arity)
@@ -85,6 +89,19 @@ pub fn check_table(table: &Table, seed: u64) -> Result<MineCheckReport, String> 
                 // satisfaction-layer analogue; determinism above is its
                 // whole check.
                 Semantics::Classical => continue,
+                // Weak FDs live outside the p/c constraint language:
+                // check them against the dedicated pairwise evaluator
+                // and keep them out of Σ.
+                Semantics::Weak => {
+                    if !satisfies_weak_fd(table, mined.lhs, mined.rhs) {
+                        return Err(format!(
+                            "{name}: mined weak FD {:?} -> {:?} does not hold per satisfy layer",
+                            mined.lhs, mined.rhs
+                        ));
+                    }
+                    report.fds_checked += 1;
+                    continue;
+                }
             };
             if !satisfies_fd(table, &fd) {
                 return Err(format!(
@@ -95,6 +112,36 @@ pub fn check_table(table: &Table, seed: u64) -> Result<MineCheckReport, String> 
             report.fds_checked += 1;
             mined_sigma.add(fd);
         }
+        mined_by_sem.push(base.fds);
+    }
+
+    // Cross-semantics lattice. Certain ⊆ weak as implied sets: every
+    // certain-mined FD must be covered by a weak-mined FD on a sub-LHS
+    // (minimal LHSs can shrink under the laxer semantics, never grow).
+    let (certain_fds, weak_fds) = (&mined_by_sem[2], &mined_by_sem[3]);
+    for fd in certain_fds {
+        for a in fd.rhs {
+            if !weak_fds
+                .iter()
+                .any(|w| w.lhs.is_subset(fd.lhs) && w.rhs.contains(a))
+            {
+                return Err(format!(
+                    "{name}: certain-mined {:?} -> {a:?} has no weak cover",
+                    fd.lhs
+                ));
+            }
+        }
+    }
+    // On a null-free instance all four semantics coincide exactly.
+    if table
+        .rows()
+        .iter()
+        .all(|r| (0..arity).all(|i| !r.get(Attr::from(i)).is_null()))
+        && mined_by_sem.iter().any(|fds| fds != &mined_by_sem[0])
+    {
+        return Err(format!(
+            "{name}: null-free instance mined differently across semantics"
+        ));
     }
 
     // 2. Keys: budget-independent, and sound against the satisfy layer.
@@ -195,6 +242,26 @@ pub fn check_table(table: &Table, seed: u64) -> Result<MineCheckReport, String> 
             return Err(format!(
                 "{name}: Σ ⊨ {} per oracle, but the instance violates it",
                 phi.display(table.schema())
+            ));
+        }
+    }
+
+    // Weak-FD implication queries over the same Σ: the exact oracle,
+    // its counter-model, and the instance (a model of Σ) must agree.
+    for _ in 0..4 {
+        let lhs = random_nonempty_subset(&mut rng, t);
+        let rhs = random_nonempty_subset(&mut rng, t);
+        let implied = oracle_implies_weak_fd(t, nfs, &sigma, lhs, rhs);
+        report.oracle_queries += 1;
+        sqlnf_obs::count!("harness.oracle.queries");
+        if implied == weak_counter_model(t, nfs, &sigma, lhs, rhs).is_some() {
+            return Err(format!(
+                "{name}: weak_counter_model disagrees with oracle on {lhs:?} -> {rhs:?}"
+            ));
+        }
+        if implied && !satisfies_weak_fd(table, lhs, rhs) {
+            return Err(format!(
+                "{name}: Σ ⊨ {lhs:?} ->weak {rhs:?} per oracle, but the instance violates it"
             ));
         }
     }

@@ -40,7 +40,7 @@ pub mod prelude {
     pub use crate::project::{project_multiset, project_set, total_part};
     pub use crate::satisfy::{
         fd_violation, key_violation, satisfies, satisfies_all, satisfies_fd, satisfies_key,
-        violations,
+        satisfies_weak_fd, violations, weak_fd_violation,
     };
     pub use crate::schema::TableSchema;
     pub use crate::similarity::{strongly_similar, weakly_similar, Agreement};

@@ -98,6 +98,59 @@ pub fn satisfies_fd(table: &Table, fd: &Fd) -> bool {
     fd_violation(table, fd).is_none()
 }
 
+/// Finds a pair witnessing that **no** possible world of the instance
+/// satisfies `X → Y` classically — the violation notion of *weak*
+/// satisfaction (Levene/Loizou; Badia & Lemire's FDs with null
+/// markers).
+///
+/// A completion is free to hand every `X`-incomplete row fresh values
+/// (isolating it in its own group) and to fill a `⊥` on the RHS with
+/// whatever its group agreed on, so the only unfixable conflict is two
+/// `X`-total rows equal on `X` that carry *distinct non-null* values on
+/// some attribute of `Y`. Equivalently: weak satisfaction is closed
+/// under sub-instances and every violation is witnessed by a 2-row
+/// sub-instance, which is what lets the 2-tuple implication oracle of
+/// `sqlnf-core` cover weak FDs too.
+pub fn weak_fd_violation(table: &Table, lhs: AttrSet, rhs: AttrSet) -> Option<ViolatingPair> {
+    let (groups, _nulls) = split_on(table, lhs);
+    for rows in groups.values() {
+        if rows.len() < 2 {
+            continue;
+        }
+        // First row carrying a non-null value per RHS attribute; a
+        // later row disagreeing non-null is the witness. Tracking the
+        // group head instead would be unsound (its `⊥` masks later
+        // conflicts).
+        for a in rhs {
+            let mut seen: Option<usize> = None;
+            for &r in rows {
+                sqlnf_obs::count!("model.satisfy.pair_comparisons");
+                let v = table.rows()[r].get(a);
+                if matches!(v, Value::Null) {
+                    continue;
+                }
+                match seen {
+                    None => seen = Some(r),
+                    Some(first) if table.rows()[first].get(a) != v => {
+                        return Some(ViolatingPair {
+                            row_a: first,
+                            row_b: r,
+                        });
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Whether *some* possible world of the instance satisfies `X → Y`
+/// classically (weak FD satisfaction). See [`weak_fd_violation`].
+pub fn satisfies_weak_fd(table: &Table, lhs: AttrSet, rhs: AttrSet) -> bool {
+    weak_fd_violation(table, lhs, rhs).is_none()
+}
+
 /// Finds a pair violating the key, if any.
 ///
 /// `p⟨X⟩` is violated by two rows strongly similar on `X`; `c⟨X⟩` by two

@@ -278,7 +278,19 @@ impl Client {
             Some(t) => format!("WATCH {t}"),
             None => "WATCH".to_owned(),
         };
-        let reply = self.request(&line)?;
+        self.watch_line(&line)
+    }
+
+    /// [`watch`](Self::watch) with the weak plane opted in: the session
+    /// additionally receives `wfd:` weak-FD fact events. Sends
+    /// `WATCH <t|*> weak` (the wildcard keeps the bare `weak` token
+    /// from being read as a table filter).
+    pub fn watch_weak(&mut self, table: Option<&str>) -> Result<Reply, ClientError> {
+        self.watch_line(&format!("WATCH {} weak", table.unwrap_or("*")))
+    }
+
+    fn watch_line(&mut self, line: &str) -> Result<Reply, ClientError> {
+        let reply = self.request(line)?;
         if reply.ok {
             self.watching = true;
             Ok(reply)

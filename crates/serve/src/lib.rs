@@ -47,5 +47,6 @@ pub use server::{ServeConfig, Server};
 pub use store::{ServeError, Store, StoreOptions};
 pub use wal::Wal;
 pub use watch::{
-    table_facts, Subscription, WatchEvent, WatchHub, DEFAULT_WATCH_QUEUE, WATCH_MAX_LHS,
+    table_facts, table_facts_with, Subscription, WatchEvent, WatchHub, DEFAULT_WATCH_QUEUE,
+    WATCH_MAX_LHS,
 };

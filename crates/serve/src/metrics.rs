@@ -320,11 +320,11 @@ pub fn verb_label(req: &crate::protocol::Request) -> &'static str {
         Request::Dump(_) => "dump",
         Request::Mine { .. } => "mine",
         Request::Closure { .. } => "closure",
-        Request::Normalize(_) => "normalize",
+        Request::Normalize { .. } => "normalize",
         Request::Stats => "stats",
         Request::Metrics => "metrics",
         Request::Trace(_) => "trace",
-        Request::Watch(_) => "watch",
+        Request::Watch { .. } => "watch",
         Request::Unwatch => "unwatch",
         Request::Quit => "quit",
         Request::Shutdown => "shutdown",

@@ -8,14 +8,27 @@
 //! PING                         liveness probe
 //! TABLES                       list stored tables
 //! DUMP <table>                 table contents as CSV
-//! MINE <table> [max_lhs]       discover & classify FDs of the instance
+//! MINE <table> [max_lhs] [sem] discover & classify FDs of the instance;
+//!                              an optional trailing semantics token
+//!                              (classical|possible|certain|weak) lists
+//!                              the minimal FDs of that one semantics
+//!                              instead of the default classification
 //! CLOSURE <table> <col>...     p- and c-closure of the column set
-//! NORMALIZE <table>            DDL of the VRNF decomposition
+//! NORMALIZE <table> [sem]      DDL of the VRNF decomposition; an
+//!                              optional semantics token is validated
+//!                              and echoed (the design itself is
+//!                              semantics-invariant: weak implication
+//!                              coincides with possible implication)
 //! STATS                        server counters
 //! METRICS                      Prometheus-style text exposition
 //! TRACE [n]                    last n flight-recorder events (default 64)
 //! WATCH [table]                stream live discovery events (all tables
 //!                              when no table is named)
+//! WATCH <table|*> <sem>        same, naming a semantics: `weak` opts
+//!                              into the additional `wfd:` facts that
+//!                              default subscribers never see; the other
+//!                              three tokens are validated no-ops (their
+//!                              facts are already in the default stream)
 //! UNWATCH                      stop streaming; drains pending events
 //! QUIT                         close this session
 //! SHUTDOWN                     stop the whole server (final snapshot)
@@ -37,6 +50,7 @@
 //! ERR <n> <message>\n    then n payload lines
 //! ```
 
+use sqlnf_discovery::check::Semantics;
 use std::fmt;
 
 /// How many flight-recorder events a bare `TRACE` returns.
@@ -57,6 +71,9 @@ pub enum Request {
         table: String,
         /// LHS size cap.
         max_lhs: usize,
+        /// `None` runs the default possible/certain classification;
+        /// `Some(sem)` lists the minimal FDs of that one semantics.
+        semantics: Option<Semantics>,
     },
     /// Closure of a set of columns under a table's declared FDs.
     Closure {
@@ -66,7 +83,15 @@ pub enum Request {
         columns: Vec<String>,
     },
     /// VRNF decomposition of a stored table's design.
-    Normalize(String),
+    Normalize {
+        /// Target table.
+        table: String,
+        /// Optional semantics token, validated and echoed; the
+        /// decomposition itself is semantics-invariant (weak
+        /// implication coincides with possible implication, and the
+        /// design language is p/c).
+        semantics: Option<Semantics>,
+    },
     /// Server counters.
     Stats,
     /// Prometheus-style text exposition of counters, latency
@@ -77,7 +102,14 @@ pub enum Request {
     Trace(usize),
     /// Subscribe this session to live discovery events, optionally
     /// restricted to one table.
-    Watch(Option<String>),
+    Watch {
+        /// Restrict to one table (`None` = all tables).
+        table: Option<String>,
+        /// Include the `wfd:` weak-FD facts in this subscriber's
+        /// stream (`WATCH <t|*> weak`). Default streams never carry
+        /// them, keeping pre-weak consumers byte-identical.
+        weak: bool,
+    },
     /// Cancel this session's subscription.
     Unwatch,
     /// End this session.
@@ -301,6 +333,15 @@ fn sql_complete(buf: &str) -> bool {
     last == b';'
 }
 
+/// `*` names "all tables" where a semantics token follows the slot.
+fn wildcard_table(t: &str) -> Option<String> {
+    if t == "*" {
+        None
+    } else {
+        Some(t.to_owned())
+    }
+}
+
 /// Tries to read a line as a service verb.
 fn parse_verb(line: &str) -> Option<Request> {
     let mut words = line.split_whitespace();
@@ -321,19 +362,55 @@ fn parse_verb(line: &str) -> Option<Request> {
         ("TRACE", [n]) => n.parse().ok().map(Request::Trace),
         ("QUIT", []) => Some(Request::Quit),
         ("SHUTDOWN", []) => Some(Request::Shutdown),
-        ("WATCH", []) => Some(Request::Watch(None)),
-        ("WATCH", [t]) => Some(Request::Watch(Some((*t).to_owned()))),
+        ("WATCH", []) => Some(Request::Watch {
+            table: None,
+            weak: false,
+        }),
+        ("WATCH", [t]) => Some(Request::Watch {
+            table: wildcard_table(t),
+            weak: false,
+        }),
+        ("WATCH", [t, sem]) => Semantics::parse(sem).map(|s| Request::Watch {
+            table: wildcard_table(t),
+            weak: s == Semantics::Weak,
+        }),
         ("UNWATCH", []) => Some(Request::Unwatch),
         ("DUMP", rest) => one_table(rest).map(Request::Dump),
-        ("NORMALIZE", rest) => one_table(rest).map(Request::Normalize),
+        ("NORMALIZE", [t]) => Some(Request::Normalize {
+            table: (*t).to_owned(),
+            semantics: None,
+        }),
+        ("NORMALIZE", [t, sem]) => Semantics::parse(sem).map(|s| Request::Normalize {
+            table: (*t).to_owned(),
+            semantics: Some(s),
+        }),
         ("MINE", [table]) => Some(Request::Mine {
             table: (*table).to_owned(),
             max_lhs: crate::store::DEFAULT_MINE_LHS,
+            semantics: None,
         }),
-        ("MINE", [table, cap]) => cap.parse().ok().map(|max_lhs| Request::Mine {
-            table: (*table).to_owned(),
-            max_lhs,
-        }),
+        // The second word is a LHS cap when numeric, else a semantics
+        // token (`MINE t 3`, `MINE t weak`, `MINE t 3 weak`).
+        ("MINE", [table, x]) => match x.parse::<usize>() {
+            Ok(max_lhs) => Some(Request::Mine {
+                table: (*table).to_owned(),
+                max_lhs,
+                semantics: None,
+            }),
+            Err(_) => Semantics::parse(x).map(|s| Request::Mine {
+                table: (*table).to_owned(),
+                max_lhs: crate::store::DEFAULT_MINE_LHS,
+                semantics: Some(s),
+            }),
+        },
+        ("MINE", [table, cap, sem]) => match (cap.parse::<usize>(), Semantics::parse(sem)) {
+            (Ok(max_lhs), Some(s)) => Some(Request::Mine {
+                table: (*table).to_owned(),
+                max_lhs,
+                semantics: Some(s),
+            }),
+            _ => None,
+        },
         // Columns may be parenthesized and/or comma-separated:
         // `CLOSURE t (a, b)` and `CLOSURE t a b` both work.
         ("CLOSURE", [table, cols @ ..]) => {
@@ -369,7 +446,8 @@ mod tests {
             acc.push_line("mine purchase 4"),
             Some(Request::Mine {
                 table: "purchase".into(),
-                max_lhs: 4
+                max_lhs: 4,
+                semantics: None
             })
         );
         assert_eq!(
@@ -390,6 +468,75 @@ mod tests {
                 "{line}"
             );
         }
+    }
+
+    #[test]
+    fn semantics_tokens_parse_on_mine_watch_normalize() {
+        let mut acc = Accumulator::new();
+        assert_eq!(
+            acc.push_line("MINE t weak"),
+            Some(Request::Mine {
+                table: "t".into(),
+                max_lhs: crate::store::DEFAULT_MINE_LHS,
+                semantics: Some(Semantics::Weak)
+            })
+        );
+        assert_eq!(
+            acc.push_line("mine t 3 CERTAIN"),
+            Some(Request::Mine {
+                table: "t".into(),
+                max_lhs: 3,
+                semantics: Some(Semantics::Certain)
+            })
+        );
+        // A bogus token is not a verb — the line becomes SQL.
+        assert_eq!(acc.push_line("MINE t 3 sideways"), None);
+        assert!(acc.is_pending());
+        acc.push_line(";");
+        assert_eq!(
+            acc.push_line("WATCH t weak"),
+            Some(Request::Watch {
+                table: Some("t".into()),
+                weak: true
+            })
+        );
+        assert_eq!(
+            acc.push_line("WATCH * weak"),
+            Some(Request::Watch {
+                table: None,
+                weak: true
+            })
+        );
+        // Naming a default-stream semantics is a validated no-op.
+        assert_eq!(
+            acc.push_line("WATCH t possible"),
+            Some(Request::Watch {
+                table: Some("t".into()),
+                weak: false
+            })
+        );
+        // A bare table named "weak" is still a table filter.
+        assert_eq!(
+            acc.push_line("WATCH weak"),
+            Some(Request::Watch {
+                table: Some("weak".into()),
+                weak: false
+            })
+        );
+        assert_eq!(
+            acc.push_line("NORMALIZE t weak"),
+            Some(Request::Normalize {
+                table: "t".into(),
+                semantics: Some(Semantics::Weak)
+            })
+        );
+        assert_eq!(
+            acc.push_line("NORMALIZE t"),
+            Some(Request::Normalize {
+                table: "t".into(),
+                semantics: None
+            })
+        );
     }
 
     #[test]

@@ -289,11 +289,14 @@ fn handle_session(
                     }
                     // WATCH and UNWATCH mutate session state, so they
                     // are handled here rather than in `dispatch`.
-                    Request::Watch(filter) => {
+                    Request::Watch { table, weak } => {
                         settle(store, &mut writer, &mut staged, &mut pending)?;
                         let _span = sqlnf_obs::span!("serve.verb.watch");
-                        let label = filter.as_deref().unwrap_or("*").to_owned();
-                        watching = Some(store.watch(filter));
+                        let mut label = table.as_deref().unwrap_or("*").to_owned();
+                        if weak {
+                            label.push_str(" weak");
+                        }
+                        watching = Some(store.watch_opts(table, weak));
                         write_reply(&mut writer, &Reply::ok(format!("watching {label}")))?;
                     }
                     Request::Unwatch => {
@@ -507,7 +510,7 @@ fn run_request(store: &Store, req: Request) -> Result<Reply, ServeError> {
         Request::Shutdown => Ok(Reply::ok("shutting down")),
         // Session-stateful verbs; `handle_session` intercepts them, so
         // this arm is only reachable through a direct `dispatch` call.
-        Request::Watch(_) | Request::Unwatch => Ok(Reply::err(
+        Request::Watch { .. } | Request::Unwatch => Ok(Reply::err(
             "WATCH requires an interactive session".to_string(),
         )),
         Request::Tables => {
@@ -546,7 +549,11 @@ fn run_request(store: &Store, req: Request) -> Result<Reply, ServeError> {
             let lines: Vec<String> = csv.lines().map(str::to_owned).collect();
             Reply::ok_with(format!("{} rows", st.data().len()), lines)
         }),
-        Request::Mine { table, max_lhs } => {
+        Request::Mine {
+            table,
+            max_lhs,
+            semantics,
+        } => {
             // Snapshot the instance under the read lock, then mine
             // *outside* it: a full mining run is O(2^arity · rows)
             // and must not stall writers (or the snapshotter, which
@@ -554,16 +561,31 @@ fn run_request(store: &Store, req: Request) -> Result<Reply, ServeError> {
             // See DESIGN.md §8.
             let snap = store.with_table(&table, |st| st.data().clone())?;
             let max_lhs = max_lhs.clamp(1, snap.schema().arity().max(1));
-            let report = mine_report(&table, &snap, max_lhs, DEFAULT_CACHE_BUDGET);
+            // Without a semantics token the reply is byte-identical to
+            // the pre-weak protocol: the combined p/c report.
+            let report = match semantics {
+                Some(sem) => semantics_report(&table, &snap, sem, max_lhs, DEFAULT_CACHE_BUDGET),
+                None => mine_report(&table, &snap, max_lhs, DEFAULT_CACHE_BUDGET),
+            };
             let lines: Vec<String> = report.lines().map(str::to_owned).collect();
             Ok(Reply::ok_with("mined", lines))
         }
         Request::Closure { table, columns } => {
             store.with_table(&table, |st| closure_reply(st, &columns))?
         }
-        Request::Normalize(table) => store.with_table(&table, |st| {
+        Request::Normalize { table, semantics } => store.with_table(&table, |st| {
             let design = SchemaDesign::new(st.data().schema().clone(), st.sigma().clone());
-            normalize_reply(&design)
+            // The VRNF target is semantics-invariant (weak implication
+            // collapses to possible, see the coincidence theorem), so a
+            // semantics token only annotates the reply.
+            let reply = normalize_reply(&design);
+            match (reply, semantics) {
+                (Ok(mut r), Some(sem)) => {
+                    r.message = format!("{} ({} semantics)", r.message, sem.token());
+                    Ok(r)
+                }
+                (r, _) => r,
+            }
         })?,
     }
 }
@@ -652,10 +674,25 @@ mod tests {
             Request::Mine {
                 table: "purchase".into(),
                 max_lhs: 2,
+                semantics: None,
             },
         );
         assert!(mine.ok, "{}", mine.message);
         assert!(mine.lines.iter().any(|l| l.contains("minimal FDs")));
+        let mine_weak = dispatch(
+            &store,
+            Request::Mine {
+                table: "purchase".into(),
+                max_lhs: 2,
+                semantics: Some(Semantics::Weak),
+            },
+        );
+        assert!(mine_weak.ok, "{}", mine_weak.message);
+        assert!(
+            mine_weak.lines.iter().any(|l| l.contains("weak FDs")),
+            "{:?}",
+            mine_weak.lines
+        );
         let closure = dispatch(
             &store,
             Request::Closure {
@@ -666,9 +703,29 @@ mod tests {
         assert!(closure.ok);
         assert!(closure.lines[0].starts_with("p-closure"));
         assert!(closure.lines[0].contains("price"));
-        let norm = dispatch(&store, Request::Normalize("purchase".into()));
+        let norm = dispatch(
+            &store,
+            Request::Normalize {
+                table: "purchase".into(),
+                semantics: None,
+            },
+        );
         assert!(norm.ok, "{}", norm.message);
         assert!(norm.lines.iter().any(|l| l.contains("CREATE TABLE")));
+        let norm_weak = dispatch(
+            &store,
+            Request::Normalize {
+                table: "purchase".into(),
+                semantics: Some(Semantics::Weak),
+            },
+        );
+        assert!(norm_weak.ok, "{}", norm_weak.message);
+        assert!(
+            norm_weak.message.contains("weak semantics"),
+            "{}",
+            norm_weak.message
+        );
+        assert_eq!(norm.lines, norm_weak.lines, "design is semantics-invariant");
         let stats = dispatch(&store, Request::Stats);
         assert!(stats.lines.iter().any(|l| l.starts_with("stmt.admitted 2")));
         let mut sorted = stats.lines.clone();

@@ -400,6 +400,12 @@ impl Store {
         self.watch.subscribe(filter)
     }
 
+    /// [`watch`](Self::watch) with the weak plane opt-in: a `weak`
+    /// subscriber additionally receives `wfd:` fact events.
+    pub fn watch_opts(&self, filter: Option<String>, weak: bool) -> Subscription {
+        self.watch.subscribe_opts(filter, weak)
+    }
+
     /// Block until the WATCH hub has processed every commit
     /// notification sent so far (deterministic fence for tests and the
     /// harness).

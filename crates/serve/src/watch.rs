@@ -28,9 +28,13 @@
 //! ```
 //!
 //! Facts are space-free tokens: `pfd:a,b->c`, `cfd:a->b`, `pkey:a,b`,
-//! `ckey:a`. Within one epoch, refutations (`-`) are emitted before
-//! appearances (`+`), each in lexicographic fact order, so the event
-//! stream for a given history is byte-deterministic.
+//! `ckey:a` — plus `wfd:a->b` for minimal *weak* FDs, which only
+//! subscribers registered with `WATCH <t|*> weak` receive (there is no
+//! `wkey:` fact: weak keys coincide with p-keys). Default subscribers
+//! never see `wfd:` lines, so pre-weak consumers' streams are
+//! byte-identical. Within one epoch, refutations (`-`) are emitted
+//! before appearances (`+`), each in lexicographic fact order, so the
+//! event stream for a given history is byte-deterministic.
 //!
 //! ## Backpressure
 //!
@@ -112,14 +116,24 @@ fn render_cols(schema: &TableSchema, set: AttrSet) -> String {
     out
 }
 
+/// Whether a fact token belongs to the weak-opt-in plane.
+fn is_weak_fact(fact: &str) -> bool {
+    fact.starts_with("wfd:")
+}
+
 fn facts_from_parts(
     schema: &TableSchema,
     pfds: &[MinedFd],
     cfds: &[MinedFd],
+    wfds: Option<&[MinedFd]>,
     keys: &MinedKeys,
 ) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
-    for (tag, fds) in [("pfd", pfds), ("cfd", cfds)] {
+    let mut fd_groups = vec![("pfd", pfds), ("cfd", cfds)];
+    if let Some(w) = wfds {
+        fd_groups.push(("wfd", w));
+    }
+    for (tag, fds) in fd_groups {
         for fd in fds {
             for a in fd.rhs.iter() {
                 out.insert(format!(
@@ -144,8 +158,16 @@ fn facts_from_parts(
 /// bounded by `max_lhs`. This is the reference the hub's incremental
 /// shadow state must agree with — harness stream-soundness checks mine
 /// a table at an oplog prefix through this function and confirm every
-/// streamed event against consecutive prefixes.
+/// streamed event against consecutive prefixes. Output is exactly what
+/// a *default* subscriber sees; weak subscribers verify against
+/// [`table_facts_with`] instead.
 pub fn table_facts(table: &Table, max_lhs: usize) -> BTreeSet<String> {
+    table_facts_with(table, max_lhs, false)
+}
+
+/// [`table_facts`] with the weak plane included: `include_weak` adds a
+/// `wfd:` fact per RHS attribute of each minimal weak FD.
+pub fn table_facts_with(table: &Table, max_lhs: usize, include_weak: bool) -> BTreeSet<String> {
     let pfds = mine_fds(
         table,
         MinerConfig::new(Semantics::Possible).with_max_lhs(max_lhs),
@@ -156,16 +178,26 @@ pub fn table_facts(table: &Table, max_lhs: usize) -> BTreeSet<String> {
         MinerConfig::new(Semantics::Certain).with_max_lhs(max_lhs),
     )
     .fds;
+    let wfds = include_weak.then(|| {
+        mine_fds(
+            table,
+            MinerConfig::new(Semantics::Weak).with_max_lhs(max_lhs),
+        )
+        .fds
+    });
     let keys = mine_keys_budgeted(table, max_lhs, DEFAULT_CACHE_BUDGET);
-    facts_from_parts(table.schema(), &pfds, &cfds, &keys)
+    facts_from_parts(table.schema(), &pfds, &cfds, wfds.as_deref(), &keys)
 }
 
+/// The hub always mines the full plane (weak included); subscriber
+/// filtering decides who sees the `wfd:` lines.
 fn miner_facts(m: &mut IncrementalMiner, max_lhs: usize) -> BTreeSet<String> {
     let pfds = m.mine_fds(Semantics::Possible, max_lhs, DEFAULT_CACHE_BUDGET);
     let cfds = m.mine_fds(Semantics::Certain, max_lhs, DEFAULT_CACHE_BUDGET);
+    let wfds = m.mine_fds(Semantics::Weak, max_lhs, DEFAULT_CACHE_BUDGET);
     let keys = m.mine_keys(max_lhs, DEFAULT_CACHE_BUDGET);
     let schema = m.schema().clone();
-    facts_from_parts(&schema, &pfds, &cfds, &keys)
+    facts_from_parts(&schema, &pfds, &cfds, Some(&wfds), &keys)
 }
 
 /// Messages into the hub thread. Frames, registrations and barriers
@@ -188,6 +220,8 @@ pub(crate) enum HubMsg {
 pub(crate) struct SubscriberShared {
     id: u64,
     filter: Option<String>,
+    /// Receive `wfd:` weak-FD facts (`WATCH <t|*> weak`).
+    weak: bool,
     cap: usize,
     queue: Mutex<VecDeque<String>>,
     dropped: AtomicU64,
@@ -288,11 +322,19 @@ impl WatchHub {
         self.tx.clone()
     }
 
-    /// Register a subscriber; `filter` limits it to one table.
+    /// Register a subscriber; `filter` limits it to one table. The
+    /// subscriber sees the default fact plane (no `wfd:` lines).
     pub fn subscribe(&self, filter: Option<String>) -> Subscription {
+        self.subscribe_opts(filter, false)
+    }
+
+    /// [`subscribe`](Self::subscribe) with the weak plane opt-in:
+    /// `weak` subscribers additionally receive `wfd:` fact events.
+    pub fn subscribe_opts(&self, filter: Option<String>, weak: bool) -> Subscription {
         let shared = Arc::new(SubscriberShared {
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
             filter,
+            weak,
             cap: self.queue_cap,
             queue: Mutex::new(VecDeque::new()),
             dropped: AtomicU64::new(0),
@@ -428,33 +470,37 @@ impl Hub {
         };
         let before = self.facts.get(table).cloned().unwrap_or_default();
         if now != before {
-            let mut lines = Vec::new();
+            // Each line is tagged with whether it belongs to the
+            // weak-opt-in plane; default subscribers skip those, so
+            // their streams are byte-identical to a weak-unaware hub's.
+            let mut lines: Vec<(bool, String)> = Vec::new();
             for fact in before.difference(&now) {
-                lines.push(
-                    WatchEvent {
-                        epoch,
-                        table: table.to_string(),
-                        appeared: false,
-                        fact: fact.clone(),
-                    }
-                    .line(),
-                );
+                let line = WatchEvent {
+                    epoch,
+                    table: table.to_string(),
+                    appeared: false,
+                    fact: fact.clone(),
+                }
+                .line();
+                lines.push((is_weak_fact(fact), line));
             }
             for fact in now.difference(&before) {
-                lines.push(
-                    WatchEvent {
-                        epoch,
-                        table: table.to_string(),
-                        appeared: true,
-                        fact: fact.clone(),
-                    }
-                    .line(),
-                );
+                let line = WatchEvent {
+                    epoch,
+                    table: table.to_string(),
+                    appeared: true,
+                    fact: fact.clone(),
+                }
+                .line();
+                lines.push((is_weak_fact(fact), line));
             }
             sqlnf_obs::count!("serve.watch.events", lines.len() as u64);
             for sub in &self.subs {
                 if !sub.closed.load(Ordering::Relaxed) && sub.watches(table) {
-                    for line in &lines {
+                    for (weak_fact, line) in &lines {
+                        if *weak_fact && !sub.weak {
+                            continue;
+                        }
                         sub.push(line.clone());
                     }
                 }
@@ -591,6 +637,62 @@ mod tests {
             before = now;
         }
         assert_eq!(sub.drain(), expected);
+    }
+
+    #[test]
+    fn weak_subscriber_streams_match_weak_from_scratch_prefixes() {
+        let stmts = [
+            "CREATE TABLE t (a INT, b INT, c INT);",
+            "INSERT INTO t VALUES (1, 1, 1);",
+            "INSERT INTO t VALUES (1, NULL, 1);",
+            "INSERT INTO t VALUES (1, 2, NULL);",
+            "INSERT INTO t VALUES (2, 2, 2);",
+        ];
+        let hub = WatchHub::spawn(Vec::new(), 1, DEFAULT_WATCH_QUEUE);
+        let weak_sub = hub.subscribe_opts(Some("t".into()), true);
+        let plain_sub = hub.subscribe(Some("t".into()));
+        send(
+            &hub,
+            stmts
+                .iter()
+                .enumerate()
+                .map(|(i, s)| frame(i as u64 + 1, s))
+                .collect(),
+        );
+        hub.barrier();
+        // Replay the prefixes from scratch, once per plane, and diff.
+        let mut expect_weak = Vec::new();
+        let mut expect_plain = Vec::new();
+        let mut db = Database::new();
+        let (mut before_weak, mut before_plain) = (BTreeSet::new(), BTreeSet::new());
+        for (i, s) in stmts.iter().enumerate() {
+            db.run_script(s).unwrap();
+            let data = db.table("t").unwrap().data();
+            for (include_weak, before, expected) in [
+                (true, &mut before_weak, &mut expect_weak),
+                (false, &mut before_plain, &mut expect_plain),
+            ] {
+                let now = table_facts_with(data, WATCH_MAX_LHS, include_weak);
+                for fact in before.difference(&now) {
+                    expected.push(format!("EVENT {} t -{fact}", i + 1));
+                }
+                for fact in now.difference(before) {
+                    expected.push(format!("EVENT {} t +{fact}", i + 1));
+                }
+                *before = now;
+            }
+        }
+        let weak_lines = weak_sub.drain();
+        assert!(
+            weak_lines.iter().any(|l| l.contains("+wfd:")),
+            "weak plane emitted nothing: {weak_lines:?}"
+        );
+        assert_eq!(weak_lines, expect_weak);
+        // The default subscriber's stream is byte-identical to a
+        // weak-unaware hub's: no wfd lines, same ordering.
+        let plain_lines = plain_sub.drain();
+        assert!(plain_lines.iter().all(|l| !l.contains("wfd:")));
+        assert_eq!(plain_lines, expect_plain);
     }
 
     #[test]

@@ -103,6 +103,11 @@ USAGE:
                                        same report via the incremental engine
                                        (rows applied as deltas; K > 0 audits
                                        against a full re-mine every K deltas)
+    sqlnf mine <file.csv> --semantics <tok>
+                                       mine under one null semantics
+                                       (classical | possible | certain | weak)
+                                       instead of the combined p/c report;
+                                       composes with --incremental
     sqlnf dataset <name> [seed]        emit an evaluation dataset as CSV
                                        (contact | contractor | fig7 | purchase)
     sqlnf serve [--port N] [--wal-dir DIR] [--workers N] [--snapshot-every N]
@@ -116,10 +121,11 @@ USAGE:
                                        lines may mix SQL and service verbs)
     sqlnf client <host:port> --metrics one-shot METRICS scrape (the raw
                                        Prometheus-style text exposition)
-    sqlnf client <host:port> --watch [table]
+    sqlnf client <host:port> --watch [table] [weak]
                                        subscribe to live discovery events
                                        (WATCH; streams EVENT/LAGGED lines
-                                       until the server closes the session)
+                                       until the server closes the session;
+                                       a trailing `weak` adds wfd: facts)
     sqlnf top <host:port> [--interval MS] [--samples N]
                                        live per-verb request/p50/p99/throughput
                                        table polled from METRICS (default
@@ -271,7 +277,10 @@ pub fn cmd_mine(
 ) -> Result<String, CliError> {
     let table = table_from_csv(name, csv_src)?;
     match opts.incremental {
-        None => Ok(mine_report(name, &table, max_lhs, opts.cache_budget)),
+        None => Ok(match opts.semantics {
+            None => mine_report(name, &table, max_lhs, opts.cache_budget),
+            Some(sem) => semantics_report(name, &table, sem, max_lhs, opts.cache_budget),
+        }),
         Some(every) => {
             // Exercise the delta path: every row is applied as an
             // insert delta, then the report renders off the maintained
@@ -285,7 +294,13 @@ pub fn cmd_mine(
             for row in table.rows() {
                 m.insert(row.clone());
             }
-            Ok(m.report(name, max_lhs, opts.cache_budget))
+            Ok(match opts.semantics {
+                None => m.report(name, max_lhs, opts.cache_budget),
+                Some(sem) => {
+                    let fds = m.mine_fds(sem, max_lhs, opts.cache_budget);
+                    render_semantics_report(name, table.len(), table.schema(), sem, max_lhs, &fds)
+                }
+            })
         }
     }
 }
@@ -435,10 +450,14 @@ pub fn cmd_client(addr: &str, script: &str) -> Result<String, CliError> {
 /// `sqlnf client --watch [table]`: subscribe and stream discovery
 /// events to stdout as they arrive, until the server closes the
 /// session (or the process is interrupted).
-pub fn cmd_client_watch(addr: &str, table: Option<&str>) -> Result<String, CliError> {
+pub fn cmd_client_watch(addr: &str, table: Option<&str>, weak: bool) -> Result<String, CliError> {
     use sqlnf_serve::{ClientError, StreamItem};
     let mut client = sqlnf_serve::Client::connect(addr)?;
-    let reply = client.watch(table)?;
+    let reply = if weak {
+        client.watch_weak(table)?
+    } else {
+        client.watch(table)?
+    };
     println!("OK {}", reply.message);
     loop {
         match client.next_event() {
@@ -798,6 +817,10 @@ pub struct MineOptions {
     /// `Some(k)` re-mines from scratch and asserts equivalence every
     /// `k` deltas. Output is byte-identical either way.
     pub incremental: Option<u64>,
+    /// `--semantics <tok>`: mine under one named semantics
+    /// (classical | possible | certain | weak) instead of the default
+    /// combined possible/certain classification.
+    pub semantics: Option<Semantics>,
 }
 
 impl Default for MineOptions {
@@ -805,6 +828,7 @@ impl Default for MineOptions {
         MineOptions {
             cache_budget: DEFAULT_CACHE_BUDGET,
             incremental: None,
+            semantics: None,
         }
     }
 }
@@ -846,6 +870,14 @@ pub fn split_mine_args(args: &[String]) -> Result<(Vec<String>, MineOptions), Cl
                 .parse()
                 .map_err(|_| CliError::Usage(format!("bad --incremental {k:?}\n\n{USAGE}")))?;
             opts.incremental = Some(k);
+        } else if a == "--semantics" {
+            let v = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("--semantics needs a token\n\n{USAGE}")))?;
+            opts.semantics = Some(
+                Semantics::parse(v)
+                    .ok_or_else(|| CliError::Usage(format!("bad --semantics {v:?}\n\n{USAGE}")))?,
+            );
         } else {
             rest.push(a.clone());
         }
@@ -914,10 +946,18 @@ fn dispatch(args: &[String], mine: &MineOptions) -> Result<(String, Option<JsonV
             Ok((cmd_client_metrics(addr)?, None))
         }
         [cmd, addr, flag] if cmd == "client" && flag == "--watch" => {
-            Ok((cmd_client_watch(addr, None)?, None))
+            Ok((cmd_client_watch(addr, None, false)?, None))
         }
         [cmd, addr, flag, table] if cmd == "client" && flag == "--watch" => {
-            Ok((cmd_client_watch(addr, Some(table))?, None))
+            // `--watch weak` opts into the weak plane on all tables.
+            let (table, weak) = match table.as_str() {
+                "weak" => (None, true),
+                t => (Some(t), false),
+            };
+            Ok((cmd_client_watch(addr, table, weak)?, None))
+        }
+        [cmd, addr, flag, table, sem] if cmd == "client" && flag == "--watch" && sem == "weak" => {
+            Ok((cmd_client_watch(addr, Some(table), true)?, None))
         }
         [cmd, addr, file] if cmd == "client" => Ok((cmd_client(addr, &read(file)?)?, None)),
         [cmd, addr, rest @ ..] if cmd == "top" => Ok((cmd_top(addr, rest)?, None)),
@@ -1040,14 +1080,63 @@ mod tests {
         // identical to the from-scratch path.
         let zero = MineOptions {
             cache_budget: 0,
-            incremental: None,
+            ..MineOptions::default()
         };
         assert_eq!(mined, cmd_mine(csv, "contacts", 2, &zero).unwrap());
         let incr = MineOptions {
-            cache_budget: DEFAULT_CACHE_BUDGET,
             incremental: Some(1),
+            ..MineOptions::default()
         };
         assert_eq!(mined, cmd_mine(csv, "contacts", 2, &incr).unwrap());
+    }
+
+    #[test]
+    fn mine_with_semantics_flag_lists_one_plane() {
+        let csv = "city,state\nColumbia,48\nColumbia,\nCarmel,20\n";
+        let weak = MineOptions {
+            semantics: Some(Semantics::Weak),
+            ..MineOptions::default()
+        };
+        let report = cmd_mine(csv, "contacts", 2, &weak).unwrap();
+        assert!(report.contains("weak semantics"), "{report}");
+        // The null on (Columbia, ⊥) completes to 48, so city weakly
+        // determines state; certain semantics refuses the same FD.
+        assert!(report.contains("{city} -> {state}"), "{report}");
+        let certain = MineOptions {
+            semantics: Some(Semantics::Certain),
+            ..MineOptions::default()
+        };
+        let report_c = cmd_mine(csv, "contacts", 2, &certain).unwrap();
+        assert!(!report_c.contains("{city} -> {state}"), "{report_c}");
+        // The incremental engine renders the same bytes for every
+        // semantics token.
+        for sem in Semantics::ALL {
+            let scratch = MineOptions {
+                semantics: Some(sem),
+                ..MineOptions::default()
+            };
+            let incr = MineOptions {
+                incremental: Some(1),
+                ..scratch
+            };
+            assert_eq!(
+                cmd_mine(csv, "contacts", 2, &scratch).unwrap(),
+                cmd_mine(csv, "contacts", 2, &incr).unwrap()
+            );
+        }
+        // Flag parsing: stripped from argv, bad tokens are usage errors.
+        let argv: Vec<String> = ["mine", "x.csv", "--semantics", "WEAK", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (rest, opts) = split_mine_args(&argv).unwrap();
+        assert_eq!(rest, vec!["mine", "x.csv", "2"]);
+        assert_eq!(opts.semantics, Some(Semantics::Weak));
+        let bad: Vec<String> = ["mine", "x.csv", "--semantics", "fuzzy"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert!(matches!(split_mine_args(&bad), Err(CliError::Usage(_))));
     }
 
     #[test]

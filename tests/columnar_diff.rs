@@ -72,11 +72,7 @@ fn mined_fds_identical_across_encodings_semantics_and_threads() {
         let arity = t.schema().arity();
         let columnar = Encoded::new(&t);
         let reference = Encoded::from_table_rows(&t);
-        for sem in [
-            Semantics::Classical,
-            Semantics::Possible,
-            Semantics::Certain,
-        ] {
+        for sem in Semantics::ALL {
             for threads in [1usize, 4] {
                 let cfg = MinerConfig::new(sem)
                     .with_max_lhs(max_lhs)

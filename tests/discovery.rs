@@ -1,14 +1,17 @@
 //! Integration tests for the discovery crate against the naive
 //! satisfaction checker of the model crate: the miner must find exactly
-//! the minimal non-trivial FDs, under all three semantics, on random
-//! instances.
+//! the minimal non-trivial FDs, under all four semantics, on random
+//! instances — and the partition-based weak check must agree with the
+//! possible-world enumerator of `sqlnf_core::related`.
 
 mod common;
 
 use common::*;
 use proptest::prelude::*;
-use sqlnf::discovery::check::Semantics;
+use sqlnf::core::related::weak_fd_holds;
+use sqlnf::discovery::check::{fd_holds, Semantics};
 use sqlnf::discovery::mine::{mine_fds, MinerConfig};
+use sqlnf::discovery::partition::Encoded;
 use sqlnf::prelude::*;
 
 const COLS: usize = 3;
@@ -20,6 +23,7 @@ fn holds_naive(table: &Table, x: AttrSet, a: Attr, sem: Semantics) -> bool {
     match sem {
         Semantics::Possible => satisfies_fd(table, &Fd::possible(x, AttrSet::single(a))),
         Semantics::Certain => satisfies_fd(table, &Fd::certain(x, AttrSet::single(a))),
+        Semantics::Weak => satisfies_weak_fd(table, x, AttrSet::single(a)),
         Semantics::Classical => {
             // Null-as-value: replace ⊥ by a fresh constant.
             let rows = table.rows().iter().map(|t| {
@@ -59,13 +63,55 @@ fn minimal_fds_naive(table: &Table, sem: Semantics) -> Vec<(AttrSet, Attr)> {
     out
 }
 
+/// Regression pin: [`Semantics::Weak`] byte-matches the `weak_fd_holds`
+/// column of Example 2's satisfaction matrix in
+/// `sqlnf_core::related` — the related-work reproduction the promoted
+/// semantics generalizes. Both the partition check and the model
+/// crate's pairwise evaluator must agree with the possible-world
+/// enumeration on every tabulated row.
+#[test]
+fn example2_weak_column_matches_related_work() {
+    let table = sqlnf_datagen::paper::example2_relation();
+    let schema = table.schema();
+    let enc = Encoded::new(&table);
+    let col = |n: &str| schema.attr(n).expect("example2 column");
+    // (lhs, rhs, weak_fd_holds column of the printed matrix)
+    let matrix = [
+        ("employee", "dept", true),
+        ("employee", "manager", false),
+        ("employee", "salary", true),
+        ("dept", "dept", true),
+        ("dept", "manager", true),
+        ("manager", "employee", true),
+        ("manager", "dept", true),
+    ];
+    for (l, r, want) in matrix {
+        let (lhs, rhs) = (AttrSet::single(col(l)), AttrSet::single(col(r)));
+        assert_eq!(weak_fd_holds(&table, lhs, rhs), want, "[24]weak {l}->{r}");
+        assert_eq!(
+            satisfies_weak_fd(&table, lhs, rhs),
+            want,
+            "satisfy layer {l}->{r}"
+        );
+        // The trivial d → d is inside its own LHS; `fd_holds` checks
+        // proper targets only.
+        if l != r {
+            assert_eq!(
+                fd_holds(&enc, lhs, col(r), Semantics::Weak),
+                want,
+                "partition check {l}->{r}"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
     /// The miner finds exactly the minimal FDs, for every semantics.
     #[test]
     fn miner_matches_naive(table in small_table(COLS, 6)) {
-        for sem in [Semantics::Classical, Semantics::Possible, Semantics::Certain] {
+        for sem in Semantics::ALL {
             let mined = mine_fds(&table, MinerConfig::new(sem).with_max_lhs(COLS));
             let mut got: Vec<(AttrSet, Attr)> = mined
                 .fds
@@ -106,7 +152,7 @@ proptest! {
         let enc = Encoded::new(&table);
         let mut subsets: Vec<AttrSet> = AttrSet::first_n(4).subsets().collect();
         subsets.sort_by_key(|s| (s.len(), s.0));
-        for sem in [Semantics::Classical, Semantics::Possible, Semantics::Certain] {
+        for sem in Semantics::ALL {
             let ns = null_semantics(sem);
             let mut ctx = PartitionCtx::new(&enc, ns);
             for &x in &subsets {
@@ -125,7 +171,7 @@ proptest! {
             fds.sort_by_key(|f| (f.lhs.0, f.rhs.0));
             fds
         };
-        for sem in [Semantics::Classical, Semantics::Possible, Semantics::Certain] {
+        for sem in Semantics::ALL {
             let reference = norm(mine_fds(&table, MinerConfig::new(sem).with_max_lhs(3)).fds);
             for budget in [0usize, 4096, usize::MAX] {
                 for threads in [1usize, 2, 4, 8] {
@@ -190,6 +236,59 @@ proptest! {
                     got_targets, want_targets,
                     "round {} x={:?} on\n{}", round, x, table
                 );
+            }
+        }
+    }
+
+    /// The partition-based weak check agrees with the related-work
+    /// possible-world enumerator: `X →_weak A` iff some completion of
+    /// the nulls satisfies the FD classically. (The enumerator refuses
+    /// more than 8 nulls, so instances beyond that are discarded.)
+    #[test]
+    fn weak_check_matches_possible_worlds(table in small_table(COLS, 4)) {
+        let nulls: usize = table
+            .rows()
+            .iter()
+            .flat_map(|t| t.values())
+            .filter(|v| v.is_null())
+            .count();
+        prop_assume!(nulls <= 8);
+        let enc = Encoded::new(&table);
+        let t = AttrSet::first_n(COLS);
+        for x in t.subsets() {
+            for a in t - x {
+                prop_assert_eq!(
+                    fd_holds(&enc, x, a, Semantics::Weak),
+                    weak_fd_holds(&table, x, AttrSet::single(a)),
+                    "{:?} ->weak {:?} on\n{}", x, a, table
+                );
+            }
+        }
+    }
+
+    /// The pointwise semantics lattice: certain ⟹ possible ⟹ weak and
+    /// classical ⟹ weak on every instance and every candidate FD; on a
+    /// null-free instance all four verdicts coincide.
+    #[test]
+    fn semantics_lattice_pointwise(table in small_table(COLS, 6)) {
+        let enc = Encoded::new(&table);
+        let null_free = table
+            .rows()
+            .iter()
+            .all(|t| t.values().iter().all(|v| !v.is_null()));
+        let t = AttrSet::first_n(COLS);
+        for x in t.subsets() {
+            for a in t - x {
+                let verdict = |sem| fd_holds(&enc, x, a, sem);
+                let weak = verdict(Semantics::Weak);
+                prop_assert!(!verdict(Semantics::Certain) || verdict(Semantics::Possible));
+                prop_assert!(!verdict(Semantics::Possible) || weak);
+                prop_assert!(!verdict(Semantics::Classical) || weak);
+                if null_free {
+                    for sem in Semantics::ALL {
+                        prop_assert_eq!(verdict(sem), weak, "{:?} on\n{}", sem, table);
+                    }
+                }
             }
         }
     }

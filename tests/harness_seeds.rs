@@ -198,6 +198,9 @@ fn seed_flight_recorder_and_metrics_match_oplog() {
 /// streamed FD/key event against a from-scratch mine of the oplog
 /// prefix it claims, and — since nothing is killed and nothing lags —
 /// requires the received stream to equal the full reference stream.
+/// Seed 5 is odd, so the subscriber rides the **weak** plane
+/// (`WATCH * weak`): the reference mines include `wfd:` facts and the
+/// byte-equality check covers the fourth semantics end to end.
 #[test]
 fn seed_5_watch_stream_is_sound_and_complete() {
     let c = HarnessConfig {
@@ -219,6 +222,35 @@ fn seed_5_watch_stream_is_sound_and_complete() {
         report.line().contains("watch ev"),
         "summary surfaces the stream"
     );
+}
+
+/// Seed 13: the weak plane under fire. An odd seed (so the ride-along
+/// subscriber is on `WATCH * weak`) with the kill armed: the server
+/// dies mid-run, and recovery must leave tables on which all four
+/// semantics — weak included — mine deterministically and pass the
+/// satisfaction/oracle cross-check (`run_one`'s minecheck quantifies
+/// over `Semantics::ALL`). The weak stream received before the kill
+/// must still be a sound, in-order subsequence of the reference.
+#[test]
+fn seed_13_weak_watch_survives_a_kill() {
+    let c = HarnessConfig {
+        seed: 13,
+        ops: 150,
+        clients: 2,
+        kill_prob: 1.0,
+        corrupt_prob: 0.0,
+        watch: true,
+        ..HarnessConfig::default()
+    };
+    let p = plan(c.seed, c.ops, c.kill_prob, c.corrupt_prob);
+    assert!(p.kill_after.is_some(), "seed must arm the kill");
+    let report = run_one(&c).expect("weak-watched faulted run passes");
+    assert!(report.killed && !report.corrupted);
+    // No corruption: every flushed append survives, and the recovered
+    // tables feed the four-semantics minecheck.
+    assert_eq!(report.recovered, report.admitted);
+    assert!(report.minecheck.tables > 0);
+    assert!(report.minecheck.fds_checked > 0);
 }
 
 /// Seed 7: a DDL-heavy stream — CREATE TABLEs keep arriving mid-run

@@ -1,10 +1,12 @@
 //! Differential property for the incremental discovery engine: after
 //! every batch of random DML (inserts, updates, deletes), the
-//! incremental `MINE` output — FDs under all three semantics, keys,
+//! incremental `MINE` output — FDs under all four semantics, keys,
 //! and the rendered report — byte-equals a from-scratch mine of the
 //! same rows, with the from-scratch side run at 1 and 4 threads (the
 //! PR 5 determinism contract makes those identical to each other, so
-//! the incremental replay must match both).
+//! the incremental replay must match both). On top of the per-semantics
+//! equality, every batch checks the cross-semantics lattice: each
+//! certain-mined FD has a weak-mined cover on a sub-LHS.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,11 +37,8 @@ fn random_tuple(rng: &mut StdRng) -> Tuple {
 
 fn assert_incremental_matches(m: &mut IncrementalMiner, ctx: &str) {
     let table = m.table();
-    for sem in [
-        Semantics::Classical,
-        Semantics::Possible,
-        Semantics::Certain,
-    ] {
+    let mut by_sem = Vec::with_capacity(Semantics::ALL.len());
+    for sem in Semantics::ALL {
         let incr = m.mine_fds(sem, MAX_LHS, DEFAULT_CACHE_BUDGET);
         for threads in [1, 4] {
             let scratch = mine_fds(
@@ -49,6 +48,20 @@ fn assert_incremental_matches(m: &mut IncrementalMiner, ctx: &str) {
                     .with_threads(threads),
             );
             assert_eq!(scratch.fds, incr, "{ctx}: {sem:?} threads={threads}");
+        }
+        by_sem.push(incr);
+    }
+    // Lattice: certain ⊆ weak as implied sets — minimal LHSs may only
+    // shrink under the laxer semantics.
+    let (certain, weak) = (&by_sem[2], &by_sem[3]);
+    for fd in certain {
+        for a in fd.rhs {
+            assert!(
+                weak.iter()
+                    .any(|w| w.lhs.is_subset(fd.lhs) && w.rhs.contains(a)),
+                "{ctx}: certain-mined {:?} -> {a:?} has no weak cover",
+                fd.lhs
+            );
         }
     }
     assert_eq!(

@@ -42,6 +42,14 @@ proptest! {
                 let phi = Constraint::Key(Key { attrs: x, modality: m });
                 prop_assert_eq!(r.implies(&phi), oracle_implies(t, nfs, &sigma, &phi));
             }
+            // The weak FD as a query: the oracle must agree with the
+            // p-closure collapse (Σ ⊨ X →_weak Y iff Y ⊆ X*p).
+            for y in t.subsets() {
+                prop_assert_eq!(
+                    r.implies_weak_fd(x, y),
+                    oracle_implies_weak_fd(t, nfs, &sigma, x, y)
+                );
+            }
         }
     }
 
@@ -81,6 +89,18 @@ proptest! {
                         None => prop_assert!(fast, "no witness yet {} not implied", phi),
                     }
                 }
+            }
+            // Weak-FD queries on the same wide schemata, with witness
+            // consistency: `weak_counter_model` produces a genuine
+            // separating pair exactly when implication fails.
+            let fast = r.implies_weak_fd(x, y);
+            prop_assert_eq!(fast, oracle_implies_weak_fd(t, nfs, &sigma, x, y));
+            match weak_counter_model(t, nfs, &sigma, x, y) {
+                Some(w) => {
+                    prop_assert!(!fast, "witness against implied weak {:?}->{:?}", x, y);
+                    prop_assert!(w.satisfies_all(&sigma) && !w.satisfies_weak_fd(x, y));
+                }
+                None => prop_assert!(fast, "no witness yet weak {:?}->{:?} not implied", x, y),
             }
         }
     }

@@ -5,7 +5,7 @@
 //! never see an epoch the durable history doesn't contain.
 
 use sqlnf::prelude::*;
-use sqlnf_serve::{table_facts, Client, ServeConfig, Server, StreamItem};
+use sqlnf_serve::{table_facts, table_facts_with, Client, ServeConfig, Server, StreamItem};
 use std::collections::BTreeSet;
 use std::time::Duration;
 
@@ -106,6 +106,72 @@ fn subscriber_streams_every_fact_change_in_commit_order() {
     let (rest, _) = watcher.unwatch().unwrap();
     assert!(rest.is_empty(), "stream already drained: {rest:?}");
     watcher.quit().unwrap();
+    writer.quit().unwrap();
+    server.shutdown().unwrap();
+}
+
+/// `WATCH t weak` over the wire: the weak subscriber's stream must be
+/// byte-deterministic against from-scratch `table_facts_with(.., true)`
+/// prefix diffs, while a default subscriber on the same server sees the
+/// pre-weak stream byte-identically (no `wfd:` leakage).
+#[test]
+fn weak_subscriber_stream_is_deterministic_and_isolated() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut weak_watcher = watcher_client(&server);
+    weak_watcher.watch_weak(Some("t")).unwrap();
+    let mut plain_watcher = watcher_client(&server);
+    plain_watcher.watch(Some("t")).unwrap();
+
+    let mut writer = Client::connect(server.local_addr()).unwrap();
+    for stmt in STMTS {
+        writer.expect_ok(stmt).unwrap();
+    }
+    server.store().watch_barrier();
+    let weak_items = drain_all(&mut weak_watcher);
+    let plain_items = drain_all(&mut plain_watcher);
+
+    let mut expect_weak = Vec::new();
+    let mut expect_plain = Vec::new();
+    let mut db = Database::new();
+    let (mut before_weak, mut before_plain) = (BTreeSet::new(), BTreeSet::new());
+    for (i, stmt) in STMTS.iter().enumerate() {
+        db.run_script(stmt).unwrap();
+        let data = db.table("t").unwrap().data();
+        for (include_weak, before, expected) in [
+            (true, &mut before_weak, &mut expect_weak),
+            (false, &mut before_plain, &mut expect_plain),
+        ] {
+            let now = table_facts_with(data, 3, include_weak);
+            for fact in before.difference(&now) {
+                expected.push(format!("EVENT {} t -{fact}", i + 1));
+            }
+            for fact in now.difference(before) {
+                expected.push(format!("EVENT {} t +{fact}", i + 1));
+            }
+            *before = now;
+        }
+    }
+    let lines = |items: &[StreamItem]| -> Vec<String> {
+        items
+            .iter()
+            .map(|item| match item {
+                StreamItem::Event(ev) => ev.line(),
+                StreamItem::Lagged(n) => panic!("subscriber lagged by {n}"),
+            })
+            .collect()
+    };
+    let weak_got = lines(&weak_items);
+    assert!(
+        weak_got.iter().any(|l| l.contains("wfd:")),
+        "weak plane streamed no wfd facts: {weak_got:?}"
+    );
+    assert_eq!(weak_got, expect_weak);
+    let plain_got = lines(&plain_items);
+    assert!(plain_got.iter().all(|l| !l.contains("wfd:")));
+    assert_eq!(plain_got, expect_plain);
+
+    weak_watcher.quit().unwrap();
+    plain_watcher.quit().unwrap();
     writer.quit().unwrap();
     server.shutdown().unwrap();
 }
